@@ -1,0 +1,22 @@
+"""Shared state for the benchmark harness.
+
+Every figure/table benchmark pulls from one cached
+:class:`~repro.experiments.harness.SuiteRunner`, so the twelve workloads
+execute each variant once per session no matter how many figures ask for
+them.  Benchmarks run with ``pytest benchmarks/ --benchmark-only``.
+"""
+
+import pytest
+
+from repro.experiments.harness import SuiteRunner
+
+
+@pytest.fixture(scope="session")
+def runner():
+    return SuiteRunner()
+
+
+def emit(text: str) -> None:
+    """Print a reproduced figure/table through pytest's capture."""
+    print()
+    print(text)

@@ -1,0 +1,55 @@
+"""Ablation: block-count sweep versus the Section III-B analytic model.
+
+Sweeps the number of streaming blocks N on blackscholes and compares the
+measured optimum against the model's closed-form N*.  The paper: "we try
+N with value 10, 20, 40 and 50 ... the best number of blocks for most
+benchmarks is between 10 and 40."
+"""
+
+import dataclasses
+
+from benchmarks.conftest import emit
+from repro.experiments.report import render_table
+from repro.transforms.block_size import optimal_block_count
+from repro.transforms.streaming import StreamingOptions
+from repro.workloads.suite import get_workload
+
+SWEEP = [2, 5, 10, 20, 40, 80]
+
+
+def run_with_blocks(num_blocks: int):
+    workload = get_workload("blackscholes")
+    workload.plan = dataclasses.replace(
+        workload.plan,
+        streaming_options=StreamingOptions(num_blocks=num_blocks),
+    )
+    return workload.run("opt")
+
+
+def test_blocksize_sweep_vs_model(benchmark, runner):
+    def sweep():
+        return {n: run_with_blocks(n).time for n in SWEEP}
+
+    times = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    mic = runner.run_variant("blackscholes", "mic").stats
+    model_n = optimal_block_count(
+        transfer=mic.transfer_time,
+        compute=mic.device_compute_time,
+        launch_overhead=1.0e-3,
+        max_blocks=max(SWEEP),
+    )
+    rows = [
+        [str(n), f"{t * 1000:.3f} ms", "*" if t == min(times.values()) else ""]
+        for n, t in times.items()
+    ]
+    emit(render_table(["blocks N", "streamed time", "best"], rows))
+    emit(f"analytic N* = {model_n} (paper: best N between 10 and 40)")
+
+    measured_best = min(times, key=times.get)
+    # The measured optimum and the model optimum bracket the same regime.
+    assert 5 <= measured_best <= 80
+    assert times[measured_best] < times[2]
+    # The model's pick performs within 15% of the measured best.
+    closest = min(SWEEP, key=lambda n: abs(n - model_n))
+    assert times[closest] <= times[measured_best] * 1.15

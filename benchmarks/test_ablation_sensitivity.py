@@ -1,0 +1,52 @@
+"""Ablation: sensitivity of the gains to machine parameters.
+
+Beyond the paper's single testbed: how the optimizations' value moves
+with PCIe bandwidth (streaming), kernel-launch overhead (merging), and
+input size.
+"""
+
+from benchmarks.conftest import emit
+from repro.experiments.sweeps import (
+    render_sweep,
+    sweep_launch_overhead,
+    sweep_pcie_bandwidth,
+    sweep_problem_scale,
+)
+
+
+def test_streaming_gain_vs_pcie_bandwidth(benchmark):
+    def sweep():
+        return sweep_pcie_bandwidth("blackscholes", [2.0, 6.0, 16.0, 64.0])
+
+    result = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    emit(render_sweep(result))
+    gains = result.gains()
+    # A slower link makes streaming more valuable; a near-infinite link
+    # leaves nothing to hide.
+    assert gains[2.0] > gains[64.0]
+    assert gains[6.0] > 1.15  # the paper's machine
+
+
+def test_merging_gain_vs_launch_overhead(benchmark):
+    def sweep():
+        return sweep_launch_overhead("cfd", [0.01, 0.1, 1.0, 5.0])
+
+    result = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    emit(render_sweep(result))
+    gains = result.gains()
+    ordered = [gains[k] for k in (0.01, 0.1, 1.0, 5.0)]
+    assert ordered == sorted(ordered)  # monotone in K
+    assert gains[1.0] > 5  # the paper-era stack
+    assert gains[0.01] > 1  # transfers still merge even with free launches
+
+
+def test_gain_vs_problem_scale(benchmark):
+    def sweep():
+        return sweep_problem_scale("blackscholes", [0.01, 0.1, 1.0, 4.0])
+
+    result = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    emit(render_sweep(result))
+    gains = result.gains()
+    # At 1% of the paper's input, launch overheads eat the streaming win;
+    # at full scale the gain is the Figure 12 value.
+    assert gains[1.0] > gains[0.01]

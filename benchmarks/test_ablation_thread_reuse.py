@@ -1,0 +1,58 @@
+"""Ablation: thread reuse under varying kernel-launch overhead K.
+
+Thread reuse (Section III-C) replaces per-block kernel launches with COI
+signals.  Its value grows linearly with K: at the paper's millisecond-
+class offload latency it is essential; with a hypothetical microsecond
+launch it would hardly matter.
+"""
+
+import dataclasses
+
+from benchmarks.conftest import emit
+from repro.experiments.report import render_table
+from repro.hardware.spec import MachineSpec, MicSpec
+from repro.runtime.executor import Machine
+from repro.transforms.streaming import StreamingOptions
+from repro.workloads.suite import get_workload
+
+LAUNCH_OVERHEADS = [1.0e-5, 1.0e-4, 1.0e-3, 5.0e-3]
+
+
+def run_variant(thread_reuse: bool, launch_overhead: float) -> float:
+    workload = get_workload("kmeans")
+    workload.plan = dataclasses.replace(
+        workload.plan,
+        streaming_options=StreamingOptions(
+            num_blocks=10, thread_reuse=thread_reuse
+        ),
+    )
+    spec = MachineSpec(
+        mic=MicSpec(kernel_launch_overhead=launch_overhead)
+    )
+    machine = Machine(spec=spec, scale=workload.sim_scale)
+    return workload.run("opt", machine=machine).time
+
+
+def test_thread_reuse_vs_launch_overhead(benchmark):
+    def sweep():
+        return {
+            k: (run_variant(False, k), run_variant(True, k))
+            for k in LAUNCH_OVERHEADS
+        }
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    rows = []
+    gains = {}
+    for k, (without, with_reuse) in results.items():
+        gains[k] = without / with_reuse
+        rows.append(
+            [f"{k*1000:.2f} ms", f"{without*1000:.2f} ms",
+             f"{with_reuse*1000:.2f} ms", f"{gains[k]:.2f}x"]
+        )
+    emit(render_table(["K", "no reuse", "thread reuse", "gain"], rows))
+    # Below the COI signal cost (~20us) reuse breaks even; its benefit
+    # then grows monotonically with K.
+    assert all(g >= 0.98 for g in gains.values())
+    ordered = [gains[k] for k in LAUNCH_OVERHEADS]
+    assert ordered == sorted(ordered)
+    assert gains[LAUNCH_OVERHEADS[-1]] > 1.5

@@ -1,0 +1,20 @@
+"""Figure 1: speedups of naively offloaded OpenMP codes on the MIC.
+
+Regenerates the motivating figure: with plain offload pragmas, most of
+the twelve benchmarks run *slower* on the coprocessor than on the CPU.
+Shape target: 8 of 12 below 1.0 (paper: 8 of 12).
+"""
+
+from benchmarks.conftest import emit
+from repro.experiments.figures import figure1
+from repro.experiments.report import render_figure
+
+
+def test_figure1_naive_offload(benchmark, runner):
+    fig = benchmark.pedantic(
+        lambda: figure1(runner), rounds=1, iterations=1
+    )
+    emit(render_figure(fig))
+    losers = sum(1 for v in fig.series.values() if v < 1.0)
+    assert losers == 8
+    assert fig.series["streamcluster"] < 0.1

@@ -1,0 +1,18 @@
+"""Figure 4: data transfer time over calculation time on the MIC.
+
+For blackscholes, kmeans and nn, PCIe transfer takes longer than the
+device computation — the motivation for data streaming.
+"""
+
+from benchmarks.conftest import emit
+from repro.experiments.figures import figure4
+from repro.experiments.report import render_figure
+
+
+def test_figure4_transfer_overhead(benchmark, runner):
+    fig = benchmark.pedantic(
+        lambda: figure4(runner), rounds=1, iterations=1
+    )
+    emit(render_figure(fig))
+    for name, ratio in fig.series.items():
+        assert ratio > 1.0, (name, ratio)

@@ -1,0 +1,24 @@
+"""Figure 10: application speedups over the parallel CPU implementation.
+
+Shape targets: 9 of 12 benchmarks beat the CPU after optimization
+(paper: 9 of 12); exactly 5 of them are new winners created by the
+optimizations; the four naive winners (dedup, srad, bfs, hotspot) stay
+winners.
+"""
+
+from benchmarks.conftest import emit
+from repro.experiments.figures import figure10
+from repro.experiments.report import render_figure
+
+
+def test_figure10_overall_speedups(benchmark, runner):
+    fig = benchmark.pedantic(
+        lambda: figure10(runner), rounds=1, iterations=1
+    )
+    emit(render_figure(fig))
+    winners = {n for n, v in fig.series.items() if v > 1.0}
+    assert len(winners) == 9
+    unopt = fig.extra_series["mic without optimization"]
+    new_winners = {n for n in winners if unopt[n] < 1.0}
+    assert len(new_winners) == 5
+    assert {"dedup", "srad", "bfs", "hotspot"} <= winners

@@ -1,0 +1,19 @@
+"""Figure 12: performance gains by data streaming alone.
+
+The five streaming benchmarks of Table II, run with only the streaming
+stage enabled (merging off).  Paper average: 1.45x.
+"""
+
+from benchmarks.conftest import emit
+from repro.experiments.figures import figure12
+from repro.experiments.report import render_figure
+
+
+def test_figure12_streaming_gains(benchmark, runner):
+    fig = benchmark.pedantic(
+        lambda: figure12(runner), rounds=1, iterations=1
+    )
+    emit(render_figure(fig))
+    for name, gain in fig.series.items():
+        assert gain > 1.05, (name, gain)
+    assert 1.2 < fig.average < 2.5  # paper: 1.45x

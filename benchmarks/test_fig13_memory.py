@@ -1,0 +1,21 @@
+"""Figure 13: device memory usage after applying data streaming.
+
+Streaming's double-buffering keeps only two block buffers per input
+array on the device.  Paper: usage drops by more than 80% on the
+streamed benchmarks.  (CG's footprint is dominated by its resident
+sparse matrix, which streaming leaves on the device.)
+"""
+
+from benchmarks.conftest import emit
+from repro.experiments.figures import figure13
+from repro.experiments.report import render_figure
+
+
+def test_figure13_memory_usage(benchmark, runner):
+    fig = benchmark.pedantic(
+        lambda: figure13(runner), rounds=1, iterations=1
+    )
+    emit(render_figure(fig))
+    deep_cuts = [v for n, v in fig.series.items() if n != "CG"]
+    assert all(v < 0.35 for v in deep_cuts)
+    assert min(fig.series.values()) < 0.1

@@ -1,0 +1,22 @@
+"""Figure 14: performance gains by offload merging.
+
+streamcluster, CG and cfd offload small kernels inside an outer loop;
+merging hoists the loop into one device region.  Paper: 38.89x, 18.53x,
+27.19x (average 27.13x) — order-of-magnitude gains from eliminating
+per-iteration launches and transfers.
+"""
+
+from benchmarks.conftest import emit
+from repro.experiments.figures import figure14
+from repro.experiments.report import render_figure
+
+
+def test_figure14_merging_gains(benchmark, runner):
+    fig = benchmark.pedantic(
+        lambda: figure14(runner), rounds=1, iterations=1
+    )
+    emit(render_figure(fig, log=True))
+    for name, gain in fig.series.items():
+        assert gain > 10, (name, gain)
+    assert fig.series["streamcluster"] == max(fig.series.values())
+    assert 15 < fig.average < 45  # paper: 27.13x

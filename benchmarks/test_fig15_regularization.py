@@ -1,0 +1,19 @@
+"""Figure 15: performance gains by regularization.
+
+nn (array reordering removes the unused record fields from the bus) and
+srad (loop splitting makes the math half vectorizable).  Paper: 1.23x and
+1.25x, average 1.25x.
+"""
+
+from benchmarks.conftest import emit
+from repro.experiments.figures import figure15
+from repro.experiments.report import render_figure
+
+
+def test_figure15_regularization_gains(benchmark, runner):
+    fig = benchmark.pedantic(
+        lambda: figure15(runner), rounds=1, iterations=1
+    )
+    emit(render_figure(fig))
+    for name, gain in fig.series.items():
+        assert 1.05 < gain < 2.0, (name, gain)

@@ -1,0 +1,16 @@
+"""Table I: pointer operations on CPU and MIC.
+
+Demonstrates the augmented-pointer semantics live: translation is one
+delta-table lookup plus an add, and taking an address on the MIC stores
+the CPU address back (so shared pointers always hold CPU addresses).
+"""
+
+from benchmarks.conftest import emit
+from repro.experiments.report import render_table_data
+from repro.experiments.tables import table1_demo
+
+
+def test_table1_pointer_operations(benchmark):
+    data = benchmark.pedantic(table1_demo, rounds=1, iterations=1)
+    emit(render_table_data(data))
+    assert len(data.rows) == 3

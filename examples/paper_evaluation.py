@@ -1,0 +1,57 @@
+#!/usr/bin/env python
+"""Regenerate the paper's entire evaluation (Section VI).
+
+Runs all twelve benchmarks in their three variants and prints every
+figure and table: Figures 1, 4, 10, 11, 12, 13, 14, 15 and Tables I, II,
+III.  Expect a couple of minutes of interpretation time.
+
+Run:  python examples/paper_evaluation.py
+"""
+
+import time
+
+from repro.experiments.figures import (
+    figure1,
+    figure4,
+    figure10,
+    figure11,
+    figure12,
+    figure13,
+    figure14,
+    figure15,
+)
+from repro.experiments.harness import SuiteRunner
+from repro.experiments.report import render_figure, render_table_data
+from repro.experiments.tables import table1_demo, table2, table3
+
+
+def main() -> None:
+    runner = SuiteRunner()
+    start = time.time()
+
+    print(render_table_data(table1_demo()))
+    print()
+
+    for figure, log in (
+        (figure1, False),
+        (figure4, False),
+        (figure10, False),
+        (figure11, True),
+        (figure12, False),
+        (figure13, False),
+        (figure14, True),
+        (figure15, False),
+    ):
+        print(render_figure(figure(runner), log=log))
+        print()
+
+    print(render_table_data(table2(runner)))
+    print()
+    print(render_table_data(table3(runner)))
+    print()
+    print(f"full evaluation regenerated in {time.time() - start:.0f} s "
+          f"(simulated machine, see DESIGN.md for substitutions)")
+
+
+if __name__ == "__main__":
+    main()

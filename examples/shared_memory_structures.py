@@ -1,0 +1,101 @@
+#!/usr/bin/env python
+"""Shared memory for large pointer-based structures (Section V).
+
+Builds a ferret-style database of linked objects two ways and transfers
+it to the coprocessor:
+
+* under the **MYO baseline**, every allocation takes a shared-memory
+  descriptor slot and every first device touch faults a 4 KiB page
+  across the bus;
+* under **COMP's arena**, objects are bump-allocated into segmented
+  buffers that are bulk-DMA'd once, and device-side dereferences use the
+  bid + delta-table translation of Table I.
+
+The demo shows (a) the Table I pointer operations on a live pointer,
+(b) MYO collapsing at ferret's 80,298 allocations while the arena keeps
+going, and (c) the transfer-time gap behind Table III's 7.81x.
+
+Run:  python examples/shared_memory_structures.py
+"""
+
+from repro.errors import MyoLimitError
+from repro.runtime.arena import ArenaAllocator
+from repro.runtime.executor import Machine
+from repro.runtime.myo import MyoRuntime
+from repro.runtime.smartptr import NULL
+
+N_OBJECTS = 80_298  # ferret's runtime allocation count
+OBJ_BYTES = 1084  # 83 MB total / 80298 allocations
+
+
+def table1_demo(arena: ArenaAllocator) -> None:
+    obj = arena.deref(arena.objects[next(iter(arena.objects))].ptr)
+    ptr = obj.ptr
+    mic_addr = arena.delta.translate(ptr)
+    back = arena.delta.take_address(mic_addr, ptr.bid, on_mic=True)
+    print("Table I live demo:")
+    print(f"  *p on CPU reads addr 0x{ptr.addr:x} (bid {ptr.bid})")
+    print(f"  *p on MIC reads addr 0x{mic_addr:x} "
+          f"(= addr + delta[{ptr.bid}])")
+    print(f"  p = &obj on MIC stores 0x{back.addr:x} — the CPU address, "
+          f"round-trip exact: {back == ptr}")
+
+
+def main() -> None:
+    # --- MYO baseline -----------------------------------------------------
+    machine = Machine()
+    myo = MyoRuntime(machine.coi)
+    allocated = 0
+    try:
+        for _ in range(N_OBJECTS):
+            myo.shared_malloc(OBJ_BYTES)
+            allocated += 1
+    except MyoLimitError as exc:
+        print(f"MYO failed after {allocated} allocations: {exc}")
+        print("(the paper: ferret 'cannot run correctly using Intel MYO "
+              "due to the large number of allocations')\n")
+
+    # MYO at the reduced scale the paper measured (1500 of 3500 images).
+    reduced = int(N_OBJECTS * 1500 / 3500)
+    machine_myo = Machine()
+    myo = MyoRuntime(machine_myo.coi)
+    addrs = [myo.shared_malloc(OBJ_BYTES) for _ in range(reduced)]
+    for addr in addrs:
+        myo.device_access(addr, OBJ_BYTES)
+    myo_time = machine_myo.clock.now
+    print(f"MYO at reduced scale: {reduced} allocations, "
+          f"{myo.stats.page_faults} page faults, "
+          f"transfer {myo_time * 1000:.1f} ms")
+
+    # --- COMP arena --------------------------------------------------------
+    machine_arena = Machine()
+    arena = ArenaAllocator(chunk_bytes=16 << 20)
+    head = None
+    for _ in range(N_OBJECTS):
+        node = arena.allocate(OBJ_BYTES, next=head.ptr if head else NULL)
+        head = node
+    print(f"\narena handled all {arena.alloc_count} allocations in "
+          f"{len(arena.buffers)} buffers "
+          f"({arena.total_reserved / 2**20:.0f} MiB reserved)")
+    arena.copy_to_device(machine_arena.coi)
+    arena_time = machine_arena.clock.now
+    print(f"arena bulk DMA: {arena_time * 1000:.1f} ms")
+
+    # Traverse the linked list on the device through translated pointers.
+    count, ptr = 0, head.ptr
+    while not ptr.is_null() and count < 5:
+        obj = arena.deref(ptr, on_mic=True)
+        ptr = obj.fields["next"]
+        count += 1
+    print(f"device-side traversal through {count} translated pointers ok\n")
+
+    table1_demo(arena)
+
+    reduced_arena_time = arena_time * reduced / N_OBJECTS
+    print(f"\ntransfer-time gap at the measured scale: "
+          f"{myo_time / reduced_arena_time:.1f}x in favour of the arena "
+          f"(Table III attributes ferret's 7.81x to this mechanism)")
+
+
+if __name__ == "__main__":
+    main()

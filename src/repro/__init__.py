@@ -1,0 +1,97 @@
+"""COMP: Compiler Optimizations for Manycore Processors — a reproduction.
+
+This package reproduces Song et al., MICRO 2014: three source-to-source
+compiler optimizations (data streaming, regularization, and a
+shared-memory mechanism for pointer-based structures) for programs that
+offload parallel loops from a host CPU to a manycore coprocessor — plus
+everything needed to evaluate them without the original Xeon Phi testbed:
+
+* :mod:`repro.minic` — the C-like source language with LEO/OpenMP pragmas;
+* :mod:`repro.analysis` — affine access analysis, liveness, dependence
+  checking, offload-clause inference;
+* :mod:`repro.transforms` — the paper's optimizations as AST rewrites;
+* :mod:`repro.hardware` — the simulated host + coprocessor + PCIe machine;
+* :mod:`repro.runtime` — the offload runtime (COI-like), the MYO baseline,
+  the arena allocator with augmented pointers, and the MiniC interpreter;
+* :mod:`repro.workloads` — the twelve Table II benchmarks;
+* :mod:`repro.experiments` — harness regenerating every table and figure.
+
+Quickstart::
+
+    from repro import optimize_source, run_source
+
+    optimized = optimize_source(source_text)
+    result = run_source(optimized, arrays={...}, scalars={...})
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.minic.parser import parse
+from repro.minic.printer import to_source
+from repro.runtime.executor import (
+    ExecutionResult,
+    Executor,
+    Machine,
+    run_program,
+)
+from repro.transforms.pipeline import (
+    CompOptimizer,
+    OptimizationPlan,
+    PipelineResult,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "parse",
+    "to_source",
+    "Machine",
+    "Executor",
+    "ExecutionResult",
+    "run_program",
+    "CompOptimizer",
+    "OptimizationPlan",
+    "PipelineResult",
+    "optimize_source",
+    "run_source",
+]
+
+
+def optimize_source(
+    source: str,
+    plan: Optional[OptimizationPlan] = None,
+    auto_offload: bool = True,
+) -> str:
+    """Apply the COMP optimization pipeline to MiniC source text.
+
+    With *auto_offload* (the default), un-offloaded ``omp parallel for``
+    loops first get their offload pragmas inferred, Apricot-style — so
+    plain OpenMP source can be fed in directly.  Returns the transformed
+    source.  Inspect which optimizations fired by using
+    :class:`CompOptimizer` directly on a parsed program.
+    """
+    from repro.analysis.offload import insert_offload_pragmas
+
+    program = parse(source)
+    if auto_offload:
+        lengths = plan.array_lengths if plan else None
+        insert_offload_pragmas(program, lengths, strict=False)
+    CompOptimizer(plan).optimize(program)
+    return to_source(program)
+
+
+def run_source(
+    source: str,
+    arrays: Optional[Dict[str, np.ndarray]] = None,
+    scalars: Optional[Dict[str, object]] = None,
+    machine: Optional[Machine] = None,
+    entry: str = "main",
+) -> ExecutionResult:
+    """Parse and execute MiniC source on a simulated machine."""
+    return run_program(
+        source, arrays=arrays, scalars=scalars, machine=machine, entry=entry
+    )

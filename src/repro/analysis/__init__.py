@@ -1,0 +1,50 @@
+"""Static analyses supporting the COMP transformations.
+
+The paper's transforms each rest on a specific analysis result:
+
+* data streaming needs every array index in the loop to be affine in the
+  loop variable (:mod:`repro.analysis.array_access`),
+* offload clause inference needs the live-in / live-out sets of the loop
+  (:mod:`repro.analysis.liveness`, :mod:`repro.analysis.offload`),
+* regularization needs the irregular-access classification and the
+  guard-freedom check (:mod:`repro.analysis.array_access`),
+* loop splitting needs the cross-iteration dependence check
+  (:mod:`repro.analysis.dependence`), and
+* the memory-usage optimization needs per-loop device footprints
+  (:mod:`repro.analysis.footprint`).
+"""
+
+from repro.analysis.array_access import (
+    AccessKind,
+    ArrayAccess,
+    LinearForm,
+    classify_accesses,
+    extract_linear_form,
+    is_streamable,
+)
+from repro.analysis.dependence import check_parallel_loop, is_parallel_loop
+from repro.analysis.footprint import clause_bytes, offload_footprint
+from repro.analysis.liveness import LivenessInfo, analyze_loop_liveness
+from repro.analysis.offload import infer_offload_pragma, insert_offload_pragmas
+from repro.analysis.symbols import Scope, SymbolTable, build_symbol_table, sizeof_type
+
+__all__ = [
+    "AccessKind",
+    "ArrayAccess",
+    "LinearForm",
+    "classify_accesses",
+    "extract_linear_form",
+    "is_streamable",
+    "check_parallel_loop",
+    "is_parallel_loop",
+    "clause_bytes",
+    "offload_footprint",
+    "LivenessInfo",
+    "analyze_loop_liveness",
+    "infer_offload_pragma",
+    "insert_offload_pragmas",
+    "Scope",
+    "SymbolTable",
+    "build_symbol_table",
+    "sizeof_type",
+]

@@ -1,0 +1,282 @@
+"""Array access pattern analysis.
+
+Section III-A of the paper applies data streaming "only when all array
+indexes in a loop are in the form ``a * i + b``, where ``i`` is the loop
+index and ``a`` and ``b`` are constants".  Section IV classifies the
+irregular patterns it can regularize:
+
+* **indirect** — ``A[B[i]]``: the index is a value loaded from another
+  array (srad's ``J[iN[k]]``, the first loop of Figure 8);
+* **strided** — ``A[k * i]`` with constant ``k > 1`` (nn, the second loop
+  of Figure 8);
+* **aos** — ``P[i].field``: array-of-structures access, regularized by
+  AoS-to-SoA conversion.
+
+This module extracts linear forms from index expressions and classifies
+every array access in a loop body.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Dict, List, Optional
+
+from repro.errors import NotAffineError
+from repro.minic import ast_nodes as ast
+from repro.minic.visitor import NodeVisitor, walk
+
+
+class AccessKind(Enum):
+    """Classification of one array access relative to the loop variable."""
+
+    INVARIANT = "invariant"  # index does not involve the loop variable
+    UNIT = "unit"  # a == 1: contiguous across iterations
+    AFFINE = "affine"  # a*i + b with constant a not in {0, 1}
+    INDIRECT = "indirect"  # index reads another array (A[B[i]])
+    NONLINEAR = "nonlinear"  # e.g. A[i*i] — not analyzable
+    AOS = "aos"  # P[i].field
+
+
+@dataclass(frozen=True)
+class LinearForm:
+    """An index expression reduced to ``coeff * i + const``.
+
+    ``coeff`` and ``const`` are Python numbers when the expression uses
+    only integer literals and the loop variable; symbolic coefficients
+    (e.g. ``bsize``) are reduced against *bindings* if provided, otherwise
+    extraction fails with :class:`NotAffineError`.
+    """
+
+    coeff: int
+    const: int
+
+    @property
+    def stride(self) -> int:
+        """The per-iteration element stride (the coefficient a)."""
+        return self.coeff
+
+
+@dataclass
+class ArrayAccess:
+    """One syntactic array access inside a loop body."""
+
+    array: str
+    index: ast.Expr
+    is_write: bool
+    kind: AccessKind
+    linear: Optional[LinearForm] = None
+    guarded: bool = False  # appears under an if/ternary (Section IV safety rule)
+    field: Optional[str] = None  # set for AoS accesses
+
+
+def extract_linear_form(
+    expr: ast.Expr, loop_var: str, bindings: Optional[Dict[str, int]] = None
+) -> LinearForm:
+    """Reduce *expr* to ``a*i + b`` or raise :class:`NotAffineError`.
+
+    *bindings* supplies integer values for loop-invariant symbols that
+    appear in coefficients (e.g. a row width ``cols``); without a binding a
+    symbolic name is not a constant and extraction fails, matching the
+    conservative compile-time rule in the paper.
+    """
+    bindings = bindings or {}
+
+    def reduce(e: ast.Expr) -> LinearForm:
+        if isinstance(e, ast.IntLit):
+            return LinearForm(0, e.value)
+        if isinstance(e, ast.Ident):
+            if e.name == loop_var:
+                return LinearForm(1, 0)
+            if e.name in bindings:
+                return LinearForm(0, bindings[e.name])
+            raise NotAffineError(f"symbol {e.name!r} is not a known constant")
+        if isinstance(e, ast.UnOp) and e.op == "-":
+            inner = reduce(e.operand)
+            return LinearForm(-inner.coeff, -inner.const)
+        if isinstance(e, ast.BinOp):
+            if e.op == "+":
+                lhs, rhs = reduce(e.left), reduce(e.right)
+                return LinearForm(lhs.coeff + rhs.coeff, lhs.const + rhs.const)
+            if e.op == "-":
+                lhs, rhs = reduce(e.left), reduce(e.right)
+                return LinearForm(lhs.coeff - rhs.coeff, lhs.const - rhs.const)
+            if e.op == "*":
+                lhs, rhs = reduce(e.left), reduce(e.right)
+                if lhs.coeff != 0 and rhs.coeff != 0:
+                    raise NotAffineError("product of two loop-variant terms")
+                if lhs.coeff == 0:
+                    return LinearForm(lhs.const * rhs.coeff, lhs.const * rhs.const)
+                return LinearForm(lhs.coeff * rhs.const, lhs.const * rhs.const)
+            if e.op == "/":
+                lhs, rhs = reduce(e.left), reduce(e.right)
+                if rhs.coeff != 0 or rhs.const == 0:
+                    raise NotAffineError("division by loop-variant or zero")
+                if lhs.coeff % rhs.const or lhs.const % rhs.const:
+                    raise NotAffineError("division does not preserve linearity")
+                return LinearForm(lhs.coeff // rhs.const, lhs.const // rhs.const)
+            raise NotAffineError(f"operator {e.op!r} is not affine")
+        if isinstance(e, ast.Subscript):
+            raise NotAffineError("index depends on an array element")
+        raise NotAffineError(f"cannot analyze {type(e).__name__}")
+
+    return reduce(expr)
+
+
+def _index_uses_array(expr: ast.Expr) -> bool:
+    return any(isinstance(n, ast.Subscript) for n in walk(expr))
+
+
+def _index_uses_var(expr: ast.Expr, loop_var: str) -> bool:
+    return any(
+        isinstance(n, ast.Ident) and n.name == loop_var for n in walk(expr)
+    )
+
+
+class _AccessCollector(NodeVisitor):
+    """Walks a loop body collecting classified array accesses."""
+
+    def __init__(self, loop_var: str, bindings: Optional[Dict[str, int]] = None):
+        self.loop_var = loop_var
+        self.bindings = bindings or {}
+        self.accesses: List[ArrayAccess] = []
+        self._guard_depth = 0
+        self._write_target: Optional[ast.Expr] = None
+
+    # -- guards ------------------------------------------------------------
+
+    def visit_If(self, node: ast.If) -> None:
+        self.visit(node.cond)
+        self._guard_depth += 1
+        self.visit(node.then)
+        if node.other is not None:
+            self.visit(node.other)
+        self._guard_depth -= 1
+
+    def visit_Cond(self, node: ast.Cond) -> None:
+        self.visit(node.cond)
+        self._guard_depth += 1
+        self.visit(node.then)
+        self.visit(node.other)
+        self._guard_depth -= 1
+
+    # -- writes --------------------------------------------------------------
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        self._write_target = node.target
+        self.visit(node.target)
+        self._write_target = None
+        self.visit(node.value)
+        if node.op != "=" and isinstance(node.target, (ast.Subscript, ast.Member)):
+            # Compound assignment also reads the target element.
+            self._record(node.target, is_write=False)
+
+    # -- reads -----------------------------------------------------------------
+
+    def visit_Subscript(self, node: ast.Subscript) -> None:
+        self._record(node, is_write=self._write_target is node)
+        # Recurse into the index to catch nested accesses (B[i] in A[B[i]]).
+        saved = self._write_target
+        self._write_target = None
+        self.visit(node.index)
+        self._write_target = saved
+        if not isinstance(node.base, ast.Ident):
+            self.visit(node.base)
+
+    def visit_Member(self, node: ast.Member) -> None:
+        if isinstance(node.base, ast.Subscript):
+            self._record(
+                node.base,
+                is_write=self._write_target is node,
+                field=node.field,
+            )
+            saved = self._write_target
+            self._write_target = None
+            self.visit(node.base.index)
+            self._write_target = saved
+        else:
+            self.generic_visit(node)
+
+    # -- recording -------------------------------------------------------------
+
+    def _record(
+        self, node: ast.Subscript, is_write: bool, field: Optional[str] = None
+    ) -> None:
+        if not isinstance(node.base, ast.Ident):
+            return
+        array = node.base.name
+        kind, linear = self._classify(node.index)
+        if field is not None and kind in (AccessKind.UNIT, AccessKind.AFFINE):
+            kind = AccessKind.AOS
+        self.accesses.append(
+            ArrayAccess(
+                array=array,
+                index=node.index,
+                is_write=is_write,
+                kind=kind,
+                linear=linear,
+                guarded=self._guard_depth > 0,
+                field=field,
+            )
+        )
+
+    def _classify(self, index: ast.Expr):
+        if _index_uses_array(index):
+            return AccessKind.INDIRECT, None
+        try:
+            form = extract_linear_form(index, self.loop_var, self.bindings)
+        except NotAffineError:
+            if _index_uses_var(index, self.loop_var):
+                return AccessKind.NONLINEAR, None
+            return AccessKind.INVARIANT, None
+        if form.coeff == 0:
+            return AccessKind.INVARIANT, form
+        if form.coeff == 1:
+            return AccessKind.UNIT, form
+        return AccessKind.AFFINE, form
+
+
+def loop_variable(loop: ast.For) -> str:
+    """Extract the induction variable name from a canonical for loop."""
+    if isinstance(loop.init, ast.VarDecl):
+        return loop.init.name
+    if isinstance(loop.init, ast.Assign) and isinstance(loop.init.target, ast.Ident):
+        return loop.init.target.name
+    raise NotAffineError("loop has no recognizable induction variable")
+
+
+def classify_accesses(
+    loop: ast.For, bindings: Optional[Dict[str, int]] = None
+) -> List[ArrayAccess]:
+    """Classify every array access in the body of *loop*."""
+    collector = _AccessCollector(loop_variable(loop), bindings)
+    collector.visit(loop.body)
+    return collector.accesses
+
+
+def is_streamable(
+    loop: ast.For, bindings: Optional[Dict[str, int]] = None
+) -> bool:
+    """The paper's streaming legality check (Section III-A).
+
+    True when every array access in the loop is affine in the loop
+    variable — i.e. no indirect, nonlinear, or AoS accesses.  Invariant
+    accesses are fine (scalars and broadcast reads are copied once).
+    """
+    allowed = {AccessKind.UNIT, AccessKind.AFFINE, AccessKind.INVARIANT}
+    return all(a.kind in allowed for a in classify_accesses(loop, bindings))
+
+
+def irregular_accesses(
+    loop: ast.For, bindings: Optional[Dict[str, int]] = None
+) -> List[ArrayAccess]:
+    """Accesses that block streaming/vectorization (Section IV targets)."""
+    bad = {AccessKind.INDIRECT, AccessKind.NONLINEAR, AccessKind.AOS}
+    result = [a for a in classify_accesses(loop, bindings) if a.kind in bad]
+    # Strided accesses (constant coeff > 1) are also irregular per Figure 8.
+    result.extend(
+        a
+        for a in classify_accesses(loop, bindings)
+        if a.kind is AccessKind.AFFINE and abs(a.linear.coeff) > 1
+    )
+    return result

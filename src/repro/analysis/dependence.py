@@ -1,0 +1,112 @@
+"""Cross-iteration dependence checking for parallel loops.
+
+The paper assumes its input loops are already parallel ("since we only
+consider parallel loops (i.e., no cross-iteration dependences in the
+loops)", Section IV) — but the transforms still verify this before
+splitting or reordering, because splitting a loop with a loop-carried
+dependence would change program meaning.
+
+The check is a conservative syntactic test sufficient for the benchmark
+loop shapes:
+
+* every array written at index ``f(i)`` must only be read at the same
+  linear form ``f(i)`` inside the loop (element-wise updates are fine;
+  reading a neighbour of a written array is not);
+* every scalar written must be private (declared in the body / listed in
+  ``private``) or a declared reduction;
+* writes through indirect indexes (``A[B[i]]``) are treated as dependent
+  unless the loop's pragma claims parallelism — matching the paper, which
+  trusts the programmer's ``omp parallel for`` for such loops but refuses
+  to *transform* guarded irregular writes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.minic import ast_nodes as ast
+from repro.minic.visitor import get_pragma
+from repro.analysis.array_access import (
+    AccessKind,
+    classify_accesses,
+    loop_variable,
+)
+from repro.analysis.liveness import analyze_loop_liveness
+
+
+@dataclass
+class DependenceReport:
+    """Result of the parallel-loop check."""
+
+    parallel: bool
+    violations: List[str] = field(default_factory=list)
+
+
+def check_parallel_loop(
+    loop: ast.For, bindings: Optional[dict] = None
+) -> DependenceReport:
+    """Check *loop* for cross-iteration dependences (conservatively)."""
+    violations: List[str] = []
+    accesses = classify_accesses(loop, bindings)
+    liveness = analyze_loop_liveness(loop)
+    omp = get_pragma(loop, ast.OmpParallelFor)
+    reductions = {var for _, var in omp.reduction} if omp else set()
+
+    # -- scalar writes must be private or reductions ------------------------
+    scalar_writes = liveness.defined & liveness.scalars
+    for name in sorted(scalar_writes):
+        if name not in liveness.private and name not in reductions:
+            violations.append(
+                f"scalar {name!r} is written but neither private nor a reduction"
+            )
+
+    # -- array write/read index forms must match -----------------------------
+    by_array: dict = {}
+    for access in accesses:
+        by_array.setdefault(access.array, []).append(access)
+
+    for array, accs in sorted(by_array.items()):
+        writes = [a for a in accs if a.is_write]
+        reads = [a for a in accs if not a.is_write]
+        if not writes:
+            continue
+        for write in writes:
+            if write.kind is AccessKind.INDIRECT:
+                if omp is None:
+                    violations.append(
+                        f"indirect write to {array!r} without a parallel pragma"
+                    )
+                continue
+            if write.kind is AccessKind.NONLINEAR:
+                violations.append(f"nonlinear write index on {array!r}")
+                continue
+            if write.kind is AccessKind.INVARIANT:
+                if array not in reductions:
+                    violations.append(
+                        f"loop-invariant write index on {array!r} (all iterations "
+                        f"write the same element)"
+                    )
+                continue
+            for read in reads:
+                if read.kind in (AccessKind.INDIRECT, AccessKind.NONLINEAR):
+                    violations.append(
+                        f"array {array!r} is written at a linear index but read "
+                        f"indirectly"
+                    )
+                elif read.linear != write.linear:
+                    violations.append(
+                        f"array {array!r} written at "
+                        f"{write.linear.coeff}*i+{write.linear.const} but read at "
+                        f"{read.linear.coeff}*i+{read.linear.const}"
+                    )
+    return DependenceReport(parallel=not violations, violations=violations)
+
+
+def is_parallel_loop(loop: ast.For, bindings: Optional[dict] = None) -> bool:
+    """True when no cross-iteration dependence is detected."""
+    try:
+        loop_variable(loop)
+    except Exception:
+        return False
+    return check_parallel_loop(loop, bindings).parallel

@@ -1,0 +1,89 @@
+"""Device memory footprint estimation for offload pragmas.
+
+Section III-B motivates the memory-usage optimization: "There is at most
+8 GB memory available on MIC ... Applications with large memory footprints
+cannot be directly offloaded to MIC."  The streaming transform needs to
+know how many bytes an offload's clauses will allocate on the device, both
+to decide whether double-buffering is required and to report the >80%
+memory savings of Figure 13.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional
+
+from repro.errors import AnalysisError
+from repro.minic import ast_nodes as ast
+
+
+def eval_int_expr(expr: ast.Expr, env: Mapping[str, int]) -> int:
+    """Evaluate a clause expression to an integer given scalar bindings."""
+    if isinstance(expr, ast.IntLit):
+        return expr.value
+    if isinstance(expr, ast.FloatLit):
+        return int(expr.value)
+    if isinstance(expr, ast.Ident):
+        if expr.name not in env:
+            raise AnalysisError(f"unbound symbol {expr.name!r} in clause expression")
+        return int(env[expr.name])
+    if isinstance(expr, ast.UnOp) and expr.op == "-":
+        return -eval_int_expr(expr.operand, env)
+    if isinstance(expr, ast.BinOp):
+        left = eval_int_expr(expr.left, env)
+        right = eval_int_expr(expr.right, env)
+        ops = {
+            "+": lambda a, b: a + b,
+            "-": lambda a, b: a - b,
+            "*": lambda a, b: a * b,
+            "/": lambda a, b: a // b,
+            "%": lambda a, b: a % b,
+        }
+        if expr.op not in ops:
+            raise AnalysisError(f"operator {expr.op!r} not allowed in clauses")
+        return ops[expr.op](left, right)
+    if isinstance(expr, ast.Cond):
+        return (
+            eval_int_expr(expr.then, env)
+            if eval_int_expr(expr.cond, env)
+            else eval_int_expr(expr.other, env)
+        )
+    if isinstance(expr, ast.Call) and expr.func in ("min", "max"):
+        args = [eval_int_expr(a, env) for a in expr.args]
+        return min(args) if expr.func == "min" else max(args)
+    raise AnalysisError(f"cannot evaluate {type(expr).__name__} in clause")
+
+
+def clause_bytes(
+    clause: ast.TransferClause,
+    env: Mapping[str, int],
+    element_size: int = 4,
+) -> int:
+    """Bytes the device must hold for one transfer clause.
+
+    A clause without a length describes a scalar (one element).  ``nocopy``
+    clauses still name device storage when sized, so they count toward the
+    footprint but not toward transfer volume (the caller distinguishes).
+    """
+    if clause.length is None:
+        return element_size
+    return eval_int_expr(clause.length, env) * element_size
+
+
+def offload_footprint(
+    pragma: ast.OffloadPragma,
+    env: Mapping[str, int],
+    element_sizes: Optional[Dict[str, int]] = None,
+) -> int:
+    """Total device bytes allocated by an offload's clauses.
+
+    Clauses targeting the same device buffer (via ``into``) are counted
+    once per destination buffer — re-transfers into an existing buffer do
+    not grow the footprint.
+    """
+    element_sizes = element_sizes or {}
+    seen: Dict[str, int] = {}
+    for clause in pragma.clauses:
+        dest = clause.into or clause.var
+        size = clause_bytes(clause, env, element_sizes.get(clause.var, 4))
+        seen[dest] = max(seen.get(dest, 0), size)
+    return sum(seen.values())

@@ -1,0 +1,185 @@
+"""Use/def and liveness analysis for offload regions.
+
+Apricot (the framework the paper builds on) "provides modules for liveness
+analysis ... and insertion of offload primitives".  We reproduce the part
+COMP needs: given a parallel loop, determine which variables are
+
+* **live-in** — read inside the loop before any write (must be copied to
+  the device: the ``in`` clauses),
+* **defined** — written inside the loop (results the host may need back:
+  the ``out`` clauses; read-and-written arrays become ``inout``),
+* **private** — locals declared inside the loop body or listed in the
+  ``private`` clause (no transfer at all).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Set
+
+from repro.minic import ast_nodes as ast
+from repro.minic.visitor import NodeVisitor, walk
+
+#: Math builtins that look like identifiers in call position.
+BUILTIN_FUNCTIONS = frozenset(
+    {
+        "exp",
+        "log",
+        "sqrt",
+        "fabs",
+        "pow",
+        "sin",
+        "cos",
+        "floor",
+        "ceil",
+        "min",
+        "max",
+        "abs",
+    }
+)
+
+
+@dataclass
+class LivenessInfo:
+    """Liveness facts about one loop."""
+
+    live_in: Set[str] = field(default_factory=set)
+    defined: Set[str] = field(default_factory=set)
+    private: Set[str] = field(default_factory=set)
+    arrays: Set[str] = field(default_factory=set)
+    scalars: Set[str] = field(default_factory=set)
+
+    @property
+    def in_only(self) -> Set[str]:
+        """Names read but never written: the in clauses."""
+        return self.live_in - self.defined
+
+    @property
+    def out_only(self) -> Set[str]:
+        """Names written but never read: the out clauses."""
+        return self.defined - self.live_in
+
+    @property
+    def inout(self) -> Set[str]:
+        """Names both read and written: the inout clauses."""
+        return self.defined & self.live_in
+
+
+class _UseDefCollector(NodeVisitor):
+    """Collects reads, writes, private declarations and array names.
+
+    The traversal is syntactic and flow-insensitive except for the
+    read-before-write distinction on scalars: a scalar first assigned and
+    then read within the same iteration is not live-in (it is effectively
+    private), which is exactly the pattern of temporaries like srad's
+    ``float Jc = J[k];``.
+    """
+
+    def __init__(self) -> None:
+        self.reads: Set[str] = set()
+        self.writes: Set[str] = set()
+        self.declared: Set[str] = set()
+        self.arrays: Set[str] = set()
+        self.written_first: Set[str] = set()
+
+    def visit_VarDecl(self, node: ast.VarDecl) -> None:
+        if node.init is not None:
+            self.visit(node.init)
+        self.declared.add(node.name)
+        self.writes.add(node.name)
+        self.written_first.add(node.name)
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        self.visit(node.value)
+        target = node.target
+        if isinstance(target, ast.Ident):
+            if node.op != "=":
+                self._read(target.name)
+            if target.name not in self.reads:
+                self.written_first.add(target.name)
+            self.writes.add(target.name)
+        elif isinstance(target, ast.Subscript):
+            self._array_target(target, compound=node.op != "=")
+        elif isinstance(target, ast.Member):
+            base = target.base
+            if isinstance(base, ast.Subscript):
+                self._array_target(base, compound=node.op != "=")
+            else:
+                self.visit(base)
+        else:
+            self.visit(target)
+
+    def _array_target(self, target: ast.Subscript, compound: bool) -> None:
+        if isinstance(target.base, ast.Ident):
+            name = target.base.name
+            self.arrays.add(name)
+            self.writes.add(name)
+            if compound:
+                self._read(name)
+            elif name not in self.reads:
+                # Written before any read: a region-local intermediate
+                # (cfd's flux/factor) — its old contents need not be
+                # transferred in.
+                self.written_first.add(name)
+        else:
+            self.visit(target.base)
+        self.visit(target.index)
+
+    def visit_Subscript(self, node: ast.Subscript) -> None:
+        if isinstance(node.base, ast.Ident):
+            self.arrays.add(node.base.name)
+            self._read(node.base.name)
+        else:
+            self.visit(node.base)
+        self.visit(node.index)
+
+    def visit_Ident(self, node: ast.Ident) -> None:
+        self._read(node.name)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        for arg in node.args:
+            self.visit(arg)
+
+    def _read(self, name: str) -> None:
+        if name not in self.written_first:
+            self.reads.add(name)
+
+
+def analyze_loop_liveness(loop: ast.For) -> LivenessInfo:
+    """Compute liveness facts for *loop* (excluding the loop variable)."""
+    collector = _UseDefCollector()
+    collector.visit(loop.body)
+
+    loop_locals = set(collector.declared)
+    induction = set()
+    if isinstance(loop.init, ast.VarDecl):
+        induction.add(loop.init.name)
+    elif isinstance(loop.init, ast.Assign) and isinstance(
+        loop.init.target, ast.Ident
+    ):
+        induction.add(loop.init.target.name)
+
+    for pragma in loop.pragmas:
+        if isinstance(pragma, ast.OmpParallelFor):
+            loop_locals.update(pragma.private)
+
+    # The loop bound/condition names are live-in scalars too (needed on the
+    # device to run the loop), except the induction variable itself.
+    bound_reads: Set[str] = set()
+    for expr in (loop.cond,):
+        if expr is not None:
+            bound_reads.update(
+                n.name for n in walk(expr) if isinstance(n, ast.Ident)
+            )
+
+    hidden = loop_locals | induction | BUILTIN_FUNCTIONS
+    live_in = (collector.reads | bound_reads) - hidden
+    defined = collector.writes - hidden
+
+    return LivenessInfo(
+        live_in=live_in,
+        defined=defined,
+        private=loop_locals,
+        arrays=collector.arrays - hidden,
+        scalars=(live_in | defined) - collector.arrays,
+    )

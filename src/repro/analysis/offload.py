@@ -1,0 +1,201 @@
+"""Offload-region identification and clause inference (Apricot-like).
+
+The paper's baseline MIC versions were produced by "adding pragmas to
+offload the parallel loops" — Apricot automates exactly that: find
+``omp parallel for`` loops and synthesize the ``#pragma offload`` with its
+``in``/``out``/``inout`` clauses from liveness and access analysis.  Our
+Figure 1 experiment uses this pass to create the unoptimized MIC versions
+of the twelve benchmarks.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.errors import AnalysisError
+from repro.minic import ast_nodes as ast
+from repro.minic.visitor import NodeTransformer, get_pragma, clone
+from repro.analysis.array_access import (
+    AccessKind,
+    classify_accesses,
+    loop_variable,
+)
+from repro.analysis.liveness import analyze_loop_liveness
+
+
+def loop_bound(loop: ast.For) -> ast.Expr:
+    """Extract the iteration-count expression of a canonical loop.
+
+    Handles ``i < bound`` / ``i <= bound`` with a zero or nonzero start.
+    """
+    var = loop_variable(loop)
+    cond = loop.cond
+    if not isinstance(cond, ast.BinOp) or cond.op not in ("<", "<="):
+        raise AnalysisError("loop condition is not i < bound")
+    if not (isinstance(cond.left, ast.Ident) and cond.left.name == var):
+        raise AnalysisError("loop condition does not compare the loop variable")
+    bound = cond.right
+    if cond.op == "<=":
+        bound = ast.BinOp("+", clone(bound), ast.IntLit(1))
+    start = _loop_start(loop)
+    if isinstance(start, ast.IntLit) and start.value == 0:
+        return bound
+    return ast.BinOp("-", clone(bound), clone(start))
+
+
+def _loop_start(loop: ast.For) -> ast.Expr:
+    if isinstance(loop.init, ast.VarDecl) and loop.init.init is not None:
+        return loop.init.init
+    if isinstance(loop.init, ast.Assign):
+        return loop.init.value
+    raise AnalysisError("loop has no recognizable start value")
+
+
+def infer_offload_pragma(
+    loop: ast.For,
+    array_lengths: Optional[Dict[str, ast.Expr]] = None,
+    target: int = 0,
+) -> ast.OffloadPragma:
+    """Synthesize the ``#pragma offload`` for a parallel loop.
+
+    *array_lengths* supplies whole-array lengths for arrays whose extent
+    cannot be derived from the loop (indirect accesses transfer the entire
+    array — exactly the waste regularization later removes).
+    """
+    array_lengths = array_lengths or {}
+    liveness = analyze_loop_liveness(loop)
+    accesses = classify_accesses(loop)
+    bound = loop_bound(loop)
+
+    extents: Dict[str, ast.Expr] = {}
+    for access in accesses:
+        length = _access_extent(access, bound, array_lengths)
+        if length is None:
+            continue
+        previous = extents.get(access.array)
+        extents[access.array] = _max_extent(previous, length)
+
+    pragma = ast.OffloadPragma(target=target)
+
+    def add(direction: str, name: str) -> None:
+        if name in liveness.arrays:
+            length = extents.get(name)
+            if length is None:
+                if name not in array_lengths:
+                    raise AnalysisError(
+                        f"cannot infer transfer length for array {name!r}"
+                    )
+                length = clone(array_lengths[name])
+            pragma.clauses.append(
+                ast.TransferClause(direction, name, length=length)
+            )
+        else:
+            pragma.clauses.append(ast.TransferClause(direction, name))
+
+    # A write-only array whose writes are all guarded may leave elements
+    # untouched; the copy-back would replace them with uninitialized device
+    # memory unless the original contents are transferred in first.
+    partially_written = set()
+    for name in liveness.out_only:
+        writes = [a for a in accesses if a.array == name and a.is_write]
+        if writes and all(a.guarded for a in writes):
+            partially_written.add(name)
+
+    for name in sorted(liveness.in_only):
+        add("in", name)
+    for name in sorted(liveness.inout | partially_written):
+        add("inout", name)
+    for name in sorted(liveness.out_only - partially_written):
+        add("out", name)
+    return pragma
+
+
+def _access_extent(
+    access, bound: ast.Expr, array_lengths: Dict[str, ast.Expr]
+) -> Optional[ast.Expr]:
+    """Upper bound on elements of the accessed array touched by the loop."""
+    if access.guarded and access.array in array_lengths:
+        # A guard may clamp the index range (boundary stencils); the
+        # caller-provided whole-array length is the safe extent.
+        return clone(array_lengths[access.array])
+    if access.kind is AccessKind.UNIT:
+        extent: ast.Expr = clone(bound)
+        if access.linear.const:
+            extent = ast.BinOp("+", extent, ast.IntLit(access.linear.const))
+        return extent
+    if access.kind is AccessKind.AFFINE:
+        # Last touched element is a*(bound-1) + b; extent is that plus one.
+        coeff = abs(access.linear.coeff)
+        last = ast.BinOp("-", clone(bound), ast.IntLit(1))
+        extent = ast.BinOp("*", ast.IntLit(coeff), last)
+        extent = ast.BinOp("+", extent, ast.IntLit(access.linear.const + 1))
+        return extent
+    if access.kind in (AccessKind.INDIRECT, AccessKind.NONLINEAR, AccessKind.AOS):
+        # Whole-array transfer; caller-provided length (or None to defer).
+        length = array_lengths.get(access.array)
+        return clone(length) if length is not None else None
+    return None  # invariant: scalar-like, handled by liveness
+
+
+def _max_extent(a: Optional[ast.Expr], b: ast.Expr) -> ast.Expr:
+    if a is None:
+        return b
+    if a == b:
+        return a
+    return ast.Call("max", [a, b])
+
+
+class _OffloadInserter(NodeTransformer):
+    def __init__(
+        self,
+        array_lengths: Optional[Dict[str, ast.Expr]],
+        target: int,
+        strict: bool = True,
+    ):
+        self.array_lengths = array_lengths
+        self.target = target
+        self.strict = strict
+        self.count = 0
+
+    def visit_OffloadBlock(self, node: ast.OffloadBlock) -> ast.OffloadBlock:
+        # Code already inside a device region must not be offloaded again.
+        return node
+
+    def visit_For(self, node: ast.For) -> ast.For:
+        if get_pragma(node, ast.OffloadPragma) is not None:
+            return node  # already a device region; don't annotate inside
+        has_omp = get_pragma(node, ast.OmpParallelFor) is not None
+        if has_omp:
+            try:
+                pragma = infer_offload_pragma(
+                    node, self.array_lengths, self.target
+                )
+            except AnalysisError:
+                if self.strict:
+                    raise
+                # Cannot work out the transfers: leave the loop on the
+                # host rather than emit an unsound offload.
+                self.generic_visit(node)
+                return node
+            node.pragmas.insert(0, pragma)
+            self.count += 1
+            return node  # the loop body now runs on the device
+        self.generic_visit(node)
+        return node
+
+
+def insert_offload_pragmas(
+    program: ast.Program,
+    array_lengths: Optional[Dict[str, ast.Expr]] = None,
+    target: int = 0,
+    strict: bool = True,
+) -> int:
+    """Annotate every un-offloaded ``omp parallel for`` loop in place.
+
+    With *strict* (the default), failing to infer a loop's transfers
+    raises; otherwise that loop is left on the host.  Returns the number
+    of offload pragmas inserted.
+    """
+    inserter = _OffloadInserter(array_lengths, target, strict=strict)
+    inserter.visit(program)
+    return inserter.count

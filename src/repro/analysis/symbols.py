@@ -1,0 +1,115 @@
+"""Symbol tables and type sizes for MiniC programs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.errors import SymbolError
+from repro.minic import ast_nodes as ast
+from repro.minic.visitor import walk
+
+#: Byte sizes of the scalar types, matching a typical LP64 C ABI on MIC.
+SCALAR_SIZES = {"int": 4, "float": 4, "double": 8, "char": 1, "void": 0}
+
+#: Size of a (plain, untranslated) pointer.
+POINTER_SIZE = 8
+
+
+@dataclass
+class Scope:
+    """One lexical scope mapping names to declared types."""
+
+    parent: Optional["Scope"] = None
+    symbols: Dict[str, ast.Type] = field(default_factory=dict)
+
+    def declare(self, name: str, typ: ast.Type) -> None:
+        """Bind *name* to *typ*; redeclaration raises SymbolError."""
+        if name in self.symbols:
+            raise SymbolError(f"redeclaration of {name!r}")
+        self.symbols[name] = typ
+
+    def lookup(self, name: str) -> Optional[ast.Type]:
+        """Resolve *name* through the scope chain; None if unbound."""
+        scope: Optional[Scope] = self
+        while scope is not None:
+            if name in scope.symbols:
+                return scope.symbols[name]
+            scope = scope.parent
+        return None
+
+
+@dataclass
+class SymbolTable:
+    """Program-wide symbol information.
+
+    ``globals_`` holds file-scope declarations; ``functions`` maps each
+    function to a scope containing its parameters and every local declared
+    anywhere in its body (MiniC transforms do not need precise block
+    scoping — names are unique enough in the benchmark programs, and the
+    streaming transform generates fresh names).
+    """
+
+    structs: Dict[str, ast.StructDef] = field(default_factory=dict)
+    globals_: Scope = field(default_factory=Scope)
+    functions: Dict[str, Scope] = field(default_factory=dict)
+
+    def type_of(self, func: str, name: str) -> Optional[ast.Type]:
+        """The declared type of *name* as seen from *func*."""
+        scope = self.functions.get(func)
+        if scope is not None:
+            found = scope.lookup(name)
+            if found is not None:
+                return found
+        return self.globals_.lookup(name)
+
+    def element_size(self, func: str, name: str) -> int:
+        """Byte size of one element of array/pointer *name* (4 if unknown).
+
+        Unknown names default to ``float`` size, which matches the
+        benchmarks' dominant element type and keeps footprint estimation
+        usable on partially-typed fragments.
+        """
+        typ = self.type_of(func, name)
+        if isinstance(typ, (ast.PointerType, ast.ArrayType)):
+            return sizeof_type(typ.base, self.structs)
+        if typ is not None:
+            return sizeof_type(typ, self.structs)
+        return SCALAR_SIZES["float"]
+
+
+def sizeof_type(typ: ast.Type, structs: Optional[Dict[str, ast.StructDef]] = None) -> int:
+    """Compute the byte size of *typ* (structs are packed, no padding)."""
+    if isinstance(typ, ast.BaseType):
+        return SCALAR_SIZES[typ.name]
+    if isinstance(typ, ast.PointerType):
+        return POINTER_SIZE
+    if isinstance(typ, ast.StructType):
+        if structs is None or typ.name not in structs:
+            raise SymbolError(f"unknown struct {typ.name!r}")
+        return sum(sizeof_type(f.type, structs) for f in structs[typ.name].fields_)
+    if isinstance(typ, ast.ArrayType):
+        if not isinstance(typ.size, ast.IntLit):
+            raise SymbolError("cannot size array without a constant length")
+        return typ.size.value * sizeof_type(typ.base, structs)
+    raise SymbolError(f"cannot size type {typ!r}")
+
+
+def build_symbol_table(program: ast.Program) -> SymbolTable:
+    """Collect structs, globals, parameters and locals of *program*."""
+    table = SymbolTable()
+    for struct in program.structs():
+        table.structs[struct.name] = struct
+    for decl in program.decls:
+        if isinstance(decl, ast.GlobalDecl):
+            table.globals_.declare(decl.decl.name, decl.decl.type)
+    for func in program.functions():
+        scope = Scope(parent=table.globals_)
+        for param in func.params:
+            scope.declare(param.name, param.type)
+        if func.body is not None:
+            for node in walk(func.body):
+                if isinstance(node, ast.VarDecl) and node.name not in scope.symbols:
+                    scope.declare(node.name, node.type)
+        table.functions[func.name] = scope
+    return table

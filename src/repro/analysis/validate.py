@@ -1,0 +1,222 @@
+"""Static validation (lint) of offload pragma consistency.
+
+Transformed programs contain intricate pragma choreography — prologue
+allocations, ``alloc_if(0)`` reuse, signal/wait pairs, epilogue frees.
+This pass checks, in program order (loop bodies visited once):
+
+* **use-before-alloc** — a clause reuses a device buffer
+  (``alloc_if(0)``) that no earlier clause allocated;
+* **use-after-free** — a buffer is referenced after ``free_if(1)``
+  outside the loop that also (re)allocates it;
+* **leaked buffers** — allocated with ``free_if(0)`` and never freed
+  (warning);
+* **unmatched waits** — ``wait(tag)`` on a syntactically constant tag
+  with no earlier ``signal(tag)`` (dynamic tags are skipped);
+* **untransferred data** — an offload body touching an array that no
+  clause names (the static twin of the executor's
+  ``MissingTransferError``).
+
+The checker is a lint, not a verifier: loops are scanned once in source
+order, which matches how the streaming/merging transforms lay pragmas
+out.  Findings are returned as :class:`Diagnostic` records.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set
+
+from repro.analysis.liveness import analyze_loop_liveness
+from repro.minic import ast_nodes as ast
+from repro.minic.printer import to_source
+from repro.minic.visitor import walk
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    level: str  # "error" | "warning"
+    code: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"{self.level}[{self.code}]: {self.message}"
+
+
+class _State:
+    def __init__(self) -> None:
+        self.allocated: Set[str] = set()
+        self.freed: Set[str] = set()
+        self.signals: Set[str] = set()
+        self.diagnostics: List[Diagnostic] = []
+
+    def error(self, code: str, message: str) -> None:
+        self.diagnostics.append(Diagnostic("error", code, message))
+
+    def warning(self, code: str, message: str) -> None:
+        self.diagnostics.append(Diagnostic("warning", code, message))
+
+
+def _flag(expr: Optional[ast.Expr], default: bool) -> Optional[bool]:
+    """Evaluate an alloc_if/free_if expression when it is a literal."""
+    if expr is None:
+        return default
+    if isinstance(expr, ast.IntLit):
+        return bool(expr.value)
+    return None  # dynamic: cannot lint
+
+
+def _const_tag(expr: Optional[ast.Expr]) -> Optional[str]:
+    # Only literal tags are statically matchable; identifiers and
+    # arithmetic (streaming's wait(__k)) are dynamic.
+    if isinstance(expr, ast.IntLit):
+        return to_source(expr)
+    return None
+
+
+def _check_clause(
+    clause: ast.TransferClause, state: _State, transient: bool
+) -> None:
+    """Track one clause's allocation effects.
+
+    *transient* marks clauses of an unoptimized offload whose default
+    lifetime is allocate-then-free within the same offload.
+    """
+    dest = clause.into or clause.var
+    if clause.direction == "out":
+        dest = clause.var  # the device-side name of an out clause
+    alloc = _flag(clause.alloc_if, default=True)
+    free = _flag(
+        clause.free_if,
+        default=(clause.direction != "nocopy") and transient,
+    )
+    if alloc is False and dest not in state.allocated:
+        state.error(
+            "use-before-alloc",
+            f"clause {clause.direction}({dest}) reuses a device buffer "
+            f"never allocated",
+        )
+    if alloc is not False and dest in state.freed:
+        state.freed.discard(dest)
+    if dest in state.freed and alloc is False:
+        state.error(
+            "use-after-free",
+            f"clause {clause.direction}({dest}) uses a freed device buffer",
+        )
+    if alloc is not False:
+        state.allocated.add(dest)
+    if free is True:
+        state.freed.add(dest)
+        state.allocated.discard(dest)
+
+
+def _kernel_data_check(
+    body: ast.Stmt,
+    loop: Optional[ast.For],
+    pragma: ast.OffloadPragma,
+    state: _State,
+) -> None:
+    """Everything the kernel touches must be named by some clause."""
+    target = loop if loop is not None else body
+    if isinstance(target, ast.For):
+        liveness = analyze_loop_liveness(target)
+        needed = liveness.live_in | (liveness.defined & liveness.arrays)
+    else:
+        # Block region: reuse the loop analyzer through a synthetic loop.
+        synthetic = ast.For(
+            init=ast.VarDecl("__v", ast.INT, ast.IntLit(0)),
+            cond=ast.BinOp("<", ast.Ident("__v"), ast.IntLit(1)),
+            step=ast.Assign(ast.Ident("__v"), ast.IntLit(1), "+="),
+            body=body,
+        )
+        liveness = analyze_loop_liveness(synthetic)
+        needed = liveness.live_in | (liveness.defined & liveness.arrays)
+    named = {c.var for c in pragma.clauses} | {
+        c.into for c in pragma.clauses if c.into
+    }
+    for name in sorted(needed - named):
+        if name in liveness.arrays:
+            state.error(
+                "untransferred-array",
+                f"offload body touches array {name!r} but no clause names it",
+            )
+        # Scalars may be device-resident from earlier offloads; warn only.
+
+
+def _scan_statements(node: ast.Node, state: _State) -> None:
+    """Program-order scan (loop bodies once)."""
+    if isinstance(node, ast.PragmaStmt):
+        pragma = node.pragma
+        if isinstance(pragma, ast.OffloadTransferPragma):
+            for clause in pragma.clauses:
+                _check_clause(clause, state, transient=False)
+            tag = _const_tag(pragma.signal)
+            if tag is not None:
+                state.signals.add(tag)
+        elif isinstance(pragma, ast.OffloadWaitPragma):
+            tag = _const_tag(pragma.wait)
+            if tag is not None and tag not in state.signals:
+                state.error(
+                    "unmatched-wait",
+                    f"offload_wait on tag {tag} with no earlier signal",
+                )
+        return
+    if isinstance(node, ast.For):
+        offload = next(
+            (p for p in node.pragmas if isinstance(p, ast.OffloadPragma)), None
+        )
+        if offload is not None:
+            _check_offload(offload, node.body, node, state)
+        for child in node.children():
+            _scan_statements(child, state)
+        return
+    if isinstance(node, ast.OffloadBlock):
+        _check_offload(node.pragma, node.body, None, state)
+        for child in node.body.children():
+            _scan_statements(child, state)
+        return
+    for child in node.children():
+        _scan_statements(child, state)
+
+
+def _check_offload(
+    pragma: ast.OffloadPragma,
+    body: ast.Stmt,
+    loop: Optional[ast.For],
+    state: _State,
+) -> None:
+    for clause in pragma.clauses:
+        _check_clause(clause, state, transient=True)
+    tag = _const_tag(pragma.signal)
+    if tag is not None:
+        state.signals.add(tag)
+    wait_tag = _const_tag(pragma.wait)
+    if wait_tag is not None and wait_tag not in state.signals:
+        state.error(
+            "unmatched-wait",
+            f"offload waits on tag {wait_tag} with no earlier signal",
+        )
+    _kernel_data_check(body, loop, pragma, state)
+
+
+def validate_program(program: ast.Program) -> List[Diagnostic]:
+    """Lint *program*'s offload choreography; returns diagnostics."""
+    state = _State()
+    for func in program.functions():
+        if func.body is not None:
+            _scan_statements(func.body, state)
+    for name in sorted(state.allocated):
+        state.warning(
+            "leaked-buffer",
+            f"device buffer {name!r} allocated with free_if(0) but never freed",
+        )
+    return state.diagnostics
+
+
+def assert_valid(program: ast.Program) -> None:
+    """Raise AssertionError listing any *error*-level diagnostics."""
+    errors = [d for d in validate_program(program) if d.level == "error"]
+    if errors:
+        raise AssertionError(
+            "invalid offload choreography:\n"
+            + "\n".join(str(d) for d in errors)
+        )

@@ -1,0 +1,96 @@
+"""Vectorizability analysis.
+
+Models the icc auto-vectorizer's first-order behaviour on MIC: a loop
+vectorizes when the *innermost* accesses are unit-stride or
+loop-invariant — contiguous loads/stores map onto 512-bit vector
+operations; gathers, non-unit strides and AoS field walks do not
+(profitably, on KNC).  Control flow is allowed (masking).
+
+Vectorization is the hinge of the paper's regularization story: srad's
+split-off regular half vectorizes, nn's reordered arrays vectorize, and
+on the in-order MIC cores an unvectorized loop additionally serializes
+its memory stalls against its arithmetic (see
+:meth:`repro.hardware.device.ComputeDevice.compute_time`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.analysis.array_access import AccessKind, classify_accesses
+from repro.minic import ast_nodes as ast
+
+#: Access kinds a vector unit handles at full width.
+VECTOR_FRIENDLY = frozenset({AccessKind.UNIT, AccessKind.INVARIANT})
+
+
+def _loop_var_name(loop: ast.For) -> Optional[str]:
+    if isinstance(loop.init, ast.VarDecl):
+        return loop.init.name
+    if isinstance(loop.init, ast.Assign) and isinstance(
+        loop.init.target, ast.Ident
+    ):
+        return loop.init.target.name
+    return None
+
+
+def _stmts_under(stmt: ast.Stmt):
+    stack = [stmt]
+    while stack:
+        current = stack.pop()
+        yield current
+        for child in current.children():
+            if isinstance(child, ast.Stmt):
+                stack.append(child)
+
+
+def innermost_loops(loop: ast.For) -> List[ast.For]:
+    """The loops of the nest that contain no further loops."""
+    nest = [loop] + [
+        s for s in _stmts_under(loop.body) if isinstance(s, ast.For)
+    ]
+    inner = [
+        f
+        for f in nest
+        if not any(isinstance(s, ast.For) for s in _stmts_under(f.body))
+    ]
+    return inner or [loop]
+
+
+def is_vectorizable(
+    loop: ast.For, bindings: Optional[Dict[str, int]] = None
+) -> bool:
+    """True when every innermost loop of the nest has only unit-stride or
+    invariant accesses.
+
+    *bindings* provides concrete integer values for loop-invariant
+    symbols appearing in index coefficients (e.g. a row width) so that
+    ``temp[i * cols + j]`` classifies as unit stride in ``j``.  Enclosing
+    loop variables are treated as constants automatically.
+    """
+    bindings = dict(bindings or {})
+    nest = [loop] + [
+        s for s in _stmts_under(loop.body) if isinstance(s, ast.For)
+    ]
+    # From an innermost loop's perspective every enclosing induction
+    # variable is a constant; any fixed value preserves linearity.
+    for f in nest:
+        name = _loop_var_name(f)
+        if name is not None:
+            bindings.setdefault(name, 0)
+
+    saw_access = False
+    for target in innermost_loops(loop):
+        var = _loop_var_name(target)
+        if var is None:
+            return False
+        inner_bindings = dict(bindings)
+        inner_bindings.pop(var, None)
+        try:
+            accesses = classify_accesses(target, inner_bindings)
+        except Exception:
+            return False
+        if any(a.kind not in VECTOR_FRIENDLY for a in accesses):
+            return False
+        saw_access = saw_access or bool(accesses)
+    return saw_access

@@ -1,0 +1,282 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``compile FILE`` — apply the COMP pipeline to a MiniC source file and
+  print the transformed source (``--report`` adds what fired and why);
+* ``run FILE`` — execute a MiniC program on the simulated machine, with
+  arrays/scalars declared on the command line;
+* ``bench [NAMES...]`` — run Table II benchmarks (three variants each)
+  and print the speedup rows;
+* ``report`` — regenerate the paper's full evaluation (all figures and
+  tables).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+from repro.minic.parser import parse
+from repro.minic.printer import to_source
+from repro.runtime.executor import Machine, run_program
+from repro.transforms.pipeline import CompOptimizer, OptimizationPlan
+from repro.transforms.streaming import StreamingOptions
+
+_DTYPES = {
+    "float": np.float32,
+    "double": np.float64,
+    "int": np.int32,
+}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="COMP (MICRO 2014) reproduction: compiler optimizations "
+        "for manycore offload",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    comp = sub.add_parser("compile", help="optimize a MiniC source file")
+    comp.add_argument("file", help="MiniC source path ('-' for stdin)")
+    comp.add_argument("--blocks", type=int, default=20,
+                      help="streaming block count (default 20)")
+    comp.add_argument("--no-streaming", action="store_true")
+    comp.add_argument("--no-merging", action="store_true")
+    comp.add_argument("--no-regularization", action="store_true")
+    comp.add_argument("--no-double-buffer", action="store_true")
+    comp.add_argument("--no-thread-reuse", action="store_true")
+    comp.add_argument("--report", action="store_true",
+                      help="print which optimizations fired")
+
+    runp = sub.add_parser("run", help="execute a MiniC program")
+    runp.add_argument("file", help="MiniC source path ('-' for stdin)")
+    runp.add_argument("--array", action="append", default=[],
+                      metavar="NAME=SIZE[:DTYPE[:KIND]]",
+                      help="declare an input array; KIND is zeros|ones|"
+                           "arange|random (default random)")
+    runp.add_argument("--scalar", action="append", default=[],
+                      metavar="NAME=VALUE")
+    runp.add_argument("--scale", type=float, default=1.0,
+                      help="simulation scale factor")
+    runp.add_argument("--seed", type=int, default=0)
+    runp.add_argument("--optimize", action="store_true",
+                      help="apply the COMP pipeline before running")
+    runp.add_argument("--print-array", action="append", default=[],
+                      metavar="NAME", help="print an array's head afterwards")
+
+    bench = sub.add_parser("bench", help="run Table II benchmarks")
+    bench.add_argument("names", nargs="*", help="benchmark names (default all)")
+
+    tune = sub.add_parser(
+        "tune",
+        help="profile a program and stream it with the model-chosen block "
+        "count (Section III-B)",
+    )
+    tune.add_argument("file", help="MiniC source path ('-' for stdin)")
+    tune.add_argument("--array", action="append", default=[],
+                      metavar="NAME=SIZE[:DTYPE[:KIND]]")
+    tune.add_argument("--scalar", action="append", default=[],
+                      metavar="NAME=VALUE")
+    tune.add_argument("--scale", type=float, default=1.0)
+    tune.add_argument("--seed", type=int, default=0)
+
+    sub.add_parser("report", help="regenerate the paper's evaluation")
+    return parser
+
+
+def _read_source(path: str) -> str:
+    if path == "-":
+        return sys.stdin.read()
+    with open(path) as handle:
+        return handle.read()
+
+
+def _plan_from_args(args: argparse.Namespace) -> OptimizationPlan:
+    return OptimizationPlan(
+        streaming=not args.no_streaming,
+        merging=not args.no_merging,
+        regularization=not args.no_regularization,
+        streaming_options=StreamingOptions(
+            num_blocks=args.blocks,
+            double_buffer=not args.no_double_buffer,
+            thread_reuse=not args.no_thread_reuse,
+        ),
+    )
+
+
+def _cmd_compile(args: argparse.Namespace) -> int:
+    program = parse(_read_source(args.file))
+    result = CompOptimizer(_plan_from_args(args)).optimize(program)
+    if args.report:
+        for report in result.reports:
+            status = "applied" if report.applied else f"skipped: {report.reason}"
+            print(f"// {report.name}: {status}")
+            for detail in report.details:
+                print(f"//   {detail}")
+    print(to_source(program), end="")
+    return 0
+
+
+def _parse_array_spec(spec: str, rng: np.random.Generator) -> tuple:
+    name, _, rest = spec.partition("=")
+    if not rest:
+        raise SystemExit(f"bad --array spec {spec!r}: expected NAME=SIZE[...]")
+    parts = rest.split(":")
+    size = int(parts[0])
+    dtype = _DTYPES.get(parts[1] if len(parts) > 1 else "float", np.float32)
+    kind = parts[2] if len(parts) > 2 else "random"
+    if kind == "zeros":
+        value = np.zeros(size, dtype=dtype)
+    elif kind == "ones":
+        value = np.ones(size, dtype=dtype)
+    elif kind == "arange":
+        value = np.arange(size, dtype=dtype)
+    elif kind == "random":
+        value = (rng.random(size) * 100).astype(dtype)
+    else:
+        raise SystemExit(f"bad array kind {kind!r}")
+    return name, value
+
+
+def _parse_scalar_spec(spec: str) -> tuple:
+    name, _, rest = spec.partition("=")
+    if not rest:
+        raise SystemExit(f"bad --scalar spec {spec!r}: expected NAME=VALUE")
+    try:
+        value: object = int(rest)
+    except ValueError:
+        value = float(rest)
+    return name, value
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    source = _read_source(args.file)
+    rng = np.random.default_rng(args.seed)
+    arrays = dict(_parse_array_spec(s, rng) for s in args.array)
+    scalars = dict(_parse_scalar_spec(s) for s in args.scalar)
+
+    program = parse(source)
+    if args.optimize:
+        CompOptimizer().optimize(program)
+    machine = Machine(scale=args.scale)
+    result = run_program(program, arrays=arrays, scalars=scalars,
+                         machine=machine)
+    stats = result.stats
+    print(f"simulated time      {stats.total_time * 1000:12.3f} ms")
+    print(f"device compute      {stats.device_compute_time * 1000:12.3f} ms")
+    print(f"transfer (h2d/d2h)  {stats.transfer_to_device_time * 1000:8.3f} / "
+          f"{stats.transfer_from_device_time * 1000:.3f} ms")
+    print(f"kernel launches     {stats.kernel_launches:6d}  "
+          f"signals {stats.kernel_signals}")
+    print(f"bytes to device     {stats.bytes_to_device / 2**20:12.2f} MiB")
+    print(f"device peak memory  {stats.device_peak_bytes / 2**20:12.2f} MiB")
+    for name in args.print_array:
+        value = result.array(name)
+        print(f"{name}[:8] = {np.array2string(value[:8], precision=4)}")
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.experiments.harness import SuiteRunner
+    from repro.experiments.report import render_table
+    from repro.workloads.suite import workload_names
+
+    names = args.names or workload_names()
+    unknown = set(names) - set(workload_names())
+    if unknown:
+        raise SystemExit(f"unknown benchmarks: {sorted(unknown)}")
+    runner = SuiteRunner()
+    rows = []
+    for name in names:
+        result = runner.run_benchmark(name)
+        rows.append(
+            [
+                name,
+                f"{result.unopt_speedup:8.3f}",
+                f"{result.opt_speedup:8.3f}",
+                f"{result.relative_gain:8.2f}",
+                "ok" if result.outputs_match() else "MISMATCH",
+            ]
+        )
+    print(render_table(
+        ["benchmark", "mic/cpu", "opt/cpu", "opt/mic", "outputs"], rows
+    ))
+    return 0
+
+
+def _cmd_report(_args: argparse.Namespace) -> int:
+    from repro.experiments import figures as figs
+    from repro.experiments.harness import SuiteRunner
+    from repro.experiments.report import render_figure, render_table_data
+    from repro.experiments.tables import table1_demo, table2, table3
+
+    runner = SuiteRunner()
+    print(render_table_data(table1_demo()))
+    print()
+    for figure, log in (
+        (figs.figure1, False),
+        (figs.figure4, False),
+        (figs.figure10, False),
+        (figs.figure11, True),
+        (figs.figure12, False),
+        (figs.figure13, False),
+        (figs.figure14, True),
+        (figs.figure15, False),
+    ):
+        print(render_figure(figure(runner), log=log))
+        print()
+    print(render_table_data(table2(runner)))
+    print()
+    print(render_table_data(table3(runner)))
+    return 0
+
+
+def _cmd_tune(args: argparse.Namespace) -> int:
+    from repro.transforms.autotune import tune_streaming
+
+    source = _read_source(args.file)
+    rng = np.random.default_rng(args.seed)
+    array_specs = [_parse_array_spec(s, rng) for s in args.array]
+    scalars = dict(_parse_scalar_spec(s) for s in args.scalar)
+
+    def arrays_factory():
+        return {name: value.copy() for name, value in array_specs}
+
+    program, profile = tune_streaming(
+        source, arrays_factory, scalars, scale=args.scale
+    )
+    tuned = run_program(
+        program, arrays=arrays_factory(), scalars=dict(scalars),
+        machine=Machine(scale=args.scale),
+    )
+    print(f"// profiled D={profile.measured_transfer * 1000:.3f} ms, "
+          f"C={profile.measured_compute * 1000:.3f} ms, "
+          f"K={profile.launch_overhead * 1000:.3f} ms")
+    print(f"// model-selected block count N* = {profile.num_blocks}")
+    print(f"// unoptimized {profile.profile_time * 1000:.3f} ms -> "
+          f"tuned {tuned.stats.total_time * 1000:.3f} ms "
+          f"({profile.profile_time / tuned.stats.total_time:.2f}x)")
+    print(to_source(program), end="")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = _build_parser().parse_args(argv)
+    handlers = {
+        "compile": _cmd_compile,
+        "run": _cmd_run,
+        "bench": _cmd_bench,
+        "tune": _cmd_tune,
+        "report": _cmd_report,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

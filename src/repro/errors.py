@@ -1,0 +1,128 @@
+"""Exception hierarchy for the COMP reproduction.
+
+Every failure mode in the toolchain maps to a subclass of
+:class:`ReproError`, so callers can catch either the broad family or a
+precise condition (e.g. a device out-of-memory, which the paper reports
+as a "runtime error" when un-streamed footprints exceed MIC memory).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+# --------------------------------------------------------------------------
+# MiniC front end
+# --------------------------------------------------------------------------
+
+class MiniCError(ReproError):
+    """Base class for MiniC language errors."""
+
+
+class LexError(MiniCError):
+    """Raised when the tokenizer encounters an invalid character."""
+
+    def __init__(self, message: str, line: int, column: int):
+        super().__init__(f"{message} (line {line}, column {column})")
+        self.line = line
+        self.column = column
+
+
+class ParseError(MiniCError):
+    """Raised when the parser encounters an unexpected token."""
+
+    def __init__(self, message: str, line: int = 0, column: int = 0):
+        if line:
+            message = f"{message} (line {line}, column {column})"
+        super().__init__(message)
+        self.line = line
+        self.column = column
+
+
+class PragmaError(MiniCError):
+    """Raised for malformed or unsupported pragma directives."""
+
+
+# --------------------------------------------------------------------------
+# Analysis and transformation
+# --------------------------------------------------------------------------
+
+class AnalysisError(ReproError):
+    """Base class for static analysis failures."""
+
+
+class SymbolError(AnalysisError):
+    """Raised for undeclared or redeclared symbols."""
+
+
+class NotAffineError(AnalysisError):
+    """Raised when an index expression is not of the affine form a*i + b."""
+
+
+class TransformError(ReproError):
+    """Base class for transformation failures."""
+
+
+class LegalityError(TransformError):
+    """Raised when a transformation's legality check rejects a loop.
+
+    The paper applies data streaming only when every array index in the
+    loop is affine in the loop variable (Section III-A, "Legality check").
+    """
+
+
+# --------------------------------------------------------------------------
+# Simulated hardware and runtime
+# --------------------------------------------------------------------------
+
+class HardwareError(ReproError):
+    """Base class for simulated hardware faults."""
+
+
+class DeviceOutOfMemory(HardwareError):
+    """Raised when an allocation exceeds the coprocessor memory capacity.
+
+    Matches the paper's observation that "when offloaded data cannot fit
+    in the MIC memory, MIC will give out a runtime error" (Section III-B).
+    """
+
+    def __init__(self, requested: int, in_use: int, capacity: int):
+        super().__init__(
+            f"device OOM: requested {requested} bytes with {in_use} in use "
+            f"(capacity {capacity})"
+        )
+        self.requested = requested
+        self.in_use = in_use
+        self.capacity = capacity
+
+
+class RuntimeFault(ReproError):
+    """Base class for offload runtime errors."""
+
+
+class MissingTransferError(RuntimeFault):
+    """Raised when device code touches data never transferred to the device.
+
+    This catches incorrect in/out clause inference: in real LEO such a bug
+    manifests as garbage reads or segfaults; our simulated device memory is
+    strict and refuses to read buffers that were never copied in.
+    """
+
+
+class MyoLimitError(RuntimeFault):
+    """Raised when MYO's allocation-count or total-size limits are exceeded.
+
+    The paper reports that ferret "cannot run correctly using Intel MYO due
+    to the large number of allocations" (Section VI-D); this error models
+    that failure.
+    """
+
+
+class PointerTranslationError(RuntimeFault):
+    """Raised when a shared pointer cannot be mapped to a device address."""
+
+
+class ExecutionError(RuntimeFault):
+    """Raised by the MiniC interpreter for dynamic errors (bad call, etc.)."""

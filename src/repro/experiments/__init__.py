@@ -1,0 +1,40 @@
+"""Experiment harness reproducing every table and figure of Section VI.
+
+* :mod:`repro.experiments.harness` — runs workload variants (with result
+  caching) and isolated-optimization configurations;
+* :mod:`repro.experiments.figures` — Figures 1, 4, 10, 11, 12, 13, 14, 15;
+* :mod:`repro.experiments.tables` — Tables II and III;
+* :mod:`repro.experiments.report` — plain-text rendering.
+"""
+
+from repro.experiments.harness import BenchmarkResult, SuiteRunner
+from repro.experiments.figures import (
+    figure1,
+    figure4,
+    figure10,
+    figure11,
+    figure12,
+    figure13,
+    figure14,
+    figure15,
+)
+from repro.experiments.report import render_bars, render_table
+from repro.experiments.tables import table1_demo, table2, table3
+
+__all__ = [
+    "BenchmarkResult",
+    "SuiteRunner",
+    "figure1",
+    "figure4",
+    "figure10",
+    "figure11",
+    "figure12",
+    "figure13",
+    "figure14",
+    "figure15",
+    "render_bars",
+    "render_table",
+    "table1_demo",
+    "table2",
+    "table3",
+]

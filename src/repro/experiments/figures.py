@@ -1,0 +1,182 @@
+"""Regeneration of every figure in the paper's evaluation.
+
+Each function returns a :class:`FigureData` whose ``series`` maps
+benchmark names to the plotted value, in the paper's bar order, plus the
+derived summary the caption quotes (averages, counts).  Rendering to text
+is :mod:`repro.experiments.report`'s job.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.experiments.harness import SuiteRunner
+from repro.workloads.suite import workload_names
+
+#: Figure 4 benchmarks: "we compare data transfer time and calculation
+#: time for benchmarks blackscholes, kmeans, and nn".
+FIG4_BENCHMARKS = ["blackscholes", "kmeans", "nn"]
+
+#: Figure 12/13 benchmarks: the five Table II marks data streaming for.
+STREAMING_BENCHMARKS = ["blackscholes", "streamcluster", "kmeans", "CG", "nn"]
+
+#: Figure 14 benchmarks: the three Table II marks offload merging for.
+MERGING_BENCHMARKS = ["streamcluster", "CG", "cfd"]
+
+#: Figure 15 benchmarks: the two Table II marks regularization for.
+REGULARIZATION_BENCHMARKS = ["nn", "srad"]
+
+
+@dataclass
+class FigureData:
+    """One reproduced figure."""
+
+    figure_id: str
+    title: str
+    ylabel: str
+    series: Dict[str, float] = field(default_factory=dict)
+    extra_series: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    notes: List[str] = field(default_factory=list)
+
+    @property
+    def average(self) -> float:
+        """Mean of the plotted series (the captions quote it)."""
+        values = list(self.series.values())
+        return sum(values) / len(values) if values else 0.0
+
+
+def figure1(runner: SuiteRunner, names: Optional[List[str]] = None) -> FigureData:
+    """Speedups of naively offloaded benchmarks over the CPU versions."""
+    fig = FigureData(
+        figure_id="fig1",
+        title="Speedups of OpenMP codes on a Xeon Phi coprocessor "
+        "compared with a multicore CPU",
+        ylabel="speedup over CPU",
+    )
+    for name in names or workload_names():
+        fig.series[name] = runner.run_benchmark(name).unopt_speedup
+    losers = sum(1 for v in fig.series.values() if v < 1.0)
+    fig.notes.append(
+        f"{losers} of {len(fig.series)} benchmarks are slower on the "
+        f"coprocessor (paper: 8 of 12)"
+    )
+    return fig
+
+
+def figure4(runner: SuiteRunner) -> FigureData:
+    """Data transfer time over calculation time on the unoptimized MIC."""
+    fig = FigureData(
+        figure_id="fig4",
+        title="Data transfer overheads",
+        ylabel="transfer time / calculation time",
+    )
+    for name in FIG4_BENCHMARKS:
+        stats = runner.run_variant(name, "mic").stats
+        calc = stats.device_compute_time
+        fig.series[name] = stats.transfer_time / calc if calc else float("inf")
+    fig.notes.append(
+        "transfer exceeds calculation for all three (the paper's motivation "
+        "for data streaming)"
+    )
+    return fig
+
+
+def figure10(runner: SuiteRunner, names: Optional[List[str]] = None) -> FigureData:
+    """Application speedups over the original parallel CPU implementation."""
+    fig = FigureData(
+        figure_id="fig10",
+        title="Application speedups over the original, parallel CPU "
+        "implementation",
+        ylabel="speedup over CPU",
+    )
+    without: Dict[str, float] = {}
+    for name in names or workload_names():
+        result = runner.run_benchmark(name)
+        fig.series[name] = result.opt_speedup
+        without[name] = result.unopt_speedup
+    fig.extra_series["mic without optimization"] = without
+    winners = sum(1 for v in fig.series.values() if v > 1.0)
+    fig.notes.append(
+        f"{winners} of {len(fig.series)} benchmarks beat the CPU after "
+        f"optimization (paper: 9 of 12); max speedup "
+        f"{max(fig.series.values()):.2f}x (paper: up to 5.0x)"
+    )
+    return fig
+
+
+def figure11(runner: SuiteRunner, names: Optional[List[str]] = None) -> FigureData:
+    """Speedups of the optimizations over the unoptimized MIC versions."""
+    fig = FigureData(
+        figure_id="fig11",
+        title="Application speedups achieved by our optimizations over the "
+        "MIC versions w/o our optimizations",
+        ylabel="speedup over unoptimized MIC",
+    )
+    for name in names or workload_names():
+        fig.series[name] = runner.run_benchmark(name).relative_gain
+    improved = sum(1 for v in fig.series.values() if v > 1.005)
+    gains = [v for v in fig.series.values() if v > 1.005]
+    fig.notes.append(
+        f"{improved} of {len(fig.series)} benchmarks improve "
+        f"(paper: 9 of 12); range {min(gains):.2f}x-{max(gains):.2f}x "
+        f"(paper: 1.16x-52.21x)"
+    )
+    return fig
+
+
+def figure12(runner: SuiteRunner) -> FigureData:
+    """Performance gains by data streaming alone."""
+    fig = FigureData(
+        figure_id="fig12",
+        title="Performance gains by data streaming",
+        ylabel="speedup over unoptimized MIC",
+    )
+    for name in STREAMING_BENCHMARKS:
+        fig.series[name] = runner.isolated_gain(name, "streaming")
+    fig.notes.append(f"average {fig.average:.2f}x (paper: 1.45x average)")
+    return fig
+
+
+def figure13(runner: SuiteRunner) -> FigureData:
+    """Device memory usage with streaming, relative to the original."""
+    fig = FigureData(
+        figure_id="fig13",
+        title="Memory usage after applying data streaming",
+        ylabel="fraction of unoptimized device memory",
+    )
+    for name in STREAMING_BENCHMARKS:
+        base = runner.run_variant(name, "mic").stats.device_peak_bytes
+        streamed = runner.run_isolated(name, "streaming").stats.device_peak_bytes
+        fig.series[name] = streamed / base if base else 0.0
+    fig.notes.append(
+        f"average usage {fig.average:.0%} of the original (paper: streaming "
+        f"reduces memory usage by more than 80%)"
+    )
+    return fig
+
+
+def figure14(runner: SuiteRunner) -> FigureData:
+    """Performance gains by offload merging alone."""
+    fig = FigureData(
+        figure_id="fig14",
+        title="Performance gains by offload merging",
+        ylabel="speedup over unoptimized MIC",
+    )
+    for name in MERGING_BENCHMARKS:
+        fig.series[name] = runner.isolated_gain(name, "merging")
+    fig.notes.append(f"average {fig.average:.2f}x (paper: 27.13x average)")
+    return fig
+
+
+def figure15(runner: SuiteRunner) -> FigureData:
+    """Performance gains by regularization alone."""
+    fig = FigureData(
+        figure_id="fig15",
+        title="Performance gains by using regularization",
+        ylabel="speedup over unoptimized MIC",
+    )
+    for name in REGULARIZATION_BENCHMARKS:
+        fig.series[name] = runner.isolated_gain(name, "regularization")
+    fig.notes.append(f"average {fig.average:.2f}x (paper: 1.25x average)")
+    return fig

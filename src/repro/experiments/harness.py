@@ -1,0 +1,139 @@
+"""Benchmark execution harness with caching and isolated optimizations.
+
+Section VI methodology: each benchmark runs as the parallel CPU version,
+the unoptimized MIC port, and the COMP-optimized MIC version; speedups
+are ratios of whole-program (simulated) execution times.  The paper also
+reports per-optimization speedups (Table II's parentheses, Figures 12,
+14, 15); those come from *isolated* configurations that enable one
+optimization stage at a time.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.transforms.pipeline import OptimizationPlan
+from repro.workloads.base import MiniCWorkload, Workload, WorkloadRun
+from repro.workloads.suite import get_workload, workload_names
+
+
+@dataclass
+class BenchmarkResult:
+    """The three standard variants of one benchmark."""
+
+    name: str
+    runs: Dict[str, WorkloadRun] = field(default_factory=dict)
+
+    @property
+    def cpu_time(self) -> float:
+        """Simulated time of the parallel CPU variant."""
+        return self.runs["cpu"].time
+
+    @property
+    def mic_time(self) -> float:
+        """Simulated time of the unoptimized MIC variant."""
+        return self.runs["mic"].time
+
+    @property
+    def opt_time(self) -> float:
+        """Simulated time of the COMP-optimized variant."""
+        return self.runs["opt"].time
+
+    @property
+    def unopt_speedup(self) -> float:
+        """Figure 1: naive MIC offload over the parallel CPU version."""
+        return self.cpu_time / self.mic_time
+
+    @property
+    def opt_speedup(self) -> float:
+        """Figure 10: optimized MIC over the parallel CPU version."""
+        return self.cpu_time / self.opt_time
+
+    @property
+    def relative_gain(self) -> float:
+        """Figure 11: optimized MIC over unoptimized MIC."""
+        return self.mic_time / self.opt_time
+
+    def outputs_match(self, rtol: float = 1e-5, atol: float = 1e-6) -> bool:
+        """All variants computed the same results."""
+        base = self.runs["cpu"].outputs
+        for variant in ("mic", "opt"):
+            other = self.runs[variant].outputs
+            for key, value in base.items():
+                if key not in other:
+                    return False
+                if not np.allclose(value, other[key], rtol=rtol, atol=atol):
+                    return False
+        return True
+
+
+#: Stages that make up each named optimization for isolation runs.
+#: Thread reuse and the memory-usage optimization are part of data
+#: streaming in the paper (Section III).
+ISOLATION_PLANS = {
+    "streaming": dict(merging=False),
+    "merging": dict(streaming=False, regularization=False, thread_reuse=False),
+    "regularization": dict(streaming=False, merging=False, thread_reuse=False),
+}
+
+
+class SuiteRunner:
+    """Runs and caches benchmark variants."""
+
+    def __init__(self) -> None:
+        self._cache: Dict[Tuple, WorkloadRun] = {}
+
+    # -- standard variants ---------------------------------------------------
+
+    def run_variant(self, name: str, variant: str) -> WorkloadRun:
+        """Run (or fetch cached) one variant of one benchmark."""
+        key = (name, variant, None)
+        if key not in self._cache:
+            self._cache[key] = get_workload(name).run(variant)
+        return self._cache[key]
+
+    def run_benchmark(self, name: str) -> BenchmarkResult:
+        """Run all three variants of one benchmark."""
+        return BenchmarkResult(
+            name=name,
+            runs={v: self.run_variant(name, v) for v in ("cpu", "mic", "opt")},
+        )
+
+    def run_suite(self, names: Optional[List[str]] = None) -> Dict[str, BenchmarkResult]:
+        """Run every requested benchmark; returns results by name."""
+        return {
+            name: self.run_benchmark(name)
+            for name in (names or workload_names())
+        }
+
+    # -- isolated optimizations ---------------------------------------------------
+
+    def run_isolated(self, name: str, optimization: str) -> WorkloadRun:
+        """Run the MIC version with only *optimization* enabled."""
+        if optimization not in ISOLATION_PLANS:
+            raise KeyError(
+                f"unknown optimization {optimization!r}; "
+                f"know {sorted(ISOLATION_PLANS)}"
+            )
+        key = (name, "opt", optimization)
+        if key not in self._cache:
+            workload = get_workload(name)
+            if not isinstance(workload, MiniCWorkload):
+                raise TypeError(
+                    f"{name} is not a MiniC workload; isolation applies to "
+                    f"compiler-transformed benchmarks"
+                )
+            overrides = ISOLATION_PLANS[optimization]
+            workload.plan = dataclasses.replace(workload.plan, **overrides)
+            self._cache[key] = workload.run("opt")
+        return self._cache[key]
+
+    def isolated_gain(self, name: str, optimization: str) -> float:
+        """Speedup of one optimization over the unoptimized MIC version."""
+        mic = self.run_variant(name, "mic")
+        isolated = self.run_isolated(name, optimization)
+        return mic.time / isolated.time

@@ -1,0 +1,126 @@
+"""Plain-text rendering of reproduced figures and tables."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.experiments.figures import FigureData
+from repro.experiments.tables import TableData
+
+BAR_WIDTH = 40
+
+
+def render_table(headers: Sequence[str], rows: Sequence[Sequence[str]]) -> str:
+    """Monospace table with per-column alignment."""
+    columns = [[str(h)] + [str(r[i]) for r in rows] for i, h in enumerate(headers)]
+    widths = [max(len(cell) for cell in col) for col in columns]
+    lines = []
+    header = " | ".join(h.ljust(w) for h, w in zip(headers, widths))
+    lines.append(header)
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in rows:
+        lines.append(
+            " | ".join(str(cell).ljust(w) for cell, w in zip(row, widths))
+        )
+    return "\n".join(lines)
+
+
+def render_bars(
+    series: Dict[str, float],
+    unit: str = "x",
+    reference: Optional[float] = 1.0,
+    log: bool = False,
+) -> str:
+    """ASCII horizontal bar chart; a '|' marks the reference value."""
+    import math
+
+    if not series:
+        return "(no data)"
+    values = list(series.values())
+    top = max(values + ([reference] if reference else []))
+    name_width = max(len(n) for n in series)
+
+    def scale(value: float) -> int:
+        if value <= 0:
+            return 0
+        if log:
+            lo = min(min(values), 0.01)
+            span = math.log(top / lo) or 1.0
+            return int(BAR_WIDTH * math.log(max(value, lo) / lo) / span)
+        return int(BAR_WIDTH * value / top)
+
+    lines = []
+    ref_pos = scale(reference) if reference else -1
+    for name, value in series.items():
+        length = scale(value)
+        bar = "".join(
+            "|" if i == ref_pos and reference else ("#" if i < length else " ")
+            for i in range(BAR_WIDTH + 1)
+        )
+        lines.append(f"{name.ljust(name_width)} {bar} {value:8.3f}{unit}")
+    return "\n".join(lines)
+
+
+def render_figure(fig: FigureData, log: bool = False) -> str:
+    """Render one reproduced figure as a titled bar chart."""
+    lines = [f"=== {fig.figure_id}: {fig.title} ===", f"({fig.ylabel})", ""]
+    lines.append(render_bars(fig.series, log=log))
+    for label, extra in fig.extra_series.items():
+        lines.append("")
+        lines.append(f"-- {label} --")
+        lines.append(render_bars(extra, log=log))
+    for note in fig.notes:
+        lines.append("")
+        lines.append(f"note: {note}")
+    return "\n".join(lines)
+
+
+def render_gantt(
+    timeline,
+    resources: Optional[Sequence[str]] = None,
+    width: int = 72,
+) -> str:
+    """ASCII Gantt chart of a Timeline's trace.
+
+    One row per resource; ``#`` marks occupied time.  This is how the
+    examples visualize data streaming's transfer/compute overlap — the
+    Figure 5(d) picture, recovered from an actual execution.
+    """
+    entries = timeline.entries()
+    if not entries:
+        return "(empty timeline)"
+    finish = timeline.finish_time()
+    if resources is None:
+        seen = []
+        for entry in entries:
+            if entry.resource not in seen:
+                seen.append(entry.resource)
+        resources = seen
+    name_width = max(len(r) for r in resources)
+    lines = []
+    for resource in resources:
+        row = [" "] * width
+        for entry in timeline.entries(resource):
+            lo = int(entry.start / finish * (width - 1))
+            hi = int(entry.end / finish * (width - 1))
+            for i in range(lo, max(hi, lo) + 1):
+                row[i] = "#"
+        busy = timeline.busy_time(resource)
+        lines.append(
+            f"{resource.ljust(name_width)} |{''.join(row)}| "
+            f"{busy * 1000:8.2f} ms busy"
+        )
+    lines.append(
+        f"{' ' * name_width} 0{' ' * (width - 10)}{finish * 1000:8.2f} ms"
+    )
+    return "\n".join(lines)
+
+
+def render_table_data(data: TableData) -> str:
+    """Render one reproduced table with its notes."""
+    lines = [f"=== {data.table_id}: {data.title} ===", ""]
+    lines.append(render_table(data.headers, data.rows))
+    for note in data.notes:
+        lines.append("")
+        lines.append(f"note: {note}")
+    return "\n".join(lines)

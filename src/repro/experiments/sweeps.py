@@ -1,0 +1,144 @@
+"""Sensitivity sweeps: where do the optimizations stop mattering?
+
+The paper evaluates one machine.  The simulator lets us ask the
+follow-on questions a reader would: how do the gains move as the PCIe
+link speeds up, as kernel-launch overhead shrinks (later offload stacks
+got much faster), or as the problem grows?  Each sweep re-runs a
+benchmark pair (unoptimized vs optimized) across one machine parameter
+and reports the gain curve plus the crossover point, if any.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.hardware.spec import MachineSpec, MicSpec, PcieSpec, paper_machine
+from repro.runtime.executor import Machine
+from repro.workloads.base import MiniCWorkload
+from repro.workloads.suite import get_workload
+
+
+@dataclass
+class SweepPoint:
+    parameter: float
+    unopt_time: float
+    opt_time: float
+
+    @property
+    def gain(self) -> float:
+        """Unoptimized-over-optimized speedup at this point."""
+        return self.unopt_time / self.opt_time
+
+
+@dataclass
+class SweepResult:
+    name: str
+    parameter: str
+    points: List[SweepPoint] = field(default_factory=list)
+
+    def gains(self) -> Dict[float, float]:
+        """Mapping of swept parameter value to measured gain."""
+        return {p.parameter: p.gain for p in self.points}
+
+    def crossover(self, threshold: float = 1.05) -> Optional[float]:
+        """First swept value at which the gain drops below *threshold*.
+
+        Returns None when the optimization keeps paying off over the
+        whole range.
+        """
+        for point in self.points:
+            if point.gain < threshold:
+                return point.parameter
+        return None
+
+
+def _run_pair(
+    workload_name: str, machine_factory: Callable[[], Machine]
+) -> SweepPoint:
+    unopt = get_workload(workload_name)
+    opt = get_workload(workload_name)
+    t_unopt = unopt.run("mic", machine=machine_factory()).time
+    t_opt = opt.run("opt", machine=machine_factory()).time
+    return SweepPoint(0.0, t_unopt, t_opt)
+
+
+def sweep_pcie_bandwidth(
+    workload_name: str, bandwidths_gb: List[float]
+) -> SweepResult:
+    """Gain of the full optimization pipeline vs. PCIe bandwidth.
+
+    Streaming's value comes from hiding transfer time: as the link gets
+    faster, there is less to hide.
+    """
+    result = SweepResult(workload_name, "pcie_bandwidth_gb")
+    for gb in bandwidths_gb:
+        spec = MachineSpec(
+            pcie=dataclasses.replace(PcieSpec(), bandwidth=gb * (1 << 30))
+        )
+        scale = get_workload(workload_name).sim_scale
+
+        point = _run_pair(
+            workload_name, lambda: Machine(spec=spec, scale=scale)
+        )
+        point.parameter = gb
+        result.points.append(point)
+    return result
+
+
+def sweep_launch_overhead(
+    workload_name: str, overheads_ms: List[float]
+) -> SweepResult:
+    """Gain vs. kernel-launch overhead K.
+
+    Merging and thread reuse exist because K was milliseconds on the
+    LEO/COI stack; this sweep shows their value melting away as K drops.
+    """
+    result = SweepResult(workload_name, "launch_overhead_ms")
+    for ms in overheads_ms:
+        spec = MachineSpec(
+            mic=dataclasses.replace(
+                MicSpec(), kernel_launch_overhead=ms * 1e-3
+            )
+        )
+        scale = get_workload(workload_name).sim_scale
+        point = _run_pair(
+            workload_name, lambda: Machine(spec=spec, scale=scale)
+        )
+        point.parameter = ms
+        result.points.append(point)
+    return result
+
+
+def sweep_problem_scale(
+    workload_name: str, scale_factors: List[float]
+) -> SweepResult:
+    """Gain vs. input size (relative to the paper's input)."""
+    result = SweepResult(workload_name, "relative_input_size")
+    base_scale = get_workload(workload_name).sim_scale
+    for factor in scale_factors:
+        point = _run_pair(
+            workload_name, lambda: Machine(scale=base_scale * factor)
+        )
+        point.parameter = factor
+        result.points.append(point)
+    return result
+
+
+def render_sweep(result: SweepResult) -> str:
+    """Render a sweep's gain curve and crossover as text."""
+    lines = [f"sweep: {result.name} over {result.parameter}"]
+    for point in result.points:
+        lines.append(
+            f"  {point.parameter:10.3f}  "
+            f"unopt {point.unopt_time * 1000:10.2f} ms  "
+            f"opt {point.opt_time * 1000:10.2f} ms  "
+            f"gain {point.gain:7.2f}x"
+        )
+    crossover = result.crossover()
+    if crossover is None:
+        lines.append("  no crossover in the swept range")
+    else:
+        lines.append(f"  crossover (gain < 1.05x) at {crossover}")
+    return "\n".join(lines)

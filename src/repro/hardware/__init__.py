@@ -1,0 +1,50 @@
+"""Simulated hardware substrate.
+
+The paper evaluates on a host Xeon E5-2660 plus a Xeon Phi ES2-P/A/X 1750
+connected over PCIe.  We replace that testbed with a deterministic timing
+simulation:
+
+* :mod:`repro.hardware.spec` — parameter records for the CPU, the MIC and
+  the PCIe link, with a preset matching the paper's Section VI setup;
+* :mod:`repro.hardware.event_sim` — a resource-timeline event simulator
+  that computes start/end times for operations with dependencies, which is
+  how transfer/compute overlap (the heart of data streaming) is modelled;
+* :mod:`repro.hardware.pcie` — DMA transfer timing, including the
+  page-granularity mode used by the MYO baseline;
+* :mod:`repro.hardware.device` — roofline-style compute timing for both
+  processors from dynamic operation counters;
+* :mod:`repro.hardware.memory` — the coprocessor's capacity-limited
+  memory manager (no disk, no swap: exceeding capacity raises);
+* :mod:`repro.hardware.cache` — the locality factor irregular accesses
+  pay on effective memory bandwidth.
+"""
+
+from repro.hardware.cache import locality_factor
+from repro.hardware.device import ComputeDevice, OpCounters
+from repro.hardware.event_sim import Event, Resource, Timeline
+from repro.hardware.memory import DeviceMemoryManager
+from repro.hardware.pcie import dma_transfer_time, paged_transfer_time
+from repro.hardware.spec import (
+    CpuSpec,
+    MachineSpec,
+    MicSpec,
+    PcieSpec,
+    paper_machine,
+)
+
+__all__ = [
+    "locality_factor",
+    "ComputeDevice",
+    "OpCounters",
+    "Event",
+    "Resource",
+    "Timeline",
+    "DeviceMemoryManager",
+    "dma_transfer_time",
+    "paged_transfer_time",
+    "CpuSpec",
+    "MachineSpec",
+    "MicSpec",
+    "PcieSpec",
+    "paper_machine",
+]

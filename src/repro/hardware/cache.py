@@ -1,0 +1,36 @@
+"""Cache locality model.
+
+Irregular memory accesses "hurt cache performance, due to the lack of
+space locality" (Section IV).  We model this as a multiplier on effective
+memory bandwidth: regular streams run at full bandwidth; each irregular
+access costs a full cache line of traffic while using only one element of
+it, so a loop whose accesses are mostly irregular sees bandwidth collapse
+by roughly ``line_bytes / element_bytes``.
+"""
+
+from __future__ import annotations
+
+CACHE_LINE_BYTES = 64
+
+
+def locality_factor(
+    irregular_fraction: float,
+    element_bytes: int = 4,
+    line_bytes: int = CACHE_LINE_BYTES,
+) -> float:
+    """Effective-bandwidth multiplier in (0, 1].
+
+    *irregular_fraction* is the fraction of dynamic memory accesses whose
+    addresses are not sequential across iterations.  With fraction f, the
+    average bytes fetched per useful element is
+    ``(1-f)*element + f*line``; the factor is the ratio of useful to
+    fetched bytes.
+    """
+    if not 0.0 <= irregular_fraction <= 1.0:
+        raise ValueError(f"irregular_fraction {irregular_fraction} out of [0,1]")
+    if element_bytes <= 0 or line_bytes < element_bytes:
+        raise ValueError("element/line sizes must satisfy 0 < element <= line")
+    fetched = (1.0 - irregular_fraction) * element_bytes + (
+        irregular_fraction * line_bytes
+    )
+    return element_bytes / fetched

@@ -1,0 +1,134 @@
+"""Resource-timeline event simulation.
+
+Offloaded execution is a dataflow of operations over a small set of
+exclusive resources — the host thread, the device, and the PCIe DMA
+channel.  Each operation has a duration and a set of dependency events;
+it starts when its dependencies have completed *and* its resource is
+free, and occupies the resource until it ends.  This is sufficient to
+reproduce the paper's pipelining behaviour exactly: with data streaming,
+"the i-th computation block starts right after the i-th data block is
+transferred and overlaps with the data transfer of the (i+1)-th block".
+
+The model is deterministic and runs in O(#operations); there is no
+speculative event queue because operation submission order already
+respects program order per resource.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional
+
+
+@dataclass(frozen=True)
+class Event:
+    """Completion of a scheduled operation."""
+
+    time: float
+    label: str = ""
+
+
+@dataclass
+class Resource:
+    """An exclusive resource with a FIFO timeline (device, DMA channel...)."""
+
+    name: str
+    available_at: float = 0.0
+
+    def reset(self) -> None:
+        """Return the resource to time zero."""
+        self.available_at = 0.0
+
+
+@dataclass
+class TraceEntry:
+    """One scheduled operation, for inspection and Gantt-style reports."""
+
+    resource: str
+    label: str
+    start: float
+    end: float
+
+    @property
+    def duration(self) -> float:
+        """End minus start."""
+        return self.end - self.start
+
+
+class Timeline:
+    """Schedules operations on resources and records the execution trace."""
+
+    def __init__(self) -> None:
+        self.resources: dict = {}
+        self.trace: List[TraceEntry] = []
+
+    def resource(self, name: str) -> Resource:
+        """Get (or lazily create) the named resource."""
+        if name not in self.resources:
+            self.resources[name] = Resource(name)
+        return self.resources[name]
+
+    def schedule(
+        self,
+        resource: str,
+        duration: float,
+        deps: Iterable[Event] = (),
+        label: str = "",
+        not_before: float = 0.0,
+    ) -> Event:
+        """Schedule one operation; returns its completion event.
+
+        *not_before* lets callers pin an operation to program time (e.g. an
+        async transfer cannot start before the host thread issued it).
+        """
+        if duration < 0:
+            raise ValueError(f"negative duration {duration} for {label!r}")
+        res = self.resource(resource)
+        start = max(
+            [res.available_at, not_before] + [d.time for d in deps]
+        )
+        end = start + duration
+        res.available_at = end
+        self.trace.append(TraceEntry(resource, label, start, end))
+        return Event(end, label)
+
+    def busy_time(self, resource: str) -> float:
+        """Total occupied time of *resource* over the recorded trace."""
+        return sum(t.duration for t in self.trace if t.resource == resource)
+
+    def finish_time(self) -> float:
+        """Completion time of the last operation across all resources."""
+        if not self.trace:
+            return 0.0
+        return max(t.end for t in self.trace)
+
+    def entries(self, resource: Optional[str] = None) -> List[TraceEntry]:
+        """Trace entries, optionally filtered to one resource."""
+        if resource is None:
+            return list(self.trace)
+        return [t for t in self.trace if t.resource == resource]
+
+    def reset(self) -> None:
+        """Clear the trace and free every resource."""
+        self.trace.clear()
+        for res in self.resources.values():
+            res.reset()
+
+
+@dataclass
+class Clock:
+    """The host program clock: synchronous work advances it directly."""
+
+    now: float = 0.0
+
+    def advance(self, duration: float) -> float:
+        """Move program time forward by *duration* seconds."""
+        if duration < 0:
+            raise ValueError(f"cannot advance clock by {duration}")
+        self.now += duration
+        return self.now
+
+    def wait_until(self, event: Event) -> float:
+        """Block until *event*; a past event costs nothing."""
+        self.now = max(self.now, event.time)
+        return self.now

@@ -1,0 +1,35 @@
+"""MiniC: the C-like source language that COMP transforms operate on.
+
+The paper implements its optimizations as source-to-source rewrites over C
+ASTs (built with pycparser inside the Apricot framework).  MiniC is our
+self-contained equivalent: a small, typed, C-like language with
+
+* LEO-style pragmas (``#pragma offload``, ``#pragma offload_transfer``,
+  ``#pragma offload_wait``, ``#pragma omp parallel for``),
+* arrays, structs, pointers and the arithmetic needed by the paper's
+  twelve benchmarks, and
+* a printer that regenerates compilable-looking source, so every transform
+  is testable as text-to-text.
+
+Public entry points:
+
+>>> from repro.minic import parse, to_source
+>>> prog = parse("void main() { int x; x = 1 + 2; }")
+>>> print(to_source(prog))  # doctest: +SKIP
+"""
+
+from repro.minic.lexer import tokenize
+from repro.minic.parser import parse, parse_expr, parse_pragma
+from repro.minic.printer import to_source
+from repro.minic.visitor import NodeTransformer, NodeVisitor, walk
+
+__all__ = [
+    "tokenize",
+    "parse",
+    "parse_expr",
+    "parse_pragma",
+    "to_source",
+    "NodeVisitor",
+    "NodeTransformer",
+    "walk",
+]

@@ -1,0 +1,462 @@
+"""AST node definitions for MiniC.
+
+All nodes are mutable dataclasses deriving from :class:`Node`.  Child
+traversal for visitors is generic: any field whose value is a ``Node`` or a
+list of ``Node`` is a child.  Structural equality ignores source positions,
+which keeps transform tests (compare rewritten AST against an expected
+parse) straightforward.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional, Tuple
+
+
+@dataclass
+class Node:
+    """Base class for every AST node."""
+
+    def children(self) -> Iterator["Node"]:
+        """Yield direct child nodes (fields that are nodes or node lists)."""
+        for f in dataclasses.fields(self):
+            value = getattr(self, f.name)
+            if isinstance(value, Node):
+                yield value
+            elif isinstance(value, list):
+                for item in value:
+                    if isinstance(item, Node):
+                        yield item
+
+    def fields(self) -> Iterator[Tuple[str, object]]:
+        """Yield (name, value) for every dataclass field."""
+        for f in dataclasses.fields(self):
+            yield f.name, getattr(self, f.name)
+
+
+# ==========================================================================
+# Types
+# ==========================================================================
+
+
+@dataclass
+class Type(Node):
+    """Base class for MiniC types."""
+
+    def is_pointer(self) -> bool:
+        """True for pointer types."""
+        return isinstance(self, PointerType)
+
+
+@dataclass
+class BaseType(Type):
+    """A scalar type: ``int``, ``float``, ``double``, ``char``, ``void``."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass
+class PointerType(Type):
+    """A pointer type ``T*``."""
+
+    base: Type
+
+    def __str__(self) -> str:
+        return f"{self.base}*"
+
+
+@dataclass
+class ArrayType(Type):
+    """A fixed-size array type ``T[size]`` (size may be None for params)."""
+
+    base: Type
+    size: Optional["Expr"] = None
+
+    def __str__(self) -> str:
+        return f"{self.base}[]"
+
+
+@dataclass
+class StructType(Type):
+    """A reference to a named struct: ``struct Name``."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return f"struct {self.name}"
+
+
+INT = BaseType("int")
+FLOAT = BaseType("float")
+DOUBLE = BaseType("double")
+VOID = BaseType("void")
+CHAR = BaseType("char")
+
+
+# ==========================================================================
+# Expressions
+# ==========================================================================
+
+
+@dataclass
+class Expr(Node):
+    """Base class for expressions."""
+
+
+@dataclass
+class IntLit(Expr):
+    value: int
+
+
+@dataclass
+class FloatLit(Expr):
+    value: float
+
+
+@dataclass
+class StringLit(Expr):
+    value: str
+
+
+@dataclass
+class Ident(Expr):
+    name: str
+
+
+@dataclass
+class BinOp(Expr):
+    """A binary operation ``left op right``."""
+
+    op: str
+    left: Expr
+    right: Expr
+
+
+@dataclass
+class UnOp(Expr):
+    """A prefix unary operation ``op operand`` (``-``, ``!``, ``*``, ``&``)."""
+
+    op: str
+    operand: Expr
+
+
+@dataclass
+class Subscript(Expr):
+    """Array indexing ``base[index]``."""
+
+    base: Expr
+    index: Expr
+
+
+@dataclass
+class Member(Expr):
+    """Member access ``base.field`` or ``base->field`` (arrow=True)."""
+
+    base: Expr
+    field: str
+    arrow: bool = False
+
+
+@dataclass
+class Call(Expr):
+    """A function call ``func(args...)``."""
+
+    func: str
+    args: List[Expr] = field(default_factory=list)
+
+
+@dataclass
+class Cond(Expr):
+    """The ternary conditional ``cond ? then : other``."""
+
+    cond: Expr
+    then: Expr
+    other: Expr
+
+
+@dataclass
+class Cast(Expr):
+    """An explicit cast ``(type) operand``."""
+
+    type: Type
+    operand: Expr
+
+
+@dataclass
+class SizeOf(Expr):
+    """``sizeof(type)``."""
+
+    type: Type
+
+
+# ==========================================================================
+# Pragmas (LEO / OpenMP)
+# ==========================================================================
+
+
+@dataclass
+class Pragma(Node):
+    """Base class for parsed pragma directives."""
+
+
+@dataclass
+class TransferClause(Node):
+    """One data clause of an offload pragma.
+
+    Grammar (following Intel LEO):
+
+    ``in(A[start:length] : into(B[s2]) alloc_if(e) free_if(e))``
+    ``out(prices : length(n))``
+
+    ``direction`` is ``in``/``out``/``inout``/``nocopy``; ``var`` names the
+    host array or scalar; ``start``/``length`` give the transferred section
+    (``None`` means whole object / scalar); ``into`` redirects the data into
+    a differently named device buffer (used by double-buffering);
+    ``alloc_if``/``free_if`` control device allocation lifetime.
+    """
+
+    direction: str
+    var: str
+    start: Optional[Expr] = None
+    length: Optional[Expr] = None
+    into: Optional[str] = None
+    into_start: Optional[Expr] = None
+    alloc_if: Optional[Expr] = None
+    free_if: Optional[Expr] = None
+
+
+@dataclass
+class OmpParallelFor(Pragma):
+    """``#pragma omp parallel for [private(...)] [reduction(op:var)]``."""
+
+    private: List[str] = field(default_factory=list)
+    reduction: List[Tuple[str, str]] = field(default_factory=list)
+    num_threads: Optional[Expr] = None
+    #: Pipelined-regularization marker (Section IV): this host loop's work
+    #: overlaps downstream transfers/compute; only the first block's share
+    #: delays the program.  Printed as the ``pipelined(1)`` clause.
+    pipelined: bool = False
+
+
+@dataclass
+class OffloadPragma(Pragma):
+    """``#pragma offload target(mic:N) <clauses> [signal(e)] [wait(e)]``."""
+
+    target: int = 0
+    clauses: List[TransferClause] = field(default_factory=list)
+    signal: Optional[Expr] = None
+    wait: Optional[Expr] = None
+    shared: List[str] = field(default_factory=list)
+    #: Thread-reuse marker (Section III-C): the kernel is launched once and
+    #: later offloads with the same marker only pay a COI signal, not a
+    #: fresh kernel launch.  Printed as the ``persistent(1)`` clause — our
+    #: lowering extension to LEO.
+    persistent: bool = False
+    #: Persistent-kernel session name: offloads sharing a session share one
+    #: launched kernel (streaming's even/odd kernel bodies are one kernel).
+    #: Printed as the ``session(name)`` clause.
+    session: Optional[str] = None
+
+
+@dataclass
+class OffloadTransferPragma(Pragma):
+    """``#pragma offload_transfer target(mic:N) <clauses> [signal(e)]``.
+
+    A pure data-movement directive: starts transfers (asynchronously when
+    ``signal`` is present) without running any device code.
+    """
+
+    target: int = 0
+    clauses: List[TransferClause] = field(default_factory=list)
+    signal: Optional[Expr] = None
+
+
+@dataclass
+class OffloadWaitPragma(Pragma):
+    """``#pragma offload_wait target(mic:N) wait(e)`` — block until signal."""
+
+    target: int = 0
+    wait: Optional[Expr] = None
+
+
+# ==========================================================================
+# Statements
+# ==========================================================================
+
+
+@dataclass
+class Stmt(Node):
+    """Base class for statements."""
+
+
+@dataclass
+class VarDecl(Stmt):
+    """A variable declaration with optional initializer."""
+
+    name: str
+    type: Type
+    init: Optional[Expr] = None
+
+
+@dataclass
+class Assign(Stmt):
+    """An assignment ``target op value`` where op is ``=``/``+=``/.../``*=``."""
+
+    target: Expr
+    value: Expr
+    op: str = "="
+
+
+@dataclass
+class ExprStmt(Stmt):
+    """An expression evaluated for its side effects (typically a call)."""
+
+    expr: Expr
+
+
+@dataclass
+class Block(Stmt):
+    """A brace-delimited statement list."""
+
+    stmts: List[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class If(Stmt):
+    cond: Expr
+    then: Stmt
+    other: Optional[Stmt] = None
+
+
+@dataclass
+class For(Stmt):
+    """A for loop.
+
+    ``pragmas`` holds the pragma directives written immediately above the
+    loop, in source order (e.g. an :class:`OffloadPragma` followed by an
+    :class:`OmpParallelFor`).
+    """
+
+    init: Optional[Stmt]
+    cond: Optional[Expr]
+    step: Optional[Stmt]
+    body: Stmt
+    pragmas: List[Pragma] = field(default_factory=list)
+
+
+@dataclass
+class While(Stmt):
+    cond: Expr
+    body: Stmt
+
+
+@dataclass
+class DoWhile(Stmt):
+    """``do body while (cond);`` — body runs at least once."""
+
+    body: Stmt
+    cond: Expr
+
+
+@dataclass
+class Return(Stmt):
+    value: Optional[Expr] = None
+
+
+@dataclass
+class Break(Stmt):
+    pass
+
+
+@dataclass
+class Continue(Stmt):
+    pass
+
+
+@dataclass
+class PragmaStmt(Stmt):
+    """A standalone pragma that acts as a statement.
+
+    ``offload_transfer`` and ``offload_wait`` do not annotate a following
+    statement; they *are* the statement.
+    """
+
+    pragma: Pragma
+
+
+@dataclass
+class OffloadBlock(Stmt):
+    """A ``#pragma offload`` applied to a compound statement.
+
+    Streaming's thread-reuse variant offloads a whole block (the persistent
+    kernel) rather than a single loop.
+    """
+
+    pragma: OffloadPragma
+    body: Block
+
+
+# ==========================================================================
+# Top-level declarations
+# ==========================================================================
+
+
+@dataclass
+class ParamDecl(Node):
+    name: str
+    type: Type
+
+
+@dataclass
+class FieldDecl(Node):
+    name: str
+    type: Type
+
+
+@dataclass
+class StructDef(Node):
+    """``struct Name { fields... };``."""
+
+    name: str
+    fields_: List[FieldDecl] = field(default_factory=list)
+
+
+@dataclass
+class FuncDef(Node):
+    name: str
+    return_type: Type
+    params: List[ParamDecl] = field(default_factory=list)
+    body: Optional[Block] = None
+
+
+@dataclass
+class GlobalDecl(Node):
+    """A file-scope variable declaration."""
+
+    decl: VarDecl
+
+
+@dataclass
+class Program(Node):
+    """A whole translation unit."""
+
+    decls: List[Node] = field(default_factory=list)
+
+    def functions(self) -> List[FuncDef]:
+        """All function definitions in the unit."""
+        return [d for d in self.decls if isinstance(d, FuncDef)]
+
+    def structs(self) -> List[StructDef]:
+        """All struct definitions in the unit."""
+        return [d for d in self.decls if isinstance(d, StructDef)]
+
+    def function(self, name: str) -> FuncDef:
+        """Look up a function by name; KeyError when absent."""
+        for f in self.functions():
+            if f.name == name:
+                return f
+        raise KeyError(name)

@@ -1,0 +1,86 @@
+"""Helpers for building AST fragments from source templates.
+
+Transforms construct a fair amount of new code (allocation prologues,
+transfer pragmas, blocked loop nests).  Rather than assembling dataclasses
+by hand, they parse small source templates and substitute placeholder
+identifiers, which keeps the transform code close to the paper's Figure 5
+listings.
+
+Placeholders are ordinary identifiers; substitution values may be strings
+(renames), expressions, or Python ints/floats (converted to literals).
+"""
+
+from __future__ import annotations
+
+from typing import List, Union
+
+from repro.minic import ast_nodes as ast
+from repro.minic.parser import parse, parse_expr
+from repro.minic.visitor import substitute
+
+SubValue = Union[str, int, float, ast.Expr]
+
+
+def _normalize(subs: dict) -> dict:
+    normalized = {}
+    for key, value in subs.items():
+        if isinstance(value, bool):
+            normalized[key] = ast.IntLit(int(value))
+        elif isinstance(value, int):
+            normalized[key] = ast.IntLit(value)
+        elif isinstance(value, float):
+            normalized[key] = ast.FloatLit(value)
+        else:
+            normalized[key] = value
+    return normalized
+
+
+def expr(text: str, **subs: SubValue) -> ast.Expr:
+    """Parse an expression template, substituting placeholder identifiers."""
+    node = parse_expr(text)
+    if subs:
+        node = substitute(node, _normalize(subs))
+    return node
+
+
+def stmts(text: str, **subs: SubValue) -> List[ast.Stmt]:
+    """Parse a statement-list template into a list of statements."""
+    program = parse("void __template__() {\n" + text + "\n}")
+    body = program.function("__template__").body
+    assert body is not None
+    if subs:
+        body = substitute(body, _normalize(subs))
+    return body.stmts
+
+
+def stmt(text: str, **subs: SubValue) -> ast.Stmt:
+    """Parse a single-statement template."""
+    result = stmts(text, **subs)
+    if len(result) != 1:
+        raise ValueError(f"template produced {len(result)} statements, expected 1")
+    return result[0]
+
+
+def ident(name: str) -> ast.Ident:
+    """Identifier node."""
+    return ast.Ident(name)
+
+
+def intlit(value: int) -> ast.IntLit:
+    """Integer literal node."""
+    return ast.IntLit(value)
+
+
+def binop(op: str, left: ast.Expr, right: ast.Expr) -> ast.BinOp:
+    """Binary operation node."""
+    return ast.BinOp(op, left, right)
+
+
+def call(func: str, *args: ast.Expr) -> ast.Call:
+    """Call expression node."""
+    return ast.Call(func, list(args))
+
+
+def assign(target: ast.Expr, value: ast.Expr, op: str = "=") -> ast.Assign:
+    """Assignment statement node."""
+    return ast.Assign(target, value, op)

@@ -1,0 +1,158 @@
+"""Hand-written tokenizer for MiniC.
+
+The lexer is line-aware so that ``#pragma`` directives — which are
+line-oriented in C — can be captured as single :data:`~repro.minic.tokens.PRAGMA`
+tokens whose value is the directive text.  Everything else is ordinary
+maximal-munch tokenization.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List
+
+from repro.errors import LexError
+from repro.minic.tokens import (
+    EOF,
+    FLOAT_LIT,
+    IDENT,
+    INT_LIT,
+    KEYWORD,
+    KEYWORDS,
+    OPERATORS,
+    PRAGMA,
+    STRING_LIT,
+    Token,
+)
+
+
+def tokenize(source: str) -> List[Token]:
+    """Tokenize *source* and return the token list, ending with an EOF token."""
+    return list(_iter_tokens(source))
+
+
+def _iter_tokens(source: str) -> Iterator[Token]:
+    pos = 0
+    line = 1
+    line_start = 0
+    n = len(source)
+
+    def column() -> int:
+        return pos - line_start + 1
+
+    while pos < n:
+        ch = source[pos]
+
+        # -- whitespace and newlines ------------------------------------
+        if ch == "\n":
+            pos += 1
+            line += 1
+            line_start = pos
+            continue
+        if ch in " \t\r":
+            pos += 1
+            continue
+
+        # -- comments -----------------------------------------------------
+        if source.startswith("//", pos):
+            end = source.find("\n", pos)
+            pos = n if end < 0 else end
+            continue
+        if source.startswith("/*", pos):
+            end = source.find("*/", pos + 2)
+            if end < 0:
+                raise LexError("unterminated block comment", line, column())
+            # Keep the line counter correct across multi-line comments.
+            line += source.count("\n", pos, end)
+            nl = source.rfind("\n", pos, end)
+            if nl >= 0:
+                line_start = nl + 1
+            pos = end + 2
+            continue
+
+        # -- pragma directives ---------------------------------------------
+        if ch == "#":
+            end = source.find("\n", pos)
+            if end < 0:
+                end = n
+            text = source[pos:end]
+            # Support line continuation with trailing backslash.
+            while text.rstrip().endswith("\\") and end < n:
+                nxt = source.find("\n", end + 1)
+                if nxt < 0:
+                    nxt = n
+                text = text.rstrip()[:-1] + " " + source[end + 1 : nxt]
+                line += 1
+                end = nxt
+            stripped = text.strip()
+            if not stripped.startswith("#pragma"):
+                raise LexError(
+                    f"unsupported preprocessor directive {stripped.split()[0]!r}",
+                    line,
+                    column(),
+                )
+            directive = stripped[len("#pragma") :].strip()
+            yield Token(PRAGMA, directive, line, column())
+            pos = end
+            continue
+
+        # -- string literals -------------------------------------------------
+        if ch == '"':
+            end = pos + 1
+            while end < n and source[end] != '"':
+                if source[end] == "\\":
+                    end += 1
+                end += 1
+            if end >= n:
+                raise LexError("unterminated string literal", line, column())
+            yield Token(STRING_LIT, source[pos + 1 : end], line, column())
+            pos = end + 1
+            continue
+
+        # -- numbers --------------------------------------------------------
+        if ch.isdigit() or (ch == "." and pos + 1 < n and source[pos + 1].isdigit()):
+            start = pos
+            is_float = False
+            while pos < n and source[pos].isdigit():
+                pos += 1
+            if pos < n and source[pos] == ".":
+                is_float = True
+                pos += 1
+                while pos < n and source[pos].isdigit():
+                    pos += 1
+            if pos < n and source[pos] in "eE":
+                is_float = True
+                pos += 1
+                if pos < n and source[pos] in "+-":
+                    pos += 1
+                if pos >= n or not source[pos].isdigit():
+                    raise LexError("malformed exponent", line, column())
+                while pos < n and source[pos].isdigit():
+                    pos += 1
+            if pos < n and source[pos] in "fF":
+                is_float = True
+                pos += 1
+            text = source[start:pos].rstrip("fF")
+            kind = FLOAT_LIT if is_float else INT_LIT
+            yield Token(kind, text, line, start - line_start + 1)
+            continue
+
+        # -- identifiers and keywords ----------------------------------------
+        if ch.isalpha() or ch == "_":
+            start = pos
+            while pos < n and (source[pos].isalnum() or source[pos] == "_"):
+                pos += 1
+            text = source[start:pos]
+            kind = KEYWORD if text in KEYWORDS else IDENT
+            yield Token(kind, text, line, start - line_start + 1)
+            continue
+
+        # -- operators and punctuation -----------------------------------------
+        for op in OPERATORS:
+            if source.startswith(op, pos):
+                yield Token(op, op, line, column())
+                pos += len(op)
+                break
+        else:
+            raise LexError(f"unexpected character {ch!r}", line, column())
+
+    yield Token(EOF, "", line, 1)

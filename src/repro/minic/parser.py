@@ -1,0 +1,670 @@
+"""Recursive-descent parser for MiniC.
+
+The grammar is a practical subset of C sufficient for the paper's
+benchmarks and transformed code: functions, structs, pointers, arrays,
+the usual statements and expressions, and LEO/OpenMP pragmas.
+
+Pragmas are line tokens produced by the lexer; their directive text is
+re-tokenized and parsed by :func:`parse_pragma`.  A pragma written above a
+``for`` loop is attached to that loop's ``pragmas`` list; an ``offload``
+pragma above a ``{...}`` block produces an :class:`OffloadBlock`;
+``offload_transfer`` / ``offload_wait`` become standalone
+:class:`PragmaStmt` statements.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.errors import ParseError, PragmaError
+from repro.minic import ast_nodes as ast
+from repro.minic.lexer import tokenize
+from repro.minic.tokens import (
+    EOF,
+    FLOAT_LIT,
+    IDENT,
+    INT_LIT,
+    KEYWORD,
+    PRAGMA,
+    STRING_LIT,
+    Token,
+)
+
+_TYPE_KEYWORDS = {"int", "float", "double", "char", "void", "long"}
+
+_ASSIGN_OPS = {"=", "+=", "-=", "*=", "/=", "%="}
+
+# Binary operator precedence levels, lowest first.
+_BINARY_LEVELS = [
+    ["||"],
+    ["&&"],
+    ["|"],
+    ["^"],
+    ["&"],
+    ["==", "!="],
+    ["<", ">", "<=", ">="],
+    ["<<", ">>"],
+    ["+", "-"],
+    ["*", "/", "%"],
+]
+
+
+def parse(source: str) -> ast.Program:
+    """Parse a full MiniC translation unit."""
+    return _Parser(tokenize(source)).parse_program()
+
+
+def parse_expr(source: str) -> ast.Expr:
+    """Parse a single expression (convenience for tests and builders)."""
+    parser = _Parser(tokenize(source))
+    expr = parser._expression()
+    parser._expect_kind(EOF)
+    return expr
+
+
+def parse_pragma(text: str) -> ast.Pragma:
+    """Parse the text of a pragma directive (without ``#pragma``)."""
+    return _PragmaParser(text).parse()
+
+
+class _TokenStream:
+    """Shared cursor machinery for the statement and pragma parsers."""
+
+    def __init__(self, tokens: List[Token]):
+        self._tokens = tokens
+        self._pos = 0
+
+    def _peek(self, offset: int = 0) -> Token:
+        idx = min(self._pos + offset, len(self._tokens) - 1)
+        return self._tokens[idx]
+
+    def _advance(self) -> Token:
+        tok = self._tokens[self._pos]
+        if tok.kind != EOF:
+            self._pos += 1
+        return tok
+
+    def _check(self, kind: str, value: Optional[str] = None) -> bool:
+        tok = self._peek()
+        if tok.kind != kind:
+            return False
+        return value is None or tok.value == value
+
+    def _match(self, kind: str, value: Optional[str] = None) -> Optional[Token]:
+        if self._check(kind, value):
+            return self._advance()
+        return None
+
+    def _expect(self, kind: str, value: Optional[str] = None) -> Token:
+        tok = self._peek()
+        if not self._check(kind, value):
+            want = value or kind
+            raise ParseError(
+                f"expected {want!r}, found {tok.value!r}", tok.line, tok.column
+            )
+        return self._advance()
+
+    def _expect_kind(self, kind: str) -> Token:
+        return self._expect(kind)
+
+
+class _Parser(_TokenStream):
+    """Parses translation units, statements and expressions."""
+
+    # -- top level ---------------------------------------------------------
+
+    def parse_program(self) -> ast.Program:
+        decls: List[ast.Node] = []
+        while not self._check(EOF):
+            decls.append(self._top_level())
+        return ast.Program(decls)
+
+    def _top_level(self) -> ast.Node:
+        if self._check(KEYWORD, "struct") and self._peek(2).kind == "{":
+            return self._struct_def()
+        base = self._type_spec()
+        stars = 0
+        while self._match("*"):
+            stars += 1
+        name = self._expect(IDENT).value
+        typ: ast.Type = base
+        for _ in range(stars):
+            typ = ast.PointerType(typ)
+        if self._check("("):
+            return self._func_def(typ, name)
+        decl = self._finish_var_decl(typ, name)
+        self._expect(";")
+        return ast.GlobalDecl(decl)
+
+    def _struct_def(self) -> ast.StructDef:
+        self._expect(KEYWORD, "struct")
+        name = self._expect(IDENT).value
+        self._expect("{")
+        fields: List[ast.FieldDecl] = []
+        while not self._check("}"):
+            ftype = self._type_spec()
+            while True:
+                stars = 0
+                while self._match("*"):
+                    stars += 1
+                fname = self._expect(IDENT).value
+                t: ast.Type = ftype
+                for _ in range(stars):
+                    t = ast.PointerType(t)
+                if self._check("["):
+                    self._advance()
+                    size = None if self._check("]") else self._expression()
+                    self._expect("]")
+                    t = ast.ArrayType(t, size)
+                fields.append(ast.FieldDecl(fname, t))
+                if not self._match(","):
+                    break
+            self._expect(";")
+        self._expect("}")
+        self._expect(";")
+        return ast.StructDef(name, fields)
+
+    def _func_def(self, return_type: ast.Type, name: str) -> ast.FuncDef:
+        self._expect("(")
+        params: List[ast.ParamDecl] = []
+        if not self._check(")"):
+            while True:
+                if self._check(KEYWORD, "void") and self._peek(1).kind == ")":
+                    self._advance()
+                    break
+                ptype = self._type_spec()
+                stars = 0
+                while self._match("*"):
+                    stars += 1
+                pname = self._expect(IDENT).value
+                t: ast.Type = ptype
+                for _ in range(stars):
+                    t = ast.PointerType(t)
+                if self._match("["):
+                    self._expect("]")
+                    t = ast.PointerType(t)
+                params.append(ast.ParamDecl(pname, t))
+                if not self._match(","):
+                    break
+        self._expect(")")
+        if self._match(";"):
+            return ast.FuncDef(name, return_type, params, None)
+        body = self._block()
+        return ast.FuncDef(name, return_type, params, body)
+
+    # -- types -------------------------------------------------------------
+
+    def _type_spec(self) -> ast.Type:
+        tok = self._peek()
+        if tok.kind == KEYWORD and tok.value in _TYPE_KEYWORDS:
+            self._advance()
+            if tok.value == "long" and self._check(KEYWORD, "long"):
+                self._advance()
+            return ast.BaseType("int" if tok.value == "long" else tok.value)
+        if tok.kind == KEYWORD and tok.value == "struct":
+            self._advance()
+            name = self._expect(IDENT).value
+            return ast.StructType(name)
+        raise ParseError(f"expected a type, found {tok.value!r}", tok.line, tok.column)
+
+    def _looks_like_type(self) -> bool:
+        tok = self._peek()
+        if tok.kind != KEYWORD:
+            return False
+        if tok.value in _TYPE_KEYWORDS:
+            return True
+        return tok.value == "struct" and self._peek(1).kind == IDENT
+
+    # -- statements ----------------------------------------------------------
+
+    def _block(self) -> ast.Block:
+        self._expect("{")
+        stmts: List[ast.Stmt] = []
+        while not self._check("}"):
+            stmts.append(self._statement())
+        self._expect("}")
+        return ast.Block(stmts)
+
+    def _statement(self) -> ast.Stmt:
+        if self._check(PRAGMA):
+            return self._pragma_statement()
+        tok = self._peek()
+        if tok.kind == "{":
+            return self._block()
+        if tok.kind == KEYWORD:
+            if tok.value == "if":
+                return self._if_stmt()
+            if tok.value == "for":
+                return self._for_stmt([])
+            if tok.value == "while":
+                return self._while_stmt()
+            if tok.value == "do":
+                return self._do_while_stmt()
+            if tok.value == "return":
+                self._advance()
+                value = None if self._check(";") else self._expression()
+                self._expect(";")
+                return ast.Return(value)
+            if tok.value == "break":
+                self._advance()
+                self._expect(";")
+                return ast.Break()
+            if tok.value == "continue":
+                self._advance()
+                self._expect(";")
+                return ast.Continue()
+        if self._looks_like_type():
+            decl = self._var_decl()
+            self._expect(";")
+            return decl
+        stmt = self._expr_or_assign()
+        self._expect(";")
+        return stmt
+
+    def _pragma_statement(self) -> ast.Stmt:
+        standalone = (ast.OffloadTransferPragma, ast.OffloadWaitPragma)
+        pragmas: List[ast.Pragma] = []
+        while self._check(PRAGMA):
+            tok = self._peek()
+            try:
+                pragma = parse_pragma(tok.value)
+            except PragmaError as exc:
+                raise ParseError(str(exc), tok.line, tok.column) from exc
+            except ParseError as exc:
+                # The directive sub-parser reports positions within the
+                # directive text; re-anchor to the pragma's source line.
+                raise ParseError(
+                    f"in pragma: {exc}", tok.line, tok.column
+                ) from exc
+            if isinstance(pragma, standalone):
+                if pragmas:
+                    raise ParseError(
+                        "offload_transfer/offload_wait cannot follow an "
+                        "annotating pragma",
+                        tok.line,
+                        tok.column,
+                    )
+                self._advance()
+                # A standalone pragma is its own statement; a bare ';' after
+                # it (C requires a statement in if-branches) is consumed.
+                self._match(";")
+                return ast.PragmaStmt(pragma)
+            self._advance()
+            pragmas.append(pragma)
+        if self._check(KEYWORD, "for"):
+            return self._for_stmt(pragmas)
+        if self._check("{"):
+            offloads = [p for p in pragmas if isinstance(p, ast.OffloadPragma)]
+            if len(offloads) != 1 or len(pragmas) != 1:
+                raise ParseError("only a single offload pragma may annotate a block")
+            return ast.OffloadBlock(offloads[0], self._block())
+        tok = self._peek()
+        raise ParseError(
+            "pragma must be followed by a for loop or a block", tok.line, tok.column
+        )
+
+    def _if_stmt(self) -> ast.If:
+        self._expect(KEYWORD, "if")
+        self._expect("(")
+        cond = self._expression()
+        self._expect(")")
+        then = self._statement()
+        other = None
+        if self._match(KEYWORD, "else"):
+            other = self._statement()
+        return ast.If(cond, then, other)
+
+    def _for_stmt(self, pragmas: List[ast.Pragma]) -> ast.For:
+        self._expect(KEYWORD, "for")
+        self._expect("(")
+        init: Optional[ast.Stmt] = None
+        if not self._check(";"):
+            init = self._var_decl() if self._looks_like_type() else self._expr_or_assign()
+        self._expect(";")
+        cond = None if self._check(";") else self._expression()
+        self._expect(";")
+        step = None if self._check(")") else self._expr_or_assign()
+        self._expect(")")
+        body = self._statement()
+        return ast.For(init, cond, step, body, pragmas)
+
+    def _while_stmt(self) -> ast.While:
+        self._expect(KEYWORD, "while")
+        self._expect("(")
+        cond = self._expression()
+        self._expect(")")
+        body = self._statement()
+        return ast.While(cond, body)
+
+    def _do_while_stmt(self) -> ast.DoWhile:
+        self._expect(KEYWORD, "do")
+        body = self._statement()
+        self._expect(KEYWORD, "while")
+        self._expect("(")
+        cond = self._expression()
+        self._expect(")")
+        self._expect(";")
+        return ast.DoWhile(body, cond)
+
+    def _var_decl(self) -> ast.VarDecl:
+        base = self._type_spec()
+        stars = 0
+        while self._match("*"):
+            stars += 1
+        name = self._expect(IDENT).value
+        typ: ast.Type = base
+        for _ in range(stars):
+            typ = ast.PointerType(typ)
+        return self._finish_var_decl(typ, name)
+
+    def _finish_var_decl(self, typ: ast.Type, name: str) -> ast.VarDecl:
+        while self._check("["):
+            self._advance()
+            size = None if self._check("]") else self._expression()
+            self._expect("]")
+            typ = ast.ArrayType(typ, size)
+        init = None
+        if self._match("="):
+            init = self._expression()
+        return ast.VarDecl(name, typ, init)
+
+    def _expr_or_assign(self) -> ast.Stmt:
+        expr = self._expression()
+        tok = self._peek()
+        if tok.kind in _ASSIGN_OPS:
+            self._advance()
+            value = self._expression()
+            return ast.Assign(expr, value, tok.kind)
+        if tok.kind in ("++", "--"):
+            self._advance()
+            op = "+=" if tok.kind == "++" else "-="
+            return ast.Assign(expr, ast.IntLit(1), op)
+        return ast.ExprStmt(expr)
+
+    # -- expressions -----------------------------------------------------------
+
+    def _expression(self) -> ast.Expr:
+        return self._ternary()
+
+    def _ternary(self) -> ast.Expr:
+        cond = self._binary(0)
+        if self._match("?"):
+            then = self._expression()
+            self._expect(":")
+            other = self._ternary()
+            return ast.Cond(cond, then, other)
+        return cond
+
+    def _binary(self, level: int) -> ast.Expr:
+        if level >= len(_BINARY_LEVELS):
+            return self._unary()
+        left = self._binary(level + 1)
+        ops = _BINARY_LEVELS[level]
+        while self._peek().kind in ops:
+            op = self._advance().kind
+            right = self._binary(level + 1)
+            left = ast.BinOp(op, left, right)
+        return left
+
+    def _unary(self) -> ast.Expr:
+        tok = self._peek()
+        if tok.kind in ("-", "!", "*", "&", "+"):
+            self._advance()
+            operand = self._unary()
+            if tok.kind == "+":
+                return operand
+            return ast.UnOp(tok.kind, operand)
+        if tok.kind == "++" or tok.kind == "--":
+            raise ParseError(
+                "prefix ++/-- is only supported as a statement", tok.line, tok.column
+            )
+        if tok.kind == KEYWORD and tok.value == "sizeof":
+            self._advance()
+            self._expect("(")
+            typ = self._type_spec()
+            while self._match("*"):
+                typ = ast.PointerType(typ)
+            self._expect(")")
+            return ast.SizeOf(typ)
+        if tok.kind == "(" and self._is_cast_ahead():
+            self._advance()
+            typ = self._type_spec()
+            while self._match("*"):
+                typ = ast.PointerType(typ)
+            self._expect(")")
+            return ast.Cast(typ, self._unary())
+        return self._postfix()
+
+    def _is_cast_ahead(self) -> bool:
+        nxt = self._peek(1)
+        if nxt.kind == KEYWORD and nxt.value in _TYPE_KEYWORDS:
+            return True
+        return nxt.kind == KEYWORD and nxt.value == "struct"
+
+    def _postfix(self) -> ast.Expr:
+        expr = self._primary()
+        while True:
+            if self._match("["):
+                index = self._expression()
+                self._expect("]")
+                expr = ast.Subscript(expr, index)
+            elif self._match("."):
+                field = self._expect(IDENT).value
+                expr = ast.Member(expr, field, arrow=False)
+            elif self._match("->"):
+                field = self._expect(IDENT).value
+                expr = ast.Member(expr, field, arrow=True)
+            else:
+                return expr
+
+    def _primary(self) -> ast.Expr:
+        tok = self._peek()
+        if tok.kind == INT_LIT:
+            self._advance()
+            return ast.IntLit(int(tok.value))
+        if tok.kind == FLOAT_LIT:
+            self._advance()
+            return ast.FloatLit(float(tok.value))
+        if tok.kind == STRING_LIT:
+            self._advance()
+            return ast.StringLit(tok.value)
+        if tok.kind == IDENT:
+            self._advance()
+            if self._match("("):
+                args: List[ast.Expr] = []
+                if not self._check(")"):
+                    while True:
+                        args.append(self._expression())
+                        if not self._match(","):
+                            break
+                self._expect(")")
+                return ast.Call(tok.value, args)
+            return ast.Ident(tok.value)
+        if tok.kind == "(":
+            self._advance()
+            expr = self._expression()
+            self._expect(")")
+            return expr
+        raise ParseError(f"unexpected token {tok.value!r}", tok.line, tok.column)
+
+
+class _PragmaParser(_TokenStream):
+    """Parses the directive text of a ``#pragma`` line."""
+
+    def __init__(self, text: str):
+        super().__init__(tokenize(text))
+        self._text = text
+
+    def parse(self) -> ast.Pragma:
+        head = self._peek()
+        if head.kind != IDENT:
+            raise PragmaError(f"malformed pragma: {self._text!r}")
+        if head.value == "omp":
+            return self._omp()
+        if head.value == "offload":
+            self._advance()
+            return self._offload()
+        if head.value == "offload_transfer":
+            self._advance()
+            return self._offload_transfer()
+        if head.value == "offload_wait":
+            self._advance()
+            return self._offload_wait()
+        raise PragmaError(f"unsupported pragma {head.value!r}")
+
+    # -- OpenMP ---------------------------------------------------------------
+
+    def _omp(self) -> ast.OmpParallelFor:
+        self._expect(IDENT, "omp")
+        self._expect(IDENT, "parallel")
+        self._expect(KEYWORD, "for")
+        pragma = ast.OmpParallelFor()
+        while not self._check(EOF):
+            name = self._expect(IDENT).value
+            self._expect("(")
+            if name == "private":
+                while True:
+                    pragma.private.append(self._expect(IDENT).value)
+                    if not self._match(","):
+                        break
+            elif name == "reduction":
+                op = self._advance().value
+                self._expect(":")
+                while True:
+                    pragma.reduction.append((op, self._expect(IDENT).value))
+                    if not self._match(","):
+                        break
+            elif name == "num_threads":
+                pragma.num_threads = self._pragma_expr()
+            elif name == "pipelined":
+                pragma.pipelined = bool(int(self._expect(INT_LIT).value))
+            else:
+                raise PragmaError(f"unsupported omp clause {name!r}")
+            self._expect(")")
+        return pragma
+
+    # -- LEO offload family -----------------------------------------------------
+
+    def _target(self) -> int:
+        self._expect(IDENT, "target")
+        self._expect("(")
+        self._expect(IDENT, "mic")
+        self._expect(":")
+        num = int(self._expect(INT_LIT).value)
+        self._expect(")")
+        return num
+
+    def _offload(self) -> ast.OffloadPragma:
+        pragma = ast.OffloadPragma(target=self._target())
+        while not self._check(EOF):
+            name = self._expect(IDENT).value
+            if name in ("in", "out", "inout", "nocopy"):
+                pragma.clauses.extend(self._transfer_clause(name))
+            elif name == "signal":
+                self._expect("(")
+                pragma.signal = self._pragma_expr()
+                self._expect(")")
+            elif name == "wait":
+                self._expect("(")
+                pragma.wait = self._pragma_expr()
+                self._expect(")")
+            elif name == "shared":
+                self._expect("(")
+                while True:
+                    pragma.shared.append(self._expect(IDENT).value)
+                    if not self._match(","):
+                        break
+                self._expect(")")
+            elif name == "persistent":
+                self._expect("(")
+                pragma.persistent = bool(int(self._expect(INT_LIT).value))
+                self._expect(")")
+            elif name == "session":
+                self._expect("(")
+                pragma.session = self._expect(IDENT).value
+                self._expect(")")
+            else:
+                raise PragmaError(f"unsupported offload clause {name!r}")
+        return pragma
+
+    def _offload_transfer(self) -> ast.OffloadTransferPragma:
+        pragma = ast.OffloadTransferPragma(target=self._target())
+        while not self._check(EOF):
+            name = self._expect(IDENT).value
+            if name in ("in", "out", "inout", "nocopy"):
+                pragma.clauses.extend(self._transfer_clause(name))
+            elif name == "signal":
+                self._expect("(")
+                pragma.signal = self._pragma_expr()
+                self._expect(")")
+            else:
+                raise PragmaError(f"unsupported offload_transfer clause {name!r}")
+        return pragma
+
+    def _offload_wait(self) -> ast.OffloadWaitPragma:
+        pragma = ast.OffloadWaitPragma(target=self._target())
+        self._expect(IDENT, "wait")
+        self._expect("(")
+        pragma.wait = self._pragma_expr()
+        self._expect(")")
+        return pragma
+
+    def _transfer_clause(self, direction: str) -> List[ast.TransferClause]:
+        """Parse ``direction(var[sec], var2 : modifiers)`` into clauses."""
+        self._expect("(")
+        names: List[ast.TransferClause] = []
+        while True:
+            var = self._expect(IDENT).value
+            clause = ast.TransferClause(direction, var)
+            if self._match("["):
+                clause.start = self._pragma_expr()
+                self._expect(":")
+                clause.length = self._pragma_expr()
+                self._expect("]")
+            names.append(clause)
+            if not self._match(","):
+                break
+        if self._match(":"):
+            while not self._check(")"):
+                mod = self._expect(IDENT).value
+                self._expect("(")
+                if mod == "length":
+                    value = self._pragma_expr()
+                    for clause in names:
+                        clause.length = value
+                elif mod == "into":
+                    into = self._expect(IDENT).value
+                    into_start = None
+                    if self._match("["):
+                        into_start = self._pragma_expr()
+                        self._expect(":")
+                        self._pragma_expr()  # section length mirrors clause length
+                        self._expect("]")
+                    for clause in names:
+                        clause.into = into
+                        clause.into_start = into_start
+                elif mod == "alloc_if":
+                    value = self._pragma_expr()
+                    for clause in names:
+                        clause.alloc_if = value
+                elif mod == "free_if":
+                    value = self._pragma_expr()
+                    for clause in names:
+                        clause.free_if = value
+                else:
+                    raise PragmaError(f"unsupported transfer modifier {mod!r}")
+                self._expect(")")
+        self._expect(")")
+        return names
+
+    def _pragma_expr(self) -> ast.Expr:
+        """Parse an expression inside a pragma clause.
+
+        Clause expressions stop at the first ``,``, ``:`` or unbalanced
+        ``)``/``]`` so we delegate to the main expression parser over the
+        remaining tokens.
+        """
+        sub = _Parser(self._tokens[self._pos :])
+        expr = sub._expression()
+        self._pos += sub._pos
+        return expr

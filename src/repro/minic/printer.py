@@ -1,0 +1,307 @@
+"""AST-to-source printer for MiniC.
+
+``parse(to_source(prog))`` round-trips to a structurally equal AST, which
+the test suite checks (including with hypothesis-generated programs).  The
+printer is also how transformed programs are inspected: the paper presents
+its optimizations as source-to-source rewrites, and our examples print the
+before/after code the same way Figure 5 does.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.minic import ast_nodes as ast
+
+_INDENT = "    "
+
+# Operator precedence for minimal parenthesization, mirroring the parser.
+_PRECEDENCE = {
+    "||": 1,
+    "&&": 2,
+    "|": 3,
+    "^": 4,
+    "&": 5,
+    "==": 6,
+    "!=": 6,
+    "<": 7,
+    ">": 7,
+    "<=": 7,
+    ">=": 7,
+    "<<": 8,
+    ">>": 8,
+    "+": 9,
+    "-": 9,
+    "*": 10,
+    "/": 10,
+    "%": 10,
+}
+_UNARY_PRECEDENCE = 11
+
+
+def to_source(node: ast.Node) -> str:
+    """Render *node* (a Program, statement, or expression) as source text."""
+    printer = _Printer()
+    if isinstance(node, ast.Program):
+        return printer.print_program(node)
+    if isinstance(node, ast.Stmt):
+        printer._stmt(node, 0)
+        return "\n".join(printer.lines) + "\n"
+    if isinstance(node, ast.Expr):
+        return printer._expr(node)
+    if isinstance(node, ast.Pragma):
+        return printer._pragma(node)
+    if isinstance(node, (ast.FuncDef, ast.StructDef, ast.GlobalDecl)):
+        printer._decl(node)
+        return "\n".join(printer.lines) + "\n"
+    raise TypeError(f"cannot print {type(node).__name__}")
+
+
+class _Printer:
+    def __init__(self) -> None:
+        self.lines: List[str] = []
+
+    # -- top level -----------------------------------------------------------
+
+    def print_program(self, prog: ast.Program) -> str:
+        for i, decl in enumerate(prog.decls):
+            if i:
+                self.lines.append("")
+            self._decl(decl)
+        return "\n".join(self.lines) + "\n"
+
+    def _decl(self, decl: ast.Node) -> None:
+        if isinstance(decl, ast.StructDef):
+            self.lines.append(f"struct {decl.name} {{")
+            for field in decl.fields_:
+                self.lines.append(f"{_INDENT}{self._declarator(field.type, field.name)};")
+            self.lines.append("};")
+        elif isinstance(decl, ast.FuncDef):
+            params = ", ".join(
+                self._declarator(p.type, p.name) for p in decl.params
+            ) or "void"
+            header = f"{self._declarator(decl.return_type, decl.name)}({params})"
+            if decl.body is None:
+                self.lines.append(header + ";")
+            else:
+                self.lines.append(header + " {")
+                for stmt in decl.body.stmts:
+                    self._stmt(stmt, 1)
+                self.lines.append("}")
+        elif isinstance(decl, ast.GlobalDecl):
+            self.lines.append(self._var_decl(decl.decl) + ";")
+        else:
+            raise TypeError(f"cannot print declaration {type(decl).__name__}")
+
+    # -- types -----------------------------------------------------------------
+
+    def _declarator(self, typ: ast.Type, name: str) -> str:
+        """Render ``typ name`` with C declarator syntax."""
+        suffix = ""
+        while isinstance(typ, ast.ArrayType):
+            size = "" if typ.size is None else self._expr(typ.size)
+            suffix += f"[{size}]"
+            typ = typ.base
+        stars = ""
+        while isinstance(typ, ast.PointerType):
+            stars += "*"
+            typ = typ.base
+        return f"{typ}{' ' if name or stars else ''}{stars}{name}{suffix}"
+
+    def _type(self, typ: ast.Type) -> str:
+        return self._declarator(typ, "")
+
+    # -- statements ---------------------------------------------------------------
+
+    def _stmt(self, stmt: ast.Stmt, depth: int) -> None:
+        pad = _INDENT * depth
+        if isinstance(stmt, ast.VarDecl):
+            self.lines.append(pad + self._var_decl(stmt) + ";")
+        elif isinstance(stmt, ast.Assign):
+            self.lines.append(
+                f"{pad}{self._expr(stmt.target)} {stmt.op} {self._expr(stmt.value)};"
+            )
+        elif isinstance(stmt, ast.ExprStmt):
+            self.lines.append(pad + self._expr(stmt.expr) + ";")
+        elif isinstance(stmt, ast.Block):
+            self.lines.append(pad + "{")
+            for inner in stmt.stmts:
+                self._stmt(inner, depth + 1)
+            self.lines.append(pad + "}")
+        elif isinstance(stmt, ast.If):
+            self.lines.append(f"{pad}if ({self._expr(stmt.cond)}) {{")
+            self._body_stmts(stmt.then, depth)
+            if stmt.other is not None:
+                self.lines.append(pad + "} else {")
+                self._body_stmts(stmt.other, depth)
+            self.lines.append(pad + "}")
+        elif isinstance(stmt, ast.For):
+            for pragma in stmt.pragmas:
+                self.lines.append(pad + "#pragma " + self._pragma(pragma))
+            init = self._inline_stmt(stmt.init)
+            cond = "" if stmt.cond is None else self._expr(stmt.cond)
+            step = self._inline_stmt(stmt.step)
+            self.lines.append(f"{pad}for ({init}; {cond}; {step}) {{")
+            self._body_stmts(stmt.body, depth)
+            self.lines.append(pad + "}")
+        elif isinstance(stmt, ast.While):
+            self.lines.append(f"{pad}while ({self._expr(stmt.cond)}) {{")
+            self._body_stmts(stmt.body, depth)
+            self.lines.append(pad + "}")
+        elif isinstance(stmt, ast.DoWhile):
+            self.lines.append(pad + "do {")
+            self._body_stmts(stmt.body, depth)
+            self.lines.append(f"{pad}}} while ({self._expr(stmt.cond)});")
+        elif isinstance(stmt, ast.Return):
+            if stmt.value is None:
+                self.lines.append(pad + "return;")
+            else:
+                self.lines.append(f"{pad}return {self._expr(stmt.value)};")
+        elif isinstance(stmt, ast.Break):
+            self.lines.append(pad + "break;")
+        elif isinstance(stmt, ast.Continue):
+            self.lines.append(pad + "continue;")
+        elif isinstance(stmt, ast.PragmaStmt):
+            self.lines.append(pad + "#pragma " + self._pragma(stmt.pragma))
+        elif isinstance(stmt, ast.OffloadBlock):
+            self.lines.append(pad + "#pragma " + self._pragma(stmt.pragma))
+            self._stmt(stmt.body, depth)
+        else:
+            raise TypeError(f"cannot print statement {type(stmt).__name__}")
+
+    def _body_stmts(self, body: ast.Stmt, depth: int) -> None:
+        """Print the contents of a braced body, flattening a Block."""
+        if isinstance(body, ast.Block):
+            for inner in body.stmts:
+                self._stmt(inner, depth + 1)
+        else:
+            self._stmt(body, depth + 1)
+
+    def _inline_stmt(self, stmt: object) -> str:
+        """Render a for-header init/step statement without the semicolon."""
+        if stmt is None:
+            return ""
+        if isinstance(stmt, ast.VarDecl):
+            return self._var_decl(stmt)
+        if isinstance(stmt, ast.Assign):
+            return f"{self._expr(stmt.target)} {stmt.op} {self._expr(stmt.value)}"
+        if isinstance(stmt, ast.ExprStmt):
+            return self._expr(stmt.expr)
+        raise TypeError(f"cannot inline {type(stmt).__name__}")
+
+    def _var_decl(self, decl: ast.VarDecl) -> str:
+        text = self._declarator(decl.type, decl.name)
+        if decl.init is not None:
+            text += f" = {self._expr(decl.init)}"
+        return text
+
+    # -- pragmas -----------------------------------------------------------------
+
+    def _pragma(self, pragma: ast.Pragma) -> str:
+        if isinstance(pragma, ast.OmpParallelFor):
+            parts = ["omp parallel for"]
+            if pragma.private:
+                parts.append(f"private({', '.join(pragma.private)})")
+            for op, var in pragma.reduction:
+                parts.append(f"reduction({op}:{var})")
+            if pragma.num_threads is not None:
+                parts.append(f"num_threads({self._expr(pragma.num_threads)})")
+            if pragma.pipelined:
+                parts.append("pipelined(1)")
+            return " ".join(parts)
+        if isinstance(pragma, ast.OffloadPragma):
+            parts = [f"offload target(mic:{pragma.target})"]
+            parts.extend(self._clause(c) for c in pragma.clauses)
+            if pragma.shared:
+                parts.append(f"shared({', '.join(pragma.shared)})")
+            if pragma.persistent:
+                parts.append("persistent(1)")
+            if pragma.session is not None:
+                parts.append(f"session({pragma.session})")
+            if pragma.signal is not None:
+                parts.append(f"signal({self._expr(pragma.signal)})")
+            if pragma.wait is not None:
+                parts.append(f"wait({self._expr(pragma.wait)})")
+            return " ".join(parts)
+        if isinstance(pragma, ast.OffloadTransferPragma):
+            parts = [f"offload_transfer target(mic:{pragma.target})"]
+            parts.extend(self._clause(c) for c in pragma.clauses)
+            if pragma.signal is not None:
+                parts.append(f"signal({self._expr(pragma.signal)})")
+            return " ".join(parts)
+        if isinstance(pragma, ast.OffloadWaitPragma):
+            return (
+                f"offload_wait target(mic:{pragma.target}) "
+                f"wait({self._expr(pragma.wait)})"
+            )
+        raise TypeError(f"cannot print pragma {type(pragma).__name__}")
+
+    def _clause(self, clause: ast.TransferClause) -> str:
+        head = clause.var
+        if clause.start is not None:
+            head += f"[{self._expr(clause.start)}:{self._expr(clause.length)}]"
+        mods = []
+        if clause.start is None and clause.length is not None:
+            mods.append(f"length({self._expr(clause.length)})")
+        if clause.into is not None:
+            if clause.into_start is not None and clause.length is not None:
+                mods.append(
+                    f"into({clause.into}[{self._expr(clause.into_start)}"
+                    f":{self._expr(clause.length)}])"
+                )
+            else:
+                mods.append(f"into({clause.into})")
+        if clause.alloc_if is not None:
+            mods.append(f"alloc_if({self._expr(clause.alloc_if)})")
+        if clause.free_if is not None:
+            mods.append(f"free_if({self._expr(clause.free_if)})")
+        body = head if not mods else f"{head} : {' '.join(mods)}"
+        return f"{clause.direction}({body})"
+
+    # -- expressions ----------------------------------------------------------------
+
+    def _expr(self, expr: ast.Expr, parent_prec: int = 0) -> str:
+        if isinstance(expr, ast.IntLit):
+            return str(expr.value)
+        if isinstance(expr, ast.FloatLit):
+            text = repr(expr.value)
+            return text if ("." in text or "e" in text or "inf" in text) else text + ".0"
+        if isinstance(expr, ast.StringLit):
+            return f'"{expr.value}"'
+        if isinstance(expr, ast.Ident):
+            return expr.name
+        if isinstance(expr, ast.BinOp):
+            prec = _PRECEDENCE[expr.op]
+            # A left operand context of the lowest binary level ("||")
+            # must still force parentheses around a ternary operand, so
+            # the context precedence never drops back to 0 (= top level).
+            left_ctx = prec - 1 if prec > 1 else 0.5
+            left = self._expr(expr.left, left_ctx)
+            right = self._expr(expr.right, prec)
+            text = f"{left} {expr.op} {right}"
+            return f"({text})" if prec <= parent_prec else text
+        if isinstance(expr, ast.UnOp):
+            operand = self._expr(expr.operand, _UNARY_PRECEDENCE)
+            text = f"{expr.op}{operand}"
+            return f"({text})" if _UNARY_PRECEDENCE <= parent_prec else text
+        if isinstance(expr, ast.Subscript):
+            return f"{self._expr(expr.base, _UNARY_PRECEDENCE)}[{self._expr(expr.index)}]"
+        if isinstance(expr, ast.Member):
+            sep = "->" if expr.arrow else "."
+            return f"{self._expr(expr.base, _UNARY_PRECEDENCE)}{sep}{expr.field}"
+        if isinstance(expr, ast.Call):
+            args = ", ".join(self._expr(a) for a in expr.args)
+            return f"{expr.func}({args})"
+        if isinstance(expr, ast.Cond):
+            text = (
+                f"{self._expr(expr.cond, 1)} ? {self._expr(expr.then)}"
+                f" : {self._expr(expr.other)}"
+            )
+            return f"({text})" if parent_prec > 0 else text
+        if isinstance(expr, ast.Cast):
+            operand = self._expr(expr.operand, _UNARY_PRECEDENCE)
+            text = f"({self._type(expr.type)}){operand}"
+            return f"({text})" if _UNARY_PRECEDENCE <= parent_prec else text
+        if isinstance(expr, ast.SizeOf):
+            return f"sizeof({self._type(expr.type)})"
+        raise TypeError(f"cannot print expression {type(expr).__name__}")

@@ -1,0 +1,100 @@
+"""Token definitions for the MiniC lexer."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+# Token kinds. Operators and punctuation use their literal spelling as the
+# kind, which keeps the parser readable (``self._expect("(")``).
+IDENT = "IDENT"
+INT_LIT = "INT_LIT"
+FLOAT_LIT = "FLOAT_LIT"
+STRING_LIT = "STRING_LIT"
+KEYWORD = "KEYWORD"
+PRAGMA = "PRAGMA"
+EOF = "EOF"
+
+KEYWORDS = frozenset(
+    {
+        "int",
+        "float",
+        "double",
+        "char",
+        "long",
+        "void",
+        "struct",
+        "if",
+        "else",
+        "for",
+        "while",
+        "do",
+        "return",
+        "break",
+        "continue",
+        "sizeof",
+    }
+)
+
+# Multi-character operators must be listed before their prefixes so the
+# lexer performs maximal munch.
+OPERATORS = (
+    "<<=",
+    ">>=",
+    "==",
+    "!=",
+    "<=",
+    ">=",
+    "&&",
+    "||",
+    "++",
+    "--",
+    "+=",
+    "-=",
+    "*=",
+    "/=",
+    "%=",
+    "->",
+    "<<",
+    ">>",
+    "+",
+    "-",
+    "*",
+    "/",
+    "%",
+    "<",
+    ">",
+    "=",
+    "!",
+    "&",
+    "|",
+    "^",
+    "?",
+    ":",
+    ";",
+    ",",
+    ".",
+    "(",
+    ")",
+    "[",
+    "]",
+    "{",
+    "}",
+)
+
+
+@dataclass(frozen=True)
+class Token:
+    """A single lexical token.
+
+    ``kind`` is one of the module-level kind constants or a literal
+    operator spelling; ``value`` is the source text (for pragmas, the full
+    directive text after ``#pragma``).
+    """
+
+    kind: str
+    value: str
+    line: int
+    column: int
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Token({self.kind!r}, {self.value!r}, {self.line}:{self.column})"

@@ -1,0 +1,140 @@
+"""Generic visitor / transformer infrastructure for MiniC ASTs.
+
+Follows the shape of ``ast.NodeVisitor`` / ``ast.NodeTransformer`` from the
+standard library: subclasses define ``visit_<ClassName>`` methods and fall
+back to :meth:`generic_visit`.  The transformer rebuilds child lists so a
+``visit_*`` method may return
+
+* a replacement node,
+* ``None`` to delete a statement from its containing list, or
+* a list of nodes to splice multiple statements in place of one
+  (streaming replaces one loop with allocations + transfers + a nest).
+"""
+
+from __future__ import annotations
+
+import copy
+import dataclasses
+from typing import Iterator, List, Optional, Union
+
+from repro.minic import ast_nodes as ast
+
+
+def walk(node: ast.Node) -> Iterator[ast.Node]:
+    """Yield *node* and all descendants, depth-first pre-order."""
+    stack = [node]
+    while stack:
+        current = stack.pop()
+        yield current
+        stack.extend(reversed(list(current.children())))
+
+
+def clone(node: ast.Node) -> ast.Node:
+    """Deep-copy an AST node."""
+    return copy.deepcopy(node)
+
+
+class NodeVisitor:
+    """Read-only traversal with per-class dispatch."""
+
+    def visit(self, node: ast.Node) -> object:
+        """Dispatch on the node's class, falling back to generic_visit."""
+        method = getattr(self, f"visit_{type(node).__name__}", None)
+        if method is not None:
+            return method(node)
+        return self.generic_visit(node)
+
+    def generic_visit(self, node: ast.Node) -> object:
+        """Visit every child node."""
+        for child in node.children():
+            self.visit(child)
+        return None
+
+
+class NodeTransformer:
+    """Rebuild-in-place traversal with per-class dispatch.
+
+    ``visit`` returns the (possibly replaced) node.  List-valued returns
+    are only legal where the parent holds the child in a list field.
+    """
+
+    def visit(
+        self, node: ast.Node
+    ) -> Union[ast.Node, List[ast.Node], None]:
+        """Dispatch and return the (possibly replaced) node."""
+        method = getattr(self, f"visit_{type(node).__name__}", None)
+        if method is not None:
+            return method(node)
+        return self.generic_visit(node)
+
+    def generic_visit(self, node: ast.Node) -> ast.Node:
+        """Rebuild children, honouring delete/splice returns."""
+        for f in dataclasses.fields(node):
+            value = getattr(node, f.name)
+            if isinstance(value, ast.Node):
+                replacement = self.visit(value)
+                if isinstance(replacement, list):
+                    raise TypeError(
+                        f"cannot splice a list into scalar field "
+                        f"{type(node).__name__}.{f.name}"
+                    )
+                setattr(node, f.name, replacement)
+            elif isinstance(value, list):
+                new_items: List[object] = []
+                for item in value:
+                    if not isinstance(item, ast.Node):
+                        new_items.append(item)
+                        continue
+                    replacement = self.visit(item)
+                    if replacement is None:
+                        continue
+                    if isinstance(replacement, list):
+                        new_items.extend(replacement)
+                    else:
+                        new_items.append(replacement)
+                setattr(node, f.name, new_items)
+        return node
+
+
+class _IdentRenamer(NodeTransformer):
+    def __init__(self, mapping: dict):
+        self.mapping = mapping
+
+    def visit_Ident(self, node: ast.Ident) -> ast.Node:
+        replacement = self.mapping.get(node.name)
+        if replacement is None:
+            return node
+        if isinstance(replacement, ast.Expr):
+            return clone(replacement)
+        return ast.Ident(replacement)
+
+
+def substitute(node: ast.Node, mapping: dict) -> ast.Node:
+    """Return a copy of *node* with identifiers renamed / replaced.
+
+    *mapping* maps identifier names to either new names (str) or
+    replacement expressions (:class:`~repro.minic.ast_nodes.Expr`).
+    """
+    return _IdentRenamer(mapping).visit(clone(node))
+
+
+def find_loops(node: ast.Node) -> List[ast.For]:
+    """Return all for loops under *node* in pre-order."""
+    return [n for n in walk(node) if isinstance(n, ast.For)]
+
+
+def find_offload_loops(node: ast.Node) -> List[ast.For]:
+    """Return for loops annotated with an offload pragma."""
+    return [
+        loop
+        for loop in find_loops(node)
+        if any(isinstance(p, ast.OffloadPragma) for p in loop.pragmas)
+    ]
+
+
+def get_pragma(loop: ast.For, kind: type) -> Optional[ast.Pragma]:
+    """Return the first pragma of *kind* on *loop*, or None."""
+    for pragma in loop.pragmas:
+        if isinstance(pragma, kind):
+            return pragma
+    return None

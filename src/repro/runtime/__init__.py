@@ -1,0 +1,41 @@
+"""Simulated offload runtime.
+
+Layers, bottom to top:
+
+* :mod:`repro.runtime.values` — host and device memory spaces holding
+  named numpy buffers and scalars; the device space is strict (reading a
+  buffer that was never transferred raises), which is how clause-inference
+  bugs surface;
+* :mod:`repro.runtime.coi` — the low-level COI-like runtime: buffer
+  management, synchronous and asynchronous DMA, kernel launches, and the
+  signal fast path used by thread reuse;
+* :mod:`repro.runtime.executor` — the MiniC interpreter that executes
+  programs against the simulated machine, accruing operation counters and
+  driving the timeline through LEO pragmas;
+* :mod:`repro.runtime.myo` / :mod:`repro.runtime.arena` /
+  :mod:`repro.runtime.smartptr` — the MYO page-fault shared-memory
+  baseline and the paper's segmented-arena + augmented-pointer
+  replacement (Section V).
+"""
+
+from repro.runtime.arena import ArenaAllocator, SharedObject
+from repro.runtime.coi import CoiRuntime
+from repro.runtime.executor import ExecutionResult, Executor, Machine, run_program
+from repro.runtime.myo import MyoRuntime
+from repro.runtime.smartptr import DeltaTable, SharedPtr
+from repro.runtime.values import DeviceSpace, HostSpace
+
+__all__ = [
+    "ArenaAllocator",
+    "SharedObject",
+    "CoiRuntime",
+    "ExecutionResult",
+    "Executor",
+    "Machine",
+    "run_program",
+    "MyoRuntime",
+    "DeltaTable",
+    "SharedPtr",
+    "DeviceSpace",
+    "HostSpace",
+]

@@ -1,0 +1,106 @@
+"""The two buffer-allocation strategies Section V-A rejects.
+
+The paper argues for segmented arenas by elimination:
+
+* "A straightforward way to allocate buffer is preallocating a very
+  large buffer at the beginning.  However, this may waste memory on MIC,
+  when the data structure is small."  (:class:`PreallocAllocator`)
+* "Another approach is to allocate a small buffer at first.  Every time
+  the buffer is full, we create a larger buffer and move the data into
+  the new one.  However, in this case, the buffer size is bounded by the
+  largest continuous memory chunk OS can allocate ... In addition, this
+  method may cause significant overhead for moving data."
+  (:class:`GrowCopyAllocator`)
+
+Implementing both makes the design argument quantitative: the ablation
+benchmark compares reserved-vs-used memory, bytes moved, and the
+contiguity ceiling against the segmented arena.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.errors import RuntimeFault
+
+#: The "largest continuous memory chunk the OS can allocate" on the
+#: coprocessor — the paper notes it is "much smaller than the 8 GB memory
+#: size on MIC" while "many applications use data sets larger than 2 GB".
+MAX_CONTIGUOUS_BYTES = 2 << 30
+
+
+@dataclass
+class AllocStats:
+    allocations: int = 0
+    reserved_bytes: int = 0
+    used_bytes: int = 0
+    moved_bytes: int = 0  # grow-and-copy data movement
+
+    @property
+    def waste(self) -> int:
+        """Reserved bytes never used by an allocation."""
+        return self.reserved_bytes - self.used_bytes
+
+
+class PreallocAllocator:
+    """One huge buffer reserved up front."""
+
+    def __init__(self, reserve_bytes: int = MAX_CONTIGUOUS_BYTES):
+        if reserve_bytes > MAX_CONTIGUOUS_BYTES:
+            raise RuntimeFault(
+                f"cannot reserve {reserve_bytes} bytes contiguously "
+                f"(OS limit {MAX_CONTIGUOUS_BYTES})"
+            )
+        self.reserve_bytes = reserve_bytes
+        self.stats = AllocStats(reserved_bytes=reserve_bytes)
+
+    def allocate(self, size: int) -> int:
+        """Bump-allocate *size* bytes from the reserved buffer."""
+        if size <= 0:
+            raise ValueError("allocation size must be positive")
+        if self.stats.used_bytes + size > self.reserve_bytes:
+            raise RuntimeFault(
+                f"preallocated buffer exhausted at "
+                f"{self.stats.used_bytes} of {self.reserve_bytes} bytes"
+            )
+        addr = self.stats.used_bytes
+        self.stats.used_bytes += size
+        self.stats.allocations += 1
+        return addr
+
+
+class GrowCopyAllocator:
+    """Start small; double and copy whenever full.
+
+    Every growth moves all live data into the new buffer, and the buffer
+    can never exceed the OS's contiguous-allocation ceiling.
+    """
+
+    def __init__(self, initial_bytes: int = 1 << 20):
+        if initial_bytes <= 0:
+            raise ValueError("initial size must be positive")
+        self.capacity = initial_bytes
+        self.stats = AllocStats(reserved_bytes=initial_bytes)
+        self.growths: List[int] = []
+
+    def allocate(self, size: int) -> int:
+        """Allocate *size* bytes, doubling (and moving) when full."""
+        if size <= 0:
+            raise ValueError("allocation size must be positive")
+        while self.stats.used_bytes + size > self.capacity:
+            new_capacity = self.capacity * 2
+            if new_capacity > MAX_CONTIGUOUS_BYTES:
+                raise RuntimeFault(
+                    f"grow-and-copy cannot exceed the contiguous limit "
+                    f"({MAX_CONTIGUOUS_BYTES} bytes); data set too large"
+                )
+            # Moving the live data is the strategy's hidden cost.
+            self.stats.moved_bytes += self.stats.used_bytes
+            self.capacity = new_capacity
+            self.growths.append(new_capacity)
+        self.stats.reserved_bytes = self.capacity
+        addr = self.stats.used_bytes
+        self.stats.used_bytes += size
+        self.stats.allocations += 1
+        return addr

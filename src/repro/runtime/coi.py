@@ -1,0 +1,244 @@
+"""COI-like low-level offload runtime.
+
+The paper drops below LEO for thread reuse: "In our implementation, we use
+lower-level COI library to control the synchronization between CPU and
+MIC."  This module is that layer for the simulated machine: device buffer
+management, DMA transfers (sync and async), kernel launches with launch
+overhead, the persistent-kernel signal fast path, and named signals for
+``signal``/``wait`` clauses.
+
+Data movement is performed eagerly on the numpy buffers (program order
+equals issue order in our interpreter), while *timing* is scheduled on the
+shared :class:`~repro.hardware.event_sim.Timeline`, so transfer/compute
+overlap shows up in simulated time without affecting correctness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+import numpy as np
+
+from repro.errors import RuntimeFault
+from repro.hardware.event_sim import Clock, Event, Timeline
+from repro.hardware.memory import DeviceMemoryManager
+from repro.hardware.pcie import dma_transfer_time
+from repro.hardware.spec import MachineSpec
+from repro.runtime.values import DeviceSpace, HostSpace
+
+DMA_TO_DEVICE = "dma:h2d"
+DMA_FROM_DEVICE = "dma:d2h"
+DEVICE = "mic"
+HOST = "cpu"
+
+
+@dataclass
+class CoiStats:
+    """Counters the experiment harness reports."""
+
+    bytes_to_device: float = 0.0
+    bytes_from_device: float = 0.0
+    transfers_to_device: int = 0
+    transfers_from_device: int = 0
+    kernel_launches: int = 0
+    kernel_signals: int = 0
+    allocations: int = 0
+    #: Pure kernel compute time, excluding launch/signal overheads.
+    kernel_compute_seconds: float = 0.0
+
+
+class CoiRuntime:
+    """Low-level runtime bound to one simulated machine."""
+
+    def __init__(
+        self,
+        spec: MachineSpec,
+        timeline: Timeline,
+        clock: Clock,
+        device_memory: DeviceMemoryManager,
+        host: HostSpace,
+        device: DeviceSpace,
+        scale: float = 1.0,
+    ):
+        self.spec = spec
+        self.timeline = timeline
+        self.clock = clock
+        self.device_memory = device_memory
+        self.host = host
+        self.device = device
+        self.scale = scale
+        self.stats = CoiStats()
+        self.signals: Dict[object, List[Event]] = {}
+        self._persistent_live: set = set()
+
+    # -- buffers ------------------------------------------------------------
+
+    def alloc_buffer(self, name: str, count: int, dtype=np.float32) -> np.ndarray:
+        """Allocate (or reuse) a device buffer of *count* elements."""
+        itemsize = np.dtype(dtype).itemsize
+        self.device_memory.allocate(name, count * itemsize)
+        existing = self.device.arrays.get(name)
+        if existing is None or len(existing) < count or existing.dtype != dtype:
+            self.device.arrays[name] = np.zeros(count, dtype=dtype)
+        self.stats.allocations += 1
+        return self.device.arrays[name]
+
+    def free_buffer(self, name: str) -> None:
+        """Free the device buffer and its memory accounting."""
+        if self.device_memory.holds(name):
+            self.device_memory.free(name)
+        self.device.arrays.pop(name, None)
+
+    # -- transfers ------------------------------------------------------------
+
+    def write_buffer(
+        self,
+        dest: str,
+        dest_start: int,
+        data: np.ndarray,
+        deps: Iterable[Event] = (),
+        sync: bool = True,
+    ) -> Event:
+        """Copy host *data* into device buffer *dest* at *dest_start*.
+
+        The copy happens immediately (issue order is program order); the
+        DMA time is scheduled on the host-to-device channel.  When *sync*
+        the host clock blocks on completion, otherwise the returned event
+        is the dependency later operations use.
+        """
+        buf = self.device.array(dest)
+        if dest_start < 0 or dest_start + len(data) > len(buf):
+            raise RuntimeFault(
+                f"transfer into {dest!r} out of range: "
+                f"[{dest_start}, {dest_start + len(data)}) of {len(buf)}"
+            )
+        buf[dest_start : dest_start + len(data)] = data
+        nbytes = data.nbytes * self.scale
+        event = self.timeline.schedule(
+            DMA_TO_DEVICE,
+            dma_transfer_time(nbytes, self.spec.pcie),
+            deps=deps,
+            label=f"h2d:{dest}",
+            not_before=self.clock.now,
+        )
+        self.stats.bytes_to_device += nbytes
+        self.stats.transfers_to_device += 1
+        if sync:
+            self.clock.wait_until(event)
+        return event
+
+    def read_buffer(
+        self,
+        src: str,
+        src_start: int,
+        count: int,
+        into: np.ndarray,
+        into_start: int,
+        deps: Iterable[Event] = (),
+        sync: bool = True,
+    ) -> Event:
+        """Copy *count* elements of device buffer *src* back to host."""
+        buf = self.device.array(src)
+        if src_start < 0 or src_start + count > len(buf):
+            raise RuntimeFault(
+                f"transfer from {src!r} out of range: "
+                f"[{src_start}, {src_start + count}) of {len(buf)}"
+            )
+        into[into_start : into_start + count] = buf[src_start : src_start + count]
+        nbytes = count * buf.dtype.itemsize * self.scale
+        event = self.timeline.schedule(
+            DMA_FROM_DEVICE,
+            dma_transfer_time(nbytes, self.spec.pcie),
+            deps=deps,
+            label=f"d2h:{src}",
+            not_before=self.clock.now,
+        )
+        self.stats.bytes_from_device += nbytes
+        self.stats.transfers_from_device += 1
+        if sync:
+            self.clock.wait_until(event)
+        return event
+
+    def raw_transfer(
+        self,
+        nbytes: float,
+        to_device: bool,
+        deps: Iterable[Event] = (),
+        sync: bool = True,
+        label: str = "raw",
+    ) -> Event:
+        """Schedule transfer time without touching named buffers.
+
+        Used by the shared-memory runtimes, whose data lives in arena /
+        page objects rather than named numpy buffers.
+        """
+        channel = DMA_TO_DEVICE if to_device else DMA_FROM_DEVICE
+        event = self.timeline.schedule(
+            channel,
+            dma_transfer_time(nbytes * self.scale, self.spec.pcie),
+            deps=deps,
+            label=label,
+            not_before=self.clock.now,
+        )
+        if to_device:
+            self.stats.bytes_to_device += nbytes * self.scale
+            self.stats.transfers_to_device += 1
+        else:
+            self.stats.bytes_from_device += nbytes * self.scale
+            self.stats.transfers_from_device += 1
+        if sync:
+            self.clock.wait_until(event)
+        return event
+
+    # -- kernels ---------------------------------------------------------------
+
+    def launch_kernel(
+        self,
+        duration: float,
+        deps: Iterable[Event] = (),
+        label: str = "kernel",
+        persistent_key: Optional[str] = None,
+    ) -> Event:
+        """Run device work of *duration* seconds (already scaled).
+
+        A fresh launch pays the LEO/COI kernel launch overhead K.  With a
+        *persistent_key*, only the first launch pays K; subsequent work
+        under the same key pays the much smaller signal overhead — the
+        thread-reuse optimization of Section III-C.
+        """
+        mic = self.spec.mic
+        if persistent_key is None:
+            overhead = mic.kernel_launch_overhead
+            self.stats.kernel_launches += 1
+        elif persistent_key not in self._persistent_live:
+            self._persistent_live.add(persistent_key)
+            overhead = mic.kernel_launch_overhead
+            self.stats.kernel_launches += 1
+        else:
+            overhead = mic.signal_overhead
+            self.stats.kernel_signals += 1
+        self.stats.kernel_compute_seconds += duration
+        return self.timeline.schedule(
+            DEVICE,
+            overhead + duration,
+            deps=deps,
+            label=label,
+            not_before=self.clock.now,
+        )
+
+    def end_persistent(self, key: str) -> None:
+        """Terminate a persistent kernel (next use pays a full launch)."""
+        self._persistent_live.discard(key)
+
+    # -- signals -----------------------------------------------------------------
+
+    def post_signal(self, tag: object, events: Iterable[Event]) -> None:
+        """Record completion events under *tag* for a later wait."""
+        self.signals.setdefault(tag, []).extend(events)
+
+    def wait_signal(self, tag: object) -> None:
+        """Block the host until everything posted under *tag* completes."""
+        events = self.signals.pop(tag, [])
+        for event in events:
+            self.clock.wait_until(event)

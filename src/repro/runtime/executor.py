@@ -1,0 +1,1350 @@
+"""The MiniC interpreter: executes programs against the simulated machine.
+
+The interpreter serves two purposes at once:
+
+1. **Correctness** — programs run concretely over numpy arrays, so a
+   transformed program can be checked for bit-identical outputs against
+   the original (our substitute for running the paper's benchmarks on
+   real hardware).
+2. **Timing** — every evaluated operation accrues dynamic counters
+   (flops, loads/stores, bytes, irregularity); parallel loops convert
+   counters to device time via the roofline model; LEO pragmas drive DMA
+   transfers and kernel launches on the shared event timeline.  Simulated
+   time is completely decoupled from wall-clock interpretation speed, and
+   a *scale* factor lets a workload execute at a reduced element count
+   while being timed (and memory-checked) at paper scale.
+
+Execution contexts: code runs on the **host** until an offload pragma is
+reached; the annotated loop or block is interpreted in a **device**
+context whose name resolution is restricted to data actually transferred
+by the clauses (a missing clause raises
+:class:`~repro.errors.MissingTransferError`).  Serial statements inside a
+device context are timed at MIC serial speed — which is how offload
+merging's cost ("we may increase the sequential execution on MIC") shows
+up naturally.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.errors import ExecutionError, MissingTransferError, RuntimeFault
+from repro.analysis.array_access import (
+    AccessKind,
+    extract_linear_form,
+)
+from repro.errors import NotAffineError
+from repro.hardware.device import ComputeDevice, OpCounters
+from repro.hardware.event_sim import Clock, Event, Timeline
+from repro.hardware.memory import DeviceMemoryManager
+from repro.hardware.spec import MachineSpec, paper_machine
+from repro.minic import ast_nodes as ast
+from repro.minic.parser import parse
+from repro.runtime.coi import DEVICE, DMA_FROM_DEVICE, DMA_TO_DEVICE, CoiRuntime
+from repro.runtime.values import DeviceSpace, HostSpace
+
+# Flop costs of builtin math calls (rough icc/SVML-like latencies).
+BUILTIN_COSTS = {
+    "exp": 10.0,
+    "log": 10.0,
+    "sqrt": 4.0,
+    "fabs": 1.0,
+    "abs": 1.0,
+    "pow": 14.0,
+    "sin": 10.0,
+    "cos": 10.0,
+    "floor": 1.0,
+    "ceil": 1.0,
+    "min": 1.0,
+    "max": 1.0,
+}
+
+_BUILTIN_IMPL = {
+    "exp": math.exp,
+    "log": math.log,
+    "sqrt": math.sqrt,
+    "fabs": abs,
+    "abs": abs,
+    "pow": math.pow,
+    "sin": math.sin,
+    "cos": math.cos,
+    "floor": math.floor,
+    "ceil": math.ceil,
+    "min": min,
+    "max": max,
+}
+
+_NUMPY_TYPES = {
+    "float": np.float32,
+    "double": np.float64,
+    "int": np.int32,
+    "char": np.int8,
+}
+
+
+# ==========================================================================
+# Machine: everything the executor runs against
+# ==========================================================================
+
+
+@dataclass
+class Machine:
+    """One simulated host+coprocessor machine instance."""
+
+    spec: MachineSpec = field(default_factory=paper_machine)
+    scale: float = 1.0
+
+    def __post_init__(self) -> None:
+        self.timeline = Timeline()
+        self.clock = Clock()
+        self.host = HostSpace()
+        self.device = DeviceSpace()
+        self.device_memory = DeviceMemoryManager(
+            capacity=self.spec.mic.usable_memory, scale=self.scale
+        )
+        self.coi = CoiRuntime(
+            self.spec,
+            self.timeline,
+            self.clock,
+            self.device_memory,
+            self.host,
+            self.device,
+            scale=self.scale,
+        )
+        self.cpu_model = ComputeDevice(self.spec.cpu)
+        self.mic_model = ComputeDevice(self.spec.mic)
+        # Shared-memory runtimes for programs using the Section V
+        # allocation intrinsics, created lazily.
+        self._myo = None
+        self._arena = None
+
+    @property
+    def myo(self):
+        """Lazily created MYO runtime for shared-malloc intrinsics."""
+        if self._myo is None:
+            from repro.runtime.myo import MyoRuntime
+
+            self._myo = MyoRuntime(self.coi)
+        return self._myo
+
+    @property
+    def arena(self):
+        """Lazily created arena allocator for arena_alloc intrinsics."""
+        if self._arena is None:
+            from repro.runtime.arena import ArenaAllocator
+
+            self._arena = ArenaAllocator()
+        return self._arena
+
+
+# ==========================================================================
+# Environments
+# ==========================================================================
+
+
+class Env:
+    """A lexical scope chain ending in a memory-space root."""
+
+    def __init__(self, parent: Optional["Env"] = None):
+        self.parent = parent
+        self.vars: Dict[str, object] = {}
+
+    def declare(self, name: str, value: object) -> None:
+        """Bind *name* in this scope."""
+        self.vars[name] = value
+
+    def get(self, name: str) -> object:
+        """Resolve *name* through the scope chain."""
+        if name in self.vars:
+            value = self.vars[name]
+            if value is None:
+                raise ExecutionError(f"variable {name!r} used uninitialized")
+            return value
+        if self.parent is not None:
+            return self.parent.get(name)
+        raise self._missing(name)
+
+    def set(self, name: str, value: object) -> None:
+        """Assign to an existing binding in the scope chain."""
+        if name in self.vars:
+            self.vars[name] = value
+            return
+        if self.parent is not None:
+            self.parent.set(name, value)
+            return
+        raise self._missing(name)
+
+    def has(self, name: str) -> bool:
+        """True when *name* resolves somewhere in the chain."""
+        if name in self.vars:
+            return True
+        return self.parent is not None and self.parent.has(name)
+
+    def _missing(self, name: str) -> Exception:
+        return ExecutionError(f"undefined variable {name!r}")
+
+    def root(self) -> "Env":
+        """The chain's root scope (file-scope storage)."""
+        env = self
+        while env.parent is not None:
+            env = env.parent
+        return env
+
+    def _own_int_bindings(self) -> Dict[str, int]:
+        return {
+            k: int(v)
+            for k, v in self.vars.items()
+            if isinstance(v, (int, np.integer))
+        }
+
+    def int_bindings(self) -> Dict[str, int]:
+        """All integer-valued scalars visible here (for access analysis)."""
+        bindings: Dict[str, int] = {}
+        env: Optional[Env] = self
+        while env is not None:
+            for key, value in env._own_int_bindings().items():
+                if key not in bindings:
+                    bindings[key] = value
+            env = env.parent
+        return bindings
+
+
+class _HostRootEnv(Env):
+    """Root scope over the host memory space."""
+
+    def __init__(self, host: HostSpace):
+        super().__init__()
+        self.host = host
+
+    def declare(self, name, value):
+        if isinstance(value, np.ndarray):
+            self.host.arrays[name] = value
+        else:
+            self.host.scalars[name] = value
+
+    def get(self, name):
+        if name in self.host.arrays:
+            return self.host.arrays[name]
+        if name in self.host.scalars:
+            return self.host.scalars[name]
+        raise self._missing(name)
+
+    def set(self, name, value):
+        if name in self.host.arrays and isinstance(value, np.ndarray):
+            self.host.arrays[name] = value
+        else:
+            self.host.scalars[name] = value
+
+    def has(self, name):
+        return name in self.host.arrays or name in self.host.scalars
+
+    def _own_int_bindings(self):
+        return {
+            k: int(v)
+            for k, v in self.host.scalars.items()
+            if isinstance(v, (int, np.integer))
+        }
+
+
+class _DeviceRootEnv(Env):
+    """Root scope over the device memory space: strict name resolution."""
+
+    def __init__(self, device: DeviceSpace):
+        super().__init__()
+        self.device = device
+
+    def declare(self, name, value):
+        if isinstance(value, np.ndarray):
+            self.device.arrays[name] = value
+        else:
+            self.device.scalars[name] = value
+
+    def get(self, name):
+        if name in self.device.arrays:
+            return self.device.arrays[name]
+        if name in self.device.scalars:
+            return self.device.scalars[name]
+        raise self._missing(name)
+
+    def set(self, name, value):
+        if name in self.device.arrays and isinstance(value, np.ndarray):
+            self.device.arrays[name] = value
+        else:
+            self.device.scalars[name] = value
+
+    def has(self, name):
+        return name in self.device.arrays or name in self.device.scalars
+
+    def _missing(self, name):
+        return MissingTransferError(
+            f"device code touched {name!r}, which was never transferred "
+            f"to the coprocessor (missing in/inout clause?)"
+        )
+
+    def _own_int_bindings(self):
+        return {
+            k: int(v)
+            for k, v in self.device.scalars.items()
+            if isinstance(v, (int, np.integer))
+        }
+
+
+# ==========================================================================
+# Control-flow signals
+# ==========================================================================
+
+
+class _Break(Exception):
+    pass
+
+
+class _Continue(Exception):
+    pass
+
+
+class _Return(Exception):
+    def __init__(self, value):
+        self.value = value
+
+
+# ==========================================================================
+# Execution contexts (timing accumulators)
+# ==========================================================================
+
+
+class _TimedContext:
+    """Accumulates compute time for one processor."""
+
+    def __init__(self, model: ComputeDevice, scale: float, is_device: bool):
+        self.model = model
+        self.scale = scale
+        self.is_device = is_device
+        self.pending = OpCounters()
+        self.seconds = 0.0
+        self.in_parallel = False
+
+    def flush_serial(self) -> None:
+        if self.pending.work_ops or self.pending.total_bytes:
+            self.seconds += self.model.compute_time(
+                self.pending.scaled(self.scale), serial=True
+            )
+        self.pending = OpCounters()
+
+    def add_parallel(
+        self, counters: OpCounters, trip: float, vectorizable: bool
+    ) -> None:
+        self.seconds += self.model.compute_time(
+            counters.scaled(self.scale),
+            parallel_iterations=trip * self.scale,
+            vectorizable=vectorizable,
+        )
+
+    def take_seconds(self) -> float:
+        self.flush_serial()
+        seconds, self.seconds = self.seconds, 0.0
+        return seconds
+
+
+# ==========================================================================
+# Results
+# ==========================================================================
+
+
+@dataclass
+class ExecutionStats:
+    """Timing and traffic breakdown of one program run (simulated units)."""
+
+    total_time: float = 0.0
+    host_compute_time: float = 0.0
+    device_busy_time: float = 0.0
+    #: Kernel compute only, without launch/signal overheads (Figure 4's
+    #: "calculation time").
+    device_compute_time: float = 0.0
+    transfer_to_device_time: float = 0.0
+    transfer_from_device_time: float = 0.0
+    bytes_to_device: float = 0.0
+    bytes_from_device: float = 0.0
+    kernel_launches: int = 0
+    kernel_signals: int = 0
+    offload_count: int = 0
+    device_peak_bytes: int = 0
+
+    @property
+    def transfer_time(self) -> float:
+        """Host-to-device plus device-to-host DMA time."""
+        return self.transfer_to_device_time + self.transfer_from_device_time
+
+
+@dataclass
+class ExecutionResult:
+    """Final host memory plus the stats of the run."""
+
+    host: HostSpace
+    stats: ExecutionStats
+    return_value: object = None
+
+    def array(self, name: str) -> np.ndarray:
+        """A named host array after execution."""
+        return self.host.array(name)
+
+    def scalar(self, name: str) -> object:
+        """A named host scalar after execution."""
+        return self.host.scalars[name]
+
+
+# ==========================================================================
+# The executor
+# ==========================================================================
+
+
+class Executor:
+    """Interprets one program on one machine."""
+
+    def __init__(self, program: Union[ast.Program, str], machine: Optional[Machine] = None):
+        if isinstance(program, str):
+            program = parse(program)
+        self.program = program
+        self.machine = machine or Machine()
+        self.functions = {f.name: f for f in program.functions() if f.body}
+        self.structs = {s.name: s for s in program.structs()}
+        self._access_cache: Dict[Tuple[int, str], AccessKind] = {}
+        self._host_ctx = _TimedContext(
+            self.machine.cpu_model, self.machine.scale, is_device=False
+        )
+        self._ctx = self._host_ctx
+        self._loop_vars: List[str] = []
+        self._host_root = _HostRootEnv(self.machine.host)
+        self._device_root = _DeviceRootEnv(self.machine.device)
+
+    # -- public API ---------------------------------------------------------
+
+    def run(
+        self,
+        entry: str = "main",
+        arrays: Optional[Dict[str, np.ndarray]] = None,
+        scalars: Optional[Dict[str, object]] = None,
+    ) -> ExecutionResult:
+        """Execute function *entry* with the given host bindings."""
+        host = self.machine.host
+        for name, value in (arrays or {}).items():
+            host.arrays[name] = value
+        for name, value in (scalars or {}).items():
+            host.scalars[name] = value
+        for decl in self.program.decls:
+            if isinstance(decl, ast.GlobalDecl):
+                self._exec_global(decl.decl)
+
+        func = self.functions.get(entry)
+        if func is None:
+            raise ExecutionError(f"no function {entry!r} in program")
+        env = Env(parent=self._host_root)
+        args = []
+        for param in func.params:
+            if not self._host_root.has(param.name):
+                raise ExecutionError(
+                    f"entry parameter {param.name!r} was not bound"
+                )
+            args.append(self._host_root.get(param.name))
+        value = self._call_function(func, args, env_parent=self._host_root)
+
+        self._drain_host()
+        return ExecutionResult(
+            host=host, stats=self._collect_stats(), return_value=value
+        )
+
+    # -- stats --------------------------------------------------------------------
+
+    def _collect_stats(self) -> ExecutionStats:
+        machine = self.machine
+        coi = machine.coi
+        return ExecutionStats(
+            # Asynchronous tails (pipelined regularization, unwaited
+            # transfers) bound completion even when the host got ahead.
+            total_time=max(machine.clock.now, machine.timeline.finish_time()),
+            host_compute_time=machine.timeline.busy_time("cpu")
+            + self._host_seconds_total,
+            device_busy_time=machine.timeline.busy_time(DEVICE),
+            device_compute_time=coi.stats.kernel_compute_seconds,
+            transfer_to_device_time=machine.timeline.busy_time(DMA_TO_DEVICE),
+            transfer_from_device_time=machine.timeline.busy_time(DMA_FROM_DEVICE),
+            bytes_to_device=coi.stats.bytes_to_device,
+            bytes_from_device=coi.stats.bytes_from_device,
+            kernel_launches=coi.stats.kernel_launches,
+            kernel_signals=coi.stats.kernel_signals,
+            offload_count=self._offload_count,
+            device_peak_bytes=machine.device_memory.peak,
+        )
+
+    _host_seconds_total: float = 0.0
+    _offload_count: int = 0
+
+    def _drain_host(self) -> None:
+        seconds = self._host_ctx.take_seconds()
+        self._host_seconds_total += seconds
+        self.machine.clock.advance(seconds)
+
+    # -- globals / functions ---------------------------------------------------------
+
+    def _exec_global(self, decl: ast.VarDecl) -> None:
+        if self._host_root.has(decl.name):
+            return  # bound by the caller
+        if isinstance(decl.type, ast.ArrayType):
+            self._host_root.declare(decl.name, self._make_local_array(decl.type))
+        elif decl.init is not None:
+            self._host_root.declare(decl.name, self._eval(decl.init, self._host_root))
+        else:
+            self._host_root.declare(decl.name, 0)
+
+    def _call_function(self, func: ast.FuncDef, args, env_parent: Env):
+        if len(args) != len(func.params):
+            raise ExecutionError(
+                f"{func.name}() takes {len(func.params)} args, got {len(args)}"
+            )
+        env = Env(parent=env_parent)
+        for param, value in zip(func.params, args):
+            env.declare(param.name, value)
+        try:
+            self._exec_block(func.body, env)
+        except _Return as ret:
+            return ret.value
+        return None
+
+    # -- statements --------------------------------------------------------------------
+
+    def _exec_block(self, block: ast.Block, env: Env) -> None:
+        scope = Env(parent=env)
+        for stmt in block.stmts:
+            self._exec_stmt(stmt, scope)
+
+    def _exec_stmt(self, stmt: ast.Stmt, env: Env) -> None:
+        if isinstance(stmt, ast.VarDecl):
+            self._exec_decl(stmt, env)
+        elif isinstance(stmt, ast.Assign):
+            self._exec_assign(stmt, env)
+        elif isinstance(stmt, ast.ExprStmt):
+            self._eval(stmt.expr, env)
+        elif isinstance(stmt, ast.Block):
+            self._exec_block(stmt, env)
+        elif isinstance(stmt, ast.If):
+            self._ctx.pending.branches += 1
+            if self._truthy(self._eval(stmt.cond, env)):
+                self._exec_stmt(stmt.then, env)
+            elif stmt.other is not None:
+                self._exec_stmt(stmt.other, env)
+        elif isinstance(stmt, ast.For):
+            self._exec_for(stmt, env)
+        elif isinstance(stmt, ast.While):
+            self._exec_while(stmt, env)
+        elif isinstance(stmt, ast.DoWhile):
+            self._exec_do_while(stmt, env)
+        elif isinstance(stmt, ast.Return):
+            raise _Return(None if stmt.value is None else self._eval(stmt.value, env))
+        elif isinstance(stmt, ast.Break):
+            raise _Break()
+        elif isinstance(stmt, ast.Continue):
+            raise _Continue()
+        elif isinstance(stmt, ast.PragmaStmt):
+            self._exec_pragma_stmt(stmt.pragma, env)
+        elif isinstance(stmt, ast.OffloadBlock):
+            self._exec_offload(stmt.pragma, stmt.body, env, loop=None)
+        else:
+            raise ExecutionError(f"cannot execute {type(stmt).__name__}")
+
+    def _exec_decl(self, decl: ast.VarDecl, env: Env) -> None:
+        if isinstance(decl.type, ast.ArrayType):
+            env.declare(decl.name, self._make_local_array(decl.type, env))
+        elif decl.init is not None:
+            value = self._eval(decl.init, env)
+            env.declare(decl.name, self._coerce(decl.type, value))
+        else:
+            env.declare(decl.name, None)
+
+    def _make_local_array(self, typ: ast.ArrayType, env: Optional[Env] = None):
+        size = (
+            self._eval(typ.size, env or self._host_root)
+            if typ.size is not None
+            else 0
+        )
+        base = typ.base
+        dtype = _NUMPY_TYPES.get(getattr(base, "name", "float"), np.float64)
+        return np.zeros(int(size), dtype=dtype)
+
+    def _coerce(self, typ: ast.Type, value):
+        if isinstance(typ, ast.BaseType) and typ.name == "int" and not isinstance(
+            value, np.ndarray
+        ):
+            return int(value)
+        if isinstance(typ, ast.BaseType) and typ.name in ("float", "double"):
+            if not isinstance(value, np.ndarray):
+                return float(value)
+        return value
+
+    # -- assignment ----------------------------------------------------------------------
+
+    def _exec_assign(self, stmt: ast.Assign, env: Env) -> None:
+        value = self._eval(stmt.value, env)
+        target = stmt.target
+        if stmt.op != "=":
+            current = self._eval(target, env)
+            value = self._binary_value(stmt.op[0], current, value)
+        if isinstance(target, ast.Ident):
+            if not env.has(target.name):
+                # Assignment to an undeclared name creates it at file scope
+                # (host globals / device scalars), C-extern style.
+                env.root().declare(target.name, value)
+            else:
+                old = None
+                try:
+                    old = env.get(target.name)
+                except ExecutionError:
+                    pass
+                if isinstance(old, (int, np.integer)) and not isinstance(
+                    value, np.ndarray
+                ):
+                    value = int(value)
+                env.set(target.name, value)
+        elif isinstance(target, ast.Subscript):
+            array, index = self._resolve_subscript(target, env)
+            self._count_access(
+                target, env, is_write=True,
+                itemsize=array.dtype.itemsize, array=array,
+            )
+            array[index] = value
+        elif isinstance(target, ast.Member):
+            self._assign_member(target, value, env)
+        else:
+            raise ExecutionError(f"cannot assign to {type(target).__name__}")
+
+    def _assign_member(self, target: ast.Member, value, env: Env) -> None:
+        if isinstance(target.base, ast.Subscript):
+            array, index = self._resolve_subscript(target.base, env)
+            if array.dtype.names is None or target.field not in array.dtype.names:
+                raise ExecutionError(
+                    f"array {array.dtype} has no field {target.field!r}"
+                )
+            self._count_access(
+                target.base,
+                env,
+                is_write=True,
+                itemsize=array.dtype[target.field].itemsize,
+                aos=True,
+                array=array,
+            )
+            array[target.field][index] = value
+        else:
+            base = self._eval(target.base, env)
+            try:
+                base[target.field] = value
+            except (TypeError, IndexError, KeyError) as exc:
+                raise ExecutionError(f"bad member assignment: {exc}") from exc
+
+    # -- loops -------------------------------------------------------------------------------
+
+    def _exec_for(self, loop: ast.For, env: Env) -> None:
+        offload = next(
+            (p for p in loop.pragmas if isinstance(p, ast.OffloadPragma)), None
+        )
+        if offload is not None and not self._ctx.is_device:
+            self._exec_offload(offload, loop.body, env, loop=loop)
+            return
+        omp = next(
+            (p for p in loop.pragmas if isinstance(p, ast.OmpParallelFor)), None
+        )
+        if omp is not None and not self._ctx.in_parallel:
+            self._exec_parallel_for(loop, env)
+            return
+        self._run_loop(loop, env)
+
+    def _run_loop(self, loop: ast.For, env: Env) -> int:
+        """Interpret a loop sequentially; returns the trip count.
+
+        Loop-control overhead (condition, increment) is not charged: it is
+        negligible next to real body work, and charging it would wrongly
+        scale an outer loop's bookkeeping by the simulation scale factor.
+        """
+        scope = Env(parent=env)
+        if loop.init is not None:
+            self._exec_stmt(loop.init, scope)
+        var = self._loop_var_name(loop)
+        if var is not None:
+            self._loop_vars.append(var)
+        trips = 0
+        try:
+            while loop.cond is None or self._truthy(
+                self._eval_clause(loop.cond, scope)
+            ):
+                trips += 1
+                try:
+                    self._exec_stmt(loop.body, scope)
+                except _Continue:
+                    pass
+                except _Break:
+                    break
+                if loop.step is not None:
+                    self._exec_free(loop.step, scope)
+        finally:
+            if var is not None:
+                self._loop_vars.pop()
+        return trips
+
+    def _exec_free(self, stmt: ast.Stmt, env: Env) -> None:
+        """Execute a statement without charging its operations."""
+        saved, self._ctx.pending = self._ctx.pending, OpCounters()
+        try:
+            self._exec_stmt(stmt, env)
+        finally:
+            self._ctx.pending = saved
+
+    #: Share of a pipelined regularization loop that delays the program:
+    #: "the only extra overhead caused by regularization is the time taken
+    #: to regularize the first data block" (Section IV).
+    PIPELINED_FIRST_BLOCK = 1.0 / 20.0
+
+    def _exec_parallel_for(self, loop: ast.For, env: Env) -> None:
+        """Interpret a parallel loop and time it with the roofline model."""
+        ctx = self._ctx
+        ctx.flush_serial()
+        outer_pending = ctx.pending
+        ctx.pending = OpCounters()
+        ctx.in_parallel = True
+        try:
+            trips = self._run_loop(loop, env)
+        finally:
+            ctx.in_parallel = False
+            loop_counters = ctx.pending
+            ctx.pending = outer_pending
+        vectorizable = self._is_vectorizable(loop, env)
+
+        omp = next(
+            (p for p in loop.pragmas if isinstance(p, ast.OmpParallelFor)), None
+        )
+        if omp is not None and omp.pipelined and not ctx.is_device:
+            # Pipelined regularization: the gather overlaps downstream
+            # transfer/compute on a spare host thread; only the first
+            # block's share delays issue.  The full cost still occupies
+            # the regularizer resource and bounds total program time.
+            duration = ctx.model.compute_time(
+                loop_counters.scaled(ctx.scale),
+                parallel_iterations=trips * ctx.scale,
+                vectorizable=vectorizable,
+            )
+            self._drain_host()
+            self.machine.timeline.schedule(
+                "cpu:regularize",
+                duration,
+                not_before=self.machine.clock.now,
+                label="pipelined-regularize",
+            )
+            self.machine.clock.advance(duration * self.PIPELINED_FIRST_BLOCK)
+            return
+        ctx.add_parallel(loop_counters, trips, vectorizable)
+
+    def _exec_while(self, loop: ast.While, env: Env) -> None:
+        while self._truthy(self._eval_clause(loop.cond, env)):
+            self._ctx.pending.branches += 1
+            try:
+                self._exec_stmt(loop.body, env)
+            except _Continue:
+                continue
+            except _Break:
+                break
+
+    def _exec_do_while(self, loop: ast.DoWhile, env: Env) -> None:
+        while True:
+            self._ctx.pending.branches += 1
+            try:
+                self._exec_stmt(loop.body, env)
+            except _Continue:
+                pass
+            except _Break:
+                break
+            if not self._truthy(self._eval_clause(loop.cond, env)):
+                break
+
+    def _loop_var_name(self, loop: ast.For) -> Optional[str]:
+        if isinstance(loop.init, ast.VarDecl):
+            return loop.init.name
+        if isinstance(loop.init, ast.Assign) and isinstance(
+            loop.init.target, ast.Ident
+        ):
+            return loop.init.target.name
+        return None
+
+    # -- vectorizability ------------------------------------------------------------------------
+
+    def _is_vectorizable(self, loop: ast.For, env: Env) -> bool:
+        """Delegate to the vectorizability analysis with the concrete
+        integer bindings visible at loop entry, so expressions like
+        ``i * cols + j`` resolve to unit stride in ``j``."""
+        from repro.analysis.vectorize import is_vectorizable
+
+        bindings = env.int_bindings()
+        # Override any stale values for the nest's own induction
+        # variables: they are constants from the innermost perspective.
+        for f in [loop] + [
+            s for s in _walk_stmts(loop.body) if isinstance(s, ast.For)
+        ]:
+            name = self._loop_var_name(f)
+            if name is not None:
+                bindings[name] = 0
+        return is_vectorizable(loop, bindings)
+
+    # -- offload ------------------------------------------------------------------------------------
+
+    def _exec_offload(
+        self,
+        pragma: ast.OffloadPragma,
+        body: ast.Stmt,
+        env: Env,
+        loop: Optional[ast.For],
+    ) -> None:
+        self._drain_host()
+        self._offload_count += 1
+        coi = self.machine.coi
+
+        deps: List[Event] = []
+        if pragma.wait is not None:
+            tag = self._eval_clause(pragma.wait, env)
+            deps.extend(coi.signals.pop(tag, []))
+
+        transfer_events, freed_after = self._do_in_clauses(pragma.clauses, env, deps)
+
+        # Interpret the body on the device, accumulating device time.
+        device_env = Env(parent=self._device_root)
+        saved_ctx = self._ctx
+        self._ctx = _TimedContext(
+            self.machine.mic_model, self.machine.scale, is_device=True
+        )
+        try:
+            if loop is not None:
+                omp = next(
+                    (p for p in loop.pragmas if isinstance(p, ast.OmpParallelFor)),
+                    None,
+                )
+                if omp is not None:
+                    self._exec_parallel_for(loop, device_env)
+                else:
+                    self._run_loop(loop, device_env)
+            else:
+                self._exec_stmt(body, device_env)
+            kernel_seconds = self._ctx.take_seconds()
+        finally:
+            self._ctx = saved_ctx
+
+        persistent_key = None
+        if pragma.persistent:
+            persistent_key = pragma.session or f"offload@{id(pragma)}"
+        kernel_event = coi.launch_kernel(
+            kernel_seconds,
+            deps=deps + transfer_events,
+            label="offload",
+            persistent_key=persistent_key,
+        )
+
+        out_events = self._do_out_clauses(pragma.clauses, env, [kernel_event])
+        for name in freed_after:
+            coi.free_buffer(name)
+
+        final = out_events[-1] if out_events else kernel_event
+        if pragma.signal is not None:
+            tag = self._eval_clause(pragma.signal, env)
+            coi.post_signal(tag, [final])
+        else:
+            self.machine.clock.wait_until(final)
+
+    def _exec_pragma_stmt(self, pragma: ast.Pragma, env: Env) -> None:
+        coi = self.machine.coi
+        if isinstance(pragma, ast.OffloadWaitPragma):
+            self._drain_host()
+            tag = self._eval_clause(pragma.wait, env)
+            coi.wait_signal(tag)
+            return
+        if isinstance(pragma, ast.OffloadTransferPragma):
+            self._drain_host()
+            events, freed = self._do_in_clauses(pragma.clauses, env, deps=[])
+            events += self._do_out_clauses(pragma.clauses, env, deps=[])
+            for name in freed:
+                coi.free_buffer(name)
+            if pragma.signal is not None:
+                tag = self._eval_clause(pragma.signal, env)
+                coi.post_signal(tag, events)
+            else:
+                for event in events:
+                    self.machine.clock.wait_until(event)
+            return
+        raise ExecutionError(f"cannot execute pragma {type(pragma).__name__}")
+
+    # -- clause processing ------------------------------------------------------------------------
+
+    def _do_in_clauses(
+        self, clauses: List[ast.TransferClause], env: Env, deps: List[Event]
+    ) -> Tuple[List[Event], List[str]]:
+        """Handle in/inout/nocopy clauses; returns (events, buffers to free)."""
+        coi = self.machine.coi
+        events: List[Event] = []
+        freed_after: List[str] = []
+        for clause in clauses:
+            if clause.direction == "out":
+                # Allocation side of an out clause: ensure the device buffer
+                # exists (freshly written by the kernel).
+                self._prepare_out_buffer(clause, env, freed_after)
+                continue
+            alloc = self._flag(clause.alloc_if, env, default=True)
+            free = self._flag(clause.free_if, env, default=clause.direction != "nocopy")
+            if clause.direction == "nocopy":
+                # Pure device-buffer management: the name may have no host
+                # counterpart (double-buffering's sptprice1/sptprice2).
+                dest = clause.into or clause.var
+                host_value = self._lookup_host(clause.var, env, allow_missing=True)
+                dtype = (
+                    host_value.dtype
+                    if isinstance(host_value, np.ndarray)
+                    else np.float32
+                )
+                if alloc:
+                    length = self._eval_clause_int(clause.length, env, 0)
+                    coi.alloc_buffer(dest, length, dtype=dtype)
+                if free:
+                    freed_after.append(dest)
+                continue
+            src_value = self._lookup_host(clause.var, env)
+            if isinstance(src_value, np.ndarray):
+                dest = clause.into or clause.var
+                start = self._eval_clause_int(clause.start, env, 0)
+                length = (
+                    self._eval_clause_int(clause.length, env, len(src_value) - start)
+                )
+                if clause.into is None:
+                    # in(A[s:l]): the device mirror keeps the host layout.
+                    into_start = start
+                else:
+                    into_start = self._eval_clause_int(clause.into_start, env, 0)
+                if start < 0 or start + length > len(src_value):
+                    raise RuntimeFault(
+                        f"clause section [{start}:{start + length}) out of range "
+                        f"for host array {clause.var!r} of {len(src_value)}"
+                    )
+                if alloc:
+                    coi.alloc_buffer(
+                        dest, into_start + length, dtype=src_value.dtype
+                    )
+                if clause.direction in ("in", "inout"):
+                    events.append(
+                        coi.write_buffer(
+                            dest,
+                            into_start,
+                            src_value[start : start + length],
+                            deps=deps,
+                            sync=False,
+                        )
+                    )
+                if free:
+                    freed_after.append(dest)
+            else:
+                # Scalar: copied at allocation time (Section III-A); the
+                # cost rides along with the kernel launch.
+                if clause.direction in ("in", "inout"):
+                    self.machine.device.scalars[clause.var] = src_value
+        return events, freed_after
+
+    def _prepare_out_buffer(
+        self, clause: ast.TransferClause, env: Env, freed_after: List[str]
+    ) -> None:
+        coi = self.machine.coi
+        alloc = self._flag(clause.alloc_if, env, default=True)
+        free = self._flag(clause.free_if, env, default=True)
+        host_side = clause.into or clause.var
+        host_value = self._lookup_host(host_side, env, allow_missing=True)
+        if not isinstance(host_value, np.ndarray):
+            # Scalar out: pre-seed the device scalar so kernel writes land
+            # in device space (and can be copied back afterwards).
+            self.machine.device.scalars.setdefault(
+                clause.var, host_value if host_value is not None else 0
+            )
+            return
+        start = self._eval_clause_int(clause.start, env, 0)
+        length = self._eval_clause_int(clause.length, env, len(host_value) - start)
+        if alloc and not self.machine.device.holds(clause.var):
+            coi.alloc_buffer(clause.var, start + length, dtype=host_value.dtype)
+        elif alloc:
+            coi.alloc_buffer(
+                clause.var,
+                max(start + length, len(self.machine.device.array(clause.var))),
+                dtype=host_value.dtype,
+            )
+        if free:
+            freed_after.append(clause.var)
+
+    def _do_out_clauses(
+        self, clauses: List[ast.TransferClause], env: Env, deps: List[Event]
+    ) -> List[Event]:
+        coi = self.machine.coi
+        events: List[Event] = []
+        for clause in clauses:
+            if clause.direction not in ("out", "inout"):
+                continue
+            if clause.direction == "inout":
+                src_name = clause.into or clause.var
+                host_name = clause.var
+            else:
+                src_name = clause.var
+                host_name = clause.into or clause.var
+            host_value = self._lookup_host(host_name, env, allow_missing=True)
+            if isinstance(host_value, np.ndarray):
+                if clause.direction == "inout":
+                    dev_start = self._eval_clause_int(clause.into_start, env, 0)
+                    host_start = self._eval_clause_int(clause.start, env, 0)
+                else:
+                    dev_start = self._eval_clause_int(clause.start, env, 0)
+                    if clause.into is None:
+                        # out(B[s:l]): same section on both sides.
+                        host_start = dev_start
+                    else:
+                        host_start = self._eval_clause_int(
+                            clause.into_start, env, 0
+                        )
+                length = self._eval_clause_int(
+                    clause.length, env, len(host_value) - host_start
+                )
+                events.append(
+                    coi.read_buffer(
+                        src_name,
+                        dev_start,
+                        length,
+                        host_value,
+                        host_start,
+                        deps=deps,
+                        sync=False,
+                    )
+                )
+            else:
+                # Scalar out: copy the device scalar back to the host scope.
+                if clause.var in self.machine.device.scalars:
+                    value = self.machine.device.scalars[clause.var]
+                    if env.has(clause.var):
+                        env.set(clause.var, value)
+                    else:
+                        env.declare(clause.var, value)
+        return events
+
+    def _lookup_host(self, name: str, env: Env, allow_missing: bool = False):
+        if env.has(name):
+            return env.get(name)
+        if allow_missing:
+            return None
+        raise RuntimeFault(f"offload clause names unknown host variable {name!r}")
+
+    def _flag(self, expr: Optional[ast.Expr], env: Env, default: bool) -> bool:
+        if expr is None:
+            return default
+        return bool(self._eval_clause(expr, env))
+
+    def _eval_clause(self, expr: ast.Expr, env: Env):
+        saved, self._ctx.pending = self._ctx.pending, OpCounters()
+        try:
+            return self._eval(expr, env)
+        finally:
+            self._ctx.pending = saved
+
+    def _eval_clause_int(
+        self, expr: Optional[ast.Expr], env: Env, default: int
+    ) -> int:
+        if expr is None:
+            return int(default)
+        return int(self._eval_clause(expr, env))
+
+    # -- expressions -----------------------------------------------------------------------------------
+
+    def _eval(self, expr: ast.Expr, env: Env):
+        if isinstance(expr, ast.IntLit):
+            return expr.value
+        if isinstance(expr, ast.FloatLit):
+            return expr.value
+        if isinstance(expr, ast.StringLit):
+            return expr.value
+        if isinstance(expr, ast.Ident):
+            return env.get(expr.name)
+        if isinstance(expr, ast.BinOp):
+            return self._eval_binop(expr, env)
+        if isinstance(expr, ast.UnOp):
+            return self._eval_unop(expr, env)
+        if isinstance(expr, ast.Subscript):
+            array, index = self._resolve_subscript(expr, env)
+            self._count_access(
+                expr, env, is_write=False,
+                itemsize=array.dtype.itemsize, array=array,
+            )
+            value = array[index]
+            if isinstance(value, np.void):
+                return value
+            return value.item() if isinstance(value, np.generic) else value
+        if isinstance(expr, ast.Member):
+            return self._eval_member(expr, env)
+        if isinstance(expr, ast.Call):
+            return self._eval_call(expr, env)
+        if isinstance(expr, ast.Cond):
+            self._ctx.pending.branches += 1
+            if self._truthy(self._eval(expr.cond, env)):
+                return self._eval(expr.then, env)
+            return self._eval(expr.other, env)
+        if isinstance(expr, ast.Cast):
+            value = self._eval(expr.operand, env)
+            return self._coerce(expr.type, value)
+        if isinstance(expr, ast.SizeOf):
+            from repro.analysis.symbols import sizeof_type
+
+            return sizeof_type(expr.type, self.structs)
+        raise ExecutionError(f"cannot evaluate {type(expr).__name__}")
+
+    def _eval_binop(self, expr: ast.BinOp, env: Env):
+        if expr.op == "&&":
+            self._ctx.pending.int_ops += 1
+            return int(
+                self._truthy(self._eval(expr.left, env))
+                and self._truthy(self._eval(expr.right, env))
+            )
+        if expr.op == "||":
+            self._ctx.pending.int_ops += 1
+            return int(
+                self._truthy(self._eval(expr.left, env))
+                or self._truthy(self._eval(expr.right, env))
+            )
+        left = self._eval(expr.left, env)
+        right = self._eval(expr.right, env)
+        return self._binary_value(expr.op, left, right)
+
+    def _binary_value(self, op: str, left, right):
+        is_float = isinstance(left, (float, np.floating)) or isinstance(
+            right, (float, np.floating)
+        )
+        if op in ("+", "-", "*", "/"):
+            if is_float:
+                self._ctx.pending.flops += 1
+            else:
+                self._ctx.pending.int_ops += 1
+        else:
+            self._ctx.pending.int_ops += 1
+        if op == "+":
+            return left + right
+        if op == "-":
+            return left - right
+        if op == "*":
+            return left * right
+        if op == "/":
+            if is_float:
+                return left / right
+            quotient = abs(int(left)) // abs(int(right))
+            return quotient if (left >= 0) == (right >= 0) else -quotient
+        if op == "%":
+            remainder = abs(int(left)) % abs(int(right))
+            return remainder if left >= 0 else -remainder
+        if op == "<":
+            return int(left < right)
+        if op == ">":
+            return int(left > right)
+        if op == "<=":
+            return int(left <= right)
+        if op == ">=":
+            return int(left >= right)
+        if op == "==":
+            return int(left == right)
+        if op == "!=":
+            return int(left != right)
+        if op == "<<":
+            return int(left) << int(right)
+        if op == ">>":
+            return int(left) >> int(right)
+        if op == "&":
+            return int(left) & int(right)
+        if op == "|":
+            return int(left) | int(right)
+        if op == "^":
+            return int(left) ^ int(right)
+        raise ExecutionError(f"unsupported operator {op!r}")
+
+    def _eval_unop(self, expr: ast.UnOp, env: Env):
+        value = self._eval(expr.operand, env)
+        if expr.op == "-":
+            if isinstance(value, (float, np.floating)):
+                self._ctx.pending.flops += 1
+            else:
+                self._ctx.pending.int_ops += 1
+            return -value
+        if expr.op == "!":
+            self._ctx.pending.int_ops += 1
+            return int(not self._truthy(value))
+        raise ExecutionError(f"unsupported unary operator {expr.op!r}")
+
+    def _eval_member(self, expr: ast.Member, env: Env):
+        if isinstance(expr.base, ast.Subscript):
+            array, index = self._resolve_subscript(expr.base, env)
+            if array.dtype.names is None or expr.field not in array.dtype.names:
+                raise ExecutionError(f"no field {expr.field!r} in {array.dtype}")
+            self._count_access(
+                expr.base,
+                env,
+                is_write=False,
+                itemsize=array.dtype[expr.field].itemsize,
+                aos=True,
+                array=array,
+            )
+            value = array[expr.field][index]
+            return value.item() if isinstance(value, np.generic) else value
+        base = self._eval(expr.base, env)
+        if isinstance(base, np.void):
+            return base[expr.field]
+        try:
+            return base[expr.field]
+        except (TypeError, IndexError, KeyError) as exc:
+            raise ExecutionError(f"bad member access: {exc}") from exc
+
+    #: Shared-memory allocation intrinsics (Section V).  ``malloc`` and
+    #: ``Offload_shared_malloc`` go through the MYO baseline; the lowering
+    #: pass rewrites them to ``arena_alloc`` which goes through the
+    #: segmented arena.  Each returns an opaque address handle.
+    _SHARED_ALLOC_FUNCS = frozenset(
+        {"malloc", "Offload_shared_malloc", "shared_malloc"}
+    )
+    _ARENA_FUNCS = frozenset({"arena_alloc"})
+    _FREE_FUNCS = frozenset(
+        {"free", "Offload_shared_free", "shared_free", "arena_free"}
+    )
+
+    def _eval_call(self, expr: ast.Call, env: Env):
+        args = [self._eval(a, env) for a in expr.args]
+        self._ctx.pending.calls += 1
+        if expr.func in self.functions:
+            parent = self._device_root if self._ctx.is_device else self._host_root
+            return self._call_function(self.functions[expr.func], args, parent)
+        if expr.func in _BUILTIN_IMPL:
+            self._ctx.pending.flops += BUILTIN_COSTS[expr.func]
+            try:
+                return _BUILTIN_IMPL[expr.func](*args)
+            except ValueError as exc:
+                raise ExecutionError(f"math domain error in {expr.func}: {exc}")
+        if expr.func in self._SHARED_ALLOC_FUNCS:
+            return self.machine.myo.shared_malloc(int(args[0]))
+        if expr.func in self._ARENA_FUNCS:
+            return self.machine.arena.allocate(int(args[0])).ptr.addr
+        if expr.func in self._FREE_FUNCS:
+            # Shared frees are deferred: MYO reclaims at program end, the
+            # arena releases whole buffers (Section V-A).
+            return 0
+        raise ExecutionError(f"call to unknown function {expr.func!r}")
+
+    # -- access accounting -------------------------------------------------------------------------------
+
+    def _resolve_subscript(self, expr: ast.Subscript, env: Env):
+        base = self._eval_no_count(expr.base, env)
+        if not isinstance(base, np.ndarray):
+            raise ExecutionError("subscript of a non-array value")
+        index = int(self._eval(expr.index, env))
+        if index < 0 or index >= len(base):
+            raise ExecutionError(
+                f"index {index} out of range for array of {len(base)}"
+            )
+        return base, index
+
+    def _eval_no_count(self, expr: ast.Expr, env: Env):
+        if isinstance(expr, ast.Ident):
+            return env.get(expr.name)
+        return self._eval(expr, env)
+
+    #: Arrays whose (simulated) size fits comfortably in cache are charged
+    #: no memory traffic and no locality penalty: centroid tables,
+    #: dictionaries and other small lookup structures live in L1/L2.
+    CACHED_ARRAY_BYTES = 256 << 10
+
+    def _count_access(
+        self,
+        node: ast.Subscript,
+        env: Env,
+        is_write: bool,
+        itemsize: int,
+        aos: bool = False,
+        array=None,
+    ) -> None:
+        pending = self._ctx.pending
+        cached = (
+            array is not None
+            and array.nbytes * self.machine.scale <= self.CACHED_ARRAY_BYTES
+        )
+        if is_write:
+            pending.stores += 1
+            if not cached:
+                pending.bytes_written += itemsize
+        else:
+            pending.loads += 1
+            if not cached:
+                pending.bytes_read += itemsize
+        if not cached and (aos or self._is_irregular_site(node, env)):
+            pending.irregular_accesses += 1
+
+    def _is_irregular_site(self, node: ast.Subscript, env: Env) -> bool:
+        """Static-per-site classification of access regularity.
+
+        Classified once per (AST node, innermost loop variable) against
+        concrete bindings, then cached — the dynamic count of irregular
+        accesses is what the locality model consumes.
+        """
+        if not self._loop_vars:
+            return False
+        var = self._loop_vars[-1]
+        key = (id(node), var)
+        cached = self._access_cache.get(key)
+        if cached is None:
+            cached = self._classify_site(node.index, var, env)
+            self._access_cache[key] = cached
+        return cached in (
+            AccessKind.INDIRECT,
+            AccessKind.NONLINEAR,
+            AccessKind.AFFINE,
+        )
+
+    def _classify_site(self, index: ast.Expr, var: str, env: Env) -> AccessKind:
+        from repro.minic.visitor import walk as walk_nodes
+
+        if any(isinstance(n, ast.Subscript) for n in walk_nodes(index)):
+            return AccessKind.INDIRECT
+        bindings = env.int_bindings()
+        bindings.pop(var, None)
+        try:
+            form = extract_linear_form(index, var, bindings)
+        except NotAffineError:
+            return AccessKind.NONLINEAR
+        if form.coeff == 0:
+            return AccessKind.INVARIANT
+        if abs(form.coeff) == 1:
+            return AccessKind.UNIT
+        return AccessKind.AFFINE
+
+    @staticmethod
+    def _truthy(value) -> bool:
+        return bool(value)
+
+
+def _walk_stmts(stmt: ast.Stmt):
+    """Yield all statements under *stmt*, depth-first."""
+    stack = [stmt]
+    while stack:
+        current = stack.pop()
+        yield current
+        for child in current.children():
+            if isinstance(child, ast.Stmt):
+                stack.append(child)
+
+
+def run_program(
+    source: Union[str, ast.Program],
+    arrays: Optional[Dict[str, np.ndarray]] = None,
+    scalars: Optional[Dict[str, object]] = None,
+    machine: Optional[Machine] = None,
+    entry: str = "main",
+) -> ExecutionResult:
+    """Convenience wrapper: parse (if needed), execute, return the result."""
+    executor = Executor(source, machine)
+    return executor.run(entry=entry, arrays=arrays, scalars=scalars)

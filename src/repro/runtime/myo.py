@@ -1,0 +1,122 @@
+"""The MYO shared-memory baseline (page-fault-driven coherence).
+
+Intel MYO implements virtual shared memory "using a scheme similar to page
+fault handling.  Shared data structures are copied on the fly at page
+level" (Section V).  Three properties make it slow, and all three are in
+the model:
+
+* page granularity — every first touch of a page on the device costs a
+  fault plus a short, non-streaming copy (:func:`paged_transfer_time`);
+* no DMA streaming — the paged bandwidth fraction of the PCIe spec;
+* allocation limits — MYO "only supports a limited number of shared
+  memory allocations and a limited total size"; exceeding either raises
+  :class:`~repro.errors.MyoLimitError`, which is how ferret's 80,298
+  runtime allocations fail (Table III).
+
+At each offload boundary the resident set is invalidated (MYO
+synchronizes shared data "at the boundary of the offloaded code region"),
+so every offload re-faults the pages it touches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Set
+
+from repro.errors import MyoLimitError, RuntimeFault
+from repro.hardware.pcie import paged_transfer_time
+from repro.runtime.coi import CoiRuntime
+
+#: Default MYO limits: allocation slots and total shared bytes.  The paper
+#: gives no exact numbers, only that 80,298 allocations exceed the limit
+#: while 912 do not; 2^16 slots sits between and matches a plausible
+#: fixed-size descriptor table.
+DEFAULT_MAX_ALLOCATIONS = 1 << 16
+DEFAULT_MAX_TOTAL_BYTES = 512 << 20
+
+
+@dataclass
+class MyoAllocation:
+    addr: int
+    size: int
+
+
+@dataclass
+class MyoStats:
+    allocations: int = 0
+    page_faults: int = 0
+    bytes_faulted: int = 0
+    fault_time: float = 0.0
+
+
+class MyoRuntime:
+    """Simulated MYO: shared malloc + fault-driven device access."""
+
+    def __init__(
+        self,
+        coi: CoiRuntime,
+        max_allocations: int = DEFAULT_MAX_ALLOCATIONS,
+        max_total_bytes: int = DEFAULT_MAX_TOTAL_BYTES,
+    ):
+        self.coi = coi
+        self.pcie = coi.spec.pcie
+        self.max_allocations = max_allocations
+        self.max_total_bytes = max_total_bytes
+        self.allocations: Dict[int, MyoAllocation] = {}
+        self.total_bytes = 0
+        self._next_addr = 1 << 32
+        self._resident_pages: Set[int] = set()
+        self.stats = MyoStats()
+
+    # -- allocation ------------------------------------------------------------
+
+    def shared_malloc(self, size: int) -> int:
+        """``_Offload_shared_malloc``: returns the shared CPU address."""
+        if size <= 0:
+            raise ValueError(f"allocation size must be positive, got {size}")
+        if len(self.allocations) >= self.max_allocations:
+            raise MyoLimitError(
+                f"MYO allocation limit exceeded "
+                f"({self.max_allocations} shared allocations)"
+            )
+        if self.total_bytes + size > self.max_total_bytes:
+            raise MyoLimitError(
+                f"MYO total shared size exceeded "
+                f"({self.max_total_bytes} bytes)"
+            )
+        addr = self._next_addr
+        # Page-align each allocation, as the page-level protection requires.
+        self._next_addr += -(-size // self.pcie.page_bytes) * self.pcie.page_bytes
+        self.allocations[addr] = MyoAllocation(addr, size)
+        self.total_bytes += size
+        self.stats.allocations += 1
+        return addr
+
+    # -- device access -------------------------------------------------------------
+
+    def device_access(self, addr: int, size: int = 4) -> None:
+        """Touch [addr, addr+size) on the device, faulting pages in."""
+        if size <= 0:
+            raise RuntimeFault("access size must be positive")
+        page_bytes = self.pcie.page_bytes
+        first = addr // page_bytes
+        last = (addr + size - 1) // page_bytes
+        for page in range(first, last + 1):
+            if page in self._resident_pages:
+                continue
+            self._resident_pages.add(page)
+            self.stats.page_faults += 1
+            self.stats.bytes_faulted += page_bytes
+            fault_time = paged_transfer_time(page_bytes, self.pcie)
+            self.stats.fault_time += fault_time
+            # A fault serializes the faulting device thread against the
+            # host fault handler; it occupies both the device and the link.
+            self.coi.clock.advance(fault_time * self.coi.scale)
+
+    def offload_boundary(self) -> None:
+        """Invalidate residency at an offload region boundary.
+
+        MYO synchronizes shared variables at region boundaries, so the
+        next offload faults its working set back in.
+        """
+        self._resident_pages.clear()

@@ -1,0 +1,116 @@
+"""Augmented shared pointers and the delta translation table (Section V-B).
+
+Table I of the paper defines the pointer operations:
+
+=============  =======================  ==========================================
+Operation      CPU                      MIC
+=============  =======================  ==========================================
+``*p``         ``*(p.addr)``            ``*(p.addr + delta[p.bid])``
+``p1 = p2``    ``p1 = p2``              ``p1 = p2``
+``p = &obj``   ``p.bid = obj.bid``      ``p.bid = obj.bid``
+               ``p.addr = &obj``        ``p.addr = &obj - delta[p.bid]``
+=============  =======================  ==========================================
+
+Shared pointers always store *CPU* addresses, even on the coprocessor; the
+1-byte ``bid`` field names the arena buffer the pointee lives in, making
+translation a single table lookup plus an add — O(1) instead of the linear
+base-address search a naive scheme needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.errors import PointerTranslationError
+
+#: The bid field is one byte (Section V-B), capping arena buffer count.
+MAX_BUFFERS = 256
+
+
+@dataclass(frozen=True)
+class SharedPtr:
+    """An augmented pointer: CPU address + buffer id."""
+
+    addr: int
+    bid: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.bid < MAX_BUFFERS:
+            raise PointerTranslationError(
+                f"buffer id {self.bid} does not fit the 1-byte bid field"
+            )
+
+    def is_null(self) -> bool:
+        """True for the null shared pointer."""
+        return self.addr == 0
+
+
+NULL = SharedPtr(0, 0)
+
+
+class DeltaTable:
+    """Per-buffer base-address differences (MIC base minus CPU base)."""
+
+    def __init__(self) -> None:
+        self._delta: Dict[int, int] = {}
+        #: CPU base addresses, kept for the naive linear-search ablation.
+        self._cpu_bases: List[tuple] = []
+
+    def register(self, bid: int, cpu_base: int, mic_base: int, size: int) -> None:
+        """Record the copy of buffer *bid* to the device."""
+        if not 0 <= bid < MAX_BUFFERS:
+            raise PointerTranslationError(f"buffer id {bid} out of range")
+        self._delta[bid] = mic_base - cpu_base
+        self._cpu_bases.append((cpu_base, size, bid))
+
+    def __len__(self) -> int:
+        return len(self._delta)
+
+    def __contains__(self, bid: int) -> bool:
+        return bid in self._delta
+
+    def translate(self, ptr: SharedPtr) -> int:
+        """O(1) CPU→MIC address translation using the bid field."""
+        if ptr.is_null():
+            raise PointerTranslationError("dereference of a null shared pointer")
+        delta = self._delta.get(ptr.bid)
+        if delta is None:
+            raise PointerTranslationError(
+                f"buffer {ptr.bid} was never copied to the device"
+            )
+        return ptr.addr + delta
+
+    def translate_linear(self, ptr: SharedPtr) -> tuple:
+        """The naive translation: search every buffer's base address range.
+
+        Returns (device_address, comparisons) so the ablation benchmark can
+        report the cost the paper's bid field avoids ("a set of comparison
+        operations with the worst time complexity linear to the number of
+        buffers").
+        """
+        if ptr.is_null():
+            raise PointerTranslationError("dereference of a null shared pointer")
+        comparisons = 0
+        for cpu_base, size, bid in self._cpu_bases:
+            comparisons += 1
+            if cpu_base <= ptr.addr < cpu_base + size:
+                return ptr.addr + self._delta[bid], comparisons
+        raise PointerTranslationError(
+            f"address {ptr.addr:#x} not inside any copied buffer"
+        )
+
+    def take_address(self, obj_addr: int, obj_bid: int, on_mic: bool) -> SharedPtr:
+        """``p = &obj`` per Table I: the stored address is a CPU address.
+
+        On the MIC the object lives at a translated address, so taking its
+        address subtracts the delta back out.
+        """
+        if on_mic:
+            delta = self._delta.get(obj_bid)
+            if delta is None:
+                raise PointerTranslationError(
+                    f"buffer {obj_bid} was never copied to the device"
+                )
+            return SharedPtr(obj_addr - delta, obj_bid)
+        return SharedPtr(obj_addr, obj_bid)

@@ -1,0 +1,58 @@
+"""Host and device memory spaces.
+
+Arrays are numpy buffers; scalars are Python numbers.  The two spaces are
+deliberately disjoint: offloaded code resolves array names against the
+*device* space only, so any data the compiler forgot to transfer raises
+:class:`~repro.errors.MissingTransferError` instead of silently reading
+host memory — the simulated analogue of a segfault on the real card.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Union
+
+import numpy as np
+
+from repro.errors import MissingTransferError, RuntimeFault
+
+Scalar = Union[int, float]
+
+
+@dataclass
+class HostSpace:
+    """The host process memory: arrays and scalars by name."""
+
+    arrays: Dict[str, np.ndarray] = field(default_factory=dict)
+    scalars: Dict[str, Scalar] = field(default_factory=dict)
+
+    def bind_array(self, name: str, value: np.ndarray) -> None:
+        """Install a numpy array under *name*."""
+        self.arrays[name] = value
+
+    def array(self, name: str) -> np.ndarray:
+        """Look up a host array; RuntimeFault when absent."""
+        if name not in self.arrays:
+            raise RuntimeFault(f"host array {name!r} does not exist")
+        return self.arrays[name]
+
+
+@dataclass
+class DeviceSpace:
+    """Coprocessor memory: only holds what was explicitly transferred."""
+
+    arrays: Dict[str, np.ndarray] = field(default_factory=dict)
+    scalars: Dict[str, Scalar] = field(default_factory=dict)
+
+    def array(self, name: str) -> np.ndarray:
+        """Look up a device buffer; strict (raises when absent)."""
+        if name not in self.arrays:
+            raise MissingTransferError(
+                f"device code touched array {name!r} which was never "
+                f"transferred to the coprocessor"
+            )
+        return self.arrays[name]
+
+    def holds(self, name: str) -> bool:
+        """True when the device holds buffer *name*."""
+        return name in self.arrays

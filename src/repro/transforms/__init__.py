@@ -1,0 +1,50 @@
+"""COMP's source-to-source transformations (the paper's contribution).
+
+* :mod:`repro.transforms.streaming` — data streaming (Section III):
+  blocked, pipelined transfers with optional double-buffering (the
+  memory-usage optimization) and thread reuse;
+* :mod:`repro.transforms.block_size` — the analytic block-count model of
+  Section III-B;
+* :mod:`repro.transforms.merge_offload` — offload merging (Section III-C);
+* :mod:`repro.transforms.thread_reuse` — persistent-kernel marking;
+* :mod:`repro.transforms.regularize` — array reordering and loop
+  splitting (Section IV);
+* :mod:`repro.transforms.aos_to_soa` — array-of-structures conversion;
+* :mod:`repro.transforms.shared_memory` — malloc-to-arena lowering
+  (Section V);
+* :mod:`repro.transforms.pipeline` — the COMP driver that decides which
+  optimizations apply to each loop (the basis of Table II).
+"""
+
+from repro.transforms.aos_to_soa import convert_aos_to_soa, soa_arrays
+from repro.transforms.base import TransformReport, fresh_name
+from repro.transforms.block_size import (
+    optimal_block_count,
+    streaming_time,
+    unstreamed_time,
+)
+from repro.transforms.merge_offload import merge_offloads
+from repro.transforms.pipeline import CompOptimizer, OptimizationPlan
+from repro.transforms.regularize import reorder_arrays, split_loop
+from repro.transforms.shared_memory import lower_shared_memory
+from repro.transforms.streaming import StreamingOptions, apply_streaming
+from repro.transforms.thread_reuse import apply_thread_reuse
+
+__all__ = [
+    "convert_aos_to_soa",
+    "soa_arrays",
+    "TransformReport",
+    "fresh_name",
+    "optimal_block_count",
+    "streaming_time",
+    "unstreamed_time",
+    "merge_offloads",
+    "CompOptimizer",
+    "OptimizationPlan",
+    "reorder_arrays",
+    "split_loop",
+    "lower_shared_memory",
+    "StreamingOptions",
+    "apply_streaming",
+    "apply_thread_reuse",
+]

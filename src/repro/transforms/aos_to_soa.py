@@ -1,0 +1,113 @@
+"""Array-of-structures to structure-of-arrays conversion (Section IV).
+
+"Array of structures is another common irregular access pattern.
+Regularization can be easily done by converting arrays of structures to
+structures of arrays statically."  ``P[i].x`` becomes ``P__x[i]``: each
+field turns into its own contiguous array, restoring unit stride (and
+thereby vectorizability and streamability).
+
+The transform rewrites accesses and offload clauses; the companion
+:func:`soa_arrays` helper splits the host-side numpy structured array the
+same way so transformed programs can be executed.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+import numpy as np
+
+from repro.minic import ast_nodes as ast
+from repro.minic.visitor import NodeTransformer, walk
+from repro.transforms.base import TransformReport
+
+
+def soa_name(array: str, field: str) -> str:
+    """The field array's name for one (array, field) pair."""
+    return f"{array}__{field}"
+
+
+def detect_aos_arrays(program: ast.Program) -> Dict[str, Set[str]]:
+    """Find arrays accessed as ``name[...] .field`` and their fields."""
+    found: Dict[str, Set[str]] = {}
+    for node in walk(program):
+        if (
+            isinstance(node, ast.Member)
+            and isinstance(node.base, ast.Subscript)
+            and isinstance(node.base.base, ast.Ident)
+        ):
+            found.setdefault(node.base.base.name, set()).add(node.field)
+    return found
+
+
+class _AosRewriter(NodeTransformer):
+    def __init__(self, fields: Dict[str, Set[str]]):
+        self.fields = fields
+        self.rewritten = 0
+
+    def visit_Member(self, node: ast.Member) -> ast.Node:
+        self.generic_visit(node)
+        if (
+            isinstance(node.base, ast.Subscript)
+            and isinstance(node.base.base, ast.Ident)
+            and node.base.base.name in self.fields
+        ):
+            array = node.base.base.name
+            self.rewritten += 1
+            return ast.Subscript(
+                ast.Ident(soa_name(array, node.field)), node.base.index
+            )
+        return node
+
+
+def convert_aos_to_soa(
+    program: ast.Program, arrays: Optional[List[str]] = None
+) -> TransformReport:
+    """Rewrite AoS accesses and clauses in place."""
+    report = TransformReport(name="regularization:aos-to-soa", applied=False)
+    detected = detect_aos_arrays(program)
+    if arrays is not None:
+        detected = {k: v for k, v in detected.items() if k in arrays}
+    if not detected:
+        report.reason = "no array-of-structures access patterns found"
+        return report
+
+    rewriter = _AosRewriter(detected)
+    rewriter.visit(program)
+
+    # Split every offload clause naming a converted array into per-field
+    # clauses with the same direction and length.
+    for node in walk(program):
+        if isinstance(node, (ast.OffloadPragma, ast.OffloadTransferPragma)):
+            new_clauses: List[ast.TransferClause] = []
+            for clause in node.clauses:
+                if clause.var in detected:
+                    for field in sorted(detected[clause.var]):
+                        new_clauses.append(
+                            ast.TransferClause(
+                                clause.direction,
+                                soa_name(clause.var, field),
+                                start=clause.start,
+                                length=clause.length,
+                                alloc_if=clause.alloc_if,
+                                free_if=clause.free_if,
+                            )
+                        )
+                else:
+                    new_clauses.append(clause)
+            node.clauses = new_clauses
+
+    report.applied = True
+    for array, fields in sorted(detected.items()):
+        report.note(f"{array} -> {', '.join(soa_name(array, f) for f in sorted(fields))}")
+    return report
+
+
+def soa_arrays(structured: np.ndarray, name: str) -> Dict[str, np.ndarray]:
+    """Split a numpy structured array into the transform's field arrays."""
+    if structured.dtype.names is None:
+        raise ValueError(f"{name!r} is not a structured array")
+    return {
+        soa_name(name, field): np.ascontiguousarray(structured[field]).copy()
+        for field in structured.dtype.names
+    }

@@ -1,0 +1,115 @@
+"""Model-driven block-count selection for data streaming.
+
+Section III-B derives the optimal number of streaming blocks N* from the
+loop's total transfer time D, compute time C and the kernel launch
+overhead K — "When C/N + K > D/N, the best N value will be sqrt(D/K).
+When C/N + K <= D/N, the best N value will be (D - C)/K."  The paper
+then sweeps N in {10, 20, 40, 50} experimentally.
+
+This module closes the loop the way a profile-guided compiler would:
+
+1. run the *unoptimized* offloaded program once on the simulated machine
+   to measure D and C per offload site;
+2. feed them through :func:`~repro.transforms.block_size.optimal_block_count`;
+3. re-apply the streaming transform with the tuned N.
+
+It is an extension beyond the paper's manual sweep, and the
+``benchmarks/test_ablation_blocksize.py`` ablation validates the model
+against a sweep.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.minic import ast_nodes as ast
+from repro.minic.parser import parse
+from repro.runtime.executor import Machine, run_program
+from repro.transforms.block_size import optimal_block_count
+from repro.transforms.pipeline import CompOptimizer, OptimizationPlan
+from repro.transforms.streaming import StreamingOptions
+
+
+@dataclass
+class TuneResult:
+    """Outcome of a profile-guided streaming tuning run."""
+
+    num_blocks: int
+    measured_transfer: float
+    measured_compute: float
+    launch_overhead: float
+    profile_time: float
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"N*={self.num_blocks} "
+            f"(D={self.measured_transfer * 1000:.2f} ms, "
+            f"C={self.measured_compute * 1000:.2f} ms, "
+            f"K={self.launch_overhead * 1000:.2f} ms)"
+        )
+
+
+def profile_offload_costs(
+    source: str,
+    arrays: Dict[str, np.ndarray],
+    scalars: Dict[str, object],
+    machine: Optional[Machine] = None,
+    entry: str = "main",
+) -> TuneResult:
+    """Measure D, C and K by running the unoptimized program once."""
+    machine = machine or Machine()
+    result = run_program(
+        source, arrays=arrays, scalars=scalars, machine=machine, entry=entry
+    )
+    stats = result.stats
+    k = machine.spec.mic.kernel_launch_overhead
+    launches = max(1, stats.kernel_launches)
+    return TuneResult(
+        num_blocks=optimal_block_count(
+            transfer=stats.transfer_time / launches,
+            compute=stats.device_compute_time / launches,
+            launch_overhead=k,
+            min_blocks=2,
+            max_blocks=256,
+        ),
+        measured_transfer=stats.transfer_time,
+        measured_compute=stats.device_compute_time,
+        launch_overhead=k,
+        profile_time=stats.total_time,
+    )
+
+
+def tune_streaming(
+    source: str,
+    arrays_factory,
+    scalars: Dict[str, object],
+    plan: Optional[OptimizationPlan] = None,
+    scale: float = 1.0,
+    entry: str = "main",
+) -> tuple:
+    """Profile, pick N*, and return (optimized program, TuneResult).
+
+    *arrays_factory* is a zero-argument callable returning fresh input
+    arrays (the profile run consumes one set).
+    """
+    profile = profile_offload_costs(
+        source,
+        arrays=arrays_factory(),
+        scalars=dict(scalars),
+        machine=Machine(scale=scale),
+        entry=entry,
+    )
+    plan = plan or OptimizationPlan()
+    plan = dataclasses.replace(
+        plan,
+        streaming_options=dataclasses.replace(
+            plan.streaming_options, num_blocks=profile.num_blocks
+        ),
+    )
+    program = parse(source)
+    CompOptimizer(plan).optimize(program)
+    return program, profile

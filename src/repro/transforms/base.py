@@ -1,0 +1,71 @@
+"""Shared infrastructure for the COMP transformations."""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.minic import ast_nodes as ast
+from repro.minic.visitor import walk
+
+_counter = itertools.count()
+
+
+def fresh_name(base: str, program: Optional[ast.Program] = None) -> str:
+    """Generate an identifier that does not collide with *program*'s names.
+
+    Generated names use a double-underscore prefix, which MiniC benchmark
+    sources never use, plus a global counter as a belt-and-braces fallback.
+    """
+    existing = set()
+    if program is not None:
+        existing = {
+            n.name for n in walk(program) if isinstance(n, (ast.Ident, ast.VarDecl))
+        }
+    candidate = f"__{base}"
+    if candidate not in existing:
+        return candidate
+    while True:
+        candidate = f"__{base}_{next(_counter)}"
+        if candidate not in existing:
+            return candidate
+
+
+@dataclass
+class TransformReport:
+    """What a transformation did — surfaced in Table II and the examples."""
+
+    name: str
+    applied: bool
+    reason: str = ""
+    details: List[str] = field(default_factory=list)
+
+    def note(self, message: str) -> None:
+        """Append a human-readable detail line."""
+        self.details.append(message)
+
+    def __bool__(self) -> bool:
+        return self.applied
+
+
+def replace_statement(
+    container: ast.Node, old: ast.Stmt, new: List[ast.Stmt]
+) -> bool:
+    """Replace *old* (by identity) with *new* statements in the nearest
+    statement list under *container*.  Returns True when found."""
+    for node in walk(container):
+        for fname, value in node.fields():
+            if isinstance(value, list) and any(item is old for item in value):
+                result: List[ast.Stmt] = []
+                for item in value:
+                    if item is old:
+                        result.extend(new)
+                    else:
+                        result.append(item)
+                setattr(node, fname, result)
+                return True
+            if value is old and fname == "body":
+                setattr(node, fname, ast.Block(list(new)))
+                return True
+    return False

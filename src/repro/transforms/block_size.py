@@ -1,0 +1,80 @@
+"""The analytic block-count model of Section III-B.
+
+Given a loop with total data transfer time D, total computation time C,
+kernel launch overhead K and N blocks, the streamed execution time is
+
+    T(N) = D/N + max(C/N + K, D/N) * (N - 1) + C/N + K
+
+— the first block's transfer, the steady-state pipeline, and the last
+block's compute.  The paper derives the optimum:
+
+* compute-bound pipelines (C/N + K > D/N): N* = sqrt(D / K);
+* transfer-bound pipelines (C/N + K <= D/N): N* = (D - C) / K.
+
+and reports that in practice "the best number of blocks for most
+benchmarks is between 10 and 40".
+"""
+
+from __future__ import annotations
+
+import math
+
+
+def unstreamed_time(transfer: float, compute: float, launch_overhead: float) -> float:
+    """Execution time without streaming: D + K + C."""
+    _validate(transfer, compute, launch_overhead)
+    return transfer + launch_overhead + compute
+
+
+def streaming_time(
+    transfer: float, compute: float, launch_overhead: float, blocks: int
+) -> float:
+    """The paper's T(N) formula for a streamed loop."""
+    _validate(transfer, compute, launch_overhead)
+    if blocks < 1:
+        raise ValueError(f"block count must be >= 1, got {blocks}")
+    d_block = transfer / blocks
+    c_block = compute / blocks + launch_overhead
+    return d_block + max(c_block, d_block) * (blocks - 1) + c_block
+
+
+def optimal_block_count(
+    transfer: float,
+    compute: float,
+    launch_overhead: float,
+    min_blocks: int = 1,
+    max_blocks: int = 1024,
+) -> int:
+    """The closed-form N*, clamped and rounded to the best neighbour.
+
+    The two closed forms come from minimizing T(N) in each regime; we
+    evaluate the integer neighbours of the candidate (plus the regime
+    boundary) and return the argmin, which also covers corner cases like
+    K = 0 (stream as finely as allowed) and D = 0 (no benefit: N = 1).
+    """
+    _validate(transfer, compute, launch_overhead)
+    if transfer == 0:
+        return min_blocks
+    if launch_overhead <= 0:
+        return max_blocks
+
+    candidates = {min_blocks, max_blocks}
+    # Compute-bound optimum.
+    candidates.add(int(math.sqrt(transfer / launch_overhead)))
+    # Transfer-bound optimum.
+    candidates.add(int((transfer - compute) / launch_overhead))
+    expanded = set()
+    for n in candidates:
+        expanded.update({n - 1, n, n + 1})
+    feasible = [n for n in expanded if min_blocks <= n <= max_blocks]
+    if not feasible:
+        feasible = [min_blocks]
+    return min(
+        feasible,
+        key=lambda n: (streaming_time(transfer, compute, launch_overhead, n), n),
+    )
+
+
+def _validate(transfer: float, compute: float, launch_overhead: float) -> None:
+    if transfer < 0 or compute < 0 or launch_overhead < 0:
+        raise ValueError("times must be non-negative")

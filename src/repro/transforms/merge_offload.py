@@ -1,0 +1,143 @@
+"""Offload merging (Section III-C, Figure 6).
+
+"In many applications such as streamcluster, a large loop may contain
+multiple parallel inner loops.  Each inner loop is offloaded ...  To
+reduce the overhead, we merge the small offloads into a large offload and
+hoist the large offload out of the parent loop."
+
+The parent loop becomes a single device region (our
+:class:`~repro.minic.ast_nodes.OffloadBlock`): the inner loops keep their
+``omp parallel for`` pragmas and run threaded on the coprocessor, the
+serial glue between them now runs (slowly) on a MIC core — the explicit
+trade the paper accepts — and the merged region's clauses are inferred
+from the liveness of the whole parent loop, seeded with the transfer
+lengths the inner offloads already carried (Section III-C: "The
+in/out/inout clauses of each inner loop are combined to populate the
+in/out/inout clauses for the outer loop").
+
+Hand-pipelined code — inner offloads using ``signal``/``wait`` or
+explicit ``offload_transfer`` statements (dedup's manually streamed
+loops) — is left untouched.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.errors import AnalysisError
+from repro.analysis.offload import infer_offload_pragma
+from repro.minic import ast_nodes as ast
+from repro.minic.visitor import clone, get_pragma, walk
+from repro.transforms.base import TransformReport, replace_statement
+
+
+def _inner_offload_loops(parent: ast.For) -> List[ast.For]:
+    return [
+        node
+        for node in walk(parent.body)
+        if isinstance(node, ast.For)
+        and get_pragma(node, ast.OffloadPragma) is not None
+    ]
+
+
+def _is_hand_pipelined(parent: ast.For) -> bool:
+    """True when the parent's body already does asynchronous offloading."""
+    for node in walk(parent.body):
+        if isinstance(node, ast.PragmaStmt) and isinstance(
+            node.pragma, (ast.OffloadTransferPragma, ast.OffloadWaitPragma)
+        ):
+            return True
+        if isinstance(node, ast.For):
+            pragma = get_pragma(node, ast.OffloadPragma)
+            if pragma is not None and (
+                pragma.signal is not None or pragma.wait is not None
+            ):
+                return True
+        if isinstance(node, ast.OffloadBlock):
+            return True
+    return False
+
+
+def merge_offloads(
+    program: ast.Program,
+    parent: Optional[ast.For] = None,
+    array_lengths: Optional[Dict[str, ast.Expr]] = None,
+) -> TransformReport:
+    """Hoist the inner offloads of *parent* into one merged offload."""
+    report = TransformReport(name="offload-merging", applied=False)
+    target = parent if parent is not None else _find_parent_loop(program)
+    if target is None:
+        report.reason = "no serial loop containing offloaded inner loops"
+        return report
+    inner = _inner_offload_loops(target)
+    if len(inner) < 2 and parent is None:
+        # Figure 6's pattern is "multiple parallel inner loops"; a single
+        # repeated offload is streaming's territory (thread reuse).
+        report.reason = "parent loop contains fewer than two offloaded loops"
+        return report
+    if not inner:
+        report.reason = "parent loop contains no offloaded inner loops"
+        return report
+    if _is_hand_pipelined(target):
+        report.reason = "parent loop is already hand-pipelined"
+        return report
+
+    # Transfer lengths already worked out for the inner offloads seed the
+    # whole-region inference.
+    hints: Dict[str, ast.Expr] = dict(array_lengths or {})
+    for loop in inner:
+        pragma = get_pragma(loop, ast.OffloadPragma)
+        for clause in pragma.clauses:
+            if clause.length is not None and clause.var not in hints:
+                hints[clause.var] = clone(clause.length)
+
+    # Infer the merged clauses *before* touching the tree, on a scratch
+    # copy of the loop with the inner offload pragmas removed (their
+    # clause expressions are irrelevant to liveness).
+    scratch = clone(target)
+    for loop in _inner_offload_loops(scratch):
+        loop.pragmas = [
+            p for p in loop.pragmas if not isinstance(p, ast.OffloadPragma)
+        ]
+    try:
+        merged_pragma = infer_offload_pragma(scratch, hints)
+    except AnalysisError as exc:
+        report.reason = f"cannot infer merged clauses: {exc}"
+        return report
+
+    for loop in inner:
+        loop.pragmas = [
+            p for p in loop.pragmas if not isinstance(p, ast.OffloadPragma)
+        ]
+
+    block = ast.OffloadBlock(merged_pragma, ast.Block([target]))
+    if not replace_statement(program, target, [block]):
+        report.reason = "parent loop not found in the program body"
+        return report
+    report.applied = True
+    report.note(
+        f"merged {len(inner)} inner offloads into one device region "
+        f"({len(merged_pragma.clauses)} combined clauses)"
+    )
+    return report
+
+
+def _find_parent_loop(program: ast.Program) -> Optional[ast.For]:
+    """The outermost loop containing offloaded inner loops but itself not
+    offloaded (and not hand-pipelined)."""
+    inside_device: set = set()
+    for node in walk(program):
+        if isinstance(node, ast.OffloadBlock):
+            for inner in walk(node.body):
+                inside_device.add(id(inner))
+    for node in walk(program):
+        if id(node) in inside_device:
+            continue
+        if (
+            isinstance(node, ast.For)
+            and get_pragma(node, ast.OffloadPragma) is None
+            and len(_inner_offload_loops(node)) >= 2
+            and not _is_hand_pipelined(node)
+        ):
+            return node
+    return None

@@ -1,0 +1,154 @@
+"""The COMP optimization driver.
+
+Decides, per program, which of the paper's optimizations apply and in
+what order — the automation that produces Table II's applicability
+matrix:
+
+1. **Regularization** first (Section IV): loop splitting for
+   irregular-prefix loops, array reordering for unguarded indirect or
+   strided accesses, AoS-to-SoA for structure fields.  Regularization is
+   an enabler: it can turn a non-streamable loop into a streamable one.
+2. **Offload merging** for serial host loops containing multiple
+   offloaded inner loops (Section III-C).
+3. **Data streaming** (with double-buffering and thread reuse) for every
+   remaining offloaded parallel loop that passes the legality check
+   (Section III).
+4. **Thread reuse** for any offloads still relaunched inside host loops.
+5. **Shared-memory lowering** for programs with shared allocation sites
+   (Section V).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.minic import ast_nodes as ast
+from repro.transforms.aos_to_soa import convert_aos_to_soa, detect_aos_arrays
+from repro.transforms.base import TransformReport
+from repro.transforms.merge_offload import merge_offloads
+from repro.transforms.regularize import reorder_arrays, split_loop
+from repro.transforms.shared_memory import lower_shared_memory
+from repro.transforms.streaming import StreamingOptions, apply_streaming
+from repro.transforms.thread_reuse import apply_thread_reuse
+
+
+@dataclass
+class OptimizationPlan:
+    """Which optimizations to attempt, plus their knobs."""
+
+    streaming: bool = True
+    merging: bool = True
+    regularization: bool = True
+    shared_memory: bool = True
+    thread_reuse: bool = True
+    streaming_options: StreamingOptions = field(default_factory=StreamingOptions)
+    #: Whole-array transfer lengths for arrays whose extents cannot be
+    #: derived from the loops (indirect accesses), used by offload merging.
+    array_lengths: Dict[str, ast.Expr] = field(default_factory=dict)
+
+
+@dataclass
+class PipelineResult:
+    """Reports from every attempted transform, in application order."""
+
+    reports: List[TransformReport] = field(default_factory=list)
+    #: Post-transform lint findings (see repro.analysis.validate).
+    diagnostics: List[object] = field(default_factory=list)
+
+    def applied(self) -> List[str]:
+        """Names of the transforms that fired, in order."""
+        return [r.name for r in self.reports if r.applied]
+
+    def report(self, name: str) -> Optional[TransformReport]:
+        """The report for one transform name, or None."""
+        for r in self.reports:
+            if r.name == name:
+                return r
+        return None
+
+    def was_applied(self, name: str) -> bool:
+        """True when the named transform fired."""
+        report = self.report(name)
+        return bool(report and report.applied)
+
+
+class CompOptimizer:
+    """Applies the COMP optimization pipeline to a program in place."""
+
+    def __init__(self, plan: Optional[OptimizationPlan] = None):
+        self.plan = plan or OptimizationPlan()
+
+    def optimize(self, program: ast.Program) -> PipelineResult:
+        """Apply the pipeline to *program* in place; returns reports."""
+        plan = self.plan
+        result = PipelineResult()
+        bindings = plan.streaming_options.bindings
+
+        # Harvest whole-array lengths from the existing clauses before any
+        # transform rewrites them: regularization may drop an array from a
+        # loop's clauses while merging still needs its extent.
+        harvested = dict(plan.array_lengths)
+        from repro.minic.visitor import clone, walk
+
+        for node in walk(program):
+            if isinstance(node, (ast.OffloadPragma, ast.OffloadTransferPragma)):
+                for clause in node.clauses:
+                    if clause.length is not None and clause.var not in harvested:
+                        harvested[clause.var] = clone(clause.length)
+        import dataclasses
+
+        plan = dataclasses.replace(plan, array_lengths=harvested)
+
+        if plan.regularization:
+            if detect_aos_arrays(program):
+                result.reports.append(convert_aos_to_soa(program))
+            result.reports.append(split_loop(program, bindings=bindings))
+            result.reports.append(reorder_arrays(program, bindings=bindings))
+
+        if plan.merging:
+            # Merge repeatedly until no parent loop qualifies (programs can
+            # have several phases with inner offloads).
+            while True:
+                report = merge_offloads(
+                    program, array_lengths=plan.array_lengths
+                )
+                result.reports.append(report)
+                if not report.applied:
+                    break
+
+        if plan.streaming:
+            streaming_report = apply_streaming(program, plan.streaming_options)
+            result.reports.append(streaming_report)
+            if streaming_report.applied:
+                self._mark_pipelined_regularization(result)
+
+        if plan.thread_reuse:
+            result.reports.append(apply_thread_reuse(program))
+
+        if plan.shared_memory:
+            result.reports.append(lower_shared_memory(program))
+
+        # Structural self-check: the generated pragma choreography must
+        # lint clean; a transform bug shows up here before execution.
+        from repro.analysis.validate import validate_program
+
+        result.diagnostics = validate_program(program)
+        return result
+
+    @staticmethod
+    def _mark_pipelined_regularization(result: PipelineResult) -> None:
+        """Overlap reorder's permutation loops with the streamed pipeline.
+
+        Section IV: "the regularization of block i+2 can be done in
+        parallel with the data transfer of block i+1 and the computation
+        of block i.  The only extra overhead ... is the time taken to
+        regularize the first data block."
+        """
+        reorder = result.report("regularization:reorder")
+        if reorder is None or not reorder.applied:
+            return
+        for loop in getattr(reorder, "permute_loops", []):
+            for pragma in loop.pragmas:
+                if isinstance(pragma, ast.OmpParallelFor):
+                    pragma.pipelined = True

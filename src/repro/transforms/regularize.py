@@ -1,0 +1,536 @@
+"""Regularization of irregular memory accesses (Section IV).
+
+Two rewrites, matching Figures 7 and 8 of the paper:
+
+* **Array reordering** (:func:`reorder_arrays`) — for an unguarded
+  irregular read like ``A[B[i]]`` or a strided ``A[k * i]``, create a new
+  array that is "a permutation of the original array ... sorted according
+  to the access order in the original loop": a gather loop
+  ``A__r[i] = A[B[i]]`` runs before the main loop (on the host, where the
+  whole array lives), and the main loop's access becomes the unit-stride
+  ``A__r[i]``.  Irregular *writes* get the symmetric scatter-back loop
+  after the main loop.  Accesses "guarded by any branch" are left alone
+  (the paper's safety rule).
+
+* **Loop splitting** (:func:`split_loop`) — for loops that perform their
+  irregular accesses "at the beginning of each iteration" (srad), split
+  the body at the last irregular statement: the first loop keeps the
+  irregular prefix, the second loop is fully regular and thereby
+  vectorizable and streamable.  Loop-local scalars consumed by the suffix
+  are re-computed there when their definitions are regular.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.errors import LegalityError
+from repro.analysis.array_access import (
+    AccessKind,
+    ArrayAccess,
+    classify_accesses,
+    loop_variable,
+)
+from repro.analysis.liveness import analyze_loop_liveness
+from repro.analysis.offload import loop_bound
+from repro.minic import ast_nodes as ast
+from repro.minic import builder
+from repro.minic.visitor import (
+    NodeTransformer,
+    NodeVisitor,
+    clone,
+    get_pragma,
+    walk,
+)
+from repro.transforms.base import TransformReport, replace_statement
+
+_IRREGULAR_READ_KINDS = {AccessKind.INDIRECT, AccessKind.NONLINEAR}
+
+
+def _index_is_rewritable(
+    index: ast.Expr, var: str, bindings: Optional[Dict[str, int]]
+) -> bool:
+    """The gather loop can only evaluate indexes built from the loop
+    variable, known constants, and arrays — an index using an inner-loop
+    variable (CG's ``x[colidx[j]]`` with j from the row loop) cannot be
+    hoisted in front of the outer loop."""
+    bindings = bindings or {}
+    array_bases = {
+        n.base.name
+        for n in walk(index)
+        if isinstance(n, ast.Subscript) and isinstance(n.base, ast.Ident)
+    }
+    for node in walk(index):
+        if isinstance(node, ast.Ident) and node.name not in array_bases:
+            if node.name != var and node.name not in bindings:
+                return False
+    return True
+
+
+def _tiled_arrays(accesses: List[ArrayAccess]) -> set:
+    """Arrays whose strided accesses jointly cover every element.
+
+    ``points[4*i]`` ... ``points[4*i+3]`` is a *tile*: the loop touches the
+    whole array contiguously, so reordering would copy without removing
+    any transfer or improving locality.  An array is tiled when its
+    accesses share one coefficient ``a`` and their constant offsets cover
+    all residues ``0..a-1``.
+    """
+    by_array: Dict[str, List[ArrayAccess]] = {}
+    for access in accesses:
+        if access.kind is AccessKind.AFFINE and access.linear is not None:
+            by_array.setdefault(access.array, []).append(access)
+    tiled = set()
+    for array, accs in by_array.items():
+        coeffs = {a.linear.coeff for a in accs}
+        if len(coeffs) != 1:
+            continue
+        coeff = coeffs.pop()
+        residues = {a.linear.const % coeff for a in accs if coeff > 1}
+        if coeff > 1 and residues == set(range(coeff)):
+            tiled.add(array)
+    return tiled
+
+
+def _irregular_targets(
+    loop: ast.For, bindings: Optional[Dict[str, int]]
+) -> List[ArrayAccess]:
+    """Unguarded irregular accesses eligible for reordering."""
+    var = loop_variable(loop)
+    accesses = classify_accesses(loop, bindings)
+    tiled = _tiled_arrays(accesses)
+    result = []
+    for access in accesses:
+        if access.guarded:
+            continue
+        if not _index_is_rewritable(access.index, var, bindings):
+            continue
+        if access.kind in _IRREGULAR_READ_KINDS:
+            result.append(access)
+        elif (
+            access.kind is AccessKind.AFFINE
+            and abs(access.linear.coeff) > 1
+            and access.array not in tiled
+        ):
+            result.append(access)
+    return result
+
+
+def _loops_inside_device_regions(program: ast.Program) -> set:
+    """ids of For nodes already inside an offloaded block or loop."""
+    inside: set = set()
+    for node in walk(program):
+        body = None
+        if isinstance(node, ast.OffloadBlock):
+            body = node.body
+        elif isinstance(node, ast.For) and get_pragma(node, ast.OffloadPragma):
+            body = node.body
+        if body is not None:
+            for inner in walk(body):
+                if isinstance(inner, ast.For):
+                    inside.add(id(inner))
+    return inside
+
+
+# ==========================================================================
+# Array reordering
+# ==========================================================================
+
+
+class _AccessRewriter(NodeTransformer):
+    """Replaces ``A[idx]`` matches with ``A__rK[i]`` by structural equality."""
+
+    def __init__(self, replacements: Dict[Tuple[str, str], str], var: str):
+        # keyed by (array name, printed index) to match structurally equal sites
+        self.replacements = replacements
+        self.var = var
+        self.rewritten = 0
+
+    def visit_Subscript(self, node: ast.Subscript) -> ast.Node:
+        self.generic_visit(node)
+        if isinstance(node.base, ast.Ident):
+            key = (node.base.name, _index_key(node.index))
+            new_name = self.replacements.get(key)
+            if new_name is not None:
+                self.rewritten += 1
+                return ast.Subscript(ast.Ident(new_name), ast.Ident(self.var))
+        return node
+
+
+def _index_key(index: ast.Expr) -> str:
+    from repro.minic.printer import to_source
+
+    return to_source(index)
+
+
+def reorder_arrays(
+    program: ast.Program,
+    loop: Optional[ast.For] = None,
+    bindings: Optional[Dict[str, int]] = None,
+) -> TransformReport:
+    """Apply the Figure 8 array-reordering rewrite in place."""
+    report = TransformReport(name="regularization:reorder", applied=False)
+    target = loop if loop is not None else _first_reorderable_loop(program, bindings)
+    if target is None:
+        report.reason = "no loop with unguarded irregular accesses"
+        return report
+
+    var = loop_variable(target)
+    bound = loop_bound(target)
+    irregular = _irregular_targets(target, bindings)
+    if not irregular:
+        report.reason = "no unguarded irregular accesses in the loop"
+        return report
+
+    # One gather array per distinct (array, index expression) site.
+    sites: Dict[Tuple[str, str], ArrayAccess] = {}
+    for access in irregular:
+        sites.setdefault((access.array, _index_key(access.index)), access)
+
+    replacements: Dict[Tuple[str, str], str] = {}
+    gather_stmts: List[ast.Stmt] = []
+    scatter_stmts: List[ast.Stmt] = []
+    counter = 0
+    reads_replaced: Set[str] = set()
+    writes_replaced: Set[str] = set()
+    for (array, key), access in sites.items():
+        new_name = f"{array}__r{counter}"
+        counter += 1
+        replacements[(array, key)] = new_name
+        decl = ast.VarDecl(
+            new_name,
+            ast.ArrayType(ast.FLOAT, clone(bound)),
+        )
+        gather_stmts.append(decl)
+        if access.is_write:
+            writes_replaced.add(new_name)
+            scatter_stmts.append(_permute_loop(var, bound, access, new_name, scatter=True))
+        else:
+            reads_replaced.add(new_name)
+            gather_stmts.append(_permute_loop(var, bound, access, new_name, scatter=False))
+
+    rewriter = _AccessRewriter(replacements, var)
+    rewriter.visit(target.body)
+
+    _update_clauses_after_reorder(
+        target, bound, replacements, reads_replaced, writes_replaced, bindings
+    )
+
+    # Hoist the gather loops out of enclosing loops that do not modify the
+    # gathered data (nn runs one gather for many query kernels).  Scatter
+    # loops must stay with the target loop.
+    hoist_before = _hoist_point(program, target, sites, var, bound)
+    if hoist_before is not None and not scatter_stmts:
+        if not replace_statement(program, hoist_before, gather_stmts + [hoist_before]):
+            raise LegalityError("hoist point not found in the program body")
+    else:
+        new_stmts = gather_stmts + [target] + scatter_stmts
+        if not replace_statement(program, target, new_stmts):
+            raise LegalityError("loop not found in the program body")
+    report.applied = True
+    # Expose the permutation loops so the driver can mark them pipelined
+    # once streaming is in place (Section IV, "Pipelining regularization
+    # with data transfer and computation").
+    report.permute_loops = [
+        s for s in gather_stmts + scatter_stmts if isinstance(s, ast.For)
+    ]
+    report.note(
+        f"reordered {len(sites)} irregular site(s) into "
+        f"{', '.join(sorted(reads_replaced | writes_replaced))}"
+    )
+    return report
+
+
+def _permute_loop(
+    var: str, bound: ast.Expr, access: ArrayAccess, new_name: str, scatter: bool
+) -> ast.For:
+    """Build the host-side gather (or scatter-back) loop."""
+    original = ast.Subscript(ast.Ident(access.array), clone(access.index))
+    permuted = ast.Subscript(ast.Ident(new_name), ast.Ident(var))
+    if scatter:
+        body = ast.Block([ast.Assign(original, permuted)])
+    else:
+        body = ast.Block([ast.Assign(permuted, original)])
+    return ast.For(
+        init=ast.VarDecl(var, ast.INT, ast.IntLit(0)),
+        cond=builder.expr(f"{var} < B", B=clone(bound)),
+        step=ast.Assign(ast.Ident(var), ast.IntLit(1), "+="),
+        body=body,
+        pragmas=[ast.OmpParallelFor()],
+    )
+
+
+def _written_names(node: ast.Node) -> Set[str]:
+    """Scalar and array names assigned anywhere under *node*."""
+    written: Set[str] = set()
+    for n in walk(node):
+        if isinstance(n, ast.Assign):
+            tgt = n.target
+            if isinstance(tgt, ast.Ident):
+                written.add(tgt.name)
+            elif isinstance(tgt, ast.Subscript) and isinstance(
+                tgt.base, ast.Ident
+            ):
+                written.add(tgt.base.name)
+        elif isinstance(n, ast.VarDecl):
+            written.add(n.name)
+    return written
+
+
+def _hoist_point(
+    program: ast.Program,
+    target: ast.For,
+    sites: Dict,
+    target_var: str,
+    bound: ast.Expr,
+) -> Optional[ast.For]:
+    """The outermost enclosing loop the gathers can be hoisted above.
+
+    Gathered sources (the irregular arrays and everything their index
+    expressions read, plus the gather bound) must be unmodified by the
+    enclosing loop; otherwise the gathers stay put.  Returns None when the
+    target is not inside a loop or hoisting is unsafe.
+    """
+    sources: Set[str] = set()
+    for (array, _key), access in sites.items():
+        sources.add(array)
+        for n in walk(access.index):
+            if isinstance(n, ast.Ident):
+                sources.add(n.name)
+    for n in walk(bound):
+        if isinstance(n, ast.Ident):
+            sources.add(n.name)
+    # The gather loop declares its own induction variable.
+    sources.discard(target_var)
+
+    # Build the ancestor chain of the target loop.
+    chain: List[ast.For] = []
+
+    def descend(node: ast.Node, ancestors: List[ast.For]) -> bool:
+        if node is target:
+            chain.extend(ancestors)
+            return True
+        next_ancestors = (
+            ancestors + [node] if isinstance(node, ast.For) else ancestors
+        )
+        return any(descend(child, next_ancestors) for child in node.children())
+
+    descend(program, [])
+    hoist: Optional[ast.For] = None
+    for loop in reversed(chain):  # innermost first
+        written = _written_names(loop)
+        written.discard(None)
+        var = None
+        if isinstance(loop.init, ast.VarDecl):
+            var = loop.init.name
+        if sources & (written - ({var} if var else set())):
+            break
+        hoist = loop
+    return hoist
+
+
+def _update_clauses_after_reorder(
+    loop: ast.For,
+    bound: ast.Expr,
+    replacements: Dict[Tuple[str, str], str],
+    reads: Set[str],
+    writes: Set[str],
+    bindings: Optional[Dict[str, int]],
+) -> None:
+    """Swap offload clauses from the original arrays to the gather arrays.
+
+    The original array (and the index array, when it is no longer used)
+    drop out of the transfer set — this is the "remove unnecessary data
+    transfer" effect the paper measures on nn.
+    """
+    pragma = get_pragma(loop, ast.OffloadPragma)
+    if pragma is None:
+        return
+    still_used = {
+        a.array for a in classify_accesses(loop, bindings)
+    }
+    new_clauses: List[ast.TransferClause] = []
+    for clause in pragma.clauses:
+        if clause.length is None or clause.var in still_used:
+            new_clauses.append(clause)
+    for name in sorted(reads):
+        new_clauses.append(
+            ast.TransferClause("in", name, length=clone(bound))
+        )
+    for name in sorted(writes):
+        new_clauses.append(
+            ast.TransferClause("out", name, length=clone(bound))
+        )
+    pragma.clauses = new_clauses
+
+
+def _first_reorderable_loop(
+    program: ast.Program, bindings: Optional[Dict[str, int]]
+) -> Optional[ast.For]:
+    inside = _loops_inside_device_regions(program)
+    for node in walk(program):
+        if id(node) in inside:
+            # The gather loop runs on the host; a loop already inside a
+            # device region cannot be reordered this way.
+            continue
+        if isinstance(node, ast.For) and node.pragmas:
+            try:
+                if _irregular_targets(node, bindings):
+                    return node
+            except Exception:
+                continue
+    return None
+
+
+# ==========================================================================
+# Loop splitting
+# ==========================================================================
+
+
+class _HasIrregular(NodeVisitor):
+    def __init__(self, var: str, bindings: Optional[Dict[str, int]]):
+        self.var = var
+        self.bindings = bindings or {}
+        self.found = False
+
+    def visit_Subscript(self, node: ast.Subscript) -> None:
+        self.generic_visit(node)
+        if any(isinstance(n, ast.Subscript) for n in walk(node.index)):
+            self.found = True
+
+
+def _stmt_has_irregular(stmt: ast.Stmt, var: str, bindings) -> bool:
+    checker = _HasIrregular(var, bindings)
+    checker.visit(stmt)
+    return checker.found
+
+
+def split_loop(
+    program: ast.Program,
+    loop: Optional[ast.For] = None,
+    bindings: Optional[Dict[str, int]] = None,
+) -> TransformReport:
+    """Apply the Figure 7 loop-splitting rewrite in place."""
+    report = TransformReport(name="regularization:split", applied=False)
+    target = loop if loop is not None else _first_splittable_loop(program, bindings)
+    if target is None:
+        report.reason = "no loop with an irregular prefix and regular suffix"
+        return report
+
+    var = loop_variable(target)
+    body = target.body
+    if not isinstance(body, ast.Block):
+        body = ast.Block([body])
+    stmts = body.stmts
+    split_at = -1
+    for idx, stmt in enumerate(stmts):
+        if _stmt_has_irregular(stmt, var, bindings):
+            split_at = idx
+    if split_at < 0:
+        report.reason = "loop has no irregular accesses"
+        return report
+    if split_at == len(stmts) - 1:
+        report.reason = "irregular accesses extend to the end of the body"
+        return report
+
+    prefix = [clone(s) for s in stmts[: split_at + 1]]
+    suffix = [clone(s) for s in stmts[split_at + 1 :]]
+
+    # Scalars declared in the prefix but consumed by the suffix must be
+    # recomputed in the second loop; their definitions must be regular.
+    suffix_reads = {
+        n.name
+        for s in suffix
+        for n in walk(s)
+        if isinstance(n, ast.Ident)
+    }
+    mutated_after_decl = set()
+    declared = set()
+    for stmt in prefix:
+        if isinstance(stmt, ast.VarDecl):
+            declared.add(stmt.name)
+            continue
+        for node in walk(stmt):
+            if isinstance(node, ast.Assign) and isinstance(
+                node.target, ast.Ident
+            ):
+                mutated_after_decl.add(node.target.name)
+
+    carried: List[ast.Stmt] = []
+    for stmt in prefix:
+        if isinstance(stmt, ast.VarDecl) and stmt.name in suffix_reads:
+            if _stmt_has_irregular(stmt, var, bindings):
+                report.reason = (
+                    f"local {stmt.name!r} flows into the regular half but is "
+                    f"defined by an irregular access"
+                )
+                return report
+            if stmt.name in mutated_after_decl:
+                report.reason = (
+                    f"local {stmt.name!r} is updated inside the irregular "
+                    f"half; recomputing it in the regular half is unsound"
+                )
+                return report
+            carried.append(clone(stmt))
+    suffix = carried + suffix
+
+    non_offload = [
+        p for p in target.pragmas if not isinstance(p, ast.OffloadPragma)
+    ]
+    first = ast.For(
+        init=clone(target.init),
+        cond=clone(target.cond),
+        step=clone(target.step),
+        body=ast.Block(prefix),
+        pragmas=[clone(p) for p in non_offload],
+    )
+    second = ast.For(
+        init=clone(target.init),
+        cond=clone(target.cond),
+        step=clone(target.step),
+        body=ast.Block(suffix),
+        pragmas=[clone(p) for p in non_offload],
+    )
+
+    offload = get_pragma(target, ast.OffloadPragma)
+    if offload is not None:
+        # Both halves run in ONE offload region with the original clauses:
+        # "this optimization is done statically, and there is no runtime
+        # overhead" — no extra kernel launch, no extra transfers, and the
+        # intermediates stay on the device between the halves.
+        replacement: List[ast.Stmt] = [
+            ast.OffloadBlock(clone(offload), ast.Block([first, second]))
+        ]
+    else:
+        replacement = [first, second]
+
+    if not replace_statement(program, target, replacement):
+        raise LegalityError("loop not found in the program body")
+    report.applied = True
+    report.note(
+        f"split after statement {split_at + 1}: irregular prefix "
+        f"({split_at + 1} stmts) + regular suffix ({len(suffix)} stmts)"
+    )
+    return report
+
+
+def _first_splittable_loop(
+    program: ast.Program, bindings
+) -> Optional[ast.For]:
+    # Splitting is plain loop fission: legal both for offloaded loops (the
+    # halves share one region) and for parallel loops already inside a
+    # device region (srad's iterated diffusion loop).
+    for node in walk(program):
+        if not (isinstance(node, ast.For) and node.pragmas):
+            continue
+        try:
+            var = loop_variable(node)
+        except Exception:
+            continue
+        body = node.body
+        stmts = body.stmts if isinstance(body, ast.Block) else [body]
+        flags = [_stmt_has_irregular(s, var, bindings) for s in stmts]
+        if any(flags) and not flags[-1]:
+            return node
+    return None

@@ -1,0 +1,837 @@
+"""The data streaming transformation (Section III).
+
+Rewrites an offloaded parallel loop
+
+.. code-block:: c
+
+    #pragma offload target(mic:0) in(A : length(n)) out(B : length(n)) in(n)
+    #pragma omp parallel for
+    for (int i = 0; i < n; i++) { B[i] = f(A[i]); }
+
+into the pipelined form of Figure 5: a prologue that allocates device
+buffers once and transfers the first block, an outer loop that prefetches
+block k+1 asynchronously while computing block k, and an epilogue that
+frees everything — so transfer overlaps computation and (with the
+memory-usage optimization of Section III-B) the device holds only two
+block buffers per streamed input array and one per output array.
+
+Two code shapes are produced:
+
+* ``double_buffer=False`` — Figure 5(b): full-size device arrays, block
+  sections streamed into them, kernel indices unchanged;
+* ``double_buffer=True`` — Figure 5(c): per-block buffers ``X__s1`` /
+  ``X__s2`` (outputs get a single ``X__b``), the outer loop body is
+  duplicated for even/odd blocks, and kernel indices are rebased into the
+  block buffers.
+
+Legality (Section III-A): every array index in the loop must be affine,
+``a * i + b``, in the loop variable, with all of an array's accesses
+sharing the same ``a`` and having ``b >= 0``; arrays that do not qualify
+(or are loop-invariant) fall back to one whole-array "resident" transfer
+in the prologue.  At least one array must actually stream, otherwise the
+transform reports itself inapplicable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field as dc_field
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import LegalityError, NotAffineError
+from repro.analysis.array_access import (
+    AccessKind,
+    ArrayAccess,
+    classify_accesses,
+    extract_linear_form,
+    loop_variable,
+)
+from repro.analysis.offload import loop_bound
+from repro.minic import ast_nodes as ast
+from repro.minic import builder
+from repro.minic.visitor import (
+    NodeTransformer,
+    clone,
+    find_offload_loops,
+    get_pragma,
+    substitute,
+)
+from repro.transforms.base import TransformReport, replace_statement
+
+#: The paper: "the best number of blocks for most benchmarks is between
+#: 10 and 40"; 20 is the default when no model-driven count is given.
+DEFAULT_NUM_BLOCKS = 20
+
+import itertools
+
+_session_counter = itertools.count()
+
+
+def _new_session() -> str:
+    """A unique persistent-kernel session name per streamed loop."""
+    return f"sess{next(_session_counter)}"
+
+
+@dataclass
+class StreamingOptions:
+    """Tuning knobs for the streaming transform."""
+
+    num_blocks: int = DEFAULT_NUM_BLOCKS
+    double_buffer: bool = True
+    thread_reuse: bool = True
+    #: Compile-time integer values for symbolic index coefficients
+    #: (e.g. a row width), enabling streaming of ``A[i * dim + d]`` loops.
+    bindings: Dict[str, int] = dc_field(default_factory=dict)
+
+
+@dataclass
+class _ArrayPlan:
+    """How one clause array is handled by the transform."""
+
+    name: str
+    direction: str  # in / out / inout
+    orig_length: Optional[ast.Expr]
+    streamed: bool = False
+    # Index expressions of the extreme-offset accesses (reads and writes).
+    read_min: Optional[ast.Expr] = None
+    read_max: Optional[ast.Expr] = None
+    write_min: Optional[ast.Expr] = None
+    write_max: Optional[ast.Expr] = None
+    # Numeric offset bounds (same-coefficient linear forms).
+    read_cmin: int = 0
+    read_cmax: int = 0
+    write_cmin: int = 0
+    write_cmax: int = 0
+
+    @property
+    def reads(self) -> bool:
+        return self.direction in ("in", "inout")
+
+    @property
+    def writes(self) -> bool:
+        return self.direction in ("out", "inout")
+
+
+def plan_arrays(
+    loop: ast.For,
+    pragma: ast.OffloadPragma,
+    bindings: Dict[str, int],
+) -> Tuple[List[_ArrayPlan], List[ast.TransferClause]]:
+    """Build per-array streaming plans from the clauses and access analysis.
+
+    Returns (array plans, scalar clauses).  Raises
+    :class:`~repro.errors.LegalityError` when the loop shape itself rules
+    streaming out (non-canonical loop, irregular accesses).
+    """
+    var = _canonical_loop_var(loop)
+    accesses = classify_accesses(loop, bindings)
+    irregular = {AccessKind.INDIRECT, AccessKind.NONLINEAR, AccessKind.AOS}
+    bad = [a for a in accesses if a.kind in irregular]
+    if bad:
+        raise LegalityError(
+            f"irregular access to {bad[0].array!r} "
+            f"({bad[0].kind.value}) blocks data streaming"
+        )
+
+    by_array: Dict[str, List[ArrayAccess]] = {}
+    for access in accesses:
+        by_array.setdefault(access.array, []).append(access)
+
+    plans: List[_ArrayPlan] = []
+    scalars: List[ast.TransferClause] = []
+    for clause in pragma.clauses:
+        if clause.length is None:
+            scalars.append(clause)
+            continue
+        array_accesses = by_array.get(clause.var, [])
+        if not array_accesses:
+            # Dead clause: the loop never touches this array; no transfer
+            # or device allocation is needed at all.
+            continue
+        plan = _ArrayPlan(
+            clause.var,
+            _narrow_direction(clause.direction, array_accesses),
+            clause.length,
+        )
+        plan.streamed = _plan_sections(plan, array_accesses, var, bindings)
+        plans.append(plan)
+    return plans, scalars
+
+
+def _narrow_direction(direction: str, accesses: List[ArrayAccess]) -> str:
+    """Tighten a clause direction to what the loop actually does.
+
+    A declared ``inout`` array that the loop only ever writes — with every
+    write unguarded, so each iteration defines its element — does not need
+    its old contents on the device; it is effectively ``out``.  Likewise a
+    declared output never written is only an input.  Guarded writes keep
+    the conservative direction (partially-written arrays must preserve
+    untouched elements).
+    """
+    reads = [a for a in accesses if not a.is_write]
+    writes = [a for a in accesses if a.is_write]
+    if direction == "inout":
+        if not reads and writes and all(not w.guarded for w in writes):
+            return "out"
+        if not writes and reads:
+            return "in"
+    elif direction == "out" and not writes and reads:
+        return "in"
+    return direction
+
+
+def _plan_sections(
+    plan: _ArrayPlan,
+    accesses: List[ArrayAccess],
+    var: str,
+    bindings: Dict[str, int],
+) -> bool:
+    """Fill the min/max section expressions; returns streamability."""
+    if not accesses:
+        return False
+    forms = []
+    for access in accesses:
+        try:
+            form = extract_linear_form(access.index, var, bindings)
+        except NotAffineError:
+            return False
+        forms.append((access, form))
+    coeffs = {form.coeff for _, form in forms}
+    if len(coeffs) != 1:
+        return False
+    coeff = coeffs.pop()
+    if coeff <= 0:
+        return False  # invariant or reversed arrays stay resident
+    if min(form.const for _, form in forms) < 0:
+        return False  # negative offsets would need clamped prologue sections
+
+    reads = [(a, f) for a, f in forms if not a.is_write]
+    writes = [(a, f) for a, f in forms if a.is_write]
+    if reads:
+        plan.read_min = min(reads, key=lambda af: af[1].const)[0].index
+        plan.read_max = max(reads, key=lambda af: af[1].const)[0].index
+        plan.read_cmin = min(f.const for _, f in reads)
+        plan.read_cmax = max(f.const for _, f in reads)
+    if writes:
+        plan.write_min = min(writes, key=lambda af: af[1].const)[0].index
+        plan.write_max = max(writes, key=lambda af: af[1].const)[0].index
+        plan.write_cmin = min(f.const for _, f in writes)
+        plan.write_cmax = max(f.const for _, f in writes)
+    if plan.reads and not reads:
+        # declared as input but never read at a streamable index
+        return False
+    if plan.writes and not writes:
+        return False
+    if plan.reads and plan.writes:
+        # Double-buffered inout works in place inside the read-section
+        # buffers; the written range must fit inside the read range.
+        if plan.write_cmin < plan.read_cmin or plan.write_cmax > plan.read_cmax:
+            return False
+    return True
+
+
+def _canonical_loop_var(loop: ast.For) -> str:
+    """Check the canonical shape for (i = 0; i < bound; i++) and return i."""
+    var = loop_variable(loop)
+    start = None
+    if isinstance(loop.init, ast.VarDecl):
+        start = loop.init.init
+    elif isinstance(loop.init, ast.Assign):
+        start = loop.init.value
+    if start != ast.IntLit(0):
+        raise LegalityError("streaming requires a loop starting at 0")
+    cond = loop.cond
+    if not (
+        isinstance(cond, ast.BinOp)
+        and cond.op == "<"
+        and cond.left == ast.Ident(var)
+    ):
+        raise LegalityError("streaming requires an i < bound condition")
+    step_ok = loop.step == ast.Assign(ast.Ident(var), ast.IntLit(1), "+=")
+    if not step_ok:
+        raise LegalityError("streaming requires a unit-increment step")
+    return var
+
+
+# --------------------------------------------------------------------------
+# Section expression helpers
+# --------------------------------------------------------------------------
+
+
+def _sub_index(index: ast.Expr, var: str, replacement: ast.Expr) -> ast.Expr:
+    return substitute(index, {var: replacement})
+
+
+def _section_start(index_min: ast.Expr, var: str, start: ast.Expr) -> ast.Expr:
+    return _sub_index(index_min, var, start)
+
+
+def _section_length(
+    index_min: ast.Expr,
+    index_max: ast.Expr,
+    var: str,
+    start: ast.Expr,
+    length: ast.Expr,
+) -> ast.Expr:
+    """Elements covered by iterations [start, start+length): Emax(last) -
+    Emin(first) + 1."""
+    last = builder.expr("S + L - 1", S=clone(start), L=clone(length))
+    end = _sub_index(index_max, var, last)
+    begin = _sub_index(index_min, var, clone(start))
+    return builder.expr("E - B + 1", E=end, B=begin)
+
+
+# --------------------------------------------------------------------------
+# Clause construction helpers
+# --------------------------------------------------------------------------
+
+
+def _clause(
+    direction: str,
+    var: str,
+    start: Optional[ast.Expr] = None,
+    length: Optional[ast.Expr] = None,
+    into: Optional[str] = None,
+    into_start: Optional[ast.Expr] = None,
+    alloc: Optional[int] = None,
+    free: Optional[int] = None,
+) -> ast.TransferClause:
+    clause = ast.TransferClause(direction, var)
+    clause.start = start
+    clause.length = length
+    clause.into = into
+    clause.into_start = into_start
+    if alloc is not None:
+        clause.alloc_if = ast.IntLit(alloc)
+    if free is not None:
+        clause.free_if = ast.IntLit(free)
+    return clause
+
+
+def _transfer_stmt(
+    clauses: List[ast.TransferClause], signal: Optional[ast.Expr] = None
+) -> ast.PragmaStmt:
+    return ast.PragmaStmt(
+        ast.OffloadTransferPragma(target=0, clauses=clauses, signal=signal)
+    )
+
+
+# --------------------------------------------------------------------------
+# The transform
+# --------------------------------------------------------------------------
+
+
+class _IndexRebaser(NodeTransformer):
+    """Rewrites streamed-array accesses into block buffers (Figure 5(c)).
+
+    The kernel loop keeps the *global* induction variable, so plain uses
+    of ``i`` (conditions, resident arrays) stay correct; only streamed
+    accesses are rebased: ``X[E(i)]`` becomes
+    ``X__sN[E(i) - Emin(__start)]`` — the global element index minus the
+    block section's base.
+    """
+
+    def __init__(self, renames: Dict[str, str], bases: Dict[str, ast.Expr]):
+        self.renames = renames
+        self.bases = bases
+
+    def visit_Subscript(self, node: ast.Subscript) -> ast.Node:
+        self.generic_visit(node)
+        if isinstance(node.base, ast.Ident) and node.base.name in self.renames:
+            name = node.base.name
+            rebased = builder.expr(
+                "G - B", G=clone(node.index), B=clone(self.bases[name])
+            )
+            return ast.Subscript(ast.Ident(self.renames[name]), rebased)
+        return node
+
+
+def apply_streaming(
+    program: ast.Program,
+    options: Optional[StreamingOptions] = None,
+    loop: Optional[ast.For] = None,
+) -> TransformReport:
+    """Apply data streaming to *loop* (or every eligible loop) in place."""
+    options = options or StreamingOptions()
+    report = TransformReport(name="data-streaming", applied=False)
+    targets = [loop] if loop is not None else find_offload_loops(program)
+    for target in targets:
+        try:
+            _stream_one_loop(program, target, options, report)
+        except LegalityError as exc:
+            report.reason = str(exc)
+    return report
+
+
+def _stream_one_loop(
+    program: ast.Program,
+    loop: ast.For,
+    options: StreamingOptions,
+    report: TransformReport,
+) -> None:
+    pragma = get_pragma(loop, ast.OffloadPragma)
+    omp = get_pragma(loop, ast.OmpParallelFor)
+    if pragma is None or omp is None:
+        raise LegalityError("loop is not an offloaded parallel loop")
+    if pragma.signal is not None or pragma.wait is not None:
+        raise LegalityError("loop already uses asynchronous offload")
+
+    var = _canonical_loop_var(loop)
+    bound = loop_bound(loop)
+    plans, scalar_clauses = plan_arrays(loop, pragma, options.bindings)
+    if not any(p.streamed for p in plans):
+        raise LegalityError("no array qualifies for streaming")
+
+    if options.double_buffer:
+        stmts = _emit_double_buffered(
+            loop, var, bound, plans, scalar_clauses, options
+        )
+    else:
+        stmts = _emit_full_buffers(
+            loop, var, bound, plans, scalar_clauses, options
+        )
+    if not replace_statement(program, loop, stmts):
+        raise LegalityError("loop not found in the program body")
+    report.applied = True
+    streamed = [p.name for p in plans if p.streamed]
+    report.note(
+        f"streamed {', '.join(streamed)} in {options.num_blocks} blocks "
+        f"(double_buffer={options.double_buffer}, "
+        f"thread_reuse={options.thread_reuse})"
+    )
+
+
+def _scalar_kernel_clauses(
+    scalar_clauses: List[ast.TransferClause], extra_names: List[str]
+) -> List[ast.TransferClause]:
+    clauses = [clone(c) for c in scalar_clauses]
+    present = {c.var for c in clauses}
+    for name in extra_names:
+        if name not in present:
+            clauses.append(_clause("in", name))
+    return clauses
+
+
+def _kernel_pragma(
+    nocopy_names: List[str],
+    scalar_clauses: List[ast.TransferClause],
+    out_clauses: List[ast.TransferClause],
+    wait: ast.Expr,
+    persistent: bool,
+    session: Optional[str] = None,
+) -> ast.OffloadPragma:
+    clauses = [
+        _clause("nocopy", name, alloc=0, free=0) for name in nocopy_names
+    ]
+    clauses += scalar_clauses + out_clauses
+    return ast.OffloadPragma(
+        target=0,
+        clauses=clauses,
+        wait=wait,
+        persistent=persistent,
+        session=session if persistent else None,
+    )
+
+
+def _emit_full_buffers(
+    loop: ast.For,
+    var: str,
+    bound: ast.Expr,
+    plans: List[_ArrayPlan],
+    scalar_clauses: List[ast.TransferClause],
+    options: StreamingOptions,
+) -> List[ast.Stmt]:
+    """Figure 5(b): whole-array device buffers, sectioned transfers."""
+    nb = options.num_blocks
+    header = builder.stmts(
+        "int __nblocks = NB;\n"
+        "int __bsize = (N + __nblocks - 1) / __nblocks;\n"
+        "int __len0 = min(__bsize, N);",
+        NB=nb,
+        N=clone(bound),
+    )
+
+    alloc_clauses: List[ast.TransferClause] = []
+    first_clauses: List[ast.TransferClause] = []
+    free_clauses: List[ast.TransferClause] = []
+    prefetch_clauses: List[ast.TransferClause] = []
+    final_out_clauses: List[ast.TransferClause] = []
+    start0 = ast.IntLit(0)
+    len0 = ast.Ident("__len0")
+    nstart = ast.Ident("__nstart")
+    nlen = ast.Ident("__nlen")
+
+    for plan in plans:
+        alloc_clauses.append(
+            _clause(
+                "nocopy",
+                plan.name,
+                length=_device_extent(plan, var, bound),
+                alloc=1,
+                free=0,
+            )
+        )
+        free_clauses.append(_clause("nocopy", plan.name, alloc=0, free=1))
+        if plan.streamed and plan.reads:
+            first_clauses.append(
+                _clause(
+                    "in",
+                    plan.name,
+                    start=_section_start(plan.read_min, var, start0),
+                    length=_section_length(
+                        plan.read_min, plan.read_max, var, start0, len0
+                    ),
+                    alloc=0,
+                    free=0,
+                )
+            )
+            prefetch_clauses.append(
+                _clause(
+                    "in",
+                    plan.name,
+                    start=_section_start(plan.read_min, var, nstart),
+                    length=_section_length(
+                        plan.read_min, plan.read_max, var, nstart, nlen
+                    ),
+                    alloc=0,
+                    free=0,
+                )
+            )
+        elif plan.reads:
+            # Resident array: transferred once, before the pipeline starts.
+            first_clauses.append(
+                _clause(
+                    "in", plan.name, length=clone(plan.orig_length), alloc=0, free=0
+                )
+            )
+        if plan.writes and not plan.streamed:
+            final_out_clauses.append(
+                _clause(
+                    "out", plan.name, length=clone(plan.orig_length), alloc=0, free=0
+                )
+            )
+
+    start = ast.Ident("__start")
+    length = ast.Ident("__len")
+    block_out_clauses = [
+        _clause(
+            "out",
+            plan.name,
+            start=_section_start(plan.write_min, var, start),
+            length=_section_length(
+                plan.write_min, plan.write_max, var, start, length
+            ),
+            alloc=0,
+            free=0,
+        )
+        for plan in plans
+        if plan.streamed and plan.writes
+    ]
+
+    kernel_scalars = _scalar_kernel_clauses(
+        scalar_clauses, ["__start", "__len"]
+    )
+    session = _new_session()
+    kernel_pragma = _kernel_pragma(
+        [p.name for p in plans],
+        kernel_scalars,
+        block_out_clauses,
+        wait=ast.Ident("__k"),
+        persistent=options.thread_reuse,
+        session=session,
+    )
+    omp = get_pragma(loop, ast.OmpParallelFor)
+    kernel_loop = ast.For(
+        init=ast.VarDecl(var, ast.INT, ast.Ident("__start")),
+        cond=builder.expr(f"{var} < __start + __len"),
+        step=ast.Assign(ast.Ident(var), ast.IntLit(1), "+="),
+        body=clone(loop.body),
+        pragmas=[kernel_pragma, clone(omp)],
+    )
+
+    prefetch = ast.If(
+        builder.expr("__nlen > 0"),
+        ast.Block([_transfer_stmt(prefetch_clauses, signal=builder.expr("__k + 1"))]),
+    )
+    outer_body = builder.stmts(
+        "int __start = __k * __bsize;\n"
+        "int __len = min(__bsize, N - __start);\n"
+        "int __nstart = __start + __bsize;\n"
+        "int __nlen = min(__bsize, N - __nstart);",
+        N=clone(bound),
+    )
+    # Trailing blocks can be empty when N does not divide evenly.
+    outer_body.append(
+        ast.If(builder.expr("__len > 0"), ast.Block([prefetch, kernel_loop]))
+    )
+    outer = ast.For(
+        init=ast.VarDecl("__k", ast.INT, ast.IntLit(0)),
+        cond=builder.expr("__k < __nblocks"),
+        step=ast.Assign(ast.Ident("__k"), ast.IntLit(1), "+="),
+        body=ast.Block(outer_body),
+    )
+
+    stmts: List[ast.Stmt] = list(header)
+    stmts.append(_transfer_stmt(alloc_clauses))
+    stmts.append(_transfer_stmt(first_clauses, signal=ast.IntLit(0)))
+    stmts.append(outer)
+    if final_out_clauses:
+        stmts.append(_transfer_stmt(final_out_clauses))
+    stmts.append(_transfer_stmt(free_clauses))
+    return stmts
+
+
+def _device_extent(plan: _ArrayPlan, var: str, bound: ast.Expr) -> ast.Expr:
+    """Whole-array device length for the full-buffer variant."""
+    if not plan.streamed:
+        return clone(plan.orig_length)
+    index_max = plan.read_max if plan.read_max is not None else plan.write_max
+    if plan.write_max is not None and plan.read_max is not None:
+        # Use the original clause length: it covers both by inference.
+        return clone(plan.orig_length)
+    last = builder.expr("N - 1", N=clone(bound))
+    return builder.expr("E + 1", E=_sub_index(index_max, var, last))
+
+
+def _emit_double_buffered(
+    loop: ast.For,
+    var: str,
+    bound: ast.Expr,
+    plans: List[_ArrayPlan],
+    scalar_clauses: List[ast.TransferClause],
+    options: StreamingOptions,
+) -> List[ast.Stmt]:
+    """Figure 5(c): two block buffers per streamed input, one per output."""
+    nb = options.num_blocks
+    header = builder.stmts(
+        "int __nblocks = NB;\n"
+        "int __bsize = (N + __nblocks - 1) / __nblocks;\n"
+        "int __len0 = min(__bsize, N);",
+        NB=nb,
+        N=clone(bound),
+    )
+
+    streamed_in = [p for p in plans if p.streamed and p.reads]
+    # Pure outputs get a single block buffer ("we only need one memory
+    # block for the output array"); inout arrays are updated in place
+    # inside their double buffers and copied back from there.
+    streamed_out = [p for p in plans if p.streamed and p.writes and not p.reads]
+    streamed_inout = [p for p in plans if p.streamed and p.writes and p.reads]
+    resident = [p for p in plans if not p.streamed]
+
+    alloc_clauses: List[ast.TransferClause] = []
+    free_clauses: List[ast.TransferClause] = []
+    resident_in: List[ast.TransferClause] = []
+    resident_out: List[ast.TransferClause] = []
+
+    def block_len(plan: _ArrayPlan, index_min, index_max) -> ast.Expr:
+        return _section_length(
+            index_min, index_max, var, ast.IntLit(0), ast.Ident("__bsize")
+        )
+
+    for plan in streamed_in:
+        for suffix in ("__s1", "__s2"):
+            alloc_clauses.append(
+                _clause(
+                    "nocopy",
+                    plan.name + suffix,
+                    length=block_len(plan, plan.read_min, plan.read_max),
+                    alloc=1,
+                    free=0,
+                )
+            )
+            free_clauses.append(
+                _clause("nocopy", plan.name + suffix, alloc=0, free=1)
+            )
+    for plan in streamed_out:
+        alloc_clauses.append(
+            _clause(
+                "nocopy",
+                plan.name + "__b",
+                length=block_len(plan, plan.write_min, plan.write_max),
+                alloc=1,
+                free=0,
+            )
+        )
+        free_clauses.append(_clause("nocopy", plan.name + "__b", alloc=0, free=1))
+    for plan in resident:
+        alloc_clauses.append(
+            _clause(
+                "nocopy", plan.name, length=clone(plan.orig_length), alloc=1, free=0
+            )
+        )
+        free_clauses.append(_clause("nocopy", plan.name, alloc=0, free=1))
+        if plan.reads:
+            resident_in.append(
+                _clause(
+                    "in", plan.name, length=clone(plan.orig_length), alloc=0, free=0
+                )
+            )
+        if plan.writes:
+            resident_out.append(
+                _clause(
+                    "out", plan.name, length=clone(plan.orig_length), alloc=0, free=0
+                )
+            )
+
+    def in_clauses_for(start_expr: ast.Expr, len_expr: ast.Expr, suffix: str):
+        return [
+            _clause(
+                "in",
+                plan.name,
+                start=_section_start(plan.read_min, var, start_expr),
+                length=_section_length(
+                    plan.read_min, plan.read_max, var, start_expr, len_expr
+                ),
+                into=plan.name + suffix,
+                alloc=0,
+                free=0,
+            )
+            for plan in streamed_in
+        ]
+
+    first_block = in_clauses_for(ast.IntLit(0), ast.Ident("__len0"), "__s1")
+
+    session = _new_session()
+    start_ident = ast.Ident("__start")
+    len_ident = ast.Ident("__len")
+
+    def kernel_for(suffix: str) -> ast.For:
+        renames = {p.name: p.name + suffix for p in streamed_in}
+        bases = {
+            p.name: _section_start(p.read_min, var, start_ident)
+            for p in streamed_in
+        }
+        for p in streamed_out:
+            renames[p.name] = p.name + "__b"
+            bases[p.name] = _section_start(p.write_min, var, start_ident)
+        body = _IndexRebaser(renames, bases).visit(clone(loop.body))
+        out_clauses = [
+            _clause(
+                "out",
+                p.name + "__b",
+                start=ast.IntLit(0),
+                length=_section_length(
+                    p.write_min, p.write_max, var, start_ident, len_ident
+                ),
+                into=p.name,
+                into_start=_section_start(p.write_min, var, start_ident),
+                alloc=0,
+                free=0,
+            )
+            for p in streamed_out
+        ]
+        # Inout arrays copy back from inside their double buffer: the
+        # written range starts at the write-read offset within the block.
+        out_clauses += [
+            _clause(
+                "out",
+                p.name + suffix,
+                start=builder.expr(
+                    "W - R",
+                    W=_section_start(p.write_min, var, start_ident),
+                    R=_section_start(p.read_min, var, start_ident),
+                ),
+                length=_section_length(
+                    p.write_min, p.write_max, var, start_ident, len_ident
+                ),
+                into=p.name,
+                into_start=_section_start(p.write_min, var, start_ident),
+                alloc=0,
+                free=0,
+            )
+            for p in streamed_inout
+        ]
+        nocopy_names = (
+            [p.name + suffix for p in streamed_in]
+            + [p.name + "__b" for p in streamed_out]
+            + [p.name for p in resident]
+        )
+        kernel_scalars = _scalar_kernel_clauses(
+            scalar_clauses, ["__start", "__len", "__bsize"]
+        )
+        pragma = _kernel_pragma(
+            nocopy_names,
+            kernel_scalars,
+            out_clauses,
+            wait=ast.Ident("__k"),
+            persistent=options.thread_reuse,
+            session=session,
+        )
+        omp = get_pragma(loop, ast.OmpParallelFor)
+        return ast.For(
+            init=ast.VarDecl(var, ast.INT, ast.Ident("__start")),
+            cond=builder.expr(f"{var} < __start + __len"),
+            step=ast.Assign(ast.Ident(var), ast.IntLit(1), "+="),
+            body=body,
+            pragmas=[pragma, clone(omp)],
+        )
+
+    nstart = ast.Ident("__nstart")
+    nlen = ast.Ident("__nlen")
+    prefetch = ast.If(
+        builder.expr("__nlen > 0"),
+        ast.Block(
+            [
+                ast.If(
+                    builder.expr("(__k + 1) % 2 == 0"),
+                    ast.Block(
+                        [
+                            _transfer_stmt(
+                                in_clauses_for(nstart, nlen, "__s1"),
+                                signal=builder.expr("__k + 1"),
+                            )
+                        ]
+                    ),
+                    ast.Block(
+                        [
+                            _transfer_stmt(
+                                in_clauses_for(nstart, nlen, "__s2"),
+                                signal=builder.expr("__k + 1"),
+                            )
+                        ]
+                    ),
+                )
+            ]
+        ),
+    )
+
+    outer_body = builder.stmts(
+        "int __start = __k * __bsize;\n"
+        "int __len = min(__bsize, N - __start);\n"
+        "int __nstart = __start + __bsize;\n"
+        "int __nlen = min(__bsize, N - __nstart);",
+        N=clone(bound),
+    )
+    # Trailing blocks can be empty when N does not divide evenly.
+    outer_body.append(
+        ast.If(
+            builder.expr("__len > 0"),
+            ast.Block(
+                [
+                    prefetch,
+                    ast.If(
+                        builder.expr("__k % 2 == 0"),
+                        ast.Block([kernel_for("__s1")]),
+                        ast.Block([kernel_for("__s2")]),
+                    ),
+                ]
+            ),
+        )
+    )
+    outer = ast.For(
+        init=ast.VarDecl("__k", ast.INT, ast.IntLit(0)),
+        cond=builder.expr("__k < __nblocks"),
+        step=ast.Assign(ast.Ident("__k"), ast.IntLit(1), "+="),
+        body=ast.Block(outer_body),
+    )
+
+    stmts: List[ast.Stmt] = list(header)
+    stmts.append(_transfer_stmt(alloc_clauses))
+    if resident_in:
+        stmts.append(_transfer_stmt(resident_in))
+    stmts.append(_transfer_stmt(first_block, signal=ast.IntLit(0)))
+    stmts.append(outer)
+    if resident_out:
+        stmts.append(_transfer_stmt(resident_out))
+    stmts.append(_transfer_stmt(free_clauses))
+    return stmts

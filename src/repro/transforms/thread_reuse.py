@@ -1,0 +1,47 @@
+"""Thread reuse: persistent-kernel marking (Section III-C).
+
+"Since the overhead of launching kernels may be high, we propose to reuse
+MIC threads in order to avoid repeated launches of the same kernels."
+The streaming transform already marks its generated kernels; this
+standalone pass applies the same optimization to any offload that sits
+inside a host loop and would otherwise be relaunched every iteration.
+The executor lowers the marker to the COI persistent-kernel protocol:
+first launch pays the full kernel-launch overhead K, every later
+activation pays only a signal.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.minic import ast_nodes as ast
+from repro.minic.visitor import get_pragma, walk
+from repro.transforms.base import TransformReport
+
+
+def apply_thread_reuse(program: ast.Program) -> TransformReport:
+    """Mark repeatedly-launched offloads as persistent, in place."""
+    report = TransformReport(name="thread-reuse", applied=False)
+    marked = 0
+    for host_loop in walk(program):
+        if not isinstance(host_loop, (ast.For, ast.While)):
+            continue
+        if isinstance(host_loop, ast.For) and get_pragma(
+            host_loop, ast.OffloadPragma
+        ):
+            continue  # the loop itself is offloaded; nothing repeats on host
+        for node in walk(host_loop.body):
+            pragma = None
+            if isinstance(node, ast.For):
+                pragma = get_pragma(node, ast.OffloadPragma)
+            elif isinstance(node, ast.OffloadBlock):
+                pragma = node.pragma
+            if pragma is not None and not pragma.persistent:
+                pragma.persistent = True
+                marked += 1
+    if marked:
+        report.applied = True
+        report.note(f"marked {marked} offload(s) persistent")
+    else:
+        report.reason = "no offloads inside host loops"
+    return report

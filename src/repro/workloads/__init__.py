@@ -1,0 +1,42 @@
+"""The twelve evaluation workloads (Table II).
+
+Each module recreates one benchmark's *loop and data-structure shape* —
+the property COMP's optimizations key off — as a MiniC program (or, for
+the two pointer-based benchmarks, a Python driver over the shared-memory
+runtimes).  See DESIGN.md for the substitution rationale.
+
+=============  ========  ==========================================
+Benchmark      Suite     Applicable optimizations (Table II)
+=============  ========  ==========================================
+blackscholes   PARSEC    streaming (1.54x)
+streamcluster  PARSEC    streaming (1.34x), merging (38.89x)
+ferret         PARSEC    shared memory (7.81x)
+dedup          PARSEC    none — data streaming already hand-coded
+freqmine       PARSEC    shared memory (1.16x)
+kmeans         Phoenix   streaming (1.95x)
+CG             NAS       streaming (1.28x), merging (18.53x)
+cfd            Rodinia   merging (27.19x)
+nn             Rodinia   streaming (1.24x), regularization (1.23x)
+srad           Rodinia   regularization (1.25x)
+bfs            Rodinia   none
+hotspot        Rodinia   none
+=============  ========  ==========================================
+"""
+
+from repro.workloads.base import (
+    MiniCWorkload,
+    SharedMemoryWorkload,
+    Workload,
+    WorkloadRun,
+)
+from repro.workloads.suite import SUITE, get_workload, workload_names
+
+__all__ = [
+    "MiniCWorkload",
+    "SharedMemoryWorkload",
+    "Workload",
+    "WorkloadRun",
+    "SUITE",
+    "get_workload",
+    "workload_names",
+]

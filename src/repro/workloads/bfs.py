@@ -1,0 +1,129 @@
+"""bfs (Rodinia): level-synchronized breadth-first search.
+
+Shape: a host loop iterates BFS levels; each level offloads a parallel
+sweep over the nodes that expands the current frontier.  Every irregular
+access (edge targets, visited flags) sits behind the frontier guard, so
+regularization's safety rule leaves the loop alone; the per-level data is
+small relative to the expansion work, so streaming/merging buy nothing
+measurable.  Table II: no optimization applies.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.transforms.pipeline import OptimizationPlan
+from repro.workloads.base import MiniCWorkload, Table2Row
+
+EXEC_NODES = 1024
+PAPER_NODES = 32_000_000  # "32 M points"
+DEGREE = 4
+
+_LEVEL_LOOP = """
+            if (dist[i] == level) {
+                for (int e = 0; e < degree; e++) {
+                    int nb = edges[degree * i + e];
+                    if (dist[nb] == -1) {
+                        dist[nb] = level + 1;
+                        found += 1;
+                    }
+                }
+                float w = 0.0;
+                for (int r = 0; r < 96; r++) {
+                    w = w + sqrt(weight[i] + (float)r);
+                }
+                cost[i] = w;
+            }
+"""
+
+SOURCE = f"""
+void main() {{
+    int level = 0;
+    int frontier_size = 1;
+    while (frontier_size > 0 && level < maxlevel) {{
+        int found = 0;
+#pragma omp parallel for reduction(+:found)
+        for (int i = 0; i < nnodes; i++) {{
+{_LEVEL_LOOP}
+        }}
+        frontier_size = found;
+        level = level + 1;
+    }}
+    levels = level;
+}}
+"""
+
+# The hand LEO port: the graph crosses the bus once; the level loop runs
+# on the device, synchronizing levels through device-resident scalars.
+MIC_SOURCE = f"""
+void main() {{
+#pragma offload target(mic:0) in(edges : length(degree * nnodes)) inout(dist : length(nnodes)) in(weight : length(nnodes)) inout(cost : length(nnodes)) in(nnodes) in(degree) in(maxlevel)
+    {{
+        int level = 0;
+        int frontier_size = 1;
+        while (frontier_size > 0 && level < maxlevel) {{
+            int found = 0;
+#pragma omp parallel for reduction(+:found)
+            for (int i = 0; i < nnodes; i++) {{
+{_LEVEL_LOOP}
+            }}
+            frontier_size = found;
+            level = level + 1;
+        }}
+    }}
+}}
+"""
+
+
+def make_arrays():
+    """Build the breadth-first search benchmark's executed-scale input arrays."""
+    rng = np.random.default_rng(13)
+    n = EXEC_NODES
+    # A shallow random graph: node i connects to later nodes, keeping the
+    # frontier expanding for several levels.
+    edges = np.zeros(n * DEGREE, dtype=np.int32)
+    for i in range(n):
+        lo = min(i + 1, n - 1)
+        hi = min(i + 64, n)
+        edges[i * DEGREE : (i + 1) * DEGREE] = rng.integers(
+            lo, max(hi, lo + 1), DEGREE
+        )
+    dist = np.full(n, -1, dtype=np.int32)
+    dist[0] = 0
+    return {
+        "edges": edges,
+        "dist": dist,
+        "weight": rng.random(n).astype(np.float32),
+        "cost": np.zeros(n, dtype=np.float32),
+    }
+
+
+def make() -> MiniCWorkload:
+    """Construct the bfs workload instance."""
+    workload = MiniCWorkload(
+        name="bfs",
+        source=SOURCE,
+        table2=Table2Row(
+            suite="Rodinia",
+            paper_input="32 M points",
+            kloc=0.359,
+        ),
+        make_arrays=make_arrays,
+        scalars={
+            "nnodes": EXEC_NODES,
+            "degree": DEGREE,
+            "maxlevel": 30,
+        },
+        sim_scale=PAPER_NODES / EXEC_NODES,
+        output_arrays=["dist", "cost"],
+        array_length_hints={
+            "edges": "degree * nnodes",
+            "dist": "nnodes",
+            "weight": "nnodes",
+            "cost": "nnodes",
+        },
+        plan=OptimizationPlan(),
+        description="level-synchronized BFS with guarded irregular expansion",
+    )
+    workload.mic_source = MIC_SOURCE
+    return workload

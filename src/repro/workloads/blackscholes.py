@@ -1,0 +1,102 @@
+"""blackscholes (PARSEC): option pricing, the paper's running example.
+
+Shape: one large, perfectly parallel loop over options, six input arrays
+and one output, with heavy transcendental math per element (the
+Black-Scholes closed form, repeated ``runs`` times as PARSEC's NUM_RUNS
+does).  All indexes are the loop variable itself, so the loop passes the
+streaming legality check — this is the Figure 5 example.  Table II:
+data streaming applies (1.54x).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.transforms.pipeline import OptimizationPlan
+from repro.transforms.streaming import StreamingOptions
+from repro.workloads.base import MiniCWorkload, Table2Row
+
+EXEC_OPTIONS = 768
+PAPER_OPTIONS = 10_000_000  # "10^7 options"
+#: PARSEC repeats the pricing NUM_RUNS times; the executed repeat count is
+#: calibrated so transfer dominates compute the way Figure 4 shows.
+RUNS = 5
+
+SOURCE = """
+float CNDF(float x) {
+    float ax = fabs(x);
+    float k = 1.0 / (1.0 + 0.2316419 * ax);
+    float poly = 0.319381530 + k * (-0.356563782 + k * (1.781477937
+        + k * (-1.821255978 + k * 1.330274429)));
+    float pdf = 0.39894228 * exp(-0.5 * x * x);
+    float cnd = 1.0 - pdf * k * poly;
+    if (x < 0.0) {
+        return 1.0 - cnd;
+    }
+    return cnd;
+}
+
+float BlkSchlsEqEuroNoDiv(float spt, float strike, float rate, float vol,
+                          float otime, int otype) {
+    float sqrtt = sqrt(otime);
+    float d1 = (log(spt / strike) + (rate + 0.5 * vol * vol) * otime)
+        / (vol * sqrtt);
+    float d2 = d1 - vol * sqrtt;
+    float n1 = CNDF(d1);
+    float n2 = CNDF(d2);
+    float fut = strike * exp(-rate * otime);
+    if (otype == 1) {
+        return fut * (1.0 - n2) - spt * (1.0 - n1);
+    }
+    return spt * n1 - fut * n2;
+}
+
+void main() {
+#pragma omp parallel for
+    for (int i = 0; i < numOptions; i++) {
+        float price = 0.0;
+        for (int r = 0; r < runs; r++) {
+            price = BlkSchlsEqEuroNoDiv(sptprice[i], strike[i], rate[i],
+                                        volatility[i], otime[i], otype[i]);
+        }
+        prices[i] = price;
+    }
+}
+"""
+
+
+def make_arrays():
+    """Build the option pricing benchmark's executed-scale input arrays."""
+    rng = np.random.default_rng(1234)
+    n = EXEC_OPTIONS
+    return {
+        "sptprice": (rng.random(n) * 100.0 + 5.0).astype(np.float32),
+        "strike": (rng.random(n) * 100.0 + 5.0).astype(np.float32),
+        "rate": (rng.random(n) * 0.1 + 0.01).astype(np.float32),
+        "volatility": (rng.random(n) * 0.5 + 0.05).astype(np.float32),
+        "otime": (rng.random(n) * 2.0 + 0.1).astype(np.float32),
+        "otype": rng.integers(0, 2, n).astype(np.int32),
+        "prices": np.zeros(n, dtype=np.float32),
+    }
+
+
+def make() -> MiniCWorkload:
+    """Construct the blackscholes workload instance."""
+    return MiniCWorkload(
+        name="blackscholes",
+        source=SOURCE,
+        table2=Table2Row(
+            suite="PARSEC",
+            paper_input="10^7 options",
+            kloc=0.415,
+            streaming=1.54,
+        ),
+        make_arrays=make_arrays,
+        scalars={"numOptions": EXEC_OPTIONS, "runs": RUNS},
+        sim_scale=PAPER_OPTIONS / EXEC_OPTIONS,
+        output_arrays=["prices"],
+        plan=OptimizationPlan(
+            streaming_options=StreamingOptions(num_blocks=20)
+        ),
+        description="Black-Scholes option pricing: the Figure 5 streaming example",
+    )

@@ -1,0 +1,87 @@
+"""cfd (Rodinia): unstructured-grid Euler solver.
+
+Shape: each time step offloads three kernels over the cells — step
+factors, fluxes (a regular neighbour stencil in our 1-D surrogate) and
+the time integration — moving five state arrays across the bus and
+paying three kernel launches per step.  Offload merging hoists the whole
+time loop into one device region; the paper measured 27.19x from merging
+alone.  Table II: merging applies (27.19x).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.transforms.pipeline import OptimizationPlan
+from repro.transforms.streaming import StreamingOptions
+from repro.workloads.base import MiniCWorkload, Table2Row
+
+EXEC_CELLS = 448
+PAPER_CELLS = 53_000_000  # "53 M data"
+STEPS = 30
+
+SOURCE = """
+void main() {
+    for (int t = 0; t < steps; t++) {
+#pragma omp parallel for
+        for (int i = 0; i < ncells; i++) {
+            float speed = sqrt(momx[i] * momx[i] + momy[i] * momy[i])
+                / (density[i] + 0.001);
+            factor[i] = 0.5 / (speed + 1.0);
+        }
+#pragma omp parallel for
+        for (int i = 0; i < ncells; i++) {
+            if (i > 0 && i < ncells - 1) {
+                flux[i] = 0.5 * (density[i - 1] - 2.0 * density[i]
+                    + density[i + 1]) + 0.25 * (energy[i - 1] - energy[i + 1]);
+            } else {
+                flux[i] = 0.0;
+            }
+        }
+#pragma omp parallel for
+        for (int i = 0; i < ncells; i++) {
+            density[i] = density[i] + factor[i] * flux[i];
+            energy[i] = energy[i] * 0.999 + flux[i] * 0.001;
+            momx[i] = momx[i] * 0.998;
+            momy[i] = momy[i] * 0.998;
+        }
+    }
+}
+"""
+
+
+def make_arrays():
+    """Build the Euler solver benchmark's executed-scale input arrays."""
+    rng = np.random.default_rng(23)
+    n = EXEC_CELLS
+    return {
+        "density": (rng.random(n) + 1.0).astype(np.float32),
+        "energy": (rng.random(n) + 2.0).astype(np.float32),
+        "momx": rng.random(n).astype(np.float32),
+        "momy": rng.random(n).astype(np.float32),
+        "factor": np.zeros(n, dtype=np.float32),
+        "flux": np.zeros(n, dtype=np.float32),
+    }
+
+
+def make() -> MiniCWorkload:
+    """Construct the cfd workload instance."""
+    return MiniCWorkload(
+        name="cfd",
+        source=SOURCE,
+        table2=Table2Row(
+            suite="Rodinia",
+            paper_input="53 M data",
+            kloc=0.12,
+            merging=27.19,
+        ),
+        make_arrays=make_arrays,
+        scalars={"ncells": EXEC_CELLS, "steps": STEPS},
+        sim_scale=PAPER_CELLS / EXEC_CELLS,
+        output_arrays=["density", "energy", "momx", "momy"],
+        array_length_hints={"density": "ncells", "energy": "ncells"},
+        plan=OptimizationPlan(
+            streaming_options=StreamingOptions(num_blocks=10)
+        ),
+        description="Euler solver time steps with three kernels per step",
+    )

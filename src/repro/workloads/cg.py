@@ -1,0 +1,103 @@
+"""CG (NAS): conjugate gradient with a sparse matrix.
+
+Shape: every CG iteration offloads several small kernels — the sparse
+matrix-vector product (indirect ``x[colidx[j]]`` accesses, which cannot
+be regularized because the gather index lives in the inner row loop) and
+the vector updates/dot products.  The naive port pays per-kernel launch
+and per-iteration vector transfers; merging hoists the whole solver loop
+into one device region.  Table II: streaming (1.28x) and merging
+(18.53x).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.transforms.pipeline import OptimizationPlan
+from repro.transforms.streaming import StreamingOptions
+from repro.workloads.base import MiniCWorkload, Table2Row
+
+EXEC_ROWS = 448
+PAPER_ROWS = 75_000  # "75 K Array"
+NNZ_PER_ROW = 4
+ITERS = 25
+
+SOURCE = """
+void main() {
+#pragma omp parallel for
+    for (int i = 0; i < n; i++) {
+        x[i] = 1.0;
+        r[i] = b[i];
+        p[i] = b[i];
+    }
+    for (int it = 0; it < iters; it++) {
+#pragma omp parallel for
+        for (int i = 0; i < n; i++) {
+            float sum = 0.0;
+            for (int j = rowstart[i]; j < rowstart[i + 1]; j++) {
+                sum += vals[j] * p[colidx[j]];
+            }
+            q[i] = sum;
+        }
+        float pq = 0.0;
+#pragma omp parallel for reduction(+:pq)
+        for (int i = 0; i < n; i++) {
+            pq += p[i] * q[i];
+        }
+        float alpha = 0.1 / (pq + 1.0);
+#pragma omp parallel for
+        for (int i = 0; i < n; i++) {
+            x[i] = x[i] + alpha * p[i];
+            r[i] = r[i] - alpha * q[i];
+            p[i] = r[i] + 0.5 * p[i];
+        }
+    }
+}
+"""
+
+
+def make_arrays():
+    """Build the conjugate gradient benchmark's executed-scale input arrays."""
+    rng = np.random.default_rng(17)
+    n = EXEC_ROWS
+    nnz = n * NNZ_PER_ROW
+    rowstart = np.arange(0, nnz + 1, NNZ_PER_ROW).astype(np.int32)
+    return {
+        "b": rng.random(n).astype(np.float32),
+        "x": np.zeros(n, dtype=np.float32),
+        "r": np.zeros(n, dtype=np.float32),
+        "p": np.zeros(n, dtype=np.float32),
+        "q": np.zeros(n, dtype=np.float32),
+        "vals": (rng.random(nnz) * 0.1).astype(np.float32),
+        "colidx": rng.integers(0, n, nnz).astype(np.int32),
+        "rowstart": rowstart,
+    }
+
+
+def make() -> MiniCWorkload:
+    """Construct the cg workload instance."""
+    return MiniCWorkload(
+        name="CG",
+        source=SOURCE,
+        table2=Table2Row(
+            suite="NAS",
+            paper_input="75 K array",
+            kloc=0.524,
+            streaming=1.28,
+            merging=18.53,
+        ),
+        make_arrays=make_arrays,
+        scalars={"n": EXEC_ROWS, "iters": ITERS},
+        sim_scale=PAPER_ROWS / EXEC_ROWS,
+        output_arrays=["x", "r", "p", "q"],
+        array_length_hints={
+            "vals": "n * 4",
+            "colidx": "n * 4",
+            "rowstart": "n + 1",
+            "p": "n",
+        },
+        plan=OptimizationPlan(
+            streaming_options=StreamingOptions(num_blocks=10)
+        ),
+        description="CG solver: SpMV + dot products offloaded per iteration",
+    )

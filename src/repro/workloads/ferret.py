@@ -1,0 +1,203 @@
+"""ferret (PARSEC): content-based image similarity search.
+
+Shape: a database of images, each a small pointer-based bundle (header →
+feature vector → region descriptors) allocated piecemeal at load time —
+"benchmark ferret performs 80,298 shared memory allocations at runtime
+and the total usage of shared memory is 83 MB.  It cannot run correctly
+using Intel MYO due to the large number of allocations" (Table III).
+
+* ``cpu``  — queries scan the database on the host.
+* ``mic``  — the MYO baseline: shared allocations hit MYO's descriptor
+  limit at full scale (the paper measured its 7.81x "by using 1500 input
+  images", below the limit); every first touch on the device faults a
+  page across the bus.
+* ``opt``  — COMP's arena: objects are bump-allocated into segmented
+  buffers, bulk-DMA'd, and dereferenced through bid+delta pointers.
+
+The similarity kernel itself is modestly parallel (pipeline stages limit
+concurrency) and pointer-chasing-irregular, so the coprocessor never
+beats the host on ferret — only the MYO-vs-arena gap closes (Table III).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from repro.errors import MyoLimitError
+from repro.hardware.device import OpCounters
+from repro.runtime.arena import ArenaAllocator
+from repro.runtime.executor import Machine
+from repro.runtime.myo import MyoRuntime
+from repro.workloads.base import SharedMemoryWorkload, Table2Row
+
+N_IMAGES = 3500  # paper: "3500 images"
+MYO_IMAGES = 1500  # paper: Table III speedup measured with 1500 images
+TOTAL_ALLOCATIONS = 80_298
+TOTAL_BYTES = 83 * (1 << 20)
+STATIC_ALLOC_SITES = 19
+#: Pipeline parallelism is bounded by in-flight queries, well under the
+#: MIC's 200 threads — one reason ferret never beats the host.
+QUERIES = 32
+FEATURES = 48
+#: Work per query-image pair (multi-region EMD-style comparison).
+FLOPS_PER_PAIR = 52_000.0
+
+#: A ferret-like loader fragment with the paper's 19 static allocation
+#: sites, used by the shared-memory lowering pass (Table III "Static").
+MINIC_SNIPPET = """
+void load_image(int id) {
+    hdr = Offload_shared_malloc(64);
+    name = Offload_shared_malloc(256);
+    fvec = Offload_shared_malloc(192);
+    meta = Offload_shared_malloc(32);
+    thumb = Offload_shared_malloc(4096);
+    r0 = Offload_shared_malloc(96);
+    r1 = Offload_shared_malloc(96);
+    r2 = Offload_shared_malloc(96);
+    r3 = Offload_shared_malloc(96);
+    r4 = Offload_shared_malloc(96);
+    r5 = Offload_shared_malloc(96);
+    r6 = Offload_shared_malloc(96);
+    r7 = Offload_shared_malloc(96);
+    weights = Offload_shared_malloc(128);
+    hist = Offload_shared_malloc(512);
+    bbox = Offload_shared_malloc(48);
+    mask = Offload_shared_malloc(1024);
+    links = Offload_shared_malloc(64);
+    index_node = Offload_shared_malloc(80);
+}
+"""
+
+
+class FerretWorkload(SharedMemoryWorkload):
+    """Drives the similarity search over the three runtimes."""
+
+    def __init__(self) -> None:
+        super().__init__(
+            name="ferret",
+            table2=Table2Row(
+                suite="PARSEC",
+                paper_input="3500 images",
+                kloc=11.159,
+                shared_memory=7.81,
+            ),
+        )
+        self.minic_snippet = MINIC_SNIPPET
+        self.static_alloc_sites = STATIC_ALLOC_SITES
+        self.total_allocations = TOTAL_ALLOCATIONS
+
+    # -- the database -----------------------------------------------------
+
+    def _features(self, n_images: int) -> np.ndarray:
+        rng = np.random.default_rng(4242)
+        return rng.random((n_images, FEATURES)).astype(np.float32)
+
+    def _queries(self, n_images: int) -> np.ndarray:
+        rng = np.random.default_rng(77)
+        return rng.random((QUERIES, FEATURES)).astype(np.float32)
+
+    def _allocation_plan(self, n_images: int):
+        """(count, bytes) of shared allocations for an n-image database."""
+        per_image = TOTAL_ALLOCATIONS // N_IMAGES  # 22 bundle pieces
+        remainder = TOTAL_ALLOCATIONS - per_image * N_IMAGES
+        count = per_image * n_images + (remainder if n_images >= N_IMAGES else 0)
+        avg_bytes = TOTAL_BYTES // TOTAL_ALLOCATIONS
+        return count, avg_bytes
+
+    def _similarity(self, n_images: int) -> Dict[str, np.ndarray]:
+        """The query results — identical across all three variants."""
+        db = self._features(n_images)
+        queries = self._queries(n_images)
+        scores = queries @ db.T  # (QUERIES, n_images)
+        return {"best_match": scores.argmax(axis=1).astype(np.int32)}
+
+    def _compute_counters(self, n_images: int) -> OpCounters:
+        pairs = QUERIES * n_images
+        return OpCounters(
+            flops=pairs * FLOPS_PER_PAIR,
+            loads=pairs * FEATURES,
+            bytes_read=pairs * FEATURES * 4.0,
+            irregular_accesses=pairs * FEATURES * 0.5,  # pointer-chased halves
+        )
+
+    # -- variants -------------------------------------------------------------
+    # All three variants run the Table III input (1500 images) so their
+    # timings and outputs are directly comparable; the full 3500-image
+    # database only appears in the MYO-failure / arena-capacity hooks.
+
+    def _run_cpu(self, machine: Machine) -> Dict[str, np.ndarray]:
+        counters = self._compute_counters(MYO_IMAGES)
+        machine.clock.advance(
+            machine.cpu_model.compute_time(
+                counters, parallel_iterations=QUERIES, vectorizable=False
+            )
+        )
+        return self._similarity(MYO_IMAGES)
+
+    def _run_mic_myo(self, machine: Machine) -> Dict[str, np.ndarray]:
+        """The MYO baseline at the reduced 1500-image input.
+
+        At full scale :meth:`myo_fails_at_full_scale` demonstrates the
+        Table III failure; timing comparisons use the reduced input like
+        the paper.
+        """
+        n_images = MYO_IMAGES
+        myo = MyoRuntime(machine.coi)
+        count, avg_bytes = self._allocation_plan(n_images)
+        addrs = [myo.shared_malloc(avg_bytes) for _ in range(count)]
+        self._offload_compute(machine, n_images)
+        for addr in addrs:
+            myo.device_access(addr, avg_bytes)
+        self._myo_stats = myo.stats
+        return self._similarity(n_images)
+
+    def _run_mic_arena(
+        self, machine: Machine, n_images: int = MYO_IMAGES
+    ) -> Dict[str, np.ndarray]:
+        arena = ArenaAllocator(chunk_bytes=16 << 20)
+        count, avg_bytes = self._allocation_plan(n_images)
+        for _ in range(count):
+            arena.allocate(avg_bytes)
+        arena.copy_to_device(machine.coi)
+        self._offload_compute(machine, n_images)
+        self._arena = arena
+        return self._similarity(n_images)
+
+    def _offload_compute(self, machine: Machine, n_images: int) -> None:
+        counters = self._compute_counters(n_images)
+        event = machine.coi.launch_kernel(
+            machine.mic_model.compute_time(
+                counters, parallel_iterations=QUERIES, vectorizable=False
+            ),
+            label="ferret-similarity",
+        )
+        machine.clock.wait_until(event)
+
+    # -- Table III hooks ------------------------------------------------------
+
+    def myo_fails_at_full_scale(self) -> bool:
+        """Reproduce "It cannot run correctly using Intel MYO"."""
+        machine = self.machine()
+        myo = MyoRuntime(machine.coi)
+        count, avg_bytes = self._allocation_plan(N_IMAGES)
+        try:
+            for _ in range(count):
+                myo.shared_malloc(avg_bytes)
+        except MyoLimitError:
+            return True
+        return False
+
+    def arena_runs_at_full_scale(self) -> int:
+        """The arena handles all 80,298 allocations; returns the count."""
+        arena = ArenaAllocator(chunk_bytes=16 << 20)
+        count, avg_bytes = self._allocation_plan(N_IMAGES)
+        for _ in range(count):
+            arena.allocate(avg_bytes)
+        return arena.alloc_count
+
+
+def make() -> FerretWorkload:
+    """Construct the ferret workload instance."""
+    return FerretWorkload()

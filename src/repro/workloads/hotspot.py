@@ -1,0 +1,106 @@
+"""hotspot (Rodinia): thermal simulation on a 2-D grid.
+
+Shape: a compute-dominated stencil iterated many time steps.  The
+sensible LEO port (and evidently the paper's: hotspot is one of the four
+benchmarks that win on the MIC *without* COMP) wraps the whole time loop
+in a single offload region — the grid crosses the bus once, every sweep
+runs threaded on the coprocessor, and the ping-pong buffer lives only in
+device memory.  With transfers already negligible against computation,
+none of the optimizations apply ("their data transfer overheads are small
+compared to the computation time").  Table II: no optimization applies.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.transforms.pipeline import OptimizationPlan
+from repro.workloads.base import MiniCWorkload, Table2Row
+
+EXEC_ROWS = 48
+EXEC_COLS = 48
+PAPER_CELLS = 1024 * 1024  # "1024 x 1024 matrix"
+STEPS = 6
+
+# The CPU (OpenMP) version: time loop around a parallel stencil sweep.
+SOURCE = """
+void main() {
+    for (int t = 0; t < steps; t++) {
+#pragma omp parallel for
+        for (int i = 0; i < ncells; i++) {
+            float center = temp[i];
+            float up = i - cols >= 0 ? temp[i - cols] : center;
+            float down = i + cols < ncells ? temp[i + cols] : center;
+            float left = i % cols != 0 ? temp[i - 1] : center;
+            float right = i % cols != cols - 1 ? temp[i + 1] : center;
+            result[i] = center + 0.2 * (up + down + left + right
+                - 4.0 * center) + 0.05 * power[i];
+        }
+#pragma omp parallel for
+        for (int i = 0; i < ncells; i++) {
+            temp[i] = result[i];
+        }
+    }
+}
+"""
+
+# The hand-ported MIC version: the whole time loop is one device region.
+MIC_SOURCE = """
+void main() {
+#pragma offload target(mic:0) inout(temp : length(ncells)) in(power : length(ncells)) nocopy(result : length(ncells)) in(ncells) in(cols) in(steps)
+    {
+        for (int t = 0; t < steps; t++) {
+#pragma omp parallel for
+            for (int i = 0; i < ncells; i++) {
+                float center = temp[i];
+                float up = i - cols >= 0 ? temp[i - cols] : center;
+                float down = i + cols < ncells ? temp[i + cols] : center;
+                float left = i % cols != 0 ? temp[i - 1] : center;
+                float right = i % cols != cols - 1 ? temp[i + 1] : center;
+                result[i] = center + 0.2 * (up + down + left + right
+                    - 4.0 * center) + 0.05 * power[i];
+            }
+#pragma omp parallel for
+            for (int i = 0; i < ncells; i++) {
+                temp[i] = result[i];
+            }
+        }
+    }
+}
+"""
+
+
+def make_arrays():
+    """Build the thermal stencil benchmark's executed-scale input arrays."""
+    rng = np.random.default_rng(41)
+    n = EXEC_ROWS * EXEC_COLS
+    return {
+        "temp": (rng.random(n) * 50.0 + 300.0).astype(np.float32),
+        "power": (rng.random(n) * 5.0).astype(np.float32),
+        "result": np.zeros(n, dtype=np.float32),
+    }
+
+
+def make() -> MiniCWorkload:
+    """Construct the hotspot workload instance."""
+    workload = MiniCWorkload(
+        name="hotspot",
+        source=SOURCE,
+        table2=Table2Row(
+            suite="Rodinia",
+            paper_input="1024 x 1024 matrix",
+            kloc=0.192,
+        ),
+        make_arrays=make_arrays,
+        scalars={
+            "ncells": EXEC_ROWS * EXEC_COLS,
+            "cols": EXEC_COLS,
+            "steps": STEPS,
+        },
+        sim_scale=PAPER_CELLS / (EXEC_ROWS * EXEC_COLS),
+        output_arrays=["temp"],
+        plan=OptimizationPlan(),
+        description="iterated thermal stencil inside one offload region",
+    )
+    workload.mic_source = MIC_SOURCE
+    return workload

@@ -1,0 +1,102 @@
+"""kmeans (Phoenix): iterative clustering.
+
+Shape: the assignment step — a parallel loop over points computing the
+nearest of ``nclusters`` centroids — is offloaded once per clustering
+iteration; the (cheap) centroid update runs on the host.  The point
+coordinates are loaded with hand-unrolled affine indexes
+(``points[dim*i + 0..3]``), the form the paper's streaming legality check
+accepts, so the point array streams; the centroid array is loop-invariant
+and stays resident on the device.  The naive port re-transfers the point
+set and relaunches the kernel every clustering iteration — streaming
+overlaps those transfers and thread reuse removes the repeated launches.
+Table II: data streaming applies (1.95x).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.transforms.pipeline import OptimizationPlan
+from repro.transforms.streaming import StreamingOptions
+from repro.workloads.base import MiniCWorkload, Table2Row
+
+EXEC_POINTS = 768
+PAPER_POINTS = 100_000  # "100 clusters, 10^5 points"
+DIM = 4
+CLUSTERS = 12
+ITERS = 4
+
+SOURCE = """
+void main() {
+    for (int it = 0; it < iters; it++) {
+#pragma omp parallel for
+        for (int i = 0; i < npoints; i++) {
+            float p0 = points[4 * i];
+            float p1 = points[4 * i + 1];
+            float p2 = points[4 * i + 2];
+            float p3 = points[4 * i + 3];
+            float best = 1.0e30;
+            int bestc = 0;
+            for (int c = 0; c < nclusters; c++) {
+                float d0 = p0 - centroids[4 * c];
+                float d1 = p1 - centroids[4 * c + 1];
+                float d2 = p2 - centroids[4 * c + 2];
+                float d3 = p3 - centroids[4 * c + 3];
+                float dist = d0 * d0 + d1 * d1 + d2 * d2 + d3 * d3;
+                if (dist < best) {
+                    best = dist;
+                    bestc = c;
+                }
+            }
+            membership[i] = bestc;
+        }
+        for (int c = 0; c < nclusters; c++) {
+            for (int d = 0; d < dim; d++) {
+                centroids[dim * c + d] = centroids[dim * c + d] * 0.5
+                    + seeds[dim * c + d] * 0.5;
+            }
+        }
+    }
+}
+"""
+
+
+def make_arrays():
+    """Build the k-means clustering benchmark's executed-scale input arrays."""
+    rng = np.random.default_rng(77)
+    return {
+        "points": rng.random(EXEC_POINTS * DIM).astype(np.float32),
+        "centroids": rng.random(CLUSTERS * DIM).astype(np.float32),
+        "seeds": rng.random(CLUSTERS * DIM).astype(np.float32),
+        "membership": np.zeros(EXEC_POINTS, dtype=np.int32),
+    }
+
+
+def make() -> MiniCWorkload:
+    """Construct the kmeans workload instance."""
+    return MiniCWorkload(
+        name="kmeans",
+        source=SOURCE,
+        table2=Table2Row(
+            suite="Phoenix",
+            paper_input="100 clusters, 10^5 points",
+            kloc=0.221,
+            streaming=1.95,
+        ),
+        make_arrays=make_arrays,
+        scalars={
+            "npoints": EXEC_POINTS,
+            "nclusters": CLUSTERS,
+            "dim": DIM,
+            "iters": ITERS,
+        },
+        sim_scale=PAPER_POINTS / EXEC_POINTS,
+        output_arrays=["membership", "centroids"],
+        array_length_hints={
+            "centroids": "nclusters * dim",
+        },
+        plan=OptimizationPlan(
+            streaming_options=StreamingOptions(num_blocks=10)
+        ),
+        description="k-means assignment step offloaded per clustering iteration",
+    )

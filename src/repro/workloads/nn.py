@@ -1,0 +1,82 @@
+"""nn (Rodinia): k-nearest-neighbors over hurricane records.
+
+Shape: each record is ``recsize`` packed floats, of which the distance
+kernel reads only latitude and longitude — a strided access
+``records[8*i + LAT]`` (Figure 8's second irregular pattern, "the loop
+stride is a constant larger than 1, which is the case for benchmark nn").
+Regularization reorders the two fields into dense arrays, which removes
+the 6/8ths of the record bytes that were transferred but never used
+("we remove unnecessary data transfer") and makes the loop vectorizable
+and streamable.  Table II: streaming (1.24x) and regularization (1.23x).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.transforms.pipeline import OptimizationPlan
+from repro.transforms.streaming import StreamingOptions
+from repro.workloads.base import MiniCWorkload, Table2Row
+
+EXEC_RECORDS = 2048
+PAPER_RECORDS = 200_000_000  # "2.0 * 10^8 points"
+RECSIZE = 4  # floats per record; lat/lng live at offsets 0 and 1
+QUERIES = 6  # nn evaluates several target locations over one record set
+
+SOURCE = """
+void main() {
+    for (int q = 0; q < nq; q++) {
+        float tlat = targets[2 * q];
+        float tlng = targets[2 * q + 1];
+#pragma omp parallel for
+        for (int i = 0; i < nrecords; i++) {
+            float lat = records[4 * i];
+            float lng = records[4 * i + 1];
+            float dlat = lat - tlat;
+            float dlng = lng - tlng;
+            distances[i] = sqrt(dlat * dlat + dlng * dlng);
+        }
+        float best = 1.0e30;
+        for (int i = 0; i < nrecords; i++) {
+            if (distances[i] < best) {
+                best = distances[i];
+            }
+        }
+        nearest[q] = best;
+    }
+}
+"""
+
+
+def make_arrays():
+    """Build the k-nearest neighbours benchmark's executed-scale input arrays."""
+    rng = np.random.default_rng(31)
+    return {
+        "records": rng.random(EXEC_RECORDS * RECSIZE).astype(np.float32),
+        "targets": rng.random(QUERIES * 2).astype(np.float32),
+        "distances": np.zeros(EXEC_RECORDS, dtype=np.float32),
+        "nearest": np.zeros(QUERIES, dtype=np.float32),
+    }
+
+
+def make() -> MiniCWorkload:
+    """Construct the nn workload instance."""
+    return MiniCWorkload(
+        name="nn",
+        source=SOURCE,
+        table2=Table2Row(
+            suite="Rodinia",
+            paper_input="2.0 * 10^8 points",
+            kloc=0.173,
+            streaming=1.24,
+            regularization=1.23,
+        ),
+        make_arrays=make_arrays,
+        scalars={"nrecords": EXEC_RECORDS, "nq": QUERIES},
+        sim_scale=PAPER_RECORDS / EXEC_RECORDS,
+        output_arrays=["distances", "nearest"],
+        plan=OptimizationPlan(
+            streaming_options=StreamingOptions(num_blocks=20)
+        ),
+        description="k-NN distance kernel with strided record-field accesses",
+    )

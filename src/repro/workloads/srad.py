@@ -1,0 +1,131 @@
+"""srad (Rodinia): speckle-reducing anisotropic diffusion.
+
+Shape: the Figure 7 loop — every iteration of the diffusion sweep starts
+with irregular reads through the precomputed neighbour-index arrays
+(``J[iN[k]]`` etc.), then performs a long regular run of
+diffusion-coefficient arithmetic.  srad iterates the sweep, and its MIC
+port (like hotspot's) keeps the image resident on the device across
+sweeps, so transfers are already amortized.  Regularization splits the
+sweep after the irregular prefix so the math half vectorizes; the split
+is plain loop fission inside the device region, with "no runtime
+overhead".  Table II: regularization applies (1.25x).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.transforms.pipeline import OptimizationPlan
+from repro.workloads.base import MiniCWorkload, Table2Row
+
+EXEC_SIZE = 1024
+PAPER_SIZE = 4096 * 4096  # "4096 x 4096 matrix"
+SWEEPS = 4
+
+_LOOP_BODY = """
+            float Jc = J[k];
+            dN[k] = J[iN[k]] - Jc;
+            dS[k] = J[iS[k]] - Jc;
+            dW[k] = J[jW[k]] - Jc;
+            dE[k] = J[jE[k]] - Jc;
+            float G2 = (dN[k] * dN[k] + dS[k] * dS[k]
+                + dW[k] * dW[k] + dE[k] * dE[k]) / (Jc * Jc + 0.0001);
+            float L = (dN[k] + dS[k] + dW[k] + dE[k]) / (Jc + 0.0001);
+            float num = 0.5 * G2 - 0.0625 * L * L;
+            float den = 1.0 + 0.25 * L;
+            float qsqr = num / (den * den);
+            float cden = qsqr - q0sqr;
+            float cnum = q0sqr * (1.0 + q0sqr);
+            float cval = 1.0 / (1.0 + cden / cnum);
+            if (cval < 0.0) {
+                cval = 0.0;
+            }
+            if (cval > 1.0) {
+                cval = 1.0;
+            }
+            C[k] = cval * exp(-0.25 * L) + 0.05 * sqrt(G2 + 0.0001);
+"""
+
+SOURCE = f"""
+void main() {{
+    for (int s = 0; s < sweeps; s++) {{
+#pragma omp parallel for
+        for (int k = 0; k < size; k++) {{
+{_LOOP_BODY}
+        }}
+#pragma omp parallel for
+        for (int k = 0; k < size; k++) {{
+            J[k] = J[k] + 0.125 * C[k];
+        }}
+    }}
+}}
+"""
+
+# The hand LEO port: the image and index arrays cross the bus once; every
+# sweep runs on the device.
+MIC_SOURCE = f"""
+void main() {{
+#pragma offload target(mic:0) inout(J : length(size)) in(iN, iS, jW, jE : length(size)) nocopy(dN, dS, dW, dE : length(size)) out(C : length(size)) in(size) in(sweeps) in(q0sqr)
+    {{
+        for (int s = 0; s < sweeps; s++) {{
+#pragma omp parallel for
+            for (int k = 0; k < size; k++) {{
+{_LOOP_BODY}
+            }}
+#pragma omp parallel for
+            for (int k = 0; k < size; k++) {{
+                J[k] = J[k] + 0.125 * C[k];
+            }}
+        }}
+    }}
+}}
+"""
+
+
+def make_arrays():
+    """Build the speckle-reducing diffusion benchmark's executed-scale input arrays."""
+    rng = np.random.default_rng(55)
+    n = EXEC_SIZE
+    # Neighbour indexes of a flattened grid, clamped at the borders, the
+    # way srad precomputes iN/iS/jW/jE.
+    rows = 32
+    cols = n // rows
+    idx = np.arange(n)
+    i_n = np.where(idx - cols >= 0, idx - cols, idx)
+    i_s = np.where(idx + cols < n, idx + cols, idx)
+    j_w = np.where(idx % cols != 0, idx - 1, idx)
+    j_e = np.where(idx % cols != cols - 1, idx + 1, idx)
+    return {
+        "J": (rng.random(n) * 0.9 + 0.1).astype(np.float32),
+        "iN": i_n.astype(np.int32),
+        "iS": i_s.astype(np.int32),
+        "jW": j_w.astype(np.int32),
+        "jE": j_e.astype(np.int32),
+        "dN": np.zeros(n, dtype=np.float32),
+        "dS": np.zeros(n, dtype=np.float32),
+        "dW": np.zeros(n, dtype=np.float32),
+        "dE": np.zeros(n, dtype=np.float32),
+        "C": np.zeros(n, dtype=np.float32),
+    }
+
+
+def make() -> MiniCWorkload:
+    """Construct the srad workload instance."""
+    workload = MiniCWorkload(
+        name="srad",
+        source=SOURCE,
+        table2=Table2Row(
+            suite="Rodinia",
+            paper_input="4096 x 4096 matrix",
+            kloc=0.138,
+            regularization=1.25,
+        ),
+        make_arrays=make_arrays,
+        scalars={"size": EXEC_SIZE, "q0sqr": 0.05, "sweeps": SWEEPS},
+        sim_scale=PAPER_SIZE / EXEC_SIZE,
+        output_arrays=["J", "C"],
+        plan=OptimizationPlan(),
+        description="SRAD diffusion sweeps: irregular index prefix + regular math",
+    )
+    workload.mic_source = MIC_SOURCE
+    return workload

@@ -1,0 +1,58 @@
+"""The benchmark registry: all twelve Table II workloads."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.workloads import (
+    bfs,
+    blackscholes,
+    cfd,
+    cg,
+    dedup,
+    ferret,
+    freqmine,
+    hotspot,
+    kmeans,
+    nn,
+    srad,
+    streamcluster,
+)
+from repro.workloads.base import Workload
+
+#: Factories in Table II row order.
+_FACTORIES = {
+    "blackscholes": blackscholes.make,
+    "streamcluster": streamcluster.make,
+    "ferret": ferret.make,
+    "dedup": dedup.make,
+    "freqmine": freqmine.make,
+    "kmeans": kmeans.make,
+    "CG": cg.make,
+    "cfd": cfd.make,
+    "nn": nn.make,
+    "srad": srad.make,
+    "bfs": bfs.make,
+    "hotspot": hotspot.make,
+}
+
+
+def workload_names() -> List[str]:
+    """Benchmark names in Table II row order."""
+    return list(_FACTORIES)
+
+
+def get_workload(name: str) -> Workload:
+    """Construct a fresh instance of one workload."""
+    if name not in _FACTORIES:
+        raise KeyError(f"unknown workload {name!r}; know {sorted(_FACTORIES)}")
+    return _FACTORIES[name]()
+
+
+def build_suite() -> Dict[str, Workload]:
+    """Construct one instance of every workload."""
+    return {name: get_workload(name) for name in _FACTORIES}
+
+
+#: A prebuilt instance per benchmark (fresh instances via get_workload).
+SUITE = build_suite()

@@ -1,0 +1,175 @@
+"""Tests for affine index extraction and access classification."""
+
+import pytest
+
+from repro.errors import NotAffineError
+from repro.analysis.array_access import (
+    AccessKind,
+    classify_accesses,
+    extract_linear_form,
+    irregular_accesses,
+    is_streamable,
+    loop_variable,
+)
+from repro.minic.parser import parse, parse_expr
+
+
+def loop_from(body, init="int i = 0", cond="i < n", step="i++", pragmas=""):
+    src = f"void main() {{\n{pragmas}\nfor ({init}; {cond}; {step}) {{ {body} }}\n}}"
+    return parse(src).function("main").body.stmts[0]
+
+
+class TestLinearForm:
+    def test_plain_loop_var(self):
+        form = extract_linear_form(parse_expr("i"), "i")
+        assert (form.coeff, form.const) == (1, 0)
+
+    def test_constant(self):
+        form = extract_linear_form(parse_expr("7"), "i")
+        assert (form.coeff, form.const) == (0, 7)
+
+    def test_affine_combination(self):
+        form = extract_linear_form(parse_expr("4 * i + 3"), "i")
+        assert (form.coeff, form.const) == (4, 3)
+
+    def test_commuted_product(self):
+        form = extract_linear_form(parse_expr("i * 4"), "i")
+        assert form.coeff == 4
+
+    def test_subtraction(self):
+        form = extract_linear_form(parse_expr("2 * i - 5"), "i")
+        assert (form.coeff, form.const) == (2, -5)
+
+    def test_negation(self):
+        form = extract_linear_form(parse_expr("-i"), "i")
+        assert form.coeff == -1
+
+    def test_nested_parens(self):
+        form = extract_linear_form(parse_expr("2 * (i + 1)"), "i")
+        assert (form.coeff, form.const) == (2, 2)
+
+    def test_symbolic_coefficient_with_binding(self):
+        form = extract_linear_form(parse_expr("cols * i"), "i", {"cols": 64})
+        assert form.coeff == 64
+
+    def test_symbolic_without_binding_raises(self):
+        with pytest.raises(NotAffineError):
+            extract_linear_form(parse_expr("cols * i"), "i")
+
+    def test_quadratic_raises(self):
+        with pytest.raises(NotAffineError):
+            extract_linear_form(parse_expr("i * i"), "i")
+
+    def test_indirect_raises(self):
+        with pytest.raises(NotAffineError):
+            extract_linear_form(parse_expr("B[i]"), "i")
+
+    def test_exact_division(self):
+        form = extract_linear_form(parse_expr("(4 * i + 8) / 2"), "i")
+        assert (form.coeff, form.const) == (2, 4)
+
+    def test_inexact_division_raises(self):
+        with pytest.raises(NotAffineError):
+            extract_linear_form(parse_expr("i / 2"), "i")
+
+
+class TestClassification:
+    def test_unit_access(self):
+        loop = loop_from("B[i] = A[i];")
+        kinds = {a.array: a.kind for a in classify_accesses(loop)}
+        assert kinds == {"A": AccessKind.UNIT, "B": AccessKind.UNIT}
+
+    def test_write_flag(self):
+        loop = loop_from("B[i] = A[i];")
+        writes = {a.array for a in classify_accesses(loop) if a.is_write}
+        assert writes == {"B"}
+
+    def test_strided_access_is_affine(self):
+        loop = loop_from("C[i] = A[4 * i];")
+        access = next(a for a in classify_accesses(loop) if a.array == "A")
+        assert access.kind is AccessKind.AFFINE
+        assert access.linear.stride == 4
+
+    def test_indirect_access(self):
+        loop = loop_from("C[i] = A[B[i]];")
+        kinds = {a.array: a.kind for a in classify_accesses(loop)}
+        assert kinds["A"] is AccessKind.INDIRECT
+        assert kinds["B"] is AccessKind.UNIT  # the inner read is regular
+        assert kinds["C"] is AccessKind.UNIT
+
+    def test_invariant_access(self):
+        loop = loop_from("B[i] = A[k];")
+        access = next(a for a in classify_accesses(loop) if a.array == "A")
+        assert access.kind is AccessKind.INVARIANT
+
+    def test_nonlinear_access(self):
+        loop = loop_from("B[i] = A[i * i];")
+        access = next(a for a in classify_accesses(loop) if a.array == "A")
+        assert access.kind is AccessKind.NONLINEAR
+
+    def test_aos_access(self):
+        loop = loop_from("sum[i] = P[i].x + P[i].y;")
+        aos = [a for a in classify_accesses(loop) if a.kind is AccessKind.AOS]
+        assert {a.field for a in aos} == {"x", "y"}
+
+    def test_guarded_access_flagged(self):
+        loop = loop_from("if (A[i] > 0.0) { B[C[i]] = 1.0; }")
+        guarded = next(a for a in classify_accesses(loop) if a.array == "B")
+        assert guarded.guarded
+
+    def test_unguarded_access_not_flagged(self):
+        loop = loop_from("B[i] = A[i];")
+        assert not any(a.guarded for a in classify_accesses(loop))
+
+    def test_compound_assign_records_read_and_write(self):
+        loop = loop_from("A[i] += B[i];")
+        a_accesses = [a for a in classify_accesses(loop) if a.array == "A"]
+        assert {a.is_write for a in a_accesses} == {True, False}
+
+    def test_loop_variable_extraction(self):
+        assert loop_variable(loop_from("x = 1;")) == "i"
+
+    def test_loop_variable_assign_init(self):
+        loop = loop_from("x = 1;", init="k = 0", cond="k < n", step="k++")
+        assert loop_variable(loop) == "k"
+
+
+class TestStreamability:
+    def test_blackscholes_like_is_streamable(self):
+        loop = loop_from("prices[i] = BlkSchls(sptprice[i], strike[i]);")
+        assert is_streamable(loop)
+
+    def test_offset_access_is_streamable(self):
+        loop = loop_from("B[i] = A[i + 1];")
+        assert is_streamable(loop)
+
+    def test_indirect_blocks_streaming(self):
+        loop = loop_from("C[i] = A[B[i]];")
+        assert not is_streamable(loop)
+
+    def test_aos_blocks_streaming(self):
+        loop = loop_from("s[i] = P[i].x;")
+        assert not is_streamable(loop)
+
+    def test_nonlinear_blocks_streaming(self):
+        loop = loop_from("B[i] = A[i * i];")
+        assert not is_streamable(loop)
+
+    def test_scalar_only_loop_is_streamable(self):
+        loop = loop_from("sum += 1.0;")
+        assert is_streamable(loop)
+
+
+class TestIrregularAccesses:
+    def test_strided_reported_irregular(self):
+        loop = loop_from("C[i] = A[8 * i];")
+        assert {a.array for a in irregular_accesses(loop)} == {"A"}
+
+    def test_unit_not_reported(self):
+        loop = loop_from("C[i] = A[i];")
+        assert irregular_accesses(loop) == []
+
+    def test_srad_like_pattern(self):
+        loop = loop_from("dN[i] = J[iN[i]] - J[i];")
+        arrays = {a.array for a in irregular_accesses(loop)}
+        assert arrays == {"J"}

@@ -1,0 +1,68 @@
+"""Tests for the cross-iteration dependence checker."""
+
+from repro.analysis.dependence import check_parallel_loop, is_parallel_loop
+from repro.minic.parser import parse
+
+
+def main_loop(body, pragma="#pragma omp parallel for"):
+    src = f"void main() {{\n{pragma}\nfor (int i = 0; i < n; i++) {{ {body} }}\n}}"
+    return parse(src).function("main").body.stmts[-1]
+
+
+class TestParallelLoops:
+    def test_elementwise_map_is_parallel(self):
+        assert is_parallel_loop(main_loop("B[i] = A[i] * 2.0;"))
+
+    def test_local_temp_is_parallel(self):
+        assert is_parallel_loop(main_loop("float t = A[i]; B[i] = t * t;"))
+
+    def test_private_clause_scalar_is_parallel(self):
+        loop = main_loop(
+            "t = A[i]; B[i] = t;",
+            pragma="#pragma omp parallel for private(t)",
+        )
+        assert is_parallel_loop(loop)
+
+    def test_reduction_is_parallel(self):
+        loop = main_loop(
+            "sum += A[i];", pragma="#pragma omp parallel for reduction(+:sum)"
+        )
+        assert is_parallel_loop(loop)
+
+    def test_in_place_update_is_parallel(self):
+        assert is_parallel_loop(main_loop("A[i] = A[i] + 1.0;"))
+
+    def test_gather_is_parallel(self):
+        assert is_parallel_loop(main_loop("C[i] = A[B[i]];"))
+
+
+class TestSequentialLoops:
+    def test_shared_scalar_write_rejected(self):
+        report = check_parallel_loop(main_loop("t = A[i]; B[i] = t;"))
+        assert not report.parallel
+        assert any("t" in v for v in report.violations)
+
+    def test_recurrence_rejected(self):
+        report = check_parallel_loop(main_loop("A[i] = A[i - 1] + 1.0;"))
+        assert not report.parallel
+
+    def test_forward_dependence_rejected(self):
+        assert not is_parallel_loop(main_loop("A[i] = A[i + 1];"))
+
+    def test_invariant_write_rejected(self):
+        assert not is_parallel_loop(main_loop("A[0] = A[i];"))
+
+    def test_nonlinear_write_rejected(self):
+        assert not is_parallel_loop(main_loop("A[i * i] = 1.0;"))
+
+    def test_indirect_write_without_pragma_rejected(self):
+        loop = main_loop("A[B[i]] = 1.0;", pragma="")
+        assert not is_parallel_loop(loop)
+
+    def test_indirect_write_with_pragma_trusted(self):
+        assert is_parallel_loop(main_loop("A[B[i]] = 1.0;"))
+
+    def test_malformed_loop_not_parallel(self):
+        prog = parse("void main() { for (; x < 1; x++) { A[x] = 0.0; } }")
+        loop = prog.function("main").body.stmts[0]
+        assert not is_parallel_loop(loop)

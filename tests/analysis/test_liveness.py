@@ -1,0 +1,130 @@
+"""Tests for loop liveness analysis."""
+
+from repro.analysis.liveness import analyze_loop_liveness
+from repro.minic.parser import parse
+
+
+def loop_from(source):
+    prog = parse(source)
+    return prog.function("main").body.stmts[-1]
+
+
+BLACKSCHOLES = """
+void main() {
+#pragma omp parallel for
+    for (int i = 0; i < numOptions; i++) {
+        prices[i] = BlkSchls(sptprice[i], strike[i], rate[i]);
+    }
+}
+"""
+
+SRAD = """
+void main() {
+#pragma omp parallel for
+    for (int k = 0; k < size; k++) {
+        float Jc = J[k];
+        dN[k] = J[iN[k]] - Jc;
+        dS[k] = J[iS[k]] - Jc;
+    }
+}
+"""
+
+
+class TestLiveIn:
+    def test_read_arrays_are_live_in(self):
+        info = analyze_loop_liveness(loop_from(BLACKSCHOLES))
+        assert {"sptprice", "strike", "rate"} <= info.live_in
+
+    def test_bound_scalar_is_live_in(self):
+        info = analyze_loop_liveness(loop_from(BLACKSCHOLES))
+        assert "numOptions" in info.live_in
+
+    def test_written_array_not_live_in(self):
+        info = analyze_loop_liveness(loop_from(BLACKSCHOLES))
+        assert "prices" not in info.live_in
+
+    def test_induction_variable_hidden(self):
+        info = analyze_loop_liveness(loop_from(BLACKSCHOLES))
+        assert "i" not in info.live_in
+        assert "i" not in info.defined
+
+    def test_builtin_call_not_live_in(self):
+        loop = loop_from(
+            "void main() { for (int i = 0; i < n; i++) { B[i] = exp(A[i]); } }"
+        )
+        info = analyze_loop_liveness(loop)
+        assert "exp" not in info.live_in
+        # user functions are also calls, not data
+        assert "BlkSchls" not in analyze_loop_liveness(loop_from(BLACKSCHOLES)).live_in
+
+
+class TestDefined:
+    def test_written_array_is_defined(self):
+        info = analyze_loop_liveness(loop_from(BLACKSCHOLES))
+        assert "prices" in info.defined
+
+    def test_local_temp_is_private(self):
+        info = analyze_loop_liveness(loop_from(SRAD))
+        assert "Jc" in info.private
+        assert "Jc" not in info.live_in
+        assert "Jc" not in info.defined
+
+    def test_scalar_written_before_read_not_live_in(self):
+        loop = loop_from(
+            "void main() { for (int i = 0; i < n; i++) { t = A[i]; B[i] = t * t; } }"
+        )
+        info = analyze_loop_liveness(loop)
+        assert "t" not in info.live_in
+        assert "t" in info.defined
+
+    def test_scalar_read_before_write_is_live_in(self):
+        loop = loop_from(
+            "void main() { for (int i = 0; i < n; i++) { B[i] = t; t = A[i]; } }"
+        )
+        info = analyze_loop_liveness(loop)
+        assert "t" in info.live_in
+
+
+class TestDirections:
+    def test_in_only(self):
+        info = analyze_loop_liveness(loop_from(BLACKSCHOLES))
+        assert "sptprice" in info.in_only
+
+    def test_out_only(self):
+        info = analyze_loop_liveness(loop_from(BLACKSCHOLES))
+        assert "prices" in info.out_only
+
+    def test_inout(self):
+        loop = loop_from(
+            "void main() { for (int i = 0; i < n; i++) { A[i] = A[i] + 1.0; } }"
+        )
+        info = analyze_loop_liveness(loop)
+        assert "A" in info.inout
+
+    def test_compound_assign_is_inout(self):
+        loop = loop_from(
+            "void main() { for (int i = 0; i < n; i++) { A[i] += 1.0; } }"
+        )
+        info = analyze_loop_liveness(loop)
+        assert "A" in info.inout
+
+
+class TestArraysVsScalars:
+    def test_array_set(self):
+        info = analyze_loop_liveness(loop_from(SRAD))
+        assert {"J", "iN", "iS", "dN", "dS"} <= info.arrays
+
+    def test_scalar_set(self):
+        info = analyze_loop_liveness(loop_from(BLACKSCHOLES))
+        assert "numOptions" in info.scalars
+        assert "sptprice" not in info.scalars
+
+    def test_omp_private_clause_respected(self):
+        loop = loop_from(
+            "void main() {\n"
+            "#pragma omp parallel for private(tmp)\n"
+            "for (int i = 0; i < n; i++) { tmp = A[i]; B[i] = tmp; } }"
+        )
+        info = analyze_loop_liveness(loop)
+        assert "tmp" in info.private
+        assert "tmp" not in info.defined

@@ -1,0 +1,181 @@
+"""Tests for offload pragma inference (Apricot-like pass)."""
+
+import pytest
+
+from repro.errors import AnalysisError
+from repro.analysis.footprint import clause_bytes, eval_int_expr, offload_footprint
+from repro.analysis.offload import (
+    infer_offload_pragma,
+    insert_offload_pragmas,
+    loop_bound,
+)
+from repro.minic import ast_nodes as ast
+from repro.minic.parser import parse, parse_expr
+from repro.minic.printer import to_source
+
+
+def main_loop(source):
+    return parse(source).function("main").body.stmts[-1]
+
+
+BLACKSCHOLES = """
+void main() {
+#pragma omp parallel for
+    for (int i = 0; i < numOptions; i++) {
+        prices[i] = BlkSchls(sptprice[i], strike[i]);
+    }
+}
+"""
+
+
+class TestLoopBound:
+    def test_simple_bound(self):
+        loop = main_loop(BLACKSCHOLES)
+        assert loop_bound(loop) == ast.Ident("numOptions")
+
+    def test_le_bound(self):
+        loop = main_loop("void main() { for (int i = 0; i <= n; i++) { A[i] = 0.0; } }")
+        assert to_source(loop_bound(loop)) == "n + 1"
+
+    def test_nonzero_start(self):
+        loop = main_loop("void main() { for (int i = 1; i < n; i++) { A[i] = 0.0; } }")
+        assert to_source(loop_bound(loop)) == "n - 1"
+
+    def test_bad_condition_raises(self):
+        loop = main_loop("void main() { for (int i = 0; n > i; i++) { A[i] = 0.0; } }")
+        with pytest.raises(AnalysisError):
+            loop_bound(loop)
+
+
+class TestInference:
+    def test_directions(self):
+        pragma = infer_offload_pragma(main_loop(BLACKSCHOLES))
+        by_dir = {}
+        for clause in pragma.clauses:
+            by_dir.setdefault(clause.direction, set()).add(clause.var)
+        assert by_dir["in"] == {"sptprice", "strike", "numOptions"}
+        assert by_dir["out"] == {"prices"}
+
+    def test_unit_access_length_is_bound(self):
+        pragma = infer_offload_pragma(main_loop(BLACKSCHOLES))
+        clause = next(c for c in pragma.clauses if c.var == "sptprice")
+        assert clause.length == ast.Ident("numOptions")
+
+    def test_scalar_clause_has_no_length(self):
+        pragma = infer_offload_pragma(main_loop(BLACKSCHOLES))
+        clause = next(c for c in pragma.clauses if c.var == "numOptions")
+        assert clause.length is None
+
+    def test_strided_access_scales_length(self):
+        loop = main_loop(
+            "void main() { for (int i = 0; i < n; i++) { C[i] = A[4 * i]; } }"
+        )
+        pragma = infer_offload_pragma(loop)
+        clause = next(c for c in pragma.clauses if c.var == "A")
+        # Last element touched is 4*(n-1); extent is that plus one.
+        assert to_source(clause.length) == "4 * (n - 1) + 1"
+
+    def test_guarded_write_only_array_becomes_inout(self):
+        """A conditionally-written output keeps its untouched elements."""
+        loop = main_loop(
+            "void main() { for (int i = 0; i < n; i++) {"
+            " if (A[i] > 0.0) { B[i] = 1.0; } } }"
+        )
+        pragma = infer_offload_pragma(loop)
+        clause = next(c for c in pragma.clauses if c.var == "B")
+        assert clause.direction == "inout"
+
+    def test_offset_access_extends_length(self):
+        loop = main_loop(
+            "void main() { for (int i = 0; i < n; i++) { B[i] = A[i + 2]; } }"
+        )
+        pragma = infer_offload_pragma(loop)
+        clause = next(c for c in pragma.clauses if c.var == "A")
+        assert to_source(clause.length) == "n + 2"
+
+    def test_indirect_access_uses_hint(self):
+        loop = main_loop(
+            "void main() { for (int i = 0; i < n; i++) { C[i] = A[B[i]]; } }"
+        )
+        pragma = infer_offload_pragma(loop, {"A": parse_expr("asize")})
+        clause = next(c for c in pragma.clauses if c.var == "A")
+        assert clause.length == ast.Ident("asize")
+
+    def test_indirect_access_without_hint_raises(self):
+        loop = main_loop(
+            "void main() { for (int i = 0; i < n; i++) { C[i] = A[B[i]]; } }"
+        )
+        with pytest.raises(AnalysisError):
+            infer_offload_pragma(loop)
+
+    def test_inout_direction(self):
+        loop = main_loop(
+            "void main() { for (int i = 0; i < n; i++) { A[i] = A[i] * 2.0; } }"
+        )
+        pragma = infer_offload_pragma(loop)
+        clause = next(c for c in pragma.clauses if c.var == "A")
+        assert clause.direction == "inout"
+
+
+class TestInsertion:
+    def test_inserts_on_omp_loops(self):
+        prog = parse(BLACKSCHOLES)
+        count = insert_offload_pragmas(prog)
+        assert count == 1
+        loop = prog.function("main").body.stmts[-1]
+        assert isinstance(loop.pragmas[0], ast.OffloadPragma)
+
+    def test_skips_already_offloaded(self):
+        prog = parse(
+            "void main() {\n"
+            "#pragma offload target(mic:0) in(A : length(n)) out(B : length(n))\n"
+            "#pragma omp parallel for\n"
+            "for (int i = 0; i < n; i++) { B[i] = A[i]; }\n"
+            "}"
+        )
+        assert insert_offload_pragmas(prog) == 0
+
+    def test_skips_serial_loops(self):
+        prog = parse("void main() { for (int i = 0; i < n; i++) { B[i] = A[i]; } }")
+        assert insert_offload_pragmas(prog) == 0
+
+    def test_printed_output_parses(self):
+        prog = parse(BLACKSCHOLES)
+        insert_offload_pragmas(prog)
+        assert parse(to_source(prog)) == prog
+
+
+class TestFootprint:
+    def test_eval_arithmetic(self):
+        assert eval_int_expr(parse_expr("2 * n + 1"), {"n": 10}) == 21
+
+    def test_eval_min_max(self):
+        assert eval_int_expr(parse_expr("min(a, b)"), {"a": 3, "b": 7}) == 3
+        assert eval_int_expr(parse_expr("max(a, b)"), {"a": 3, "b": 7}) == 7
+
+    def test_eval_unbound_raises(self):
+        with pytest.raises(AnalysisError):
+            eval_int_expr(parse_expr("n"), {})
+
+    def test_clause_bytes_array(self):
+        clause = ast.TransferClause("in", "A", length=parse_expr("n"))
+        assert clause_bytes(clause, {"n": 100}, element_size=4) == 400
+
+    def test_clause_bytes_scalar(self):
+        clause = ast.TransferClause("in", "x")
+        assert clause_bytes(clause, {}, element_size=8) == 8
+
+    def test_offload_footprint_sums_clauses(self):
+        pragma = infer_offload_pragma(main_loop(BLACKSCHOLES))
+        total = offload_footprint(pragma, {"numOptions": 1000})
+        # sptprice + strike + prices arrays plus the numOptions scalar
+        assert total == 3 * 4000 + 4
+
+    def test_into_buffers_counted_once(self):
+        pragma = ast.OffloadPragma(
+            clauses=[
+                ast.TransferClause("in", "A", length=parse_expr("b"), into="A1"),
+                ast.TransferClause("in", "A", length=parse_expr("b"), into="A1"),
+            ]
+        )
+        assert offload_footprint(pragma, {"b": 10}) == 40

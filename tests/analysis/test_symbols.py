@@ -1,0 +1,114 @@
+"""Tests for symbol table construction and type sizing."""
+
+import pytest
+
+from repro.errors import SymbolError
+from repro.analysis.symbols import (
+    Scope,
+    build_symbol_table,
+    sizeof_type,
+)
+from repro.minic import ast_nodes as ast
+from repro.minic.parser import parse
+
+PROGRAM = """
+struct Point {
+    float x;
+    float y;
+    int id;
+};
+
+float gscale = 1.0;
+double bigval;
+
+void compute(float *A, int n) {
+    float local;
+    for (int i = 0; i < n; i++) {
+        float t = A[i];
+        A[i] = t * gscale;
+    }
+}
+"""
+
+
+class TestSizeof:
+    def test_scalars(self):
+        assert sizeof_type(ast.BaseType("int")) == 4
+        assert sizeof_type(ast.BaseType("float")) == 4
+        assert sizeof_type(ast.BaseType("double")) == 8
+        assert sizeof_type(ast.BaseType("char")) == 1
+
+    def test_pointer(self):
+        assert sizeof_type(ast.PointerType(ast.BaseType("float"))) == 8
+
+    def test_struct(self):
+        table = build_symbol_table(parse(PROGRAM))
+        assert sizeof_type(ast.StructType("Point"), table.structs) == 12
+
+    def test_unknown_struct_raises(self):
+        with pytest.raises(SymbolError):
+            sizeof_type(ast.StructType("Nope"), {})
+
+    def test_fixed_array(self):
+        typ = ast.ArrayType(ast.BaseType("float"), ast.IntLit(10))
+        assert sizeof_type(typ) == 40
+
+    def test_unsized_array_raises(self):
+        with pytest.raises(SymbolError):
+            sizeof_type(ast.ArrayType(ast.BaseType("float"), None))
+
+
+class TestSymbolTable:
+    def test_globals_collected(self):
+        table = build_symbol_table(parse(PROGRAM))
+        assert table.globals_.lookup("gscale") == ast.BaseType("float")
+        assert table.globals_.lookup("bigval") == ast.BaseType("double")
+
+    def test_params_collected(self):
+        table = build_symbol_table(parse(PROGRAM))
+        assert isinstance(table.type_of("compute", "A"), ast.PointerType)
+        assert table.type_of("compute", "n") == ast.BaseType("int")
+
+    def test_locals_collected(self):
+        table = build_symbol_table(parse(PROGRAM))
+        assert table.type_of("compute", "local") == ast.BaseType("float")
+        assert table.type_of("compute", "t") == ast.BaseType("float")
+
+    def test_global_visible_in_function(self):
+        table = build_symbol_table(parse(PROGRAM))
+        assert table.type_of("compute", "gscale") == ast.BaseType("float")
+
+    def test_unknown_name_is_none(self):
+        table = build_symbol_table(parse(PROGRAM))
+        assert table.type_of("compute", "nothere") is None
+
+    def test_element_size_pointer(self):
+        table = build_symbol_table(parse(PROGRAM))
+        assert table.element_size("compute", "A") == 4
+
+    def test_element_size_double_array(self):
+        table = build_symbol_table(parse("void f(double *D) { }"))
+        assert table.element_size("f", "D") == 8
+
+    def test_element_size_unknown_defaults_to_float(self):
+        table = build_symbol_table(parse(PROGRAM))
+        assert table.element_size("compute", "mystery") == 4
+
+    def test_structs_registered(self):
+        table = build_symbol_table(parse(PROGRAM))
+        assert "Point" in table.structs
+
+
+class TestScope:
+    def test_redeclaration_raises(self):
+        scope = Scope()
+        scope.declare("x", ast.BaseType("int"))
+        with pytest.raises(SymbolError):
+            scope.declare("x", ast.BaseType("float"))
+
+    def test_parent_chain(self):
+        parent = Scope()
+        parent.declare("g", ast.BaseType("int"))
+        child = Scope(parent=parent)
+        assert child.lookup("g") == ast.BaseType("int")
+        assert child.lookup("missing") is None

@@ -1,0 +1,144 @@
+"""Tests for the offload-choreography validator."""
+
+import pytest
+
+from repro.analysis.validate import assert_valid, validate_program
+from repro.minic.parser import parse
+from repro.transforms.pipeline import CompOptimizer
+from repro.workloads.base import MiniCWorkload
+from repro.workloads.suite import get_workload, workload_names
+
+
+def errors(source):
+    return [
+        d for d in validate_program(parse(source)) if d.level == "error"
+    ]
+
+
+def warnings(source):
+    return [
+        d for d in validate_program(parse(source)) if d.level == "warning"
+    ]
+
+
+class TestCleanPrograms:
+    def test_plain_offload_is_clean(self):
+        src = """
+        void main() {
+        #pragma offload target(mic:0) in(A : length(n)) in(n) out(B : length(n))
+        #pragma omp parallel for
+            for (int i = 0; i < n; i++) { B[i] = A[i]; }
+        }
+        """
+        assert errors(src) == []
+        assert warnings(src) == []
+
+    def test_hand_pipeline_is_clean(self):
+        src = """
+        void main() {
+        #pragma offload_transfer target(mic:0) nocopy(A1 : length(b) alloc_if(1) free_if(0))
+        #pragma offload_transfer target(mic:0) in(A[0:b] : into(A1) alloc_if(0) free_if(0)) signal(0)
+        #pragma offload target(mic:0) nocopy(A1 : alloc_if(0) free_if(0)) in(b) wait(0) out(B : length(b))
+        #pragma omp parallel for
+            for (int i = 0; i < b; i++) { B[i] = A1[i]; }
+        #pragma offload_transfer target(mic:0) nocopy(A1 : alloc_if(0) free_if(1))
+        }
+        """
+        assert errors(src) == []
+        assert warnings(src) == []
+
+
+class TestDefects:
+    def test_use_before_alloc(self):
+        src = """
+        void main() {
+        #pragma offload target(mic:0) nocopy(A1 : alloc_if(0) free_if(0)) in(n) out(B : length(n))
+        #pragma omp parallel for
+            for (int i = 0; i < n; i++) { B[i] = A1[i]; }
+        }
+        """
+        codes = {d.code for d in errors(src)}
+        assert "use-before-alloc" in codes
+
+    def test_use_after_free(self):
+        src = """
+        void main() {
+        #pragma offload_transfer target(mic:0) nocopy(A1 : length(n) alloc_if(1) free_if(1))
+        #pragma offload target(mic:0) nocopy(A1 : alloc_if(0) free_if(0)) in(n) out(B : length(n))
+        #pragma omp parallel for
+            for (int i = 0; i < n; i++) { B[i] = A1[i]; }
+        }
+        """
+        codes = {d.code for d in errors(src)}
+        assert "use-after-free" in codes
+
+    def test_unmatched_wait(self):
+        src = """
+        void main() {
+        #pragma offload_wait target(mic:0) wait(9)
+            x = 1;
+        }
+        """
+        codes = {d.code for d in errors(src)}
+        assert "unmatched-wait" in codes
+
+    def test_untransferred_array(self):
+        src = """
+        void main() {
+        #pragma offload target(mic:0) in(n) out(B : length(n))
+        #pragma omp parallel for
+            for (int i = 0; i < n; i++) { B[i] = A[i]; }
+        }
+        """
+        codes = {d.code for d in errors(src)}
+        assert "untransferred-array" in codes
+
+    def test_leak_warning(self):
+        src = """
+        void main() {
+        #pragma offload_transfer target(mic:0) nocopy(A1 : length(n) alloc_if(1) free_if(0))
+            x = 1;
+        }
+        """
+        assert {d.code for d in warnings(src)} == {"leaked-buffer"}
+
+    def test_assert_valid_raises_with_listing(self):
+        src = """
+        void main() {
+        #pragma offload_wait target(mic:0) wait(3)
+            x = 1;
+        }
+        """
+        with pytest.raises(AssertionError, match="unmatched-wait"):
+            assert_valid(parse(src))
+
+
+class TestTransformedProgramsAreValid:
+    """Every benchmark's optimized program must lint clean — the validator
+    double-checks the transforms' pragma choreography structurally, on top
+    of the executor's behavioural checks."""
+
+    @pytest.mark.parametrize(
+        "name",
+        [n for n in workload_names() if n not in ("ferret", "freqmine")],
+    )
+    def test_optimized_program_valid(self, name):
+        workload = get_workload(name)
+        assert isinstance(workload, MiniCWorkload)
+        program = workload.opt_program()
+        bad = [
+            d for d in validate_program(program) if d.level == "error"
+        ]
+        assert bad == [], f"{name}: {[str(d) for d in bad]}"
+
+    @pytest.mark.parametrize(
+        "name",
+        [n for n in workload_names() if n not in ("ferret", "freqmine")],
+    )
+    def test_unoptimized_program_valid(self, name):
+        workload = get_workload(name)
+        program = workload.mic_program()
+        bad = [
+            d for d in validate_program(program) if d.level == "error"
+        ]
+        assert bad == [], f"{name}: {[str(d) for d in bad]}"

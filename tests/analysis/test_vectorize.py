@@ -1,0 +1,96 @@
+"""Tests for the vectorizability analysis."""
+
+from repro.analysis.vectorize import innermost_loops, is_vectorizable
+from repro.minic.parser import parse
+
+
+def main_loop(body, init="int i = 0", cond="i < n", step="i++"):
+    src = f"void main() {{ for ({init}; {cond}; {step}) {{ {body} }} }}"
+    return parse(src).function("main").body.stmts[0]
+
+
+class TestIsVectorizable:
+    def test_unit_stride(self):
+        assert is_vectorizable(main_loop("B[i] = A[i] * 2.0;"))
+
+    def test_offset_unit_stride(self):
+        assert is_vectorizable(main_loop("B[i] = A[i + 4];"))
+
+    def test_invariant_broadcast(self):
+        assert is_vectorizable(main_loop("B[i] = A[0] + A[i];"))
+
+    def test_masked_control_flow_allowed(self):
+        assert is_vectorizable(
+            main_loop("if (A[i] > 0.0) { B[i] = A[i]; } else { B[i] = 0.0; }")
+        )
+
+    def test_gather_blocks(self):
+        assert not is_vectorizable(main_loop("B[i] = A[C[i]];"))
+
+    def test_stride_blocks(self):
+        assert not is_vectorizable(main_loop("B[i] = A[4 * i];"))
+
+    def test_aos_blocks(self):
+        assert not is_vectorizable(main_loop("B[i] = P[i].x;"))
+
+    def test_nonlinear_blocks(self):
+        assert not is_vectorizable(main_loop("B[i] = A[i * i];"))
+
+    def test_no_accesses_not_vectorizable(self):
+        assert not is_vectorizable(main_loop("s = s + 1.0;"))
+
+    def test_reduction_is_vectorizable(self):
+        assert is_vectorizable(main_loop("acc += A[i];"))
+
+
+class TestNestedLoops:
+    def test_row_major_inner_loop(self):
+        """temp[i * cols + j] is unit-stride in j given cols."""
+        loop = main_loop(
+            "for (int j = 0; j < cols; j++) { B[i * cols + j] = A[i * cols + j]; }"
+        )
+        assert is_vectorizable(loop, {"cols": 64})
+
+    def test_column_major_inner_loop_blocks(self):
+        loop = main_loop(
+            "for (int j = 0; j < rows; j++) { B[j * cols + i] = 0.0; }"
+        )
+        assert not is_vectorizable(loop, {"cols": 64})
+
+    def test_inner_loop_with_local_index_blocks(self):
+        """CG's SpMV shape: the gather index is an inner-loop local."""
+        loop = main_loop(
+            "float s = 0.0;"
+            " for (int j = S[i]; j < S[i + 1]; j++) { s += V[j] * x[K[j]]; }"
+            " q[i] = s;"
+        )
+        assert not is_vectorizable(loop, {"n": 64})
+
+    def test_innermost_loops_helper(self):
+        loop = main_loop(
+            "for (int j = 0; j < m; j++) { A[j] = 0.0; }"
+            " for (int k = 0; k < m; k++) { B[k] = 0.0; }"
+        )
+        inner = innermost_loops(loop)
+        assert len(inner) == 2
+
+    def test_flat_loop_is_its_own_innermost(self):
+        loop = main_loop("A[i] = 0.0;")
+        assert innermost_loops(loop) == [loop]
+
+    def test_all_innermost_must_qualify(self):
+        loop = main_loop(
+            "for (int j = 0; j < m; j++) { A[j] = 0.0; }"
+            " for (int k = 0; k < m; k++) { B[C[k]] = 0.0; }"
+        )
+        assert not is_vectorizable(loop)
+
+
+class TestBindings:
+    def test_symbolic_coefficient_without_binding_blocks(self):
+        loop = main_loop("B[i] = A[i * w];")
+        assert not is_vectorizable(loop)
+
+    def test_unit_symbolic_offset_with_binding(self):
+        loop = main_loop("B[i] = A[i + base];")
+        assert is_vectorizable(loop, {"base": 10})

@@ -1,0 +1,19 @@
+"""Shared fixtures: the full benchmark suite is expensive (tens of
+seconds of interpretation), so its results are computed once per session
+and shared by workload-level and experiment-level tests."""
+
+import pytest
+
+from repro.experiments.harness import SuiteRunner
+
+
+@pytest.fixture(scope="session")
+def runner():
+    """A session-wide cached SuiteRunner."""
+    return SuiteRunner()
+
+
+@pytest.fixture(scope="session")
+def suite_results(runner):
+    """BenchmarkResult for every Table II workload (cached)."""
+    return runner.run_suite()

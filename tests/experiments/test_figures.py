@@ -1,0 +1,188 @@
+"""Tests for the figure/table regeneration harness (shape assertions).
+
+These assert the *reproduction bands* — who wins, by roughly what factor,
+where crossovers fall — not the paper's absolute numbers (the substrate
+is a simulator, not the authors' testbed)."""
+
+import pytest
+
+from repro.experiments.figures import (
+    FIG4_BENCHMARKS,
+    MERGING_BENCHMARKS,
+    REGULARIZATION_BENCHMARKS,
+    STREAMING_BENCHMARKS,
+    figure1,
+    figure4,
+    figure10,
+    figure11,
+    figure12,
+    figure13,
+    figure14,
+    figure15,
+)
+from repro.experiments.report import (
+    render_bars,
+    render_figure,
+    render_table,
+    render_table_data,
+)
+from repro.experiments.tables import table1_demo, table2, table3
+
+
+class TestFigure1:
+    def test_all_benchmarks_present(self, runner, suite_results):
+        fig = figure1(runner)
+        assert len(fig.series) == 12
+
+    def test_eight_losers_note(self, runner, suite_results):
+        fig = figure1(runner)
+        assert "8 of 12" in fig.notes[0]
+
+
+class TestFigure4:
+    def test_benchmarks(self, runner, suite_results):
+        fig = figure4(runner)
+        assert list(fig.series) == FIG4_BENCHMARKS
+
+    def test_transfer_dominates_for_blackscholes_and_nn(self, runner, suite_results):
+        fig = figure4(runner)
+        assert fig.series["blackscholes"] > 1.0
+        assert fig.series["nn"] > 1.0
+
+    def test_ratios_in_paper_band(self, runner, suite_results):
+        """Figure 4's axis tops out at 3.5; ratios are order-one."""
+        fig = figure4(runner)
+        for name, ratio in fig.series.items():
+            assert 0.5 < ratio < 6.0, (name, ratio)
+
+
+class TestFigure10And11:
+    def test_fig10_nine_winners(self, runner, suite_results):
+        fig = figure10(runner)
+        assert "9 of 12" in fig.notes[0]
+
+    def test_fig10_carries_unoptimized_series(self, runner, suite_results):
+        fig = figure10(runner)
+        assert "mic without optimization" in fig.extra_series
+
+    def test_fig11_nine_improved(self, runner, suite_results):
+        fig = figure11(runner)
+        assert "9 of 12" in fig.notes[0]
+
+    def test_fig11_streamcluster_largest(self, runner, suite_results):
+        fig = figure11(runner)
+        assert max(fig.series, key=fig.series.get) == "streamcluster"
+
+
+class TestFigure12:
+    def test_streaming_benchmarks(self, runner):
+        fig = figure12(runner)
+        assert list(fig.series) == STREAMING_BENCHMARKS
+
+    def test_all_gains_above_one(self, runner):
+        fig = figure12(runner)
+        for name, gain in fig.series.items():
+            assert gain > 1.05, (name, gain)
+
+    def test_average_in_band(self, runner):
+        """Paper: 1.45x average."""
+        assert 1.2 < figure12(runner).average < 2.5
+
+
+class TestFigure13:
+    def test_streamed_memory_reduced(self, runner):
+        fig = figure13(runner)
+        reduced = [v for n, v in fig.series.items() if n != "CG"]
+        for value in reduced:
+            assert value < 0.35
+
+    def test_blackscholes_over_80_percent_reduction(self, runner):
+        fig = figure13(runner)
+        assert fig.series["blackscholes"] < 0.2
+
+
+class TestFigure14:
+    def test_merging_benchmarks(self, runner):
+        fig = figure14(runner)
+        assert list(fig.series) == MERGING_BENCHMARKS
+
+    def test_order_of_magnitude_gains(self, runner):
+        fig = figure14(runner)
+        for name, gain in fig.series.items():
+            assert gain > 10, (name, gain)
+
+    def test_average_in_band(self, runner):
+        """Paper: 27.13x average."""
+        assert 15 < figure14(runner).average < 45
+
+
+class TestFigure15:
+    def test_regularization_benchmarks(self, runner):
+        fig = figure15(runner)
+        assert list(fig.series) == REGULARIZATION_BENCHMARKS
+
+    def test_gains_in_band(self, runner):
+        """Paper: nn 1.23x, srad 1.25x, average 1.25x."""
+        fig = figure15(runner)
+        for name, gain in fig.series.items():
+            assert 1.05 < gain < 2.0, (name, gain)
+
+
+class TestTables:
+    def test_table1_semantics(self):
+        data = table1_demo()
+        assert len(data.rows) == 3
+        # The round-trip demo must show the pointer coming back unchanged.
+        assert data.rows[0][3].split(" -> ")[0] == data.rows[2][3].split(" -> ")[1]
+
+    def test_table2_rows(self, runner, suite_results):
+        data = table2(runner)
+        assert len(data.rows) == 12
+        by_name = {row[0]: row for row in data.rows}
+        assert by_name["blackscholes"][4].startswith("yes")  # streaming
+        assert by_name["blackscholes"][5] == "-"
+        assert by_name["cfd"][5].startswith("yes")  # merging
+        assert by_name["srad"][6].startswith("yes")  # regularization
+        assert by_name["ferret"][7].startswith("yes")  # shared memory
+        assert by_name["hotspot"][4:] == ["-", "-", "-", "-"]
+
+    def test_table3_matches_paper_counts(self, runner, suite_results):
+        data = table3(runner)
+        by_name = {row[0]: row for row in data.rows}
+        assert by_name["ferret"][1] == "19"
+        assert by_name["ferret"][2] == "80298"
+        assert "fails" in by_name["ferret"][4]
+        assert by_name["freqmine"][1] == "7"
+        assert by_name["freqmine"][2] == "912"
+        assert "runs" in by_name["freqmine"][4]
+
+    def test_table3_speedups_in_band(self, runner, suite_results):
+        data = table3(runner)
+        speedups = {row[0]: float(row[3]) for row in data.rows}
+        assert 5.0 < speedups["ferret"] < 12.0  # paper: 7.81
+        assert 1.05 < speedups["freqmine"] < 1.4  # paper: 1.16
+
+
+class TestRendering:
+    def test_render_table_aligns(self):
+        text = render_table(["a", "bench"], [["1", "2"], ["333", "4"]])
+        lines = text.splitlines()
+        assert len({len(line) for line in lines}) == 1
+
+    def test_render_bars_marks_reference(self):
+        text = render_bars({"x": 2.0, "y": 0.5})
+        assert "|" in text
+        assert "2.000x" in text
+
+    def test_render_bars_log_scale(self):
+        text = render_bars({"a": 50.0, "b": 1.2}, log=True)
+        assert "50.000x" in text
+
+    def test_render_empty(self):
+        assert render_bars({}) == "(no data)"
+
+    def test_render_figure_and_table_text(self, runner, suite_results):
+        fig_text = render_figure(figure4(runner))
+        assert "fig4" in fig_text
+        tbl_text = render_table_data(table1_demo())
+        assert "table1" in tbl_text

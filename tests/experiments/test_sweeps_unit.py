@@ -1,0 +1,56 @@
+"""Unit tests for the sweep data structures and one cheap live sweep."""
+
+import pytest
+
+from repro.experiments.sweeps import (
+    SweepPoint,
+    SweepResult,
+    render_sweep,
+    sweep_problem_scale,
+)
+
+
+def make_result(gains):
+    result = SweepResult("bench", "param")
+    for param, gain in gains.items():
+        result.points.append(SweepPoint(param, unopt_time=gain, opt_time=1.0))
+    return result
+
+
+class TestSweepResult:
+    def test_gains_mapping(self):
+        result = make_result({1.0: 2.0, 2.0: 1.5})
+        assert result.gains() == {1.0: 2.0, 2.0: 1.5}
+
+    def test_crossover_found(self):
+        result = make_result({1.0: 2.0, 2.0: 1.3, 4.0: 1.01})
+        assert result.crossover() == 4.0
+
+    def test_no_crossover(self):
+        result = make_result({1.0: 2.0, 2.0: 1.5})
+        assert result.crossover() is None
+
+    def test_custom_threshold(self):
+        result = make_result({1.0: 1.4, 2.0: 1.2})
+        assert result.crossover(threshold=1.3) == 2.0
+
+    def test_point_gain(self):
+        point = SweepPoint(0.0, unopt_time=3.0, opt_time=1.5)
+        assert point.gain == pytest.approx(2.0)
+
+    def test_render(self):
+        text = render_sweep(make_result({1.0: 2.0}))
+        assert "sweep: bench over param" in text
+        assert "gain" in text
+
+    def test_render_reports_crossover(self):
+        text = render_sweep(make_result({1.0: 1.01}))
+        assert "crossover" in text
+
+
+class TestLiveSweep:
+    def test_problem_scale_sweep_runs(self):
+        result = sweep_problem_scale("nn", [0.5, 1.0])
+        assert len(result.points) == 2
+        assert all(p.unopt_time > 0 and p.opt_time > 0 for p in result.points)
+        assert [p.parameter for p in result.points] == [0.5, 1.0]

@@ -1,0 +1,111 @@
+"""Tests for trace analysis: the overlap metric behind data streaming."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.trace import (
+    TraceSummary,
+    _intersect,
+    _merge,
+    render_summary,
+    summarize,
+)
+from repro.hardware.event_sim import Timeline
+from repro.minic.parser import parse
+from repro.runtime.executor import Machine, run_program
+from repro.transforms.streaming import StreamingOptions, apply_streaming
+
+
+class TestIntervalHelpers:
+    def test_merge_overlapping(self):
+        assert _merge([(0, 2), (1, 3), (5, 6)]) == [(0, 3), (5, 6)]
+
+    def test_merge_adjacent(self):
+        assert _merge([(0, 1), (1, 2)]) == [(0, 2)]
+
+    def test_intersect_disjoint(self):
+        assert _intersect([(0, 1)], [(2, 3)]) == 0.0
+
+    def test_intersect_partial(self):
+        assert _intersect([(0, 4)], [(2, 6)]) == pytest.approx(2.0)
+
+    def test_intersect_multiple(self):
+        a = [(0, 2), (4, 6)]
+        b = [(1, 5)]
+        assert _intersect(a, b) == pytest.approx(2.0)
+
+
+class TestSummarize:
+    def test_serial_schedule_no_overlap(self):
+        tl = Timeline()
+        xfer = tl.schedule("dma:h2d", 2.0)
+        tl.schedule("mic", 3.0, deps=[xfer])
+        summary = summarize(tl)
+        assert summary.overlap == 0.0
+        assert summary.overlap_fraction == 0.0
+        assert summary.makespan == pytest.approx(5.0)
+        assert summary.idle_time == pytest.approx(0.0)
+
+    def test_pipelined_schedule_overlaps(self):
+        tl = Timeline()
+        prev = None
+        for _ in range(4):
+            xfer = tl.schedule("dma:h2d", 1.0)
+            deps = [xfer] + ([prev] if prev else [])
+            prev = tl.schedule("mic", 1.0, deps=deps)
+        summary = summarize(tl)
+        assert summary.overlap > 0.0
+        assert summary.overlap_fraction > 0.4
+
+    def test_render(self):
+        tl = Timeline()
+        tl.schedule("dma:h2d", 1.0)
+        text = render_summary(summarize(tl))
+        assert "makespan" in text
+        assert "utilized" in text
+
+    def test_empty_timeline(self):
+        summary = summarize(Timeline())
+        assert summary.makespan == 0.0
+        assert summary.overlap_fraction == 0.0
+
+
+class TestStreamingOverlapMetric:
+    SOURCE = """
+    void main() {
+    #pragma offload target(mic:0) in(A : length(n)) in(n) out(B : length(n))
+    #pragma omp parallel for
+        for (int i = 0; i < n; i++) { B[i] = sqrt(A[i]) + A[i] * 0.5; }
+    }
+    """
+
+    def run(self, program_or_source, scale=20_000.0):
+        machine = Machine(scale=scale)
+        n = 1024
+        run_program(
+            program_or_source,
+            arrays={
+                "A": np.ones(n, dtype=np.float32),
+                "B": np.zeros(n, dtype=np.float32),
+            },
+            scalars={"n": n},
+            machine=machine,
+        )
+        return summarize(machine.timeline)
+
+    def test_unoptimized_offload_serializes(self):
+        summary = self.run(self.SOURCE)
+        assert summary.overlap_fraction < 0.05
+
+    def test_streamed_offload_overlaps_most_transfer(self):
+        prog = parse(self.SOURCE)
+        apply_streaming(prog, StreamingOptions(num_blocks=16))
+        summary = self.run(prog)
+        assert summary.overlap_fraction > 0.5
+
+    def test_makespan_shrinks_with_overlap(self):
+        serial = self.run(self.SOURCE)
+        prog = parse(self.SOURCE)
+        apply_streaming(prog, StreamingOptions(num_blocks=16))
+        streamed = self.run(prog)
+        assert streamed.makespan < serial.makespan

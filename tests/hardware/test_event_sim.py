@@ -1,0 +1,121 @@
+"""Tests for the resource-timeline event simulator."""
+
+import pytest
+
+from repro.hardware.event_sim import Clock, Event, Timeline
+
+
+class TestScheduling:
+    def test_single_op(self):
+        tl = Timeline()
+        ev = tl.schedule("device", 2.0, label="kernel")
+        assert ev.time == 2.0
+
+    def test_fifo_on_same_resource(self):
+        tl = Timeline()
+        tl.schedule("device", 2.0)
+        ev = tl.schedule("device", 3.0)
+        assert ev.time == 5.0
+
+    def test_independent_resources_overlap(self):
+        tl = Timeline()
+        a = tl.schedule("dma", 4.0)
+        b = tl.schedule("device", 3.0)
+        assert a.time == 4.0
+        assert b.time == 3.0
+        assert tl.finish_time() == 4.0
+
+    def test_dependency_delays_start(self):
+        tl = Timeline()
+        transfer = tl.schedule("dma", 4.0)
+        compute = tl.schedule("device", 1.0, deps=[transfer])
+        assert compute.time == 5.0
+
+    def test_not_before(self):
+        tl = Timeline()
+        ev = tl.schedule("dma", 1.0, not_before=10.0)
+        assert ev.time == 11.0
+
+    def test_negative_duration_rejected(self):
+        tl = Timeline()
+        with pytest.raises(ValueError):
+            tl.schedule("device", -1.0)
+
+    def test_streaming_pipeline_shape(self):
+        """The paper's Figure 5(d): block i computes while block i+1 transfers.
+
+        With equal block transfer time D/N and compute time C/N, the total
+        is D/N + max(C/N, D/N)*(N-1) + C/N.
+        """
+        tl = Timeline()
+        n_blocks, d_block, c_block = 4, 1.0, 1.5
+        transfers = []
+        prev_compute = None
+        for k in range(n_blocks):
+            transfers.append(tl.schedule("dma", d_block, label=f"xfer{k}"))
+        for k in range(n_blocks):
+            deps = [transfers[k]]
+            if prev_compute is not None:
+                deps.append(prev_compute)
+            prev_compute = tl.schedule("device", c_block, deps=deps)
+        expected = d_block + max(c_block, d_block) * (n_blocks - 1) + c_block
+        assert prev_compute.time == pytest.approx(expected)
+
+    def test_transfer_bound_pipeline(self):
+        tl = Timeline()
+        n_blocks, d_block, c_block = 5, 2.0, 0.5
+        prev = None
+        for k in range(n_blocks):
+            xfer = tl.schedule("dma", d_block)
+            deps = [xfer] + ([prev] if prev else [])
+            prev = tl.schedule("device", c_block, deps=deps)
+        expected = d_block * n_blocks + c_block
+        assert prev.time == pytest.approx(expected)
+
+
+class TestTrace:
+    def test_busy_time(self):
+        tl = Timeline()
+        tl.schedule("device", 2.0)
+        tl.schedule("device", 3.0)
+        tl.schedule("dma", 1.0)
+        assert tl.busy_time("device") == 5.0
+        assert tl.busy_time("dma") == 1.0
+
+    def test_entries_filtered(self):
+        tl = Timeline()
+        tl.schedule("device", 1.0, label="a")
+        tl.schedule("dma", 1.0, label="b")
+        assert [e.label for e in tl.entries("dma")] == ["b"]
+
+    def test_reset(self):
+        tl = Timeline()
+        tl.schedule("device", 5.0)
+        tl.reset()
+        assert tl.finish_time() == 0.0
+        assert tl.schedule("device", 1.0).time == 1.0
+
+    def test_empty_finish_time(self):
+        assert Timeline().finish_time() == 0.0
+
+
+class TestClock:
+    def test_advance(self):
+        clock = Clock()
+        clock.advance(1.5)
+        clock.advance(0.5)
+        assert clock.now == 2.0
+
+    def test_wait_future_event(self):
+        clock = Clock(now=1.0)
+        clock.wait_until(Event(5.0))
+        assert clock.now == 5.0
+
+    def test_wait_past_event_free(self):
+        clock = Clock(now=10.0)
+        clock.wait_until(Event(5.0))
+        assert clock.now == 10.0
+
+    def test_negative_advance_rejected(self):
+        with pytest.raises(ValueError):
+            Clock().advance(-1.0)

@@ -1,0 +1,87 @@
+"""End-to-end Section V: the compiler half meets the runtime half.
+
+A ferret-style loader allocates tens of thousands of shared objects.
+Running it as written (through MYO's ``Offload_shared_malloc``) trips the
+allocation-count limit — the Table III failure.  After
+:func:`~repro.transforms.shared_memory.lower_shared_memory` rewrites the
+allocation sites to ``arena_alloc``, the *same program* runs to
+completion against the segmented arena.
+"""
+
+import pytest
+
+from repro.errors import MyoLimitError
+from repro.minic.parser import parse
+from repro.minic.printer import to_source
+from repro.runtime.executor import Machine, run_program
+from repro.transforms.shared_memory import lower_shared_memory
+
+LOADER = """
+void main() {
+    loaded = 0;
+    for (int img = 0; img < nimages; img++) {
+        hdr = Offload_shared_malloc(64);
+        fvec = Offload_shared_malloc(1024);
+        for (int r = 0; r < 21; r++) {
+            region = Offload_shared_malloc(1084);
+        }
+        loaded = loaded + 1;
+    }
+}
+"""
+
+#: 3500 images x 23 allocations = 80,500 > MYO's 65,536 descriptor slots.
+N_IMAGES = 3500
+
+
+class TestMyoPathFails:
+    def test_myo_hits_allocation_limit(self):
+        with pytest.raises(MyoLimitError):
+            run_program(LOADER, scalars={"nimages": N_IMAGES})
+
+    def test_small_input_runs_under_myo(self):
+        machine = Machine()
+        result = run_program(
+            LOADER, scalars={"nimages": 100}, machine=machine
+        )
+        assert result.scalar("loaded") == 100
+        assert machine.myo.stats.allocations == 100 * 23
+
+
+class TestArenaPathSucceeds:
+    def test_lowered_program_completes_at_full_scale(self):
+        program = parse(LOADER)
+        report = lower_shared_memory(program)
+        assert report.applied
+        assert "3 allocation site" in report.details[0]
+        machine = Machine()
+        result = run_program(
+            program, scalars={"nimages": N_IMAGES}, machine=machine
+        )
+        assert result.scalar("loaded") == N_IMAGES
+        assert machine.arena.alloc_count == N_IMAGES * 23
+
+    def test_lowered_source_round_trips(self):
+        program = parse(LOADER)
+        lower_shared_memory(program)
+        printed = to_source(program)
+        assert "arena_alloc(" in printed
+        assert "Offload_shared_malloc" not in printed
+        assert parse(printed) == program
+
+    def test_arena_addresses_are_distinct(self):
+        src = """
+        void main() {
+            a = arena_alloc(64);
+            b = arena_alloc(64);
+            diff = b - a;
+        }
+        """
+        result = run_program(src)
+        assert result.scalar("diff") == 64
+
+    def test_free_is_accepted(self):
+        result = run_program(
+            "void main() { p = arena_alloc(16); arena_free(p); ok = 1; }"
+        )
+        assert result.scalar("ok") == 1

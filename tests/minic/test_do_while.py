@@ -1,0 +1,59 @@
+"""Tests for do-while support across parser, printer and interpreter."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.minic import ast_nodes as ast
+from repro.minic.parser import parse
+from repro.minic.printer import to_source
+from repro.runtime.executor import run_program
+
+
+class TestParsing:
+    def test_basic(self):
+        prog = parse("void main() { do { x = x + 1; } while (x < 5); }")
+        (stmt,) = prog.function("main").body.stmts
+        assert isinstance(stmt, ast.DoWhile)
+        assert isinstance(stmt.cond, ast.BinOp)
+
+    def test_single_statement_body(self):
+        prog = parse("void main() { do x = x + 1; while (x < 3); }")
+        (stmt,) = prog.function("main").body.stmts
+        assert isinstance(stmt, ast.DoWhile)
+
+    def test_missing_semicolon_rejected(self):
+        with pytest.raises(ParseError):
+            parse("void main() { do { x = 1; } while (x < 5) }")
+
+    def test_roundtrip(self):
+        src = "void main() { do { x = x + 1; } while (x < 5); }"
+        prog = parse(src)
+        assert parse(to_source(prog)) == prog
+
+
+class TestExecution:
+    def test_runs_at_least_once(self):
+        result = run_program(
+            "void main() { x = 100; do { x = x + 1; } while (x < 5); }"
+        )
+        assert result.scalar("x") == 101
+
+    def test_loops_until_condition_false(self):
+        result = run_program(
+            "void main() { x = 0; do { x = x + 1; } while (x < 5); }"
+        )
+        assert result.scalar("x") == 5
+
+    def test_break(self):
+        result = run_program(
+            "void main() { x = 0; do { x = x + 1;"
+            " if (x == 3) { break; } } while (x < 100); }"
+        )
+        assert result.scalar("x") == 3
+
+    def test_continue_still_checks_condition(self):
+        result = run_program(
+            "void main() { x = 0; s = 0; do { x = x + 1;"
+            " if (x % 2 == 0) { continue; } s = s + 1; } while (x < 6); }"
+        )
+        assert result.scalar("s") == 3

@@ -1,0 +1,161 @@
+"""Tests for the MiniC tokenizer."""
+
+import pytest
+
+from repro.errors import LexError
+from repro.minic.lexer import tokenize
+from repro.minic.tokens import (
+    EOF,
+    FLOAT_LIT,
+    IDENT,
+    INT_LIT,
+    KEYWORD,
+    PRAGMA,
+    STRING_LIT,
+)
+
+
+def kinds(source):
+    return [t.kind for t in tokenize(source)]
+
+
+def values(source):
+    return [t.value for t in tokenize(source)[:-1]]
+
+
+class TestBasicTokens:
+    def test_empty_source_yields_only_eof(self):
+        toks = tokenize("")
+        assert len(toks) == 1
+        assert toks[0].kind == EOF
+
+    def test_identifier(self):
+        toks = tokenize("sptprice")
+        assert toks[0].kind == IDENT
+        assert toks[0].value == "sptprice"
+
+    def test_identifier_with_underscore_and_digits(self):
+        toks = tokenize("_buf2_x")
+        assert toks[0].kind == IDENT
+
+    def test_keyword(self):
+        toks = tokenize("for")
+        assert toks[0].kind == KEYWORD
+
+    def test_all_type_keywords(self):
+        for kw in ("int", "float", "double", "void", "char"):
+            assert tokenize(kw)[0].kind == KEYWORD
+
+    def test_int_literal(self):
+        toks = tokenize("42")
+        assert toks[0].kind == INT_LIT
+        assert toks[0].value == "42"
+
+    def test_float_literal(self):
+        toks = tokenize("3.14")
+        assert toks[0].kind == FLOAT_LIT
+
+    def test_float_exponent(self):
+        toks = tokenize("1e10 2.5E-3 1.0e+2")
+        assert [t.kind for t in toks[:-1]] == [FLOAT_LIT] * 3
+
+    def test_float_f_suffix_stripped(self):
+        toks = tokenize("2.5f")
+        assert toks[0].kind == FLOAT_LIT
+        assert toks[0].value == "2.5"
+
+    def test_leading_dot_float(self):
+        toks = tokenize(".5")
+        assert toks[0].kind == FLOAT_LIT
+
+    def test_string_literal(self):
+        toks = tokenize('"hello world"')
+        assert toks[0].kind == STRING_LIT
+        assert toks[0].value == "hello world"
+
+
+class TestOperators:
+    def test_maximal_munch_arrow(self):
+        assert values("p->x") == ["p", "->", "x"]
+
+    def test_maximal_munch_compound_assign(self):
+        assert values("a += b") == ["a", "+=", "b"]
+
+    def test_maximal_munch_shift_vs_less(self):
+        assert values("a << b < c") == ["a", "<<", "b", "<", "c"]
+
+    def test_increment(self):
+        assert values("i++") == ["i", "++"]
+
+    def test_logical_ops(self):
+        assert values("a && b || !c") == ["a", "&&", "b", "||", "!", "c"]
+
+    def test_relational(self):
+        assert values("a <= b >= c == d != e") == [
+            "a", "<=", "b", ">=", "c", "==", "d", "!=", "e",
+        ]
+
+
+class TestCommentsAndWhitespace:
+    def test_line_comment_skipped(self):
+        assert values("a // comment\n b") == ["a", "b"]
+
+    def test_block_comment_skipped(self):
+        assert values("a /* x\ny */ b") == ["a", "b"]
+
+    def test_line_numbers_across_block_comment(self):
+        toks = tokenize("/* one\ntwo */\nx")
+        assert toks[0].line == 3
+
+    def test_unterminated_block_comment_raises(self):
+        with pytest.raises(LexError):
+            tokenize("/* never closed")
+
+    def test_line_tracking(self):
+        toks = tokenize("a\nb\nc")
+        assert [t.line for t in toks[:-1]] == [1, 2, 3]
+
+
+class TestPragmas:
+    def test_pragma_captured_as_single_token(self):
+        toks = tokenize("#pragma omp parallel for\nfor")
+        assert toks[0].kind == PRAGMA
+        assert toks[0].value == "omp parallel for"
+        assert toks[1].kind == KEYWORD
+
+    def test_offload_pragma_text(self):
+        src = "#pragma offload target(mic:0) in(A : length(n))"
+        toks = tokenize(src)
+        assert toks[0].kind == PRAGMA
+        assert "target(mic:0)" in toks[0].value
+
+    def test_pragma_line_continuation(self):
+        src = "#pragma offload target(mic:0) \\\n    in(A : length(n))\nx"
+        toks = tokenize(src)
+        assert toks[0].kind == PRAGMA
+        assert "in(A : length(n))" in toks[0].value
+        assert toks[1].value == "x"
+
+    def test_non_pragma_directive_rejected(self):
+        with pytest.raises(LexError):
+            tokenize("#include <stdio.h>")
+
+
+class TestErrors:
+    def test_unexpected_character(self):
+        with pytest.raises(LexError) as exc:
+            tokenize("a @ b")
+        assert exc.value.line == 1
+
+    def test_unterminated_string(self):
+        with pytest.raises(LexError):
+            tokenize('"abc')
+
+    def test_malformed_exponent(self):
+        with pytest.raises(LexError):
+            tokenize("1e+")
+
+    def test_error_reports_position(self):
+        with pytest.raises(LexError) as exc:
+            tokenize("ab\ncd @")
+        assert exc.value.line == 2

@@ -1,0 +1,358 @@
+"""Tests for the MiniC parser, including pragma parsing."""
+
+import pytest
+
+from repro.errors import ParseError, PragmaError
+from repro.minic import ast_nodes as ast
+from repro.minic.parser import parse, parse_expr, parse_pragma
+
+
+class TestExpressions:
+    def test_int_literal(self):
+        assert parse_expr("42") == ast.IntLit(42)
+
+    def test_float_literal(self):
+        assert parse_expr("2.5") == ast.FloatLit(2.5)
+
+    def test_precedence_mul_over_add(self):
+        expr = parse_expr("a + b * c")
+        assert isinstance(expr, ast.BinOp)
+        assert expr.op == "+"
+        assert isinstance(expr.right, ast.BinOp)
+        assert expr.right.op == "*"
+
+    def test_left_associativity(self):
+        expr = parse_expr("a - b - c")
+        assert expr == ast.BinOp(
+            "-", ast.BinOp("-", ast.Ident("a"), ast.Ident("b")), ast.Ident("c")
+        )
+
+    def test_parentheses_override(self):
+        expr = parse_expr("(a + b) * c")
+        assert expr.op == "*"
+        assert expr.left.op == "+"
+
+    def test_unary_minus(self):
+        assert parse_expr("-x") == ast.UnOp("-", ast.Ident("x"))
+
+    def test_unary_plus_is_dropped(self):
+        assert parse_expr("+x") == ast.Ident("x")
+
+    def test_dereference_and_address(self):
+        assert parse_expr("*p") == ast.UnOp("*", ast.Ident("p"))
+        assert parse_expr("&x") == ast.UnOp("&", ast.Ident("x"))
+
+    def test_subscript(self):
+        expr = parse_expr("A[i + 1]")
+        assert expr == ast.Subscript(
+            ast.Ident("A"), ast.BinOp("+", ast.Ident("i"), ast.IntLit(1))
+        )
+
+    def test_nested_subscript(self):
+        expr = parse_expr("A[B[i]]")
+        assert isinstance(expr.index, ast.Subscript)
+
+    def test_member_dot_and_arrow(self):
+        assert parse_expr("p.x") == ast.Member(ast.Ident("p"), "x", arrow=False)
+        assert parse_expr("p->x") == ast.Member(ast.Ident("p"), "x", arrow=True)
+
+    def test_chained_member(self):
+        expr = parse_expr("a.b.c")
+        assert expr.field == "c"
+        assert expr.base.field == "b"
+
+    def test_call_no_args(self):
+        assert parse_expr("f()") == ast.Call("f", [])
+
+    def test_call_with_args(self):
+        expr = parse_expr("BlkSchlsEqEuroNoDiv(sptprice[i], strike[i])")
+        assert expr.func == "BlkSchlsEqEuroNoDiv"
+        assert len(expr.args) == 2
+
+    def test_ternary(self):
+        expr = parse_expr("a > b ? a : b")
+        assert isinstance(expr, ast.Cond)
+
+    def test_ternary_right_assoc(self):
+        expr = parse_expr("a ? b : c ? d : e")
+        assert isinstance(expr.other, ast.Cond)
+
+    def test_cast(self):
+        expr = parse_expr("(float)x")
+        assert expr == ast.Cast(ast.BaseType("float"), ast.Ident("x"))
+
+    def test_pointer_cast(self):
+        expr = parse_expr("(float*)p")
+        assert isinstance(expr.type, ast.PointerType)
+
+    def test_sizeof(self):
+        expr = parse_expr("sizeof(float)")
+        assert expr == ast.SizeOf(ast.BaseType("float"))
+
+    def test_paren_expr_not_cast(self):
+        expr = parse_expr("(a) + b")
+        assert expr.op == "+"
+
+    def test_logical_and_comparison(self):
+        expr = parse_expr("a < b && c >= d")
+        assert expr.op == "&&"
+
+    def test_modulo(self):
+        assert parse_expr("i % 2").op == "%"
+
+    def test_unexpected_token_raises(self):
+        with pytest.raises(ParseError):
+            parse_expr("a + ")
+
+
+class TestStatements:
+    def _body(self, text):
+        prog = parse("void main() {\n" + text + "\n}")
+        return prog.function("main").body.stmts
+
+    def test_declaration(self):
+        (decl,) = self._body("int x;")
+        assert decl == ast.VarDecl("x", ast.BaseType("int"))
+
+    def test_declaration_with_init(self):
+        (decl,) = self._body("float y = 1.5;")
+        assert decl.init == ast.FloatLit(1.5)
+
+    def test_pointer_declaration(self):
+        (decl,) = self._body("float *p;")
+        assert isinstance(decl.type, ast.PointerType)
+
+    def test_array_declaration(self):
+        (decl,) = self._body("int a[10];")
+        assert isinstance(decl.type, ast.ArrayType)
+        assert decl.type.size == ast.IntLit(10)
+
+    def test_assignment(self):
+        (stmt,) = self._body("x = 1;")
+        assert stmt == ast.Assign(ast.Ident("x"), ast.IntLit(1))
+
+    def test_compound_assignment(self):
+        (stmt,) = self._body("x += 2;")
+        assert stmt.op == "+="
+
+    def test_subscript_assignment(self):
+        (stmt,) = self._body("A[i] = B[i];")
+        assert isinstance(stmt.target, ast.Subscript)
+
+    def test_increment_statement(self):
+        (stmt,) = self._body("i++;")
+        assert stmt == ast.Assign(ast.Ident("i"), ast.IntLit(1), "+=")
+
+    def test_if_else(self):
+        (stmt,) = self._body("if (a < b) { x = 1; } else { x = 2; }")
+        assert isinstance(stmt, ast.If)
+        assert stmt.other is not None
+
+    def test_if_without_braces(self):
+        (stmt,) = self._body("if (a) x = 1;")
+        assert isinstance(stmt.then, ast.Assign)
+
+    def test_for_loop(self):
+        (stmt,) = self._body("for (int i = 0; i < n; i++) { s += A[i]; }")
+        assert isinstance(stmt, ast.For)
+        assert isinstance(stmt.init, ast.VarDecl)
+        assert stmt.step.op == "+="
+
+    def test_for_with_assign_init(self):
+        (stmt,) = self._body("for (i = 0; i < n; i = i + 1) x = i;")
+        assert isinstance(stmt.init, ast.Assign)
+
+    def test_while(self):
+        (stmt,) = self._body("while (x > 0) { x = x - 1; }")
+        assert isinstance(stmt, ast.While)
+
+    def test_return_value(self):
+        (stmt,) = self._body("return x + 1;")
+        assert isinstance(stmt, ast.Return)
+
+    def test_break_continue(self):
+        stmts = self._body("while (1) { break; continue; }")
+        body = stmts[0].body.stmts
+        assert isinstance(body[0], ast.Break)
+        assert isinstance(body[1], ast.Continue)
+
+    def test_nested_blocks(self):
+        (stmt,) = self._body("{ { int x; } }")
+        assert isinstance(stmt, ast.Block)
+
+    def test_call_statement(self):
+        (stmt,) = self._body("free_buffer(p);")
+        assert isinstance(stmt, ast.ExprStmt)
+
+
+class TestTopLevel:
+    def test_function_with_params(self):
+        prog = parse("float f(float x, int n) { return x; }")
+        func = prog.function("f")
+        assert len(func.params) == 2
+        assert func.params[0].type == ast.BaseType("float")
+
+    def test_function_void_params(self):
+        prog = parse("void f(void) { }")
+        assert prog.function("f").params == []
+
+    def test_function_prototype(self):
+        prog = parse("float f(float x);")
+        assert prog.function("f").body is None
+
+    def test_array_param_becomes_pointer(self):
+        prog = parse("void f(float A[]) { }")
+        assert isinstance(prog.function("f").params[0].type, ast.PointerType)
+
+    def test_global_variable(self):
+        prog = parse("int gcount = 0;\nvoid main() { }")
+        globals_ = [d for d in prog.decls if isinstance(d, ast.GlobalDecl)]
+        assert len(globals_) == 1
+
+    def test_struct_definition(self):
+        prog = parse("struct Point { float x; float y; };")
+        (struct,) = prog.structs()
+        assert struct.name == "Point"
+        assert [f.name for f in struct.fields_] == ["x", "y"]
+
+    def test_struct_with_pointer_field(self):
+        prog = parse("struct Node { float value; struct Node *next; };")
+        (struct,) = prog.structs()
+        assert isinstance(struct.fields_[1].type, ast.PointerType)
+
+    def test_struct_variable(self):
+        prog = parse(
+            "struct Point { float x; float y; };\n"
+            "void main() { struct Point p; p.x = 1.0; }"
+        )
+        decl = prog.function("main").body.stmts[0]
+        assert decl.type == ast.StructType("Point")
+
+    def test_multiple_functions(self):
+        prog = parse("void a() { }\nvoid b() { }")
+        assert [f.name for f in prog.functions()] == ["a", "b"]
+
+    def test_missing_function_raises_keyerror(self):
+        prog = parse("void a() { }")
+        with pytest.raises(KeyError):
+            prog.function("nope")
+
+
+class TestPragmaParsing:
+    def test_omp_parallel_for(self):
+        pragma = parse_pragma("omp parallel for")
+        assert isinstance(pragma, ast.OmpParallelFor)
+
+    def test_omp_private(self):
+        pragma = parse_pragma("omp parallel for private(i, j)")
+        assert pragma.private == ["i", "j"]
+
+    def test_omp_reduction(self):
+        pragma = parse_pragma("omp parallel for reduction(+:sum)")
+        assert pragma.reduction == [("+", "sum")]
+
+    def test_offload_target(self):
+        pragma = parse_pragma("offload target(mic:0)")
+        assert isinstance(pragma, ast.OffloadPragma)
+        assert pragma.target == 0
+
+    def test_offload_in_length(self):
+        pragma = parse_pragma("offload target(mic:0) in(sptprice : length(n))")
+        (clause,) = pragma.clauses
+        assert clause.direction == "in"
+        assert clause.var == "sptprice"
+        assert clause.length == ast.Ident("n")
+
+    def test_offload_multiple_vars_share_modifiers(self):
+        pragma = parse_pragma("offload target(mic:0) in(A, B : length(n))")
+        assert [c.var for c in pragma.clauses] == ["A", "B"]
+        assert all(c.length == ast.Ident("n") for c in pragma.clauses)
+
+    def test_offload_section_syntax(self):
+        pragma = parse_pragma("offload target(mic:0) in(A[k*bsize:bsize])")
+        (clause,) = pragma.clauses
+        assert clause.start is not None
+        assert clause.length == ast.Ident("bsize")
+
+    def test_offload_into_with_alloc_free(self):
+        text = (
+            "offload_transfer target(mic:0) "
+            "in(A[k*bsize:bsize] : into(A1) alloc_if(0) free_if(0)) signal(tag)"
+        )
+        pragma = parse_pragma(text)
+        assert isinstance(pragma, ast.OffloadTransferPragma)
+        (clause,) = pragma.clauses
+        assert clause.into == "A1"
+        assert clause.alloc_if == ast.IntLit(0)
+        assert pragma.signal == ast.Ident("tag")
+
+    def test_offload_wait(self):
+        pragma = parse_pragma("offload_wait target(mic:0) wait(tag)")
+        assert isinstance(pragma, ast.OffloadWaitPragma)
+
+    def test_offload_signal_wait_clauses(self):
+        pragma = parse_pragma("offload target(mic:0) signal(s1) wait(s0)")
+        assert pragma.signal == ast.Ident("s1")
+        assert pragma.wait == ast.Ident("s0")
+
+    def test_offload_shared(self):
+        pragma = parse_pragma("offload target(mic:0) shared(tree, nodes)")
+        assert pragma.shared == ["tree", "nodes"]
+
+    def test_bad_pragma_raises(self):
+        with pytest.raises(PragmaError):
+            parse_pragma("vectorize always")
+
+    def test_bad_clause_raises(self):
+        with pytest.raises(PragmaError):
+            parse_pragma("offload target(mic:0) frobnicate(x)")
+
+
+class TestPragmaAttachment:
+    def test_offload_loop(self):
+        prog = parse(
+            """
+            void main() {
+            #pragma offload target(mic:0) in(A : length(n)) out(B : length(n))
+            #pragma omp parallel for
+                for (int i = 0; i < n; i++) {
+                    B[i] = A[i] * 2.0;
+                }
+            }
+            """
+        )
+        (loop,) = prog.function("main").body.stmts
+        assert isinstance(loop, ast.For)
+        assert isinstance(loop.pragmas[0], ast.OffloadPragma)
+        assert isinstance(loop.pragmas[1], ast.OmpParallelFor)
+
+    def test_standalone_transfer_is_statement(self):
+        prog = parse(
+            """
+            void main() {
+            #pragma offload_transfer target(mic:0) in(A[0:b] : into(A1)) signal(t)
+                x = 1;
+            }
+            """
+        )
+        stmts = prog.function("main").body.stmts
+        assert isinstance(stmts[0], ast.PragmaStmt)
+        assert isinstance(stmts[1], ast.Assign)
+
+    def test_offload_block(self):
+        prog = parse(
+            """
+            void main() {
+            #pragma offload target(mic:0) in(A : length(n))
+                {
+                    x = 1;
+                }
+            }
+            """
+        )
+        (block,) = prog.function("main").body.stmts
+        assert isinstance(block, ast.OffloadBlock)
+
+    def test_pragma_before_non_loop_raises(self):
+        with pytest.raises(ParseError):
+            parse("void main() {\n#pragma omp parallel for\nx = 1;\n}")

@@ -1,0 +1,135 @@
+"""Systematic parser/lexer error-path coverage: every malformed construct
+must raise a positioned ParseError, never crash or mis-parse."""
+
+import pytest
+
+from repro.errors import ParseError, PragmaError
+from repro.minic.parser import parse, parse_expr, parse_pragma
+
+
+def rejects(source):
+    with pytest.raises(ParseError):
+        parse(source)
+
+
+class TestMalformedDeclarations:
+    def test_missing_semicolon(self):
+        rejects("void main() { int x }")
+
+    def test_missing_type(self):
+        rejects("main() { }")
+
+    def test_missing_closing_brace(self):
+        rejects("void main() { int x;")
+
+    def test_bad_struct_missing_semi(self):
+        rejects("struct P { float x; }")
+
+    def test_struct_without_name(self):
+        rejects("struct { float x; };")
+
+    def test_param_without_name(self):
+        rejects("void f(float) { }")
+
+
+class TestMalformedStatements:
+    def test_if_without_parens(self):
+        rejects("void main() { if x > 0 { } }")
+
+    def test_for_missing_semicolons(self):
+        rejects("void main() { for (int i = 0 i < n; i++) { } }")
+
+    def test_while_missing_cond(self):
+        rejects("void main() { while () { } }")
+
+    def test_return_missing_semicolon(self):
+        rejects("void main() { return 1 }")
+
+    def test_stray_else(self):
+        rejects("void main() { else { } }")
+
+    def test_double_assign_op(self):
+        rejects("void main() { x = = 1; }")
+
+
+class TestMalformedExpressions:
+    def test_unbalanced_parens(self):
+        with pytest.raises(ParseError):
+            parse_expr("(a + b")
+
+    def test_trailing_operator(self):
+        with pytest.raises(ParseError):
+            parse_expr("a *")
+
+    def test_empty_subscript(self):
+        with pytest.raises(ParseError):
+            parse_expr("A[]")
+
+    def test_ternary_missing_colon(self):
+        with pytest.raises(ParseError):
+            parse_expr("a ? b")
+
+    def test_prefix_increment_rejected_in_expression(self):
+        with pytest.raises(ParseError):
+            parse_expr("++i + 1")
+
+    def test_member_of_nothing(self):
+        with pytest.raises(ParseError):
+            parse_expr(".x")
+
+    def test_call_missing_close(self):
+        with pytest.raises(ParseError):
+            parse_expr("f(a, b")
+
+
+class TestMalformedPragmas:
+    def test_unknown_pragma_kind(self):
+        with pytest.raises(PragmaError):
+            parse_pragma("simd aligned(A)")
+
+    def test_offload_missing_target(self):
+        with pytest.raises((PragmaError, ParseError)):
+            parse_pragma("offload in(A : length(n))")
+
+    def test_bad_target_device(self):
+        with pytest.raises((PragmaError, ParseError)):
+            parse_pragma("offload target(gpu:0)")
+
+    def test_clause_missing_paren(self):
+        with pytest.raises((PragmaError, ParseError)):
+            parse_pragma("offload target(mic:0) in A : length(n)")
+
+    def test_bad_modifier(self):
+        with pytest.raises(PragmaError):
+            parse_pragma("offload target(mic:0) in(A : stride(2))")
+
+    def test_omp_unknown_clause(self):
+        with pytest.raises(PragmaError):
+            parse_pragma("omp parallel for schedule(dynamic)")
+
+    def test_pragma_error_carries_position_through_parse(self):
+        try:
+            parse("void main() {\n#pragma omp parallel frob\nfor (int i = 0; i < 1; i++) { }\n}")
+        except ParseError as exc:
+            assert exc.line == 2
+        else:  # pragma: no cover
+            pytest.fail("expected ParseError")
+
+    def test_pragma_over_non_loop(self):
+        rejects("void main() {\n#pragma omp parallel for\nreturn;\n}")
+
+
+class TestErrorPositions:
+    def test_line_numbers_reported(self):
+        try:
+            parse("void main() {\n    int x;\n    x = ;\n}")
+        except ParseError as exc:
+            assert exc.line == 3
+        else:  # pragma: no cover
+            pytest.fail("expected ParseError")
+
+    def test_column_reported(self):
+        try:
+            parse_expr("a + @")
+        except Exception as exc:
+            assert "column" in str(exc) or "line" in str(exc)

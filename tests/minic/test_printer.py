@@ -1,0 +1,175 @@
+"""Round-trip tests for the MiniC printer: parse(to_source(p)) == p."""
+
+import pytest
+
+from repro.minic import ast_nodes as ast
+from repro.minic.parser import parse, parse_expr, parse_pragma
+from repro.minic.printer import to_source
+
+BLACKSCHOLES_LIKE = """
+float BlkSchlsEqEuroNoDiv(float s, float k);
+
+void main() {
+#pragma offload target(mic:0) in(sptprice, strike : length(numOptions)) out(prices : length(numOptions))
+#pragma omp parallel for private(i)
+    for (int i = 0; i < numOptions; i++) {
+        prices[i] = BlkSchlsEqEuroNoDiv(sptprice[i], strike[i]);
+    }
+}
+"""
+
+SRAD_LIKE = """
+void main() {
+#pragma omp parallel for
+    for (int k = 0; k < rows * cols; k++) {
+        float Jc = J[k];
+        dN[k] = J[iN[k]] - Jc;
+        dS[k] = J[iS[k]] - Jc;
+        if (dN[k] > 0.0) {
+            dN[k] = 0.0;
+        }
+    }
+}
+"""
+
+STRUCT_PROGRAM = """
+struct Node {
+    float value;
+    struct Node *next;
+};
+
+void visit(struct Node *p) {
+    while (p != 0) {
+        total += p->value;
+        p = p->next;
+    }
+}
+"""
+
+
+def roundtrip(source):
+    prog = parse(source)
+    printed = to_source(prog)
+    reparsed = parse(printed)
+    assert reparsed == prog, f"round-trip mismatch:\n{printed}"
+    return printed
+
+
+class TestRoundTrip:
+    def test_blackscholes_like(self):
+        printed = roundtrip(BLACKSCHOLES_LIKE)
+        assert "#pragma offload target(mic:0)" in printed
+        assert "length(numOptions)" in printed
+
+    def test_srad_like(self):
+        roundtrip(SRAD_LIKE)
+
+    def test_struct_program(self):
+        printed = roundtrip(STRUCT_PROGRAM)
+        assert "struct Node *next;" in printed
+        assert "p->next" in printed
+
+    def test_globals(self):
+        roundtrip("int total = 0;\nfloat data[100];\nvoid main() { }")
+
+    def test_while_break_continue(self):
+        roundtrip(
+            "void main() { while (x) { if (y) { break; } continue; } }"
+        )
+
+    def test_nested_loops(self):
+        roundtrip(
+            "void main() {"
+            " for (int i = 0; i < n; i++) {"
+            "  for (int j = 0; j < m; j++) { A[i * m + j] = 0.0; }"
+            " } }"
+        )
+
+    def test_ternary_and_cast(self):
+        roundtrip("void main() { x = a > b ? (float)a : b * 2.0; }")
+
+    def test_sizeof(self):
+        roundtrip("void main() { n = sizeof(float) * count; }")
+
+    def test_offload_transfer_statement(self):
+        roundtrip(
+            "void main() {\n"
+            "#pragma offload_transfer target(mic:0) "
+            "in(A[k*b:b] : into(A1) alloc_if(0) free_if(0)) signal(t)\n"
+            "    x = 1;\n"
+            "}"
+        )
+
+    def test_offload_wait_statement(self):
+        roundtrip(
+            "void main() {\n"
+            "#pragma offload_wait target(mic:0) wait(t)\n"
+            "    x = 1;\n"
+            "}"
+        )
+
+    def test_offload_block(self):
+        roundtrip(
+            "void main() {\n"
+            "#pragma offload target(mic:0) in(A : length(n)) signal(s)\n"
+            "    {\n        x = 1;\n    }\n"
+            "}"
+        )
+
+    def test_reduction_pragma(self):
+        roundtrip(
+            "void main() {\n"
+            "#pragma omp parallel for reduction(+:sum)\n"
+            "    for (int i = 0; i < n; i++) { sum += A[i]; }\n"
+            "}"
+        )
+
+
+class TestExpressionPrinting:
+    def roundtrip_expr(self, text):
+        expr = parse_expr(text)
+        assert parse_expr(to_source(expr)) == expr
+
+    def test_precedence_preserved(self):
+        self.roundtrip_expr("(a + b) * c")
+
+    def test_right_nested_subtraction(self):
+        self.roundtrip_expr("a - (b - c)")
+
+    def test_division_grouping(self):
+        self.roundtrip_expr("a / (b / c)")
+
+    def test_unary_in_binary(self):
+        self.roundtrip_expr("-a * b")
+
+    def test_deref_member(self):
+        self.roundtrip_expr("(*p).x")
+
+    def test_logical_mix(self):
+        self.roundtrip_expr("a && (b || c)")
+
+    def test_float_formatting_has_decimal(self):
+        assert to_source(ast.FloatLit(2.0)) == "2.0"
+
+    def test_comparison_chain_grouping(self):
+        self.roundtrip_expr("(a < b) == (c < d)")
+
+
+class TestPragmaPrinting:
+    def roundtrip_pragma(self, text):
+        pragma = parse_pragma(text)
+        assert parse_pragma(to_source(pragma)) == pragma
+
+    def test_offload_with_sections(self):
+        self.roundtrip_pragma(
+            "offload target(mic:0) in(A[k*b:b] : into(A1) alloc_if(0) free_if(0))"
+        )
+
+    def test_offload_length_only(self):
+        self.roundtrip_pragma("offload target(mic:0) inout(B : length(n * 2))")
+
+    def test_omp_clauses(self):
+        self.roundtrip_pragma("omp parallel for private(x) reduction(*:prod)")
+
+    def test_signal_wait(self):
+        self.roundtrip_pragma("offload target(mic:0) signal(s1) wait(s0)")

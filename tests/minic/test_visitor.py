@@ -1,0 +1,147 @@
+"""Tests for visitor / transformer infrastructure and builder templates."""
+
+from repro.minic import ast_nodes as ast
+from repro.minic import builder
+from repro.minic.parser import parse, parse_expr
+from repro.minic.printer import to_source
+from repro.minic.visitor import (
+    NodeTransformer,
+    NodeVisitor,
+    clone,
+    find_loops,
+    find_offload_loops,
+    get_pragma,
+    substitute,
+    walk,
+)
+
+PROGRAM = """
+void main() {
+#pragma offload target(mic:0) in(A : length(n))
+#pragma omp parallel for
+    for (int i = 0; i < n; i++) {
+        B[i] = A[i];
+    }
+    for (int j = 0; j < m; j++) {
+        C[j] = 0.0;
+    }
+}
+"""
+
+
+class TestWalk:
+    def test_walk_visits_all_identifiers(self):
+        prog = parse(PROGRAM)
+        names = {n.name for n in walk(prog) if isinstance(n, ast.Ident)}
+        assert {"A", "B", "C", "i", "j", "n", "m"} <= names
+
+    def test_walk_preorder_root_first(self):
+        prog = parse(PROGRAM)
+        assert next(iter(walk(prog))) is prog
+
+    def test_find_loops(self):
+        prog = parse(PROGRAM)
+        assert len(find_loops(prog)) == 2
+
+    def test_find_offload_loops(self):
+        prog = parse(PROGRAM)
+        loops = find_offload_loops(prog)
+        assert len(loops) == 1
+        assert get_pragma(loops[0], ast.OffloadPragma) is not None
+
+    def test_get_pragma_missing(self):
+        prog = parse(PROGRAM)
+        other = find_loops(prog)[1]
+        assert get_pragma(other, ast.OffloadPragma) is None
+
+
+class TestVisitor:
+    def test_dispatch_to_named_method(self):
+        seen = []
+
+        class CollectCalls(NodeVisitor):
+            def visit_Subscript(self, node):
+                seen.append(node.base.name)
+                self.generic_visit(node)
+
+        CollectCalls().visit(parse(PROGRAM))
+        assert sorted(seen) == ["A", "B", "C"]
+
+    def test_generic_visit_recurses(self):
+        count = [0]
+
+        class CountIdents(NodeVisitor):
+            def visit_Ident(self, node):
+                count[0] += 1
+
+        CountIdents().visit(parse_expr("a + b * c"))
+        assert count[0] == 3
+
+
+class TestTransformer:
+    def test_replace_node(self):
+        class RenameA(NodeTransformer):
+            def visit_Ident(self, node):
+                return ast.Ident("A2") if node.name == "A" else node
+
+        prog = RenameA().visit(parse(PROGRAM))
+        assert "A2[i]" in to_source(prog)
+
+    def test_delete_statement(self):
+        class DropSecondLoop(NodeTransformer):
+            def visit_For(self, node):
+                self.generic_visit(node)
+                if not node.pragmas:
+                    return None
+                return node
+
+        prog = DropSecondLoop().visit(parse(PROGRAM))
+        assert len(find_loops(prog)) == 1
+
+    def test_splice_statement_list(self):
+        class DuplicateAssigns(NodeTransformer):
+            def visit_Assign(self, node):
+                return [node, clone(node)]
+
+        prog = DuplicateAssigns().visit(parse("void main() { x = 1; }"))
+        assert len(prog.function("main").body.stmts) == 2
+
+
+class TestSubstitute:
+    def test_rename(self):
+        expr = substitute(parse_expr("A[i]"), {"A": "A1"})
+        assert to_source(expr) == "A1[i]"
+
+    def test_replace_with_expression(self):
+        expr = substitute(parse_expr("A[i]"), {"i": parse_expr("i + k * b")})
+        assert to_source(expr) == "A[i + k * b]"
+
+    def test_original_untouched(self):
+        original = parse_expr("A[i]")
+        substitute(original, {"A": "Z"})
+        assert to_source(original) == "A[i]"
+
+
+class TestBuilder:
+    def test_stmt_template(self):
+        stmt = builder.stmt("x = N;", N=10)
+        assert stmt == ast.Assign(ast.Ident("x"), ast.IntLit(10))
+
+    def test_stmts_template(self):
+        result = builder.stmts("a = 1; b = 2;")
+        assert len(result) == 2
+
+    def test_expr_template_with_expr_sub(self):
+        expr = builder.expr("BASE + off", BASE=parse_expr("k * bsize"))
+        assert to_source(expr) == "k * bsize + off"
+
+    def test_float_substitution(self):
+        stmt = builder.stmt("x = V;", V=2.5)
+        assert stmt.value == ast.FloatLit(2.5)
+
+    def test_pragma_template(self):
+        (stmt,) = builder.stmts(
+            "#pragma offload_wait target(mic:0) wait(T)\nx = 1;", T="tag0"
+        )[:1]
+        assert isinstance(stmt, ast.PragmaStmt)
+        assert stmt.pragma.wait == ast.Ident("tag0")

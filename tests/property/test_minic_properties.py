@@ -1,0 +1,184 @@
+"""Property-based tests (hypothesis) for the MiniC front end.
+
+Invariants: printing then reparsing any AST yields a structurally equal
+AST; the interpreter agrees with Python arithmetic on whatever the
+expression generator produces.
+"""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.minic import ast_nodes as ast
+from repro.minic.parser import parse, parse_expr
+from repro.minic.printer import to_source
+from repro.runtime.executor import run_program
+
+# --------------------------------------------------------------------------
+# Expression generator
+# --------------------------------------------------------------------------
+
+_names = st.sampled_from(["a", "b", "c", "x", "y", "n"])
+_int_lits = st.integers(min_value=0, max_value=1000).map(ast.IntLit)
+_float_lits = st.floats(
+    min_value=0.0, max_value=1e6, allow_nan=False, allow_infinity=False
+).map(lambda v: ast.FloatLit(round(v, 6)))
+_idents = _names.map(ast.Ident)
+
+_binops = st.sampled_from(["+", "-", "*", "/", "<", ">", "==", "!=", "&&", "||"])
+
+
+def _exprs(depth: int = 3):
+    base = st.one_of(_int_lits, _float_lits, _idents)
+    if depth == 0:
+        return base
+    sub = _exprs(depth - 1)
+    return st.one_of(
+        base,
+        st.builds(ast.BinOp, _binops, sub, sub),
+        st.builds(lambda e: ast.UnOp("-", e), sub),
+        st.builds(lambda e: ast.UnOp("!", e), sub),
+        st.builds(ast.Cond, sub, sub, sub),
+        st.builds(lambda b, i: ast.Subscript(b, i), _idents, sub),
+        st.builds(lambda a: ast.Call("sqrt", [a]), sub),
+    )
+
+
+class TestExpressionRoundTrip:
+    @given(_exprs())
+    @settings(max_examples=200, deadline=None)
+    def test_print_parse_roundtrip(self, expr):
+        printed = to_source(expr)
+        assert parse_expr(printed) == expr
+
+
+# --------------------------------------------------------------------------
+# Statement generator
+# --------------------------------------------------------------------------
+
+_assign_targets = st.one_of(
+    _idents, st.builds(lambda b, i: ast.Subscript(b, i), _idents, _exprs(1))
+)
+_stmts_leaf = st.one_of(
+    st.builds(ast.Assign, _assign_targets, _exprs(2)),
+    st.builds(
+        lambda n, e: ast.VarDecl(n, ast.FLOAT, e), _names, _exprs(2)
+    ),
+    st.builds(ast.Return, _exprs(1)),
+)
+
+
+def _stmts(depth: int = 2):
+    if depth == 0:
+        return _stmts_leaf
+    sub = _stmts(depth - 1)
+    return st.one_of(
+        _stmts_leaf,
+        st.builds(
+            lambda c, t, e: ast.If(c, ast.Block([t]), ast.Block([e])),
+            _exprs(1),
+            sub,
+            sub,
+        ),
+        st.builds(
+            lambda v, bound, body: ast.For(
+                ast.VarDecl(v, ast.INT, ast.IntLit(0)),
+                ast.BinOp("<", ast.Ident(v), bound),
+                ast.Assign(ast.Ident(v), ast.IntLit(1), "+="),
+                ast.Block([body]),
+            ),
+            st.sampled_from(["i", "j", "k"]),
+            _exprs(0),
+            sub,
+        ),
+        st.builds(lambda a, b: ast.Block([a, b]), sub, sub),
+    )
+
+
+class TestStatementRoundTrip:
+    @given(st.lists(_stmts(), min_size=1, max_size=4))
+    @settings(max_examples=100, deadline=None)
+    def test_program_roundtrip(self, stmts):
+        program = ast.Program(
+            [ast.FuncDef("main", ast.VOID, [], ast.Block(stmts))]
+        )
+        printed = to_source(program)
+        assert parse(printed) == program
+
+
+# --------------------------------------------------------------------------
+# Interpreter arithmetic vs Python
+# --------------------------------------------------------------------------
+
+
+def _py_eval(expr, env):
+    if isinstance(expr, ast.IntLit):
+        return expr.value
+    if isinstance(expr, ast.FloatLit):
+        return expr.value
+    if isinstance(expr, ast.Ident):
+        return env[expr.name]
+    if isinstance(expr, ast.UnOp):
+        value = _py_eval(expr.operand, env)
+        return -value if expr.op == "-" else int(not value)
+    if isinstance(expr, ast.Cond):
+        return (
+            _py_eval(expr.then, env)
+            if _py_eval(expr.cond, env)
+            else _py_eval(expr.other, env)
+        )
+    if isinstance(expr, ast.Call):
+        return math.sqrt(abs(_py_eval(expr.args[0], env)) + 1.0)
+    left, right = _py_eval(expr.left, env), _py_eval(expr.right, env)
+    op = expr.op
+    if op == "+":
+        return left + right
+    if op == "-":
+        return left - right
+    if op == "*":
+        return left * right
+    if op == "/":
+        if isinstance(left, int) and isinstance(right, int):
+            q = abs(left) // abs(right)
+            return q if (left >= 0) == (right >= 0) else -q
+        return left / right
+    if op == "<":
+        return int(left < right)
+    if op == ">":
+        return int(left > right)
+    if op == "==":
+        return int(left == right)
+    if op == "!=":
+        return int(left != right)
+    if op == "&&":
+        return int(bool(left) and bool(right))
+    if op == "||":
+        return int(bool(left) or bool(right))
+    raise AssertionError(op)
+
+
+_arith = st.deferred(
+    lambda: st.one_of(
+        st.integers(min_value=1, max_value=50).map(ast.IntLit),
+        st.sampled_from(["a", "b"]).map(ast.Ident),
+        st.builds(
+            ast.BinOp,
+            st.sampled_from(["+", "-", "*", "<", ">", "==", "&&", "||"]),
+            _arith,
+            _arith,
+        ),
+        st.builds(lambda e: ast.UnOp("-", e), _arith),
+        st.builds(ast.Cond, _arith, _arith, _arith),
+    )
+)
+
+
+class TestInterpreterAgreesWithPython:
+    @given(_arith)
+    @settings(max_examples=150, deadline=None)
+    def test_integer_arithmetic(self, expr):
+        env = {"a": 7, "b": 3}
+        source = f"void main() {{ result = {to_source(expr)}; }}"
+        got = run_program(source, scalars=dict(env)).scalar("result")
+        assert got == _py_eval(expr, env)

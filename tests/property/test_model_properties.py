@@ -1,0 +1,239 @@
+"""Property-based tests for the analysis and hardware models."""
+
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.array_access import extract_linear_form
+from repro.errors import DeviceOutOfMemory
+from repro.hardware.cache import locality_factor
+from repro.hardware.event_sim import Timeline
+from repro.hardware.memory import DeviceMemoryManager
+from repro.minic import ast_nodes as ast
+from repro.minic.parser import parse_expr
+from repro.minic.printer import to_source
+from repro.runtime.smartptr import DeltaTable, SharedPtr
+from repro.transforms.block_size import (
+    optimal_block_count,
+    streaming_time,
+    unstreamed_time,
+)
+
+
+# --------------------------------------------------------------------------
+# Linear forms
+# --------------------------------------------------------------------------
+
+def _linear_expr(a: int, b: int, shape: int) -> ast.Expr:
+    """Different syntactic spellings of a*i + b."""
+    i = ast.Ident("i")
+    spellings = [
+        f"{a} * i + {b}",
+        f"{b} + i * {a}",
+        f"i * {a} - {-b}" if b < 0 else f"{b} + {a} * i",
+        f"({a} * (i + 0)) + {b}",
+    ]
+    return parse_expr(spellings[shape % len(spellings)])
+
+
+class TestLinearFormProperties:
+    @given(
+        st.integers(min_value=1, max_value=64),
+        st.integers(min_value=-32, max_value=64),
+        st.integers(min_value=0, max_value=3),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_extraction_matches_construction(self, a, b, shape):
+        expr = _linear_expr(a, b, shape)
+        form = extract_linear_form(expr, "i")
+        assert (form.coeff, form.const) == (a, b)
+
+    @given(
+        st.integers(min_value=-20, max_value=20),
+        st.integers(min_value=-20, max_value=20),
+        st.integers(min_value=0, max_value=100),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_form_evaluates_like_expression(self, a, b, i_value):
+        expr = parse_expr(f"{a} * i + {b}" if b >= 0 else f"{a} * i - {-b}")
+        form = extract_linear_form(expr, "i")
+        assert form.coeff * i_value + form.const == a * i_value + b
+
+
+# --------------------------------------------------------------------------
+# Block-size model
+# --------------------------------------------------------------------------
+
+_times = st.floats(min_value=0.001, max_value=100.0, allow_nan=False)
+_overheads = st.floats(min_value=1e-6, max_value=1.0, allow_nan=False)
+
+
+class TestBlockSizeProperties:
+    @given(_times, _times, _overheads)
+    @settings(max_examples=200, deadline=None)
+    def test_one_block_equals_unstreamed(self, d, c, k):
+        import pytest
+
+        assert streaming_time(d, c, k, 1) == pytest.approx(
+            unstreamed_time(d, c, k)
+        )
+
+    @given(_times, _times, _overheads, st.integers(min_value=1, max_value=256))
+    @settings(max_examples=200, deadline=None)
+    def test_never_beats_physical_lower_bound(self, d, c, k, n):
+        """The pipeline cannot finish before max(D, C) (one resource must
+        do all its work) nor before any single block's D/N + C/N + K."""
+        t = streaming_time(d, c, k, n)
+        assert t >= max(d, c) - 1e-12
+        assert t >= d / n + c / n + k - 1e-12
+
+    @given(_times, _times, _overheads)
+    @settings(max_examples=100, deadline=None)
+    def test_optimum_beats_neighbours(self, d, c, k):
+        n_star = optimal_block_count(d, c, k, max_blocks=128)
+        t_star = streaming_time(d, c, k, n_star)
+        for n in (max(1, n_star - 1), min(128, n_star + 1)):
+            assert t_star <= streaming_time(d, c, k, n) + 1e-12
+
+    @given(_times, _times, _overheads, st.integers(min_value=1, max_value=128))
+    @settings(max_examples=200, deadline=None)
+    def test_optimum_is_global_over_sampled_n(self, d, c, k, n):
+        n_star = optimal_block_count(d, c, k, max_blocks=128)
+        assert streaming_time(d, c, k, n_star) <= (
+            streaming_time(d, c, k, n) + 1e-12
+        )
+
+
+# --------------------------------------------------------------------------
+# Locality factor
+# --------------------------------------------------------------------------
+
+
+class TestLocalityProperties:
+    @given(st.floats(min_value=0.0, max_value=1.0, allow_nan=False))
+    @settings(max_examples=100, deadline=None)
+    def test_bounds(self, fraction):
+        factor = locality_factor(fraction)
+        assert 4 / 64 <= factor <= 1.0
+
+    @given(
+        st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+        st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_monotone_decreasing(self, f1, f2):
+        lo, hi = sorted([f1, f2])
+        assert locality_factor(lo) >= locality_factor(hi)
+
+
+# --------------------------------------------------------------------------
+# Device memory manager
+# --------------------------------------------------------------------------
+
+_ops = st.lists(
+    st.tuples(
+        st.sampled_from(["alloc", "free"]),
+        st.integers(min_value=0, max_value=9),
+        st.integers(min_value=1, max_value=300),
+    ),
+    max_size=40,
+)
+
+
+class TestMemoryManagerProperties:
+    @given(_ops)
+    @settings(max_examples=200, deadline=None)
+    def test_accounting_invariants(self, operations):
+        mm = DeviceMemoryManager(capacity=1000)
+        live = {}
+        for op, slot, size in operations:
+            name = f"buf{slot}"
+            if op == "alloc":
+                try:
+                    mm.allocate(name, size)
+                except DeviceOutOfMemory:
+                    # The failed allocation must actually not fit.
+                    assert mm.in_use + max(
+                        0, size - live.get(name, 0)
+                    ) > 1000 or size > 1000
+                    continue
+                live[name] = max(live.get(name, 0), size)
+            elif name in live:
+                mm.free(name)
+                del live[name]
+        assert mm.in_use == sum(live.values())
+        assert mm.peak >= mm.in_use
+        assert mm.in_use <= 1000
+
+
+# --------------------------------------------------------------------------
+# Delta table
+# --------------------------------------------------------------------------
+
+_buffers = st.lists(
+    st.tuples(
+        st.integers(min_value=1, max_value=1 << 30),  # size
+        st.integers(min_value=0, max_value=1 << 20),  # mic base
+    ),
+    min_size=1,
+    max_size=50,
+)
+
+
+class TestDeltaTableProperties:
+    @given(_buffers, st.data())
+    @settings(max_examples=200, deadline=None)
+    def test_translate_take_address_roundtrip(self, buffers, data):
+        table = DeltaTable()
+        bases = []
+        cpu = 1 << 40
+        for bid, (size, mic_base) in enumerate(buffers):
+            table.register(bid, cpu, mic_base, size)
+            bases.append((cpu, size))
+            cpu += size + (1 << 20)
+        bid = data.draw(st.integers(min_value=0, max_value=len(buffers) - 1))
+        offset = data.draw(
+            st.integers(min_value=0, max_value=bases[bid][1] - 1)
+        )
+        ptr = SharedPtr(bases[bid][0] + offset, bid)
+        mic_addr = table.translate(ptr)
+        assert table.take_address(mic_addr, bid, on_mic=True) == ptr
+        linear_addr, comparisons = table.translate_linear(ptr)
+        assert linear_addr == mic_addr
+        assert 1 <= comparisons <= len(buffers)
+
+
+# --------------------------------------------------------------------------
+# Timeline
+# --------------------------------------------------------------------------
+
+_schedule = st.lists(
+    st.tuples(
+        st.sampled_from(["dma", "mic", "cpu"]),
+        st.floats(min_value=0.0, max_value=10.0, allow_nan=False),
+        st.booleans(),  # depend on the previous event?
+    ),
+    max_size=30,
+)
+
+
+class TestTimelineProperties:
+    @given(_schedule)
+    @settings(max_examples=200, deadline=None)
+    def test_causality_and_occupancy(self, operations):
+        tl = Timeline()
+        prev = None
+        for resource, duration, depend in operations:
+            deps = [prev] if (depend and prev) else []
+            event = tl.schedule(resource, duration, deps=deps)
+            if deps:
+                assert event.time >= deps[0].time + duration - 1e-12
+            prev = event
+        # No resource can be busy longer than the makespan.
+        finish = tl.finish_time()
+        for resource in ("dma", "mic", "cpu"):
+            assert tl.busy_time(resource) <= finish + 1e-9
+        # Per-resource trace entries never overlap.
+        for resource in ("dma", "mic", "cpu"):
+            entries = sorted(tl.entries(resource), key=lambda e: e.start)
+            for a, b in zip(entries, entries[1:]):
+                assert a.end <= b.start + 1e-12

@@ -1,0 +1,72 @@
+"""Tests for the rejected Section V-A allocation strategies."""
+
+import pytest
+
+from repro.errors import RuntimeFault
+from repro.runtime.alloc_baselines import (
+    MAX_CONTIGUOUS_BYTES,
+    GrowCopyAllocator,
+    PreallocAllocator,
+)
+
+
+class TestPrealloc:
+    def test_bump_allocation(self):
+        alloc = PreallocAllocator(reserve_bytes=1024)
+        assert alloc.allocate(100) == 0
+        assert alloc.allocate(100) == 100
+        assert alloc.stats.allocations == 2
+
+    def test_waste_is_reserved_minus_used(self):
+        alloc = PreallocAllocator(reserve_bytes=1 << 20)
+        alloc.allocate(1000)
+        assert alloc.stats.waste == (1 << 20) - 1000
+
+    def test_exhaustion(self):
+        alloc = PreallocAllocator(reserve_bytes=128)
+        alloc.allocate(100)
+        with pytest.raises(RuntimeFault):
+            alloc.allocate(100)
+
+    def test_cannot_reserve_past_contiguous_limit(self):
+        with pytest.raises(RuntimeFault):
+            PreallocAllocator(reserve_bytes=MAX_CONTIGUOUS_BYTES + 1)
+
+    def test_bad_size(self):
+        with pytest.raises(ValueError):
+            PreallocAllocator().allocate(0)
+
+
+class TestGrowCopy:
+    def test_grows_by_doubling(self):
+        alloc = GrowCopyAllocator(initial_bytes=64)
+        alloc.allocate(60)
+        alloc.allocate(60)  # forces growth to 128
+        assert alloc.capacity == 128
+        assert alloc.growths == [128]
+
+    def test_growth_moves_live_data(self):
+        alloc = GrowCopyAllocator(initial_bytes=64)
+        alloc.allocate(60)
+        alloc.allocate(60)
+        assert alloc.stats.moved_bytes == 60
+
+    def test_repeated_growth_accumulates_movement(self):
+        alloc = GrowCopyAllocator(initial_bytes=16)
+        total = 0
+        for _ in range(20):
+            alloc.allocate(16)
+            total += 16
+        # Doubling from 16 to >=320 moves the live set each time.
+        assert alloc.stats.moved_bytes > total
+
+    def test_contiguity_ceiling(self):
+        alloc = GrowCopyAllocator(initial_bytes=MAX_CONTIGUOUS_BYTES // 2)
+        alloc.allocate(MAX_CONTIGUOUS_BYTES // 2 - 8)
+        alloc.allocate(MAX_CONTIGUOUS_BYTES // 2)  # grows to the ceiling
+        with pytest.raises(RuntimeFault):
+            alloc.allocate(MAX_CONTIGUOUS_BYTES // 2)
+
+    def test_bad_initial_size(self):
+        with pytest.raises(ValueError):
+            GrowCopyAllocator(initial_bytes=0)

@@ -1,0 +1,244 @@
+"""Interpreter correctness tests: host-only programs."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ExecutionError
+from repro.runtime.executor import Machine, run_program
+
+
+class TestScalars:
+    def test_arithmetic(self):
+        result = run_program(
+            "void main() { x = 2 + 3 * 4; }",
+        )
+        assert result.scalar("x") == 14
+
+    def test_float_division(self):
+        result = run_program("void main() { x = 7.0 / 2.0; }")
+        assert result.scalar("x") == 3.5
+
+    def test_int_division_truncates_toward_zero(self):
+        result = run_program("void main() { a = 7 / 2; b = -7 / 2; }")
+        assert result.scalar("a") == 3
+        assert result.scalar("b") == -3
+
+    def test_modulo_c_semantics(self):
+        result = run_program("void main() { a = 7 % 3; b = -7 % 3; }")
+        assert result.scalar("a") == 1
+        assert result.scalar("b") == -1
+
+    def test_comparisons(self):
+        result = run_program("void main() { a = 3 < 5; b = 3 >= 5; }")
+        assert result.scalar("a") == 1
+        assert result.scalar("b") == 0
+
+    def test_logical_short_circuit(self):
+        # (0 && crash()) must not evaluate the call.
+        result = run_program("void main() { a = 0 && nonexistent(); }")
+        assert result.scalar("a") == 0
+
+    def test_ternary(self):
+        result = run_program("void main() { x = 5 > 3 ? 10 : 20; }")
+        assert result.scalar("x") == 10
+
+    def test_declared_int_coercion(self):
+        result = run_program("void main() { int x = 3.9; y = x; }")
+        assert result.scalar("y") == 3
+
+    def test_compound_assignment(self):
+        result = run_program("void main() { x = 10; x += 5; x *= 2; }")
+        assert result.scalar("x") == 30
+
+    def test_cast(self):
+        result = run_program("void main() { x = (int)(3.7); }")
+        assert result.scalar("x") == 3
+
+    def test_uninitialized_read_raises(self):
+        with pytest.raises(ExecutionError):
+            run_program("void main() { int x; y = x + 1; }")
+
+
+class TestControlFlow:
+    def test_if_else(self):
+        result = run_program(
+            "void main() { if (1 > 2) { x = 1; } else { x = 2; } }"
+        )
+        assert result.scalar("x") == 2
+
+    def test_for_loop(self):
+        result = run_program(
+            "void main() { s = 0; for (int i = 0; i < 10; i++) { s += i; } }"
+        )
+        assert result.scalar("s") == 45
+
+    def test_while_loop(self):
+        result = run_program(
+            "void main() { x = 1; while (x < 100) { x = x * 2; } }"
+        )
+        assert result.scalar("x") == 128
+
+    def test_break(self):
+        result = run_program(
+            "void main() { s = 0; for (int i = 0; i < 10; i++) {"
+            " if (i == 3) { break; } s += 1; } }"
+        )
+        assert result.scalar("s") == 3
+
+    def test_continue(self):
+        result = run_program(
+            "void main() { s = 0; for (int i = 0; i < 10; i++) {"
+            " if (i % 2 == 0) { continue; } s += 1; } }"
+        )
+        assert result.scalar("s") == 5
+
+    def test_nested_loops(self):
+        result = run_program(
+            "void main() { s = 0;"
+            " for (int i = 0; i < 3; i++)"
+            "  for (int j = 0; j < 4; j++) { s += 1; } }"
+        )
+        assert result.scalar("s") == 12
+
+
+class TestArrays:
+    def test_bound_array_read_write(self):
+        a = np.arange(5, dtype=np.float32)
+        result = run_program(
+            "void main() { A[0] = A[4] + 1.0; }", arrays={"A": a}
+        )
+        assert result.array("A")[0] == 5.0
+
+    def test_loop_over_array(self):
+        a = np.ones(10, dtype=np.float32)
+        result = run_program(
+            "void main() { for (int i = 0; i < n; i++) { A[i] = A[i] * 2.0; } }",
+            arrays={"A": a},
+            scalars={"n": 10},
+        )
+        assert np.all(result.array("A") == 2.0)
+
+    def test_local_array(self):
+        result = run_program(
+            "void main() { float t[4]; t[2] = 7.0; x = t[2] + t[0]; }"
+        )
+        assert result.scalar("x") == 7.0
+
+    def test_out_of_bounds_raises(self):
+        with pytest.raises(ExecutionError):
+            run_program(
+                "void main() { x = A[10]; }",
+                arrays={"A": np.zeros(5, dtype=np.float32)},
+            )
+
+    def test_indirect_indexing(self):
+        a = np.array([10.0, 20.0, 30.0], dtype=np.float32)
+        b = np.array([2, 0, 1], dtype=np.int32)
+        result = run_program(
+            "void main() { for (int i = 0; i < 3; i++) { C[i] = A[B[i]]; } }",
+            arrays={"A": a, "B": b, "C": np.zeros(3, dtype=np.float32)},
+        )
+        assert list(result.array("C")) == [30.0, 10.0, 20.0]
+
+    def test_structured_array_member_access(self):
+        pts = np.zeros(3, dtype=[("x", np.float32), ("y", np.float32)])
+        pts["x"] = [1, 2, 3]
+        result = run_program(
+            "void main() { for (int i = 0; i < 3; i++) { P[i].y = P[i].x * 2.0; } }",
+            arrays={"P": pts},
+        )
+        assert list(result.array("P")["y"]) == [2.0, 4.0, 6.0]
+
+
+class TestFunctions:
+    def test_user_function_call(self):
+        result = run_program(
+            """
+            float square(float v) { return v * v; }
+            void main() { x = square(3.0); }
+            """
+        )
+        assert result.scalar("x") == 9.0
+
+    def test_recursion(self):
+        result = run_program(
+            """
+            int fact(int k) { if (k <= 1) { return 1; } return k * fact(k - 1); }
+            void main() { x = fact(5); }
+            """
+        )
+        assert result.scalar("x") == 120
+
+    def test_builtin_math(self):
+        result = run_program("void main() { x = sqrt(16.0); y = exp(0.0); }")
+        assert result.scalar("x") == 4.0
+        assert result.scalar("y") == 1.0
+
+    def test_unknown_function_raises(self):
+        with pytest.raises(ExecutionError):
+            run_program("void main() { x = mystery(1.0); }")
+
+    def test_entry_params_bound_from_host(self):
+        a = np.ones(4, dtype=np.float32)
+        result = run_program(
+            "void run(float *A, int n) { for (int i = 0; i < n; i++) { A[i] = 5.0; } }",
+            arrays={"A": a},
+            scalars={"n": 4},
+            entry="run",
+        )
+        assert np.all(result.array("A") == 5.0)
+
+    def test_missing_entry_raises(self):
+        with pytest.raises(ExecutionError):
+            run_program("void main() { }", entry="nope")
+
+    def test_globals_initialized(self):
+        result = run_program("int g = 41;\nvoid main() { x = g + 1; }")
+        assert result.scalar("x") == 42
+
+
+class TestTimingAccounting:
+    def test_host_work_advances_clock(self):
+        machine = Machine()
+        result = run_program(
+            "void main() { s = 0.0; for (int i = 0; i < 1000; i++) { s += 1.5; } }",
+            machine=machine,
+        )
+        assert result.stats.total_time > 0.0
+
+    def test_more_work_more_time(self):
+        def time_for(iters):
+            machine = Machine()
+            return run_program(
+                "void main() { s = 0.0; for (int i = 0; i < n; i++)"
+                " { s += sqrt(2.0); } }",
+                scalars={"n": iters},
+                machine=machine,
+            ).stats.total_time
+
+        assert time_for(10_000) > 5 * time_for(1_000)
+
+    def test_scale_multiplies_time(self):
+        src = (
+            "void main() { s = 0.0; for (int i = 0; i < 1000; i++) { s += 1.5; } }"
+        )
+        t1 = run_program(src, machine=Machine(scale=1.0)).stats.total_time
+        t100 = run_program(src, machine=Machine(scale=100.0)).stats.total_time
+        assert t100 == pytest.approx(100 * t1)
+
+    def test_parallel_loop_faster_than_serial(self):
+        parallel = run_program(
+            "void main() {\n#pragma omp parallel for\n"
+            "for (int i = 0; i < n; i++) { A[i] = sqrt(A[i]) * 2.0; } }",
+            arrays={"A": np.ones(4096, dtype=np.float32)},
+            scalars={"n": 4096},
+            machine=Machine(),
+        ).stats.total_time
+        serial = run_program(
+            "void main() { for (int i = 0; i < n; i++)"
+            " { A[i] = sqrt(A[i]) * 2.0; } }",
+            arrays={"A": np.ones(4096, dtype=np.float32)},
+            scalars={"n": 4096},
+            machine=Machine(),
+        ).stats.total_time
+        assert parallel < serial

@@ -1,0 +1,243 @@
+"""Additional executor coverage: device regions, structs, stats, errors."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ExecutionError, RuntimeFault
+from repro.runtime.executor import Machine, run_program
+from repro.transforms.aos_to_soa import convert_aos_to_soa, soa_arrays
+from repro.minic.parser import parse
+
+
+class TestOffloadBlockRegions:
+    def test_while_loop_inside_device_region(self):
+        src = """
+        void main() {
+        #pragma offload target(mic:0) inout(A : length(4)) in(limit)
+            {
+                int rounds = 0;
+                while (A[0] < limit) {
+                    A[0] = A[0] + 1.0;
+                    rounds = rounds + 1;
+                }
+                A[1] = (float)rounds;
+            }
+        }
+        """
+        result = run_program(
+            src,
+            arrays={"A": np.zeros(4, dtype=np.float32)},
+            scalars={"limit": 5.0},
+        )
+        assert result.array("A")[0] == 5.0
+        assert result.array("A")[1] == 5.0
+
+    def test_serial_device_code_is_slow(self):
+        """Serial statements inside a region run at MIC serial speed —
+        the cost offload merging accepts (Section III-C)."""
+        serial_src = """
+        void main() {
+        #pragma offload target(mic:0) inout(A : length(1)) in(n)
+            {
+                for (int i = 0; i < n; i++) { A[0] = A[0] + sqrt(2.0); }
+            }
+        }
+        """
+        parallel_src = """
+        void main() {
+        #pragma offload target(mic:0) inout(A : length(n)) in(n)
+        #pragma omp parallel for
+            for (int i = 0; i < n; i++) { A[i] = A[i] + sqrt(2.0); }
+        }
+        """
+        n = 2048
+        serial = run_program(
+            serial_src, arrays={"A": np.zeros(1, dtype=np.float32)},
+            scalars={"n": n}, machine=Machine(),
+        ).stats
+        parallel = run_program(
+            parallel_src, arrays={"A": np.zeros(n, dtype=np.float32)},
+            scalars={"n": n}, machine=Machine(),
+        ).stats
+        assert serial.device_compute_time > 20 * parallel.device_compute_time
+
+    def test_nested_parallel_loops_counted_once(self):
+        """An omp loop inside another parallel loop folds into it."""
+        src = """
+        void main() {
+        #pragma offload target(mic:0) in(n) out(A : length(n))
+        #pragma omp parallel for
+            for (int i = 0; i < n; i++) {
+        #pragma omp parallel for
+                for (int j = 0; j < 4; j++) {
+                    A[i] = A[i] + 1.0;
+                }
+            }
+        }
+        """
+        result = run_program(
+            src, arrays={"A": np.zeros(32, dtype=np.float32)},
+            scalars={"n": 32},
+        )
+        assert np.all(result.array("A") == 4.0)
+
+
+class TestStructuredArrays:
+    AOS_SRC = """
+    void main() {
+    #pragma offload target(mic:0) in(P : length(n)) in(n) out(D : length(n))
+    #pragma omp parallel for
+        for (int i = 0; i < n; i++) {
+            D[i] = P[i].x + P[i].y;
+        }
+    }
+    """
+
+    def make_points(self, n):
+        pts = np.zeros(n, dtype=[("x", np.float32), ("y", np.float32)])
+        pts["x"] = np.arange(n)
+        pts["y"] = 1.0
+        return pts
+
+    def test_aos_array_offloads(self):
+        n = 16
+        result = run_program(
+            self.AOS_SRC,
+            arrays={"P": self.make_points(n), "D": np.zeros(n, dtype=np.float32)},
+            scalars={"n": n},
+        )
+        assert np.array_equal(result.array("D"), np.arange(n) + 1.0)
+
+    def test_soa_conversion_end_to_end(self):
+        n = 16
+        pts = self.make_points(n)
+        prog = parse(self.AOS_SRC)
+        report = convert_aos_to_soa(prog)
+        assert report.applied
+        arrays = soa_arrays(pts, "P")
+        arrays["D"] = np.zeros(n, dtype=np.float32)
+        result = run_program(prog, arrays=arrays, scalars={"n": n})
+        assert np.array_equal(result.array("D"), np.arange(n) + 1.0)
+
+    def test_aos_transfer_moves_whole_structs(self):
+        n = 64
+        machine = Machine()
+        run_program(
+            self.AOS_SRC,
+            arrays={"P": self.make_points(n), "D": np.zeros(n, dtype=np.float32)},
+            scalars={"n": n},
+            machine=machine,
+        )
+        # 8 bytes per struct element cross the bus.
+        assert machine.coi.stats.bytes_to_device >= n * 8
+
+
+class TestStatsFields:
+    SRC = """
+    void main() {
+    #pragma offload target(mic:0) in(A : length(n)) in(n) out(B : length(n))
+    #pragma omp parallel for
+        for (int i = 0; i < n; i++) { B[i] = A[i] * 2.0; }
+    }
+    """
+
+    def run(self, machine=None):
+        n = 128
+        return run_program(
+            self.SRC,
+            arrays={
+                "A": np.ones(n, dtype=np.float32),
+                "B": np.zeros(n, dtype=np.float32),
+            },
+            scalars={"n": n},
+            machine=machine or Machine(),
+        ).stats
+
+    def test_device_compute_below_busy(self):
+        stats = self.run()
+        assert 0 < stats.device_compute_time < stats.device_busy_time
+
+    def test_transfer_time_property(self):
+        stats = self.run()
+        assert stats.transfer_time == (
+            stats.transfer_to_device_time + stats.transfer_from_device_time
+        )
+
+    def test_offload_count(self):
+        assert self.run().offload_count == 1
+
+    def test_total_covers_all_phases(self):
+        stats = self.run()
+        assert stats.total_time >= stats.device_busy_time
+
+
+class TestErrors:
+    def test_subscript_of_scalar(self):
+        with pytest.raises(ExecutionError):
+            run_program("void main() { x = 1; y = x[0]; }")
+
+    def test_member_of_plain_array(self):
+        with pytest.raises(ExecutionError):
+            run_program(
+                "void main() { y = A[0].x; }",
+                arrays={"A": np.zeros(4, dtype=np.float32)},
+            )
+
+    def test_clause_names_unknown_variable(self):
+        src = """
+        void main() {
+        #pragma offload target(mic:0) in(ghost : length(4))
+        #pragma omp parallel for
+            for (int i = 0; i < 4; i++) { x = 1; }
+        }
+        """
+        with pytest.raises(RuntimeFault):
+            run_program(src)
+
+    def test_clause_section_out_of_range(self):
+        src = """
+        void main() {
+        #pragma offload target(mic:0) in(A[2:8] : into(A1)) in(n)
+        #pragma omp parallel for
+            for (int i = 0; i < 1; i++) { x = A1[0]; }
+        }
+        """
+        with pytest.raises(RuntimeFault):
+            run_program(
+                src, arrays={"A": np.zeros(4, dtype=np.float32)},
+                scalars={"n": 4},
+            )
+
+    def test_math_domain_error(self):
+        with pytest.raises(ExecutionError):
+            run_program("void main() { x = log(-1.0); }")
+
+    def test_wrong_arity_call(self):
+        src = "float f(float a, float b) { return a; }\nvoid main() { x = f(1.0); }"
+        with pytest.raises(ExecutionError):
+            run_program(src)
+
+
+class TestDeterminism:
+    def test_identical_runs_identical_times(self):
+        src = """
+        void main() {
+        #pragma offload target(mic:0) in(A : length(n)) in(n) out(B : length(n))
+        #pragma omp parallel for
+            for (int i = 0; i < n; i++) { B[i] = sqrt(A[i]); }
+        }
+        """
+        n = 256
+        times = []
+        for _ in range(2):
+            result = run_program(
+                src,
+                arrays={
+                    "A": np.ones(n, dtype=np.float32),
+                    "B": np.zeros(n, dtype=np.float32),
+                },
+                scalars={"n": n},
+                machine=Machine(scale=100.0),
+            )
+            times.append(result.stats.total_time)
+        assert times[0] == times[1]

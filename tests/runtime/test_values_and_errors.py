@@ -1,0 +1,78 @@
+"""Tests for memory spaces and the exception hierarchy."""
+
+import numpy as np
+import pytest
+
+from repro import errors
+from repro.runtime.values import DeviceSpace, HostSpace
+
+
+class TestHostSpace:
+    def test_bind_and_read(self):
+        host = HostSpace()
+        host.bind_array("A", np.arange(4))
+        assert list(host.array("A")) == [0, 1, 2, 3]
+
+    def test_missing_array_raises(self):
+        with pytest.raises(errors.RuntimeFault):
+            HostSpace().array("nope")
+
+    def test_scalars_dict(self):
+        host = HostSpace()
+        host.scalars["n"] = 10
+        assert host.scalars["n"] == 10
+
+
+class TestDeviceSpace:
+    def test_strict_read(self):
+        with pytest.raises(errors.MissingTransferError):
+            DeviceSpace().array("A")
+
+    def test_holds(self):
+        device = DeviceSpace()
+        assert not device.holds("A")
+        device.arrays["A"] = np.zeros(2)
+        assert device.holds("A")
+
+
+class TestErrorHierarchy:
+    def test_everything_is_repro_error(self):
+        leaf_classes = [
+            errors.LexError("x", 1, 1),
+            errors.ParseError("x", 1, 1),
+            errors.PragmaError("x"),
+            errors.SymbolError("x"),
+            errors.NotAffineError("x"),
+            errors.LegalityError("x"),
+            errors.DeviceOutOfMemory(1, 2, 3),
+            errors.MissingTransferError("x"),
+            errors.MyoLimitError("x"),
+            errors.PointerTranslationError("x"),
+            errors.ExecutionError("x"),
+        ]
+        for exc in leaf_classes:
+            assert isinstance(exc, errors.ReproError), type(exc)
+
+    def test_lex_error_position(self):
+        exc = errors.LexError("bad char", 3, 7)
+        assert exc.line == 3 and exc.column == 7
+        assert "line 3" in str(exc)
+
+    def test_parse_error_without_position(self):
+        exc = errors.ParseError("oops")
+        assert "oops" in str(exc)
+        assert "line" not in str(exc)
+
+    def test_oom_carries_numbers(self):
+        exc = errors.DeviceOutOfMemory(100, 900, 1000)
+        assert exc.requested == 100
+        assert exc.in_use == 900
+        assert exc.capacity == 1000
+        assert "capacity" in str(exc)
+
+    def test_families(self):
+        assert issubclass(errors.LexError, errors.MiniCError)
+        assert issubclass(errors.NotAffineError, errors.AnalysisError)
+        assert issubclass(errors.LegalityError, errors.TransformError)
+        assert issubclass(errors.DeviceOutOfMemory, errors.HardwareError)
+        assert issubclass(errors.MissingTransferError, errors.RuntimeFault)

@@ -1,0 +1,157 @@
+"""Tests for the command-line interface and the package-level API."""
+
+import numpy as np
+import pytest
+
+from repro import optimize_source, run_source
+from repro.cli import main
+
+SOURCE = """
+void main() {
+#pragma offload target(mic:0) in(A : length(n)) in(n) out(B : length(n))
+#pragma omp parallel for
+    for (int i = 0; i < n; i++) {
+        B[i] = A[i] * 2.0;
+    }
+}
+"""
+
+
+@pytest.fixture
+def source_file(tmp_path):
+    path = tmp_path / "prog.c"
+    path.write_text(SOURCE)
+    return str(path)
+
+
+class TestPackageApi:
+    def test_optimize_source_returns_streamed_text(self):
+        optimized = optimize_source(SOURCE)
+        assert "offload_transfer" in optimized
+        assert "signal(0)" in optimized
+
+    def test_run_source(self):
+        result = run_source(
+            SOURCE,
+            arrays={
+                "A": np.arange(16, dtype=np.float32),
+                "B": np.zeros(16, dtype=np.float32),
+            },
+            scalars={"n": 16},
+        )
+        assert np.array_equal(result.array("B"), np.arange(16) * 2.0)
+
+    def test_version(self):
+        import repro
+
+        assert repro.__version__
+
+
+class TestCompileCommand:
+    def test_compile_prints_transformed(self, source_file, capsys):
+        assert main(["compile", source_file]) == 0
+        out = capsys.readouterr().out
+        assert "offload_transfer" in out
+
+    def test_compile_report_flag(self, source_file, capsys):
+        main(["compile", source_file, "--report"])
+        out = capsys.readouterr().out
+        assert "// data-streaming: applied" in out
+
+    def test_compile_disable_streaming(self, source_file, capsys):
+        main(["compile", source_file, "--no-streaming"])
+        out = capsys.readouterr().out
+        assert "offload_transfer" not in out
+
+    def test_compile_blocks_option(self, source_file, capsys):
+        main(["compile", source_file, "--blocks", "7"])
+        out = capsys.readouterr().out
+        assert "__nblocks = 7" in out
+
+
+class TestRunCommand:
+    def test_run_reports_stats(self, source_file, capsys):
+        code = main([
+            "run", source_file,
+            "--array", "A=64",
+            "--array", "B=64:float:zeros",
+            "--scalar", "n=64",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "simulated time" in out
+        assert "kernel launches" in out
+
+    def test_run_print_array(self, source_file, capsys):
+        main([
+            "run", source_file,
+            "--array", "A=8:float:arange",
+            "--array", "B=8:float:zeros",
+            "--scalar", "n=8",
+            "--print-array", "B",
+        ])
+        out = capsys.readouterr().out
+        assert "B[:8]" in out
+        assert "14." in out  # 7 * 2
+
+    def test_run_optimized(self, source_file, capsys):
+        code = main([
+            "run", source_file, "--optimize",
+            "--array", "A=64:float:ones",
+            "--array", "B=64:float:zeros",
+            "--scalar", "n=64",
+        ])
+        assert code == 0
+
+    def test_bad_array_spec(self, source_file):
+        with pytest.raises(SystemExit):
+            main(["run", source_file, "--array", "A"])
+
+    def test_bad_array_kind(self, source_file):
+        with pytest.raises(SystemExit):
+            main(["run", source_file, "--array", "A=8:float:fibonacci"])
+
+    def test_bad_scalar_spec(self, source_file):
+        with pytest.raises(SystemExit):
+            main(["run", source_file, "--scalar", "n"])
+
+
+class TestBenchCommand:
+    def test_bench_single(self, capsys):
+        assert main(["bench", "nn"]) == 0
+        out = capsys.readouterr().out
+        assert "nn" in out
+        assert "ok" in out
+
+    def test_bench_unknown_name(self):
+        with pytest.raises(SystemExit):
+            main(["bench", "nosuchbenchmark"])
+
+
+class TestTuneCommand:
+    def test_tune_prints_model_choice(self, source_file, capsys):
+        code = main([
+            "tune", source_file,
+            "--array", "A=256:float:ones",
+            "--array", "B=256:float:zeros",
+            "--scalar", "n=256",
+            "--scale", "20000",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "N* =" in out
+        assert "profiled D=" in out
+        assert "offload_transfer" in out
+
+
+class TestParserEntry:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_stdin_source(self, monkeypatch, capsys):
+        import io
+
+        monkeypatch.setattr("sys.stdin", io.StringIO(SOURCE))
+        assert main(["compile", "-"]) == 0
+        assert "offload" in capsys.readouterr().out

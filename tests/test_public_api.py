@@ -1,0 +1,91 @@
+"""Public API surface checks: exports resolve and everything public is
+documented (modules, classes, functions)."""
+
+import importlib
+import inspect
+import pkgutil
+
+import pytest
+
+import repro
+
+PACKAGES = [
+    "repro",
+    "repro.minic",
+    "repro.analysis",
+    "repro.transforms",
+    "repro.hardware",
+    "repro.runtime",
+    "repro.workloads",
+    "repro.experiments",
+]
+
+
+def _all_modules():
+    names = []
+    for package_name in PACKAGES:
+        package = importlib.import_module(package_name)
+        names.append(package_name)
+        for info in pkgutil.iter_modules(package.__path__):
+            if info.name == "__main__":
+                continue
+            names.append(f"{package_name}.{info.name}")
+    return sorted(set(names))
+
+
+MODULES = _all_modules()
+
+
+class TestExports:
+    @pytest.mark.parametrize("package_name", PACKAGES)
+    def test_all_entries_resolve(self, package_name):
+        package = importlib.import_module(package_name)
+        for name in getattr(package, "__all__", []):
+            assert hasattr(package, name), f"{package_name}.{name} missing"
+
+    def test_top_level_convenience(self):
+        assert callable(repro.optimize_source)
+        assert callable(repro.run_source)
+        assert callable(repro.parse)
+        assert callable(repro.to_source)
+
+
+class TestDocumentation:
+    @pytest.mark.parametrize("module_name", MODULES)
+    def test_module_docstring(self, module_name):
+        module = importlib.import_module(module_name)
+        assert module.__doc__ and module.__doc__.strip(), module_name
+
+    @pytest.mark.parametrize("module_name", MODULES)
+    def test_public_items_documented(self, module_name):
+        module = importlib.import_module(module_name)
+        undocumented = []
+        for name, obj in vars(module).items():
+            if name.startswith("_"):
+                continue
+            if not (inspect.isclass(obj) or inspect.isfunction(obj)):
+                continue
+            if getattr(obj, "__module__", None) != module_name:
+                continue  # re-export; documented at its home
+            if not (obj.__doc__ and obj.__doc__.strip()):
+                undocumented.append(name)
+        assert undocumented == [], f"{module_name}: {undocumented}"
+
+    @pytest.mark.parametrize("module_name", MODULES)
+    def test_public_methods_documented(self, module_name):
+        module = importlib.import_module(module_name)
+        undocumented = []
+        for cls_name, cls in vars(module).items():
+            if cls_name.startswith("_") or not inspect.isclass(cls):
+                continue
+            if getattr(cls, "__module__", None) != module_name:
+                continue
+            for meth_name, meth in vars(cls).items():
+                if meth_name.startswith("_"):
+                    continue
+                func = meth.fget if isinstance(meth, property) else meth
+                if not inspect.isfunction(func):
+                    continue
+                if not (func.__doc__ and func.__doc__.strip()):
+                    undocumented.append(f"{cls_name}.{meth_name}")
+        assert undocumented == [], f"{module_name}: {undocumented}"

@@ -1,0 +1,103 @@
+"""Tests for profile-guided block-count tuning."""
+
+import numpy as np
+import pytest
+
+from repro.runtime.executor import Machine, run_program
+from repro.transforms.autotune import profile_offload_costs, tune_streaming
+
+SOURCE = """
+void main() {
+#pragma offload target(mic:0) in(A : length(n)) in(n) out(B : length(n))
+#pragma omp parallel for
+    for (int i = 0; i < n; i++) {
+        B[i] = sqrt(A[i]) * 2.0 + log(A[i] + 1.0);
+    }
+}
+"""
+
+N = 2048
+SCALE = 4.0e6 / N
+
+
+def arrays():
+    rng = np.random.default_rng(11)
+    return {
+        "A": (rng.random(N) + 0.5).astype(np.float32),
+        "B": np.zeros(N, dtype=np.float32),
+    }
+
+
+class TestProfile:
+    def test_profile_measures_positive_costs(self):
+        profile = profile_offload_costs(
+            SOURCE, arrays=arrays(), scalars={"n": N},
+            machine=Machine(scale=SCALE),
+        )
+        assert profile.measured_transfer > 0
+        assert profile.measured_compute > 0
+        assert profile.profile_time > 0
+
+    def test_tuned_blocks_in_reasonable_range(self):
+        profile = profile_offload_costs(
+            SOURCE, arrays=arrays(), scalars={"n": N},
+            machine=Machine(scale=SCALE),
+        )
+        assert 2 <= profile.num_blocks <= 256
+
+    def test_bigger_transfer_means_more_blocks(self):
+        small = profile_offload_costs(
+            SOURCE, arrays=arrays(), scalars={"n": N},
+            machine=Machine(scale=SCALE),
+        )
+        big = profile_offload_costs(
+            SOURCE, arrays=arrays(), scalars={"n": N},
+            machine=Machine(scale=SCALE * 16),
+        )
+        assert big.num_blocks >= small.num_blocks
+
+
+class TestTuneStreaming:
+    def test_tuned_program_correct_and_fast(self):
+        program, profile = tune_streaming(
+            SOURCE, arrays, {"n": N}, scale=SCALE
+        )
+        baseline = run_program(
+            SOURCE, arrays=arrays(), scalars={"n": N},
+            machine=Machine(scale=SCALE),
+        )
+        tuned = run_program(
+            program, arrays=arrays(), scalars={"n": N},
+            machine=Machine(scale=SCALE),
+        )
+        assert np.array_equal(baseline.array("B"), tuned.array("B"))
+        assert tuned.stats.total_time < baseline.stats.total_time
+
+    def test_tuned_close_to_swept_optimum(self):
+        """The model's N* performs within 10% of a brute-force sweep."""
+        import dataclasses
+
+        from repro.minic.parser import parse
+        from repro.transforms.pipeline import CompOptimizer, OptimizationPlan
+        from repro.transforms.streaming import StreamingOptions
+
+        program, profile = tune_streaming(SOURCE, arrays, {"n": N}, scale=SCALE)
+        tuned_time = run_program(
+            program, arrays=arrays(), scalars={"n": N},
+            machine=Machine(scale=SCALE),
+        ).stats.total_time
+
+        best = float("inf")
+        for n_blocks in (4, 8, 16, 32, 64, 128):
+            candidate = parse(SOURCE)
+            CompOptimizer(
+                OptimizationPlan(
+                    streaming_options=StreamingOptions(num_blocks=n_blocks)
+                )
+            ).optimize(candidate)
+            t = run_program(
+                candidate, arrays=arrays(), scalars={"n": N},
+                machine=Machine(scale=SCALE),
+            ).stats.total_time
+            best = min(best, t)
+        assert tuned_time <= best * 1.10

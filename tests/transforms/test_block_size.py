@@ -1,0 +1,95 @@
+"""Tests for the Section III-B block-count model."""
+
+import pytest
+
+from repro.transforms.block_size import (
+    optimal_block_count,
+    streaming_time,
+    unstreamed_time,
+)
+
+
+class TestFormula:
+    def test_unstreamed_is_d_plus_k_plus_c(self):
+        assert unstreamed_time(2.0, 3.0, 0.5) == 5.5
+
+    def test_one_block_equals_unstreamed(self):
+        assert streaming_time(2.0, 3.0, 0.5, 1) == unstreamed_time(2.0, 3.0, 0.5)
+
+    def test_compute_bound_limit(self):
+        """With many blocks and C >> D, time approaches C + N*K + D/N."""
+        d, c, k, n = 1.0, 100.0, 0.0, 50
+        assert streaming_time(d, c, k, n) == pytest.approx(c + d / n)
+
+    def test_transfer_bound_limit(self):
+        """With D >> C, time approaches D + C/N + K."""
+        d, c, k, n = 100.0, 1.0, 0.0, 50
+        assert streaming_time(d, c, k, n) == pytest.approx(d + c / n)
+
+    def test_streaming_beats_unstreamed_when_k_small(self):
+        d, c, k = 5.0, 5.0, 0.001
+        assert streaming_time(d, c, k, 20) < unstreamed_time(d, c, k)
+
+    def test_too_many_blocks_hurts(self):
+        """Each block pays K; large N is dominated by launch overhead."""
+        d, c, k = 1.0, 1.0, 0.1
+        assert streaming_time(d, c, k, 500) > streaming_time(d, c, k, 5)
+
+    def test_invalid_blocks_rejected(self):
+        with pytest.raises(ValueError):
+            streaming_time(1.0, 1.0, 0.1, 0)
+
+    def test_negative_times_rejected(self):
+        with pytest.raises(ValueError):
+            streaming_time(-1.0, 1.0, 0.1, 2)
+        with pytest.raises(ValueError):
+            unstreamed_time(1.0, -1.0, 0.1)
+
+
+class TestOptimum:
+    def test_compute_bound_matches_sqrt_formula(self):
+        """When C/N + K > D/N, N* = sqrt(D/K)."""
+        d, c, k = 4.0, 100.0, 0.01
+        n_star = optimal_block_count(d, c, k)
+        assert n_star == pytest.approx((d / k) ** 0.5, abs=1.5)
+
+    def test_optimum_is_a_local_minimum(self):
+        d, c, k = 3.0, 2.0, 0.004
+        n_star = optimal_block_count(d, c, k)
+        t_star = streaming_time(d, c, k, n_star)
+        for n in (n_star - 1, n_star + 1):
+            if n >= 1:
+                assert streaming_time(d, c, k, n) >= t_star
+
+    def test_global_minimum_over_range(self):
+        d, c, k = 2.5, 1.5, 0.02
+        n_star = optimal_block_count(d, c, k, max_blocks=200)
+        t_star = streaming_time(d, c, k, n_star)
+        best = min(streaming_time(d, c, k, n) for n in range(1, 201))
+        assert t_star == pytest.approx(best)
+
+    def test_paper_range_ten_to_forty(self):
+        """The paper: best N for most benchmarks is between 10 and 40.
+
+        Check that in the compute-bound regime (C >= D) with K about three
+        orders of magnitude smaller (the Figure 4 benchmarks), the model
+        lands in that range."""
+        for d, c in [(1.0, 1.0), (1.0, 2.0), (1.0, 3.0), (0.5, 0.8)]:
+            n_star = optimal_block_count(d, c, 4e-3)
+            assert 10 <= n_star <= 45, (d, c, n_star)
+
+    def test_transfer_bound_uses_d_minus_c_over_k(self):
+        """When D dominates, N* tracks (D - C) / K."""
+        d, c, k = 2.0, 1.0, 4e-3
+        n_star = optimal_block_count(d, c, k)
+        assert n_star == pytest.approx((d - c) / k, rel=0.05)
+
+    def test_zero_transfer_no_streaming(self):
+        assert optimal_block_count(0.0, 5.0, 0.01) == 1
+
+    def test_zero_launch_overhead_maximal_blocks(self):
+        assert optimal_block_count(1.0, 1.0, 0.0, max_blocks=64) == 64
+
+    def test_clamped_to_bounds(self):
+        assert optimal_block_count(100.0, 0.0, 1e-9, max_blocks=32) <= 32
+        assert optimal_block_count(1e-9, 100.0, 10.0, min_blocks=2) >= 2

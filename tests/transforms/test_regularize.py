@@ -1,0 +1,313 @@
+"""Tests for regularization: array reordering and loop splitting (§IV)."""
+
+import numpy as np
+import pytest
+
+from repro.minic.parser import parse
+from repro.minic.printer import to_source
+from repro.runtime.executor import Machine, run_program
+from repro.transforms.regularize import reorder_arrays, split_loop
+
+INDIRECT_READ = """
+void main() {
+#pragma offload target(mic:0) in(A : length(asize)) in(B : length(n)) in(n) out(C : length(n))
+#pragma omp parallel for
+    for (int i = 0; i < n; i++) {
+        C[i] = A[B[i]] * 2.0;
+    }
+}
+"""
+
+STRIDED_READ = """
+void main() {
+#pragma offload target(mic:0) in(A : length(4 * n)) in(n) out(C : length(n))
+#pragma omp parallel for
+    for (int i = 0; i < n; i++) {
+        C[i] = A[4 * i] + 1.0;
+    }
+}
+"""
+
+INDIRECT_WRITE = """
+void main() {
+#pragma omp parallel for
+    for (int i = 0; i < n; i++) {
+        A[B[i]] = C[i];
+    }
+}
+"""
+
+GUARDED = """
+void main() {
+#pragma omp parallel for
+    for (int i = 0; i < n; i++) {
+        if (C[i] > 0.0) {
+            C[i] = A[B[i]];
+        }
+    }
+}
+"""
+
+# The regular suffix is flop-rich, like real srad's diffusion-coefficient
+# math — that is what vectorization accelerates after the split.
+SRAD_LIKE = """
+void main() {
+#pragma offload target(mic:0) in(J : length(n)) in(iN : length(n)) in(iS : length(n)) in(n) out(dN : length(n)) out(dS : length(n)) out(R : length(n))
+#pragma omp parallel for
+    for (int k = 0; k < n; k++) {
+        float Jc = J[k];
+        dN[k] = J[iN[k]] - Jc;
+        dS[k] = J[iS[k]] - Jc;
+        float G2 = (dN[k] * dN[k] + dS[k] * dS[k]) / (Jc * Jc + 0.01);
+        float L = (dN[k] + dS[k]) / (Jc + 0.01);
+        float num = 0.5 * G2 - 0.0625 * L * L;
+        float den = 1.0 + 0.25 * L;
+        float qsqr = num / (den * den);
+        R[k] = qsqr / (qsqr + 1.0 + 0.02) * sqrt(G2 + 1.0);
+    }
+}
+"""
+
+
+def srad_arrays(n, rng):
+    return {
+        "J": rng.random(n).astype(np.float32),
+        "iN": rng.integers(0, n, n).astype(np.int32),
+        "iS": rng.integers(0, n, n).astype(np.int32),
+        "dN": np.zeros(n, dtype=np.float32),
+        "dS": np.zeros(n, dtype=np.float32),
+        "R": np.zeros(n, dtype=np.float32),
+    }
+
+
+class TestReorderArrays:
+    def test_indirect_read_correctness(self):
+        n, asize = 40, 100
+        rng = np.random.default_rng(7)
+
+        def arrays():
+            return {
+                "A": rng.random(asize).astype(np.float32),
+                "B": rng.integers(0, asize, n).astype(np.int32),
+                "C": np.zeros(n, dtype=np.float32),
+            }
+
+        a = arrays()
+        expected = run_program(INDIRECT_READ, arrays=dict(a),
+                               scalars={"n": n, "asize": asize})
+        prog = parse(INDIRECT_READ)
+        report = reorder_arrays(prog)
+        assert report.applied
+        result = run_program(prog, arrays=dict(a),
+                             scalars={"n": n, "asize": asize})
+        assert np.array_equal(result.array("C"), expected.array("C"))
+
+    def test_indirect_read_creates_gather_loop(self):
+        prog = parse(INDIRECT_READ)
+        reorder_arrays(prog)
+        printed = to_source(prog)
+        assert "A__r0[i] = A[B[i]]" in printed
+        assert "A__r0[i] * 2.0" in printed
+
+    def test_transfer_clauses_updated(self):
+        """The whole of A (and B) no longer cross the bus — nn's win."""
+        prog = parse(INDIRECT_READ)
+        reorder_arrays(prog)
+        printed = to_source(prog)
+        assert "in(A__r0 : length(n))" in printed
+        assert "in(A : length(asize))" not in printed
+        assert "in(B : length(n))" not in printed
+
+    def test_strided_read(self):
+        n = 30
+        a = np.arange(4 * n, dtype=np.float32)
+
+        def arrays():
+            return {"A": a.copy(), "C": np.zeros(n, dtype=np.float32)}
+
+        expected = run_program(STRIDED_READ, arrays=arrays(), scalars={"n": n})
+        prog = parse(STRIDED_READ)
+        report = reorder_arrays(prog)
+        assert report.applied
+        result = run_program(prog, arrays=arrays(), scalars={"n": n})
+        assert np.array_equal(result.array("C"), expected.array("C"))
+
+    def test_strided_reduces_transfer_bytes(self):
+        n = 1 << 10
+        arrays = {
+            "A": np.arange(4 * n, dtype=np.float32),
+            "C": np.zeros(n, dtype=np.float32),
+        }
+        plain = run_program(
+            STRIDED_READ, arrays={k: v.copy() for k, v in arrays.items()},
+            scalars={"n": n}, machine=Machine(),
+        ).stats
+        prog = parse(STRIDED_READ)
+        reorder_arrays(prog)
+        opt = run_program(
+            prog, arrays={k: v.copy() for k, v in arrays.items()},
+            scalars={"n": n}, machine=Machine(),
+        ).stats
+        assert opt.bytes_to_device < plain.bytes_to_device / 2
+
+    def test_indirect_write_scatter_back(self):
+        n = 16
+        rng = np.random.default_rng(3)
+        perm = rng.permutation(n).astype(np.int32)
+
+        def arrays():
+            return {
+                "A": np.zeros(n, dtype=np.float32),
+                "B": perm.copy(),
+                "C": np.arange(n, dtype=np.float32),
+            }
+
+        expected = run_program(INDIRECT_WRITE, arrays=arrays(), scalars={"n": n})
+        prog = parse(INDIRECT_WRITE)
+        report = reorder_arrays(prog)
+        assert report.applied
+        result = run_program(prog, arrays=arrays(), scalars={"n": n})
+        assert np.array_equal(result.array("A"), expected.array("A"))
+
+    def test_guarded_access_not_touched(self):
+        """Section IV: 'we apply the transformation only on arrays whose
+        accesses are not guarded by any branch'."""
+        prog = parse(GUARDED)
+        report = reorder_arrays(prog)
+        assert not report.applied
+
+    def test_regular_loop_not_touched(self):
+        prog = parse(
+            "void main() {\n#pragma omp parallel for\n"
+            "for (int i = 0; i < n; i++) { C[i] = A[i]; } }"
+        )
+        assert not reorder_arrays(prog).applied
+
+    def test_printed_output_reparses(self):
+        prog = parse(INDIRECT_READ)
+        reorder_arrays(prog)
+        assert parse(to_source(prog)) == prog
+
+
+class TestSplitLoop:
+    def test_srad_correctness(self):
+        n = 64
+        rng = np.random.default_rng(11)
+        a = srad_arrays(n, rng)
+        expected = run_program(
+            SRAD_LIKE, arrays={k: v.copy() for k, v in a.items()},
+            scalars={"n": n},
+        )
+        prog = parse(SRAD_LIKE)
+        report = split_loop(prog)
+        assert report.applied, report.reason
+        result = run_program(
+            prog, arrays={k: v.copy() for k, v in a.items()}, scalars={"n": n}
+        )
+        for name in ("dN", "dS", "R"):
+            assert np.array_equal(result.array(name), expected.array(name)), name
+
+    def test_split_produces_two_loops(self):
+        prog = parse(SRAD_LIKE)
+        split_loop(prog)
+        printed = to_source(prog)
+        assert printed.count("omp parallel for") == 2
+
+    def test_local_recomputed_in_suffix(self):
+        prog = parse(SRAD_LIKE)
+        split_loop(prog)
+        printed = to_source(prog)
+        # Jc defined in both halves (its definition J[k] is regular).
+        assert printed.count("float Jc = J[k];") == 2
+
+    def test_second_loop_is_regular(self):
+        from repro.analysis.array_access import is_streamable
+        from repro.minic.visitor import find_loops
+
+        prog = parse(SRAD_LIKE)
+        split_loop(prog)
+        loops = find_loops(prog)
+        assert len(loops) == 2
+        assert not is_streamable(loops[0])
+        assert is_streamable(loops[1])
+
+    def test_second_loop_vectorizes_faster(self):
+        """Fig 15 srad mechanism: the regular half gets SIMD speed."""
+        n = 1 << 12
+        rng = np.random.default_rng(5)
+        a = srad_arrays(n, rng)
+        scale = 1000.0
+        plain = run_program(
+            SRAD_LIKE, arrays={k: v.copy() for k, v in a.items()},
+            scalars={"n": n}, machine=Machine(scale=scale),
+        ).stats
+        prog = parse(SRAD_LIKE)
+        split_loop(prog)
+        split = run_program(
+            prog, arrays={k: v.copy() for k, v in a.items()},
+            scalars={"n": n}, machine=Machine(scale=scale),
+        ).stats
+        assert split.total_time < plain.total_time
+
+    def test_single_offload_region_around_both_halves(self):
+        """No runtime overhead: one offload, original clauses, one launch."""
+        from repro.minic import ast_nodes as ast
+        from repro.minic.visitor import walk
+
+        prog = parse(SRAD_LIKE)
+        split_loop(prog)
+        printed = to_source(prog)
+        assert printed.count("#pragma offload ") == 1
+        blocks = [n for n in walk(prog) if isinstance(n, ast.OffloadBlock)]
+        assert len(blocks) == 1
+        clause_vars = {c.var for c in blocks[0].pragma.clauses}
+        assert {"J", "iN", "iS", "dN", "dS", "R", "n"} == clause_vars
+
+    def test_split_single_kernel_launch(self):
+        n = 128
+        rng = np.random.default_rng(2)
+        a = srad_arrays(n, rng)
+        prog = parse(SRAD_LIKE)
+        split_loop(prog)
+        machine = Machine()
+        stats = run_program(
+            prog, arrays=a, scalars={"n": n}, machine=machine
+        ).stats
+        assert stats.kernel_launches == 1
+
+    def test_split_does_not_increase_transfers(self):
+        """'There is no runtime overhead': device-resident intermediates."""
+        n = 1 << 10
+        rng = np.random.default_rng(9)
+        a = srad_arrays(n, rng)
+        plain = run_program(
+            SRAD_LIKE, arrays={k: v.copy() for k, v in a.items()},
+            scalars={"n": n}, machine=Machine(),
+        ).stats
+        prog = parse(SRAD_LIKE)
+        split_loop(prog)
+        split = run_program(
+            prog, arrays={k: v.copy() for k, v in a.items()},
+            scalars={"n": n}, machine=Machine(),
+        ).stats
+        assert split.bytes_to_device == plain.bytes_to_device
+
+    def test_fully_regular_loop_not_split(self):
+        prog = parse(
+            "void main() {\n#pragma omp parallel for\n"
+            "for (int i = 0; i < n; i++) { C[i] = A[i]; B[i] = C[i]; } }"
+        )
+        assert not split_loop(prog).applied
+
+    def test_irregular_suffix_not_split(self):
+        prog = parse(
+            "void main() {\n#pragma omp parallel for\n"
+            "for (int i = 0; i < n; i++) { C[i] = A[i]; D[i] = A[B[i]]; } }"
+        )
+        report = split_loop(prog)
+        assert not report.applied
+
+    def test_printed_output_reparses(self):
+        prog = parse(SRAD_LIKE)
+        split_loop(prog)
+        assert parse(to_source(prog)) == prog

@@ -1,0 +1,172 @@
+"""Focused tests for the streaming planner: direction narrowing, dead
+clause elimination, section expressions, and resident fallbacks."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.array_access import classify_accesses
+from repro.minic import ast_nodes as ast
+from repro.minic.parser import parse, parse_expr
+from repro.minic.printer import to_source
+from repro.minic.visitor import find_offload_loops, get_pragma
+from repro.runtime.executor import Machine, run_program
+from repro.transforms.streaming import (
+    StreamingOptions,
+    _narrow_direction,
+    apply_streaming,
+    plan_arrays,
+)
+
+
+def loop_and_pragma(source):
+    program = parse(source)
+    loop = find_offload_loops(program)[0]
+    return loop, get_pragma(loop, ast.OffloadPragma)
+
+
+class TestNarrowDirection:
+    def _accesses(self, body):
+        loop, _ = loop_and_pragma(
+            "void main() {\n"
+            "#pragma offload target(mic:0) in(n) inout(A : length(n)) inout(B : length(n))\n"
+            "#pragma omp parallel for\n"
+            f"for (int i = 0; i < n; i++) {{ {body} }} }}"
+        )
+        return [a for a in classify_accesses(loop) if a.array == "A"]
+
+    def test_writeonly_inout_narrows_to_out(self):
+        accesses = self._accesses("A[i] = B[i];")
+        assert _narrow_direction("inout", accesses) == "out"
+
+    def test_guarded_write_keeps_inout(self):
+        accesses = self._accesses("if (B[i] > 0.0) { A[i] = 1.0; }")
+        assert _narrow_direction("inout", accesses) == "inout"
+
+    def test_readonly_inout_narrows_to_in(self):
+        accesses = self._accesses("B[i] = A[i];")
+        assert _narrow_direction("inout", accesses) == "in"
+
+    def test_readonly_out_narrows_to_in(self):
+        accesses = self._accesses("B[i] = A[i];")
+        assert _narrow_direction("out", accesses) == "in"
+
+    def test_true_inout_unchanged(self):
+        accesses = self._accesses("A[i] = A[i] + 1.0;")
+        assert _narrow_direction("inout", accesses) == "inout"
+
+    def test_in_never_widened(self):
+        accesses = self._accesses("B[i] = A[i];")
+        assert _narrow_direction("in", accesses) == "in"
+
+
+class TestPlanArrays:
+    def test_dead_clause_dropped(self):
+        loop, pragma = loop_and_pragma(
+            "void main() {\n"
+            "#pragma offload target(mic:0) in(A : length(n)) in(unused : length(n)) in(n) out(B : length(n))\n"
+            "#pragma omp parallel for\n"
+            "for (int i = 0; i < n; i++) { B[i] = A[i]; } }"
+        )
+        plans, scalars = plan_arrays(loop, pragma, {})
+        assert {p.name for p in plans} == {"A", "B"}
+        assert {c.var for c in scalars} == {"n"}
+
+    def test_streamed_flags(self):
+        loop, pragma = loop_and_pragma(
+            "void main() {\n"
+            "#pragma offload target(mic:0) in(A : length(n)) in(k) in(n) out(B : length(n))\n"
+            "#pragma omp parallel for\n"
+            "for (int i = 0; i < n; i++) { B[i] = A[i] * (float)k; } }"
+        )
+        plans, _ = plan_arrays(loop, pragma, {})
+        by_name = {p.name: p for p in plans}
+        assert by_name["A"].streamed
+        assert by_name["B"].streamed
+
+    def test_offset_bounds_recorded(self):
+        loop, pragma = loop_and_pragma(
+            "void main() {\n"
+            "#pragma offload target(mic:0) in(A : length(n + 3)) in(n) out(B : length(n))\n"
+            "#pragma omp parallel for\n"
+            "for (int i = 0; i < n; i++) { B[i] = A[i] + A[i + 3]; } }"
+        )
+        plans, _ = plan_arrays(loop, pragma, {})
+        plan = next(p for p in plans if p.name == "A")
+        assert plan.read_cmin == 0
+        assert plan.read_cmax == 3
+
+    def test_negative_offset_not_streamed(self):
+        loop, pragma = loop_and_pragma(
+            "void main() {\n"
+            "#pragma offload target(mic:0) in(A : length(n)) in(n) out(B : length(n))\n"
+            "#pragma omp parallel for\n"
+            "for (int i = 0; i < n; i++) { B[i] = i > 0 ? A[i - 1] : 0.0; } }"
+        )
+        plans, _ = plan_arrays(loop, pragma, {})
+        plan = next(p for p in plans if p.name == "A")
+        assert not plan.streamed
+
+    def test_mixed_coefficients_not_streamed(self):
+        loop, pragma = loop_and_pragma(
+            "void main() {\n"
+            "#pragma offload target(mic:0) in(A : length(2 * n)) in(n) out(B : length(n))\n"
+            "#pragma omp parallel for\n"
+            "for (int i = 0; i < n; i++) { B[i] = A[i] + A[2 * i]; } }"
+        )
+        plans, _ = plan_arrays(loop, pragma, {})
+        plan = next(p for p in plans if p.name == "A")
+        assert not plan.streamed
+
+    def test_inout_write_outside_read_range_not_streamed(self):
+        loop, pragma = loop_and_pragma(
+            "void main() {\n"
+            "#pragma offload target(mic:0) inout(A : length(n + 1)) in(n)\n"
+            "#pragma omp parallel for\n"
+            "for (int i = 0; i < n; i++) { A[i + 1] = A[i]; } }"
+        )
+        plans, _ = plan_arrays(loop, pragma, {})
+        plan = next(p for p in plans if p.name == "A")
+        assert not plan.streamed
+
+
+class TestNarrowedTransfers:
+    def test_writeonly_inout_saves_inbound_bytes(self):
+        src = """
+        void main() {
+        #pragma offload target(mic:0) in(A : length(n)) in(n) inout(C : length(n))
+        #pragma omp parallel for
+            for (int i = 0; i < n; i++) { C[i] = A[i] * 2.0; }
+        }
+        """
+        n = 512
+
+        def arrays():
+            return {
+                "A": np.ones(n, dtype=np.float32),
+                "C": np.zeros(n, dtype=np.float32),
+            }
+
+        plain = run_program(
+            src, arrays=arrays(), scalars={"n": n}, machine=Machine()
+        ).stats
+        prog = parse(src)
+        apply_streaming(prog, StreamingOptions(num_blocks=4))
+        streamed = run_program(
+            prog, arrays=arrays(), scalars={"n": n}, machine=Machine()
+        ).stats
+        # C's old contents no longer cross the bus.
+        assert streamed.bytes_to_device <= plain.bytes_to_device - n * 4 + 64
+
+    def test_dead_clause_costs_nothing(self):
+        src = """
+        void main() {
+        #pragma offload target(mic:0) in(A : length(n)) in(unused : length(n)) in(n) out(B : length(n))
+        #pragma omp parallel for
+            for (int i = 0; i < n; i++) { B[i] = A[i]; }
+        }
+        """
+        n = 256
+        prog = parse(src)
+        apply_streaming(prog, StreamingOptions(num_blocks=4))
+        printed = to_source(prog)
+        assert "unused" not in printed

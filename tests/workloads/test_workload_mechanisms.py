@@ -1,0 +1,173 @@
+"""Per-benchmark mechanism tests: *why* each workload behaves as Table II
+says, not just that it does."""
+
+import numpy as np
+import pytest
+
+from repro.minic import ast_nodes as ast
+from repro.minic.printer import to_source
+from repro.minic.visitor import walk
+from repro.workloads.suite import get_workload
+
+
+class TestBlackscholesMechanism:
+    def test_streamed_source_is_figure5(self, runner, suite_results):
+        workload = get_workload("blackscholes")
+        program = workload.opt_program()
+        printed = to_source(program)
+        assert "sptprice__s1" in printed and "sptprice__s2" in printed
+        assert "prices__b" in printed
+        assert "wait(__k)" in printed
+
+    def test_single_persistent_kernel(self, suite_results):
+        stats = suite_results["blackscholes"].runs["opt"].stats
+        assert stats.kernel_launches == 1
+        assert stats.kernel_signals > 0
+
+    def test_six_input_arrays_stream(self, suite_results):
+        """All per-option arrays stream; none is resident."""
+        workload = get_workload("blackscholes")
+        printed = to_source(workload.opt_program())
+        for name in ("sptprice", "strike", "rate", "volatility", "otime"):
+            assert f"{name}__s1" in printed, name
+
+
+class TestStreamclusterMechanism:
+    def test_merged_into_one_region(self, suite_results):
+        run = suite_results["streamcluster"].runs["opt"]
+        assert run.stats.kernel_launches == 1
+
+    def test_unopt_launches_two_per_pass(self, suite_results):
+        from repro.workloads.streamcluster import PASSES
+
+        stats = suite_results["streamcluster"].runs["mic"].stats
+        assert stats.kernel_launches == 2 * PASSES
+
+    def test_merged_transfers_points_once(self, suite_results):
+        mic = suite_results["streamcluster"].runs["mic"].stats
+        opt = suite_results["streamcluster"].runs["opt"].stats
+        assert opt.bytes_to_device < mic.bytes_to_device / 10
+
+
+class TestKmeansMechanism:
+    def test_centroids_resident_on_device(self, suite_results):
+        """The centroid table is loop-invariant inside the assignment
+        kernel and must not be re-streamed per block."""
+        workload = get_workload("kmeans")
+        printed = to_source(workload.opt_program())
+        assert "centroids__s1" not in printed
+        assert "points__s1" in printed
+
+    def test_thread_reuse_across_iterations(self, suite_results):
+        from repro.workloads.kmeans import ITERS
+
+        stats = suite_results["kmeans"].runs["opt"].stats
+        assert stats.kernel_launches == 1
+        mic = suite_results["kmeans"].runs["mic"].stats
+        assert mic.kernel_launches == ITERS
+
+
+class TestCgMechanism:
+    def test_init_loop_streams_and_solver_merges(self, suite_results):
+        run = suite_results["CG"].runs["opt"]
+        applied = set(run.pipeline.applied())
+        assert {"offload-merging", "data-streaming"} <= applied
+
+    def test_merged_region_contains_spmv(self, suite_results):
+        workload = get_workload("CG")
+        program = workload.opt_program()
+        blocks = [n for n in walk(program) if isinstance(n, ast.OffloadBlock)]
+        assert len(blocks) == 1
+        inner_loops = [
+            n for n in walk(blocks[0].body) if isinstance(n, ast.For)
+        ]
+        assert len(inner_loops) >= 4  # iteration loop + 3 kernels + row loop
+
+    def test_reduction_survives_merging(self, suite_results):
+        """The dot-product reduction computes the same value merged."""
+        cpu = suite_results["CG"].runs["cpu"].outputs
+        opt = suite_results["CG"].runs["opt"].outputs
+        assert np.array_equal(cpu["x"], opt["x"])
+
+
+class TestNnMechanism:
+    def test_gather_hoisted_out_of_query_loop(self, suite_results):
+        """One gather serves all queries (amortized regularization)."""
+        workload = get_workload("nn")
+        printed = to_source(workload.opt_program())
+        # The gather loop precedes the query loop in the source.
+        gather_pos = printed.index("records__r0[i] = records[4 * i]")
+        query_pos = printed.index("for (int q = 0;")
+        assert gather_pos < query_pos
+
+    def test_gather_is_pipelined(self, suite_results):
+        workload = get_workload("nn")
+        printed = to_source(workload.opt_program())
+        assert "pipelined(1)" in printed
+
+    def test_transfer_bytes_drop(self, suite_results):
+        """Only 2 of 4 record fields cross the bus after reordering."""
+        mic = suite_results["nn"].runs["mic"].stats
+        opt = suite_results["nn"].runs["opt"].stats
+        assert opt.bytes_to_device < 0.62 * mic.bytes_to_device
+
+
+class TestSradMechanism:
+    def test_split_inside_device_region(self, suite_results):
+        workload = get_workload("srad")
+        program = workload.opt_program()
+        blocks = [n for n in walk(program) if isinstance(n, ast.OffloadBlock)]
+        assert len(blocks) == 1
+        printed = to_source(program)
+        # Three parallel loops inside: irregular half, regular half, update.
+        assert printed.count("omp parallel for") == 3
+
+    def test_no_extra_transfers_or_launches(self, suite_results):
+        mic = suite_results["srad"].runs["mic"].stats
+        opt = suite_results["srad"].runs["opt"].stats
+        assert opt.bytes_to_device == mic.bytes_to_device
+        assert opt.kernel_launches == mic.kernel_launches == 1
+
+
+class TestDedupMechanism:
+    def test_already_streamed_rejected_by_optimizer(self, suite_results):
+        run = suite_results["dedup"].runs["opt"]
+        assert run.pipeline.applied() == []
+
+    def test_hand_pipeline_overlaps(self, suite_results):
+        stats = suite_results["dedup"].runs["mic"].stats
+        # Double-buffered hand pipeline: one launch, per-block signals.
+        assert stats.kernel_launches == 1
+        assert stats.kernel_signals == 7
+
+
+class TestBfsHotspotMechanism:
+    def test_bfs_stays_on_device_across_levels(self, suite_results):
+        stats = suite_results["bfs"].runs["mic"].stats
+        assert stats.kernel_launches == 1  # the whole search is one region
+
+    def test_hotspot_transfers_grid_once(self, suite_results):
+        from repro.workloads.hotspot import EXEC_COLS, EXEC_ROWS
+
+        workload = get_workload("hotspot")
+        stats = suite_results["hotspot"].runs["mic"].stats
+        cells = EXEC_ROWS * EXEC_COLS
+        expected = 2 * cells * 4 * workload.sim_scale  # temp + power, once
+        assert stats.bytes_to_device == pytest.approx(expected, rel=0.01)
+
+
+class TestSharedMemoryWorkloadMechanism:
+    def test_ferret_myo_page_faults_dominate(self):
+        workload = get_workload("ferret")
+        run = workload.run("mic")
+        assert workload._myo_stats.page_faults > 5000
+
+    def test_ferret_arena_buffers_bounded(self):
+        workload = get_workload("ferret")
+        workload.run("opt")
+        assert len(workload._arena.buffers) <= 256
+
+    def test_freqmine_fits_under_myo_limits(self):
+        workload = get_workload("freqmine")
+        run = workload.run("mic")
+        assert workload._myo_stats.allocations == 912

@@ -1,0 +1,195 @@
+"""Per-benchmark tests: correctness across variants and Table II shape.
+
+The headline reproduction claims live here:
+
+* every benchmark computes identical results on the CPU, the unoptimized
+  MIC and the optimized MIC;
+* exactly the paper's applicability matrix of optimizations fires;
+* the Figure 1 / 10 / 11 structural claims hold (8/12 lose unoptimized,
+  9/12 improved, 9/12 beat the CPU after optimization, dedup/bfs/hotspot
+  untouched).
+"""
+
+import numpy as np
+import pytest
+
+from repro.workloads.base import MiniCWorkload
+from repro.workloads.suite import get_workload, workload_names
+
+ALL = workload_names()
+
+#: Table II applicability (which pipeline stages must fire per benchmark).
+EXPECTED_APPLIED = {
+    "blackscholes": {"data-streaming"},
+    "streamcluster": {"offload-merging"},
+    "dedup": set(),
+    "kmeans": {"data-streaming"},
+    "CG": {"offload-merging", "data-streaming"},
+    "cfd": {"offload-merging"},
+    "nn": {"regularization:reorder", "data-streaming"},
+    "srad": {"regularization:split"},
+    "bfs": set(),
+    "hotspot": set(),
+}
+
+
+class TestRegistry:
+    def test_twelve_benchmarks(self):
+        assert len(ALL) == 12
+
+    def test_table2_names(self):
+        assert ALL == [
+            "blackscholes", "streamcluster", "ferret", "dedup", "freqmine",
+            "kmeans", "CG", "cfd", "nn", "srad", "bfs", "hotspot",
+        ]
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError):
+            get_workload("mystery")
+
+    def test_fresh_instances(self):
+        assert get_workload("nn") is not get_workload("nn")
+
+    def test_suites_match_paper(self):
+        suites = {n: get_workload(n).table2.suite for n in ALL}
+        assert suites["blackscholes"] == "PARSEC"
+        assert suites["kmeans"] == "Phoenix"
+        assert suites["CG"] == "NAS"
+        assert suites["srad"] == "Rodinia"
+
+
+@pytest.mark.parametrize("name", ALL)
+class TestCorrectness:
+    def test_outputs_match_across_variants(self, name, suite_results):
+        result = suite_results[name]
+        assert result.outputs_match(), (
+            f"{name}: variants disagree on outputs"
+        )
+
+    def test_all_variants_ran(self, name, suite_results):
+        result = suite_results[name]
+        for variant in ("cpu", "mic", "opt"):
+            assert result.runs[variant].time > 0
+
+
+@pytest.mark.parametrize("name", sorted(EXPECTED_APPLIED))
+def test_applicability_matches_table2(name, suite_results):
+    run = suite_results[name].runs["opt"]
+    assert run.pipeline is not None
+    applied = {
+        a for a in run.pipeline.applied() if a != "thread-reuse"
+    }
+    assert applied == EXPECTED_APPLIED[name], (
+        f"{name}: applied {applied}, expected {EXPECTED_APPLIED[name]}"
+    )
+
+
+class TestFigure1Shape:
+    def test_eight_of_twelve_lose_unoptimized(self, suite_results):
+        losers = [n for n, r in suite_results.items() if r.unopt_speedup < 1.0]
+        assert len(losers) == 8, sorted(losers)
+
+    def test_preopt_winners(self, suite_results):
+        winners = {
+            n for n, r in suite_results.items() if r.unopt_speedup >= 1.0
+        }
+        assert winners == {"dedup", "srad", "bfs", "hotspot"}
+
+    def test_streamcluster_is_worst(self, suite_results):
+        worst = min(suite_results.values(), key=lambda r: r.unopt_speedup)
+        assert worst.name == "streamcluster"
+        assert worst.unopt_speedup < 0.1
+
+
+class TestFigure11Shape:
+    def test_nine_of_twelve_improve(self, suite_results):
+        improved = [
+            n for n, r in suite_results.items() if r.relative_gain > 1.005
+        ]
+        assert len(improved) == 9, sorted(improved)
+
+    def test_untouched_benchmarks(self, suite_results):
+        for name in ("dedup", "bfs", "hotspot"):
+            assert suite_results[name].relative_gain == pytest.approx(1.0)
+
+    def test_gain_range_shape(self, suite_results):
+        gains = [
+            r.relative_gain
+            for r in suite_results.values()
+            if r.relative_gain > 1.005
+        ]
+        # Paper: 1.16x to 52.21x, three benchmarks above 16x.
+        assert 1.1 <= min(gains) <= 1.3
+        assert max(gains) > 30
+        assert sum(1 for g in gains if g > 10) == 3
+
+    def test_merging_benchmarks_have_largest_gains(self, suite_results):
+        top3 = sorted(
+            suite_results.values(), key=lambda r: r.relative_gain
+        )[-3:]
+        assert {r.name for r in top3} == {"streamcluster", "CG", "cfd"}
+
+
+class TestFigure10Shape:
+    def test_nine_of_twelve_beat_cpu(self, suite_results):
+        winners = [n for n, r in suite_results.items() if r.opt_speedup > 1.0]
+        assert len(winners) == 9, sorted(winners)
+
+    def test_five_additional_winners(self, suite_results):
+        """Paper: 'Our optimizations make an additional 5 benchmarks
+        achieve speedups on the MIC over their CPU versions.'"""
+        new_winners = {
+            n
+            for n, r in suite_results.items()
+            if r.opt_speedup > 1.0 and r.unopt_speedup < 1.0
+        }
+        assert len(new_winners) == 5, sorted(new_winners)
+
+    def test_optimized_never_slower_than_unoptimized(self, suite_results):
+        for name, result in suite_results.items():
+            assert result.opt_speedup >= result.unopt_speedup * 0.999, name
+
+
+class TestDeviceMemorySafety:
+    def test_blackscholes_paper_scale_overflows_without_streaming(self):
+        """Section III-B: un-streamed footprints can exceed MIC memory.
+
+        blackscholes at 10^8 options (7 arrays x 400 MB) fits; at 10^9 the
+        unoptimized offload must die with the paper's 'runtime error'
+        while the double-buffered streamed version runs.
+        """
+        from repro.errors import DeviceOutOfMemory
+        from repro.runtime.executor import Machine
+
+        workload = get_workload("blackscholes")
+        huge = 1e9 / 768  # scale for 10^9 options
+        with pytest.raises(DeviceOutOfMemory):
+            workload.run("mic", machine=Machine(scale=huge))
+        streamed = get_workload("blackscholes")
+        run = streamed.run("opt", machine=Machine(scale=huge))
+        assert run.stats.device_peak_bytes < 8 << 30
+
+
+class TestWorkloadKinds:
+    def test_minic_workloads(self):
+        for name in EXPECTED_APPLIED:
+            assert isinstance(get_workload(name), MiniCWorkload)
+
+    def test_shared_memory_workloads(self):
+        from repro.workloads.base import SharedMemoryWorkload
+
+        for name in ("ferret", "freqmine"):
+            assert isinstance(get_workload(name), SharedMemoryWorkload)
+
+    def test_ferret_full_scale_hooks(self):
+        ferret = get_workload("ferret")
+        assert ferret.myo_fails_at_full_scale()
+        assert ferret.arena_runs_at_full_scale() == 80_262 or (
+            ferret.arena_runs_at_full_scale() > 75_000
+        )
+
+    def test_hand_ported_sources_differ(self):
+        for name in ("dedup", "hotspot", "srad", "bfs"):
+            workload = get_workload(name)
+            assert workload.mic_source is not None
+            assert workload.mic_source != workload.source
