@@ -1,0 +1,100 @@
+"""Interpreter throughput: tree walker vs batched numpy engine.
+
+Times a blackscholes-style parallel kernel under both engines and writes
+``BENCH_interp.json`` at the repo root with iterations/second per engine,
+so CI tracks the interpreter's raw speed alongside the paper figures.
+"""
+
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+from benchmarks.conftest import emit
+from repro.experiments.report import render_table
+from repro.runtime.executor import Machine, run_program
+
+RESULT_PATH = Path(__file__).resolve().parents[1] / "BENCH_interp.json"
+
+N = 20_000
+REPS = 4
+
+KERNEL = """
+void main() {
+    for (int r = 0; r < reps; r++) {
+        #pragma omp parallel for
+        for (int i = 0; i < n; i++) {
+            double d1 = (log(S[i] / K[i]) + 0.573 * T[i]) / (0.3 * sqrt(T[i]));
+            double d2 = d1 - 0.3 * sqrt(T[i]);
+            double nd1 = 1.0 / (1.0 + exp(0.0 - 1.702 * d1));
+            double nd2 = 1.0 / (1.0 + exp(0.0 - 1.702 * d2));
+            C[i] = S[i] * nd1 - K[i] * exp(0.0 - 0.05 * T[i]) * nd2;
+        }
+    }
+}
+"""
+
+
+def _arrays():
+    rng = np.random.default_rng(42)
+    return {
+        "S": (rng.random(N) * 90 + 10).astype(np.float64),
+        "K": (rng.random(N) * 90 + 10).astype(np.float64),
+        "T": (rng.random(N) * 2 + 0.1).astype(np.float64),
+        "C": np.zeros(N, dtype=np.float64),
+    }
+
+
+def _time_engine(engine, repeats=3):
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        arrays = _arrays()
+        started = time.perf_counter()
+        result = run_program(
+            KERNEL,
+            arrays=arrays,
+            scalars={"n": N, "reps": REPS},
+            machine=Machine(),
+            engine=engine,
+        )
+        best = min(best, time.perf_counter() - started)
+    return best, result
+
+
+def test_interpreter_throughput():
+    iterations = N * REPS
+    report = {
+        "benchmark": "interp_throughput",
+        "kernel": "blackscholes-style parallel for",
+        "iterations": iterations,
+        "engines": {},
+    }
+    outputs = {}
+    for engine in ("tree", "batch"):
+        seconds, result = _time_engine(engine)
+        outputs[engine] = result.array("C").copy()
+        report["engines"][engine] = {
+            "seconds": round(seconds, 6),
+            "iterations_per_sec": round(iterations / seconds, 1),
+        }
+
+    # Throughput claims are only meaningful if both engines computed the
+    # same thing.
+    assert outputs["batch"].tobytes() == outputs["tree"].tobytes()
+
+    tree = report["engines"]["tree"]["iterations_per_sec"]
+    batch = report["engines"]["batch"]["iterations_per_sec"]
+    report["batch_speedup"] = round(batch / tree, 2)
+    RESULT_PATH.write_text(json.dumps(report, indent=2) + "\n")
+
+    emit(render_table(
+        ["engine", "seconds", "iters/sec"],
+        [
+            [engine, f"{entry['seconds']:10.4f}",
+             f"{entry['iterations_per_sec']:14.1f}"]
+            for engine, entry in report["engines"].items()
+        ],
+    ))
+    assert report["batch_speedup"] > 1.0

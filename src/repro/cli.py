@@ -66,11 +66,19 @@ def _build_parser() -> argparse.ArgumentParser:
     runp.add_argument("--seed", type=int, default=0)
     runp.add_argument("--optimize", action="store_true",
                       help="apply the COMP pipeline before running")
+    runp.add_argument("--engine", choices=("auto", "batch", "tree"),
+                      default="auto",
+                      help="interpreter engine: batched numpy fast path "
+                           "or the tree walker (default auto)")
     runp.add_argument("--print-array", action="append", default=[],
                       metavar="NAME", help="print an array's head afterwards")
 
     bench = sub.add_parser("bench", help="run Table II benchmarks")
     bench.add_argument("names", nargs="*", help="benchmark names (default all)")
+    bench.add_argument("--engine", choices=("auto", "batch", "tree"),
+                       default=None,
+                       help="interpreter engine for all runs "
+                            "(default: per-workload)")
 
     tune = sub.add_parser(
         "tune",
@@ -165,7 +173,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         CompOptimizer().optimize(program)
     machine = Machine(scale=args.scale)
     result = run_program(program, arrays=arrays, scalars=scalars,
-                         machine=machine)
+                         machine=machine, engine=args.engine)
     stats = result.stats
     print(f"simulated time      {stats.total_time * 1000:12.3f} ms")
     print(f"device compute      {stats.device_compute_time * 1000:12.3f} ms")
@@ -190,7 +198,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     unknown = set(names) - set(workload_names())
     if unknown:
         raise SystemExit(f"unknown benchmarks: {sorted(unknown)}")
-    runner = SuiteRunner()
+    runner = SuiteRunner(engine=args.engine)
     rows = []
     for name in names:
         result = runner.run_benchmark(name)

@@ -82,18 +82,24 @@ ISOLATION_PLANS = {
 
 
 class SuiteRunner:
-    """Runs and caches benchmark variants."""
+    """Runs and caches benchmark variants.
 
-    def __init__(self) -> None:
+    *engine* selects the interpreter engine ("auto", "batch", "tree", or
+    None for per-workload defaults) for every run this harness issues;
+    it participates in the cache key so one runner can compare engines.
+    """
+
+    def __init__(self, engine: Optional[str] = None) -> None:
+        self.engine = engine
         self._cache: Dict[Tuple, WorkloadRun] = {}
 
     # -- standard variants ---------------------------------------------------
 
     def run_variant(self, name: str, variant: str) -> WorkloadRun:
         """Run (or fetch cached) one variant of one benchmark."""
-        key = (name, variant, None)
+        key = (name, variant, None, self.engine)
         if key not in self._cache:
-            self._cache[key] = get_workload(name).run(variant)
+            self._cache[key] = get_workload(name).run(variant, engine=self.engine)
         return self._cache[key]
 
     def run_benchmark(self, name: str) -> BenchmarkResult:
@@ -119,7 +125,7 @@ class SuiteRunner:
                 f"unknown optimization {optimization!r}; "
                 f"know {sorted(ISOLATION_PLANS)}"
             )
-        key = (name, "opt", optimization)
+        key = (name, "opt", optimization, self.engine)
         if key not in self._cache:
             workload = get_workload(name)
             if not isinstance(workload, MiniCWorkload):
@@ -129,7 +135,7 @@ class SuiteRunner:
                 )
             overrides = ISOLATION_PLANS[optimization]
             workload.plan = dataclasses.replace(workload.plan, **overrides)
-            self._cache[key] = workload.run("opt")
+            self._cache[key] = workload.run("opt", engine=self.engine)
         return self._cache[key]
 
     def isolated_gain(self, name: str, optimization: str) -> float:

@@ -46,6 +46,34 @@ class OpCounters:
         self.calls += other.calls
         self.branches += other.branches
 
+    def copy(self) -> "OpCounters":
+        """An independent copy of this counter set."""
+        return OpCounters(
+            flops=self.flops,
+            int_ops=self.int_ops,
+            loads=self.loads,
+            stores=self.stores,
+            bytes_read=self.bytes_read,
+            bytes_written=self.bytes_written,
+            irregular_accesses=self.irregular_accesses,
+            calls=self.calls,
+            branches=self.branches,
+        )
+
+    def as_dict(self) -> dict:
+        """Counter values as a plain dict (for comparisons and reports)."""
+        return {
+            "flops": self.flops,
+            "int_ops": self.int_ops,
+            "loads": self.loads,
+            "stores": self.stores,
+            "bytes_read": self.bytes_read,
+            "bytes_written": self.bytes_written,
+            "irregular_accesses": self.irregular_accesses,
+            "calls": self.calls,
+            "branches": self.branches,
+        }
+
     def scaled(self, factor: float) -> "OpCounters":
         """A copy with every count multiplied by *factor*."""
         return OpCounters(

@@ -34,6 +34,30 @@ class Node:
         for f in dataclasses.fields(self):
             yield f.name, getattr(self, f.name)
 
+    def clone(self) -> "Node":
+        """A deep, independent copy of this subtree.
+
+        Node fields and node lists are copied recursively; leaf values
+        (ints, strings, None) are shared.  Much faster than
+        ``copy.deepcopy`` — this is what makes a parse cache that hands
+        out mutable ASTs cheap.
+        """
+        cls = type(self)
+        new = cls.__new__(cls)
+        for f in dataclasses.fields(self):
+            setattr(new, f.name, _clone_value(getattr(self, f.name)))
+        return new
+
+
+def _clone_value(value):
+    if isinstance(value, Node):
+        return value.clone()
+    if isinstance(value, list):
+        return [_clone_value(item) for item in value]
+    if isinstance(value, tuple):
+        return tuple(_clone_value(item) for item in value)
+    return value
+
 
 # ==========================================================================
 # Types

@@ -14,6 +14,7 @@ pragma above a ``{...}`` block produces an :class:`OffloadBlock`;
 
 from __future__ import annotations
 
+from functools import lru_cache
 from typing import List, Optional
 
 from repro.errors import ParseError, PragmaError
@@ -49,9 +50,19 @@ _BINARY_LEVELS = [
 ]
 
 
-def parse(source: str) -> ast.Program:
-    """Parse a full MiniC translation unit."""
+@lru_cache(maxsize=256)
+def _parse_cached(source: str) -> ast.Program:
     return _Parser(tokenize(source)).parse_program()
+
+
+def parse(source: str) -> ast.Program:
+    """Parse a full MiniC translation unit.
+
+    Parses of identical source are cached; callers receive an
+    independent clone, since transform passes mutate ASTs in place.
+    (Errors are not cached — a failing parse re-raises naturally.)
+    """
+    return _parse_cached(source).clone()
 
 
 def parse_expr(source: str) -> ast.Expr:

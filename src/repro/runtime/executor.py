@@ -38,12 +38,16 @@ from repro.analysis.array_access import (
     extract_linear_form,
 )
 from repro.errors import NotAffineError
+from repro.analysis.symbols import sizeof_type
+from repro.analysis.vectorize import is_vectorizable
 from repro.hardware.device import ComputeDevice, OpCounters
 from repro.hardware.event_sim import Clock, Event, Timeline
 from repro.hardware.memory import DeviceMemoryManager
 from repro.hardware.spec import MachineSpec, paper_machine
 from repro.minic import ast_nodes as ast
 from repro.minic.parser import parse
+from repro.minic.visitor import walk as walk_nodes
+from repro.runtime import batch_exec
 from repro.runtime.coi import DEVICE, DMA_FROM_DEVICE, DMA_TO_DEVICE, CoiRuntime
 from repro.runtime.values import DeviceSpace, HostSpace
 
@@ -319,24 +323,36 @@ class _Return(Exception):
 class _TimedContext:
     """Accumulates compute time for one processor."""
 
-    def __init__(self, model: ComputeDevice, scale: float, is_device: bool):
+    def __init__(
+        self,
+        model: ComputeDevice,
+        scale: float,
+        is_device: bool,
+        sink: Optional[OpCounters] = None,
+    ):
         self.model = model
         self.scale = scale
         self.is_device = is_device
         self.pending = OpCounters()
         self.seconds = 0.0
         self.in_parallel = False
+        #: Run-wide counter total (shared across host and device contexts).
+        self.sink = sink
 
     def flush_serial(self) -> None:
         if self.pending.work_ops or self.pending.total_bytes:
             self.seconds += self.model.compute_time(
                 self.pending.scaled(self.scale), serial=True
             )
+        if self.sink is not None:
+            self.sink.add(self.pending)
         self.pending = OpCounters()
 
     def add_parallel(
         self, counters: OpCounters, trip: float, vectorizable: bool
     ) -> None:
+        if self.sink is not None:
+            self.sink.add(counters)
         self.seconds += self.model.compute_time(
             counters.scaled(self.scale),
             parallel_iterations=trip * self.scale,
@@ -372,6 +388,9 @@ class ExecutionStats:
     kernel_signals: int = 0
     offload_count: int = 0
     device_peak_bytes: int = 0
+    #: Dynamic operation totals across the whole run (host + device),
+    #: excluding uncharged clause/loop-control evaluation.
+    ops: OpCounters = field(default_factory=OpCounters)
 
     @property
     def transfer_time(self) -> float:
@@ -404,21 +423,41 @@ class ExecutionResult:
 class Executor:
     """Interprets one program on one machine."""
 
-    def __init__(self, program: Union[ast.Program, str], machine: Optional[Machine] = None):
+    def __init__(
+        self,
+        program: Union[ast.Program, str],
+        machine: Optional[Machine] = None,
+        engine: str = "auto",
+    ):
         if isinstance(program, str):
             program = parse(program)
+        if engine not in ("auto", "batch", "tree"):
+            raise ValueError(f"unknown engine {engine!r}")
         self.program = program
         self.machine = machine or Machine()
+        self.engine = engine
         self.functions = {f.name: f for f in program.functions() if f.body}
         self.structs = {s.name: s for s in program.structs()}
         self._access_cache: Dict[Tuple[int, str], AccessKind] = {}
+        self._ops_total = OpCounters()
         self._host_ctx = _TimedContext(
-            self.machine.cpu_model, self.machine.scale, is_device=False
+            self.machine.cpu_model,
+            self.machine.scale,
+            is_device=False,
+            sink=self._ops_total,
         )
         self._ctx = self._host_ctx
         self._loop_vars: List[str] = []
         self._host_root = _HostRootEnv(self.machine.host)
         self._device_root = _DeviceRootEnv(self.machine.device)
+        # Batched execution: per-loop static verdicts and engagement
+        # telemetry (how many parallel loops ran batched vs fell back).
+        self._batch_static_cache: Dict[int, object] = {}
+        self._batch_stats = {"batched": 0, "fallback": 0}
+        # Vectorizability memo: per-loop relevant symbol names plus the
+        # verdict per concrete binding of those names.
+        self._vec_meta: Dict[int, Tuple[List[str], List[str]]] = {}
+        self._vec_cache: Dict[Tuple, bool] = {}
 
     # -- public API ---------------------------------------------------------
 
@@ -477,6 +516,7 @@ class Executor:
             kernel_signals=coi.stats.kernel_signals,
             offload_count=self._offload_count,
             device_peak_bytes=machine.device_memory.peak,
+            ops=self._ops_total.copy(),
         )
 
     _host_seconds_total: float = 0.0
@@ -521,38 +561,37 @@ class Executor:
             self._exec_stmt(stmt, scope)
 
     def _exec_stmt(self, stmt: ast.Stmt, env: Env) -> None:
-        if isinstance(stmt, ast.VarDecl):
-            self._exec_decl(stmt, env)
-        elif isinstance(stmt, ast.Assign):
-            self._exec_assign(stmt, env)
-        elif isinstance(stmt, ast.ExprStmt):
-            self._eval(stmt.expr, env)
-        elif isinstance(stmt, ast.Block):
-            self._exec_block(stmt, env)
-        elif isinstance(stmt, ast.If):
-            self._ctx.pending.branches += 1
-            if self._truthy(self._eval(stmt.cond, env)):
-                self._exec_stmt(stmt.then, env)
-            elif stmt.other is not None:
-                self._exec_stmt(stmt.other, env)
-        elif isinstance(stmt, ast.For):
-            self._exec_for(stmt, env)
-        elif isinstance(stmt, ast.While):
-            self._exec_while(stmt, env)
-        elif isinstance(stmt, ast.DoWhile):
-            self._exec_do_while(stmt, env)
-        elif isinstance(stmt, ast.Return):
-            raise _Return(None if stmt.value is None else self._eval(stmt.value, env))
-        elif isinstance(stmt, ast.Break):
-            raise _Break()
-        elif isinstance(stmt, ast.Continue):
-            raise _Continue()
-        elif isinstance(stmt, ast.PragmaStmt):
-            self._exec_pragma_stmt(stmt.pragma, env)
-        elif isinstance(stmt, ast.OffloadBlock):
-            self._exec_offload(stmt.pragma, stmt.body, env, loop=None)
-        else:
+        # Type-keyed dispatch (see _STMT_DISPATCH below the class body):
+        # one dict hit replaces an isinstance ladder on the hot path.
+        handler = _STMT_DISPATCH.get(stmt.__class__)
+        if handler is None:
             raise ExecutionError(f"cannot execute {type(stmt).__name__}")
+        handler(self, stmt, env)
+
+    def _exec_exprstmt(self, stmt: ast.ExprStmt, env: Env) -> None:
+        self._eval(stmt.expr, env)
+
+    def _exec_if(self, stmt: ast.If, env: Env) -> None:
+        self._ctx.pending.branches += 1
+        if self._truthy(self._eval(stmt.cond, env)):
+            self._exec_stmt(stmt.then, env)
+        elif stmt.other is not None:
+            self._exec_stmt(stmt.other, env)
+
+    def _exec_return(self, stmt: ast.Return, env: Env) -> None:
+        raise _Return(None if stmt.value is None else self._eval(stmt.value, env))
+
+    def _exec_break(self, stmt: ast.Break, env: Env) -> None:
+        raise _Break()
+
+    def _exec_continue(self, stmt: ast.Continue, env: Env) -> None:
+        raise _Continue()
+
+    def _exec_pragma_node(self, stmt: ast.PragmaStmt, env: Env) -> None:
+        self._exec_pragma_stmt(stmt.pragma, env)
+
+    def _exec_offload_block(self, stmt: ast.OffloadBlock, env: Env) -> None:
+        self._exec_offload(stmt.pragma, stmt.body, env, loop=None)
 
     def _exec_decl(self, decl: ast.VarDecl, env: Env) -> None:
         if isinstance(decl.type, ast.ArrayType):
@@ -712,7 +751,11 @@ class Executor:
         ctx.pending = OpCounters()
         ctx.in_parallel = True
         try:
-            trips = self._run_loop(loop, env)
+            trips = None
+            if self.engine != "tree":
+                trips = batch_exec.try_run_parallel_for(self, loop, env)
+            if trips is None:
+                trips = self._run_loop(loop, env)
         finally:
             ctx.in_parallel = False
             loop_counters = ctx.pending
@@ -732,6 +775,8 @@ class Executor:
                 parallel_iterations=trips * ctx.scale,
                 vectorizable=vectorizable,
             )
+            if ctx.sink is not None:
+                ctx.sink.add(loop_counters)
             self._drain_host()
             self.machine.timeline.schedule(
                 "cpu:regularize",
@@ -779,19 +824,44 @@ class Executor:
     def _is_vectorizable(self, loop: ast.For, env: Env) -> bool:
         """Delegate to the vectorizability analysis with the concrete
         integer bindings visible at loop entry, so expressions like
-        ``i * cols + j`` resolve to unit stride in ``j``."""
-        from repro.analysis.vectorize import is_vectorizable
+        ``i * cols + j`` resolve to unit stride in ``j``.
 
+        The analysis consults bindings only for symbols appearing in
+        subscript index expressions, so the verdict is memoized per
+        (loop node, values of those symbols) — repeated offloads of the
+        same loop skip the re-analysis entirely.
+        """
+        meta = self._vec_meta.get(id(loop))
+        if meta is None:
+            nest_vars = []
+            for f in [loop] + [
+                s for s in _walk_stmts(loop.body) if isinstance(s, ast.For)
+            ]:
+                name = self._loop_var_name(f)
+                if name is not None:
+                    nest_vars.append(name)
+            index_names = set()
+            for node in walk_nodes(loop):
+                if isinstance(node, ast.Subscript):
+                    index_names.update(
+                        n.name
+                        for n in walk_nodes(node.index)
+                        if isinstance(n, ast.Ident)
+                    )
+            meta = (nest_vars, sorted(index_names - set(nest_vars)))
+            self._vec_meta[id(loop)] = meta
+        nest_vars, index_names = meta
         bindings = env.int_bindings()
         # Override any stale values for the nest's own induction
         # variables: they are constants from the innermost perspective.
-        for f in [loop] + [
-            s for s in _walk_stmts(loop.body) if isinstance(s, ast.For)
-        ]:
-            name = self._loop_var_name(f)
-            if name is not None:
-                bindings[name] = 0
-        return is_vectorizable(loop, bindings)
+        for name in nest_vars:
+            bindings[name] = 0
+        key = (id(loop), tuple(bindings.get(n) for n in index_names))
+        cached = self._vec_cache.get(key)
+        if cached is None:
+            cached = is_vectorizable(loop, bindings)
+            self._vec_cache[key] = cached
+        return cached
 
     # -- offload ------------------------------------------------------------------------------------
 
@@ -817,7 +887,10 @@ class Executor:
         device_env = Env(parent=self._device_root)
         saved_ctx = self._ctx
         self._ctx = _TimedContext(
-            self.machine.mic_model, self.machine.scale, is_device=True
+            self.machine.mic_model,
+            self.machine.scale,
+            is_device=True,
+            sink=self._ops_total,
         )
         try:
             if loop is not None:
@@ -1060,45 +1133,42 @@ class Executor:
     # -- expressions -----------------------------------------------------------------------------------
 
     def _eval(self, expr: ast.Expr, env: Env):
-        if isinstance(expr, ast.IntLit):
-            return expr.value
-        if isinstance(expr, ast.FloatLit):
-            return expr.value
-        if isinstance(expr, ast.StringLit):
-            return expr.value
-        if isinstance(expr, ast.Ident):
-            return env.get(expr.name)
-        if isinstance(expr, ast.BinOp):
-            return self._eval_binop(expr, env)
-        if isinstance(expr, ast.UnOp):
-            return self._eval_unop(expr, env)
-        if isinstance(expr, ast.Subscript):
-            array, index = self._resolve_subscript(expr, env)
-            self._count_access(
-                expr, env, is_write=False,
-                itemsize=array.dtype.itemsize, array=array,
-            )
-            value = array[index]
-            if isinstance(value, np.void):
-                return value
-            return value.item() if isinstance(value, np.generic) else value
-        if isinstance(expr, ast.Member):
-            return self._eval_member(expr, env)
-        if isinstance(expr, ast.Call):
-            return self._eval_call(expr, env)
-        if isinstance(expr, ast.Cond):
-            self._ctx.pending.branches += 1
-            if self._truthy(self._eval(expr.cond, env)):
-                return self._eval(expr.then, env)
-            return self._eval(expr.other, env)
-        if isinstance(expr, ast.Cast):
-            value = self._eval(expr.operand, env)
-            return self._coerce(expr.type, value)
-        if isinstance(expr, ast.SizeOf):
-            from repro.analysis.symbols import sizeof_type
+        # Type-keyed dispatch (see _EVAL_DISPATCH below the class body):
+        # this is the interpreter's hottest function.
+        handler = _EVAL_DISPATCH.get(expr.__class__)
+        if handler is None:
+            raise ExecutionError(f"cannot evaluate {type(expr).__name__}")
+        return handler(self, expr, env)
 
-            return sizeof_type(expr.type, self.structs)
-        raise ExecutionError(f"cannot evaluate {type(expr).__name__}")
+    def _eval_literal(self, expr, env: Env):
+        return expr.value
+
+    def _eval_ident(self, expr: ast.Ident, env: Env):
+        return env.get(expr.name)
+
+    def _eval_subscript(self, expr: ast.Subscript, env: Env):
+        array, index = self._resolve_subscript(expr, env)
+        self._count_access(
+            expr, env, is_write=False,
+            itemsize=array.dtype.itemsize, array=array,
+        )
+        value = array[index]
+        if isinstance(value, np.void):
+            return value
+        return value.item() if isinstance(value, np.generic) else value
+
+    def _eval_cond(self, expr: ast.Cond, env: Env):
+        self._ctx.pending.branches += 1
+        if self._truthy(self._eval(expr.cond, env)):
+            return self._eval(expr.then, env)
+        return self._eval(expr.other, env)
+
+    def _eval_cast(self, expr: ast.Cast, env: Env):
+        value = self._eval(expr.operand, env)
+        return self._coerce(expr.type, value)
+
+    def _eval_sizeof(self, expr: ast.SizeOf, env: Env):
+        return sizeof_type(expr.type, self.structs)
 
     def _eval_binop(self, expr: ast.BinOp, env: Env):
         if expr.op == "&&":
@@ -1214,12 +1284,17 @@ class Executor:
         {"free", "Offload_shared_free", "shared_free", "arena_free"}
     )
 
+    def _call_root_env(self) -> Env:
+        """The root scope function calls resolve against (context-based)."""
+        return self._device_root if self._ctx.is_device else self._host_root
+
     def _eval_call(self, expr: ast.Call, env: Env):
         args = [self._eval(a, env) for a in expr.args]
         self._ctx.pending.calls += 1
         if expr.func in self.functions:
-            parent = self._device_root if self._ctx.is_device else self._host_root
-            return self._call_function(self.functions[expr.func], args, parent)
+            return self._call_function(
+                self.functions[expr.func], args, self._call_root_env()
+            )
         if expr.func in _BUILTIN_IMPL:
             self._ctx.pending.flops += BUILTIN_COSTS[expr.func]
             try:
@@ -1297,7 +1372,7 @@ class Executor:
         key = (id(node), var)
         cached = self._access_cache.get(key)
         if cached is None:
-            cached = self._classify_site(node.index, var, env)
+            cached = self._classify_site(node.index, var, env.int_bindings())
             self._access_cache[key] = cached
         return cached in (
             AccessKind.INDIRECT,
@@ -1305,12 +1380,12 @@ class Executor:
             AccessKind.AFFINE,
         )
 
-    def _classify_site(self, index: ast.Expr, var: str, env: Env) -> AccessKind:
-        from repro.minic.visitor import walk as walk_nodes
-
+    def _classify_site(
+        self, index: ast.Expr, var: str, bindings: Dict[str, int]
+    ) -> AccessKind:
         if any(isinstance(n, ast.Subscript) for n in walk_nodes(index)):
             return AccessKind.INDIRECT
-        bindings = env.int_bindings()
+        bindings = dict(bindings)
         bindings.pop(var, None)
         try:
             form = extract_linear_form(index, var, bindings)
@@ -1338,13 +1413,48 @@ def _walk_stmts(stmt: ast.Stmt):
                 stack.append(child)
 
 
+#: Type-keyed statement dispatch: ``stmt.__class__`` -> unbound method.
+_STMT_DISPATCH = {
+    ast.VarDecl: Executor._exec_decl,
+    ast.Assign: Executor._exec_assign,
+    ast.ExprStmt: Executor._exec_exprstmt,
+    ast.Block: Executor._exec_block,
+    ast.If: Executor._exec_if,
+    ast.For: Executor._exec_for,
+    ast.While: Executor._exec_while,
+    ast.DoWhile: Executor._exec_do_while,
+    ast.Return: Executor._exec_return,
+    ast.Break: Executor._exec_break,
+    ast.Continue: Executor._exec_continue,
+    ast.PragmaStmt: Executor._exec_pragma_node,
+    ast.OffloadBlock: Executor._exec_offload_block,
+}
+
+#: Type-keyed expression dispatch: ``expr.__class__`` -> unbound method.
+_EVAL_DISPATCH = {
+    ast.IntLit: Executor._eval_literal,
+    ast.FloatLit: Executor._eval_literal,
+    ast.StringLit: Executor._eval_literal,
+    ast.Ident: Executor._eval_ident,
+    ast.BinOp: Executor._eval_binop,
+    ast.UnOp: Executor._eval_unop,
+    ast.Subscript: Executor._eval_subscript,
+    ast.Member: Executor._eval_member,
+    ast.Call: Executor._eval_call,
+    ast.Cond: Executor._eval_cond,
+    ast.Cast: Executor._eval_cast,
+    ast.SizeOf: Executor._eval_sizeof,
+}
+
+
 def run_program(
     source: Union[str, ast.Program],
     arrays: Optional[Dict[str, np.ndarray]] = None,
     scalars: Optional[Dict[str, object]] = None,
     machine: Optional[Machine] = None,
     entry: str = "main",
+    engine: str = "auto",
 ) -> ExecutionResult:
     """Convenience wrapper: parse (if needed), execute, return the result."""
-    executor = Executor(source, machine)
+    executor = Executor(source, machine, engine=engine)
     return executor.run(entry=entry, arrays=arrays, scalars=scalars)

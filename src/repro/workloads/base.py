@@ -15,6 +15,7 @@ variants are compared element-for-element.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
@@ -69,6 +70,11 @@ class WorkloadRun:
     stats: ExecutionStats
     outputs: Dict[str, np.ndarray] = field(default_factory=dict)
     pipeline: Optional[PipelineResult] = None
+    #: Real (wall-clock) interpretation time of the run, in seconds —
+    #: independent of the *simulated* time in ``stats``.
+    wall_seconds: float = 0.0
+    #: Execution engine the run used ("auto", "batch", or "tree").
+    engine: str = "auto"
 
     @property
     def time(self) -> float:
@@ -82,9 +88,22 @@ class Workload:
     name: str
     table2: Table2Row
 
-    def run(self, variant: str, machine: Optional[Machine] = None) -> WorkloadRun:
+    #: Default execution engine for this workload; None inherits "auto".
+    #: A workload whose loops are known batch-hostile can pin "tree".
+    engine: Optional[str] = None
+
+    def run(
+        self,
+        variant: str,
+        machine: Optional[Machine] = None,
+        engine: Optional[str] = None,
+    ) -> WorkloadRun:
         """Execute one variant; returns a WorkloadRun."""
         raise NotImplementedError
+
+    def resolve_engine(self, engine: Optional[str]) -> str:
+        """The engine an explicit request / workload default resolves to."""
+        return engine or self.engine or "auto"
 
     def machine(self) -> Machine:
         """A fresh simulated machine at this workload's scale."""
@@ -155,10 +174,16 @@ class MiniCWorkload(Workload):
         """A fresh simulated machine at this workload's scale."""
         return Machine(scale=self.sim_scale)
 
-    def run(self, variant: str, machine: Optional[Machine] = None) -> WorkloadRun:
+    def run(
+        self,
+        variant: str,
+        machine: Optional[Machine] = None,
+        engine: Optional[str] = None,
+    ) -> WorkloadRun:
         """Interpret one variant on the simulated machine."""
         if variant not in VARIANTS:
             raise ValueError(f"unknown variant {variant!r}")
+        engine = self.resolve_engine(engine)
         self._pipeline = None
         if variant == "cpu":
             program = self.cpu_program()
@@ -167,12 +192,15 @@ class MiniCWorkload(Workload):
         else:
             program = self.opt_program()
         machine = machine or self.machine()
+        started = time.perf_counter()
         result = run_program(
             program,
             arrays=self.make_arrays(),
             scalars=dict(self.scalars),
             machine=machine,
+            engine=engine,
         )
+        wall_seconds = time.perf_counter() - started
         outputs = {
             name: result.array(name).copy() for name in self.output_arrays
         }
@@ -182,6 +210,8 @@ class MiniCWorkload(Workload):
             stats=result.stats,
             outputs=outputs,
             pipeline=self._pipeline,
+            wall_seconds=wall_seconds,
+            engine=engine,
         )
 
     _pipeline: Optional[PipelineResult] = None
@@ -204,17 +234,28 @@ class SharedMemoryWorkload(Workload):
         """A fresh simulated machine at this workload's scale."""
         return Machine(scale=self.sim_scale)
 
-    def run(self, variant: str, machine: Optional[Machine] = None) -> WorkloadRun:
-        """Drive one variant through the shared-memory runtimes."""
+    def run(
+        self,
+        variant: str,
+        machine: Optional[Machine] = None,
+        engine: Optional[str] = None,
+    ) -> WorkloadRun:
+        """Drive one variant through the shared-memory runtimes.
+
+        These workloads run as Python drivers, not MiniC programs, so the
+        engine choice does not apply; it is accepted for interface parity.
+        """
         if variant not in VARIANTS:
             raise ValueError(f"unknown variant {variant!r}")
         machine = machine or self.machine()
+        started = time.perf_counter()
         hook = {
             "cpu": self._run_cpu,
             "mic": self._run_mic_myo,
             "opt": self._run_mic_arena,
         }[variant]
         outputs = hook(machine)
+        wall_seconds = time.perf_counter() - started
         stats = ExecutionStats(
             total_time=machine.clock.now,
             device_busy_time=machine.timeline.busy_time("mic"),
@@ -226,7 +267,12 @@ class SharedMemoryWorkload(Workload):
             device_peak_bytes=machine.device_memory.peak,
         )
         return WorkloadRun(
-            workload=self.name, variant=variant, stats=stats, outputs=outputs
+            workload=self.name,
+            variant=variant,
+            stats=stats,
+            outputs=outputs,
+            wall_seconds=wall_seconds,
+            engine="tree",
         )
 
     # -- hooks -----------------------------------------------------------------

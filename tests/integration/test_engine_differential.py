@@ -1,0 +1,76 @@
+"""Differential test: batch engine vs tree engine across the whole suite.
+
+The batched execution fast path must be a pure performance change: for
+every workload the outputs must be bit-identical, the dynamic operation
+counters identical, and the simulated time identical to the tree-walking
+interpreter's.  Any divergence means the batch engine's semantics or its
+analytic counter model drifted from the reference walker.
+"""
+
+import numpy as np
+import pytest
+
+from repro.workloads.base import MiniCWorkload
+from repro.workloads.suite import get_workload, workload_names
+
+
+def _run(name, engine):
+    return get_workload(name).run("opt", engine=engine)
+
+
+@pytest.mark.parametrize("name", workload_names())
+def test_engines_agree(name):
+    tree = _run(name, "tree")
+    batch = _run(name, "batch")
+
+    assert set(batch.outputs) == set(tree.outputs)
+    for key in tree.outputs:
+        expected, actual = tree.outputs[key], batch.outputs[key]
+        assert expected.dtype == actual.dtype, key
+        assert expected.tobytes() == actual.tobytes(), (
+            f"{name}: output {key!r} differs between engines"
+        )
+
+    assert batch.stats.ops.as_dict() == tree.stats.ops.as_dict(), (
+        f"{name}: dynamic op counters differ between engines"
+    )
+    assert batch.stats.total_time == tree.stats.total_time, (
+        f"{name}: simulated time differs between engines"
+    )
+    assert batch.stats.transfer_time == tree.stats.transfer_time
+    assert batch.stats.bytes_to_device == tree.stats.bytes_to_device
+    assert batch.stats.bytes_from_device == tree.stats.bytes_from_device
+
+
+def test_batch_engine_actually_engages():
+    """The fast path must really run, not silently fall back everywhere."""
+    from repro.runtime.executor import Executor
+
+    workload = get_workload("blackscholes")
+    assert isinstance(workload, MiniCWorkload)
+    program = workload.opt_program()
+    executor = Executor(
+        program, workload.machine(), engine="batch"
+    )
+    executor.run(arrays=workload.make_arrays(), scalars=dict(workload.scalars))
+    assert executor._batch_stats["batched"] > 0
+
+
+def test_mic_variant_agrees_for_blackscholes():
+    workload = get_workload("blackscholes")
+    tree = workload.run("mic", engine="tree")
+    batch = workload.run("mic", engine="batch")
+    for key in tree.outputs:
+        assert tree.outputs[key].tobytes() == batch.outputs[key].tobytes()
+    assert batch.stats.total_time == tree.stats.total_time
+    assert batch.stats.ops.as_dict() == tree.stats.ops.as_dict()
+
+
+def test_cpu_variant_agrees_for_kmeans():
+    workload = get_workload("kmeans")
+    tree = workload.run("cpu", engine="tree")
+    batch = workload.run("cpu", engine="batch")
+    for key in tree.outputs:
+        assert tree.outputs[key].tobytes() == batch.outputs[key].tobytes()
+    assert batch.stats.total_time == tree.stats.total_time
+    assert batch.stats.ops.as_dict() == tree.stats.ops.as_dict()
