@@ -8,6 +8,8 @@ Commands:
   arrays/scalars declared on the command line;
 * ``bench [NAMES...]`` — run Table II benchmarks (three variants each)
   and print the speedup rows;
+* ``faults [NAMES...]`` — run a seeded fault-injection campaign and
+  check that recovery preserves bit-identical outputs;
 * ``report`` — regenerate the paper's full evaluation (all figures and
   tables).
 """
@@ -72,6 +74,9 @@ def _build_parser() -> argparse.ArgumentParser:
                            "or the tree walker (default auto)")
     runp.add_argument("--print-array", action="append", default=[],
                       metavar="NAME", help="print an array's head afterwards")
+    runp.add_argument("--inject-faults", action="store_true",
+                      help="run under a fault plan derived from --seed "
+                           "and report the recovery stats")
 
     bench = sub.add_parser("bench", help="run Table II benchmarks")
     bench.add_argument("names", nargs="*", help="benchmark names (default all)")
@@ -79,6 +84,31 @@ def _build_parser() -> argparse.ArgumentParser:
                        default=None,
                        help="interpreter engine for all runs "
                             "(default: per-workload)")
+    bench.add_argument("--seed", type=int, default=None,
+                       help="reseed workload input generation "
+                            "(default: fixed per-workload inputs)")
+
+    faults = sub.add_parser(
+        "faults",
+        help="run a seeded fault-injection campaign over the suite",
+    )
+    faults.add_argument("names", nargs="*",
+                        help="benchmark names (default all)")
+    faults.add_argument("--scenarios", type=int, default=3,
+                        help="fault scenarios per benchmark (default 3)")
+    faults.add_argument("--seed", type=int, default=0,
+                        help="campaign seed; also reseeds workload inputs")
+    faults.add_argument("--variant", choices=("cpu", "mic", "opt"),
+                        default="opt")
+    faults.add_argument("--engine", choices=("auto", "batch", "tree"),
+                        default=None)
+    faults.add_argument("--rate", action="append", default=[],
+                        metavar="SITE=PROB",
+                        help="override a fault site's per-operation "
+                             "probability (sites: h2d d2h kernel alloc "
+                             "signal)")
+    faults.add_argument("--out", metavar="FILE",
+                        help="write the campaign summary JSON to FILE")
 
     tune = sub.add_parser(
         "tune",
@@ -171,7 +201,12 @@ def _cmd_run(args: argparse.Namespace) -> int:
     program = parse(source)
     if args.optimize:
         CompOptimizer().optimize(program)
-    machine = Machine(scale=args.scale)
+    fault_plan = None
+    if args.inject_faults:
+        from repro.faults import FaultPlan
+
+        fault_plan = FaultPlan(seed=args.seed)
+    machine = Machine(scale=args.scale, fault_plan=fault_plan)
     result = run_program(program, arrays=arrays, scalars=scalars,
                          machine=machine, engine=args.engine)
     stats = result.stats
@@ -183,6 +218,12 @@ def _cmd_run(args: argparse.Namespace) -> int:
           f"signals {stats.kernel_signals}")
     print(f"bytes to device     {stats.bytes_to_device / 2**20:12.2f} MiB")
     print(f"device peak memory  {stats.device_peak_bytes / 2**20:12.2f} MiB")
+    if args.inject_faults:
+        fs = machine.fault_stats
+        print(f"faults injected     {fs.total_injected:6d}  "
+              f"retries {fs.retries}  timeouts {fs.timeouts}")
+        print(f"recovery time       {fs.recovery_seconds * 1000:12.3f} ms  "
+              f"backoff {fs.backoff_seconds * 1000:.3f} ms")
     for name in args.print_array:
         value = result.array(name)
         print(f"{name}[:8] = {np.array2string(value[:8], precision=4)}")
@@ -198,7 +239,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     unknown = set(names) - set(workload_names())
     if unknown:
         raise SystemExit(f"unknown benchmarks: {sorted(unknown)}")
-    runner = SuiteRunner(engine=args.engine)
+    runner = SuiteRunner(engine=args.engine, seed=args.seed)
     rows = []
     for name in names:
         result = runner.run_benchmark(name)
@@ -214,6 +255,77 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     print(render_table(
         ["benchmark", "mic/cpu", "opt/cpu", "opt/mic", "outputs"], rows
     ))
+    return 0
+
+
+def _cmd_faults(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.experiments.report import render_table
+    from repro.faults import run_campaign
+    from repro.faults.plan import FAULT_SITES
+    from repro.workloads.suite import workload_names
+
+    names = args.names or workload_names()
+    unknown = set(names) - set(workload_names())
+    if unknown:
+        raise SystemExit(f"unknown benchmarks: {sorted(unknown)}")
+    rates = None
+    if args.rate:
+        rates = {}
+        for spec in args.rate:
+            site, _, prob = spec.partition("=")
+            if site not in FAULT_SITES or not prob:
+                raise SystemExit(
+                    f"bad --rate spec {spec!r}: expected SITE=PROB with "
+                    f"SITE in {FAULT_SITES}"
+                )
+            rates[site] = float(prob)
+    result = run_campaign(
+        names=names,
+        scenarios=args.scenarios,
+        seed=args.seed,
+        variant=args.variant,
+        engine=args.engine,
+        rates=rates,
+    )
+    rows = []
+    for outcome in result.outcomes:
+        slowdown = (
+            outcome.time / outcome.baseline_time
+            if outcome.baseline_time
+            else float("inf")
+        )
+        rows.append(
+            [
+                outcome.workload,
+                str(outcome.scenario),
+                str(outcome.faults_injected),
+                str(outcome.stats.retries),
+                str(outcome.stats.oom_demotions + outcome.stats.host_fallbacks),
+                f"{slowdown:8.4f}",
+                "ok" if outcome.ok else "VIOLATION",
+            ]
+        )
+    print(render_table(
+        ["benchmark", "scen", "faults", "retries", "fallbacks",
+         "time ratio", "contract"],
+        rows,
+    ))
+    totals = result.totals
+    print(f"\ncampaign: {len(result.outcomes)} scenarios, "
+          f"{totals.total_injected} faults injected, "
+          f"{totals.retries} retries, "
+          f"{totals.blocks_replayed} blocks replayed, "
+          f"{totals.oom_demotions} demotions, "
+          f"{totals.host_fallbacks} host fallbacks")
+    if args.out:
+        with open(args.out, "w") as handle:
+            json.dump(result.as_dict(), handle, indent=2)
+        print(f"summary written to {args.out}")
+    if not result.ok:
+        print("FAULT CAMPAIGN CONTRACT VIOLATED", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -280,6 +392,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "compile": _cmd_compile,
         "run": _cmd_run,
         "bench": _cmd_bench,
+        "faults": _cmd_faults,
         "tune": _cmd_tune,
         "report": _cmd_report,
     }

@@ -88,18 +88,38 @@ class DeviceOutOfMemory(HardwareError):
     in the MIC memory, MIC will give out a runtime error" (Section III-B).
     """
 
-    def __init__(self, requested: int, in_use: int, capacity: int):
+    def __init__(
+        self,
+        requested: int,
+        in_use: int,
+        capacity: int,
+        name: str = None,
+        injected: bool = False,
+    ):
+        what = f"device OOM allocating {name!r}" if name else "device OOM"
+        tag = " (injected)" if injected else ""
         super().__init__(
-            f"device OOM: requested {requested} bytes with {in_use} in use "
-            f"(capacity {capacity})"
+            f"{what}: requested {requested} bytes with {in_use} in use "
+            f"(capacity {capacity}){tag}"
         )
         self.requested = requested
         self.in_use = in_use
         self.capacity = capacity
+        self.name = name
+        self.injected = injected
 
 
 class RuntimeFault(ReproError):
     """Base class for offload runtime errors."""
+
+
+class OffloadTimeout(RuntimeFault):
+    """Raised when an offload operation exhausts its retry budget.
+
+    The resilience layer retries faulted kernels under a watchdog; when
+    every retry also fails, the offload is abandoned — the executor then
+    falls back to host execution when the policy allows it.
+    """
 
 
 class MissingTransferError(RuntimeFault):

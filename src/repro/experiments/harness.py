@@ -87,19 +87,26 @@ class SuiteRunner:
     *engine* selects the interpreter engine ("auto", "batch", "tree", or
     None for per-workload defaults) for every run this harness issues;
     it participates in the cache key so one runner can compare engines.
+    *seed* reseeds workload input generation (the global ``--seed``
+    flag); None keeps each workload's fixed default inputs.
     """
 
-    def __init__(self, engine: Optional[str] = None) -> None:
+    def __init__(
+        self, engine: Optional[str] = None, seed: Optional[int] = None
+    ) -> None:
         self.engine = engine
+        self.seed = seed
         self._cache: Dict[Tuple, WorkloadRun] = {}
 
     # -- standard variants ---------------------------------------------------
 
     def run_variant(self, name: str, variant: str) -> WorkloadRun:
         """Run (or fetch cached) one variant of one benchmark."""
-        key = (name, variant, None, self.engine)
+        key = (name, variant, None, self.engine, self.seed)
         if key not in self._cache:
-            self._cache[key] = get_workload(name).run(variant, engine=self.engine)
+            self._cache[key] = get_workload(name, seed=self.seed).run(
+                variant, engine=self.engine
+            )
         return self._cache[key]
 
     def run_benchmark(self, name: str) -> BenchmarkResult:
@@ -125,9 +132,9 @@ class SuiteRunner:
                 f"unknown optimization {optimization!r}; "
                 f"know {sorted(ISOLATION_PLANS)}"
             )
-        key = (name, "opt", optimization, self.engine)
+        key = (name, "opt", optimization, self.engine, self.seed)
         if key not in self._cache:
-            workload = get_workload(name)
+            workload = get_workload(name, seed=self.seed)
             if not isinstance(workload, MiniCWorkload):
                 raise TypeError(
                     f"{name} is not a MiniC workload; isolation applies to "

@@ -1,0 +1,48 @@
+"""Deterministic fault injection and the resilient offload runtime.
+
+The paper's offload stack has real failure surfaces the reproduction
+otherwise models only as hard crashes: un-streamed footprints that exceed
+MIC memory are "a runtime error" (Section VI), persistent kernels depend
+on COI signal delivery (Section III), and every transfer rides a PCIe
+link that in practice drops, stalls, and retrains.  This package makes
+those failures first-class and survivable:
+
+* :mod:`repro.faults.plan` — a seed-driven (or explicitly scripted)
+  :class:`FaultPlan` that the COI runtime, the device memory manager and
+  the signal path consult at each operation;
+* :mod:`repro.faults.policy` — the :class:`ResiliencePolicy` knobs:
+  retry counts, exponential backoff, detection timeouts, OOM demotion
+  and host fallback;
+* :mod:`repro.faults.stats` — :class:`FaultStats` accounting that flows
+  through :class:`~repro.workloads.base.WorkloadRun` into the harness;
+* :mod:`repro.faults.injector` — the :class:`FaultInjector` binding a
+  plan to the stats of one run;
+* :mod:`repro.faults.campaign` — the ``repro faults`` campaign runner
+  that executes workloads under seeded fault scenarios and checks
+  outputs stay bit-identical while simulated time strictly grows.
+
+Faults only ever cost *simulated time* (and bookkeeping): the eager
+numpy data movement that gives the interpreter its correctness guarantee
+is never corrupted, so a recovered run must produce bit-identical
+outputs — exactly the property the campaign asserts.
+"""
+
+from repro.faults.campaign import CampaignResult, ScenarioOutcome, run_campaign
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import DEFAULT_RATES, FAULT_SITES, Fault, FaultPlan, FaultSpec
+from repro.faults.policy import ResiliencePolicy
+from repro.faults.stats import FaultStats
+
+__all__ = [
+    "CampaignResult",
+    "DEFAULT_RATES",
+    "FAULT_SITES",
+    "Fault",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSpec",
+    "FaultStats",
+    "ResiliencePolicy",
+    "ScenarioOutcome",
+    "run_campaign",
+]

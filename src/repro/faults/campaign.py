@@ -1,0 +1,158 @@
+"""Seeded fault campaigns over the benchmark suite.
+
+A campaign runs each workload once fault-free (the baseline) and then
+under *N* seeded fault scenarios, asserting the resilience contract:
+
+* **bit-identical outputs** — recovery may cost time but never changes
+  results (``numpy.array_equal``, not ``allclose``);
+* **recovery is never free** — whenever a scenario injected at least one
+  fault, simulated time strictly exceeds the baseline;
+* **visible accounting** — scenarios that injected faults report nonzero
+  :class:`~repro.faults.stats.FaultStats` totals.
+
+Each scenario's plan seed is derived from ``(campaign seed, scenario
+index, crc32(workload name))`` so scenarios are independent, workloads
+are decorrelated, and the whole campaign replays exactly from one seed.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.faults.plan import FaultPlan
+from repro.faults.policy import ResiliencePolicy
+from repro.faults.stats import FaultStats
+
+
+def scenario_seed(seed: int, scenario: int, workload: str) -> tuple:
+    """The derived fault-plan seed for one (scenario, workload) cell."""
+    return (seed, scenario, zlib.crc32(workload.encode("utf-8")))
+
+
+def outputs_identical(
+    base: Dict[str, np.ndarray], other: Dict[str, np.ndarray]
+) -> bool:
+    """True when both runs produced bit-identical output arrays."""
+    if set(base) != set(other):
+        return False
+    return all(np.array_equal(base[name], other[name]) for name in base)
+
+
+@dataclass
+class ScenarioOutcome:
+    """One (workload, scenario) cell of a campaign."""
+
+    workload: str
+    scenario: int
+    plan_seed: tuple
+    baseline_time: float
+    time: float
+    identical: bool
+    stats: FaultStats
+
+    @property
+    def faults_injected(self) -> int:
+        """Faults the scenario's plan injected into the run."""
+        return self.stats.total_injected
+
+    @property
+    def ok(self) -> bool:
+        """The resilience contract held for this cell."""
+        if not self.identical:
+            return False
+        if self.faults_injected and self.time <= self.baseline_time:
+            return False  # recovery is never free
+        return True
+
+    def as_dict(self) -> dict:
+        """Plain-dict view for the summary JSON."""
+        return {
+            "workload": self.workload,
+            "scenario": self.scenario,
+            "plan_seed": list(self.plan_seed),
+            "baseline_time": self.baseline_time,
+            "time": self.time,
+            "identical": self.identical,
+            "ok": self.ok,
+            "stats": self.stats.as_dict(),
+        }
+
+
+@dataclass
+class CampaignResult:
+    """Every scenario outcome plus campaign-wide aggregates."""
+
+    seed: int
+    scenarios: int
+    variant: str
+    outcomes: List[ScenarioOutcome] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """True when every scenario honoured the resilience contract."""
+        return all(outcome.ok for outcome in self.outcomes)
+
+    @property
+    def totals(self) -> FaultStats:
+        """Aggregate fault stats across all scenarios."""
+        total = FaultStats()
+        for outcome in self.outcomes:
+            total.add(outcome.stats)
+        return total
+
+    def as_dict(self) -> dict:
+        """The summary JSON payload (``repro faults --out``)."""
+        return {
+            "seed": self.seed,
+            "scenarios": self.scenarios,
+            "variant": self.variant,
+            "ok": self.ok,
+            "totals": self.totals.as_dict(),
+            "outcomes": [outcome.as_dict() for outcome in self.outcomes],
+        }
+
+
+def run_campaign(
+    names: Optional[List[str]] = None,
+    scenarios: int = 3,
+    seed: int = 0,
+    variant: str = "opt",
+    engine: Optional[str] = None,
+    rates: Optional[Dict[str, float]] = None,
+    policy: Optional[ResiliencePolicy] = None,
+) -> CampaignResult:
+    """Run the fault campaign; returns outcomes for every cell.
+
+    The import of the workload registry is deferred so the faults
+    package stays importable from the runtime layer without cycles.
+    """
+    from repro.workloads.suite import get_workload, workload_names
+
+    names = list(names) if names else workload_names()
+    policy = policy or ResiliencePolicy()
+    result = CampaignResult(seed=seed, scenarios=scenarios, variant=variant)
+    for name in names:
+        baseline_workload = get_workload(name, seed=seed)
+        baseline = baseline_workload.run(variant, engine=engine)
+        for k in range(scenarios):
+            workload = get_workload(name, seed=seed)
+            plan_seed = scenario_seed(seed, k, name)
+            plan = FaultPlan(seed=plan_seed, rates=rates)
+            machine = workload.machine(fault_plan=plan, resilience=policy)
+            run = workload.run(variant, machine=machine, engine=engine)
+            result.outcomes.append(
+                ScenarioOutcome(
+                    workload=name,
+                    scenario=k,
+                    plan_seed=plan_seed,
+                    baseline_time=baseline.time,
+                    time=run.time,
+                    identical=outputs_identical(baseline.outputs, run.outputs),
+                    stats=machine.fault_stats,
+                )
+            )
+    return result

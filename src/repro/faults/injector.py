@@ -1,0 +1,42 @@
+"""The injector: one fault plan bound to one run's stats.
+
+The runtime never talks to a :class:`~repro.faults.plan.FaultPlan`
+directly — it asks the injector, which counts what it injects and can be
+*suspended* while a recovery path re-issues work (a demoted offload's
+re-allocations must succeed, or recovery could recurse forever).
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Optional
+
+from repro.faults.plan import Fault, FaultPlan
+from repro.faults.stats import FaultStats
+
+
+class FaultInjector:
+    """Draws faults from a plan and records them in the run's stats."""
+
+    def __init__(self, plan: FaultPlan, stats: Optional[FaultStats] = None):
+        self.plan = plan
+        self.stats = stats if stats is not None else FaultStats()
+        self._suspend = 0
+
+    def draw(self, site: str) -> Optional[Fault]:
+        """The fault (if any) for the next operation at *site*."""
+        if self._suspend:
+            return None
+        fault = self.plan.draw(site)
+        if fault is not None:
+            self.stats.record_injected(fault)
+        return fault
+
+    @contextmanager
+    def suspended(self):
+        """Context in which no faults are injected (recovery re-issues)."""
+        self._suspend += 1
+        try:
+            yield self
+        finally:
+            self._suspend -= 1

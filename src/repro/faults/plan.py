@@ -1,0 +1,158 @@
+"""Fault plans: deterministic, seed-driven schedules of injected faults.
+
+A plan is consulted once per *fault site operation* — each host-to-device
+DMA, device-to-host DMA, kernel launch, device allocation, and signal
+wait asks :meth:`FaultPlan.draw` whether this particular operation fails.
+Operations are numbered per site in issue order, which the simulator
+guarantees is deterministic, so a plan built from the same seed always
+injects the same faults at the same places: same seed ⇒ identical
+:class:`~repro.faults.stats.FaultStats` and identical outputs.
+
+Two scheduling modes compose:
+
+* **seeded** — every operation draws against a per-site probability from
+  a ``numpy`` generator;
+* **scripted** — explicit :class:`FaultSpec` entries pin a fault to the
+  n-th operation of a site, for targeted tests ("the third h2d transfer
+  is corrupted").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Optional, Tuple
+
+import numpy as np
+
+#: Every place the runtime consults the plan.
+FAULT_SITES = ("h2d", "d2h", "kernel", "alloc", "signal")
+
+#: Fault kinds available at each site.
+SITE_KINDS: Dict[str, Tuple[str, ...]] = {
+    "h2d": ("corrupt", "stall"),
+    "d2h": ("corrupt", "stall"),
+    "kernel": ("crash", "hang"),
+    "alloc": ("oom",),
+    "signal": ("lost",),
+}
+
+#: Default per-operation fault probability of a seeded plan.  Rates are
+#: deliberately high for a simulator — a campaign of a few scenarios
+#: should exercise every recovery path, not model a real PCIe BER.
+DEFAULT_RATES: Dict[str, float] = {
+    "h2d": 0.02,
+    "d2h": 0.02,
+    "kernel": 0.01,
+    "alloc": 0.005,
+    "signal": 0.01,
+}
+
+
+@dataclass(frozen=True)
+class Fault:
+    """One injected fault, as handed to the runtime."""
+
+    site: str
+    kind: str
+    #: Fraction of the nominal operation duration wasted before the
+    #: failure is detected (used by stall/crash kinds).
+    severity: float = 0.5
+    #: Per-site operation ordinal the fault landed on.
+    index: int = 0
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """A scripted fault: the *index*-th operation at *site* fails."""
+
+    site: str
+    index: int
+    kind: Optional[str] = None
+    severity: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.site not in SITE_KINDS:
+            raise ValueError(
+                f"unknown fault site {self.site!r}; know {sorted(SITE_KINDS)}"
+            )
+        kind = self.kind
+        if kind is not None and kind not in SITE_KINDS[self.site]:
+            raise ValueError(
+                f"site {self.site!r} cannot raise {kind!r}; "
+                f"know {SITE_KINDS[self.site]}"
+            )
+
+
+class FaultPlan:
+    """A deterministic schedule of faults for one run.
+
+    *seed* drives the probabilistic schedule (any value accepted by
+    :func:`numpy.random.default_rng`, so tuples of ints work for derived
+    streams).  *rates* overrides :data:`DEFAULT_RATES` per site; passing
+    only *scripted* specs (no seed) yields a plan that injects exactly
+    those faults and nothing else.  *max_faults* caps the total number of
+    injected faults, bounding worst-case recovery time.
+    """
+
+    def __init__(
+        self,
+        seed=None,
+        rates: Optional[Dict[str, float]] = None,
+        scripted: Iterable[FaultSpec] = (),
+        max_faults: Optional[int] = None,
+    ):
+        if rates is None:
+            rates = dict(DEFAULT_RATES) if seed is not None else {}
+        unknown = set(rates) - set(SITE_KINDS)
+        if unknown:
+            raise ValueError(f"unknown fault sites in rates: {sorted(unknown)}")
+        self.seed = seed
+        self.rates = dict(rates)
+        self.max_faults = max_faults
+        self._scripted: Dict[Tuple[str, int], FaultSpec] = {}
+        for spec in scripted:
+            self._scripted[(spec.site, spec.index)] = spec
+        self._rng = np.random.default_rng(0 if seed is None else seed)
+        self._counters: Dict[str, int] = {}
+        self._emitted = 0
+
+    # -- drawing ---------------------------------------------------------------
+
+    def draw(self, site: str) -> Optional[Fault]:
+        """The fault (if any) hitting the next operation at *site*."""
+        index = self._counters.get(site, 0)
+        self._counters[site] = index + 1
+        spec = self._scripted.get((site, index))
+        if spec is not None:
+            self._emitted += 1
+            return Fault(
+                site=site,
+                kind=spec.kind or SITE_KINDS[site][0],
+                severity=spec.severity,
+                index=index,
+            )
+        rate = self.rates.get(site, 0.0)
+        if rate <= 0.0:
+            return None
+        if self.max_faults is not None and self._emitted >= self.max_faults:
+            return None
+        if float(self._rng.random()) >= rate:
+            return None
+        kinds = SITE_KINDS[site]
+        kind = kinds[int(self._rng.integers(len(kinds)))]
+        # Keep severity strictly inside (0, 1): a fault always wastes
+        # *some* time, and never more than the whole operation.
+        severity = 0.1 + 0.8 * float(self._rng.random())
+        self._emitted += 1
+        return Fault(site=site, kind=kind, severity=severity, index=index)
+
+    # -- bookkeeping -----------------------------------------------------------
+
+    @property
+    def emitted(self) -> int:
+        """Faults injected so far."""
+        return self._emitted
+
+    def operations(self, site: str) -> int:
+        """Operations drawn so far at *site*."""
+        return self._counters.get(site, 0)

@@ -1,0 +1,57 @@
+"""The resilience policy: how the runtime responds to faults.
+
+All durations are *simulated* seconds on the paper machine, sized
+against its overheads (kernel launch ~1 ms, signal ~10 us): detection
+timeouts are an order of magnitude above the healthy operation they
+guard, and backoff starts well below them so a single retry is cheap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ResiliencePolicy:
+    """Tuning knobs for fault recovery.
+
+    The default policy retries with exponential backoff, demotes
+    un-streamed offloads that hit device OOM into streamed form, and
+    falls back to host-CPU execution as the last resort — an offload
+    under this policy completes unless a genuine (non-injected) error
+    has no recovery path at all.
+    """
+
+    #: Re-issues allowed per operation after the first failed attempt.
+    max_retries: int = 3
+    #: First backoff pause; attempt ``k`` waits ``base * factor ** k``.
+    backoff_base: float = 0.002
+    backoff_factor: float = 2.0
+    #: Host-side detection timeout for a stalled DMA transfer.
+    transfer_timeout: float = 0.010
+    #: Watchdog timeout for a hung kernel / dead persistent session.
+    kernel_timeout: float = 0.050
+    #: Re-poll timeout after a lost completion signal.
+    signal_timeout: float = 0.020
+    #: Link derating for a transfer that exhausted its retries and is
+    #: pushed through anyway (retrained lanes, smaller TLPs).
+    degraded_factor: float = 4.0
+    #: Demote an un-streamed offload that hits device OOM to streamed
+    #: form (block-granular transfers, two blocks resident per array).
+    demote_on_oom: bool = True
+    #: Allow abandoning a failed offload to host-CPU execution.
+    host_fallback: bool = True
+    #: Fixed migration cost charged before host fallback re-execution.
+    fallback_penalty: float = 0.050
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if self.backoff_base < 0 or self.backoff_factor < 1.0:
+            raise ValueError("backoff must be non-negative and non-shrinking")
+        if self.degraded_factor < 1.0:
+            raise ValueError("degraded_factor must be >= 1")
+
+    def backoff(self, attempt: int) -> float:
+        """Pause before re-issuing after failed attempt *attempt* (0-based)."""
+        return self.backoff_base * self.backoff_factor ** attempt

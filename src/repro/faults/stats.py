@@ -1,0 +1,88 @@
+"""Fault and recovery accounting for one run.
+
+A :class:`FaultStats` instance lives on the
+:class:`~repro.runtime.executor.Machine` and is updated by the COI
+runtime (retries, backoff, degraded transfers), the memory manager
+(injected OOMs), and the executor (demotions, host fallbacks).  It flows
+through :class:`~repro.workloads.base.WorkloadRun` into the harness and
+the ``repro faults`` campaign summary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.faults.plan import Fault
+
+
+@dataclass
+class FaultStats:
+    """Counters for injected faults and the recovery work they caused."""
+
+    #: Injected fault counts keyed ``"site:kind"`` (e.g. ``"h2d:corrupt"``).
+    injected: Dict[str, int] = field(default_factory=dict)
+    #: Operations re-issued after a failed attempt.
+    retries: int = 0
+    #: Host time spent in exponential backoff between attempts.
+    backoff_seconds: float = 0.0
+    #: Simulated time occupied by failed attempts and detection timeouts.
+    recovery_seconds: float = 0.0
+    #: Faults detected by a timeout (stalled DMA, hung kernel, lost signal).
+    timeouts: int = 0
+    #: Block-granular (sectioned) transfers replayed after a fault —
+    #: double-buffered streaming re-sends only the failed block.
+    blocks_replayed: int = 0
+    #: Transfers that exhausted their retry budget and were pushed
+    #: through at the policy's degraded link rate.
+    degraded_transfers: int = 0
+    #: Un-streamed offloads demoted to streamed form after a device OOM.
+    oom_demotions: int = 0
+    #: Offloads abandoned to host-CPU execution.
+    host_fallbacks: int = 0
+    #: Host time charged for fallback execution (penalty + replay).
+    fallback_seconds: float = 0.0
+    #: Completion signals that were dropped and re-polled after a timeout.
+    signals_lost: int = 0
+
+    def record_injected(self, fault: Fault) -> None:
+        """Count one injected fault."""
+        key = f"{fault.site}:{fault.kind}"
+        self.injected[key] = self.injected.get(key, 0) + 1
+
+    @property
+    def total_injected(self) -> int:
+        """All faults injected into the run."""
+        return sum(self.injected.values())
+
+    def add(self, other: "FaultStats") -> None:
+        """Accumulate another run's stats (campaign aggregation)."""
+        for key, count in other.injected.items():
+            self.injected[key] = self.injected.get(key, 0) + count
+        self.retries += other.retries
+        self.backoff_seconds += other.backoff_seconds
+        self.recovery_seconds += other.recovery_seconds
+        self.timeouts += other.timeouts
+        self.blocks_replayed += other.blocks_replayed
+        self.degraded_transfers += other.degraded_transfers
+        self.oom_demotions += other.oom_demotions
+        self.host_fallbacks += other.host_fallbacks
+        self.fallback_seconds += other.fallback_seconds
+        self.signals_lost += other.signals_lost
+
+    def as_dict(self) -> dict:
+        """A plain-dict view (for comparisons, JSON summaries, reports)."""
+        return {
+            "injected": dict(sorted(self.injected.items())),
+            "total_injected": self.total_injected,
+            "retries": self.retries,
+            "backoff_seconds": self.backoff_seconds,
+            "recovery_seconds": self.recovery_seconds,
+            "timeouts": self.timeouts,
+            "blocks_replayed": self.blocks_replayed,
+            "degraded_transfers": self.degraded_transfers,
+            "oom_demotions": self.oom_demotions,
+            "host_fallbacks": self.host_fallbacks,
+            "fallback_seconds": self.fallback_seconds,
+            "signals_lost": self.signals_lost,
+        }

@@ -172,3 +172,23 @@ class ComputeDevice:
         if getattr(spec, "in_order", False) and not vectorizable:
             return t_compute + t_memory
         return max(t_compute, t_memory)
+
+    def replay_time(self, charges, scale: float = 1.0) -> float:
+        """Seconds to re-execute recorded timing charges on this device.
+
+        *charges* is the ``(kind, counters, trip, vectorizable)`` list a
+        :class:`~repro.runtime.executor._TimedContext` records while the
+        device interprets an offload body; the resilience layer replays it
+        here to price host-fallback execution without re-interpreting.
+        """
+        total = 0.0
+        for kind, counters, trip, vectorizable in charges:
+            if kind == "serial":
+                total += self.compute_time(counters.scaled(scale), serial=True)
+            else:
+                total += self.compute_time(
+                    counters.scaled(scale),
+                    parallel_iterations=trip * scale,
+                    vectorizable=vectorizable,
+                )
+        return total

@@ -14,7 +14,7 @@ accounting (and timing) reflect the paper-scale inputs.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict
+from typing import Dict, Optional
 
 from repro.errors import DeviceOutOfMemory, HardwareError
 
@@ -36,6 +36,9 @@ class DeviceMemoryManager:
     peak: int = 0
     total_allocated: int = 0
     alloc_count: int = 0
+    #: Optional fault injector; when set, allocations may be failed with
+    #: an injected :class:`DeviceOutOfMemory` (site ``"alloc"``).
+    injector: Optional[object] = None
 
     def allocate(self, name: str, nbytes: float) -> Allocation:
         """Allocate *nbytes* (executed scale) under *name*.
@@ -46,21 +49,25 @@ class DeviceMemoryManager:
         scaled = int(nbytes * self.scale)
         if scaled < 0:
             raise HardwareError(f"negative allocation for {name!r}")
+        if self.injector is not None and self.injector.draw("alloc") is not None:
+            raise DeviceOutOfMemory(
+                scaled, self.in_use, self.capacity, name=name, injected=True
+            )
         existing = self.allocations.get(name)
         if existing is not None:
             growth = max(0, scaled - existing.nbytes)
-            self._charge(growth)
+            self._charge(growth, name)
             existing.nbytes = max(existing.nbytes, scaled)
             return existing
-        self._charge(scaled)
+        self._charge(scaled, name)
         alloc = Allocation(name, scaled)
         self.allocations[name] = alloc
         self.alloc_count += 1
         return alloc
 
-    def _charge(self, nbytes: int) -> None:
+    def _charge(self, nbytes: int, name: str = None) -> None:
         if self.in_use + nbytes > self.capacity:
-            raise DeviceOutOfMemory(nbytes, self.in_use, self.capacity)
+            raise DeviceOutOfMemory(nbytes, self.in_use, self.capacity, name=name)
         self.in_use += nbytes
         self.total_allocated += nbytes
         self.peak = max(self.peak, self.in_use)

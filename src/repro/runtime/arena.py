@@ -18,7 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
-from repro.errors import PointerTranslationError, RuntimeFault
+from repro.errors import DeviceOutOfMemory, PointerTranslationError, RuntimeFault
 from repro.runtime.coi import CoiRuntime
 from repro.runtime.smartptr import MAX_BUFFERS, DeltaTable, SharedPtr
 
@@ -71,7 +71,10 @@ class ArenaAllocator:
     def _new_buffer(self, at_least: int) -> ArenaBuffer:
         if len(self.buffers) >= MAX_BUFFERS:
             raise RuntimeFault(
-                f"arena exceeded {MAX_BUFFERS} buffers (bid is one byte)"
+                f"arena exceeded {MAX_BUFFERS} buffers (bid is one byte): "
+                f"cannot place a {at_least}-byte object after "
+                f"{self.alloc_count} allocations totalling "
+                f"{self.total_used} bytes"
             )
         size = max(self.chunk_bytes, at_least)
         bid = len(self.buffers)
@@ -123,11 +126,31 @@ class ArenaAllocator:
             if buf.bid not in self.delta:
                 self.delta.register(buf.bid, buf.cpu_base, mic_base, buf.size)
             nbytes = buf.size if copy_full_buffers else buf.used
-            coi.device_memory.allocate(f"arena:{buf.bid}", nbytes)
+            self._allocate_resilient(coi, f"arena:{buf.bid}", nbytes)
             coi.raw_transfer(
                 nbytes, to_device=True, label=f"arena:{buf.bid}"
             )
             self._copied_bids.add(buf.bid)
+
+    @staticmethod
+    def _allocate_resilient(coi: CoiRuntime, name: str, nbytes: int) -> None:
+        """Allocate device memory for an arena buffer, riding out an
+        injected OOM (back off once, re-issue with injection suspended).
+        A genuine capacity OOM still propagates — arena buffers cannot be
+        streamed, so there is no demotion path for them."""
+        try:
+            coi.device_memory.allocate(name, nbytes)
+        except DeviceOutOfMemory as exc:
+            if not exc.injected or coi.resilience is None:
+                raise
+            pause = coi.resilience.backoff(0)
+            coi.clock.advance(pause)
+            stats = coi.fault_stats
+            if stats is not None:
+                stats.backoff_seconds += pause
+                stats.retries += 1
+            with coi.injector_suspended():
+                coi.device_memory.allocate(name, nbytes)
 
     def free_on_device(self, coi: CoiRuntime) -> None:
         """Release the device copies of every buffer."""

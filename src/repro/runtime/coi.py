@@ -15,12 +15,13 @@ overlap shows up in simulated time without affecting correctness.
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional
 
 import numpy as np
 
-from repro.errors import RuntimeFault
+from repro.errors import OffloadTimeout, RuntimeFault
 from repro.hardware.event_sim import Clock, Event, Timeline
 from repro.hardware.memory import DeviceMemoryManager
 from repro.hardware.pcie import dma_transfer_time
@@ -71,13 +72,38 @@ class CoiRuntime:
         self.stats = CoiStats()
         self.signals: Dict[object, List[Event]] = {}
         self._persistent_live: set = set()
+        #: Optional fault-injection hooks, attached by the Machine when a
+        #: fault plan is configured.  Both None ⇒ the original code paths
+        #: run unchanged (bit-identical timing and counters).
+        self.injector = None
+        self.resilience = None
+        self.fault_stats = None
+
+    def injector_suspended(self):
+        """Context manager silencing injection while recovery re-issues."""
+        if self.injector is None:
+            return nullcontext()
+        return self.injector.suspended()
 
     # -- buffers ------------------------------------------------------------
 
-    def alloc_buffer(self, name: str, count: int, dtype=np.float32) -> np.ndarray:
-        """Allocate (or reuse) a device buffer of *count* elements."""
+    def alloc_buffer(
+        self,
+        name: str,
+        count: int,
+        dtype=np.float32,
+        account_elems: Optional[int] = None,
+    ) -> np.ndarray:
+        """Allocate (or reuse) a device buffer of *count* elements.
+
+        *account_elems* caps the simulated-memory charge below the numpy
+        buffer size: a demoted (streamed) offload keeps the full array for
+        correctness but only holds ``account_elems`` resident on the
+        simulated device at any instant.
+        """
         itemsize = np.dtype(dtype).itemsize
-        self.device_memory.allocate(name, count * itemsize)
+        charged = count if account_elems is None else min(account_elems, count)
+        self.device_memory.allocate(name, charged * itemsize)
         existing = self.device.arrays.get(name)
         if existing is None or len(existing) < count or existing.dtype != dtype:
             self.device.arrays[name] = np.zeros(count, dtype=dtype)
@@ -92,6 +118,68 @@ class CoiRuntime:
 
     # -- transfers ------------------------------------------------------------
 
+    def _dma_schedule(
+        self,
+        channel: str,
+        duration: float,
+        deps: Iterable[Event],
+        label: str,
+        block: bool = False,
+    ) -> Event:
+        """Schedule one DMA transfer, surviving injected link faults.
+
+        Without an injector this is exactly one timeline schedule — the
+        pre-fault code path, bit for bit.  With one, a faulted attempt
+        (corrupt payload or stalled engine) burns simulated channel time,
+        the host detects it and retries after exponential backoff; a
+        transfer that exhausts its retries is pushed through at the
+        policy's degraded link rate rather than lost.  *block* marks a
+        sectioned (block-granular) transfer, whose replays are what the
+        streaming restart counter reports.
+        """
+        if self.injector is None:
+            return self.timeline.schedule(
+                channel, duration, deps=deps, label=label,
+                not_before=self.clock.now,
+            )
+        site = "h2d" if channel == DMA_TO_DEVICE else "d2h"
+        policy = self.resilience
+        stats = self.fault_stats
+        attempt = 0
+        while True:
+            fault = self.injector.draw(site)
+            if fault is None:
+                return self.timeline.schedule(
+                    channel, duration, deps=deps, label=label,
+                    not_before=self.clock.now,
+                )
+            if fault.kind == "stall":
+                # Engine wedged mid-transfer; host watchdog fires.
+                wasted = duration * fault.severity + policy.transfer_timeout
+                stats.timeouts += 1
+            else:
+                # Corruption is detected after the full transfer lands.
+                wasted = duration
+            failed = self.timeline.schedule(
+                channel, wasted, deps=deps, label=f"{label}!{fault.kind}",
+                not_before=self.clock.now,
+            )
+            self.clock.wait_until(failed)
+            stats.recovery_seconds += wasted
+            if block:
+                stats.blocks_replayed += 1
+            if attempt >= policy.max_retries:
+                stats.degraded_transfers += 1
+                return self.timeline.schedule(
+                    channel, duration * policy.degraded_factor, deps=deps,
+                    label=f"{label}~degraded", not_before=self.clock.now,
+                )
+            pause = policy.backoff(attempt)
+            self.clock.advance(pause)
+            stats.backoff_seconds += pause
+            stats.retries += 1
+            attempt += 1
+
     def write_buffer(
         self,
         dest: str,
@@ -99,6 +187,7 @@ class CoiRuntime:
         data: np.ndarray,
         deps: Iterable[Event] = (),
         sync: bool = True,
+        block: bool = False,
     ) -> Event:
         """Copy host *data* into device buffer *dest* at *dest_start*.
 
@@ -110,17 +199,17 @@ class CoiRuntime:
         buf = self.device.array(dest)
         if dest_start < 0 or dest_start + len(data) > len(buf):
             raise RuntimeFault(
-                f"transfer into {dest!r} out of range: "
+                f"h2d transfer into buffer {dest!r} out of range: "
                 f"[{dest_start}, {dest_start + len(data)}) of {len(buf)}"
             )
         buf[dest_start : dest_start + len(data)] = data
         nbytes = data.nbytes * self.scale
-        event = self.timeline.schedule(
+        event = self._dma_schedule(
             DMA_TO_DEVICE,
             dma_transfer_time(nbytes, self.spec.pcie),
             deps=deps,
             label=f"h2d:{dest}",
-            not_before=self.clock.now,
+            block=block,
         )
         self.stats.bytes_to_device += nbytes
         self.stats.transfers_to_device += 1
@@ -137,22 +226,23 @@ class CoiRuntime:
         into_start: int,
         deps: Iterable[Event] = (),
         sync: bool = True,
+        block: bool = False,
     ) -> Event:
         """Copy *count* elements of device buffer *src* back to host."""
         buf = self.device.array(src)
         if src_start < 0 or src_start + count > len(buf):
             raise RuntimeFault(
-                f"transfer from {src!r} out of range: "
+                f"d2h transfer from buffer {src!r} out of range: "
                 f"[{src_start}, {src_start + count}) of {len(buf)}"
             )
         into[into_start : into_start + count] = buf[src_start : src_start + count]
         nbytes = count * buf.dtype.itemsize * self.scale
-        event = self.timeline.schedule(
+        event = self._dma_schedule(
             DMA_FROM_DEVICE,
             dma_transfer_time(nbytes, self.spec.pcie),
             deps=deps,
             label=f"d2h:{src}",
-            not_before=self.clock.now,
+            block=block,
         )
         self.stats.bytes_from_device += nbytes
         self.stats.transfers_from_device += 1
@@ -167,6 +257,7 @@ class CoiRuntime:
         deps: Iterable[Event] = (),
         sync: bool = True,
         label: str = "raw",
+        block: bool = False,
     ) -> Event:
         """Schedule transfer time without touching named buffers.
 
@@ -174,12 +265,12 @@ class CoiRuntime:
         page objects rather than named numpy buffers.
         """
         channel = DMA_TO_DEVICE if to_device else DMA_FROM_DEVICE
-        event = self.timeline.schedule(
+        event = self._dma_schedule(
             channel,
             dma_transfer_time(nbytes * self.scale, self.spec.pcie),
             deps=deps,
             label=label,
-            not_before=self.clock.now,
+            block=block,
         )
         if to_device:
             self.stats.bytes_to_device += nbytes * self.scale
@@ -207,25 +298,89 @@ class CoiRuntime:
         under the same key pays the much smaller signal overhead — the
         thread-reuse optimization of Section III-C.
         """
+        if self.injector is None:
+            overhead = self._launch_overhead(persistent_key)
+            self.stats.kernel_compute_seconds += duration
+            return self.timeline.schedule(
+                DEVICE,
+                overhead + duration,
+                deps=deps,
+                label=label,
+                not_before=self.clock.now,
+            )
+        return self._launch_kernel_resilient(duration, deps, label, persistent_key)
+
+    def _launch_overhead(self, persistent_key: Optional[str]) -> float:
+        """Overhead of the next launch, counted in the stats."""
         mic = self.spec.mic
         if persistent_key is None:
-            overhead = mic.kernel_launch_overhead
             self.stats.kernel_launches += 1
-        elif persistent_key not in self._persistent_live:
+            return mic.kernel_launch_overhead
+        if persistent_key not in self._persistent_live:
             self._persistent_live.add(persistent_key)
-            overhead = mic.kernel_launch_overhead
             self.stats.kernel_launches += 1
-        else:
-            overhead = mic.signal_overhead
-            self.stats.kernel_signals += 1
-        self.stats.kernel_compute_seconds += duration
-        return self.timeline.schedule(
-            DEVICE,
-            overhead + duration,
-            deps=deps,
-            label=label,
-            not_before=self.clock.now,
-        )
+            return mic.kernel_launch_overhead
+        self.stats.kernel_signals += 1
+        return mic.signal_overhead
+
+    def _launch_kernel_resilient(
+        self,
+        duration: float,
+        deps: Iterable[Event],
+        label: str,
+        persistent_key: Optional[str],
+    ) -> Event:
+        """Launch under fault injection: crashes and hangs are retried.
+
+        A hung kernel burns the watchdog timeout; a crashed one burns the
+        severity-fraction of its runtime.  Either way a persistent session
+        dies with the kernel, so the retry pays a full launch.  When the
+        retry budget is exhausted the offload is abandoned with
+        :class:`OffloadTimeout` — the executor decides whether the policy
+        allows falling back to the host.
+        """
+        policy = self.resilience
+        stats = self.fault_stats
+        attempt = 0
+        while True:
+            fault = self.injector.draw("kernel")
+            if fault is None:
+                overhead = self._launch_overhead(persistent_key)
+                self.stats.kernel_compute_seconds += duration
+                return self.timeline.schedule(
+                    DEVICE,
+                    overhead + duration,
+                    deps=deps,
+                    label=label,
+                    not_before=self.clock.now,
+                )
+            overhead = self._launch_overhead(persistent_key)
+            if fault.kind == "hang":
+                wasted = overhead + policy.kernel_timeout
+                stats.timeouts += 1
+            else:
+                wasted = overhead + duration * fault.severity
+            failed = self.timeline.schedule(
+                DEVICE,
+                wasted,
+                deps=deps,
+                label=f"{label}!{fault.kind}",
+                not_before=self.clock.now,
+            )
+            self.clock.wait_until(failed)
+            stats.recovery_seconds += wasted
+            if persistent_key is not None:
+                self._persistent_live.discard(persistent_key)
+            if attempt >= policy.max_retries:
+                raise OffloadTimeout(
+                    f"offload kernel {label!r} abandoned after "
+                    f"{attempt + 1} attempts (last fault: {fault.kind})"
+                )
+            pause = policy.backoff(attempt)
+            self.clock.advance(pause)
+            stats.backoff_seconds += pause
+            stats.retries += 1
+            attempt += 1
 
     def end_persistent(self, key: str) -> None:
         """Terminate a persistent kernel (next use pays a full launch)."""
@@ -237,8 +392,26 @@ class CoiRuntime:
         """Record completion events under *tag* for a later wait."""
         self.signals.setdefault(tag, []).extend(events)
 
+    def take_signal(self, tag: object) -> List[Event]:
+        """Pop the events posted under *tag*, surviving a lost signal.
+
+        An injected "lost" fault models a dropped completion notification:
+        the waiter times out and re-polls the signal word, which costs the
+        policy's signal timeout but still observes the posted events.
+        """
+        events = self.signals.pop(tag, [])
+        if events and self.injector is not None:
+            fault = self.injector.draw("signal")
+            if fault is not None:
+                policy = self.resilience
+                stats = self.fault_stats
+                stats.signals_lost += 1
+                stats.timeouts += 1
+                self.clock.advance(policy.signal_timeout)
+                stats.recovery_seconds += policy.signal_timeout
+        return events
+
     def wait_signal(self, tag: object) -> None:
         """Block the host until everything posted under *tag* completes."""
-        events = self.signals.pop(tag, [])
-        for event in events:
+        for event in self.take_signal(tag):
             self.clock.wait_until(event)

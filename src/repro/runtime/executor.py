@@ -32,12 +32,22 @@ from typing import Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
-from repro.errors import ExecutionError, MissingTransferError, RuntimeFault
+from repro.errors import (
+    DeviceOutOfMemory,
+    ExecutionError,
+    MissingTransferError,
+    OffloadTimeout,
+    RuntimeFault,
+)
 from repro.analysis.array_access import (
     AccessKind,
     extract_linear_form,
 )
 from repro.errors import NotAffineError
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultPlan
+from repro.faults.policy import ResiliencePolicy
+from repro.faults.stats import FaultStats
 from repro.analysis.symbols import sizeof_type
 from repro.analysis.vectorize import is_vectorizable
 from repro.hardware.device import ComputeDevice, OpCounters
@@ -101,6 +111,13 @@ class Machine:
 
     spec: MachineSpec = field(default_factory=paper_machine)
     scale: float = 1.0
+    #: Optional deterministic fault schedule for this run.
+    fault_plan: Optional[FaultPlan] = None
+    #: Recovery policy; defaults to :class:`ResiliencePolicy` when a
+    #: fault plan is given.  A policy without a plan enables the
+    #: resilient code paths (OOM demotion, host fallback) for *genuine*
+    #: faults without injecting any.
+    resilience: Optional[ResiliencePolicy] = None
 
     def __post_init__(self) -> None:
         self.timeline = Timeline()
@@ -121,6 +138,16 @@ class Machine:
         )
         self.cpu_model = ComputeDevice(self.spec.cpu)
         self.mic_model = ComputeDevice(self.spec.mic)
+        self.fault_stats = FaultStats()
+        if self.fault_plan is not None and self.resilience is None:
+            self.resilience = ResiliencePolicy()
+        if self.resilience is not None:
+            self.coi.resilience = self.resilience
+            self.coi.fault_stats = self.fault_stats
+        if self.fault_plan is not None:
+            injector = FaultInjector(self.fault_plan, self.fault_stats)
+            self.coi.injector = injector
+            self.device_memory.injector = injector
         # Shared-memory runtimes for programs using the Section V
         # allocation intrinsics, created lazily.
         self._myo = None
@@ -329,6 +356,7 @@ class _TimedContext:
         scale: float,
         is_device: bool,
         sink: Optional[OpCounters] = None,
+        record: Optional[list] = None,
     ):
         self.model = model
         self.scale = scale
@@ -338,12 +366,18 @@ class _TimedContext:
         self.in_parallel = False
         #: Run-wide counter total (shared across host and device contexts).
         self.sink = sink
+        #: Optional ``(kind, counters, trip, vectorizable)`` trace of the
+        #: timing charges, so the resilience layer can re-price the same
+        #: work on another device (host fallback) without re-interpreting.
+        self.record = record
 
     def flush_serial(self) -> None:
         if self.pending.work_ops or self.pending.total_bytes:
             self.seconds += self.model.compute_time(
                 self.pending.scaled(self.scale), serial=True
             )
+            if self.record is not None:
+                self.record.append(("serial", self.pending, 0.0, False))
         if self.sink is not None:
             self.sink.add(self.pending)
         self.pending = OpCounters()
@@ -353,6 +387,8 @@ class _TimedContext:
     ) -> None:
         if self.sink is not None:
             self.sink.add(counters)
+        if self.record is not None:
+            self.record.append(("parallel", counters, trip, vectorizable))
         self.seconds += self.model.compute_time(
             counters.scaled(self.scale),
             parallel_iterations=trip * self.scale,
@@ -875,15 +911,78 @@ class Executor:
         self._drain_host()
         self._offload_count += 1
         coi = self.machine.coi
+        resilience = coi.resilience
 
         deps: List[Event] = []
         if pragma.wait is not None:
             tag = self._eval_clause(pragma.wait, env)
-            deps.extend(coi.signals.pop(tag, []))
+            deps.extend(coi.take_signal(tag))
 
-        transfer_events, freed_after = self._do_in_clauses(pragma.clauses, env, deps)
+        if resilience is None:
+            transfer_events, freed_after = self._do_in_clauses(
+                pragma.clauses, env, deps
+            )
+        else:
+            try:
+                transfer_events, freed_after = self._do_in_clauses(
+                    pragma.clauses, env, deps
+                )
+            except DeviceOutOfMemory as oom:
+                if self._recover_offload_oom(oom, pragma, body, env, loop, deps):
+                    return
+                # Transient injected OOM on a non-demotable offload: the
+                # backoff is charged; re-issue with injection silenced.
+                with coi.injector_suspended():
+                    transfer_events, freed_after = self._do_in_clauses(
+                        pragma.clauses, env, deps
+                    )
 
         # Interpret the body on the device, accumulating device time.
+        record = [] if resilience is not None else None
+        kernel_seconds = self._interpret_device_body(body, env, loop, record)
+
+        persistent_key = None
+        if pragma.persistent:
+            persistent_key = pragma.session or f"offload@{id(pragma)}"
+        try:
+            kernel_event = coi.launch_kernel(
+                kernel_seconds,
+                deps=deps + transfer_events,
+                label="offload",
+                persistent_key=persistent_key,
+            )
+        except OffloadTimeout:
+            if resilience is None or not resilience.host_fallback:
+                raise
+            # The device already holds the (correct) results — the
+            # simulator decouples correctness from timing — so fallback
+            # charges the host re-execution cost and the out clauses
+            # below deliver exactly what host execution would have.
+            self._charge_host_fallback(record)
+            kernel_event = None
+
+        out_deps = (
+            [kernel_event] if kernel_event is not None else list(transfer_events)
+        )
+        out_events = self._do_out_clauses(pragma.clauses, env, out_deps)
+        for name in freed_after:
+            coi.free_buffer(name)
+
+        final = out_events[-1] if out_events else kernel_event
+        if pragma.signal is not None:
+            tag = self._eval_clause(pragma.signal, env)
+            coi.post_signal(tag, [final] if final is not None else [])
+        elif final is not None:
+            self.machine.clock.wait_until(final)
+
+    def _interpret_device_body(
+        self,
+        body: ast.Stmt,
+        env: Env,
+        loop: Optional[ast.For],
+        record: Optional[list] = None,
+    ) -> float:
+        """Interpret an offload body in a device context; returns seconds."""
         device_env = Env(parent=self._device_root)
         saved_ctx = self._ctx
         self._ctx = _TimedContext(
@@ -891,6 +990,7 @@ class Executor:
             self.machine.scale,
             is_device=True,
             sink=self._ops_total,
+            record=record,
         )
         try:
             if loop is not None:
@@ -904,29 +1004,283 @@ class Executor:
                     self._run_loop(loop, device_env)
             else:
                 self._exec_stmt(body, device_env)
-            kernel_seconds = self._ctx.take_seconds()
+            return self._ctx.take_seconds()
         finally:
             self._ctx = saved_ctx
 
-        persistent_key = None
-        if pragma.persistent:
-            persistent_key = pragma.session or f"offload@{id(pragma)}"
-        kernel_event = coi.launch_kernel(
-            kernel_seconds,
-            deps=deps + transfer_events,
-            label="offload",
-            persistent_key=persistent_key,
+    # -- fault recovery ---------------------------------------------------------------------------
+
+    def _recover_offload_oom(
+        self,
+        oom: DeviceOutOfMemory,
+        pragma: ast.OffloadPragma,
+        body: ast.Stmt,
+        env: Env,
+        loop: Optional[ast.For],
+        deps: List[Event],
+    ) -> bool:
+        """Decide how an offload survives a device OOM.
+
+        Returns True when the offload has been fully executed through a
+        recovery path (streamed demotion or host fallback); False when
+        the OOM was transient (injected) and the caller should simply
+        retry the in-clauses.  A genuine OOM with no recovery path
+        re-raises.
+        """
+        coi = self.machine.coi
+        policy = coi.resilience
+        stats = coi.fault_stats
+        simple = self._demotable(pragma, env)
+        if policy.demote_on_oom and simple and loop is not None:
+            self._exec_offload_demoted(pragma, body, env, loop, deps)
+            return True
+        if oom.injected:
+            pause = policy.backoff(0)
+            self.machine.clock.advance(pause)
+            stats.backoff_seconds += pause
+            stats.retries += 1
+            return False
+        if policy.host_fallback and simple:
+            self._exec_offload_on_host(pragma, body, env, loop)
+            return True
+        raise oom
+
+    def _demotable(self, pragma: ast.OffloadPragma, env: Env) -> bool:
+        """True when every clause moves a whole host value with default
+        alloc/free semantics — the shape the runtime can transparently
+        replay in streamed (block-granular) form, or hand to the host."""
+        for clause in pragma.clauses:
+            if clause.direction == "nocopy":
+                return False
+            if clause.into is not None or clause.start is not None:
+                return False
+            if clause.alloc_if is not None or clause.free_if is not None:
+                return False
+            value = self._lookup_host(clause.var, env, allow_missing=True)
+            if value is None:
+                return False
+            if isinstance(value, np.ndarray) and clause.length is not None:
+                if self._eval_clause_int(clause.length, env, len(value)) != len(
+                    value
+                ):
+                    return False
+        return True
+
+    def _charge_host_fallback(
+        self, record: Optional[list], fraction: float = 1.0
+    ) -> None:
+        """Charge the cost of abandoning device work to the host CPU:
+        the policy's migration penalty plus re-executing *fraction* of
+        the recorded kernel work at host speed."""
+        coi = self.machine.coi
+        policy = coi.resilience
+        stats = coi.fault_stats
+        replay = (
+            self.machine.cpu_model.replay_time(record or [], self.machine.scale)
+            * fraction
+        )
+        cost = policy.fallback_penalty + replay
+        self.machine.clock.advance(cost)
+        stats.host_fallbacks += 1
+        stats.fallback_seconds += cost
+
+    def _exec_offload_on_host(
+        self,
+        pragma: ast.OffloadPragma,
+        body: ast.Stmt,
+        env: Env,
+        loop: Optional[ast.For],
+    ) -> None:
+        """Graceful degradation: run the offload region on the host CPU.
+
+        The body is interpreted with the *current* environment in the
+        host context, so results land directly in host memory; in-only
+        clause values are snapshotted and restored, matching the device
+        semantics where writes to in-only data are discarded.
+        """
+        coi = self.machine.coi
+        policy = coi.resilience
+        stats = coi.fault_stats
+        start_clock = self.machine.clock.now
+        self.machine.clock.advance(policy.fallback_penalty)
+
+        saved_arrays = []
+        saved_scalars = []
+        for clause in pragma.clauses:
+            if clause.direction != "in":
+                continue
+            value = self._lookup_host(clause.var, env, allow_missing=True)
+            if isinstance(value, np.ndarray):
+                saved_arrays.append((value, value.copy()))
+            elif value is not None:
+                saved_scalars.append((clause.var, value))
+        try:
+            if loop is not None:
+                omp = next(
+                    (p for p in loop.pragmas if isinstance(p, ast.OmpParallelFor)),
+                    None,
+                )
+                if omp is not None:
+                    self._exec_parallel_for(loop, env)
+                else:
+                    self._run_loop(loop, env)
+            else:
+                self._exec_stmt(body, env)
+        finally:
+            for array, snapshot in saved_arrays:
+                array[:] = snapshot
+            for name, value in saved_scalars:
+                env.set(name, value)
+        self._drain_host()
+
+        stats.host_fallbacks += 1
+        stats.fallback_seconds += self.machine.clock.now - start_clock
+        if pragma.signal is not None:
+            tag = self._eval_clause(pragma.signal, env)
+            coi.post_signal(tag, [])
+
+    def _exec_offload_demoted(
+        self,
+        pragma: ast.OffloadPragma,
+        body: ast.Stmt,
+        env: Env,
+        loop: ast.For,
+        deps: List[Event],
+    ) -> None:
+        """Replay an un-streamed offload that hit device OOM in streamed
+        form: block-granular transfers with only two blocks of each array
+        resident, the kernel chopped into per-block chunks on a
+        persistent session.
+
+        Unlike the compiler's streaming transform, the demoted schedule
+        is deliberately conservative — every kernel chunk waits for all
+        in-transfers and chunks are serialized — so recovery is never
+        faster than the healthy offload it replaces.
+        """
+        from repro.transforms.streaming import choose_demotion_blocks
+
+        coi = self.machine.coi
+        policy = coi.resilience
+        stats = coi.fault_stats
+        stats.oom_demotions += 1
+
+        array_clauses = []
+        for clause in pragma.clauses:
+            value = self._lookup_host(clause.var, env)
+            if isinstance(value, np.ndarray):
+                array_clauses.append((clause, value))
+            elif clause.direction in ("in", "inout"):
+                self.machine.device.scalars[clause.var] = value
+            else:
+                self.machine.device.scalars.setdefault(
+                    clause.var, value if value is not None else 0
+                )
+        # Drop whatever the failed full-size attempt left allocated.
+        for clause, value in array_clauses:
+            if coi.device_memory.holds(clause.var):
+                coi.free_buffer(clause.var)
+
+        mem = coi.device_memory
+        footprint = sum(value.nbytes for _, value in array_clauses)
+        nblocks = choose_demotion_blocks(
+            footprint * mem.scale, mem.capacity - mem.in_use
         )
 
-        out_events = self._do_out_clauses(pragma.clauses, env, [kernel_event])
-        for name in freed_after:
-            coi.free_buffer(name)
+        def block_len(value: np.ndarray) -> int:
+            return max(1, math.ceil(len(value) / nblocks))
+
+        in_events: List[Event] = []
+        with coi.injector_suspended():
+            for clause, value in array_clauses:
+                resident = 1 if clause.direction == "out" else 2
+                coi.alloc_buffer(
+                    clause.var,
+                    len(value),
+                    dtype=value.dtype,
+                    account_elems=resident * block_len(value),
+                )
+        for clause, value in array_clauses:
+            if clause.direction not in ("in", "inout"):
+                continue
+            step = block_len(value)
+            for start in range(0, len(value), step):
+                stop = min(start + step, len(value))
+                in_events.append(
+                    coi.write_buffer(
+                        clause.var,
+                        start,
+                        value[start:stop],
+                        deps=deps,
+                        sync=False,
+                        block=True,
+                    )
+                )
+
+        record: list = []
+        kernel_seconds = self._interpret_device_body(body, env, loop, record)
+
+        session = f"demote@{id(pragma)}"
+        chunk = kernel_seconds / nblocks
+        kernel_event: Optional[Event] = None
+        for i in range(nblocks):
+            kdeps = list(deps) + in_events
+            if kernel_event is not None:
+                kdeps.append(kernel_event)
+            try:
+                kernel_event = coi.launch_kernel(
+                    chunk,
+                    deps=kdeps,
+                    label="offload~demoted",
+                    persistent_key=session,
+                )
+            except OffloadTimeout:
+                if not policy.host_fallback:
+                    coi.end_persistent(session)
+                    raise
+                self._charge_host_fallback(record, fraction=(nblocks - i) / nblocks)
+                kernel_event = None
+                break
+        coi.end_persistent(session)
+
+        out_deps = [kernel_event] if kernel_event is not None else list(in_events)
+        out_events: List[Event] = []
+        for clause, value in array_clauses:
+            if clause.direction not in ("out", "inout"):
+                continue
+            step = block_len(value)
+            for start in range(0, len(value), step):
+                stop = min(start + step, len(value))
+                out_events.append(
+                    coi.read_buffer(
+                        clause.var,
+                        start,
+                        stop - start,
+                        value,
+                        start,
+                        deps=out_deps,
+                        sync=False,
+                        block=True,
+                    )
+                )
+        for clause in pragma.clauses:
+            if clause.direction not in ("out", "inout"):
+                continue
+            if clause.var in self.machine.device.scalars and not isinstance(
+                self._lookup_host(clause.var, env, allow_missing=True), np.ndarray
+            ):
+                value = self.machine.device.scalars[clause.var]
+                if env.has(clause.var):
+                    env.set(clause.var, value)
+                else:
+                    env.declare(clause.var, value)
+        for clause, value in array_clauses:
+            coi.free_buffer(clause.var)
 
         final = out_events[-1] if out_events else kernel_event
         if pragma.signal is not None:
             tag = self._eval_clause(pragma.signal, env)
-            coi.post_signal(tag, [final])
-        else:
+            coi.post_signal(tag, [final] if final is not None else [])
+        elif final is not None:
             self.machine.clock.wait_until(final)
 
     def _exec_pragma_stmt(self, pragma: ast.Pragma, env: Env) -> None:
@@ -938,7 +1292,23 @@ class Executor:
             return
         if isinstance(pragma, ast.OffloadTransferPragma):
             self._drain_host()
-            events, freed = self._do_in_clauses(pragma.clauses, env, deps=[])
+            try:
+                events, freed = self._do_in_clauses(pragma.clauses, env, deps=[])
+            except DeviceOutOfMemory as oom:
+                # A standalone transfer pragma (streamed code's block
+                # traffic) has no demotion shape; an injected OOM is
+                # transient — back off and re-issue.  Genuine OOM here is
+                # a real capacity failure and propagates.
+                if coi.resilience is None or not oom.injected:
+                    raise
+                pause = coi.resilience.backoff(0)
+                self.machine.clock.advance(pause)
+                coi.fault_stats.backoff_seconds += pause
+                coi.fault_stats.retries += 1
+                with coi.injector_suspended():
+                    events, freed = self._do_in_clauses(
+                        pragma.clauses, env, deps=[]
+                    )
             events += self._do_out_clauses(pragma.clauses, env, deps=[])
             for name in freed:
                 coi.free_buffer(name)
@@ -1013,6 +1383,12 @@ class Executor:
                             src_value[start : start + length],
                             deps=deps,
                             sync=False,
+                            # Sectioned transfers are a streamed loop's
+                            # blocks; their fault replays are what the
+                            # block-restart counter reports.
+                            block=clause.into is not None
+                            or start != 0
+                            or length != len(src_value),
                         )
                     )
                 if free:
@@ -1092,6 +1468,9 @@ class Executor:
                         host_start,
                         deps=deps,
                         sync=False,
+                        block=clause.into is not None
+                        or host_start != 0
+                        or length != len(host_value),
                     )
                 )
             else:

@@ -62,6 +62,7 @@ from repro.transforms.base import TransformReport, replace_statement
 DEFAULT_NUM_BLOCKS = 20
 
 import itertools
+import math
 
 _session_counter = itertools.count()
 
@@ -69,6 +70,22 @@ _session_counter = itertools.count()
 def _new_session() -> str:
     """A unique persistent-kernel session name per streamed loop."""
     return f"sess{next(_session_counter)}"
+
+
+def choose_demotion_blocks(footprint_bytes: float, free_bytes: float) -> int:
+    """Block count for an offload demoted to streamed form after OOM.
+
+    The demoted offload keeps two blocks of each array resident
+    (double-buffered), so the per-instant footprint is ``2/nblocks`` of
+    the full data.  Pick the paper's default block count unless the free
+    device memory demands finer blocks; target at most half of what is
+    free so recovery cannot immediately re-OOM.
+    """
+    nblocks = DEFAULT_NUM_BLOCKS
+    budget = max(free_bytes, 1.0) * 0.5
+    if footprint_bytes > 0 and 2.0 * footprint_bytes / nblocks > budget:
+        nblocks = math.ceil(2.0 * footprint_bytes / budget)
+    return max(2, nblocks)
 
 
 @dataclass

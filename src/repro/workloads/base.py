@@ -22,6 +22,9 @@ from typing import Callable, Dict, List, Optional
 import numpy as np
 
 from repro.analysis.offload import insert_offload_pragmas
+from repro.faults.plan import FaultPlan
+from repro.faults.policy import ResiliencePolicy
+from repro.faults.stats import FaultStats
 from repro.minic import ast_nodes as ast
 from repro.minic.parser import parse, parse_expr
 from repro.runtime.executor import ExecutionStats, Machine, run_program
@@ -32,6 +35,19 @@ from repro.transforms.pipeline import (
 )
 
 VARIANTS = ("cpu", "mic", "opt")
+
+
+def input_rng(seed: Optional[int], default: int) -> np.random.Generator:
+    """The generator for one workload input stream.
+
+    Every workload owns fixed per-stream *default* seeds so the suite is
+    reproducible with no configuration; a global *seed* (the ``--seed``
+    flag) derives a new stream per (seed, default) pair, keeping streams
+    decorrelated across both workloads and seeds.
+    """
+    if seed is None:
+        return np.random.default_rng(default)
+    return np.random.default_rng((seed, default))
 
 
 @dataclass
@@ -75,6 +91,9 @@ class WorkloadRun:
     wall_seconds: float = 0.0
     #: Execution engine the run used ("auto", "batch", or "tree").
     engine: str = "auto"
+    #: Fault-injection and recovery accounting for the run (empty when
+    #: the machine had no fault plan).
+    fault_stats: Optional[FaultStats] = None
 
     @property
     def time(self) -> float:
@@ -92,6 +111,13 @@ class Workload:
     #: A workload whose loops are known batch-hostile can pin "tree".
     engine: Optional[str] = None
 
+    #: Global input seed (the ``--seed`` flag); None keeps each
+    #: workload's fixed default input streams.
+    input_seed: Optional[int] = None
+
+    #: Timing/accounting scale of the simulated machine.
+    sim_scale: float = 1.0
+
     def run(
         self,
         variant: str,
@@ -105,9 +131,19 @@ class Workload:
         """The engine an explicit request / workload default resolves to."""
         return engine or self.engine or "auto"
 
-    def machine(self) -> Machine:
+    def machine(
+        self,
+        fault_plan: Optional[FaultPlan] = None,
+        resilience: Optional[ResiliencePolicy] = None,
+    ) -> Machine:
         """A fresh simulated machine at this workload's scale."""
-        raise NotImplementedError
+        return Machine(
+            scale=self.sim_scale, fault_plan=fault_plan, resilience=resilience
+        )
+
+    def _rng(self, default: int) -> np.random.Generator:
+        """An input generator honouring this workload's ``input_seed``."""
+        return input_rng(self.input_seed, default)
 
 
 class MiniCWorkload(Workload):
@@ -170,10 +206,6 @@ class MiniCWorkload(Workload):
 
     # -- execution ----------------------------------------------------------------
 
-    def machine(self) -> Machine:
-        """A fresh simulated machine at this workload's scale."""
-        return Machine(scale=self.sim_scale)
-
     def run(
         self,
         variant: str,
@@ -192,10 +224,15 @@ class MiniCWorkload(Workload):
         else:
             program = self.opt_program()
         machine = machine or self.machine()
+        arrays = (
+            self.make_arrays()
+            if self.input_seed is None
+            else self.make_arrays(seed=self.input_seed)
+        )
         started = time.perf_counter()
         result = run_program(
             program,
-            arrays=self.make_arrays(),
+            arrays=arrays,
             scalars=dict(self.scalars),
             machine=machine,
             engine=engine,
@@ -212,6 +249,7 @@ class MiniCWorkload(Workload):
             pipeline=self._pipeline,
             wall_seconds=wall_seconds,
             engine=engine,
+            fault_stats=machine.fault_stats,
         )
 
     _pipeline: Optional[PipelineResult] = None
@@ -229,10 +267,6 @@ class SharedMemoryWorkload(Workload):
         self.name = name
         self.table2 = table2
         self.sim_scale = sim_scale
-
-    def machine(self) -> Machine:
-        """A fresh simulated machine at this workload's scale."""
-        return Machine(scale=self.sim_scale)
 
     def run(
         self,
@@ -273,6 +307,7 @@ class SharedMemoryWorkload(Workload):
             outputs=outputs,
             wall_seconds=wall_seconds,
             engine="tree",
+            fault_stats=machine.fault_stats,
         )
 
     # -- hooks -----------------------------------------------------------------

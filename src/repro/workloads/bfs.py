@@ -13,7 +13,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.transforms.pipeline import OptimizationPlan
-from repro.workloads.base import MiniCWorkload, Table2Row
+from repro.workloads.base import MiniCWorkload, Table2Row, input_rng
 
 EXEC_NODES = 1024
 PAPER_NODES = 32_000_000  # "32 M points"
@@ -75,9 +75,9 @@ void main() {{
 """
 
 
-def make_arrays():
+def make_arrays(seed=None):
     """Build the breadth-first search benchmark's executed-scale input arrays."""
-    rng = np.random.default_rng(13)
+    rng = input_rng(seed, 13)
     n = EXEC_NODES
     # A shallow random graph: node i connects to later nodes, keeping the
     # frontier expanding for several levels.

@@ -14,7 +14,7 @@ import numpy as np
 
 from repro.transforms.pipeline import OptimizationPlan
 from repro.transforms.streaming import StreamingOptions
-from repro.workloads.base import MiniCWorkload, Table2Row
+from repro.workloads.base import MiniCWorkload, Table2Row, input_rng
 
 EXEC_OPTIONS = 768
 PAPER_OPTIONS = 10_000_000  # "10^7 options"
@@ -65,9 +65,9 @@ void main() {
 """
 
 
-def make_arrays():
+def make_arrays(seed=None):
     """Build the option pricing benchmark's executed-scale input arrays."""
-    rng = np.random.default_rng(1234)
+    rng = input_rng(seed, 1234)
     n = EXEC_OPTIONS
     return {
         "sptprice": (rng.random(n) * 100.0 + 5.0).astype(np.float32),

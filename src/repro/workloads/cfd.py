@@ -14,7 +14,7 @@ import numpy as np
 
 from repro.transforms.pipeline import OptimizationPlan
 from repro.transforms.streaming import StreamingOptions
-from repro.workloads.base import MiniCWorkload, Table2Row
+from repro.workloads.base import MiniCWorkload, Table2Row, input_rng
 
 EXEC_CELLS = 448
 PAPER_CELLS = 53_000_000  # "53 M data"
@@ -50,9 +50,9 @@ void main() {
 """
 
 
-def make_arrays():
+def make_arrays(seed=None):
     """Build the Euler solver benchmark's executed-scale input arrays."""
-    rng = np.random.default_rng(23)
+    rng = input_rng(seed, 23)
     n = EXEC_CELLS
     return {
         "density": (rng.random(n) + 1.0).astype(np.float32),

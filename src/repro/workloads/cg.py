@@ -15,7 +15,7 @@ import numpy as np
 
 from repro.transforms.pipeline import OptimizationPlan
 from repro.transforms.streaming import StreamingOptions
-from repro.workloads.base import MiniCWorkload, Table2Row
+from repro.workloads.base import MiniCWorkload, Table2Row, input_rng
 
 EXEC_ROWS = 448
 PAPER_ROWS = 75_000  # "75 K Array"
@@ -56,9 +56,9 @@ void main() {
 """
 
 
-def make_arrays():
+def make_arrays(seed=None):
     """Build the conjugate gradient benchmark's executed-scale input arrays."""
-    rng = np.random.default_rng(17)
+    rng = input_rng(seed, 17)
     n = EXEC_ROWS
     nnz = n * NNZ_PER_ROW
     rowstart = np.arange(0, nnz + 1, NNZ_PER_ROW).astype(np.int32)

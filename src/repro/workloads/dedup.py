@@ -19,7 +19,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.transforms.pipeline import OptimizationPlan
-from repro.workloads.base import MiniCWorkload, Table2Row
+from repro.workloads.base import MiniCWorkload, Table2Row, input_rng
 
 EXEC_ELEMS = 3072
 PAPER_ELEMS = 168_000_000  # "672 M data" bytes = 168M floats
@@ -93,9 +93,9 @@ void main() {{
 """
 
 
-def make_arrays():
+def make_arrays(seed=None):
     """Build the chunk hashing pipeline benchmark's executed-scale input arrays."""
-    rng = np.random.default_rng(88)
+    rng = input_rng(seed, 88)
     n = EXEC_ELEMS
     return {
         "content": (rng.random(n) * 255.0).astype(np.float32),

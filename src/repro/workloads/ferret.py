@@ -91,11 +91,11 @@ class FerretWorkload(SharedMemoryWorkload):
     # -- the database -----------------------------------------------------
 
     def _features(self, n_images: int) -> np.ndarray:
-        rng = np.random.default_rng(4242)
+        rng = self._rng(4242)
         return rng.random((n_images, FEATURES)).astype(np.float32)
 
     def _queries(self, n_images: int) -> np.ndarray:
-        rng = np.random.default_rng(77)
+        rng = self._rng(77)
         return rng.random((QUERIES, FEATURES)).astype(np.float32)
 
     def _allocation_plan(self, n_images: int):

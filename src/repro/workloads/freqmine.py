@@ -61,7 +61,7 @@ class FreqmineWorkload(SharedMemoryWorkload):
         self.total_allocations = TOTAL_ALLOCATIONS
 
     def _mining_result(self) -> Dict[str, np.ndarray]:
-        rng = np.random.default_rng(3131)
+        rng = self._rng(3131)
         supports = rng.integers(1, 1000, MINING_TASKS)
         return {"supports": np.sort(supports)[::-1].astype(np.int32)}
 

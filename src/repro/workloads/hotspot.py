@@ -15,7 +15,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.transforms.pipeline import OptimizationPlan
-from repro.workloads.base import MiniCWorkload, Table2Row
+from repro.workloads.base import MiniCWorkload, Table2Row, input_rng
 
 EXEC_ROWS = 48
 EXEC_COLS = 48
@@ -70,9 +70,9 @@ void main() {
 """
 
 
-def make_arrays():
+def make_arrays(seed=None):
     """Build the thermal stencil benchmark's executed-scale input arrays."""
-    rng = np.random.default_rng(41)
+    rng = input_rng(seed, 41)
     n = EXEC_ROWS * EXEC_COLS
     return {
         "temp": (rng.random(n) * 50.0 + 300.0).astype(np.float32),

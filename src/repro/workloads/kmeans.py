@@ -18,7 +18,7 @@ import numpy as np
 
 from repro.transforms.pipeline import OptimizationPlan
 from repro.transforms.streaming import StreamingOptions
-from repro.workloads.base import MiniCWorkload, Table2Row
+from repro.workloads.base import MiniCWorkload, Table2Row, input_rng
 
 EXEC_POINTS = 768
 PAPER_POINTS = 100_000  # "100 clusters, 10^5 points"
@@ -61,9 +61,9 @@ void main() {
 """
 
 
-def make_arrays():
+def make_arrays(seed=None):
     """Build the k-means clustering benchmark's executed-scale input arrays."""
-    rng = np.random.default_rng(77)
+    rng = input_rng(seed, 77)
     return {
         "points": rng.random(EXEC_POINTS * DIM).astype(np.float32),
         "centroids": rng.random(CLUSTERS * DIM).astype(np.float32),

@@ -16,7 +16,7 @@ import numpy as np
 
 from repro.transforms.pipeline import OptimizationPlan
 from repro.transforms.streaming import StreamingOptions
-from repro.workloads.base import MiniCWorkload, Table2Row
+from repro.workloads.base import MiniCWorkload, Table2Row, input_rng
 
 EXEC_RECORDS = 2048
 PAPER_RECORDS = 200_000_000  # "2.0 * 10^8 points"
@@ -48,9 +48,9 @@ void main() {
 """
 
 
-def make_arrays():
+def make_arrays(seed=None):
     """Build the k-nearest neighbours benchmark's executed-scale input arrays."""
-    rng = np.random.default_rng(31)
+    rng = input_rng(seed, 31)
     return {
         "records": rng.random(EXEC_RECORDS * RECSIZE).astype(np.float32),
         "targets": rng.random(QUERIES * 2).astype(np.float32),

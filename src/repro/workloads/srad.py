@@ -16,7 +16,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.transforms.pipeline import OptimizationPlan
-from repro.workloads.base import MiniCWorkload, Table2Row
+from repro.workloads.base import MiniCWorkload, Table2Row, input_rng
 
 EXEC_SIZE = 1024
 PAPER_SIZE = 4096 * 4096  # "4096 x 4096 matrix"
@@ -82,9 +82,9 @@ void main() {{
 """
 
 
-def make_arrays():
+def make_arrays(seed=None):
     """Build the speckle-reducing diffusion benchmark's executed-scale input arrays."""
-    rng = np.random.default_rng(55)
+    rng = input_rng(seed, 55)
     n = EXEC_SIZE
     # Neighbour indexes of a flattened grid, clamped at the borders, the
     # way srad precomputes iN/iS/jW/jE.

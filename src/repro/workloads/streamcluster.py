@@ -16,7 +16,7 @@ import numpy as np
 
 from repro.transforms.pipeline import OptimizationPlan
 from repro.transforms.streaming import StreamingOptions
-from repro.workloads.base import MiniCWorkload, Table2Row
+from repro.workloads.base import MiniCWorkload, Table2Row, input_rng
 
 EXEC_POINTS = 448
 PAPER_POINTS = 163_840  # "163840 points"
@@ -49,9 +49,9 @@ void main() {
 """
 
 
-def make_arrays():
+def make_arrays(seed=None):
     """Build the online clustering benchmark's executed-scale input arrays."""
-    rng = np.random.default_rng(99)
+    rng = input_rng(seed, 99)
     n = EXEC_POINTS
     return {
         "px": rng.random(n).astype(np.float32),

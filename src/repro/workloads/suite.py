@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from repro.workloads import (
     bfs,
@@ -42,11 +42,17 @@ def workload_names() -> List[str]:
     return list(_FACTORIES)
 
 
-def get_workload(name: str) -> Workload:
-    """Construct a fresh instance of one workload."""
+def get_workload(name: str, seed: Optional[int] = None) -> Workload:
+    """Construct a fresh instance of one workload.
+
+    *seed* (the global ``--seed`` flag) reseeds the workload's input
+    generation; None keeps the fixed default input streams.
+    """
     if name not in _FACTORIES:
         raise KeyError(f"unknown workload {name!r}; know {sorted(_FACTORIES)}")
-    return _FACTORIES[name]()
+    workload = _FACTORIES[name]()
+    workload.input_seed = seed
+    return workload
 
 
 def build_suite() -> Dict[str, Workload]:

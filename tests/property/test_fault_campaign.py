@@ -1,0 +1,74 @@
+"""Campaign-level fault-injection properties.
+
+Two system-wide invariants backstop the resilience work:
+
+* **determinism** — a campaign is a pure function of its seed: running
+  it twice yields byte-equal summaries (same faults at the same
+  operations, same recovery costs, same outputs);
+* **engine independence** — the interpreter engine (batched numpy vs
+  tree walker) changes how device bodies are evaluated, never *what*
+  the offload runtime does, so the same fault plan produces identical
+  outputs and identical :class:`FaultStats` under either engine.
+"""
+
+import numpy as np
+
+from repro.faults import FaultPlan, ResiliencePolicy
+from repro.faults.campaign import outputs_identical, run_campaign, scenario_seed
+from repro.workloads.suite import get_workload
+
+#: Rates high enough that a two-scenario campaign always injects
+#: something, so the determinism assertions are not vacuous.
+HOT_RATES = {"h2d": 0.2, "d2h": 0.2, "kernel": 0.1, "alloc": 0.02, "signal": 0.1}
+
+
+class TestCampaignDeterminism:
+    def test_same_seed_same_summary(self):
+        first = run_campaign(["blackscholes"], scenarios=2, seed=5, rates=HOT_RATES)
+        second = run_campaign(["blackscholes"], scenarios=2, seed=5, rates=HOT_RATES)
+        assert first.totals.total_injected > 0
+        assert first.as_dict() == second.as_dict()
+
+    def test_contract_holds_under_hot_rates(self):
+        result = run_campaign(["blackscholes"], scenarios=3, seed=11, rates=HOT_RATES)
+        assert result.ok
+        for outcome in result.outcomes:
+            assert outcome.identical
+            if outcome.faults_injected:
+                assert outcome.time > outcome.baseline_time
+
+    def test_scenarios_are_decorrelated(self):
+        """Different scenario cells draw from independent fault streams."""
+        seeds = {
+            scenario_seed(0, k, name)
+            for k in range(3)
+            for name in ("blackscholes", "nn")
+        }
+        assert len(seeds) == 6
+
+
+class TestEngineDifferential:
+    def _run(self, engine):
+        plan_seed = scenario_seed(3, 0, "blackscholes")
+        workload = get_workload("blackscholes")
+        machine = workload.machine(
+            fault_plan=FaultPlan(seed=plan_seed, rates=HOT_RATES),
+            resilience=ResiliencePolicy(),
+        )
+        run = workload.run("opt", machine=machine, engine=engine)
+        return run, machine
+
+    def test_batch_and_tree_agree_under_faults(self):
+        batch_run, batch_machine = self._run("batch")
+        tree_run, tree_machine = self._run("tree")
+        assert batch_machine.fault_stats.total_injected > 0
+        assert outputs_identical(batch_run.outputs, tree_run.outputs)
+        assert (
+            batch_machine.fault_stats.as_dict()
+            == tree_machine.fault_stats.as_dict()
+        )
+        assert np.isclose(batch_machine.clock.now, tree_machine.clock.now)
+
+    def test_fault_stats_flow_into_workload_run(self):
+        run, machine = self._run("batch")
+        assert run.fault_stats is machine.fault_stats

@@ -1,0 +1,267 @@
+"""Fault injection and recovery: every fault is survived bit-identically.
+
+The simulator decouples correctness (concrete numpy interpretation) from
+timing (the event timeline), so injected faults may only ever cost
+simulated *time* — outputs must match the fault-free run exactly.  These
+tests script individual faults with :class:`FaultSpec` to drive each
+recovery path deterministically: transfer retry and degradation, kernel
+retry and host fallback, OOM demotion to streaming, and lost signals.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import DeviceOutOfMemory, OffloadTimeout
+from repro.faults import FaultPlan, FaultSpec, FaultStats, ResiliencePolicy
+from repro.hardware.memory import DeviceMemoryManager
+from repro.runtime.executor import Machine, run_program
+from repro.transforms.streaming import choose_demotion_blocks
+
+OFFLOAD_SRC = """
+void main() {
+#pragma offload target(mic:0) in(A : length(n)) in(n) out(B : length(n))
+#pragma omp parallel for
+    for (int i = 0; i < n; i++) {
+        B[i] = A[i] * 2.0 + 1.0;
+    }
+}
+"""
+
+
+def make_arrays(n=256):
+    return {
+        "A": np.arange(n, dtype=np.float32),
+        "B": np.zeros(n, dtype=np.float32),
+    }
+
+
+def run_with(machine, n=256):
+    return run_program(
+        OFFLOAD_SRC, arrays=make_arrays(n), scalars={"n": n}, machine=machine
+    )
+
+
+def baseline(n=256):
+    machine = Machine()
+    result = run_with(machine, n)
+    return result, machine.clock.now
+
+
+class TestPlanValidation:
+    def test_unknown_site_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault site"):
+            FaultSpec("pcie", 0)
+
+    def test_wrong_kind_rejected(self):
+        with pytest.raises(ValueError, match="cannot raise"):
+            FaultSpec("kernel", 0, kind="oom")
+
+    def test_unknown_rate_site_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault sites"):
+            FaultPlan(seed=1, rates={"nvlink": 0.5})
+
+    def test_same_seed_same_draws(self):
+        a = FaultPlan(seed=7)
+        b = FaultPlan(seed=7)
+        draws_a = [a.draw("h2d") for _ in range(200)]
+        draws_b = [b.draw("h2d") for _ in range(200)]
+        assert draws_a == draws_b
+        assert any(f is not None for f in draws_a)
+
+    def test_max_faults_caps_emission(self):
+        plan = FaultPlan(seed=7, rates={"h2d": 1.0}, max_faults=3)
+        faults = [plan.draw("h2d") for _ in range(50)]
+        assert sum(f is not None for f in faults) == 3
+
+
+class TestDisabledPathsBitIdentical:
+    def test_policy_without_plan_changes_nothing(self):
+        """A policy alone (no injector) must not perturb time or output."""
+        base, base_time = baseline()
+        machine = Machine(resilience=ResiliencePolicy())
+        result = run_with(machine)
+        assert np.array_equal(result.array("B"), base.array("B"))
+        assert machine.clock.now == base_time
+        assert machine.fault_stats.total_injected == 0
+
+    def test_empty_plan_changes_nothing(self):
+        """An injector that never fires reduces to the original timing."""
+        base, base_time = baseline()
+        machine = Machine(fault_plan=FaultPlan(scripted=[]))
+        result = run_with(machine)
+        assert np.array_equal(result.array("B"), base.array("B"))
+        assert machine.clock.now == base_time
+
+
+class TestTransferFaults:
+    def test_h2d_corrupt_retried(self):
+        base, base_time = baseline()
+        plan = FaultPlan(scripted=[FaultSpec("h2d", 0, kind="corrupt")])
+        machine = Machine(fault_plan=plan)
+        result = run_with(machine)
+        assert np.array_equal(result.array("B"), base.array("B"))
+        assert machine.clock.now > base_time
+        stats = machine.fault_stats
+        assert stats.injected == {"h2d:corrupt": 1}
+        assert stats.retries == 1
+        assert stats.recovery_seconds > 0
+
+    def test_d2h_stall_counts_timeout(self):
+        base, base_time = baseline()
+        plan = FaultPlan(scripted=[FaultSpec("d2h", 0, kind="stall")])
+        machine = Machine(fault_plan=plan)
+        result = run_with(machine)
+        assert np.array_equal(result.array("B"), base.array("B"))
+        assert machine.clock.now > base_time
+        assert machine.fault_stats.timeouts == 1
+
+    def test_exhausted_transfer_degrades_not_lost(self):
+        """Retries exhausted: the link limps through at degraded rate."""
+        base, base_time = baseline()
+        policy = ResiliencePolicy(max_retries=2)
+        plan = FaultPlan(
+            scripted=[FaultSpec("h2d", i, kind="corrupt") for i in range(3)]
+        )
+        machine = Machine(fault_plan=plan, resilience=policy)
+        result = run_with(machine)
+        assert np.array_equal(result.array("B"), base.array("B"))
+        assert machine.fault_stats.degraded_transfers == 1
+        assert machine.fault_stats.retries == 2
+        assert machine.clock.now > base_time
+
+
+class TestKernelFaults:
+    def test_crash_retried(self):
+        base, base_time = baseline()
+        plan = FaultPlan(scripted=[FaultSpec("kernel", 0, kind="crash")])
+        machine = Machine(fault_plan=plan)
+        result = run_with(machine)
+        assert np.array_equal(result.array("B"), base.array("B"))
+        assert machine.clock.now > base_time
+        assert machine.fault_stats.injected == {"kernel:crash": 1}
+
+    def test_hang_burns_watchdog_timeout(self):
+        policy = ResiliencePolicy(kernel_timeout=0.123)
+        plan = FaultPlan(scripted=[FaultSpec("kernel", 0, kind="hang")])
+        machine = Machine(fault_plan=plan, resilience=policy)
+        run_with(machine)
+        assert machine.fault_stats.timeouts == 1
+        assert machine.fault_stats.recovery_seconds > 0.123
+
+    def test_exhausted_retries_fall_back_to_host(self):
+        base, base_time = baseline()
+        plan = FaultPlan(
+            scripted=[FaultSpec("kernel", i, kind="crash") for i in range(4)]
+        )
+        machine = Machine(fault_plan=plan)
+        result = run_with(machine)
+        assert np.array_equal(result.array("B"), base.array("B"))
+        assert machine.fault_stats.host_fallbacks == 1
+        assert machine.fault_stats.fallback_seconds > 0
+        assert machine.clock.now > base_time
+
+    def test_no_host_fallback_raises(self):
+        policy = ResiliencePolicy(host_fallback=False)
+        plan = FaultPlan(
+            scripted=[FaultSpec("kernel", i, kind="crash") for i in range(4)]
+        )
+        machine = Machine(fault_plan=plan, resilience=policy)
+        with pytest.raises(OffloadTimeout, match="abandoned after 4 attempts"):
+            run_with(machine)
+
+
+class TestAllocFaults:
+    def test_injected_oom_demotes_to_streaming(self):
+        """A device OOM on a demotable loop restarts it block-granular."""
+        base, base_time = baseline()
+        plan = FaultPlan(scripted=[FaultSpec("alloc", 0, kind="oom")])
+        machine = Machine(fault_plan=plan)
+        result = run_with(machine)
+        assert np.array_equal(result.array("B"), base.array("B"))
+        stats = machine.fault_stats
+        assert stats.oom_demotions == 1
+        assert stats.injected == {"alloc:oom": 1}
+        assert machine.clock.now > base_time
+
+    def test_demotion_disabled_retries_transient_oom(self):
+        base, base_time = baseline()
+        policy = ResiliencePolicy(demote_on_oom=False)
+        plan = FaultPlan(scripted=[FaultSpec("alloc", 0, kind="oom")])
+        machine = Machine(fault_plan=plan, resilience=policy)
+        result = run_with(machine)
+        assert np.array_equal(result.array("B"), base.array("B"))
+        assert machine.fault_stats.oom_demotions == 0
+        assert machine.fault_stats.retries == 1
+        assert machine.clock.now > base_time
+
+    def test_oom_carries_allocation_name(self):
+        mem = DeviceMemoryManager(capacity=100)
+        with pytest.raises(DeviceOutOfMemory) as exc_info:
+            mem.allocate("prices", 1000)
+        exc = exc_info.value
+        assert exc.name == "prices"
+        assert not exc.injected
+        assert "'prices'" in str(exc)
+
+    def test_injected_oom_is_tagged(self):
+        plan = FaultPlan(scripted=[FaultSpec("alloc", 0, kind="oom")])
+        machine = Machine(fault_plan=plan)
+        with pytest.raises(DeviceOutOfMemory) as exc_info:
+            machine.coi.alloc_buffer("scratch", 16)
+        assert exc_info.value.injected
+        assert "(injected)" in str(exc_info.value)
+
+
+class TestSignalFaults:
+    def test_lost_signal_costs_timeout_but_delivers(self):
+        policy = ResiliencePolicy(signal_timeout=0.0625)
+        plan = FaultPlan(scripted=[FaultSpec("signal", 0, kind="lost")])
+        machine = Machine(fault_plan=plan, resilience=policy)
+        coi = machine.coi
+        event = coi.launch_kernel(0.001, label="work")
+        coi.post_signal(7, [event])
+        before = machine.clock.now
+        events = coi.take_signal(7)
+        assert events == [event]
+        assert machine.fault_stats.signals_lost == 1
+        assert machine.clock.now == before + 0.0625
+
+
+class TestChooseDemotionBlocks:
+    def test_small_footprint_uses_default(self):
+        assert choose_demotion_blocks(1.0e6, 1.0e9) >= 2
+
+    def test_tight_memory_raises_block_count(self):
+        roomy = choose_demotion_blocks(1.0e6, 1.0e9)
+        tight = choose_demotion_blocks(8.0e8, 1.0e8)
+        assert tight > roomy
+        # Two resident blocks must fit in half the free budget.
+        assert 2.0 * 8.0e8 / tight <= 0.5 * 1.0e8
+
+    def test_never_below_two(self):
+        assert choose_demotion_blocks(0.0, 1.0e9) >= 2
+        assert choose_demotion_blocks(10.0, 0.0) >= 2
+
+
+class TestFaultStats:
+    def test_add_merges_counters(self):
+        a = FaultStats()
+        b = FaultStats()
+        a.injected["h2d:corrupt"] = 2
+        a.retries = 1
+        b.injected["h2d:corrupt"] = 1
+        b.injected["kernel:hang"] = 3
+        b.timeouts = 4
+        a.add(b)
+        assert a.injected == {"h2d:corrupt": 3, "kernel:hang": 3}
+        assert a.retries == 1
+        assert a.timeouts == 4
+        assert a.total_injected == 6
+
+    def test_as_dict_round_trips_counters(self):
+        stats = FaultStats()
+        stats.retries = 2
+        stats.injected["alloc:oom"] = 1
+        payload = stats.as_dict()
+        assert payload["retries"] == 2
+        assert payload["injected"] == {"alloc:oom": 1}

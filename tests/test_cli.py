@@ -127,6 +127,64 @@ class TestBenchCommand:
         with pytest.raises(SystemExit):
             main(["bench", "nosuchbenchmark"])
 
+    def test_bench_seed_flag(self, capsys):
+        assert main(["bench", "nn", "--seed", "3"]) == 0
+        assert "nn" in capsys.readouterr().out
+
+
+class TestFaultsCommand:
+    def test_campaign_contract_holds(self, capsys):
+        code = main(["faults", "blackscholes", "--scenarios", "2", "--seed", "0"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "campaign: 2 scenarios" in out
+        assert "VIOLATION" not in out
+
+    def test_summary_json(self, tmp_path, capsys):
+        import json
+
+        out_file = tmp_path / "faults.json"
+        code = main([
+            "faults", "blackscholes",
+            "--scenarios", "1", "--seed", "0", "--out", str(out_file),
+        ])
+        assert code == 0
+        payload = json.loads(out_file.read_text())
+        assert payload["ok"] is True
+        assert payload["seed"] == 0
+        assert len(payload["outcomes"]) == 1
+        assert payload["outcomes"][0]["workload"] == "blackscholes"
+
+    def test_rate_override(self, capsys):
+        code = main([
+            "faults", "blackscholes",
+            "--scenarios", "1", "--seed", "1", "--rate", "h2d=0.5",
+        ])
+        assert code == 0
+        assert "faults injected" in capsys.readouterr().out
+
+    def test_bad_rate_spec(self):
+        with pytest.raises(SystemExit):
+            main(["faults", "blackscholes", "--rate", "pcie=0.5"])
+
+    def test_unknown_name(self):
+        with pytest.raises(SystemExit):
+            main(["faults", "nosuchbenchmark"])
+
+
+class TestRunFaultInjection:
+    def test_inject_faults_reports_stats(self, source_file, capsys):
+        code = main([
+            "run", source_file, "--inject-faults", "--seed", "7",
+            "--array", "A=64:float:ones",
+            "--array", "B=64:float:zeros",
+            "--scalar", "n=64",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "faults injected" in out
+        assert "recovery time" in out
+
 
 class TestTuneCommand:
     def test_tune_prints_model_choice(self, source_file, capsys):
