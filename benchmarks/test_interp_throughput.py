@@ -13,6 +13,7 @@ import numpy as np
 
 from benchmarks.conftest import emit
 from repro.experiments.report import render_table
+from repro.obs.provenance import build_provenance
 from repro.runtime.executor import Machine, run_program
 
 RESULT_PATH = Path(__file__).resolve().parents[1] / "BENCH_interp.json"
@@ -66,6 +67,7 @@ def _time_engine(engine, repeats=3):
 def test_interpreter_throughput():
     iterations = N * REPS
     report = {
+        "provenance": build_provenance(seed=42, engine="tree,batch"),
         "benchmark": "interp_throughput",
         "kernel": "blackscholes-style parallel for",
         "iterations": iterations,

@@ -1,0 +1,18 @@
+// A streamable offload loop: the shape data streaming (Section III)
+// exists for.  Run it through the tracer to see transfer/compute
+// overlap as parallel lanes in Perfetto:
+//
+//   python -m repro trace examples/streamed_offload.c \
+//       --array A=4096:float:random --array B=4096:float:zeros \
+//       --scalar n=4096 --optimize --scale 20000 \
+//       --out trace.json --metrics metrics.json --check
+//
+// Without --optimize the trace shows the serialized schedule instead
+// (transfer, then compute, then transfer back).
+void main() {
+#pragma offload target(mic:0) in(A : length(n)) in(n) out(B : length(n))
+#pragma omp parallel for
+    for (int i = 0; i < n; i++) {
+        B[i] = sqrt(A[i]) + A[i] * 0.5;
+    }
+}

@@ -14,7 +14,9 @@ everything needed to evaluate them without the original Xeon Phi testbed:
 * :mod:`repro.runtime` — the offload runtime (COI-like), the MYO baseline,
   the arena allocator with augmented pointers, and the MiniC interpreter;
 * :mod:`repro.workloads` — the twelve Table II benchmarks;
-* :mod:`repro.experiments` — harness regenerating every table and figure.
+* :mod:`repro.experiments` — harness regenerating every table and figure;
+* :mod:`repro.obs` — observability: span tracing on the simulated clock,
+  a metrics registry, and Chrome/Perfetto trace export.
 
 Quickstart::
 
@@ -32,6 +34,7 @@ import numpy as np
 
 from repro.minic.parser import parse
 from repro.minic.printer import to_source
+from repro.obs.tracer import NULL_TRACER, NullTracer, Tracer
 from repro.runtime.executor import (
     ExecutionResult,
     Executor,
@@ -50,6 +53,9 @@ __all__ = [
     "parse",
     "to_source",
     "Machine",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
     "Executor",
     "ExecutionResult",
     "run_program",

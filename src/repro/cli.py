@@ -10,18 +10,26 @@ Commands:
   and print the speedup rows;
 * ``faults [NAMES...]`` — run a seeded fault-injection campaign and
   check that recovery preserves bit-identical outputs;
+* ``trace FILE`` — execute a program with the observability subsystem
+  enabled and export a Perfetto-compatible Chrome trace plus a metrics
+  snapshot (see ``docs/observability.md``);
 * ``report`` — regenerate the paper's full evaluation (all figures and
   tables).
+
+``run``, ``bench``, and ``faults`` also accept ``--trace FILE`` to write
+the same Chrome trace alongside their normal output (multi-run commands
+merge each run as its own process lane).
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-from typing import List, Optional
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro import __version__
 from repro.minic.parser import parse
 from repro.minic.printer import to_source
 from repro.runtime.executor import Machine, run_program
@@ -40,6 +48,9 @@ def _build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="COMP (MICRO 2014) reproduction: compiler optimizations "
         "for manycore offload",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {__version__}"
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -77,6 +88,39 @@ def _build_parser() -> argparse.ArgumentParser:
     runp.add_argument("--inject-faults", action="store_true",
                       help="run under a fault plan derived from --seed "
                            "and report the recovery stats")
+    runp.add_argument("--trace", metavar="FILE",
+                      help="record the run and write a Chrome/Perfetto "
+                           "trace JSON to FILE")
+
+    trace = sub.add_parser(
+        "trace",
+        help="execute a program with tracing enabled and export the trace",
+    )
+    trace.add_argument("file", help="MiniC source path ('-' for stdin)")
+    trace.add_argument("--array", action="append", default=[],
+                       metavar="NAME=SIZE[:DTYPE[:KIND]]",
+                       help="declare an input array; KIND is zeros|ones|"
+                            "arange|random (default random)")
+    trace.add_argument("--scalar", action="append", default=[],
+                       metavar="NAME=VALUE")
+    trace.add_argument("--scale", type=float, default=1.0,
+                       help="simulation scale factor")
+    trace.add_argument("--seed", type=int, default=0)
+    trace.add_argument("--optimize", action="store_true",
+                       help="apply the COMP pipeline before running")
+    trace.add_argument("--engine", choices=("auto", "batch", "tree"),
+                       default="auto")
+    trace.add_argument("--out", metavar="FILE", default="trace.json",
+                       help="Chrome/Perfetto trace output path "
+                            "(default trace.json)")
+    trace.add_argument("--metrics", metavar="FILE",
+                       help="also write the metrics snapshot JSON to FILE")
+    trace.add_argument("--flame", metavar="FILE",
+                       help="also write collapsed-stack flamegraph lines "
+                            "to FILE")
+    trace.add_argument("--check", action="store_true",
+                       help="validate the exported trace against the "
+                            "Chrome trace-event schema and fail on problems")
 
     bench = sub.add_parser("bench", help="run Table II benchmarks")
     bench.add_argument("names", nargs="*", help="benchmark names (default all)")
@@ -87,6 +131,9 @@ def _build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--seed", type=int, default=None,
                        help="reseed workload input generation "
                             "(default: fixed per-workload inputs)")
+    bench.add_argument("--trace", metavar="FILE",
+                       help="record every run and write one merged "
+                            "Chrome/Perfetto trace JSON to FILE")
 
     faults = sub.add_parser(
         "faults",
@@ -109,6 +156,9 @@ def _build_parser() -> argparse.ArgumentParser:
                              "signal)")
     faults.add_argument("--out", metavar="FILE",
                         help="write the campaign summary JSON to FILE")
+    faults.add_argument("--trace", metavar="FILE",
+                        help="record every fault scenario and write one "
+                             "merged Chrome/Perfetto trace JSON to FILE")
 
     tune = sub.add_parser(
         "tune",
@@ -192,21 +242,55 @@ def _parse_scalar_spec(spec: str) -> tuple:
     return name, value
 
 
-def _cmd_run(args: argparse.Namespace) -> int:
-    source = _read_source(args.file)
+def _parse_inputs(args: argparse.Namespace) -> Tuple[dict, dict]:
+    """The (arrays, scalars) bindings of a program-running command."""
     rng = np.random.default_rng(args.seed)
     arrays = dict(_parse_array_spec(s, rng) for s in args.array)
     scalars = dict(_parse_scalar_spec(s) for s in args.scalar)
+    return arrays, scalars
 
-    program = parse(source)
-    if args.optimize:
+
+def _load_program(args: argparse.Namespace):
+    """Parse (and optionally optimize) the command's source file."""
+    program = parse(_read_source(args.file))
+    if getattr(args, "optimize", False):
         CompOptimizer().optimize(program)
+    return program
+
+
+def _write_merged_trace(path: str, tracers: Sequence[Tuple[str, object]]) -> None:
+    """Merge several runs' tracers into one Chrome trace file.
+
+    Each run becomes its own process lane (distinct pid + process name),
+    and the combined payload is re-sorted so the file keeps the global
+    monotone-timestamp property the validator checks.
+    """
+    from repro.obs.export import (
+        chrome_trace_events,
+        sort_trace_events,
+        write_chrome_trace,
+    )
+
+    events: list = []
+    for pid, (label, tracer) in enumerate(tracers):
+        events.extend(chrome_trace_events(tracer, pid=pid, process_name=label))
+    write_chrome_trace(path, sort_trace_events(events))
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    arrays, scalars = _parse_inputs(args)
+    program = _load_program(args)
     fault_plan = None
     if args.inject_faults:
         from repro.faults import FaultPlan
 
         fault_plan = FaultPlan(seed=args.seed)
-    machine = Machine(scale=args.scale, fault_plan=fault_plan)
+    tracer = None
+    if args.trace:
+        from repro.obs import Tracer
+
+        tracer = Tracer()
+    machine = Machine(scale=args.scale, fault_plan=fault_plan, tracer=tracer)
     result = run_program(program, arrays=arrays, scalars=scalars,
                          machine=machine, engine=args.engine)
     stats = result.stats
@@ -227,6 +311,55 @@ def _cmd_run(args: argparse.Namespace) -> int:
     for name in args.print_array:
         value = result.array(name)
         print(f"{name}[:8] = {np.array2string(value[:8], precision=4)}")
+    if args.trace:
+        from repro.obs import chrome_trace_events, write_chrome_trace
+
+        write_chrome_trace(args.trace, chrome_trace_events(tracer))
+        print(f"trace written to {args.trace}")
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.experiments.trace import render_summary, summarize
+    from repro.obs import (
+        Tracer,
+        build_provenance,
+        chrome_trace_events,
+        flamegraph_lines,
+        validate_chrome_trace,
+        write_chrome_trace,
+        write_metrics,
+    )
+
+    arrays, scalars = _parse_inputs(args)
+    program = _load_program(args)
+    tracer = Tracer()
+    machine = Machine(scale=args.scale, tracer=tracer)
+    run_program(program, arrays=arrays, scalars=scalars,
+                machine=machine, engine=args.engine)
+
+    events = chrome_trace_events(tracer)
+    write_chrome_trace(args.out, events)
+    print(render_summary(summarize(tracer)))
+    print(f"\ntrace written to {args.out} "
+          f"({len(tracer.spans)} spans, {len(tracer.instants)} instants) — "
+          f"load it at https://ui.perfetto.dev or chrome://tracing")
+    if args.metrics:
+        provenance = build_provenance(seed=args.seed, engine=args.engine)
+        write_metrics(args.metrics, tracer.metrics, provenance=provenance)
+        print(f"metrics snapshot written to {args.metrics}")
+    if args.flame:
+        with open(args.flame, "w") as handle:
+            for line in flamegraph_lines(tracer.spans):
+                handle.write(line + "\n")
+        print(f"flamegraph lines written to {args.flame}")
+    if args.check:
+        problems = validate_chrome_trace(events)
+        if problems:
+            for problem in problems:
+                print(f"trace schema problem: {problem}", file=sys.stderr)
+            return 1
+        print("trace schema check: ok")
     return 0
 
 
@@ -239,7 +372,19 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     unknown = set(names) - set(workload_names())
     if unknown:
         raise SystemExit(f"unknown benchmarks: {sorted(unknown)}")
-    runner = SuiteRunner(engine=args.engine, seed=args.seed)
+    tracers: list = []
+    tracer_factory = None
+    if args.trace:
+        from repro.obs import Tracer
+
+        def tracer_factory(name: str, variant: str):
+            tracer = Tracer()
+            tracers.append((f"{name}/{variant}", tracer))
+            return tracer
+
+    runner = SuiteRunner(
+        engine=args.engine, seed=args.seed, tracer_factory=tracer_factory
+    )
     rows = []
     for name in names:
         result = runner.run_benchmark(name)
@@ -255,6 +400,9 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     print(render_table(
         ["benchmark", "mic/cpu", "opt/cpu", "opt/mic", "outputs"], rows
     ))
+    if args.trace:
+        _write_merged_trace(args.trace, tracers)
+        print(f"trace written to {args.trace} ({len(tracers)} runs)")
     return 0
 
 
@@ -281,6 +429,16 @@ def _cmd_faults(args: argparse.Namespace) -> int:
                     f"SITE in {FAULT_SITES}"
                 )
             rates[site] = float(prob)
+    tracers: list = []
+    tracer_factory = None
+    if args.trace:
+        from repro.obs import Tracer
+
+        def tracer_factory(name: str, scenario: int):
+            tracer = Tracer()
+            tracers.append((f"{name}/scenario{scenario}", tracer))
+            return tracer
+
     result = run_campaign(
         names=names,
         scenarios=args.scenarios,
@@ -288,6 +446,7 @@ def _cmd_faults(args: argparse.Namespace) -> int:
         variant=args.variant,
         engine=args.engine,
         rates=rates,
+        tracer_factory=tracer_factory,
     )
     rows = []
     for outcome in result.outcomes:
@@ -323,6 +482,9 @@ def _cmd_faults(args: argparse.Namespace) -> int:
         with open(args.out, "w") as handle:
             json.dump(result.as_dict(), handle, indent=2)
         print(f"summary written to {args.out}")
+    if args.trace:
+        _write_merged_trace(args.trace, tracers)
+        print(f"trace written to {args.trace} ({len(tracers)} scenarios)")
     if not result.ok:
         print("FAULT CAMPAIGN CONTRACT VIOLATED", file=sys.stderr)
         return 1
@@ -391,6 +553,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     handlers = {
         "compile": _cmd_compile,
         "run": _cmd_run,
+        "trace": _cmd_trace,
         "bench": _cmd_bench,
         "faults": _cmd_faults,
         "tune": _cmd_tune,

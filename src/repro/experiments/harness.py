@@ -89,14 +89,29 @@ class SuiteRunner:
     it participates in the cache key so one runner can compare engines.
     *seed* reseeds workload input generation (the global ``--seed``
     flag); None keeps each workload's fixed default inputs.
+    *tracer_factory*, when given, is called as ``factory(name, variant)``
+    per run and must return a :class:`repro.obs.Tracer` (or None); the
+    run then executes on an instrumented machine.
     """
 
     def __init__(
-        self, engine: Optional[str] = None, seed: Optional[int] = None
+        self,
+        engine: Optional[str] = None,
+        seed: Optional[int] = None,
+        tracer_factory=None,
     ) -> None:
         self.engine = engine
         self.seed = seed
+        self.tracer_factory = tracer_factory
         self._cache: Dict[Tuple, WorkloadRun] = {}
+
+    def _machine_for(self, workload: Workload, name: str, variant: str):
+        if self.tracer_factory is None:
+            return None
+        tracer = self.tracer_factory(name, variant)
+        if tracer is None:
+            return None
+        return workload.machine(tracer=tracer)
 
     # -- standard variants ---------------------------------------------------
 
@@ -104,8 +119,11 @@ class SuiteRunner:
         """Run (or fetch cached) one variant of one benchmark."""
         key = (name, variant, None, self.engine, self.seed)
         if key not in self._cache:
-            self._cache[key] = get_workload(name, seed=self.seed).run(
-                variant, engine=self.engine
+            workload = get_workload(name, seed=self.seed)
+            self._cache[key] = workload.run(
+                variant,
+                machine=self._machine_for(workload, name, variant),
+                engine=self.engine,
             )
         return self._cache[key]
 

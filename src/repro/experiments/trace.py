@@ -1,70 +1,65 @@
 """Execution-trace analysis: where did the time go?
 
-Consumes a machine's :class:`~repro.hardware.event_sim.Timeline` after a
-run and answers the questions the paper's evaluation sections ask:
+Consumes the span stream of one run — either a machine's
+:class:`~repro.hardware.event_sim.Timeline` (lifted through
+:func:`repro.obs.tracer.spans_from_timeline`), a
+:class:`repro.obs.Tracer`, or a plain span iterable — and answers the
+questions the paper's evaluation sections ask:
 
 * how much of the makespan is transfer vs. compute vs. idle;
 * how much transfer/compute *overlap* the schedule achieved (the quantity
   data streaming exists to create);
 * a per-resource utilization summary.
+
+The interval arithmetic lives in :mod:`repro.obs.intervals` (the single
+source of truth shared with the exporters); ``_merge`` and ``_intersect``
+remain as aliases for callers of the original private helpers.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import Dict, Iterable, List, Tuple, Union
 
 from repro.hardware.event_sim import Timeline
+from repro.obs.intervals import covered_time, intersect_total, merge_intervals
+from repro.obs.tracer import Span, Tracer, spans_from_timeline
 
 TRANSFER_RESOURCES = ("dma:h2d", "dma:d2h")
 DEVICE_RESOURCE = "mic"
 
+# Aliases kept for the original private-helper call sites and their tests.
+_merge = merge_intervals
+_covered = covered_time
+_intersect = intersect_total
 
-def _intervals(timeline: Timeline, resources: Tuple[str, ...]) -> List[Tuple[float, float]]:
-    spans = [
-        (entry.start, entry.end)
-        for resource in resources
-        for entry in timeline.entries(resource)
-        if entry.end > entry.start
+TraceSource = Union[Timeline, Tracer, Iterable[Span]]
+
+
+def _as_spans(source: TraceSource) -> List[Span]:
+    """Normalize any trace source to a span list."""
+    if isinstance(source, Timeline):
+        return spans_from_timeline(source)
+    if isinstance(source, Tracer):
+        return list(source.spans)
+    return list(source)
+
+
+def _intervals(
+    source: TraceSource, resources: Tuple[str, ...]
+) -> List[Tuple[float, float]]:
+    spans = _as_spans(source)
+    ivs = [
+        (span.start, span.end)
+        for span in spans
+        if span.track in resources and span.end > span.start
     ]
-    return _merge(sorted(spans))
-
-
-def _merge(spans: List[Tuple[float, float]]) -> List[Tuple[float, float]]:
-    merged: List[Tuple[float, float]] = []
-    for start, end in spans:
-        if merged and start <= merged[-1][1]:
-            merged[-1] = (merged[-1][0], max(merged[-1][1], end))
-        else:
-            merged.append((start, end))
-    return merged
-
-
-def _covered(spans: List[Tuple[float, float]]) -> float:
-    return sum(end - start for start, end in spans)
-
-
-def _intersect(
-    a: List[Tuple[float, float]], b: List[Tuple[float, float]]
-) -> float:
-    """Total time covered by both interval sets."""
-    total = 0.0
-    i = j = 0
-    while i < len(a) and j < len(b):
-        lo = max(a[i][0], b[j][0])
-        hi = min(a[i][1], b[j][1])
-        if hi > lo:
-            total += hi - lo
-        if a[i][1] < b[j][1]:
-            i += 1
-        else:
-            j += 1
-    return total
+    return _merge(sorted(ivs))
 
 
 @dataclass
 class TraceSummary:
-    """Aggregated view of one execution's timeline."""
+    """Aggregated view of one execution's span stream."""
 
     makespan: float
     transfer_busy: float
@@ -95,11 +90,17 @@ class TraceSummary:
     _any_busy: float = 0.0
 
 
-def summarize(timeline: Timeline) -> TraceSummary:
-    """Analyze a timeline into busy/overlap/idle components."""
-    transfer_spans = _intervals(timeline, TRANSFER_RESOURCES)
-    device_spans = _intervals(timeline, (DEVICE_RESOURCE,))
-    makespan = timeline.finish_time()
+def summarize(source: TraceSource) -> TraceSummary:
+    """Analyze one run's spans into busy/overlap/idle components.
+
+    Accepts a :class:`Timeline` (the untraced path, lifted to spans), a
+    :class:`Tracer`, or any span iterable, so traced and untraced runs
+    share one analysis.
+    """
+    spans = _as_spans(source)
+    transfer_spans = _intervals(spans, TRANSFER_RESOURCES)
+    device_spans = _intervals(spans, (DEVICE_RESOURCE,))
+    makespan = max((span.end for span in spans), default=0.0)
     summary = TraceSummary(
         makespan=makespan,
         transfer_busy=_covered(transfer_spans),
@@ -107,9 +108,12 @@ def summarize(timeline: Timeline) -> TraceSummary:
         overlap=_intersect(transfer_spans, device_spans),
     )
     summary._any_busy = _covered(_merge(sorted(transfer_spans + device_spans)))
-    for name, resource in timeline.resources.items():
-        busy = timeline.busy_time(name)
-        summary.utilization[name] = busy / makespan if makespan else 0.0
+    by_track: Dict[str, List[Tuple[float, float]]] = {}
+    for span in spans:
+        by_track.setdefault(span.track, []).append((span.start, span.end))
+    for track in sorted(by_track):
+        busy = _covered(_merge(sorted(by_track[track])))
+        summary.utilization[track] = busy / makespan if makespan else 0.0
     return summary
 
 

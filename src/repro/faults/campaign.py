@@ -26,6 +26,7 @@ import numpy as np
 from repro.faults.plan import FaultPlan
 from repro.faults.policy import ResiliencePolicy
 from repro.faults.stats import FaultStats
+from repro.obs.provenance import build_provenance
 
 
 def scenario_seed(seed: int, scenario: int, workload: str) -> tuple:
@@ -89,6 +90,8 @@ class CampaignResult:
     seed: int
     scenarios: int
     variant: str
+    #: Interpreter engine the campaign ran under (None = per-workload).
+    engine: Optional[str] = None
     outcomes: List[ScenarioOutcome] = field(default_factory=list)
 
     @property
@@ -107,9 +110,11 @@ class CampaignResult:
     def as_dict(self) -> dict:
         """The summary JSON payload (``repro faults --out``)."""
         return {
+            "provenance": build_provenance(seed=self.seed, engine=self.engine),
             "seed": self.seed,
             "scenarios": self.scenarios,
             "variant": self.variant,
+            "engine": self.engine,
             "ok": self.ok,
             "totals": self.totals.as_dict(),
             "outcomes": [outcome.as_dict() for outcome in self.outcomes],
@@ -124,8 +129,14 @@ def run_campaign(
     engine: Optional[str] = None,
     rates: Optional[Dict[str, float]] = None,
     policy: Optional[ResiliencePolicy] = None,
+    tracer_factory=None,
 ) -> CampaignResult:
     """Run the fault campaign; returns outcomes for every cell.
+
+    *tracer_factory*, when given, is called as ``factory(name, scenario)``
+    per fault scenario and may return a :class:`repro.obs.Tracer`; the
+    scenario then runs instrumented (fault firings and recovery actions
+    become trace events).  Baseline runs are never traced.
 
     The import of the workload registry is deferred so the faults
     package stays importable from the runtime layer without cycles.
@@ -134,7 +145,9 @@ def run_campaign(
 
     names = list(names) if names else workload_names()
     policy = policy or ResiliencePolicy()
-    result = CampaignResult(seed=seed, scenarios=scenarios, variant=variant)
+    result = CampaignResult(
+        seed=seed, scenarios=scenarios, variant=variant, engine=engine
+    )
     for name in names:
         baseline_workload = get_workload(name, seed=seed)
         baseline = baseline_workload.run(variant, engine=engine)
@@ -142,7 +155,12 @@ def run_campaign(
             workload = get_workload(name, seed=seed)
             plan_seed = scenario_seed(seed, k, name)
             plan = FaultPlan(seed=plan_seed, rates=rates)
-            machine = workload.machine(fault_plan=plan, resilience=policy)
+            tracer = (
+                tracer_factory(name, k) if tracer_factory is not None else None
+            )
+            machine = workload.machine(
+                fault_plan=plan, resilience=policy, tracer=tracer
+            )
             run = workload.run(variant, machine=machine, engine=engine)
             result.outcomes.append(
                 ScenarioOutcome(

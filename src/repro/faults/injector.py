@@ -13,6 +13,7 @@ from typing import Optional
 
 from repro.faults.plan import Fault, FaultPlan
 from repro.faults.stats import FaultStats
+from repro.obs.tracer import NULL_TRACER
 
 
 class FaultInjector:
@@ -22,6 +23,10 @@ class FaultInjector:
         self.plan = plan
         self.stats = stats if stats is not None else FaultStats()
         self._suspend = 0
+        #: Observability hooks, attached by the Machine: fault firings
+        #: become instant events at the simulated time of the draw.
+        self.tracer = NULL_TRACER
+        self.clock = None
 
     def draw(self, site: str) -> Optional[Fault]:
         """The fault (if any) for the next operation at *site*."""
@@ -30,6 +35,12 @@ class FaultInjector:
         fault = self.plan.draw(site)
         if fault is not None:
             self.stats.record_injected(fault)
+            if self.tracer.enabled and self.clock is not None:
+                self.tracer.instant(
+                    f"fault:{site}:{fault.kind}", self.clock.now, track="cpu",
+                    site=site, kind=fault.kind, severity=fault.severity,
+                )
+                self.tracer.metrics.counter(f"faults.injected.{site}").inc()
         return fault
 
     @contextmanager

@@ -134,6 +134,29 @@ class ComputeDevice:
             return 1.0
         return 1.0 + (self.spec.simd_lanes - 1) * self.spec.simd_efficiency
 
+    def _roofline_terms(
+        self,
+        counters: OpCounters,
+        parallel_iterations: float,
+        vectorizable: bool,
+        serial: bool,
+    ):
+        """The roofline's (threads, compute term, memory term) triple."""
+        spec = self.spec
+        threads = 1.0 if serial else self.effective_threads(parallel_iterations)
+        flop_throughput = (
+            threads * spec.thread_flops * self.simd_factor(vectorizable)
+        )
+        t_compute = counters.work_ops / flop_throughput if flop_throughput else 0.0
+
+        locality = locality_factor(counters.irregular_fraction())
+        bandwidth = spec.mem_bandwidth * locality
+        if not serial and threads < spec.threads_used:
+            # A handful of threads cannot saturate the memory system.
+            bandwidth *= max(threads / spec.threads_used, 0.05)
+        t_memory = counters.total_bytes / bandwidth if bandwidth else 0.0
+        return threads, t_compute, t_memory
+
     def compute_time(
         self,
         counters: OpCounters,
@@ -150,28 +173,53 @@ class ComputeDevice:
         on when it says vectorization matters after regularization removes
         the bandwidth bottleneck.
         """
-        spec = self.spec
-        threads = 1.0 if serial else self.effective_threads(parallel_iterations)
-        flop_throughput = (
-            threads * spec.thread_flops * self.simd_factor(vectorizable)
+        _, t_compute, t_memory = self._roofline_terms(
+            counters, parallel_iterations, vectorizable, serial
         )
-        t_compute = counters.work_ops / flop_throughput if flop_throughput else 0.0
-
-        locality = locality_factor(counters.irregular_fraction())
-        bandwidth = spec.mem_bandwidth * locality
-        if not serial and threads < spec.threads_used:
-            # A handful of threads cannot saturate the memory system.
-            bandwidth *= max(threads / spec.threads_used, 0.05)
-        t_memory = counters.total_bytes / bandwidth if bandwidth else 0.0
-
         # Out-of-order cores (and vectorized loops, via wide loads plus
         # software prefetch) overlap memory stalls with computation; scalar
         # loops on in-order cores serialize them.  This is why the paper's
         # regularization win comes from *enabling vectorization*: the
         # vectorized half escapes the stall-serialised regime.
-        if getattr(spec, "in_order", False) and not vectorizable:
+        if getattr(self.spec, "in_order", False) and not vectorizable:
             return t_compute + t_memory
         return max(t_compute, t_memory)
+
+    def explain(
+        self,
+        counters: OpCounters,
+        parallel_iterations: float = 1.0,
+        vectorizable: bool = False,
+        serial: bool = False,
+    ) -> dict:
+        """The roofline verdict for the counted work, as span attributes.
+
+        Observability hook: shows *why* a loop costs what it costs —
+        which side of the roofline bound it sits on, how many threads it
+        used, and whether SIMD applied.  Uses the same arithmetic as
+        :meth:`compute_time`, so the reported seconds match the charge.
+        """
+        threads, t_compute, t_memory = self._roofline_terms(
+            counters, parallel_iterations, vectorizable, serial
+        )
+        stalls_serialize = (
+            getattr(self.spec, "in_order", False) and not vectorizable
+        )
+        seconds = (
+            t_compute + t_memory if stalls_serialize else max(t_compute, t_memory)
+        )
+        if stalls_serialize:
+            bound = "stall-serialized"
+        else:
+            bound = "memory" if t_memory > t_compute else "compute"
+        return {
+            "seconds": seconds,
+            "compute_seconds": t_compute,
+            "memory_seconds": t_memory,
+            "bound": bound,
+            "threads": threads,
+            "vectorized": vectorizable,
+        }
 
     def replay_time(self, charges, scale: float = 1.0) -> float:
         """Seconds to re-execute recorded timing charges on this device.

@@ -24,6 +24,23 @@ def dma_transfer_time(nbytes: float, pcie: PcieSpec) -> float:
     return pcie.latency + nbytes / pcie.bandwidth
 
 
+def transfer_breakdown(nbytes: float, pcie: PcieSpec) -> dict:
+    """Decompose one bulk DMA transfer into its cost components.
+
+    Observability hook: the COI runtime attaches this breakdown to DMA
+    span attributes so a trace shows how much of each transfer was fixed
+    link latency versus wire time — the distinction that decides whether
+    a streamed loop should use fewer, larger blocks.
+    """
+    if nbytes <= 0:
+        return {"bytes": max(0.0, nbytes), "latency": 0.0, "wire": 0.0}
+    return {
+        "bytes": nbytes,
+        "latency": pcie.latency,
+        "wire": nbytes / pcie.bandwidth,
+    }
+
+
 def paged_transfer_time(nbytes: float, pcie: PcieSpec) -> float:
     """Time to move *nbytes* under MYO's fault-driven page transfers.
 

@@ -1,0 +1,86 @@
+"""Observability for the offload runtime: tracing, metrics, exporters.
+
+The subsystem has three pieces, all driven by the *simulated* clock so
+every artifact is deterministic:
+
+* :mod:`repro.obs.tracer` — hierarchical spans with attributes plus
+  instant events, recorded per resource track (``cpu``, ``mic``,
+  ``dma:h2d`` ...).  :data:`NULL_TRACER` is the default: disabled runs
+  are bit-identical to uninstrumented ones.
+* :mod:`repro.obs.metrics` — a registry of counters, gauges, and
+  histograms (DMA bytes, retries, arena allocations, kernel-launch
+  latency distributions) with a flat, diffable snapshot.
+* :mod:`repro.obs.export` — Chrome trace-event JSON (Perfetto /
+  ``chrome://tracing``), per-resource utilization and flamegraph
+  aggregation, and the metrics-snapshot JSON.
+
+Typical use::
+
+    from repro import Machine, run_program
+    from repro.obs import Tracer, chrome_trace_events, write_chrome_trace
+
+    tracer = Tracer()
+    machine = Machine(tracer=tracer)
+    run_program(source, arrays=..., scalars=..., machine=machine)
+    write_chrome_trace("trace.json", chrome_trace_events(tracer))
+    print(tracer.metrics.snapshot()["counters"])
+"""
+
+from repro.obs.export import (
+    chrome_trace_events,
+    flamegraph_lines,
+    metrics_snapshot,
+    sort_trace_events,
+    utilization,
+    validate_chrome_trace,
+    write_chrome_trace,
+    write_metrics,
+)
+from repro.obs.intervals import covered_time, intersect_total, merge_intervals
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NULL_METRICS,
+    NullMetrics,
+)
+from repro.obs.provenance import build_provenance, git_sha
+from repro.obs.tracer import (
+    HOST_TRACK,
+    Instant,
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    Tracer,
+    spans_from_timeline,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "HOST_TRACK",
+    "Histogram",
+    "Instant",
+    "MetricsRegistry",
+    "NULL_METRICS",
+    "NULL_TRACER",
+    "NullMetrics",
+    "NullTracer",
+    "Span",
+    "Tracer",
+    "build_provenance",
+    "chrome_trace_events",
+    "covered_time",
+    "flamegraph_lines",
+    "git_sha",
+    "intersect_total",
+    "merge_intervals",
+    "metrics_snapshot",
+    "sort_trace_events",
+    "spans_from_timeline",
+    "utilization",
+    "validate_chrome_trace",
+    "write_chrome_trace",
+    "write_metrics",
+]

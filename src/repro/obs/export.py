@@ -1,0 +1,284 @@
+"""Trace and metrics exporters.
+
+Three output formats:
+
+* **Chrome trace-event JSON** — loadable in Perfetto
+  (https://ui.perfetto.dev) or ``chrome://tracing``.  Spans become
+  complete (``X``) events, instants become ``i`` events, and each track
+  (``cpu``, ``mic``, ``dma:h2d`` ...) becomes a named thread so
+  transfer/compute overlap is visible as parallel lanes.  Multiple runs
+  can be merged into one file by giving each a distinct ``pid``.
+* **Per-resource utilization / flamegraph aggregation** — busy fraction
+  per track plus collapsed-stack lines (``a;b;c weight``) of the span
+  hierarchy, the input format of standard flamegraph tooling.
+* **Metrics snapshot JSON** — the registry's flat snapshot with an
+  optional provenance block, suitable for regression diffing.
+
+All exporters are pure functions of recorded spans/instants: exporting
+never mutates the tracer and is safe to do repeatedly.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.obs.intervals import covered_time, merge_intervals
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import Instant, Span, Tracer
+
+#: Canonical lane ordering in the trace viewer: host thread first, then
+#: the device, then the DMA channels, then anything else alphabetically.
+_PREFERRED_TRACKS = ("cpu", "mic", "dma:h2d", "dma:d2h")
+
+_MICROSECONDS = 1e6
+
+
+def _jsonable(value: object) -> object:
+    if isinstance(value, (bool, int, float, str)) or value is None:
+        return value
+    return str(value)
+
+
+def _track_order(tracks: Iterable[str]) -> List[str]:
+    tracks = set(tracks)
+    ordered = [t for t in _PREFERRED_TRACKS if t in tracks]
+    ordered += sorted(tracks - set(ordered))
+    return ordered
+
+
+def chrome_trace_events(
+    tracer: Tracer,
+    pid: int = 0,
+    process_name: str = "repro",
+) -> List[dict]:
+    """Convert one tracer's recording to Chrome trace events.
+
+    Timestamps convert from simulated seconds to microseconds (the
+    trace-event unit).  Returns metadata events first, then payload
+    events sorted by timestamp — the order the validator requires.
+    """
+    spans: List[Span] = list(tracer.spans)
+    instants: List[Instant] = list(tracer.instants)
+    tracks = _track_order(
+        [s.track for s in spans] + [i.track for i in instants]
+    )
+    tids = {track: tid for tid, track in enumerate(tracks, start=1)}
+
+    events: List[dict] = [
+        {
+            "ph": "M",
+            "pid": pid,
+            "tid": 0,
+            "ts": 0,
+            "name": "process_name",
+            "args": {"name": process_name},
+        }
+    ]
+    for track, tid in tids.items():
+        events.append(
+            {
+                "ph": "M",
+                "pid": pid,
+                "tid": tid,
+                "ts": 0,
+                "name": "thread_name",
+                "args": {"name": track},
+            }
+        )
+        events.append(
+            {
+                "ph": "M",
+                "pid": pid,
+                "tid": tid,
+                "ts": 0,
+                "name": "thread_sort_index",
+                "args": {"sort_index": tid},
+            }
+        )
+
+    payload: List[dict] = []
+    for span in spans:
+        payload.append(
+            {
+                "ph": "X",
+                "pid": pid,
+                "tid": tids[span.track],
+                "ts": span.start * _MICROSECONDS,
+                "dur": span.duration * _MICROSECONDS,
+                "name": span.name,
+                "cat": span.track,
+                "args": {k: _jsonable(v) for k, v in span.attrs.items()},
+            }
+        )
+    for inst in instants:
+        payload.append(
+            {
+                "ph": "i",
+                "pid": pid,
+                "tid": tids[inst.track],
+                "ts": inst.time * _MICROSECONDS,
+                "s": "t",
+                "name": inst.name,
+                "cat": inst.track,
+                "args": {k: _jsonable(v) for k, v in inst.attrs.items()},
+            }
+        )
+    return events + sort_trace_events(payload)
+
+
+def sort_trace_events(events: List[dict]) -> List[dict]:
+    """Sort payload events by timestamp (metadata events sort first).
+
+    Use after merging multiple runs' event lists so the combined file
+    still satisfies the monotone-timestamp property.
+    """
+    return sorted(
+        events,
+        key=lambda e: (e.get("ph") != "M", e.get("ts", 0.0)),
+    )
+
+
+def validate_chrome_trace(events: List[dict]) -> List[str]:
+    """Schema-check a trace-event list; returns problems (empty = ok).
+
+    Checks the invariants the CI smoke job enforces: every event has a
+    phase and name, timestamps are non-negative and monotone across the
+    file, complete (``X``) events carry non-negative durations, and
+    duration (``B``/``E``) events balance per thread.
+    """
+    problems: List[str] = []
+    if not isinstance(events, list):
+        return ["trace is not a list of events"]
+    last_ts = None
+    begin_stacks: Dict[Tuple[object, object], List[str]] = {}
+    for i, event in enumerate(events):
+        if not isinstance(event, dict):
+            problems.append(f"event {i} is not an object")
+            continue
+        ph = event.get("ph")
+        if not ph:
+            problems.append(f"event {i} has no phase ('ph')")
+            continue
+        if "name" not in event:
+            problems.append(f"event {i} ({ph}) has no name")
+        if ph == "M":
+            continue
+        ts = event.get("ts")
+        if not isinstance(ts, (int, float)):
+            problems.append(f"event {i} ({event.get('name')}) has no numeric ts")
+            continue
+        if ts < 0:
+            problems.append(f"event {i} ({event.get('name')}) has negative ts")
+        if last_ts is not None and ts < last_ts:
+            problems.append(
+                f"event {i} ({event.get('name')}) breaks ts monotonicity "
+                f"({ts} < {last_ts})"
+            )
+        last_ts = ts
+        if ph == "X":
+            dur = event.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                problems.append(
+                    f"event {i} ({event.get('name')}) has bad duration {dur!r}"
+                )
+        elif ph == "B":
+            key = (event.get("pid"), event.get("tid"))
+            begin_stacks.setdefault(key, []).append(str(event.get("name")))
+        elif ph == "E":
+            key = (event.get("pid"), event.get("tid"))
+            stack = begin_stacks.get(key)
+            if not stack:
+                problems.append(f"event {i}: E with no matching B on {key}")
+            else:
+                stack.pop()
+    for key, stack in begin_stacks.items():
+        if stack:
+            problems.append(f"unclosed B events on {key}: {stack}")
+    return problems
+
+
+def write_chrome_trace(path: str, events: List[dict]) -> None:
+    """Write a trace-event list as a Chrome/Perfetto JSON file."""
+    with open(path, "w") as handle:
+        json.dump(
+            {"traceEvents": events, "displayTimeUnit": "ms"},
+            handle,
+            indent=1,
+        )
+        handle.write("\n")
+
+
+# -- aggregation ------------------------------------------------------------
+
+
+def utilization(spans: Iterable[Span]) -> dict:
+    """Per-track busy time and utilization over the trace's makespan."""
+    by_track: Dict[str, List[Tuple[float, float]]] = {}
+    makespan = 0.0
+    for span in spans:
+        by_track.setdefault(span.track, []).append((span.start, span.end))
+        makespan = max(makespan, span.end)
+    tracks = {}
+    for track in _track_order(by_track):
+        merged = merge_intervals(sorted(by_track[track]))
+        busy = covered_time(merged)
+        tracks[track] = {
+            "busy": busy,
+            "utilization": busy / makespan if makespan else 0.0,
+        }
+    return {"makespan": makespan, "tracks": tracks}
+
+
+def flamegraph_lines(spans: Iterable[Span]) -> List[str]:
+    """Collapsed-stack lines (``root;child weight_us``) of the hierarchy.
+
+    Weights are *self* time — a span's duration minus its children's —
+    in integer microseconds, aggregated over identical paths.  Roots
+    with different tracks are prefixed by the track name so host phases
+    and device/DMA operations stay distinguishable.
+    """
+    spans = list(spans)
+    by_sid = {span.sid: span for span in spans}
+    child_time: Dict[int, float] = {}
+    for span in spans:
+        if span.parent is not None and span.parent in by_sid:
+            child_time[span.parent] = child_time.get(span.parent, 0.0) + span.duration
+
+    weights: Dict[str, int] = {}
+    for span in spans:
+        parts = [span.name]
+        node = span
+        while node.parent is not None and node.parent in by_sid:
+            node = by_sid[node.parent]
+            parts.append(node.name)
+        parts.append(node.track)
+        path = ";".join(reversed(parts))
+        self_us = round(
+            max(0.0, span.duration - child_time.get(span.sid, 0.0))
+            * _MICROSECONDS
+        )
+        weights[path] = weights.get(path, 0) + self_us
+    return [f"{path} {weight}" for path, weight in sorted(weights.items())]
+
+
+# -- metrics ---------------------------------------------------------------
+
+
+def metrics_snapshot(
+    metrics: MetricsRegistry, provenance: Optional[dict] = None
+) -> dict:
+    """The registry snapshot, with an optional provenance block."""
+    payload = dict(metrics.snapshot())
+    if provenance is not None:
+        payload = {"provenance": provenance, **payload}
+    return payload
+
+
+def write_metrics(
+    path: str, metrics: MetricsRegistry, provenance: Optional[dict] = None
+) -> None:
+    """Write the metrics snapshot as JSON."""
+    with open(path, "w") as handle:
+        json.dump(metrics_snapshot(metrics, provenance), handle, indent=2)
+        handle.write("\n")

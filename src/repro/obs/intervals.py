@@ -1,0 +1,56 @@
+"""Interval arithmetic shared by the trace analyses.
+
+The observability subsystem and the experiment-level overlap analysis
+(:mod:`repro.experiments.trace`) both reason about time intervals:
+merging per-resource busy spans, measuring the coverage of an interval
+set, and intersecting two sets (the transfer/compute overlap metric data
+streaming exists to maximize).  This module is the single source of
+truth for that math.
+
+Intervals are ``(start, end)`` tuples in simulated seconds.  All
+functions treat touching intervals (``end == next start``) as mergeable
+and ignore zero-length intervals when measuring coverage, matching the
+semantics of the original analysis.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+Interval = Tuple[float, float]
+
+
+def merge_intervals(spans: List[Interval]) -> List[Interval]:
+    """Coalesce a *sorted* interval list into disjoint intervals.
+
+    Touching intervals merge: ``[(0, 1), (1, 2)] -> [(0, 2)]``.  The
+    input must already be sorted by start (callers sort once).
+    """
+    merged: List[Interval] = []
+    for start, end in spans:
+        if merged and start <= merged[-1][1]:
+            merged[-1] = (merged[-1][0], max(merged[-1][1], end))
+        else:
+            merged.append((start, end))
+    return merged
+
+
+def covered_time(spans: List[Interval]) -> float:
+    """Total time covered by a disjoint interval list."""
+    return sum(end - start for start, end in spans)
+
+
+def intersect_total(a: List[Interval], b: List[Interval]) -> float:
+    """Total time covered by both disjoint, sorted interval sets."""
+    total = 0.0
+    i = j = 0
+    while i < len(a) and j < len(b):
+        lo = max(a[i][0], b[j][0])
+        hi = min(a[i][1], b[j][1])
+        if hi > lo:
+            total += hi - lo
+        if a[i][1] < b[j][1]:
+            i += 1
+        else:
+            j += 1
+    return total

@@ -1,0 +1,197 @@
+"""Metrics registry: counters, gauges, and histograms for one run.
+
+Instrumented layers (the COI runtime, the executor, the arena and MYO
+allocators, the fault injector) record quantitative telemetry here —
+DMA bytes, retries, arena allocations, kernel-launch latency
+distributions.  A registry is deterministic: its snapshot depends only
+on the simulated execution, never on wall-clock time, so two runs with
+the same seed produce byte-identical snapshot JSON (the property the
+regression-diff workflow relies on).
+
+Disabled runs use :data:`NULL_METRICS`, whose instruments are shared
+no-ops, so un-traced execution pays one attribute load per hook site
+and allocates nothing.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional
+
+#: Default histogram bucket upper bounds: decades from 1 ns to 1000 s,
+#: suitable for the simulated-seconds distributions the runtime records.
+DEFAULT_BOUNDS = tuple(10.0 ** e for e in range(-9, 4))
+
+
+class Counter:
+    """A monotonically increasing value (ints or floats)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value: float = 0
+
+    def inc(self, amount: float = 1) -> None:
+        """Add *amount* (must be non-negative) to the counter."""
+        if amount < 0:
+            raise ValueError(f"counter increment must be >= 0, got {amount}")
+        self.value += amount
+
+
+class Gauge:
+    """A point-in-time value; also remembers the maximum it reached."""
+
+    __slots__ = ("value", "max_value")
+
+    def __init__(self) -> None:
+        self.value: float = 0
+        self.max_value: float = 0
+
+    def set(self, value: float) -> None:
+        """Record the gauge's current value."""
+        self.value = value
+        self.max_value = max(self.max_value, value)
+
+
+class Histogram:
+    """A fixed-bucket distribution with count/sum/min/max summary."""
+
+    __slots__ = ("bounds", "bucket_counts", "count", "total", "min", "max")
+
+    def __init__(self, bounds: Optional[List[float]] = None) -> None:
+        self.bounds = tuple(sorted(bounds)) if bounds else DEFAULT_BOUNDS
+        self.bucket_counts = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    def observe(self, value: float) -> None:
+        """Record one sample."""
+        self.count += 1
+        self.total += value
+        self.min = min(self.min, value)
+        self.max = max(self.max, value)
+        for i, bound in enumerate(self.bounds):
+            if value <= bound:
+                self.bucket_counts[i] += 1
+                return
+        self.bucket_counts[-1] += 1
+
+    @property
+    def mean(self) -> float:
+        """Arithmetic mean of the observed samples (0 when empty)."""
+        return self.total / self.count if self.count else 0.0
+
+    def as_dict(self) -> dict:
+        """Summary plus non-empty buckets, JSON-ready."""
+        buckets = {
+            f"le_{bound:g}": count
+            for bound, count in zip(self.bounds, self.bucket_counts)
+            if count
+        }
+        if self.bucket_counts[-1]:
+            buckets["overflow"] = self.bucket_counts[-1]
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min if self.count else 0.0,
+            "max": self.max if self.count else 0.0,
+            "mean": self.mean,
+            "buckets": buckets,
+        }
+
+
+class MetricsRegistry:
+    """Name-keyed instruments, created lazily on first use."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        """Get or create the named counter."""
+        inst = self._counters.get(name)
+        if inst is None:
+            inst = self._counters[name] = Counter()
+        return inst
+
+    def gauge(self, name: str) -> Gauge:
+        """Get or create the named gauge."""
+        inst = self._gauges.get(name)
+        if inst is None:
+            inst = self._gauges[name] = Gauge()
+        return inst
+
+    def histogram(
+        self, name: str, bounds: Optional[List[float]] = None
+    ) -> Histogram:
+        """Get or create the named histogram (bounds apply on creation)."""
+        inst = self._histograms.get(name)
+        if inst is None:
+            inst = self._histograms[name] = Histogram(bounds)
+        return inst
+
+    def snapshot(self) -> dict:
+        """A flat, sorted, JSON-ready view of every instrument.
+
+        Counters and gauges flatten to ``name -> number``; histograms to
+        ``name -> {count, sum, min, max, mean, buckets}``.  Keys are
+        sorted so two snapshots of identical runs diff cleanly.
+        """
+        return {
+            "counters": {
+                name: inst.value for name, inst in sorted(self._counters.items())
+            },
+            "gauges": {
+                name: {"value": inst.value, "max": inst.max_value}
+                for name, inst in sorted(self._gauges.items())
+            },
+            "histograms": {
+                name: inst.as_dict()
+                for name, inst in sorted(self._histograms.items())
+            },
+        }
+
+
+class _NullInstrument:
+    """Counter/gauge/histogram stand-in that discards every update."""
+
+    __slots__ = ()
+    value = 0
+    max_value = 0
+    count = 0
+
+    def inc(self, amount: float = 1) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+
+_NULL_INSTRUMENT = _NullInstrument()
+
+
+class NullMetrics:
+    """Registry stand-in for disabled runs: all instruments are no-ops."""
+
+    def counter(self, name: str) -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def gauge(self, name: str) -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def histogram(
+        self, name: str, bounds: Optional[List[float]] = None
+    ) -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def snapshot(self) -> dict:
+        return {"counters": {}, "gauges": {}, "histograms": {}}
+
+
+NULL_METRICS = NullMetrics()

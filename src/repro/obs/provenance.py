@@ -1,0 +1,45 @@
+"""Run provenance: who produced this artifact, from what tree, how.
+
+Bench reports and fault-campaign summaries are compared across PRs;
+attributing each artifact to a git SHA, the input seed, and the
+interpreter engine makes those diffs meaningful.  Provenance lookup is
+best-effort: outside a git checkout (an installed wheel, a bare CI
+container) the SHA degrades to the ``REPRO_GIT_SHA`` environment
+variable or ``"unknown"`` rather than failing.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+from typing import Optional
+
+
+def git_sha() -> str:
+    """The current checkout's commit SHA, or a best-effort fallback."""
+    env = os.environ.get("REPRO_GIT_SHA")
+    if env:
+        return env
+    try:
+        proc = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=5,
+            cwd=os.path.dirname(os.path.abspath(__file__)),
+        )
+    except (OSError, subprocess.SubprocessError):
+        return "unknown"
+    sha = proc.stdout.strip()
+    return sha if proc.returncode == 0 and sha else "unknown"
+
+
+def build_provenance(
+    seed: Optional[object] = None,
+    engine: Optional[str] = None,
+    **extra,
+) -> dict:
+    """The standard provenance block artifacts embed."""
+    info = {"git_sha": git_sha(), "seed": seed, "engine": engine}
+    info.update(extra)
+    return info

@@ -1,0 +1,239 @@
+"""Span-based structured tracing driven by the *simulated* clock.
+
+A :class:`Span` is one timed operation on one *track* (a resource lane:
+``cpu``, ``mic``, ``dma:h2d`` ...), with attributes and an optional
+parent — host-side phases opened with :meth:`Tracer.phase` form the
+hierarchy, and anything recorded while a phase is open becomes its
+child.  An :class:`Instant` is a point event (a fault firing, a retry).
+
+Two properties make the tracer safe to leave wired into the runtime:
+
+* **Deterministic** — every timestamp comes from the event simulator's
+  clock/timeline, never from wall time, so traces of identical runs are
+  byte-identical.
+* **Invisible** — the tracer only *observes*: it never advances the
+  clock or schedules timeline work, so an instrumented run's outputs,
+  counters, and simulated times match an uninstrumented run exactly.
+  Disabled runs use :data:`NULL_TRACER`, whose methods are no-ops.
+
+Export formats live in :mod:`repro.obs.export`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+from repro.obs.metrics import MetricsRegistry, NULL_METRICS
+
+#: Track name for host-program phases (matches the timeline's host lane).
+HOST_TRACK = "cpu"
+
+
+@dataclass
+class Instant:
+    """A point event on a track (fault firing, retry, recovery action)."""
+
+    name: str
+    time: float
+    track: str = HOST_TRACK
+    attrs: Dict[str, object] = field(default_factory=dict)
+
+
+@dataclass
+class Span:
+    """One timed operation on one track, with attributes and a parent."""
+
+    name: str
+    track: str
+    start: float
+    end: float
+    sid: int = 0
+    parent: Optional[int] = None
+    attrs: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float:
+        """End minus start, in simulated seconds."""
+        return self.end - self.start
+
+
+class _NullPhase:
+    """Reusable no-op context manager for :meth:`NullTracer.phase`."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+
+_NULL_PHASE = _NullPhase()
+
+
+class _OpenPhase:
+    """Context manager produced by :meth:`Tracer.phase`."""
+
+    __slots__ = ("tracer", "span", "clock")
+
+    def __init__(self, tracer: "Tracer", span: Span, clock) -> None:
+        self.tracer = tracer
+        self.span = span
+        self.clock = clock
+
+    def __enter__(self) -> Span:
+        return self.span
+
+    def __exit__(self, *exc) -> bool:
+        self.tracer.end(self.span, self.clock.now)
+        return False
+
+
+class Tracer:
+    """Records spans and instants for one run."""
+
+    enabled = True
+
+    def __init__(self, metrics: Optional[MetricsRegistry] = None) -> None:
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.spans: List[Span] = []
+        self.instants: List[Instant] = []
+        self._open: List[Span] = []
+        self._next_sid = 1
+
+    def _sid(self) -> int:
+        sid = self._next_sid
+        self._next_sid += 1
+        return sid
+
+    def _parent(self) -> Optional[int]:
+        return self._open[-1].sid if self._open else None
+
+    # -- recording ----------------------------------------------------------
+
+    def span(
+        self, name: str, track: str, start: float, end: float, **attrs
+    ) -> Span:
+        """Record one completed span (start/end in simulated seconds)."""
+        recorded = Span(
+            name, track, start, max(start, end), self._sid(),
+            parent=self._parent(), attrs=attrs,
+        )
+        self.spans.append(recorded)
+        return recorded
+
+    def begin(self, name: str, track: str, start: float, **attrs) -> Span:
+        """Open a hierarchical span; close it with :meth:`end`."""
+        span = Span(
+            name, track, start, start, self._sid(),
+            parent=self._parent(), attrs=attrs,
+        )
+        self._open.append(span)
+        return span
+
+    def end(self, span: Span, end: float) -> Span:
+        """Close the innermost open span (must be *span*) at *end*."""
+        if not self._open or self._open[-1] is not span:
+            raise ValueError(f"span {span.name!r} is not the innermost open span")
+        self._open.pop()
+        span.end = max(span.start, end)
+        self.spans.append(span)
+        return span
+
+    def phase(self, name: str, clock, track: str = HOST_TRACK, **attrs):
+        """Context manager: a span from ``clock.now`` at entry to exit.
+
+        *clock* is the simulated program clock — the phase brackets
+        whatever simulated time the enclosed code consumes.
+        """
+        return _OpenPhase(self, self.begin(name, track, clock.now, **attrs), clock)
+
+    def instant(
+        self, name: str, time: float, track: str = HOST_TRACK, **attrs
+    ) -> Instant:
+        """Record a point event at simulated *time*."""
+        inst = Instant(name, time, track, attrs)
+        self.instants.append(inst)
+        return inst
+
+    def annotate(self, **attrs) -> None:
+        """Attach attributes to the innermost open span (no-op outside)."""
+        if self._open:
+            self._open[-1].attrs.update(attrs)
+
+    # -- views --------------------------------------------------------------
+
+    def track_spans(self, track: str) -> List[Span]:
+        """All recorded spans on one track."""
+        return [s for s in self.spans if s.track == track]
+
+    def finish_time(self) -> float:
+        """Latest span end / instant time recorded (0 when empty)."""
+        latest = 0.0
+        for span in self.spans:
+            latest = max(latest, span.end)
+        for inst in self.instants:
+            latest = max(latest, inst.time)
+        return latest
+
+
+class NullTracer:
+    """The disabled tracer: every method is a no-op.
+
+    ``enabled`` is False so hot paths can skip attribute construction
+    entirely; calls that do slip through cost one method dispatch and
+    allocate nothing.
+    """
+
+    enabled = False
+    metrics = NULL_METRICS
+    spans: tuple = ()
+    instants: tuple = ()
+
+    def span(self, name, track, start, end, **attrs) -> None:
+        return None
+
+    def begin(self, name, track, start, **attrs) -> None:
+        return None
+
+    def end(self, span, end) -> None:
+        return None
+
+    def phase(self, name, clock, track=HOST_TRACK, **attrs) -> _NullPhase:
+        return _NULL_PHASE
+
+    def instant(self, name, time, track=HOST_TRACK, **attrs) -> None:
+        return None
+
+    def annotate(self, **attrs) -> None:
+        return None
+
+    def track_spans(self, track) -> list:
+        return []
+
+    def finish_time(self) -> float:
+        return 0.0
+
+
+NULL_TRACER = NullTracer()
+
+
+def spans_from_timeline(timeline) -> List[Span]:
+    """Lift a :class:`~repro.hardware.event_sim.Timeline` trace to spans.
+
+    Used to analyze runs that were not instrumented with a tracer (the
+    timeline always records scheduled operations) and to keep the
+    span-based overlap analysis backward compatible with raw timelines.
+    """
+    return [
+        Span(
+            name=entry.label or entry.resource,
+            track=entry.resource,
+            start=entry.start,
+            end=entry.end,
+            sid=i + 1,
+        )
+        for i, entry in enumerate(timeline.trace)
+    ]

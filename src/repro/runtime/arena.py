@@ -19,6 +19,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from repro.errors import DeviceOutOfMemory, PointerTranslationError, RuntimeFault
+from repro.obs.tracer import NULL_TRACER
 from repro.runtime.coi import CoiRuntime
 from repro.runtime.smartptr import MAX_BUFFERS, DeltaTable, SharedPtr
 
@@ -55,6 +56,9 @@ class SharedObject:
 
 class ArenaAllocator:
     """The paper's segmented shared-memory allocator."""
+
+    #: Observability sink, replaced by the owning Machine's tracer.
+    tracer = NULL_TRACER
 
     def __init__(self, chunk_bytes: int = 64 << 20):
         if chunk_bytes <= 0:
@@ -98,6 +102,11 @@ class ArenaAllocator:
         self.alloc_count += 1
         obj = SharedObject(ptr=SharedPtr(addr, buf.bid), size=size, fields=dict(fields))
         self.objects[addr] = obj
+        if self.tracer.enabled:
+            metrics = self.tracer.metrics
+            metrics.counter("arena.allocations").inc()
+            metrics.histogram("arena.object_bytes").observe(float(size))
+            metrics.gauge("arena.reserved_bytes").set(self.total_reserved)
         return obj
 
     @property
@@ -131,6 +140,10 @@ class ArenaAllocator:
                 nbytes, to_device=True, label=f"arena:{buf.bid}"
             )
             self._copied_bids.add(buf.bid)
+            if self.tracer.enabled:
+                metrics = self.tracer.metrics
+                metrics.counter("arena.buffers_copied").inc()
+                metrics.counter("arena.bytes_copied").inc(float(nbytes))
 
     @staticmethod
     def _allocate_resilient(coi: CoiRuntime, name: str, nbytes: int) -> None:

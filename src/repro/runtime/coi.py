@@ -24,8 +24,9 @@ import numpy as np
 from repro.errors import OffloadTimeout, RuntimeFault
 from repro.hardware.event_sim import Clock, Event, Timeline
 from repro.hardware.memory import DeviceMemoryManager
-from repro.hardware.pcie import dma_transfer_time
+from repro.hardware.pcie import dma_transfer_time, transfer_breakdown
 from repro.hardware.spec import MachineSpec
+from repro.obs.tracer import NULL_TRACER
 from repro.runtime.values import DeviceSpace, HostSpace
 
 DMA_TO_DEVICE = "dma:h2d"
@@ -61,6 +62,7 @@ class CoiRuntime:
         host: HostSpace,
         device: DeviceSpace,
         scale: float = 1.0,
+        tracer=None,
     ):
         self.spec = spec
         self.timeline = timeline
@@ -69,6 +71,8 @@ class CoiRuntime:
         self.host = host
         self.device = device
         self.scale = scale
+        #: Observability sink; the null tracer makes every hook a no-op.
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self.stats = CoiStats()
         self.signals: Dict[object, List[Event]] = {}
         self._persistent_live: set = set()
@@ -108,6 +112,11 @@ class CoiRuntime:
         if existing is None or len(existing) < count or existing.dtype != dtype:
             self.device.arrays[name] = np.zeros(count, dtype=dtype)
         self.stats.allocations += 1
+        if self.tracer.enabled:
+            metrics = self.tracer.metrics
+            metrics.counter("coi.allocations").inc()
+            metrics.gauge("device.mem_in_use").set(self.device_memory.in_use)
+            metrics.gauge("device.mem_peak").set(self.device_memory.peak)
         return self.device.arrays[name]
 
     def free_buffer(self, name: str) -> None:
@@ -118,6 +127,26 @@ class CoiRuntime:
 
     # -- transfers ------------------------------------------------------------
 
+    def _trace_dma(
+        self,
+        channel: str,
+        label: str,
+        event: Event,
+        duration: float,
+        nbytes: float,
+        status: str = "ok",
+    ) -> None:
+        """Record one scheduled DMA operation as a span (tracing only).
+
+        The operation occupies its channel contiguously for *duration*,
+        so the span start is the completion time minus the duration.
+        """
+        attrs = transfer_breakdown(nbytes, self.spec.pcie)
+        attrs["status"] = status
+        self.tracer.span(label, channel, event.time - duration, event.time, **attrs)
+        site = "h2d" if channel == DMA_TO_DEVICE else "d2h"
+        self.tracer.metrics.histogram(f"coi.dma.{site}.seconds").observe(duration)
+
     def _dma_schedule(
         self,
         channel: str,
@@ -125,6 +154,7 @@ class CoiRuntime:
         deps: Iterable[Event],
         label: str,
         block: bool = False,
+        nbytes: float = 0.0,
     ) -> Event:
         """Schedule one DMA transfer, surviving injected link faults.
 
@@ -137,11 +167,15 @@ class CoiRuntime:
         sectioned (block-granular) transfer, whose replays are what the
         streaming restart counter reports.
         """
+        tracer = self.tracer
         if self.injector is None:
-            return self.timeline.schedule(
+            event = self.timeline.schedule(
                 channel, duration, deps=deps, label=label,
                 not_before=self.clock.now,
             )
+            if tracer.enabled:
+                self._trace_dma(channel, label, event, duration, nbytes)
+            return event
         site = "h2d" if channel == DMA_TO_DEVICE else "d2h"
         policy = self.resilience
         stats = self.fault_stats
@@ -149,10 +183,13 @@ class CoiRuntime:
         while True:
             fault = self.injector.draw(site)
             if fault is None:
-                return self.timeline.schedule(
+                event = self.timeline.schedule(
                     channel, duration, deps=deps, label=label,
                     not_before=self.clock.now,
                 )
+                if tracer.enabled:
+                    self._trace_dma(channel, label, event, duration, nbytes)
+                return event
             if fault.kind == "stall":
                 # Engine wedged mid-transfer; host watchdog fires.
                 wasted = duration * fault.severity + policy.transfer_timeout
@@ -168,16 +205,39 @@ class CoiRuntime:
             stats.recovery_seconds += wasted
             if block:
                 stats.blocks_replayed += 1
+            if tracer.enabled:
+                self._trace_dma(
+                    channel, f"{label}!{fault.kind}", failed, wasted, nbytes,
+                    status=fault.kind,
+                )
             if attempt >= policy.max_retries:
                 stats.degraded_transfers += 1
-                return self.timeline.schedule(
+                event = self.timeline.schedule(
                     channel, duration * policy.degraded_factor, deps=deps,
                     label=f"{label}~degraded", not_before=self.clock.now,
                 )
+                if tracer.enabled:
+                    self._trace_dma(
+                        channel, f"{label}~degraded", event,
+                        duration * policy.degraded_factor, nbytes,
+                        status="degraded",
+                    )
+                    tracer.instant(
+                        "recovery:degraded", self.clock.now, track=channel,
+                        site=site, label=label,
+                    )
+                    tracer.metrics.counter("faults.degraded_transfers").inc()
+                return event
             pause = policy.backoff(attempt)
             self.clock.advance(pause)
             stats.backoff_seconds += pause
             stats.retries += 1
+            if tracer.enabled:
+                tracer.instant(
+                    "recovery:retry", self.clock.now, track=channel,
+                    site=site, attempt=attempt, backoff=pause, label=label,
+                )
+                tracer.metrics.counter("faults.retries").inc()
             attempt += 1
 
     def write_buffer(
@@ -210,9 +270,14 @@ class CoiRuntime:
             deps=deps,
             label=f"h2d:{dest}",
             block=block,
+            nbytes=nbytes,
         )
         self.stats.bytes_to_device += nbytes
         self.stats.transfers_to_device += 1
+        if self.tracer.enabled:
+            metrics = self.tracer.metrics
+            metrics.counter("coi.bytes_to_device").inc(nbytes)
+            metrics.counter("coi.transfers_to_device").inc()
         if sync:
             self.clock.wait_until(event)
         return event
@@ -243,9 +308,14 @@ class CoiRuntime:
             deps=deps,
             label=f"d2h:{src}",
             block=block,
+            nbytes=nbytes,
         )
         self.stats.bytes_from_device += nbytes
         self.stats.transfers_from_device += 1
+        if self.tracer.enabled:
+            metrics = self.tracer.metrics
+            metrics.counter("coi.bytes_from_device").inc(nbytes)
+            metrics.counter("coi.transfers_from_device").inc()
         if sync:
             self.clock.wait_until(event)
         return event
@@ -271,6 +341,7 @@ class CoiRuntime:
             deps=deps,
             label=label,
             block=block,
+            nbytes=nbytes * self.scale,
         )
         if to_device:
             self.stats.bytes_to_device += nbytes * self.scale
@@ -278,6 +349,11 @@ class CoiRuntime:
         else:
             self.stats.bytes_from_device += nbytes * self.scale
             self.stats.transfers_from_device += 1
+        if self.tracer.enabled:
+            metrics = self.tracer.metrics
+            direction = "to" if to_device else "from"
+            metrics.counter(f"coi.bytes_{direction}_device").inc(nbytes * self.scale)
+            metrics.counter(f"coi.transfers_{direction}_device").inc()
         if sync:
             self.clock.wait_until(event)
         return event
@@ -301,27 +377,52 @@ class CoiRuntime:
         if self.injector is None:
             overhead = self._launch_overhead(persistent_key)
             self.stats.kernel_compute_seconds += duration
-            return self.timeline.schedule(
+            event = self.timeline.schedule(
                 DEVICE,
                 overhead + duration,
                 deps=deps,
                 label=label,
                 not_before=self.clock.now,
             )
+            if self.tracer.enabled:
+                self._trace_kernel(label, event, overhead, duration)
+            return event
         return self._launch_kernel_resilient(duration, deps, label, persistent_key)
 
     def _launch_overhead(self, persistent_key: Optional[str]) -> float:
         """Overhead of the next launch, counted in the stats."""
         mic = self.spec.mic
+        metrics = self.tracer.metrics
         if persistent_key is None:
             self.stats.kernel_launches += 1
+            metrics.counter("coi.kernel_launches").inc()
             return mic.kernel_launch_overhead
         if persistent_key not in self._persistent_live:
             self._persistent_live.add(persistent_key)
             self.stats.kernel_launches += 1
+            metrics.counter("coi.kernel_launches").inc()
             return mic.kernel_launch_overhead
         self.stats.kernel_signals += 1
+        metrics.counter("coi.kernel_signals").inc()
         return mic.signal_overhead
+
+    def _trace_kernel(
+        self,
+        label: str,
+        event: Event,
+        overhead: float,
+        duration: float,
+        status: str = "ok",
+    ) -> None:
+        """Record one kernel occupancy as a device-track span."""
+        total = overhead + duration
+        self.tracer.span(
+            label, DEVICE, event.time - total, event.time,
+            overhead=overhead, compute=duration, status=status,
+        )
+        metrics = self.tracer.metrics
+        metrics.histogram("coi.kernel_compute_seconds").observe(duration)
+        metrics.histogram("coi.kernel_launch_overhead_seconds").observe(overhead)
 
     def _launch_kernel_resilient(
         self,
@@ -347,13 +448,16 @@ class CoiRuntime:
             if fault is None:
                 overhead = self._launch_overhead(persistent_key)
                 self.stats.kernel_compute_seconds += duration
-                return self.timeline.schedule(
+                event = self.timeline.schedule(
                     DEVICE,
                     overhead + duration,
                     deps=deps,
                     label=label,
                     not_before=self.clock.now,
                 )
+                if self.tracer.enabled:
+                    self._trace_kernel(label, event, overhead, duration)
+                return event
             overhead = self._launch_overhead(persistent_key)
             if fault.kind == "hang":
                 wasted = overhead + policy.kernel_timeout
@@ -369,6 +473,12 @@ class CoiRuntime:
             )
             self.clock.wait_until(failed)
             stats.recovery_seconds += wasted
+            if self.tracer.enabled:
+                self.tracer.span(
+                    f"{label}!{fault.kind}", DEVICE,
+                    failed.time - wasted, failed.time,
+                    status=fault.kind,
+                )
             if persistent_key is not None:
                 self._persistent_live.discard(persistent_key)
             if attempt >= policy.max_retries:
@@ -380,6 +490,12 @@ class CoiRuntime:
             self.clock.advance(pause)
             stats.backoff_seconds += pause
             stats.retries += 1
+            if self.tracer.enabled:
+                self.tracer.instant(
+                    "recovery:retry", self.clock.now, track=DEVICE,
+                    site="kernel", attempt=attempt, backoff=pause, label=label,
+                )
+                self.tracer.metrics.counter("faults.retries").inc()
             attempt += 1
 
     def end_persistent(self, key: str) -> None:
@@ -409,6 +525,13 @@ class CoiRuntime:
                 stats.timeouts += 1
                 self.clock.advance(policy.signal_timeout)
                 stats.recovery_seconds += policy.signal_timeout
+                if self.tracer.enabled:
+                    self.tracer.instant(
+                        "recovery:signal-repoll", self.clock.now,
+                        track=HOST, tag=str(tag),
+                        timeout=policy.signal_timeout,
+                    )
+                    self.tracer.metrics.counter("faults.signals_lost").inc()
         return events
 
     def wait_signal(self, tag: object) -> None:

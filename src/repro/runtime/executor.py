@@ -57,6 +57,7 @@ from repro.hardware.spec import MachineSpec, paper_machine
 from repro.minic import ast_nodes as ast
 from repro.minic.parser import parse
 from repro.minic.visitor import walk as walk_nodes
+from repro.obs.tracer import NULL_TRACER
 from repro.runtime import batch_exec
 from repro.runtime.coi import DEVICE, DMA_FROM_DEVICE, DMA_TO_DEVICE, CoiRuntime
 from repro.runtime.values import DeviceSpace, HostSpace
@@ -118,12 +119,18 @@ class Machine:
     #: resilient code paths (OOM demotion, host fallback) for *genuine*
     #: faults without injecting any.
     resilience: Optional[ResiliencePolicy] = None
+    #: Observability sink (:class:`repro.obs.Tracer`).  The default null
+    #: tracer makes every instrumentation hook a no-op, so untraced runs
+    #: stay bit-identical to uninstrumented ones.
+    tracer: Optional[object] = None
 
     def __post_init__(self) -> None:
         self.timeline = Timeline()
         self.clock = Clock()
         self.host = HostSpace()
         self.device = DeviceSpace()
+        if self.tracer is None:
+            self.tracer = NULL_TRACER
         self.device_memory = DeviceMemoryManager(
             capacity=self.spec.mic.usable_memory, scale=self.scale
         )
@@ -135,6 +142,7 @@ class Machine:
             self.host,
             self.device,
             scale=self.scale,
+            tracer=self.tracer,
         )
         self.cpu_model = ComputeDevice(self.spec.cpu)
         self.mic_model = ComputeDevice(self.spec.mic)
@@ -146,6 +154,8 @@ class Machine:
             self.coi.fault_stats = self.fault_stats
         if self.fault_plan is not None:
             injector = FaultInjector(self.fault_plan, self.fault_stats)
+            injector.tracer = self.tracer
+            injector.clock = self.clock
             self.coi.injector = injector
             self.device_memory.injector = injector
         # Shared-memory runtimes for programs using the Section V
@@ -169,6 +179,7 @@ class Machine:
             from repro.runtime.arena import ArenaAllocator
 
             self._arena = ArenaAllocator()
+            self._arena.tracer = self.tracer
         return self._arena
 
 
@@ -357,6 +368,7 @@ class _TimedContext:
         is_device: bool,
         sink: Optional[OpCounters] = None,
         record: Optional[list] = None,
+        tracer=None,
     ):
         self.model = model
         self.scale = scale
@@ -370,6 +382,7 @@ class _TimedContext:
         #: timing charges, so the resilience layer can re-price the same
         #: work on another device (host fallback) without re-interpreting.
         self.record = record
+        self.tracer = tracer if tracer is not None else NULL_TRACER
 
     def flush_serial(self) -> None:
         if self.pending.work_ops or self.pending.total_bytes:
@@ -394,6 +407,20 @@ class _TimedContext:
             parallel_iterations=trip * self.scale,
             vectorizable=vectorizable,
         )
+        if self.tracer.enabled:
+            # Annotate the enclosing span with the roofline verdict: which
+            # bound the loop sat on, thread count, SIMD applicability.
+            info = self.model.explain(
+                counters.scaled(self.scale),
+                parallel_iterations=trip * self.scale,
+                vectorizable=vectorizable,
+            )
+            self.tracer.annotate(
+                **{f"loop.{key}": value for key, value in info.items()}
+            )
+            self.tracer.metrics.histogram(
+                "exec.parallel_loop_seconds"
+            ).observe(info["seconds"])
 
     def take_seconds(self) -> float:
         self.flush_serial()
@@ -481,6 +508,7 @@ class Executor:
             self.machine.scale,
             is_device=False,
             sink=self._ops_total,
+            tracer=self.machine.tracer,
         )
         self._ctx = self._host_ctx
         self._loop_vars: List[str] = []
@@ -561,7 +589,11 @@ class Executor:
     def _drain_host(self) -> None:
         seconds = self._host_ctx.take_seconds()
         self._host_seconds_total += seconds
-        self.machine.clock.advance(seconds)
+        clock = self.machine.clock
+        start = clock.now
+        clock.advance(seconds)
+        if seconds > 0 and self.machine.tracer.enabled:
+            self.machine.tracer.span("host-compute", "cpu", start, clock.now)
 
     # -- globals / functions ---------------------------------------------------------
 
@@ -814,12 +846,20 @@ class Executor:
             if ctx.sink is not None:
                 ctx.sink.add(loop_counters)
             self._drain_host()
-            self.machine.timeline.schedule(
+            event = self.machine.timeline.schedule(
                 "cpu:regularize",
                 duration,
                 not_before=self.machine.clock.now,
                 label="pipelined-regularize",
             )
+            tracer = self.machine.tracer
+            if tracer.enabled:
+                tracer.span(
+                    "pipelined-regularize", "cpu:regularize",
+                    event.time - duration, event.time,
+                    first_block_share=self.PIPELINED_FIRST_BLOCK,
+                )
+                tracer.metrics.counter("exec.pipelined_regularizations").inc()
             self.machine.clock.advance(duration * self.PIPELINED_FIRST_BLOCK)
             return
         ctx.add_parallel(loop_counters, trips, vectorizable)
@@ -902,6 +942,29 @@ class Executor:
     # -- offload ------------------------------------------------------------------------------------
 
     def _exec_offload(
+        self,
+        pragma: ast.OffloadPragma,
+        body: ast.Stmt,
+        env: Env,
+        loop: Optional[ast.For],
+    ) -> None:
+        tracer = self.machine.tracer
+        if not tracer.enabled:
+            self._exec_offload_inner(pragma, body, env, loop)
+            return
+        # Drain pre-offload host work first so its span is a sibling of
+        # (not a child of) the offload phase about to open.
+        self._drain_host()
+        tracer.metrics.counter("exec.offloads").inc()
+        with tracer.phase(
+            "offload",
+            self.machine.clock,
+            index=self._offload_count,
+            persistent=bool(pragma.persistent),
+        ):
+            self._exec_offload_inner(pragma, body, env, loop)
+
+    def _exec_offload_inner(
         self,
         pragma: ast.OffloadPragma,
         body: ast.Stmt,
@@ -991,6 +1054,7 @@ class Executor:
             is_device=True,
             sink=self._ops_total,
             record=record,
+            tracer=self.machine.tracer,
         )
         try:
             if loop is not None:
@@ -1083,6 +1147,13 @@ class Executor:
         self.machine.clock.advance(cost)
         stats.host_fallbacks += 1
         stats.fallback_seconds += cost
+        tracer = self.machine.tracer
+        if tracer.enabled:
+            tracer.instant(
+                "recovery:host-fallback", self.machine.clock.now, track="cpu",
+                cost=cost, fraction=fraction,
+            )
+            tracer.metrics.counter("faults.host_fallbacks").inc()
 
     def _exec_offload_on_host(
         self,
@@ -1135,6 +1206,13 @@ class Executor:
 
         stats.host_fallbacks += 1
         stats.fallback_seconds += self.machine.clock.now - start_clock
+        tracer = self.machine.tracer
+        if tracer.enabled:
+            tracer.instant(
+                "recovery:host-fallback", self.machine.clock.now, track="cpu",
+                cost=self.machine.clock.now - start_clock,
+            )
+            tracer.metrics.counter("faults.host_fallbacks").inc()
         if pragma.signal is not None:
             tag = self._eval_clause(pragma.signal, env)
             coi.post_signal(tag, [])
@@ -1163,6 +1241,12 @@ class Executor:
         policy = coi.resilience
         stats = coi.fault_stats
         stats.oom_demotions += 1
+        tracer = self.machine.tracer
+        if tracer.enabled:
+            tracer.instant(
+                "recovery:oom-demotion", self.machine.clock.now, track="cpu",
+            )
+            tracer.metrics.counter("faults.oom_demotions").inc()
 
         array_clauses = []
         for clause in pragma.clauses:

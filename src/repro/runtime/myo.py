@@ -101,6 +101,7 @@ class MyoRuntime:
         page_bytes = self.pcie.page_bytes
         first = addr // page_bytes
         last = (addr + size - 1) // page_bytes
+        tracer = self.coi.tracer
         for page in range(first, last + 1):
             if page in self._resident_pages:
                 continue
@@ -112,6 +113,11 @@ class MyoRuntime:
             # A fault serializes the faulting device thread against the
             # host fault handler; it occupies both the device and the link.
             self.coi.clock.advance(fault_time * self.coi.scale)
+            if tracer.enabled:
+                metrics = tracer.metrics
+                metrics.counter("myo.page_faults").inc()
+                metrics.counter("myo.bytes_faulted").inc(float(page_bytes))
+                metrics.histogram("myo.fault_seconds").observe(fault_time)
 
     def offload_boundary(self) -> None:
         """Invalidate residency at an offload region boundary.

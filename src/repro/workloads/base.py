@@ -135,10 +135,14 @@ class Workload:
         self,
         fault_plan: Optional[FaultPlan] = None,
         resilience: Optional[ResiliencePolicy] = None,
+        tracer=None,
     ) -> Machine:
         """A fresh simulated machine at this workload's scale."""
         return Machine(
-            scale=self.sim_scale, fault_plan=fault_plan, resilience=resilience
+            scale=self.sim_scale,
+            fault_plan=fault_plan,
+            resilience=resilience,
+            tracer=tracer,
         )
 
     def _rng(self, default: int) -> np.random.Generator:

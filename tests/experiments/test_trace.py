@@ -11,6 +11,7 @@ from repro.experiments.trace import (
     summarize,
 )
 from repro.hardware.event_sim import Timeline
+from repro.obs.tracer import Span, Tracer, spans_from_timeline
 from repro.minic.parser import parse
 from repro.runtime.executor import Machine, run_program
 from repro.transforms.streaming import StreamingOptions, apply_streaming
@@ -33,6 +34,45 @@ class TestIntervalHelpers:
         a = [(0, 2), (4, 6)]
         b = [(1, 5)]
         assert _intersect(a, b) == pytest.approx(2.0)
+
+    def test_merge_touching_chain_collapses(self):
+        # A chain of spans that each start exactly where the previous
+        # ended is one contiguous busy interval.
+        assert _merge([(0, 1), (1, 2), (2, 5)]) == [(0, 5)]
+
+    def test_merge_zero_length_entries(self):
+        # Zero-length intervals merge into a covering neighbour and
+        # contribute no coverage on their own.
+        assert _merge([(0, 2), (1, 1), (3, 3), (4, 5)]) == [
+            (0, 2),
+            (3, 3),
+            (4, 5),
+        ]
+        from repro.obs.intervals import covered_time
+
+        assert covered_time(_merge([(3, 3)])) == 0.0
+
+    def test_merge_fully_nested(self):
+        # An interval entirely inside another must not extend it.
+        assert _merge([(0, 10), (2, 5), (3, 4)]) == [(0, 10)]
+
+    def test_intersect_touching_is_zero(self):
+        # Sets that only touch at a point share no time.
+        assert _intersect([(0, 1)], [(1, 2)]) == 0.0
+
+    def test_intersect_fully_nested(self):
+        assert _intersect([(0, 10)], [(2, 5)]) == pytest.approx(3.0)
+
+    def test_intersect_zero_length_interval(self):
+        assert _intersect([(0, 4)], [(2, 2)]) == 0.0
+
+    def test_helpers_are_shared_with_obs(self):
+        # Single source of truth: the private aliases must be the
+        # repro.obs.intervals functions themselves.
+        from repro.obs import intervals
+
+        assert _merge is intervals.merge_intervals
+        assert _intersect is intervals.intersect_total
 
 
 class TestSummarize:
@@ -68,6 +108,28 @@ class TestSummarize:
         summary = summarize(Timeline())
         assert summary.makespan == 0.0
         assert summary.overlap_fraction == 0.0
+
+    def test_summarize_accepts_tracer(self):
+        tracer = Tracer()
+        tracer.span("h2d:A", "dma:h2d", 0.0, 2.0)
+        tracer.span("kernel", "mic", 1.0, 4.0)
+        summary = summarize(tracer)
+        assert summary.makespan == pytest.approx(4.0)
+        assert summary.overlap == pytest.approx(1.0)
+
+    def test_summarize_accepts_span_list(self):
+        spans = [Span("kernel", "mic", 0.0, 3.0, sid=1)]
+        summary = summarize(spans)
+        assert summary.device_busy == pytest.approx(3.0)
+        assert summary.utilization["mic"] == pytest.approx(1.0)
+
+    def test_timeline_and_lifted_spans_agree(self):
+        tl = Timeline()
+        xfer = tl.schedule("dma:h2d", 2.0)
+        tl.schedule("mic", 3.0, deps=[xfer])
+        from_timeline = summarize(tl)
+        from_spans = summarize(spans_from_timeline(tl))
+        assert from_timeline == from_spans
 
 
 class TestStreamingOverlapMetric:

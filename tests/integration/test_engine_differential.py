@@ -10,6 +10,7 @@ analytic counter model drifted from the reference walker.
 import numpy as np
 import pytest
 
+from repro.obs.tracer import Tracer
 from repro.workloads.base import MiniCWorkload
 from repro.workloads.suite import get_workload, workload_names
 
@@ -40,6 +41,40 @@ def test_engines_agree(name):
     assert batch.stats.transfer_time == tree.stats.transfer_time
     assert batch.stats.bytes_to_device == tree.stats.bytes_to_device
     assert batch.stats.bytes_from_device == tree.stats.bytes_from_device
+
+
+@pytest.mark.parametrize("name", workload_names())
+def test_tracing_is_invisible(name):
+    """An instrumented run must be bit-identical to an untraced one.
+
+    The tracer only observes — it never advances the clock or schedules
+    timeline work — so outputs, dynamic operation counters, and every
+    simulated-time/traffic figure must match the untraced run exactly.
+    """
+    workload = get_workload(name)
+    untraced = workload.run("opt")
+    tracer = Tracer()
+    traced = workload.run("opt", machine=workload.machine(tracer=tracer))
+
+    assert set(traced.outputs) == set(untraced.outputs)
+    for key in untraced.outputs:
+        assert (
+            untraced.outputs[key].tobytes() == traced.outputs[key].tobytes()
+        ), f"{name}: tracing changed output {key!r}"
+
+    assert traced.stats.ops.as_dict() == untraced.stats.ops.as_dict(), (
+        f"{name}: tracing changed dynamic op counters"
+    )
+    assert traced.stats.total_time == untraced.stats.total_time, (
+        f"{name}: tracing changed simulated time"
+    )
+    assert traced.stats.transfer_time == untraced.stats.transfer_time
+    assert traced.stats.bytes_to_device == untraced.stats.bytes_to_device
+    assert traced.stats.bytes_from_device == untraced.stats.bytes_from_device
+    assert traced.stats.kernel_launches == untraced.stats.kernel_launches
+    assert traced.stats.device_peak_bytes == untraced.stats.device_peak_bytes
+    # ... and the tracer really did record the run it watched.
+    assert tracer.spans
 
 
 def test_batch_engine_actually_engages():

@@ -1,0 +1,153 @@
+"""End-to-end observability: traced runs expose what the runtime did.
+
+The acceptance contract for the tracing subsystem:
+
+* a *streamed* workload's trace shows ``dma:h2d`` spans overlapping
+  ``mic`` spans (the schedule data streaming exists to create);
+* the metrics snapshot agrees with the run's own
+  :class:`~repro.runtime.executor.ExecutionStats` counters;
+* the exported Chrome trace passes the schema validator;
+* fault firings and recovery actions appear as instants.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments.trace import summarize
+from repro.faults.plan import FaultPlan
+from repro.faults.policy import ResiliencePolicy
+from repro.minic.parser import parse
+from repro.obs.export import chrome_trace_events, validate_chrome_trace
+from repro.obs.tracer import Tracer
+from repro.runtime.executor import Machine, run_program
+from repro.transforms.pipeline import CompOptimizer
+from repro.workloads.suite import get_workload
+
+SOURCE = """
+void main() {
+#pragma offload target(mic:0) in(A : length(n)) in(n) out(B : length(n))
+#pragma omp parallel for
+    for (int i = 0; i < n; i++) { B[i] = sqrt(A[i]) + A[i] * 0.5; }
+}
+"""
+
+
+def _traced_run(optimize=True, scale=20_000.0, **machine_kwargs):
+    program = parse(SOURCE)
+    if optimize:
+        CompOptimizer().optimize(program)
+    tracer = Tracer()
+    machine = Machine(scale=scale, tracer=tracer, **machine_kwargs)
+    n = 1024
+    result = run_program(
+        program,
+        arrays={
+            "A": np.ones(n, dtype=np.float32),
+            "B": np.zeros(n, dtype=np.float32),
+        },
+        scalars={"n": n},
+        machine=machine,
+    )
+    return tracer, result
+
+
+class TestStreamedTrace:
+    def test_dma_and_kernel_spans_overlap(self):
+        tracer, _ = _traced_run(optimize=True)
+        h2d = tracer.track_spans("dma:h2d")
+        mic = tracer.track_spans("mic")
+        assert h2d and mic
+        overlaps = any(
+            t.start < k.end and k.start < t.end
+            for t in h2d
+            for k in mic
+        )
+        assert overlaps, "streamed schedule shows no transfer/compute overlap"
+        summary = summarize(tracer)
+        assert summary.overlap_fraction > 0.5
+
+    def test_unoptimized_trace_serializes(self):
+        tracer, _ = _traced_run(optimize=False)
+        assert summarize(tracer).overlap_fraction < 0.05
+
+    def test_offload_phase_parents_host_spans(self):
+        tracer, _ = _traced_run()
+        offloads = [s for s in tracer.spans if s.name == "offload"]
+        assert offloads
+        by_sid = {s.sid: s for s in tracer.spans}
+        children = [s for s in tracer.spans if s.parent in by_sid]
+        assert children, "no span recorded under an offload phase"
+
+    def test_chrome_export_validates(self):
+        tracer, _ = _traced_run()
+        assert validate_chrome_trace(chrome_trace_events(tracer)) == []
+
+
+class TestMetricsAgreeWithStats:
+    def test_counters_match_execution_stats(self):
+        tracer, result = _traced_run()
+        counters = tracer.metrics.snapshot()["counters"]
+        stats = result.stats
+        assert counters["coi.bytes_to_device"] == stats.bytes_to_device
+        assert counters["coi.bytes_from_device"] == stats.bytes_from_device
+        assert counters["coi.kernel_launches"] == stats.kernel_launches
+        assert counters["coi.kernel_signals"] == stats.kernel_signals
+        assert counters["exec.offloads"] == stats.offload_count
+        assert counters["coi.bytes_to_device"] > 0
+        assert counters["coi.kernel_launches"] > 0
+
+    def test_counters_match_workload_run(self):
+        workload = get_workload("blackscholes")
+        tracer = Tracer()
+        run = workload.run("opt", machine=workload.machine(tracer=tracer))
+        counters = tracer.metrics.snapshot()["counters"]
+        assert counters["coi.bytes_to_device"] == run.stats.bytes_to_device
+        assert counters["coi.kernel_launches"] == run.stats.kernel_launches
+
+    def test_gauges_track_device_memory(self):
+        tracer, result = _traced_run()
+        gauges = tracer.metrics.snapshot()["gauges"]
+        assert gauges["device.mem_peak"]["max"] == result.stats.device_peak_bytes
+
+    def test_kernel_latency_histogram_populated(self):
+        tracer, result = _traced_run()
+        hist = tracer.metrics.snapshot()["histograms"]
+        # One sample per kernel execution: fresh launches plus the
+        # signal-triggered relaunches of the streamed schedule.
+        assert (
+            hist["coi.kernel_launch_overhead_seconds"]["count"]
+            == result.stats.kernel_launches + result.stats.kernel_signals
+        )
+        assert hist["coi.dma.h2d.seconds"]["count"] > 0
+
+
+class TestFaultEventsInTrace:
+    def test_fault_firings_become_instants(self):
+        tracer, result = _traced_run(
+            fault_plan=FaultPlan(seed=7, rates={"h2d": 0.5}),
+            resilience=ResiliencePolicy(),
+        )
+        fault_instants = [
+            i for i in tracer.instants if i.name.startswith("fault:")
+        ]
+        recovery_instants = [
+            i for i in tracer.instants if i.name.startswith("recovery:")
+        ]
+        assert fault_instants, "no fault instants despite a 50% h2d rate"
+        assert recovery_instants, "faults fired but no recovery recorded"
+        counters = tracer.metrics.snapshot()["counters"]
+        injected = sum(
+            v for k, v in counters.items() if k.startswith("faults.injected.")
+        )
+        assert injected == len(fault_instants)
+        assert counters["faults.retries"] > 0
+
+    def test_traced_faulty_run_still_correct(self):
+        _, faulty = _traced_run(
+            fault_plan=FaultPlan(seed=7, rates={"h2d": 0.5}),
+            resilience=ResiliencePolicy(),
+        )
+        _, clean = _traced_run()
+        assert (
+            faulty.array("B").tobytes() == clean.array("B").tobytes()
+        ), "fault recovery changed outputs"

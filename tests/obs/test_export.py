@@ -1,0 +1,138 @@
+"""Tests for the Chrome-trace, flamegraph, and metrics exporters."""
+
+import json
+
+import pytest
+
+from repro.obs.export import (
+    chrome_trace_events,
+    flamegraph_lines,
+    metrics_snapshot,
+    sort_trace_events,
+    utilization,
+    validate_chrome_trace,
+    write_chrome_trace,
+    write_metrics,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import Tracer
+
+
+def _sample_tracer():
+    tracer = Tracer()
+    outer = tracer.begin("offload", "cpu", 0.0)
+    tracer.span("h2d:A", "dma:h2d", 0.0, 0.002, nbytes=4096)
+    tracer.span("kernel", "mic", 0.001, 0.004)
+    tracer.end(outer, 0.005)
+    tracer.instant("fault:h2d", 0.0015, track="cpu", kind="transient")
+    return tracer
+
+
+class TestChromeTrace:
+    def test_events_shape(self):
+        events = chrome_trace_events(_sample_tracer(), pid=3, process_name="p")
+        meta = [e for e in events if e["ph"] == "M"]
+        xs = [e for e in events if e["ph"] == "X"]
+        instants = [e for e in events if e["ph"] == "i"]
+        assert {e["name"] for e in meta} >= {"process_name", "thread_name"}
+        assert all(e["pid"] == 3 for e in events)
+        assert len(xs) == 3
+        assert len(instants) == 1
+        # simulated seconds -> microseconds
+        h2d = next(e for e in xs if e["name"] == "h2d:A")
+        assert h2d["ts"] == pytest.approx(0.0)
+        assert h2d["dur"] == pytest.approx(2000.0)
+        assert h2d["args"]["nbytes"] == 4096
+
+    def test_tracks_become_named_threads(self):
+        events = chrome_trace_events(_sample_tracer())
+        names = [
+            e["args"]["name"]
+            for e in events
+            if e["ph"] == "M" and e["name"] == "thread_name"
+        ]
+        assert names[:3] == ["cpu", "mic", "dma:h2d"]
+
+    def test_payload_is_monotone_and_valid(self):
+        events = chrome_trace_events(_sample_tracer())
+        assert validate_chrome_trace(events) == []
+
+    def test_merged_runs_revalidate_after_sort(self):
+        a = chrome_trace_events(_sample_tracer(), pid=0)
+        b = chrome_trace_events(_sample_tracer(), pid=1)
+        merged = sort_trace_events(a + b)
+        assert validate_chrome_trace(merged) == []
+
+    def test_write_round_trip(self, tmp_path):
+        path = tmp_path / "trace.json"
+        write_chrome_trace(str(path), chrome_trace_events(_sample_tracer()))
+        payload = json.loads(path.read_text())
+        assert payload["displayTimeUnit"] == "ms"
+        assert validate_chrome_trace(payload["traceEvents"]) == []
+
+
+class TestValidator:
+    def test_flags_negative_ts(self):
+        bad = [{"ph": "X", "name": "a", "ts": -1.0, "dur": 1.0}]
+        assert any("negative ts" in p for p in validate_chrome_trace(bad))
+
+    def test_flags_non_monotone_ts(self):
+        bad = [
+            {"ph": "X", "name": "a", "ts": 5.0, "dur": 1.0},
+            {"ph": "X", "name": "b", "ts": 1.0, "dur": 1.0},
+        ]
+        assert any("monotonicity" in p for p in validate_chrome_trace(bad))
+
+    def test_flags_bad_duration(self):
+        bad = [{"ph": "X", "name": "a", "ts": 0.0, "dur": -2.0}]
+        assert any("duration" in p for p in validate_chrome_trace(bad))
+
+    def test_flags_unbalanced_begin_end(self):
+        bad = [{"ph": "B", "name": "a", "ts": 0.0, "pid": 0, "tid": 1}]
+        assert any("unclosed" in p for p in validate_chrome_trace(bad))
+        bad = [{"ph": "E", "name": "a", "ts": 0.0, "pid": 0, "tid": 1}]
+        assert any("no matching B" in p for p in validate_chrome_trace(bad))
+
+    def test_balanced_begin_end_passes(self):
+        ok = [
+            {"ph": "B", "name": "a", "ts": 0.0, "pid": 0, "tid": 1},
+            {"ph": "E", "name": "a", "ts": 1.0, "pid": 0, "tid": 1},
+        ]
+        assert validate_chrome_trace(ok) == []
+
+
+class TestAggregation:
+    def test_utilization_per_track(self):
+        report = utilization(_sample_tracer().spans)
+        assert report["makespan"] == pytest.approx(0.005)
+        assert report["tracks"]["cpu"]["utilization"] == pytest.approx(1.0)
+        assert report["tracks"]["mic"]["busy"] == pytest.approx(0.003)
+
+    def test_flamegraph_self_time(self):
+        lines = flamegraph_lines(_sample_tracer().spans)
+        weights = dict(
+            (line.rsplit(" ", 1)[0], int(line.rsplit(" ", 1)[1]))
+            for line in lines
+        )
+        # offload: 5 ms total minus 2 ms + 3 ms of children = 0 self.
+        assert weights["cpu;offload"] == 0
+        assert weights["cpu;offload;h2d:A"] == 2000
+        assert weights["cpu;offload;kernel"] == 3000
+
+
+class TestMetricsSnapshot:
+    def test_provenance_block_leads(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc()
+        snap = metrics_snapshot(reg, provenance={"git_sha": "abc"})
+        assert list(snap)[0] == "provenance"
+        assert snap["counters"]["c"] == 1
+
+    def test_write_metrics_round_trip(self, tmp_path):
+        path = tmp_path / "metrics.json"
+        reg = MetricsRegistry()
+        reg.counter("dma.bytes").inc(4096)
+        write_metrics(str(path), reg, provenance={"seed": 7})
+        payload = json.loads(path.read_text())
+        assert payload["provenance"]["seed"] == 7
+        assert payload["counters"]["dma.bytes"] == 4096

@@ -1,0 +1,102 @@
+"""Tests for the metrics registry instruments and snapshots."""
+
+import pytest
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NULL_METRICS,
+)
+
+
+class TestCounter:
+    def test_accumulates(self):
+        c = Counter()
+        c.inc()
+        c.inc(2.5)
+        assert c.value == pytest.approx(3.5)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Counter().inc(-1)
+
+
+class TestGauge:
+    def test_tracks_value_and_max(self):
+        g = Gauge()
+        g.set(10)
+        g.set(4)
+        assert g.value == 4
+        assert g.max_value == 10
+
+
+class TestHistogram:
+    def test_summary_stats(self):
+        h = Histogram()
+        for v in (0.001, 0.01, 0.01, 1.0):
+            h.observe(v)
+        assert h.count == 4
+        assert h.min == pytest.approx(0.001)
+        assert h.max == pytest.approx(1.0)
+        assert h.mean == pytest.approx(1.021 / 4)
+
+    def test_bucket_assignment(self):
+        h = Histogram(bounds=[1.0, 10.0])
+        h.observe(0.5)
+        h.observe(5.0)
+        h.observe(100.0)  # overflow
+        assert h.bucket_counts == [1, 1, 1]
+        d = h.as_dict()
+        assert d["buckets"] == {"le_1": 1, "le_10": 1, "overflow": 1}
+
+    def test_empty_histogram_serializes_zeroes(self):
+        d = Histogram().as_dict()
+        assert d["count"] == 0
+        assert d["min"] == 0.0
+        assert d["max"] == 0.0
+        assert d["mean"] == 0.0
+
+
+class TestRegistry:
+    def test_instruments_created_lazily_and_cached(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a") is reg.counter("a")
+        assert reg.gauge("g") is reg.gauge("g")
+        assert reg.histogram("h") is reg.histogram("h")
+
+    def test_snapshot_shape_and_sorting(self):
+        reg = MetricsRegistry()
+        reg.counter("z.count").inc(2)
+        reg.counter("a.count").inc(1)
+        reg.gauge("mem").set(7)
+        reg.histogram("lat").observe(0.5)
+        snap = reg.snapshot()
+        assert list(snap["counters"]) == ["a.count", "z.count"]
+        assert snap["counters"]["z.count"] == 2
+        assert snap["gauges"]["mem"] == {"value": 7, "max": 7}
+        assert snap["histograms"]["lat"]["count"] == 1
+
+    def test_identical_runs_snapshot_identically(self):
+        import json
+
+        def build():
+            reg = MetricsRegistry()
+            reg.counter("dma.bytes").inc(4096)
+            reg.histogram("launch").observe(1e-5)
+            return json.dumps(reg.snapshot(), sort_keys=True)
+
+        assert build() == build()
+
+
+class TestNullMetrics:
+    def test_all_updates_discarded(self):
+        NULL_METRICS.counter("c").inc(9)
+        NULL_METRICS.gauge("g").set(9)
+        NULL_METRICS.histogram("h").observe(9)
+        assert NULL_METRICS.snapshot() == {
+            "counters": {},
+            "gauges": {},
+            "histograms": {},
+        }

@@ -1,0 +1,137 @@
+"""Tests for the span tracer: recording, hierarchy, and the null sink."""
+
+import pytest
+
+from repro.hardware.event_sim import Clock, Timeline
+from repro.obs.tracer import (
+    NULL_TRACER,
+    NullTracer,
+    Tracer,
+    spans_from_timeline,
+)
+
+
+class TestSpanRecording:
+    def test_span_records_fields(self):
+        tracer = Tracer()
+        span = tracer.span("copy", "dma:h2d", 1.0, 3.0, nbytes=64)
+        assert span.name == "copy"
+        assert span.track == "dma:h2d"
+        assert span.duration == pytest.approx(2.0)
+        assert span.attrs == {"nbytes": 64}
+        assert tracer.spans == [span]
+
+    def test_span_clamps_reversed_end(self):
+        tracer = Tracer()
+        span = tracer.span("x", "cpu", 5.0, 4.0)
+        assert span.end == 5.0
+        assert span.duration == 0.0
+
+    def test_sids_are_unique_and_increasing(self):
+        tracer = Tracer()
+        sids = [tracer.span("s", "cpu", i, i + 1).sid for i in range(5)]
+        assert sids == sorted(sids)
+        assert len(set(sids)) == 5
+
+    def test_top_level_span_has_no_parent(self):
+        tracer = Tracer()
+        assert tracer.span("s", "cpu", 0, 1).parent is None
+
+
+class TestHierarchy:
+    def test_begin_end_nesting_sets_parents(self):
+        tracer = Tracer()
+        outer = tracer.begin("outer", "cpu", 0.0)
+        inner = tracer.begin("inner", "cpu", 1.0)
+        child = tracer.span("leaf", "mic", 1.0, 2.0)
+        tracer.end(inner, 3.0)
+        tracer.end(outer, 4.0)
+        assert child.parent == inner.sid
+        assert inner.parent == outer.sid
+        assert outer.parent is None
+
+    def test_end_out_of_order_raises(self):
+        tracer = Tracer()
+        outer = tracer.begin("outer", "cpu", 0.0)
+        tracer.begin("inner", "cpu", 1.0)
+        with pytest.raises(ValueError):
+            tracer.end(outer, 2.0)
+
+    def test_phase_brackets_clock_time(self):
+        tracer = Tracer()
+        clock = Clock()
+        clock.advance(1.5)
+        with tracer.phase("offload", clock, index=0) as span:
+            clock.advance(2.5)
+        assert span.start == pytest.approx(1.5)
+        assert span.end == pytest.approx(4.0)
+        assert span.attrs == {"index": 0}
+        assert tracer.spans[-1] is span
+
+    def test_annotate_targets_innermost_open_span(self):
+        tracer = Tracer()
+        clock = Clock()
+        with tracer.phase("p", clock) as span:
+            tracer.annotate(blocks=16)
+        assert span.attrs["blocks"] == 16
+
+    def test_annotate_outside_any_phase_is_noop(self):
+        Tracer().annotate(ignored=True)  # must not raise
+
+
+class TestInstantsAndViews:
+    def test_instant_recorded(self):
+        tracer = Tracer()
+        inst = tracer.instant("fault:h2d", 2.0, track="cpu", kind="transient")
+        assert tracer.instants == [inst]
+        assert inst.attrs == {"kind": "transient"}
+
+    def test_track_spans_filters(self):
+        tracer = Tracer()
+        tracer.span("a", "cpu", 0, 1)
+        tracer.span("b", "mic", 0, 1)
+        assert [s.name for s in tracer.track_spans("mic")] == ["b"]
+
+    def test_finish_time_covers_spans_and_instants(self):
+        tracer = Tracer()
+        assert tracer.finish_time() == 0.0
+        tracer.span("a", "cpu", 0, 2.0)
+        tracer.instant("i", 3.5)
+        assert tracer.finish_time() == pytest.approx(3.5)
+
+
+class TestNullTracer:
+    def test_enabled_flags(self):
+        assert Tracer().enabled is True
+        assert NULL_TRACER.enabled is False
+
+    def test_all_hooks_are_noops(self):
+        null = NullTracer()
+        assert null.span("a", "cpu", 0, 1) is None
+        assert null.begin("a", "cpu", 0) is None
+        null.end(None, 1.0)
+        null.instant("i", 0.0)
+        null.annotate(x=1)
+        with null.phase("p", None):
+            pass
+        assert null.track_spans("cpu") == []
+        assert null.finish_time() == 0.0
+        assert list(null.spans) == []
+
+    def test_null_metrics_discard(self):
+        NULL_TRACER.metrics.counter("x").inc(5)
+        assert NULL_TRACER.metrics.snapshot()["counters"] == {}
+
+
+class TestSpansFromTimeline:
+    def test_lifts_trace_entries(self):
+        tl = Timeline()
+        xfer = tl.schedule("dma:h2d", 2.0, label="h2d:A")
+        tl.schedule("mic", 3.0, deps=[xfer], label="kernel")
+        spans = spans_from_timeline(tl)
+        assert [(s.name, s.track) for s in spans] == [
+            ("h2d:A", "dma:h2d"),
+            ("kernel", "mic"),
+        ]
+        assert spans[1].start == pytest.approx(2.0)
+        assert spans[1].end == pytest.approx(5.0)

@@ -46,6 +46,14 @@ class TestPackageApi:
 
         assert repro.__version__
 
+    def test_version_flag(self, capsys):
+        import repro
+
+        with pytest.raises(SystemExit) as exc:
+            main(["--version"])
+        assert exc.value.code == 0
+        assert repro.__version__ in capsys.readouterr().out
+
 
 class TestCompileCommand:
     def test_compile_prints_transformed(self, source_file, capsys):
@@ -184,6 +192,93 @@ class TestRunFaultInjection:
         out = capsys.readouterr().out
         assert "faults injected" in out
         assert "recovery time" in out
+
+
+class TestTraceCommand:
+    ARGS = [
+        "--array", "A=256:float:ones",
+        "--array", "B=256:float:zeros",
+        "--scalar", "n=256",
+    ]
+
+    def _validate(self, path):
+        import json
+
+        from repro.obs.export import validate_chrome_trace
+
+        payload = json.loads(path.read_text())
+        assert validate_chrome_trace(payload["traceEvents"]) == []
+        return payload
+
+    def test_trace_writes_valid_chrome_trace(self, source_file, tmp_path, capsys):
+        out = tmp_path / "trace.json"
+        code = main([
+            "trace", source_file, *self.ARGS,
+            "--optimize", "--out", str(out), "--check",
+        ])
+        assert code == 0
+        stdout = capsys.readouterr().out
+        assert "makespan" in stdout
+        assert "trace schema check: ok" in stdout
+        payload = self._validate(out)
+        phases = {e["ph"] for e in payload["traceEvents"]}
+        assert "X" in phases and "M" in phases
+
+    def test_trace_metrics_snapshot(self, source_file, tmp_path):
+        import json
+
+        out = tmp_path / "trace.json"
+        metrics = tmp_path / "metrics.json"
+        code = main([
+            "trace", source_file, *self.ARGS,
+            "--seed", "5", "--out", str(out), "--metrics", str(metrics),
+        ])
+        assert code == 0
+        payload = json.loads(metrics.read_text())
+        assert payload["provenance"]["seed"] == 5
+        assert payload["counters"]["coi.kernel_launches"] >= 1
+        assert payload["counters"]["coi.bytes_to_device"] > 0
+
+    def test_trace_flamegraph_output(self, source_file, tmp_path):
+        flame = tmp_path / "flame.txt"
+        code = main([
+            "trace", source_file, *self.ARGS,
+            "--out", str(tmp_path / "trace.json"), "--flame", str(flame),
+        ])
+        assert code == 0
+        lines = flame.read_text().splitlines()
+        assert lines
+        assert all(line.rsplit(" ", 1)[1].isdigit() for line in lines)
+
+    def test_run_trace_flag(self, source_file, tmp_path, capsys):
+        out = tmp_path / "trace.json"
+        code = main([
+            "run", source_file, *self.ARGS, "--trace", str(out),
+        ])
+        assert code == 0
+        assert "trace written" in capsys.readouterr().out
+        self._validate(out)
+
+    def test_bench_trace_flag(self, tmp_path, capsys):
+        out = tmp_path / "trace.json"
+        assert main(["bench", "nn", "--trace", str(out)]) == 0
+        assert "trace written" in capsys.readouterr().out
+        payload = self._validate(out)
+        # one pid per (workload, variant) run, merged into one file
+        pids = {
+            e["pid"] for e in payload["traceEvents"] if e["ph"] != "M"
+        }
+        assert len(pids) > 1
+
+    def test_faults_trace_flag(self, tmp_path, capsys):
+        out = tmp_path / "trace.json"
+        code = main([
+            "faults", "blackscholes", "--scenarios", "2", "--seed", "0",
+            "--trace", str(out),
+        ])
+        assert code == 0
+        assert "trace written" in capsys.readouterr().out
+        self._validate(out)
 
 
 class TestTuneCommand:
