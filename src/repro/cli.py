@@ -153,7 +153,12 @@ def _build_parser() -> argparse.ArgumentParser:
                         metavar="SITE=PROB",
                         help="override a fault site's per-operation "
                              "probability (sites: h2d d2h kernel alloc "
-                             "signal)")
+                             "signal device)")
+    faults.add_argument("--policy", action="append", default=[],
+                        metavar="KEY=VAL",
+                        help="override a ResiliencePolicy knob, e.g. "
+                             "checkpoint_interval=4, max_resets=2, "
+                             "backoff_max=0.002; unknown keys are errors")
     faults.add_argument("--out", metavar="FILE",
                         help="write the campaign summary JSON to FILE")
     faults.add_argument("--trace", metavar="FILE",
@@ -406,6 +411,54 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_policy_overrides(specs: Sequence[str]):
+    """Build a :class:`ResiliencePolicy` from ``KEY=VAL`` overrides.
+
+    Values are cast by the type of the field's default (bools accept
+    true/false spellings, ``backoff_max`` additionally accepts ``none``);
+    unknown keys and unparsable values are command-line errors, as is an
+    override combination the policy's own validation rejects.
+    """
+    import dataclasses
+
+    from repro.faults.policy import ResiliencePolicy
+
+    known = {f.name for f in dataclasses.fields(ResiliencePolicy)}
+    defaults = ResiliencePolicy()
+    overrides: dict = {}
+    for spec in specs:
+        key, _, raw = spec.partition("=")
+        if key not in known or not raw:
+            raise SystemExit(
+                f"bad --policy spec {spec!r}: expected KEY=VAL with KEY "
+                f"one of {sorted(known)}"
+            )
+        default = getattr(defaults, key)
+        try:
+            if isinstance(default, bool):
+                lowered = raw.lower()
+                if lowered in ("1", "true", "yes", "on"):
+                    value: object = True
+                elif lowered in ("0", "false", "no", "off"):
+                    value = False
+                else:
+                    raise ValueError(raw)
+            elif isinstance(default, int):
+                value = int(raw)
+            else:  # float-valued knobs; None defaults (backoff_max) too
+                value = None if raw.lower() == "none" else float(raw)
+        except ValueError:
+            raise SystemExit(
+                f"bad --policy value in {spec!r}: cannot parse {raw!r} "
+                f"for {key} (default {default!r})"
+            )
+        overrides[key] = value
+    try:
+        return ResiliencePolicy(**overrides)
+    except ValueError as exc:
+        raise SystemExit(f"bad --policy combination: {exc}")
+
+
 def _cmd_faults(args: argparse.Namespace) -> int:
     import json
 
@@ -429,6 +482,7 @@ def _cmd_faults(args: argparse.Namespace) -> int:
                     f"SITE in {FAULT_SITES}"
                 )
             rates[site] = float(prob)
+    policy = _parse_policy_overrides(args.policy) if args.policy else None
     tracers: list = []
     tracer_factory = None
     if args.trace:
@@ -439,15 +493,19 @@ def _cmd_faults(args: argparse.Namespace) -> int:
             tracers.append((f"{name}/scenario{scenario}", tracer))
             return tracer
 
-    result = run_campaign(
-        names=names,
-        scenarios=args.scenarios,
-        seed=args.seed,
-        variant=args.variant,
-        engine=args.engine,
-        rates=rates,
-        tracer_factory=tracer_factory,
-    )
+    try:
+        result = run_campaign(
+            names=names,
+            scenarios=args.scenarios,
+            seed=args.seed,
+            variant=args.variant,
+            engine=args.engine,
+            rates=rates,
+            policy=policy,
+            tracer_factory=tracer_factory,
+        )
+    except ValueError as exc:
+        raise SystemExit(str(exc))
     rows = []
     for outcome in result.outcomes:
         slowdown = (
@@ -478,6 +536,11 @@ def _cmd_faults(args: argparse.Namespace) -> int:
           f"{totals.blocks_replayed} blocks replayed, "
           f"{totals.oom_demotions} demotions, "
           f"{totals.host_fallbacks} host fallbacks")
+    if totals.device_resets:
+        print(f"device resets: {totals.device_resets} survived, "
+              f"{totals.checkpoints_committed} checkpoints committed, "
+              f"{totals.blocks_reuploaded} blocks re-uploaded, "
+              f"{totals.blocks_recomputed} blocks recomputed")
     if args.out:
         with open(args.out, "w") as handle:
             json.dump(result.as_dict(), handle, indent=2)

@@ -122,6 +122,17 @@ class OffloadTimeout(RuntimeFault):
     """
 
 
+class DeviceLost(RuntimeFault):
+    """Raised when the coprocessor resets and its state cannot be rebuilt.
+
+    A full device reset wipes every resident buffer, arena, persistent
+    kernel session, and in-flight signal.  The runtime survives it only
+    when checkpoint/restart is enabled (``ResiliencePolicy.
+    checkpoint_interval > 0``) and the per-run reset budget
+    (``max_resets``) is not exhausted; otherwise the job is lost.
+    """
+
+
 class MissingTransferError(RuntimeFault):
     """Raised when device code touches data never transferred to the device.
 

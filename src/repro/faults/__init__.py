@@ -11,8 +11,11 @@ those failures first-class and survivable:
   :class:`FaultPlan` that the COI runtime, the device memory manager and
   the signal path consult at each operation;
 * :mod:`repro.faults.policy` — the :class:`ResiliencePolicy` knobs:
-  retry counts, exponential backoff, detection timeouts, OOM demotion
-  and host fallback;
+  retry counts, exponential backoff (optionally capped by
+  ``backoff_max``), detection timeouts, OOM demotion, host fallback,
+  and the checkpoint/restart knobs (``checkpoint_interval``,
+  ``checkpoint_cost``, ``max_resets``) that make full ``device:reset``
+  faults survivable;
 * :mod:`repro.faults.stats` — :class:`FaultStats` accounting that flows
   through :class:`~repro.workloads.base.WorkloadRun` into the harness;
 * :mod:`repro.faults.injector` — the :class:`FaultInjector` binding a

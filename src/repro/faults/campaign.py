@@ -17,6 +17,7 @@ are decorrelated, and the whole campaign replays exactly from one seed.
 
 from __future__ import annotations
 
+import dataclasses
 import zlib
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
@@ -92,6 +93,9 @@ class CampaignResult:
     variant: str
     #: Interpreter engine the campaign ran under (None = per-workload).
     engine: Optional[str] = None
+    #: The resilience policy every scenario ran with (knob overrides
+    #: included), recorded so a summary JSON is self-describing.
+    policy: Optional[ResiliencePolicy] = None
     outcomes: List[ScenarioOutcome] = field(default_factory=list)
 
     @property
@@ -115,6 +119,9 @@ class CampaignResult:
             "scenarios": self.scenarios,
             "variant": self.variant,
             "engine": self.engine,
+            "policy": (
+                dataclasses.asdict(self.policy) if self.policy is not None else None
+            ),
             "ok": self.ok,
             "totals": self.totals.as_dict(),
             "outcomes": [outcome.as_dict() for outcome in self.outcomes],
@@ -145,8 +152,16 @@ def run_campaign(
 
     names = list(names) if names else workload_names()
     policy = policy or ResiliencePolicy()
+    if rates and rates.get("device", 0.0) > 0.0 and policy.checkpoint_interval <= 0:
+        raise ValueError(
+            "campaign schedules device resets (rate device="
+            f"{rates['device']}) but the policy has checkpointing "
+            "disabled; set checkpoint_interval > 0 (e.g. --policy "
+            "checkpoint_interval=4) so resets are survivable"
+        )
     result = CampaignResult(
-        seed=seed, scenarios=scenarios, variant=variant, engine=engine
+        seed=seed, scenarios=scenarios, variant=variant, engine=engine,
+        policy=policy,
     )
     for name in names:
         baseline_workload = get_workload(name, seed=seed)

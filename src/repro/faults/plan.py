@@ -1,11 +1,14 @@
 """Fault plans: deterministic, seed-driven schedules of injected faults.
 
 A plan is consulted once per *fault site operation* — each host-to-device
-DMA, device-to-host DMA, kernel launch, device allocation, and signal
-wait asks :meth:`FaultPlan.draw` whether this particular operation fails.
-Operations are numbered per site in issue order, which the simulator
-guarantees is deterministic, so a plan built from the same seed always
-injects the same faults at the same places: same seed ⇒ identical
+DMA, device-to-host DMA, kernel launch, device allocation, signal wait,
+and offload entry (the ``device`` site, whose only kind is a full
+``reset``) asks :meth:`FaultPlan.draw` whether this particular operation
+fails.  Operations are numbered per site in issue order, which the
+simulator guarantees is deterministic, and every site draws from its own
+seed-derived random stream, so a plan built from the same seed always
+injects the same faults at the same places — regardless of which other
+sites are consulted in between: same seed ⇒ identical
 :class:`~repro.faults.stats.FaultStats` and identical outputs.
 
 Two scheduling modes compose:
@@ -25,7 +28,7 @@ from typing import Dict, Iterable, Optional, Tuple
 import numpy as np
 
 #: Every place the runtime consults the plan.
-FAULT_SITES = ("h2d", "d2h", "kernel", "alloc", "signal")
+FAULT_SITES = ("h2d", "d2h", "kernel", "alloc", "signal", "device")
 
 #: Fault kinds available at each site.
 SITE_KINDS: Dict[str, Tuple[str, ...]] = {
@@ -34,17 +37,22 @@ SITE_KINDS: Dict[str, Tuple[str, ...]] = {
     "kernel": ("crash", "hang"),
     "alloc": ("oom",),
     "signal": ("lost",),
+    "device": ("reset",),
 }
 
 #: Default per-operation fault probability of a seeded plan.  Rates are
 #: deliberately high for a simulator — a campaign of a few scenarios
 #: should exercise every recovery path, not model a real PCIe BER.
+#: Device resets are opt-in (rate 0): surviving one requires the
+#: checkpoint/restart machinery to be enabled on the policy, so a plan
+#: never schedules resets unless the campaign asked for them.
 DEFAULT_RATES: Dict[str, float] = {
     "h2d": 0.02,
     "d2h": 0.02,
     "kernel": 0.01,
     "alloc": 0.005,
     "signal": 0.01,
+    "device": 0.0,
 }
 
 
@@ -74,6 +82,16 @@ class FaultSpec:
         if self.site not in SITE_KINDS:
             raise ValueError(
                 f"unknown fault site {self.site!r}; know {sorted(SITE_KINDS)}"
+            )
+        if self.index < 0:
+            raise ValueError(
+                f"fault index must be >= 0, got {self.index} "
+                f"(operations are numbered per site from 0)"
+            )
+        if not 0.0 < self.severity <= 1.0:
+            raise ValueError(
+                f"severity must be in (0, 1], got {self.severity} "
+                f"(the fraction of the operation wasted before detection)"
             )
         kind = self.kind
         if kind is not None and kind not in SITE_KINDS[self.site]:
@@ -112,14 +130,38 @@ class FaultPlan:
         self._scripted: Dict[Tuple[str, int], FaultSpec] = {}
         for spec in scripted:
             self._scripted[(spec.site, spec.index)] = spec
-        self._rng = np.random.default_rng(0 if seed is None else seed)
+        self._rngs: Dict[str, np.random.Generator] = {}
         self._counters: Dict[str, int] = {}
         self._emitted = 0
+
+    def _site_rng(self, site: str) -> np.random.Generator:
+        """The independent random stream for *site*.
+
+        Each site derives its own generator from ``(seed, site index)``,
+        so the draws a site sees depend only on how many operations *it*
+        has issued — never on which other sites were consulted in
+        between.  Adding a new fault site (or instrumenting a new code
+        path) therefore cannot perturb the schedules of existing sites.
+        """
+        rng = self._rngs.get(site)
+        if rng is None:
+            seed = 0 if self.seed is None else self.seed
+            if isinstance(seed, (tuple, list)):
+                entropy = tuple(seed) + (FAULT_SITES.index(site),)
+            else:
+                entropy = (seed, FAULT_SITES.index(site))
+            rng = np.random.default_rng(entropy)
+            self._rngs[site] = rng
+        return rng
 
     # -- drawing ---------------------------------------------------------------
 
     def draw(self, site: str) -> Optional[Fault]:
         """The fault (if any) hitting the next operation at *site*."""
+        if site not in SITE_KINDS:
+            raise ValueError(
+                f"unknown fault site {site!r}; know {sorted(SITE_KINDS)}"
+            )
         index = self._counters.get(site, 0)
         self._counters[site] = index + 1
         spec = self._scripted.get((site, index))
@@ -136,13 +178,14 @@ class FaultPlan:
             return None
         if self.max_faults is not None and self._emitted >= self.max_faults:
             return None
-        if float(self._rng.random()) >= rate:
+        rng = self._site_rng(site)
+        if float(rng.random()) >= rate:
             return None
         kinds = SITE_KINDS[site]
-        kind = kinds[int(self._rng.integers(len(kinds)))]
+        kind = kinds[int(rng.integers(len(kinds)))]
         # Keep severity strictly inside (0, 1): a fault always wastes
         # *some* time, and never more than the whole operation.
-        severity = 0.1 + 0.8 * float(self._rng.random())
+        severity = 0.1 + 0.8 * float(rng.random())
         self._emitted += 1
         return Fault(site=site, kind=kind, severity=severity, index=index)
 

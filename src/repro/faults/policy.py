@@ -9,6 +9,7 @@ guard, and backoff starts well below them so a single retry is cheap.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 
 @dataclass(frozen=True)
@@ -27,6 +28,12 @@ class ResiliencePolicy:
     #: First backoff pause; attempt ``k`` waits ``base * factor ** k``.
     backoff_base: float = 0.002
     backoff_factor: float = 2.0
+    #: Cap on any single backoff pause.  A pause longer than the timeout
+    #: guarding the operation would make the *wait* slower than the
+    #: *failure detection* it follows, so when set the cap must not
+    #: exceed the smallest guarding timeout.  ``None`` leaves backoff
+    #: uncapped (pure exponential), which is the historical behaviour.
+    backoff_max: Optional[float] = None
     #: Host-side detection timeout for a stalled DMA transfer.
     transfer_timeout: float = 0.010
     #: Watchdog timeout for a hung kernel / dead persistent session.
@@ -43,15 +50,53 @@ class ResiliencePolicy:
     host_fallback: bool = True
     #: Fixed migration cost charged before host fallback re-execution.
     fallback_penalty: float = 0.050
+    #: Commit a restart checkpoint every N completed offload blocks;
+    #: 0 (the default) disables checkpoint/restart entirely — no
+    #: checkpoint manager is attached and timing is bit-identical to a
+    #: run without the feature.  With checkpointing enabled, a
+    #: ``device:reset`` fault is survivable: resident state is rebuilt
+    #: and only blocks completed since the last commit are re-executed.
+    checkpoint_interval: int = 0
+    #: Simulated host time charged per checkpoint commit (writing the
+    #: block index, d2h-completed output manifest, and arena generation
+    #: to durable host memory).
+    checkpoint_cost: float = 0.0002
+    #: Device resets one run will survive before declaring the device
+    #: lost (:class:`~repro.errors.DeviceLost`).
+    max_resets: int = 8
 
     def __post_init__(self) -> None:
         if self.max_retries < 0:
             raise ValueError("max_retries must be >= 0")
         if self.backoff_base < 0 or self.backoff_factor < 1.0:
             raise ValueError("backoff must be non-negative and non-shrinking")
+        if self.backoff_max is not None:
+            guard = min(
+                self.transfer_timeout, self.kernel_timeout, self.signal_timeout
+            )
+            if self.backoff_max < self.backoff_base:
+                raise ValueError(
+                    f"backoff_max ({self.backoff_max}) must be >= "
+                    f"backoff_base ({self.backoff_base})"
+                )
+            if self.backoff_max > guard:
+                raise ValueError(
+                    f"backoff_max ({self.backoff_max}) must not exceed the "
+                    f"smallest guarding timeout ({guard}): waiting longer to "
+                    f"retry than to detect the failure is never useful"
+                )
         if self.degraded_factor < 1.0:
             raise ValueError("degraded_factor must be >= 1")
+        if self.checkpoint_interval < 0:
+            raise ValueError("checkpoint_interval must be >= 0 (0 disables)")
+        if self.checkpoint_cost < 0:
+            raise ValueError("checkpoint_cost must be >= 0")
+        if self.max_resets < 0:
+            raise ValueError("max_resets must be >= 0")
 
     def backoff(self, attempt: int) -> float:
         """Pause before re-issuing after failed attempt *attempt* (0-based)."""
-        return self.backoff_base * self.backoff_factor ** attempt
+        pause = self.backoff_base * self.backoff_factor ** attempt
+        if self.backoff_max is not None:
+            pause = min(pause, self.backoff_max)
+        return pause

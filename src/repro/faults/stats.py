@@ -44,11 +44,32 @@ class FaultStats:
     fallback_seconds: float = 0.0
     #: Completion signals that were dropped and re-polled after a timeout.
     signals_lost: int = 0
+    #: Full device resets survived through checkpoint/restart.
+    device_resets: int = 0
+    #: Checkpoint commits (every ``checkpoint_interval`` completed blocks).
+    checkpoints_committed: int = 0
+    #: Host time charged for checkpoint commits.
+    checkpoint_seconds: float = 0.0
+    #: Live device blocks re-uploaded while restoring after a reset —
+    #: only state not covered by a checkpoint needs the DMA.
+    blocks_reuploaded: int = 0
+    #: Blocks re-executed after a reset because they completed since the
+    #: last checkpoint commit (the interval's rework cost).
+    blocks_recomputed: int = 0
+    #: Per-site histogram of recovery actions taken, keyed
+    #: ``{site: {action: count}}`` (actions: ``retry``, ``degraded``,
+    #: ``repoll``, ``demotion``, ``host_fallback``, ``reset_survived``).
+    recovery_actions: Dict[str, Dict[str, int]] = field(default_factory=dict)
 
     def record_injected(self, fault: Fault) -> None:
         """Count one injected fault."""
         key = f"{fault.site}:{fault.kind}"
         self.injected[key] = self.injected.get(key, 0) + 1
+
+    def record_action(self, site: str, action: str) -> None:
+        """Count one recovery action taken at *site*."""
+        per_site = self.recovery_actions.setdefault(site, {})
+        per_site[action] = per_site.get(action, 0) + 1
 
     @property
     def total_injected(self) -> int:
@@ -69,6 +90,15 @@ class FaultStats:
         self.host_fallbacks += other.host_fallbacks
         self.fallback_seconds += other.fallback_seconds
         self.signals_lost += other.signals_lost
+        self.device_resets += other.device_resets
+        self.checkpoints_committed += other.checkpoints_committed
+        self.checkpoint_seconds += other.checkpoint_seconds
+        self.blocks_reuploaded += other.blocks_reuploaded
+        self.blocks_recomputed += other.blocks_recomputed
+        for site, actions in other.recovery_actions.items():
+            per_site = self.recovery_actions.setdefault(site, {})
+            for action, count in actions.items():
+                per_site[action] = per_site.get(action, 0) + count
 
     def as_dict(self) -> dict:
         """A plain-dict view (for comparisons, JSON summaries, reports)."""
@@ -85,4 +115,13 @@ class FaultStats:
             "host_fallbacks": self.host_fallbacks,
             "fallback_seconds": self.fallback_seconds,
             "signals_lost": self.signals_lost,
+            "device_resets": self.device_resets,
+            "checkpoints_committed": self.checkpoints_committed,
+            "checkpoint_seconds": self.checkpoint_seconds,
+            "blocks_reuploaded": self.blocks_reuploaded,
+            "blocks_recomputed": self.blocks_recomputed,
+            "recovery_actions": {
+                site: dict(sorted(actions.items()))
+                for site, actions in sorted(self.recovery_actions.items())
+            },
         }

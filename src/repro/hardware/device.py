@@ -111,6 +111,43 @@ class OpCounters:
         return min(1.0, self.irregular_accesses / total)
 
 
+@dataclass(frozen=True)
+class ResetSemantics:
+    """Timing model of a full coprocessor reset.
+
+    The MIC's failure mode of last resort is a watchdog reset: the card
+    drops off the PCIe bus, every resident buffer, persistent kernel
+    thread, and in-flight signal is lost, and the host must re-open the
+    driver session before any further offload.  The recovery *cost* has
+    three parts: the host-side watchdog latency to declare the device
+    dead, a fixed driver/firmware re-initialization handshake, and a
+    per-thread term for re-spawning the device worker pool (the paper's
+    thread-reuse sessions must be rebuilt from scratch).
+    """
+
+    #: Host watchdog latency before the device is declared dead.  An
+    #: order of magnitude above the kernel watchdog (cf.
+    #: ``ResiliencePolicy.kernel_timeout``): a whole-device loss is only
+    #: declared after per-operation recovery has already given up.
+    detection_timeout: float = 0.100
+    #: Fixed driver re-open + firmware boot handshake.
+    reinit_base: float = 0.150
+    #: Per-thread cost of re-spawning the device worker pool.
+    reinit_per_thread: float = 2.0e-5
+
+    def reinit_seconds(self, threads: int) -> float:
+        """Driver + thread-pool re-initialization time for *threads*."""
+        return self.reinit_base + self.reinit_per_thread * max(0, threads)
+
+    def overhead(self, threads: int) -> float:
+        """Total dead time of one reset, detection through re-init."""
+        return self.detection_timeout + self.reinit_seconds(threads)
+
+
+#: The paper machine's reset behaviour; shared default for every run.
+RESET_SEMANTICS = ResetSemantics()
+
+
 class ComputeDevice:
     """Timing model for one processor (host CPU or MIC)."""
 

@@ -39,6 +39,8 @@ class DeviceMemoryManager:
     #: Optional fault injector; when set, allocations may be failed with
     #: an injected :class:`DeviceOutOfMemory` (site ``"alloc"``).
     injector: Optional[object] = None
+    #: Full device resets this manager has been wiped by.
+    device_resets: int = 0
 
     def allocate(self, name: str, nbytes: float) -> Allocation:
         """Allocate *nbytes* (executed scale) under *name*.
@@ -83,6 +85,17 @@ class DeviceMemoryManager:
         """Release every allocation (program teardown)."""
         self.allocations.clear()
         self.in_use = 0
+
+    def reset(self) -> None:
+        """Wipe every allocation after a full device reset.
+
+        Unlike :meth:`free_all` this is a *failure*, not a teardown: the
+        reset count is recorded, and peak/total accounting is preserved —
+        Figure 13's peak usage spans the whole run, resets included.
+        """
+        self.allocations.clear()
+        self.in_use = 0
+        self.device_resets += 1
 
     def holds(self, name: str) -> bool:
         """True when *name* is currently allocated."""

@@ -12,6 +12,8 @@ Layers, bottom to top:
 * :mod:`repro.runtime.executor` — the MiniC interpreter that executes
   programs against the simulated machine, accruing operation counters and
   driving the timeline through LEO pragmas;
+* :mod:`repro.runtime.checkpoint` — checkpoint/restart recovery that
+  makes streamed offloads resumable across full ``device:reset`` faults;
 * :mod:`repro.runtime.myo` / :mod:`repro.runtime.arena` /
   :mod:`repro.runtime.smartptr` — the MYO page-fault shared-memory
   baseline and the paper's segmented-arena + augmented-pointer
@@ -19,6 +21,7 @@ Layers, bottom to top:
 """
 
 from repro.runtime.arena import ArenaAllocator, SharedObject
+from repro.runtime.checkpoint import Checkpoint, CheckpointManager
 from repro.runtime.coi import CoiRuntime
 from repro.runtime.executor import ExecutionResult, Executor, Machine, run_program
 from repro.runtime.myo import MyoRuntime
@@ -28,6 +31,8 @@ from repro.runtime.values import DeviceSpace, HostSpace
 __all__ = [
     "ArenaAllocator",
     "SharedObject",
+    "Checkpoint",
+    "CheckpointManager",
     "CoiRuntime",
     "ExecutionResult",
     "Executor",

@@ -69,6 +69,12 @@ class ArenaAllocator:
         self.delta = DeltaTable()
         self.alloc_count = 0
         self._copied_bids: set = set()
+        #: Device bytes each copied buffer occupies (full or used size,
+        #: per the copy_full_buffers knob) — what a rebuild re-uploads.
+        self._copied_nbytes: Dict[int, int] = {}
+        #: Bumped on every device-side rebuild; pointers translated under
+        #: an old generation were validated against a dead device image.
+        self.generation = 0
 
     # -- allocation -----------------------------------------------------------
 
@@ -140,10 +146,41 @@ class ArenaAllocator:
                 nbytes, to_device=True, label=f"arena:{buf.bid}"
             )
             self._copied_bids.add(buf.bid)
+            self._copied_nbytes[buf.bid] = nbytes
             if self.tracer.enabled:
                 metrics = self.tracer.metrics
                 metrics.counter("arena.buffers_copied").inc()
                 metrics.counter("arena.bytes_copied").inc(float(nbytes))
+
+    def rebuild_on_device(self, coi: CoiRuntime) -> int:
+        """Rebuild the device image after a full device reset.
+
+        Every previously copied buffer is re-allocated and re-uploaded
+        wholesale (the reset freed the device memory accounting along
+        with the data), and its augmented-pointer delta is re-derived
+        for the fresh placement.  Returns the number of buffers rebuilt.
+        The caller runs this with injection suspended — recovery cannot
+        recursively fault.
+        """
+        rebuilt = 0
+        for buf in self.buffers:
+            if buf.bid not in self._copied_bids:
+                continue
+            nbytes = self._copied_nbytes.get(buf.bid, buf.size)
+            mic_base = _MIC_REGION_BASE + buf.bid * _CPU_REGION_STRIDE
+            coi.device_memory.allocate(f"arena:{buf.bid}", nbytes)
+            coi.raw_transfer(
+                nbytes, to_device=True, label=f"arena:{buf.bid}~rebuild"
+            )
+            self.delta.refresh(buf.bid, buf.cpu_base, mic_base)
+            rebuilt += 1
+        self.generation += 1
+        if self.tracer.enabled:
+            metrics = self.tracer.metrics
+            metrics.counter("arena.rebuilds").inc()
+            metrics.counter("arena.buffers_rebuilt").inc(rebuilt)
+            metrics.gauge("arena.generation").set(self.generation)
+        return rebuilt
 
     @staticmethod
     def _allocate_resilient(coi: CoiRuntime, name: str, nbytes: int) -> None:
@@ -162,6 +199,7 @@ class ArenaAllocator:
             if stats is not None:
                 stats.backoff_seconds += pause
                 stats.retries += 1
+                stats.record_action("alloc", "retry")
             with coi.injector_suspended():
                 coi.device_memory.allocate(name, nbytes)
 
@@ -171,6 +209,7 @@ class ArenaAllocator:
             if buf.bid in self._copied_bids:
                 coi.device_memory.free(f"arena:{buf.bid}")
         self._copied_bids.clear()
+        self._copied_nbytes.clear()
 
     # -- dereference -----------------------------------------------------------------
 

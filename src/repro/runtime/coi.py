@@ -82,6 +82,14 @@ class CoiRuntime:
         self.injector = None
         self.resilience = None
         self.fault_stats = None
+        #: COI session epoch: bumped by every full device reset.  Signals
+        #: and persistent sessions belong to an epoch and do not survive
+        #: into the next one.
+        self.epoch = 0
+        #: Optional checkpoint manager (attached by the Machine when the
+        #: policy enables checkpoint/restart).  None ⇒ every note hook
+        #: below is skipped and a device reset is unrecoverable.
+        self.checkpoint = None
 
     def injector_suspended(self):
         """Context manager silencing injection while recovery re-issues."""
@@ -112,6 +120,8 @@ class CoiRuntime:
         if existing is None or len(existing) < count or existing.dtype != dtype:
             self.device.arrays[name] = np.zeros(count, dtype=dtype)
         self.stats.allocations += 1
+        if self.checkpoint is not None:
+            self.checkpoint.note_alloc(name, charged * itemsize)
         if self.tracer.enabled:
             metrics = self.tracer.metrics
             metrics.counter("coi.allocations").inc()
@@ -124,6 +134,8 @@ class CoiRuntime:
         if self.device_memory.holds(name):
             self.device_memory.free(name)
         self.device.arrays.pop(name, None)
+        if self.checkpoint is not None:
+            self.checkpoint.note_free(name)
 
     # -- transfers ------------------------------------------------------------
 
@@ -212,6 +224,7 @@ class CoiRuntime:
                 )
             if attempt >= policy.max_retries:
                 stats.degraded_transfers += 1
+                stats.record_action(site, "degraded")
                 event = self.timeline.schedule(
                     channel, duration * policy.degraded_factor, deps=deps,
                     label=f"{label}~degraded", not_before=self.clock.now,
@@ -232,6 +245,7 @@ class CoiRuntime:
             self.clock.advance(pause)
             stats.backoff_seconds += pause
             stats.retries += 1
+            stats.record_action(site, "retry")
             if tracer.enabled:
                 tracer.instant(
                     "recovery:retry", self.clock.now, track=channel,
@@ -263,6 +277,8 @@ class CoiRuntime:
                 f"[{dest_start}, {dest_start + len(data)}) of {len(buf)}"
             )
         buf[dest_start : dest_start + len(data)] = data
+        if self.checkpoint is not None:
+            self.checkpoint.note_write(dest, dest_start, len(data), data.nbytes)
         nbytes = data.nbytes * self.scale
         event = self._dma_schedule(
             DMA_TO_DEVICE,
@@ -490,6 +506,7 @@ class CoiRuntime:
             self.clock.advance(pause)
             stats.backoff_seconds += pause
             stats.retries += 1
+            stats.record_action("kernel", "retry")
             if self.tracer.enabled:
                 self.tracer.instant(
                     "recovery:retry", self.clock.now, track=DEVICE,
@@ -501,6 +518,30 @@ class CoiRuntime:
     def end_persistent(self, key: str) -> None:
         """Terminate a persistent kernel (next use pays a full launch)."""
         self._persistent_live.discard(key)
+
+    # -- device reset -----------------------------------------------------------
+
+    def reset_device(self) -> None:
+        """Wipe every piece of resident device state (a full reset).
+
+        Resident numpy buffers, device scalars, in-flight signals,
+        persistent kernel sessions, and the memory accounting all go;
+        the session epoch is bumped so state rebuilt afterwards is
+        distinguishable from pre-reset state.  The caller (the
+        checkpoint manager's restore path) is responsible for rebuilding
+        whatever must survive — this method only destroys.
+        """
+        self.device.arrays.clear()
+        self.device.scalars.clear()
+        self.signals.clear()
+        self._persistent_live.clear()
+        self.device_memory.reset()
+        self.epoch += 1
+        if self.tracer.enabled:
+            metrics = self.tracer.metrics
+            metrics.counter("coi.device_resets").inc()
+            metrics.gauge("coi.epoch").set(self.epoch)
+            metrics.gauge("device.mem_in_use").set(self.device_memory.in_use)
 
     # -- signals -----------------------------------------------------------------
 
@@ -523,6 +564,7 @@ class CoiRuntime:
                 stats = self.fault_stats
                 stats.signals_lost += 1
                 stats.timeouts += 1
+                stats.record_action("signal", "repoll")
                 self.clock.advance(policy.signal_timeout)
                 stats.recovery_seconds += policy.signal_timeout
                 if self.tracer.enabled:

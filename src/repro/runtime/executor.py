@@ -33,6 +33,7 @@ from typing import Dict, List, Optional, Tuple, Union
 import numpy as np
 
 from repro.errors import (
+    DeviceLost,
     DeviceOutOfMemory,
     ExecutionError,
     MissingTransferError,
@@ -59,6 +60,7 @@ from repro.minic.parser import parse
 from repro.minic.visitor import walk as walk_nodes
 from repro.obs.tracer import NULL_TRACER
 from repro.runtime import batch_exec
+from repro.runtime.checkpoint import CheckpointManager
 from repro.runtime.coi import DEVICE, DMA_FROM_DEVICE, DMA_TO_DEVICE, CoiRuntime
 from repro.runtime.values import DeviceSpace, HostSpace
 
@@ -158,6 +160,14 @@ class Machine:
             injector.clock = self.clock
             self.coi.injector = injector
             self.device_memory.injector = injector
+        # Checkpoint/restart is opt-in via the policy: without it the
+        # COI note hooks are never reached and a device reset is fatal.
+        self.checkpoint = None
+        if self.resilience is not None and self.resilience.checkpoint_interval > 0:
+            self.checkpoint = CheckpointManager(
+                self.resilience, self.fault_stats, tracer=self.tracer
+            )
+            self.coi.checkpoint = self.checkpoint
         # Shared-memory runtimes for programs using the Section V
         # allocation intrinsics, created lazily.
         self._myo = None
@@ -180,6 +190,8 @@ class Machine:
 
             self._arena = ArenaAllocator()
             self._arena.tracer = self.tracer
+            if self.checkpoint is not None:
+                self.checkpoint.register_arena(self._arena)
         return self._arena
 
 
@@ -976,6 +988,14 @@ class Executor:
         coi = self.machine.coi
         resilience = coi.resilience
 
+        # The device site is consulted once per offload entry — the one
+        # boundary where all device state is quiescent, so a full reset
+        # can be recovered without tearing a transfer or kernel in half.
+        if coi.injector is not None:
+            reset = coi.injector.draw("device")
+            if reset is not None:
+                self._recover_device_reset(reset)
+
         deps: List[Event] = []
         if pragma.wait is not None:
             tag = self._eval_clause(pragma.wait, env)
@@ -1038,6 +1058,11 @@ class Executor:
         elif final is not None:
             self.machine.clock.wait_until(final)
 
+        if coi.checkpoint is not None:
+            coi.checkpoint.block_completed(
+                coi, kernel_seconds, session=persistent_key
+            )
+
     def _interpret_device_body(
         self,
         body: ast.Stmt,
@@ -1074,6 +1099,30 @@ class Executor:
 
     # -- fault recovery ---------------------------------------------------------------------------
 
+    def _recover_device_reset(self, fault) -> None:
+        """Survive a full device reset drawn at offload entry.
+
+        With checkpoint/restart enabled on the policy, the checkpoint
+        manager restores the session (re-upload live blocks, rebuild
+        arenas, re-charge uncommitted kernel work) and execution resumes
+        as if the reset were a very expensive stall.  Without it there
+        is nothing to resume from: the device state is gone and the run
+        dies with :class:`~repro.errors.DeviceLost`.
+        """
+        coi = self.machine.coi
+        manager = coi.checkpoint
+        stats = coi.fault_stats
+        if manager is None:
+            if stats is not None:
+                stats.device_resets += 1
+            raise DeviceLost(
+                f"device reset at offload #{self._offload_count - 1} with "
+                f"checkpointing disabled; set "
+                f"ResiliencePolicy.checkpoint_interval > 0 to make "
+                f"streamed offloads resumable"
+            )
+        manager.handle_reset(coi, fault)
+
     def _recover_offload_oom(
         self,
         oom: DeviceOutOfMemory,
@@ -1103,6 +1152,7 @@ class Executor:
             self.machine.clock.advance(pause)
             stats.backoff_seconds += pause
             stats.retries += 1
+            stats.record_action("alloc", "retry")
             return False
         if policy.host_fallback and simple:
             self._exec_offload_on_host(pragma, body, env, loop)
@@ -1147,6 +1197,7 @@ class Executor:
         self.machine.clock.advance(cost)
         stats.host_fallbacks += 1
         stats.fallback_seconds += cost
+        stats.record_action("kernel", "host_fallback")
         tracer = self.machine.tracer
         if tracer.enabled:
             tracer.instant(
@@ -1206,6 +1257,7 @@ class Executor:
 
         stats.host_fallbacks += 1
         stats.fallback_seconds += self.machine.clock.now - start_clock
+        stats.record_action("alloc", "host_fallback")
         tracer = self.machine.tracer
         if tracer.enabled:
             tracer.instant(
@@ -1241,6 +1293,7 @@ class Executor:
         policy = coi.resilience
         stats = coi.fault_stats
         stats.oom_demotions += 1
+        stats.record_action("alloc", "demotion")
         tracer = self.machine.tracer
         if tracer.enabled:
             tracer.instant(
@@ -1367,6 +1420,9 @@ class Executor:
         elif final is not None:
             self.machine.clock.wait_until(final)
 
+        if coi.checkpoint is not None:
+            coi.checkpoint.block_completed(coi, kernel_seconds, session=session)
+
     def _exec_pragma_stmt(self, pragma: ast.Pragma, env: Env) -> None:
         coi = self.machine.coi
         if isinstance(pragma, ast.OffloadWaitPragma):
@@ -1389,6 +1445,7 @@ class Executor:
                 self.machine.clock.advance(pause)
                 coi.fault_stats.backoff_seconds += pause
                 coi.fault_stats.retries += 1
+                coi.fault_stats.record_action("alloc", "retry")
                 with coi.injector_suspended():
                     events, freed = self._do_in_clauses(
                         pragma.clauses, env, deps=[]

@@ -64,6 +64,21 @@ class DeltaTable:
         self._delta[bid] = mic_base - cpu_base
         self._cpu_bases.append((cpu_base, size, bid))
 
+    def refresh(self, bid: int, cpu_base: int, mic_base: int) -> None:
+        """Re-derive buffer *bid*'s delta after its device copy was rebuilt.
+
+        A device reset destroys every arena buffer; the rebuild places
+        each buffer at a freshly computed device base, so the delta is
+        recomputed rather than trusted.  Unlike :meth:`register` this
+        does not append to the linear-search base list — the buffer is
+        the same host-side object, only its device image moved.
+        """
+        if bid not in self._delta:
+            raise PointerTranslationError(
+                f"cannot refresh buffer {bid}: it was never registered"
+            )
+        self._delta[bid] = mic_base - cpu_base
+
     def __len__(self) -> int:
         return len(self._delta)
 

@@ -40,6 +40,10 @@ class TransformReport:
     applied: bool
     reason: str = ""
     details: List[str] = field(default_factory=list)
+    #: Machine-readable artifacts the transform produced, e.g. the
+    #: streaming transform's resumable block schedules
+    #: (:class:`~repro.transforms.streaming.StreamSchedule`).
+    schedules: List[object] = field(default_factory=list)
 
     def note(self, message: str) -> None:
         """Append a human-readable detail line."""

@@ -72,6 +72,17 @@ class PipelineResult:
         report = self.report(name)
         return bool(report and report.applied)
 
+    @property
+    def stream_schedules(self) -> List[object]:
+        """Resumable block schedules from every streamed loop, in order.
+
+        One :class:`~repro.transforms.streaming.StreamSchedule` per loop
+        the streaming transform rewrote — the facts checkpoint/restart
+        needs (session name, block count, live buffers per block)
+        without re-deriving them from the transformed AST.
+        """
+        return [s for r in self.reports for s in r.schedules]
+
 
 class CompOptimizer:
     """Applies the COMP optimization pipeline to a program in place."""

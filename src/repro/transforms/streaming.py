@@ -100,6 +100,59 @@ class StreamingOptions:
     bindings: Dict[str, int] = dc_field(default_factory=dict)
 
 
+@dataclass(frozen=True)
+class StreamSchedule:
+    """Resumable description of one streamed loop's block schedule.
+
+    The generated code already *is* the schedule, but recovery tooling
+    (checkpoint/restart, campaign reports) needs the facts without
+    re-deriving them from the AST: how many blocks there are, which
+    persistent session runs them, and which device buffers are live
+    while block *k* computes — exactly the set a device reset forces the
+    runtime to re-upload before resuming at block *k*.
+    """
+
+    session: str
+    num_blocks: int
+    double_buffer: bool
+    thread_reuse: bool
+    #: Streamed arrays that are read (double-buffered under Figure 5(c)).
+    streamed_in: Tuple[str, ...] = ()
+    #: Streamed pure outputs (single block buffer under Figure 5(c)).
+    streamed_out: Tuple[str, ...] = ()
+    #: Streamed inout arrays (updated in place in their double buffers).
+    streamed_inout: Tuple[str, ...] = ()
+    #: Whole-array resident buffers (transferred once in the prologue).
+    resident: Tuple[str, ...] = ()
+
+    @property
+    def resumable(self) -> bool:
+        """Every block boundary is a consistent recovery point.
+
+        Streamed schedules are resumable by construction: each block's
+        inputs arrive through recorded block-granular transfers and each
+        block's outputs are drained before the next commit, so restoring
+        the live buffers replays at most the in-flight window.
+        """
+        return self.num_blocks > 1
+
+    def live_buffers(self, block: int) -> Tuple[str, ...]:
+        """Device buffer names resident while *block* computes."""
+        if not self.double_buffer:
+            return (
+                self.streamed_in
+                + self.streamed_out
+                + self.streamed_inout
+                + self.resident
+            )
+        suffix = "__s1" if block % 2 == 0 else "__s2"
+        names = [name + suffix for name in self.streamed_in]
+        names += [name + suffix for name in self.streamed_inout]
+        names += [name + "__b" for name in self.streamed_out]
+        names += list(self.resident)
+        return tuple(names)
+
+
 @dataclass
 class _ArrayPlan:
     """How one clause array is handled by the transform."""
@@ -398,22 +451,41 @@ def _stream_one_loop(
     if not any(p.streamed for p in plans):
         raise LegalityError("no array qualifies for streaming")
 
+    session = _new_session()
     if options.double_buffer:
         stmts = _emit_double_buffered(
-            loop, var, bound, plans, scalar_clauses, options
+            loop, var, bound, plans, scalar_clauses, options, session
         )
     else:
         stmts = _emit_full_buffers(
-            loop, var, bound, plans, scalar_clauses, options
+            loop, var, bound, plans, scalar_clauses, options, session
         )
     if not replace_statement(program, loop, stmts):
         raise LegalityError("loop not found in the program body")
     report.applied = True
     streamed = [p.name for p in plans if p.streamed]
+    report.schedules.append(
+        StreamSchedule(
+            session=session,
+            num_blocks=options.num_blocks,
+            double_buffer=options.double_buffer,
+            thread_reuse=options.thread_reuse,
+            streamed_in=tuple(
+                p.name for p in plans if p.streamed and p.reads and not p.writes
+            ),
+            streamed_out=tuple(
+                p.name for p in plans if p.streamed and p.writes and not p.reads
+            ),
+            streamed_inout=tuple(
+                p.name for p in plans if p.streamed and p.reads and p.writes
+            ),
+            resident=tuple(p.name for p in plans if not p.streamed),
+        )
+    )
     report.note(
         f"streamed {', '.join(streamed)} in {options.num_blocks} blocks "
         f"(double_buffer={options.double_buffer}, "
-        f"thread_reuse={options.thread_reuse})"
+        f"thread_reuse={options.thread_reuse}, session={session})"
     )
 
 
@@ -456,6 +528,7 @@ def _emit_full_buffers(
     plans: List[_ArrayPlan],
     scalar_clauses: List[ast.TransferClause],
     options: StreamingOptions,
+    session: str,
 ) -> List[ast.Stmt]:
     """Figure 5(b): whole-array device buffers, sectioned transfers."""
     nb = options.num_blocks
@@ -547,7 +620,6 @@ def _emit_full_buffers(
     kernel_scalars = _scalar_kernel_clauses(
         scalar_clauses, ["__start", "__len"]
     )
-    session = _new_session()
     kernel_pragma = _kernel_pragma(
         [p.name for p in plans],
         kernel_scalars,
@@ -616,6 +688,7 @@ def _emit_double_buffered(
     plans: List[_ArrayPlan],
     scalar_clauses: List[ast.TransferClause],
     options: StreamingOptions,
+    session: str,
 ) -> List[ast.Stmt]:
     """Figure 5(c): two block buffers per streamed input, one per output."""
     nb = options.num_blocks
@@ -708,7 +781,6 @@ def _emit_double_buffered(
 
     first_block = in_clauses_for(ast.IntLit(0), ast.Ident("__len0"), "__s1")
 
-    session = _new_session()
     start_ident = ast.Ident("__start")
     len_ident = ast.Ident("__len")
 

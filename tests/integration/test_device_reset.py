@@ -1,0 +1,136 @@
+"""End-to-end contract for device-reset recovery on streamed workloads.
+
+The tentpole guarantee: a scripted ``device:reset`` in the middle of a
+streamed pipeline completes **without host fallback**, with outputs and
+dynamic op counters bit-identical to the uninterrupted run, re-uploading
+only the blocks that were live at the reset — never the whole streamed
+history — while simulated time strictly grows (recovery is never free).
+
+Workloads are probed first with a no-fault plan to learn how many
+offload entries (device-site draws) the run makes; the scripted reset
+then lands squarely mid-pipeline.
+"""
+
+import numpy as np
+import pytest
+
+from repro.faults import FaultPlan, FaultSpec, ResiliencePolicy
+from repro.transforms.streaming import DEFAULT_NUM_BLOCKS
+from repro.workloads.suite import get_workload
+
+#: Every suite workload whose opt variant streams at least one loop
+#: (verified empirically: each makes > 1 offload entry per run).
+STREAMED = ("blackscholes", "kmeans", "CG", "nn")
+
+
+def _policy():
+    return ResiliencePolicy(checkpoint_interval=4)
+
+
+def _offload_entries(name):
+    """Device-site draws (offload entries) of one checkpointed run."""
+    workload = get_workload(name, seed=0)
+    plan = FaultPlan(scripted=[])
+    machine = workload.machine(fault_plan=plan, resilience=_policy())
+    workload.run("opt", machine=machine)
+    return plan.operations("device")
+
+
+@pytest.mark.parametrize("name", STREAMED)
+def test_mid_pipeline_reset_is_survivable(name):
+    baseline = get_workload(name, seed=0).run("opt")
+    entries = _offload_entries(name)
+    assert entries > 1, f"{name} is not streamed enough to reset mid-pipeline"
+
+    workload = get_workload(name, seed=0)
+    plan = FaultPlan(scripted=[FaultSpec("device", entries // 2, "reset")])
+    machine = workload.machine(fault_plan=plan, resilience=_policy())
+    run = workload.run("opt", machine=machine)
+    stats = machine.fault_stats
+
+    # Bit-identical outputs and op counters — recovery restored the
+    # exact pre-reset image and resumed, it did not recompute on the
+    # host or drop work.
+    assert set(run.outputs) == set(baseline.outputs)
+    for key in baseline.outputs:
+        assert run.outputs[key].tobytes() == baseline.outputs[key].tobytes(), (
+            f"{name}: output {key!r} differs after a survived reset"
+        )
+    assert run.stats.ops.as_dict() == baseline.stats.ops.as_dict()
+
+    # The reset was survived by checkpoint/restart, not by giving the
+    # work back to the host.
+    assert stats.device_resets == 1
+    assert stats.host_fallbacks == 0
+    assert stats.recovery_actions.get("device") == {"reset_survived": 1}
+
+    # Only live blocks were re-uploaded — a streamed pipeline holds a
+    # couple of slots per array, never the whole block history.
+    assert 0 < stats.blocks_reuploaded
+    assert stats.blocks_reuploaded < DEFAULT_NUM_BLOCKS
+
+    # Recovery is never free.
+    assert run.time > baseline.time
+
+
+@pytest.mark.parametrize("name", STREAMED)
+def test_reset_recovery_is_deterministic(name):
+    entries = _offload_entries(name)
+    runs = []
+    for _ in range(2):
+        workload = get_workload(name, seed=0)
+        plan = FaultPlan(scripted=[FaultSpec("device", entries // 2, "reset")])
+        machine = workload.machine(fault_plan=plan, resilience=_policy())
+        run = workload.run("opt", machine=machine)
+        runs.append((run, machine.fault_stats.as_dict()))
+    (first, first_stats), (second, second_stats) = runs
+    assert first.time == second.time
+    assert first_stats == second_stats
+    for key in first.outputs:
+        assert first.outputs[key].tobytes() == second.outputs[key].tobytes()
+
+
+def test_two_resets_within_budget():
+    entries = _offload_entries("blackscholes")
+    workload = get_workload("blackscholes", seed=0)
+    plan = FaultPlan(
+        scripted=[
+            FaultSpec("device", entries // 3, "reset"),
+            FaultSpec("device", 2 * entries // 3, "reset"),
+        ]
+    )
+    machine = workload.machine(fault_plan=plan, resilience=_policy())
+    baseline = get_workload("blackscholes", seed=0).run("opt")
+    run = workload.run("opt", machine=machine)
+    assert machine.fault_stats.device_resets == 2
+    assert machine.fault_stats.host_fallbacks == 0
+    for key in baseline.outputs:
+        assert run.outputs[key].tobytes() == baseline.outputs[key].tobytes()
+
+
+def test_seeded_reset_campaign_contract():
+    """A campaign with a hot device rate honours the full contract."""
+    from repro.faults.campaign import run_campaign
+
+    result = run_campaign(
+        ["blackscholes"],
+        scenarios=2,
+        seed=3,
+        rates={"device": 0.1},
+        policy=ResiliencePolicy(checkpoint_interval=2, max_resets=64),
+    )
+    assert result.ok
+    assert result.totals.device_resets > 0
+    assert result.totals.host_fallbacks == 0
+    summary = result.as_dict()
+    assert summary["policy"]["checkpoint_interval"] == 2
+    assert "recovery_actions" in summary["totals"]
+
+
+def test_device_rate_without_checkpointing_is_rejected():
+    from repro.faults.campaign import run_campaign
+
+    with pytest.raises(ValueError, match="checkpoint_interval"):
+        run_campaign(
+            ["blackscholes"], scenarios=1, seed=0, rates={"device": 0.1}
+        )

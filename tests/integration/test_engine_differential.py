@@ -91,6 +91,57 @@ def test_batch_engine_actually_engages():
     assert executor._batch_stats["batched"] > 0
 
 
+@pytest.mark.parametrize("name", ["blackscholes", "kmeans", "CG", "nn"])
+def test_disabled_checkpointing_is_invisible(name):
+    """With ``checkpoint_interval=0`` (the default) and no faults, the
+    whole resilience + checkpoint machinery must be a no-op: outputs,
+    dynamic op counters, and simulated time bit-identical to a plain run.
+    """
+    from repro.faults import FaultPlan, ResiliencePolicy
+
+    workload = get_workload(name)
+    plain = workload.run("opt")
+    machine = workload.machine(
+        fault_plan=FaultPlan(scripted=[]), resilience=ResiliencePolicy()
+    )
+    guarded = workload.run("opt", machine=machine)
+
+    assert set(guarded.outputs) == set(plain.outputs)
+    for key in plain.outputs:
+        assert (
+            plain.outputs[key].tobytes() == guarded.outputs[key].tobytes()
+        ), f"{name}: disabled checkpointing changed output {key!r}"
+    assert guarded.stats.ops.as_dict() == plain.stats.ops.as_dict()
+    assert guarded.stats.total_time == plain.stats.total_time, (
+        f"{name}: disabled checkpointing changed simulated time"
+    )
+    assert guarded.stats.transfer_time == plain.stats.transfer_time
+    assert guarded.stats.bytes_to_device == plain.stats.bytes_to_device
+    assert machine.fault_stats.checkpoints_committed == 0
+    assert machine.fault_stats.device_resets == 0
+
+
+@pytest.mark.parametrize("name", ["blackscholes", "kmeans", "CG", "nn"])
+def test_enabled_checkpointing_costs_only_time(name):
+    """With checkpointing on but no faults, outputs and op counters stay
+    bit-identical; only simulated time grows (the commit cost)."""
+    from repro.faults import FaultPlan, ResiliencePolicy
+
+    workload = get_workload(name)
+    plain = workload.run("opt")
+    machine = workload.machine(
+        fault_plan=FaultPlan(scripted=[]),
+        resilience=ResiliencePolicy(checkpoint_interval=2),
+    )
+    guarded = workload.run("opt", machine=machine)
+
+    for key in plain.outputs:
+        assert plain.outputs[key].tobytes() == guarded.outputs[key].tobytes()
+    assert guarded.stats.ops.as_dict() == plain.stats.ops.as_dict()
+    assert machine.fault_stats.checkpoints_committed > 0
+    assert guarded.stats.total_time > plain.stats.total_time
+
+
 def test_mic_variant_agrees_for_blackscholes():
     workload = get_workload("blackscholes")
     tree = workload.run("mic", engine="tree")

@@ -1,0 +1,149 @@
+"""Plan-level fault-injection properties.
+
+Two families of invariants on :class:`FaultPlan` itself:
+
+* **validation** — malformed :class:`FaultSpec` entries are rejected
+  eagerly at construction, with messages naming the offending field, so
+  a typo'd campaign script fails before any workload runs;
+* **stream independence** — every site draws from its own seed-derived
+  random stream, so the schedule a site sees depends only on how many
+  operations *it* has issued, never on which other sites were consulted
+  in between.  This is what lets new fault sites (like ``device``) be
+  added without perturbing the seeded schedules of existing campaigns.
+"""
+
+import itertools
+
+import pytest
+
+from repro.faults import DEFAULT_RATES, FAULT_SITES, FaultPlan, FaultSpec
+from repro.faults.plan import SITE_KINDS
+
+#: Hot uniform rates so a few hundred draws always inject something.
+HOT = {site: 0.3 for site in FAULT_SITES}
+
+
+class TestFaultSpecValidation:
+    def test_unknown_site_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault site"):
+            FaultSpec("pcie", 0)
+
+    def test_negative_index_rejected(self):
+        with pytest.raises(ValueError, match="index must be >= 0"):
+            FaultSpec("h2d", -1)
+
+    @pytest.mark.parametrize("severity", [0.0, -0.5, 1.5])
+    def test_out_of_range_severity_rejected(self, severity):
+        with pytest.raises(ValueError, match="severity"):
+            FaultSpec("h2d", 0, severity=severity)
+
+    def test_severity_of_one_is_the_whole_operation(self):
+        assert FaultSpec("kernel", 3, severity=1.0).severity == 1.0
+
+    @pytest.mark.parametrize(
+        "site,foreign",
+        [
+            ("h2d", "crash"),
+            ("kernel", "corrupt"),
+            ("alloc", "reset"),
+            ("signal", "oom"),
+            ("device", "lost"),
+        ],
+    )
+    def test_kind_must_belong_to_site(self, site, foreign):
+        with pytest.raises(ValueError, match="cannot raise"):
+            FaultSpec(site, 0, kind=foreign)
+
+    @pytest.mark.parametrize("site", FAULT_SITES)
+    def test_every_site_kind_is_accepted(self, site):
+        for kind in SITE_KINDS[site]:
+            spec = FaultSpec(site, 0, kind=kind)
+            assert spec.kind == kind
+
+    def test_unknown_rate_site_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault sites"):
+            FaultPlan(seed=0, rates={"dimm": 0.1})
+
+    def test_unknown_draw_site_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault site"):
+            FaultPlan(seed=0).draw("pcie")
+
+
+def _draws(plan, site, count):
+    return tuple(plan.draw(site) for _ in range(count))
+
+
+class TestStreamIndependence:
+    def test_same_seed_same_schedule(self):
+        for site in FAULT_SITES:
+            first = _draws(FaultPlan(seed=7, rates=HOT), site, 200)
+            second = _draws(FaultPlan(seed=7, rates=HOT), site, 200)
+            assert first == second
+            assert any(first), f"rate 0.3 never fired in 200 draws at {site}"
+
+    def test_interleaving_does_not_perturb_a_site(self):
+        """Draw h2d alone vs interleaved with every other site: the h2d
+        schedule must be identical draw-for-draw."""
+        alone = _draws(FaultPlan(seed=13, rates=HOT), "h2d", 120)
+
+        interleaved_plan = FaultPlan(seed=13, rates=HOT)
+        others = itertools.cycle(s for s in FAULT_SITES if s != "h2d")
+        interleaved = []
+        for _ in range(120):
+            interleaved_plan.draw(next(others))
+            interleaved.append(interleaved_plan.draw("h2d"))
+            interleaved_plan.draw(next(others))
+        assert tuple(interleaved) == alone
+
+    def test_all_orderings_of_site_visits_agree(self):
+        """Any permutation of per-operation site visit order yields the
+        same per-site fault sequence."""
+        per_site = {}
+        for ordering in itertools.permutations(("h2d", "d2h", "kernel")):
+            plan = FaultPlan(seed=99, rates=HOT)
+            seen = {site: [] for site in ordering}
+            for _ in range(60):
+                for site in ordering:
+                    seen[site].append(plan.draw(site))
+            for site, draws in seen.items():
+                expected = per_site.setdefault(site, draws)
+                assert draws == expected, f"{site} schedule depends on visit order"
+
+    def test_new_device_site_never_perturbs_existing_schedules(self):
+        """Consulting the device site (default rate 0.0) between every
+        draw must leave legacy schedules untouched — the exact property
+        that makes adding the reset fault class backward compatible."""
+        legacy_rates = {k: v for k, v in DEFAULT_RATES.items() if k != "device"}
+        baseline = {
+            site: _draws(FaultPlan(seed=21, rates=legacy_rates), site, 300)
+            for site in legacy_rates
+        }
+        plan = FaultPlan(seed=21, rates=dict(legacy_rates, device=0.0))
+        with_device = {site: [] for site in legacy_rates}
+        for _ in range(300):
+            assert plan.draw("device") is None
+            for site in legacy_rates:
+                with_device[site].append(plan.draw(site))
+        for site in legacy_rates:
+            assert tuple(with_device[site]) == baseline[site]
+
+    def test_scripted_faults_fire_regardless_of_interleaving(self):
+        spec = FaultSpec("kernel", 5, kind="hang", severity=0.9)
+        plan = FaultPlan(seed=3, rates=HOT, scripted=[spec])
+        hit = None
+        for i in range(10):
+            plan.draw("h2d")
+            fault = plan.draw("kernel")
+            if i == 5:
+                hit = fault
+        assert hit is not None
+        assert (hit.kind, hit.severity, hit.index) == ("hang", 0.9, 5)
+
+    def test_max_faults_does_not_gate_scripted(self):
+        plan = FaultPlan(
+            seed=None,
+            scripted=[FaultSpec("h2d", i) for i in range(4)],
+            max_faults=1,
+        )
+        faults = [plan.draw("h2d") for _ in range(4)]
+        assert all(faults)

@@ -179,6 +179,74 @@ class TestFaultsCommand:
         with pytest.raises(SystemExit):
             main(["faults", "nosuchbenchmark"])
 
+    def test_policy_override_enables_device_resets(self, tmp_path, capsys):
+        import json
+
+        out_file = tmp_path / "chaos.json"
+        code = main([
+            "faults", "blackscholes",
+            "--scenarios", "2", "--seed", "3",
+            "--rate", "device=0.1",
+            "--policy", "checkpoint_interval=2",
+            "--policy", "max_resets=64",
+            "--out", str(out_file),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "VIOLATION" not in out
+        payload = json.loads(out_file.read_text())
+        assert payload["ok"] is True
+        assert payload["policy"]["checkpoint_interval"] == 2
+        assert payload["policy"]["max_resets"] == 64
+        assert payload["totals"]["device_resets"] > 0
+        assert payload["totals"]["host_fallbacks"] == 0
+        assert "recovery_actions" in payload["totals"]
+
+    def test_policy_override_backoff_max(self):
+        code = main([
+            "faults", "blackscholes",
+            "--scenarios", "1", "--seed", "1",
+            "--rate", "h2d=0.5",
+            "--policy", "backoff_max=0.002",
+        ])
+        assert code == 0
+
+    def test_policy_unknown_key_rejected(self):
+        with pytest.raises(SystemExit, match="bad --policy spec"):
+            main([
+                "faults", "blackscholes",
+                "--scenarios", "1", "--policy", "retry_budget=3",
+            ])
+
+    def test_policy_bad_value_rejected(self):
+        with pytest.raises(SystemExit):
+            main([
+                "faults", "blackscholes",
+                "--scenarios", "1", "--policy", "checkpoint_interval=lots",
+            ])
+
+    def test_policy_missing_value_rejected(self):
+        with pytest.raises(SystemExit):
+            main([
+                "faults", "blackscholes",
+                "--scenarios", "1", "--policy", "checkpoint_interval",
+            ])
+
+    def test_policy_invalid_combination_rejected(self):
+        # backoff_max below backoff_base fails ResiliencePolicy validation.
+        with pytest.raises(SystemExit, match="bad --policy combination"):
+            main([
+                "faults", "blackscholes",
+                "--scenarios", "1", "--policy", "backoff_max=0.000001",
+            ])
+
+    def test_device_rate_requires_checkpointing(self):
+        with pytest.raises(SystemExit, match="checkpoint_interval"):
+            main([
+                "faults", "blackscholes",
+                "--scenarios", "1", "--rate", "device=0.1",
+            ])
+
 
 class TestRunFaultInjection:
     def test_inject_faults_reports_stats(self, source_file, capsys):
