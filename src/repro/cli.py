@@ -153,12 +153,17 @@ def _build_parser() -> argparse.ArgumentParser:
                         metavar="SITE=PROB",
                         help="override a fault site's per-operation "
                              "probability (sites: h2d d2h kernel alloc "
-                             "signal device)")
+                             "signal device arena; silent kinds via "
+                             "SITE:KIND, e.g. h2d:silent kernel:sdc)")
+    faults.add_argument("--list-sites", action="store_true",
+                        help="print the site x kind fault taxonomy with "
+                             "default rates and exit")
     faults.add_argument("--policy", action="append", default=[],
                         metavar="KEY=VAL",
                         help="override a ResiliencePolicy knob, e.g. "
                              "checkpoint_interval=4, max_resets=2, "
-                             "backoff_max=0.002; unknown keys are errors")
+                             "backoff_max=0.002, integrity_mode=full; "
+                             "unknown keys are errors")
     faults.add_argument("--out", metavar="FILE",
                         help="write the campaign summary JSON to FILE")
     faults.add_argument("--trace", metavar="FILE",
@@ -443,6 +448,8 @@ def _parse_policy_overrides(specs: Sequence[str]):
                     value = False
                 else:
                     raise ValueError(raw)
+            elif isinstance(default, str):
+                value = raw
             elif isinstance(default, int):
                 value = int(raw)
             else:  # float-valued knobs; None defaults (backoff_max) too
@@ -464,8 +471,35 @@ def _cmd_faults(args: argparse.Namespace) -> int:
 
     from repro.experiments.report import render_table
     from repro.faults import run_campaign
-    from repro.faults.plan import FAULT_SITES
+    from repro.faults.plan import (
+        DEFAULT_RATES,
+        FAULT_SITES,
+        SILENT_KINDS,
+        SITE_KINDS,
+    )
     from repro.workloads.suite import workload_names
+
+    if args.list_sites:
+        rows = []
+        for site in FAULT_SITES:
+            mixed = SITE_KINDS[site] != SILENT_KINDS.get(site, ())
+            for kind in SITE_KINDS[site]:
+                silent = kind in SILENT_KINDS.get(site, ())
+                key = f"{site}:{kind}" if silent and mixed else site
+                rate = DEFAULT_RATES.get(key, 0.0)
+                rows.append(
+                    [
+                        site,
+                        kind,
+                        "silent" if silent else "announced",
+                        key,
+                        f"{rate:8.4f}",
+                    ]
+                )
+        print(render_table(
+            ["site", "kind", "class", "--rate key", "default"], rows
+        ))
+        return 0
 
     names = args.names or workload_names()
     unknown = set(names) - set(workload_names())
@@ -475,13 +509,24 @@ def _cmd_faults(args: argparse.Namespace) -> int:
     if args.rate:
         rates = {}
         for spec in args.rate:
-            site, _, prob = spec.partition("=")
-            if site not in FAULT_SITES or not prob:
+            key, _, prob = spec.partition("=")
+            site, _, kind = key.partition(":")
+            valid = key in FAULT_SITES or (
+                site in FAULT_SITES and kind in SILENT_KINDS.get(site, ())
+            )
+            if not valid or not prob:
                 raise SystemExit(
-                    f"bad --rate spec {spec!r}: expected SITE=PROB with "
-                    f"SITE in {FAULT_SITES}"
+                    f"bad --rate spec {spec!r}: expected SITE=PROB or "
+                    f"SITE:KIND=PROB with SITE in {FAULT_SITES} "
+                    f"(silent kinds: "
+                    + ", ".join(
+                        f"{s}:{k}"
+                        for s in FAULT_SITES
+                        for k in SILENT_KINDS.get(s, ())
+                    )
+                    + ")"
                 )
-            rates[site] = float(prob)
+            rates[key] = float(prob)
     policy = _parse_policy_overrides(args.policy) if args.policy else None
     tracers: list = []
     tracer_factory = None
@@ -521,7 +566,8 @@ def _cmd_faults(args: argparse.Namespace) -> int:
                 str(outcome.stats.retries),
                 str(outcome.stats.oom_demotions + outcome.stats.host_fallbacks),
                 f"{slowdown:8.4f}",
-                "ok" if outcome.ok else "VIOLATION",
+                ("ok (crashed)" if outcome.error else "ok")
+                if outcome.ok else "VIOLATION",
             ]
         )
     print(render_table(
@@ -541,6 +587,12 @@ def _cmd_faults(args: argparse.Namespace) -> int:
               f"{totals.checkpoints_committed} checkpoints committed, "
               f"{totals.blocks_reuploaded} blocks re-uploaded, "
               f"{totals.blocks_recomputed} blocks recomputed")
+    if totals.silent_injected:
+        print(f"silent corruption: {totals.silent_injected} injected, "
+              f"{totals.silent_detected} detected, "
+              f"{totals.sdc_escapes} escaped, "
+              f"{totals.verifications} verifications, "
+              f"{totals.scrubs} scrubs")
     if args.out:
         with open(args.out, "w") as handle:
             json.dump(result.as_dict(), handle, indent=2)

@@ -133,6 +133,18 @@ class DeviceLost(RuntimeFault):
     """
 
 
+class SilentDataCorruption(RuntimeFault):
+    """Raised when a checksum mismatch cannot be repaired.
+
+    The integrity layer repairs detected corruption in tiers —
+    re-transfer from the host copy, kernel re-execution, checkpoint
+    restore.  This error surfaces only when every tier is exhausted: a
+    mismatch with no corruption record to attribute it to, or a kernel
+    whose output keeps failing verification past ``max_reverify`` with
+    checkpointing disabled.
+    """
+
+
 class MissingTransferError(RuntimeFault):
     """Raised when device code touches data never transferred to the device.
 

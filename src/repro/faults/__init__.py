@@ -24,15 +24,31 @@ those failures first-class and survivable:
   that executes workloads under seeded fault scenarios and checks
   outputs stay bit-identical while simulated time strictly grows.
 
-Faults only ever cost *simulated time* (and bookkeeping): the eager
-numpy data movement that gives the interpreter its correctness guarantee
-is never corrupted, so a recovered run must produce bit-identical
-outputs — exactly the property the campaign asserts.
+*Announced* faults only ever cost *simulated time* (and bookkeeping):
+the eager numpy data movement that gives the interpreter its correctness
+guarantee is never corrupted, so a recovered run must produce
+bit-identical outputs — exactly the property the campaign asserts.
+*Silent* fault kinds (``h2d:silent``, ``d2h:silent``, ``kernel:sdc``,
+``arena`` bitflips — see :data:`~repro.faults.plan.SILENT_KINDS`) do
+corrupt the numpy state without raising; the
+:class:`~repro.runtime.integrity.IntegrityManager` detects and repairs
+them at checksum verification points when
+``ResiliencePolicy.integrity_mode`` enables it, restoring the
+bit-identical contract, and counts any corruption that reaches host
+output as an *SDC escape*.
 """
 
 from repro.faults.campaign import CampaignResult, ScenarioOutcome, run_campaign
 from repro.faults.injector import FaultInjector
-from repro.faults.plan import DEFAULT_RATES, FAULT_SITES, Fault, FaultPlan, FaultSpec
+from repro.faults.plan import (
+    DEFAULT_RATES,
+    FAULT_SITES,
+    SILENT_KINDS,
+    SITE_KINDS,
+    Fault,
+    FaultPlan,
+    FaultSpec,
+)
 from repro.faults.policy import ResiliencePolicy
 from repro.faults.stats import FaultStats
 
@@ -40,6 +56,8 @@ __all__ = [
     "CampaignResult",
     "DEFAULT_RATES",
     "FAULT_SITES",
+    "SILENT_KINDS",
+    "SITE_KINDS",
     "Fault",
     "FaultInjector",
     "FaultPlan",

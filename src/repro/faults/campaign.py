@@ -4,11 +4,19 @@ A campaign runs each workload once fault-free (the baseline) and then
 under *N* seeded fault scenarios, asserting the resilience contract:
 
 * **bit-identical outputs** — recovery may cost time but never changes
-  results (``numpy.array_equal``, not ``allclose``);
+  results (``numpy.array_equal``, not ``allclose``).  A scenario with
+  *SDC escapes* (silent corruption the integrity mode deliberately left
+  undetected, e.g. ``integrity_mode="off"``) is exempt: escaped
+  corruption reaching host output is exactly what the escape counter
+  reports, not a contract violation;
 * **recovery is never free** — whenever a scenario injected at least one
-  fault, simulated time strictly exceeds the baseline;
+  announced fault, simulated time strictly exceeds the baseline.  Silent
+  detection and repair also charge the clock, but host-side checksum
+  time can hide under DMA/kernel slack, so it must only never *reduce*
+  time (undetected silent faults cost nothing by definition);
 * **visible accounting** — scenarios that injected faults report nonzero
-  :class:`~repro.faults.stats.FaultStats` totals.
+  :class:`~repro.faults.stats.FaultStats` totals, including the
+  per-site injected/detected/corrected/escaped coverage matrix.
 
 Each scenario's plan seed is derived from ``(campaign seed, scenario
 index, crc32(workload name))`` so scenarios are independent, workloads
@@ -24,6 +32,7 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
+from repro.errors import ExecutionError
 from repro.faults.plan import FaultPlan
 from repro.faults.policy import ResiliencePolicy
 from repro.faults.stats import FaultStats
@@ -55,6 +64,10 @@ class ScenarioOutcome:
     time: float
     identical: bool
     stats: FaultStats
+    #: Interpreter error message when escaped corruption crashed the
+    #: program (e.g. a flipped byte drove ``log`` out of its domain);
+    #: None for scenarios that ran to completion.
+    error: Optional[str] = None
 
     @property
     def faults_injected(self) -> int:
@@ -64,10 +77,17 @@ class ScenarioOutcome:
     @property
     def ok(self) -> bool:
         """The resilience contract held for this cell."""
-        if not self.identical:
+        if self.error is not None:
+            # A crash is acceptable only as the visible consequence of
+            # corruption the integrity mode deliberately let escape.
+            return self.stats.sdc_escapes > 0
+        if not self.identical and self.stats.sdc_escapes == 0:
             return False
-        if self.faults_injected and self.time <= self.baseline_time:
-            return False  # recovery is never free
+        announced = self.faults_injected - self.stats.silent_injected
+        if announced and self.time <= self.baseline_time:
+            return False  # announced recovery is never free
+        if self.time < self.baseline_time:
+            return False  # integrity work can overlap slack, not undo time
         return True
 
     def as_dict(self) -> dict:
@@ -80,6 +100,10 @@ class ScenarioOutcome:
             "time": self.time,
             "identical": self.identical,
             "ok": self.ok,
+            "error": self.error,
+            "silent_injected": self.stats.silent_injected,
+            "silent_detected": self.stats.silent_detected,
+            "sdc_escapes": self.stats.sdc_escapes,
             "stats": self.stats.as_dict(),
         }
 
@@ -176,16 +200,33 @@ def run_campaign(
             machine = workload.machine(
                 fault_plan=plan, resilience=policy, tracer=tracer
             )
-            run = workload.run(variant, machine=machine, engine=engine)
+            error = None
+            try:
+                run = workload.run(variant, machine=machine, engine=engine)
+            except ExecutionError as exc:
+                # Escaped silent corruption can crash the program it
+                # reaches (a flipped input byte driving a math builtin
+                # out of its domain).  The crash is itself the visible
+                # symptom the escape counter reports, so record the
+                # scenario instead of aborting the campaign; the
+                # finalize sweep below books the still-pending
+                # corruption records as escapes.
+                machine.finalize_integrity()
+                error = str(exc)
+                run = None
             result.outcomes.append(
                 ScenarioOutcome(
                     workload=name,
                     scenario=k,
                     plan_seed=plan_seed,
                     baseline_time=baseline.time,
-                    time=run.time,
-                    identical=outputs_identical(baseline.outputs, run.outputs),
+                    time=machine.clock.now if run is None else run.time,
+                    identical=(
+                        run is not None
+                        and outputs_identical(baseline.outputs, run.outputs)
+                    ),
                     stats=machine.fault_stats,
+                    error=error,
                 )
             )
     return result

@@ -43,6 +43,26 @@ class FaultInjector:
                 self.tracer.metrics.counter(f"faults.injected.{site}").inc()
         return fault
 
+    def draw_silent(self, site: str) -> Optional[Fault]:
+        """The silent fault (if any) for the next payload at *site*.
+
+        Suspension short-circuits *before* the plan is consulted, so a
+        recovery re-issue consumes no silent-stream draws and per-site
+        determinism is preserved.
+        """
+        if self._suspend:
+            return None
+        fault = self.plan.draw_silent(site)
+        if fault is not None:
+            self.stats.record_injected(fault)
+            if self.tracer.enabled and self.clock is not None:
+                self.tracer.instant(
+                    f"fault:{site}:{fault.kind}", self.clock.now, track="cpu",
+                    site=site, kind=fault.kind, severity=fault.severity,
+                )
+                self.tracer.metrics.counter(f"faults.injected.{site}").inc()
+        return fault
+
     @contextmanager
     def suspended(self):
         """Context in which no faults are injected (recovery re-issues)."""

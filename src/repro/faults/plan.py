@@ -18,26 +18,67 @@ Two scheduling modes compose:
 * **scripted** — explicit :class:`FaultSpec` entries pin a fault to the
   n-th operation of a site, for targeted tests ("the third h2d transfer
   is corrupted").
+
+Besides the *announced* kinds (the operation visibly fails and the
+recovery ladder fires), sites with a data payload carry **silent**
+kinds — ``h2d:silent``, ``d2h:silent``, ``kernel:sdc`` and the
+``arena`` site's ``bitflip`` — which flip payload bytes without raising
+anything.  Silent kinds never share a random stream with the announced
+kinds of their site (adding them cannot perturb an existing seeded
+schedule); they are drawn through :meth:`FaultPlan.draw_silent` against
+``"site:kind"`` rate keys (e.g. ``rates={"h2d:silent": 0.05}``), which
+default to 0 so no plan schedules them unless asked.  Detecting and
+surviving them is the :class:`~repro.runtime.integrity.IntegrityManager`'s
+job.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Dict, Iterable, Optional, Tuple
 
 import numpy as np
 
-#: Every place the runtime consults the plan.
-FAULT_SITES = ("h2d", "d2h", "kernel", "alloc", "signal", "device")
+#: Every place the runtime consults the plan.  ``arena`` is the
+#: shared-memory segment upload path, whose only fault kind is a silent
+#: bit flip.
+FAULT_SITES = ("h2d", "d2h", "kernel", "alloc", "signal", "device", "arena")
 
-#: Fault kinds available at each site.
+#: Fault kinds available at each site (announced kinds first — a
+#: scripted spec with no explicit kind defaults to the first entry).
 SITE_KINDS: Dict[str, Tuple[str, ...]] = {
-    "h2d": ("corrupt", "stall"),
-    "d2h": ("corrupt", "stall"),
-    "kernel": ("crash", "hang"),
+    "h2d": ("corrupt", "stall", "silent"),
+    "d2h": ("corrupt", "stall", "silent"),
+    "kernel": ("crash", "hang", "sdc"),
     "alloc": ("oom",),
     "signal": ("lost",),
     "device": ("reset",),
+    "arena": ("bitflip",),
+}
+
+#: Silent-corruption kinds per site: the operation "succeeds" but the
+#: payload is wrong.  Nothing raises; only checksum verification (the
+#: integrity layer) can notice.
+SILENT_KINDS: Dict[str, Tuple[str, ...]] = {
+    "h2d": ("silent",),
+    "d2h": ("silent",),
+    "kernel": ("sdc",),
+    "arena": ("bitflip",),
+}
+
+#: Kinds a site can raise through the announced (self-detecting) path.
+ANNOUNCED_KINDS: Dict[str, Tuple[str, ...]] = {
+    site: tuple(k for k in kinds if k not in SILENT_KINDS.get(site, ()))
+    for site, kinds in SITE_KINDS.items()
+}
+
+#: Kinds :meth:`FaultPlan.draw` selects among.  For legacy sites this is
+#: exactly the announced tuple (so seeded kind selection is untouched by
+#: the silent taxonomy); an all-silent site like ``arena`` draws its
+#: silent kind directly — there is nothing else it could raise.
+_DRAW_KINDS: Dict[str, Tuple[str, ...]] = {
+    site: ANNOUNCED_KINDS[site] or SITE_KINDS[site] for site in SITE_KINDS
 }
 
 #: Default per-operation fault probability of a seeded plan.  Rates are
@@ -45,7 +86,11 @@ SITE_KINDS: Dict[str, Tuple[str, ...]] = {
 #: should exercise every recovery path, not model a real PCIe BER.
 #: Device resets are opt-in (rate 0): surviving one requires the
 #: checkpoint/restart machinery to be enabled on the policy, so a plan
-#: never schedules resets unless the campaign asked for them.
+#: never schedules resets unless the campaign asked for them.  Silent
+#: kinds are likewise opt-in: arena bit flips via the plain ``arena``
+#: rate, the rest via composite ``"site:kind"`` keys
+#: (``"h2d:silent"``, ``"d2h:silent"``, ``"kernel:sdc"``) which are
+#: absent here and therefore default to 0.
 DEFAULT_RATES: Dict[str, float] = {
     "h2d": 0.02,
     "d2h": 0.02,
@@ -53,7 +98,31 @@ DEFAULT_RATES: Dict[str, float] = {
     "alloc": 0.005,
     "signal": 0.01,
     "device": 0.0,
+    "arena": 0.0,
 }
+
+
+def _valid_rate_key(key: object) -> bool:
+    """Whether *key* names a fault site or a ``site:kind`` silent rate."""
+    if not isinstance(key, str):
+        return False
+    if key in SITE_KINDS:
+        return True
+    site, _, kind = key.partition(":")
+    return site in SITE_KINDS and kind in SILENT_KINDS.get(site, ())
+
+
+def _normalize_rate_key(key: str) -> str:
+    """Collapse a ``site:kind`` key to ``site`` on all-silent sites.
+
+    ``"arena:bitflip"`` and ``"arena"`` are the same schedule (the site
+    has only one kind and no announced path), so both spellings feed the
+    site's regular draw stream.
+    """
+    site, _, kind = key.partition(":")
+    if kind and not ANNOUNCED_KINDS.get(site, ()):
+        return site
+    return key
 
 
 @dataclass(frozen=True)
@@ -106,9 +175,11 @@ class FaultPlan:
 
     *seed* drives the probabilistic schedule (any value accepted by
     :func:`numpy.random.default_rng`, so tuples of ints work for derived
-    streams).  *rates* overrides :data:`DEFAULT_RATES` per site; passing
-    only *scripted* specs (no seed) yields a plan that injects exactly
-    those faults and nothing else.  *max_faults* caps the total number of
+    streams).  *rates* overrides :data:`DEFAULT_RATES` per site — silent
+    kinds on mixed sites are keyed ``"site:kind"`` (``"h2d:silent"``,
+    ``"d2h:silent"``, ``"kernel:sdc"``) and default to 0; passing only
+    *scripted* specs (no seed) yields a plan that injects exactly those
+    faults and nothing else.  *max_faults* caps the total number of
     injected faults, bounding worst-case recovery time.
     """
 
@@ -121,17 +192,40 @@ class FaultPlan:
     ):
         if rates is None:
             rates = dict(DEFAULT_RATES) if seed is not None else {}
-        unknown = set(rates) - set(SITE_KINDS)
+        unknown = {key for key in rates if not _valid_rate_key(key)}
         if unknown:
             raise ValueError(f"unknown fault sites in rates: {sorted(unknown)}")
+        for key, value in rates.items():
+            if (
+                isinstance(value, bool)
+                or not isinstance(value, (int, float))
+                or not math.isfinite(value)
+                or not 0.0 <= value <= 1.0
+            ):
+                raise ValueError(
+                    f"fault rate for site {key!r} must be a finite "
+                    f"probability in [0, 1], got {value!r}"
+                )
         self.seed = seed
-        self.rates = dict(rates)
+        self.rates = {_normalize_rate_key(k): float(v) for k, v in rates.items()}
         self.max_faults = max_faults
         self._scripted: Dict[Tuple[str, int], FaultSpec] = {}
+        self._scripted_silent: Dict[Tuple[str, int], FaultSpec] = {}
         for spec in scripted:
-            self._scripted[(spec.site, spec.index)] = spec
+            if (
+                spec.kind in SILENT_KINDS.get(spec.site, ())
+                and ANNOUNCED_KINDS[spec.site]
+            ):
+                # Silent kind on a mixed site: pinned to the n-th
+                # *silent* draw, so it rides the silent stream and never
+                # displaces an announced scripted fault at the same index.
+                self._scripted_silent[(spec.site, spec.index)] = spec
+            else:
+                self._scripted[(spec.site, spec.index)] = spec
         self._rngs: Dict[str, np.random.Generator] = {}
+        self._silent_rngs: Dict[str, np.random.Generator] = {}
         self._counters: Dict[str, int] = {}
+        self._silent_counters: Dict[str, int] = {}
         self._emitted = 0
 
     def _site_rng(self, site: str) -> np.random.Generator:
@@ -154,6 +248,24 @@ class FaultPlan:
             self._rngs[site] = rng
         return rng
 
+    def _silent_rng(self, site: str) -> np.random.Generator:
+        """The independent random stream for *site*'s silent draws.
+
+        Silent kinds on mixed sites never touch the announced stream:
+        the entropy tuple carries a trailing discriminator, so enabling
+        ``"h2d:silent"`` cannot perturb a seeded ``h2d`` schedule.
+        """
+        rng = self._silent_rngs.get(site)
+        if rng is None:
+            seed = 0 if self.seed is None else self.seed
+            if isinstance(seed, (tuple, list)):
+                entropy = tuple(seed) + (FAULT_SITES.index(site), 1)
+            else:
+                entropy = (seed, FAULT_SITES.index(site), 1)
+            rng = np.random.default_rng(entropy)
+            self._silent_rngs[site] = rng
+        return rng
+
     # -- drawing ---------------------------------------------------------------
 
     def draw(self, site: str) -> Optional[Fault]:
@@ -169,7 +281,7 @@ class FaultPlan:
             self._emitted += 1
             return Fault(
                 site=site,
-                kind=spec.kind or SITE_KINDS[site][0],
+                kind=spec.kind or _DRAW_KINDS[site][0],
                 severity=spec.severity,
                 index=index,
             )
@@ -181,10 +293,44 @@ class FaultPlan:
         rng = self._site_rng(site)
         if float(rng.random()) >= rate:
             return None
-        kinds = SITE_KINDS[site]
+        kinds = _DRAW_KINDS[site]
         kind = kinds[int(rng.integers(len(kinds)))]
         # Keep severity strictly inside (0, 1): a fault always wastes
         # *some* time, and never more than the whole operation.
+        severity = 0.1 + 0.8 * float(rng.random())
+        self._emitted += 1
+        return Fault(site=site, kind=kind, severity=severity, index=index)
+
+    def draw_silent(self, site: str) -> Optional[Fault]:
+        """The silent fault (if any) hitting the next payload at *site*.
+
+        Only mixed sites (those with both announced and silent kinds —
+        ``h2d``, ``d2h``, ``kernel``) are drawn here; an all-silent site
+        like ``arena`` goes through :meth:`draw`.  The draw consults the
+        composite ``"site:kind"`` rate and the site's dedicated silent
+        stream, so silent schedules are independent of announced ones.
+        """
+        silent = SILENT_KINDS.get(site)
+        if silent is None or not ANNOUNCED_KINDS.get(site, ()):
+            raise ValueError(
+                f"site {site!r} has no separate silent stream; "
+                f"know {sorted(k for k in SILENT_KINDS if ANNOUNCED_KINDS[k])}"
+            )
+        kind = silent[0]
+        index = self._silent_counters.get(site, 0)
+        self._silent_counters[site] = index + 1
+        spec = self._scripted_silent.get((site, index))
+        if spec is not None:
+            self._emitted += 1
+            return Fault(site=site, kind=kind, severity=spec.severity, index=index)
+        rate = self.rates.get(f"{site}:{kind}", 0.0)
+        if rate <= 0.0:
+            return None
+        if self.max_faults is not None and self._emitted >= self.max_faults:
+            return None
+        rng = self._silent_rng(site)
+        if float(rng.random()) >= rate:
+            return None
         severity = 0.1 + 0.8 * float(rng.random())
         self._emitted += 1
         return Fault(site=site, kind=kind, severity=severity, index=index)
@@ -199,3 +345,7 @@ class FaultPlan:
     def operations(self, site: str) -> int:
         """Operations drawn so far at *site*."""
         return self._counters.get(site, 0)
+
+    def silent_operations(self, site: str) -> int:
+        """Silent-stream draws consumed so far at *site*."""
+        return self._silent_counters.get(site, 0)

@@ -64,6 +64,29 @@ class ResiliencePolicy:
     #: Device resets one run will survive before declaring the device
     #: lost (:class:`~repro.errors.DeviceLost`).
     max_resets: int = 8
+    #: Checksum-verification coverage against *silent* corruption:
+    #: ``"off"`` (the default) keeps no checksums and charges nothing —
+    #: bit-identical to a build without the integrity layer; silent
+    #: faults escape to host output and are counted as SDC escapes.
+    #: ``"transfers"`` checksums DMA payloads and arena uploads (kernel
+    #: SDC still escapes).  ``"full"`` adds kernel-output checksums,
+    #: checkpoint-commit verification, periodic scrubbing, and a final
+    #: sweep — every injected silent fault is detected and repaired.
+    integrity_mode: str = "off"
+    #: Simulated-seconds period of the background scrub that re-verifies
+    #: all resident device buffers (``"full"`` mode only); 0 disables
+    #: scrubbing.
+    scrub_interval: float = 0.0
+    #: Simulated seconds charged per *byte* checksummed at a verification
+    #: point (~50 GB/s checksum engine by default).  Checksum
+    #: *generation* is free — the model puts it inline in the DMA engine;
+    #: only verification passes cost time.
+    verify_cost: float = 2e-11
+    #: Kernel re-executions allowed per output buffer when its checksum
+    #: keeps failing, before escalating to checkpoint restore (or
+    #: :class:`~repro.errors.SilentDataCorruption` with checkpointing
+    #: disabled).
+    max_reverify: int = 2
 
     def __post_init__(self) -> None:
         if self.max_retries < 0:
@@ -93,6 +116,17 @@ class ResiliencePolicy:
             raise ValueError("checkpoint_cost must be >= 0")
         if self.max_resets < 0:
             raise ValueError("max_resets must be >= 0")
+        if self.integrity_mode not in ("off", "transfers", "full"):
+            raise ValueError(
+                f"integrity_mode must be one of 'off', 'transfers', 'full'; "
+                f"got {self.integrity_mode!r}"
+            )
+        if self.scrub_interval < 0:
+            raise ValueError("scrub_interval must be >= 0 (0 disables)")
+        if self.verify_cost < 0:
+            raise ValueError("verify_cost must be >= 0")
+        if self.max_reverify < 0:
+            raise ValueError("max_reverify must be >= 0")
 
     def backoff(self, attempt: int) -> float:
         """Pause before re-issuing after failed attempt *attempt* (0-based)."""

@@ -13,7 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict
 
-from repro.faults.plan import Fault
+from repro.faults.plan import Fault, SILENT_KINDS
 
 
 @dataclass
@@ -58,13 +58,50 @@ class FaultStats:
     blocks_recomputed: int = 0
     #: Per-site histogram of recovery actions taken, keyed
     #: ``{site: {action: count}}`` (actions: ``retry``, ``degraded``,
-    #: ``repoll``, ``demotion``, ``host_fallback``, ``reset_survived``).
+    #: ``repoll``, ``demotion``, ``host_fallback``, ``reset_survived``,
+    #: ``retransfer``, ``reexecute``, ``checkpoint_restore``).
     recovery_actions: Dict[str, Dict[str, int]] = field(default_factory=dict)
+    #: Checksum verification passes performed by the integrity layer.
+    verifications: int = 0
+    #: Simulated time charged for checksum verification.
+    verify_seconds: float = 0.0
+    #: Background scrub passes over resident device buffers.
+    scrubs: int = 0
+    #: Simulated time charged for scrub passes.
+    scrub_seconds: float = 0.0
+    #: Windows re-sent over PCIe after a detected silent corruption.
+    silent_retransfers: int = 0
+    #: Kernel re-executions after a detected silent output corruption.
+    kernel_reverifies: int = 0
+    #: Silent-corruption coverage matrix, keyed
+    #: ``{site: {"injected": n, "detected": n, "corrected": n,
+    #: "escaped": n}}``.  Invariant at end of run:
+    #: ``injected == detected + escaped`` and ``corrected == detected``
+    #: per site (the integrity layer never detects without repairing).
+    coverage: Dict[str, Dict[str, int]] = field(default_factory=dict)
 
     def record_injected(self, fault: Fault) -> None:
         """Count one injected fault."""
         key = f"{fault.site}:{fault.kind}"
         self.injected[key] = self.injected.get(key, 0) + 1
+        if fault.kind in SILENT_KINDS.get(fault.site, ()):
+            self._coverage_cell(fault.site)["injected"] += 1
+
+    def _coverage_cell(self, site: str) -> Dict[str, int]:
+        """The coverage-matrix row for *site*, created on first touch."""
+        return self.coverage.setdefault(
+            site, {"injected": 0, "detected": 0, "corrected": 0, "escaped": 0}
+        )
+
+    def record_detected(self, site: str) -> None:
+        """Count one detected-and-corrected silent corruption at *site*."""
+        cell = self._coverage_cell(site)
+        cell["detected"] += 1
+        cell["corrected"] += 1
+
+    def record_escaped(self, site: str) -> None:
+        """Count one silent corruption that reached host output at *site*."""
+        self._coverage_cell(site)["escaped"] += 1
 
     def record_action(self, site: str, action: str) -> None:
         """Count one recovery action taken at *site*."""
@@ -75,6 +112,21 @@ class FaultStats:
     def total_injected(self) -> int:
         """All faults injected into the run."""
         return sum(self.injected.values())
+
+    @property
+    def silent_injected(self) -> int:
+        """Silent corruptions injected (the coverage-matrix total)."""
+        return sum(cell["injected"] for cell in self.coverage.values())
+
+    @property
+    def silent_detected(self) -> int:
+        """Silent corruptions detected by checksum verification."""
+        return sum(cell["detected"] for cell in self.coverage.values())
+
+    @property
+    def sdc_escapes(self) -> int:
+        """Silent corruptions that reached host output undetected."""
+        return sum(cell["escaped"] for cell in self.coverage.values())
 
     def add(self, other: "FaultStats") -> None:
         """Accumulate another run's stats (campaign aggregation)."""
@@ -99,6 +151,16 @@ class FaultStats:
             per_site = self.recovery_actions.setdefault(site, {})
             for action, count in actions.items():
                 per_site[action] = per_site.get(action, 0) + count
+        self.verifications += other.verifications
+        self.verify_seconds += other.verify_seconds
+        self.scrubs += other.scrubs
+        self.scrub_seconds += other.scrub_seconds
+        self.silent_retransfers += other.silent_retransfers
+        self.kernel_reverifies += other.kernel_reverifies
+        for site, cell in other.coverage.items():
+            mine = self._coverage_cell(site)
+            for column, count in cell.items():
+                mine[column] = mine.get(column, 0) + count
 
     def as_dict(self) -> dict:
         """A plain-dict view (for comparisons, JSON summaries, reports)."""
@@ -124,4 +186,17 @@ class FaultStats:
                 site: dict(sorted(actions.items()))
                 for site, actions in sorted(self.recovery_actions.items())
             },
+            "verifications": self.verifications,
+            "verify_seconds": self.verify_seconds,
+            "scrubs": self.scrubs,
+            "scrub_seconds": self.scrub_seconds,
+            "silent_retransfers": self.silent_retransfers,
+            "kernel_reverifies": self.kernel_reverifies,
+            "silent_injected": self.silent_injected,
+            "silent_detected": self.silent_detected,
+            "coverage": {
+                site: dict(sorted(cell.items()))
+                for site, cell in sorted(self.coverage.items())
+            },
+            "sdc_escapes": self.sdc_escapes,
         }

@@ -101,6 +101,14 @@ class DeviceMemoryManager:
         """True when *name* is currently allocated."""
         return name in self.allocations
 
+    def resident_bytes(self) -> int:
+        """Simulated bytes currently resident on the device.
+
+        This is what a background integrity scrub has to scan — every
+        live allocation at its charged (scaled) size.
+        """
+        return self.in_use
+
     def size_of(self, name: str) -> int:
         """Bytes held by *name* (0 when absent)."""
         alloc = self.allocations.get(name)

@@ -145,6 +145,8 @@ class ArenaAllocator:
             coi.raw_transfer(
                 nbytes, to_device=True, label=f"arena:{buf.bid}"
             )
+            if coi.integrity is not None:
+                coi.integrity.on_arena_upload(coi, self, buf, nbytes)
             self._copied_bids.add(buf.bid)
             self._copied_nbytes[buf.bid] = nbytes
             if self.tracer.enabled:

@@ -151,7 +151,15 @@ class CheckpointManager:
             self.commit(coi)
 
     def commit(self, coi: CoiRuntime) -> None:
-        """Record a recovery point, charging the checkpoint cost."""
+        """Record a recovery point, charging the checkpoint cost.
+
+        A checkpoint that certified corrupted state would replay that
+        corruption on every restore, so in ``full`` integrity mode the
+        resident buffers are checksum-verified *before* the commit is
+        declared good.
+        """
+        if coi.integrity is not None:
+            coi.integrity.on_checkpoint_commit(coi)
         cost = self.policy.checkpoint_cost
         if cost > 0.0:
             coi.clock.advance(cost)

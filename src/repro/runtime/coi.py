@@ -90,6 +90,10 @@ class CoiRuntime:
         #: policy enables checkpoint/restart).  None ⇒ every note hook
         #: below is skipped and a device reset is unrecoverable.
         self.checkpoint = None
+        #: Optional integrity manager (attached by the Machine when a
+        #: fault plan or a verifying ``integrity_mode`` is configured).
+        #: None ⇒ no silent-corruption injection and no verification.
+        self.integrity = None
 
     def injector_suspended(self):
         """Context manager silencing injection while recovery re-issues."""
@@ -118,6 +122,10 @@ class CoiRuntime:
         self.device_memory.allocate(name, charged * itemsize)
         existing = self.device.arrays.get(name)
         if existing is None or len(existing) < count or existing.dtype != dtype:
+            if existing is not None and self.integrity is not None:
+                # The old array object (and its contents) is dropped:
+                # settle its checksum state before it goes.
+                self.integrity.on_realloc(self, name)
             self.device.arrays[name] = np.zeros(count, dtype=dtype)
         self.stats.allocations += 1
         if self.checkpoint is not None:
@@ -131,6 +139,8 @@ class CoiRuntime:
 
     def free_buffer(self, name: str) -> None:
         """Free the device buffer and its memory accounting."""
+        if self.integrity is not None and name in self.device.arrays:
+            self.integrity.on_free(self, name)
         if self.device_memory.holds(name):
             self.device_memory.free(name)
         self.device.arrays.pop(name, None)
@@ -279,6 +289,8 @@ class CoiRuntime:
         buf[dest_start : dest_start + len(data)] = data
         if self.checkpoint is not None:
             self.checkpoint.note_write(dest, dest_start, len(data), data.nbytes)
+        if self.integrity is not None:
+            self.integrity.on_write(self, dest, dest_start, len(data))
         nbytes = data.nbytes * self.scale
         event = self._dma_schedule(
             DMA_TO_DEVICE,
@@ -317,6 +329,8 @@ class CoiRuntime:
                 f"[{src_start}, {src_start + count}) of {len(buf)}"
             )
         into[into_start : into_start + count] = buf[src_start : src_start + count]
+        if self.integrity is not None:
+            self.integrity.on_read(self, src, src_start, count, into, into_start)
         nbytes = count * buf.dtype.itemsize * self.scale
         event = self._dma_schedule(
             DMA_FROM_DEVICE,

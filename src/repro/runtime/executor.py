@@ -62,6 +62,7 @@ from repro.obs.tracer import NULL_TRACER
 from repro.runtime import batch_exec
 from repro.runtime.checkpoint import CheckpointManager
 from repro.runtime.coi import DEVICE, DMA_FROM_DEVICE, DMA_TO_DEVICE, CoiRuntime
+from repro.runtime.integrity import IntegrityManager
 from repro.runtime.values import DeviceSpace, HostSpace
 
 # Flop costs of builtin math calls (rough icc/SVML-like latencies).
@@ -168,10 +169,34 @@ class Machine:
                 self.resilience, self.fault_stats, tracer=self.tracer
             )
             self.coi.checkpoint = self.checkpoint
+        # The integrity layer rides along whenever silent faults could
+        # be injected (a fault plan is present) or verification was
+        # asked for; in "off" mode with no plan it is never attached and
+        # every hook site stays on the original code path.
+        self.integrity = None
+        mode = "off" if self.resilience is None else self.resilience.integrity_mode
+        if self.fault_plan is not None or mode != "off":
+            self.integrity = IntegrityManager(
+                self.resilience if self.resilience is not None
+                else ResiliencePolicy(),
+                self.fault_stats,
+                tracer=self.tracer,
+            )
+            self.coi.integrity = self.integrity
         # Shared-memory runtimes for programs using the Section V
         # allocation intrinsics, created lazily.
         self._myo = None
         self._arena = None
+
+    def finalize_integrity(self) -> None:
+        """Run the integrity layer's end-of-run sweep (idempotent).
+
+        ``full`` mode verifies every remaining reference checksum;
+        every mode then counts still-unresolved corruption records as
+        SDC escapes.  Workload drivers call this once outputs are final.
+        """
+        if self.integrity is not None:
+            self.integrity.finalize(self.coi)
 
     @property
     def myo(self):
@@ -567,6 +592,7 @@ class Executor:
         value = self._call_function(func, args, env_parent=self._host_root)
 
         self._drain_host()
+        self.machine.finalize_integrity()
         return ExecutionResult(
             host=host, stats=self._collect_stats(), return_value=value
         )
@@ -995,6 +1021,9 @@ class Executor:
             reset = coi.injector.draw("device")
             if reset is not None:
                 self._recover_device_reset(reset)
+        integrity = coi.integrity
+        if integrity is not None:
+            integrity.maybe_scrub(coi)
 
         deps: List[Event] = []
         if pragma.wait is not None:
@@ -1020,9 +1049,19 @@ class Executor:
                         pragma.clauses, env, deps
                     )
 
+        # Input buffers must be verified before the body is interpreted:
+        # the simulator computes eagerly, so repair has to land before
+        # corrupted input bytes could propagate into outputs.
+        if integrity is not None:
+            integrity.pre_kernel_verify(
+                coi, self._clause_device_names(pragma.clauses)
+            )
+
         # Interpret the body on the device, accumulating device time.
         record = [] if resilience is not None else None
         kernel_seconds = self._interpret_device_body(body, env, loop, record)
+        if integrity is not None:
+            integrity.note_kernel_writes(coi)
 
         persistent_key = None
         if pragma.persistent:
@@ -1043,6 +1082,11 @@ class Executor:
             # below deliver exactly what host execution would have.
             self._charge_host_fallback(record)
             kernel_event = None
+
+        if integrity is not None and kernel_event is not None:
+            integrity.kernel_completed(
+                coi, self._clause_out_names(pragma.clauses), kernel_seconds
+            )
 
         out_deps = (
             [kernel_event] if kernel_event is not None else list(transfer_events)
@@ -1353,8 +1397,16 @@ class Executor:
                     )
                 )
 
+        integrity = coi.integrity
+        if integrity is not None:
+            integrity.pre_kernel_verify(
+                coi, [clause.var for clause, _ in array_clauses]
+            )
+
         record: list = []
         kernel_seconds = self._interpret_device_body(body, env, loop, record)
+        if integrity is not None:
+            integrity.note_kernel_writes(coi)
 
         session = f"demote@{id(pragma)}"
         chunk = kernel_seconds / nblocks
@@ -1378,6 +1430,17 @@ class Executor:
                 kernel_event = None
                 break
         coi.end_persistent(session)
+
+        if integrity is not None and kernel_event is not None:
+            integrity.kernel_completed(
+                coi,
+                [
+                    clause.var
+                    for clause, _ in array_clauses
+                    if clause.direction in ("out", "inout")
+                ],
+                kernel_seconds,
+            )
 
         out_deps = [kernel_event] if kernel_event is not None else list(in_events)
         out_events: List[Event] = []
@@ -1623,6 +1686,28 @@ class Executor:
                     else:
                         env.declare(clause.var, value)
         return events
+
+    @staticmethod
+    def _clause_device_names(clauses: List[ast.TransferClause]) -> List[str]:
+        """Device buffer names an offload's clauses refer to (any direction)."""
+        names = []
+        for clause in clauses:
+            if clause.direction == "out":
+                names.append(clause.var)
+            else:
+                names.append(clause.into or clause.var)
+        return names
+
+    @staticmethod
+    def _clause_out_names(clauses: List[ast.TransferClause]) -> List[str]:
+        """Device buffer names an offload's kernel writes (out/inout)."""
+        names = []
+        for clause in clauses:
+            if clause.direction == "out":
+                names.append(clause.var)
+            elif clause.direction == "inout":
+                names.append(clause.into or clause.var)
+        return names
 
     def _lookup_host(self, name: str, env: Env, allow_missing: bool = False):
         if env.has(name):

@@ -293,6 +293,7 @@ class SharedMemoryWorkload(Workload):
             "opt": self._run_mic_arena,
         }[variant]
         outputs = hook(machine)
+        machine.finalize_integrity()
         wall_seconds = time.perf_counter() - started
         stats = ExecutionStats(
             total_time=machine.clock.now,

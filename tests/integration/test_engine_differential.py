@@ -142,6 +142,57 @@ def test_enabled_checkpointing_costs_only_time(name):
     assert guarded.stats.total_time > plain.stats.total_time
 
 
+@pytest.mark.parametrize("name", ["blackscholes", "kmeans", "CG", "nn"])
+def test_integrity_off_is_invisible(name):
+    """``integrity_mode="off"`` with no silent faults must be a no-op:
+    outputs, op counters, and simulated time bit-identical to a plain
+    run — no checksums are taken and no verification cost is charged.
+    """
+    from repro.faults import FaultPlan, ResiliencePolicy
+
+    workload = get_workload(name)
+    plain = workload.run("opt")
+    machine = workload.machine(
+        fault_plan=FaultPlan(scripted=[]),
+        resilience=ResiliencePolicy(integrity_mode="off"),
+    )
+    guarded = workload.run("opt", machine=machine)
+
+    for key in plain.outputs:
+        assert plain.outputs[key].tobytes() == guarded.outputs[key].tobytes()
+    assert guarded.stats.ops.as_dict() == plain.stats.ops.as_dict()
+    assert guarded.stats.total_time == plain.stats.total_time, (
+        f"{name}: disabled integrity changed simulated time"
+    )
+    assert machine.fault_stats.verifications == 0
+    assert machine.fault_stats.verify_seconds == 0.0
+
+
+@pytest.mark.parametrize("name", ["blackscholes", "kmeans", "CG", "nn"])
+def test_integrity_full_costs_only_time(name):
+    """``integrity_mode="full"`` with no silent faults keeps outputs and
+    op counters bit-identical; checksum verification charges simulated
+    time (which may overlap device slack but can never reduce it)."""
+    from repro.faults import FaultPlan, ResiliencePolicy
+
+    workload = get_workload(name)
+    plain = workload.run("opt")
+    machine = workload.machine(
+        fault_plan=FaultPlan(scripted=[]),
+        resilience=ResiliencePolicy(integrity_mode="full"),
+    )
+    guarded = workload.run("opt", machine=machine)
+
+    for key in plain.outputs:
+        assert plain.outputs[key].tobytes() == guarded.outputs[key].tobytes()
+    assert guarded.stats.ops.as_dict() == plain.stats.ops.as_dict()
+    assert guarded.stats.total_time >= plain.stats.total_time
+    assert machine.fault_stats.verifications > 0
+    assert machine.fault_stats.verify_seconds > 0
+    assert machine.fault_stats.silent_detected == 0
+    assert machine.fault_stats.sdc_escapes == 0
+
+
 def test_mic_variant_agrees_for_blackscholes():
     workload = get_workload("blackscholes")
     tree = workload.run("mic", engine="tree")

@@ -72,3 +72,60 @@ class TestEngineDifferential:
     def test_fault_stats_flow_into_workload_run(self):
         run, machine = self._run("batch")
         assert run.fault_stats is machine.fault_stats
+
+
+#: Rates mixing announced faults with every silent kind, hot enough
+#: that a two-scenario campaign exercises the whole coverage matrix.
+SILENT_RATES = {
+    "h2d": 0.1,
+    "h2d:silent": 0.05,
+    "d2h:silent": 0.05,
+    "kernel:sdc": 0.03,
+}
+
+
+class TestSilentCampaigns:
+    def test_full_integrity_detects_every_silent_fault(self):
+        result = run_campaign(
+            ["blackscholes"], scenarios=2, seed=3, rates=SILENT_RATES,
+            policy=ResiliencePolicy(
+                integrity_mode="full", checkpoint_interval=2
+            ),
+        )
+        totals = result.totals
+        assert result.ok
+        assert totals.silent_injected > 0
+        assert totals.silent_detected == totals.silent_injected
+        assert totals.sdc_escapes == 0
+        for outcome in result.outcomes:
+            assert outcome.identical
+            assert outcome.error is None
+        for cell in totals.coverage.values():
+            assert cell["injected"] == cell["detected"] + cell["escaped"]
+            assert cell["corrected"] == cell["detected"]
+
+    def test_off_mode_books_every_silent_fault_as_escape(self):
+        rates = {k: v for k, v in SILENT_RATES.items() if ":" in k}
+        result = run_campaign(
+            ["blackscholes"], scenarios=2, seed=3, rates=rates,
+            policy=ResiliencePolicy(integrity_mode="off"),
+        )
+        totals = result.totals
+        assert totals.silent_injected > 0
+        assert totals.silent_detected == 0
+        assert totals.sdc_escapes == totals.silent_injected
+        # Escaped corruption reaching the output (or crashing the run)
+        # is exactly what "off" reports — not a contract violation.
+        assert result.ok
+
+    def test_silent_campaign_is_deterministic(self):
+        policy = ResiliencePolicy(integrity_mode="full", checkpoint_interval=2)
+        first = run_campaign(
+            ["blackscholes"], scenarios=1, seed=9, rates=SILENT_RATES,
+            policy=policy,
+        )
+        second = run_campaign(
+            ["blackscholes"], scenarios=1, seed=9, rates=SILENT_RATES,
+            policy=policy,
+        )
+        assert first.as_dict() == second.as_dict()

@@ -1,0 +1,478 @@
+"""End-to-end data-integrity layer: silent faults, checksums, scrubbing.
+
+Silent fault kinds (``h2d:silent``, ``d2h:silent``, ``kernel:sdc``,
+``arena`` bitflips) corrupt payload bytes without raising; only the
+:class:`~repro.runtime.integrity.IntegrityManager`'s checksum
+verification points can notice.  These tests script silent faults at
+each site and assert the detect → repair → account pipeline per
+``integrity_mode``: ``full`` detects everything and keeps outputs
+bit-identical, ``transfers`` covers the DMA paths, and ``off`` lets
+corruption through but books every escape in the coverage matrix.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import SilentDataCorruption
+from repro.faults import FaultPlan, FaultSpec, ResiliencePolicy
+from repro.faults.plan import DEFAULT_RATES
+from repro.runtime.arena import ArenaAllocator
+from repro.runtime.executor import Machine, run_program
+from repro.runtime.integrity import (
+    IntegrityManager,
+    arena_segment_checksum,
+    buffer_checksum,
+)
+
+OFFLOAD_SRC = """
+void main() {
+#pragma offload target(mic:0) in(A : length(n)) in(n) out(B : length(n))
+#pragma omp parallel for
+    for (int i = 0; i < n; i++) {
+        B[i] = A[i] * 2.0 + 1.0;
+    }
+}
+"""
+
+
+def make_arrays(n=256):
+    return {
+        "A": np.arange(n, dtype=np.float32),
+        "B": np.zeros(n, dtype=np.float32),
+    }
+
+
+def run_with(machine, n=256):
+    return run_program(
+        OFFLOAD_SRC, arrays=make_arrays(n), scalars={"n": n}, machine=machine
+    )
+
+
+def baseline(n=256):
+    machine = Machine()
+    result = run_with(machine, n)
+    return result, machine.clock.now
+
+
+def silent_machine(mode, specs, **policy_kwargs):
+    policy = ResiliencePolicy(integrity_mode=mode, **policy_kwargs)
+    return Machine(fault_plan=FaultPlan(scripted=specs), resilience=policy)
+
+
+class TestRateValidation:
+    """Satellite: seeded-plan rates must be finite probabilities."""
+
+    @pytest.mark.parametrize(
+        "value", [float("nan"), float("inf"), -0.1, 1.5, "high", None, True]
+    )
+    def test_bad_rate_value_rejected_naming_site(self, value):
+        with pytest.raises(ValueError, match="'h2d'"):
+            FaultPlan(seed=1, rates={"h2d": value})
+
+    def test_composite_silent_keys_accepted(self):
+        plan = FaultPlan(seed=1, rates={"h2d:silent": 0.5, "kernel:sdc": 0.1})
+        assert plan.rates["h2d:silent"] == 0.5
+        assert plan.rates["kernel:sdc"] == 0.1
+
+    def test_unknown_composite_key_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault sites"):
+            FaultPlan(seed=1, rates={"h2d:sdc": 0.5})
+
+    def test_arena_bitflip_normalizes_to_site(self):
+        plan = FaultPlan(seed=1, rates={"arena:bitflip": 0.25})
+        assert plan.rates == {"arena": 0.25}
+
+    def test_policy_integrity_knobs_validated(self):
+        with pytest.raises(ValueError, match="integrity_mode"):
+            ResiliencePolicy(integrity_mode="paranoid")
+        with pytest.raises(ValueError, match="scrub_interval"):
+            ResiliencePolicy(scrub_interval=-1.0)
+        with pytest.raises(ValueError, match="verify_cost"):
+            ResiliencePolicy(verify_cost=-1e-12)
+        with pytest.raises(ValueError, match="max_reverify"):
+            ResiliencePolicy(max_reverify=-1)
+
+
+class TestSilentStreamIndependence:
+    def test_silent_rates_never_perturb_announced_schedule(self):
+        """Enabling silent kinds must not move any announced fault."""
+        plain = FaultPlan(seed=11)
+        rates = dict(DEFAULT_RATES)
+        rates.update({"h2d:silent": 0.9, "d2h:silent": 0.9, "kernel:sdc": 0.9})
+        loud = FaultPlan(seed=11, rates=rates)
+        for site in ("h2d", "d2h", "kernel"):
+            draws_a = [plain.draw(site) for _ in range(300)]
+            draws_b = [loud.draw(site) for _ in range(300)]
+            assert draws_a == draws_b
+
+    def test_silent_draws_fire_at_their_own_rate(self):
+        plan = FaultPlan(seed=11, rates={"h2d:silent": 1.0})
+        faults = [plan.draw_silent("h2d") for _ in range(5)]
+        assert all(f is not None and f.kind == "silent" for f in faults)
+        assert [f.index for f in faults] == list(range(5))
+
+    def test_draw_silent_rejects_sites_without_silent_stream(self):
+        plan = FaultPlan(seed=1)
+        with pytest.raises(ValueError, match="no separate silent stream"):
+            plan.draw_silent("alloc")
+        with pytest.raises(ValueError, match="no separate silent stream"):
+            plan.draw_silent("arena")  # all-silent: rides the regular draw
+
+    def test_scripted_silent_does_not_displace_announced(self):
+        """Same index, both kinds: each rides its own stream."""
+        plan = FaultPlan(
+            scripted=[
+                FaultSpec("h2d", 0, kind="corrupt"),
+                FaultSpec("h2d", 0, kind="silent"),
+            ]
+        )
+        announced = plan.draw("h2d")
+        silent = plan.draw_silent("h2d")
+        assert announced is not None and announced.kind == "corrupt"
+        assert silent is not None and silent.kind == "silent"
+
+
+class TestInjectorSuspended:
+    """Satellite: a suspended injector consumes no plan draws."""
+
+    def test_no_draws_consumed_while_suspended(self):
+        plan = FaultPlan(seed=3, rates={"h2d": 0.5, "h2d:silent": 0.5})
+        machine = Machine(fault_plan=plan)
+        injector = machine.coi.injector
+        with injector.suspended():
+            for _ in range(10):
+                assert injector.draw("h2d") is None
+                assert injector.draw_silent("h2d") is None
+        assert plan.operations("h2d") == 0
+        assert plan.silent_operations("h2d") == 0
+
+    def test_schedule_identical_after_resume(self):
+        """Suspension is invisible to the post-resume schedule."""
+        reference = FaultPlan(seed=3, rates={"h2d:silent": 0.5})
+        suspended = FaultPlan(seed=3, rates={"h2d:silent": 0.5})
+        machine = Machine(fault_plan=suspended)
+        injector = machine.coi.injector
+        with injector.suspended():
+            for _ in range(50):
+                injector.draw_silent("h2d")
+        after = [injector.draw_silent("h2d") for _ in range(100)]
+        expected = [reference.draw_silent("h2d") for _ in range(100)]
+        assert after == expected
+
+
+class TestRawTransferUnderFaults:
+    """Satellite: CoiRuntime.raw_transfer rides the recovery ladder."""
+
+    def test_corrupt_raw_transfer_retried(self):
+        clean = Machine()
+        clean.coi.raw_transfer(1 << 20, to_device=True, block=True)
+        base_time = clean.clock.now
+
+        plan = FaultPlan(scripted=[FaultSpec("h2d", 0, kind="corrupt")])
+        machine = Machine(fault_plan=plan)
+        machine.coi.raw_transfer(1 << 20, to_device=True, block=True)
+        assert machine.clock.now > base_time
+        assert machine.fault_stats.retries == 1
+        assert machine.fault_stats.injected == {"h2d:corrupt": 1}
+
+    def test_stalled_raw_transfer_times_out(self):
+        plan = FaultPlan(scripted=[FaultSpec("d2h", 0, kind="stall")])
+        machine = Machine(fault_plan=plan)
+        machine.coi.raw_transfer(1 << 20, to_device=False, block=True)
+        assert machine.fault_stats.timeouts == 1
+        assert machine.fault_stats.recovery_seconds > 0
+
+
+class TestH2dSilent:
+    def test_off_mode_lets_corruption_through(self):
+        base, base_time = baseline()
+        machine = silent_machine("off", [FaultSpec("h2d", 0, kind="silent")])
+        result = run_with(machine)
+        machine.finalize_integrity()
+        assert not np.array_equal(result.array("B"), base.array("B"))
+        # Undetected corruption costs nothing: the clock must match.
+        assert machine.clock.now == base_time
+        stats = machine.fault_stats
+        assert stats.silent_injected == 1
+        assert stats.silent_detected == 0
+        assert stats.sdc_escapes == 1
+        assert stats.coverage["h2d"]["escaped"] == 1
+
+    @pytest.mark.parametrize("mode", ["transfers", "full"])
+    def test_verifying_modes_repair_bit_identically(self, mode):
+        base, base_time = baseline()
+        machine = silent_machine(mode, [FaultSpec("h2d", 0, kind="silent")])
+        result = run_with(machine)
+        machine.finalize_integrity()
+        assert np.array_equal(result.array("B"), base.array("B"))
+        assert machine.clock.now > base_time
+        stats = machine.fault_stats
+        assert stats.silent_detected == 1
+        assert stats.sdc_escapes == 0
+        assert stats.silent_retransfers >= 1
+        assert stats.coverage["h2d"] == {
+            "injected": 1, "detected": 1, "corrected": 1, "escaped": 0,
+        }
+        assert stats.recovery_actions["h2d"]["retransfer"] >= 1
+
+    def test_transfers_mode_catches_write_read_roundtrip(self):
+        """Corruption read straight back (no kernel) must not escape."""
+        data = np.arange(32, dtype=np.float32)
+        machine = silent_machine(
+            "transfers", [FaultSpec("h2d", 0, kind="silent")]
+        )
+        coi = machine.coi
+        coi.alloc_buffer("X", 32)
+        coi.write_buffer("X", 0, data)
+        host = np.zeros(32, dtype=np.float32)
+        coi.read_buffer("X", 0, 32, host, 0)
+        assert np.array_equal(host, data)
+        assert machine.fault_stats.silent_detected == 1
+
+    def test_rewrite_heals_pending_corruption(self):
+        """A full rewrite of the corrupted window settles the record."""
+        data = np.arange(16, dtype=np.float32)
+        machine = silent_machine(
+            "transfers", [FaultSpec("h2d", 0, kind="silent")]
+        )
+        coi = machine.coi
+        coi.alloc_buffer("X", 16)
+        coi.write_buffer("X", 0, data)
+        coi.write_buffer("X", 0, data)
+        assert np.array_equal(coi.device.arrays["X"], data)
+        assert machine.fault_stats.silent_detected == 1
+        assert machine.fault_stats.sdc_escapes == 0
+
+
+class TestD2hSilent:
+    @pytest.mark.parametrize("mode", ["transfers", "full"])
+    def test_post_read_verification_repairs_host_window(self, mode):
+        base, base_time = baseline()
+        machine = silent_machine(mode, [FaultSpec("d2h", 0, kind="silent")])
+        result = run_with(machine)
+        machine.finalize_integrity()
+        assert np.array_equal(result.array("B"), base.array("B"))
+        # Checksum time is charged to the host cursor but can hide under
+        # DMA/kernel slack; it must never *reduce* the total.
+        assert machine.clock.now >= base_time
+        stats = machine.fault_stats
+        assert stats.verify_seconds > 0
+        assert stats.coverage["d2h"]["detected"] == 1
+        assert stats.sdc_escapes == 0
+        assert stats.recovery_actions["d2h"]["retransfer"] >= 1
+
+    def test_off_mode_corrupts_host_output(self):
+        base, _ = baseline()
+        machine = silent_machine("off", [FaultSpec("d2h", 0, kind="silent")])
+        result = run_with(machine)
+        machine.finalize_integrity()
+        assert not np.array_equal(result.array("B"), base.array("B"))
+        assert machine.fault_stats.sdc_escapes == 1
+
+
+class TestKernelSdc:
+    def test_full_mode_reexecutes_and_stays_identical(self):
+        base, base_time = baseline()
+        machine = silent_machine("full", [FaultSpec("kernel", 0, kind="sdc")])
+        result = run_with(machine)
+        machine.finalize_integrity()
+        assert np.array_equal(result.array("B"), base.array("B"))
+        assert machine.clock.now > base_time
+        stats = machine.fault_stats
+        assert stats.coverage["kernel"]["detected"] == 1
+        assert stats.kernel_reverifies == 1
+        assert stats.recovery_actions["kernel"]["reexecute"] == 1
+        assert stats.sdc_escapes == 0
+
+    def test_off_mode_escapes(self):
+        base, base_time = baseline()
+        machine = silent_machine("off", [FaultSpec("kernel", 0, kind="sdc")])
+        result = run_with(machine)
+        machine.finalize_integrity()
+        assert not np.array_equal(result.array("B"), base.array("B"))
+        assert machine.clock.now == base_time
+        assert machine.fault_stats.coverage["kernel"]["escaped"] == 1
+
+    def test_reverify_budget_escalates_to_checkpoint_restore(self):
+        specs = [FaultSpec("kernel", i, kind="sdc") for i in range(2)]
+        machine = silent_machine(
+            "full", specs, max_reverify=1, checkpoint_interval=2
+        )
+        coi = machine.coi
+        integrity = machine.integrity
+        coi.alloc_buffer("B", 64)
+        coi.device.arrays["B"][:] = 1.0
+        for _ in range(2):
+            integrity.note_kernel_writes(coi)
+            integrity.kernel_completed(coi, ["B"], kernel_seconds=0.001)
+            integrity.pre_kernel_verify(coi, ["B"])
+        assert np.array_equal(
+            coi.device.arrays["B"], np.ones(64, dtype=np.float32)
+        )
+        stats = machine.fault_stats
+        assert stats.kernel_reverifies == 1
+        assert stats.recovery_actions["kernel"]["checkpoint_restore"] == 1
+        assert stats.coverage["kernel"]["detected"] == 2
+
+    def test_reverify_budget_without_checkpoint_raises(self):
+        specs = [FaultSpec("kernel", i, kind="sdc") for i in range(2)]
+        machine = silent_machine("full", specs, max_reverify=1)
+        coi = machine.coi
+        integrity = machine.integrity
+        coi.alloc_buffer("B", 64)
+        coi.device.arrays["B"][:] = 1.0
+        integrity.note_kernel_writes(coi)
+        integrity.kernel_completed(coi, ["B"], kernel_seconds=0.001)
+        integrity.pre_kernel_verify(coi, ["B"])
+        integrity.kernel_completed(coi, ["B"], kernel_seconds=0.001)
+        with pytest.raises(SilentDataCorruption):
+            integrity.pre_kernel_verify(coi, ["B"])
+
+
+class TestArenaBitflip:
+    def build_arena(self, machine):
+        arena = ArenaAllocator(chunk_bytes=4096)
+        objs = [arena.allocate(64, value=float(i), count=i) for i in range(4)]
+        arena.copy_to_device(machine.coi)
+        return arena, objs
+
+    @staticmethod
+    def field_image(objs):
+        return [(o.fields["count"], o.fields["value"]) for o in objs]
+
+    def test_verifying_mode_restores_field(self):
+        machine = silent_machine("full", [FaultSpec("arena", 0)])
+        arena, objs = self.build_arena(machine)
+        machine.finalize_integrity()
+        assert self.field_image(objs) == [(i, float(i)) for i in range(4)]
+        stats = machine.fault_stats
+        assert stats.coverage["arena"]["detected"] == 1
+        assert stats.sdc_escapes == 0
+        assert stats.recovery_actions["arena"]["retransfer"] == 1
+
+    def test_off_mode_corrupts_field_and_escapes(self):
+        machine = silent_machine("off", [FaultSpec("arena", 0)])
+        arena, objs = self.build_arena(machine)
+        machine.finalize_integrity()
+        assert self.field_image(objs) != [(i, float(i)) for i in range(4)]
+        assert machine.fault_stats.coverage["arena"]["escaped"] == 1
+
+    def test_segment_checksum_tracks_field_changes(self):
+        machine = Machine()
+        arena, objs = self.build_arena(machine)
+        before = arena_segment_checksum(arena, arena.buffers[0])
+        objs[1].fields["value"] = 99.0
+        after = arena_segment_checksum(arena, arena.buffers[0])
+        assert before != after
+
+
+class TestVerifyPoints:
+    def test_pre_free_verification_settles_corruption(self):
+        machine = silent_machine("full", [FaultSpec("h2d", 0, kind="silent")])
+        coi = machine.coi
+        coi.alloc_buffer("X", 32)
+        coi.write_buffer("X", 0, np.arange(32, dtype=np.float32))
+        coi.free_buffer("X")
+        assert machine.fault_stats.silent_detected == 1
+        assert machine.fault_stats.sdc_escapes == 0
+
+    def test_checkpoint_commit_verifies_in_full_mode(self):
+        machine = silent_machine(
+            "full", [FaultSpec("h2d", 0, kind="silent")], checkpoint_interval=4
+        )
+        coi = machine.coi
+        coi.alloc_buffer("X", 32)
+        coi.write_buffer("X", 0, np.arange(32, dtype=np.float32))
+        machine.checkpoint.commit(coi)
+        assert machine.fault_stats.silent_detected == 1
+
+    def test_scrub_detects_between_kernels(self):
+        machine = silent_machine(
+            "full", [FaultSpec("h2d", 0, kind="silent")], scrub_interval=1e-9
+        )
+        coi = machine.coi
+        coi.alloc_buffer("X", 32)
+        coi.write_buffer("X", 0, np.arange(32, dtype=np.float32))
+        machine.integrity.maybe_scrub(coi)
+        stats = machine.fault_stats
+        assert stats.scrubs == 1
+        assert stats.scrub_seconds > 0
+        assert stats.silent_detected == 1
+
+    def test_scrub_respects_interval(self):
+        machine = silent_machine("full", [], scrub_interval=1e6)
+        coi = machine.coi
+        coi.alloc_buffer("X", 32)
+        coi.write_buffer("X", 0, np.arange(32, dtype=np.float32))
+        machine.integrity.maybe_scrub(coi)
+        assert machine.fault_stats.scrubs == 0
+
+    def test_verification_charges_simulated_time(self):
+        plain = Machine()
+        plain.coi.alloc_buffer("X", 1024)
+        plain.coi.write_buffer("X", 0, np.ones(1024, dtype=np.float32))
+        verified = silent_machine("transfers", [])
+        verified.coi.alloc_buffer("X", 1024)
+        verified.coi.write_buffer("X", 0, np.ones(1024, dtype=np.float32))
+        host = np.zeros(1024, dtype=np.float32)
+        verified.coi.read_buffer("X", 0, 1024, host, 0)
+        assert verified.fault_stats.verifications > 0
+        assert verified.fault_stats.verify_seconds > 0
+
+    def test_finalize_is_idempotent(self):
+        machine = silent_machine("off", [FaultSpec("h2d", 0, kind="silent")])
+        coi = machine.coi
+        coi.alloc_buffer("X", 32)
+        coi.write_buffer("X", 0, np.arange(32, dtype=np.float32))
+        machine.finalize_integrity()
+        machine.finalize_integrity()
+        assert machine.fault_stats.sdc_escapes == 1
+
+
+class TestChecksums:
+    def test_buffer_checksum_sees_every_byte(self):
+        buf = np.zeros(64, dtype=np.float32)
+        ref = buffer_checksum(buf)
+        view = buf.view(np.uint8)
+        view[17] ^= 0x40
+        assert buffer_checksum(buf) != ref
+        view[17] ^= 0x40
+        assert buffer_checksum(buf) == ref
+
+    def test_corruption_is_engine_independent(self):
+        """The flipped bytes depend only on (site, ordinal, size)."""
+        outputs = []
+        for _ in range(2):
+            machine = silent_machine(
+                "off", [FaultSpec("h2d", 0, kind="silent")]
+            )
+            coi = machine.coi
+            coi.alloc_buffer("X", 32)
+            coi.write_buffer("X", 0, np.arange(32, dtype=np.float32))
+            outputs.append(coi.device.arrays["X"].copy())
+        assert np.array_equal(outputs[0], outputs[1])
+
+
+class TestModeOffIsFree:
+    def test_off_mode_without_silent_faults_is_bit_identical(self):
+        base, base_time = baseline()
+        machine = silent_machine("off", [])
+        result = run_with(machine)
+        machine.finalize_integrity()
+        assert np.array_equal(result.array("B"), base.array("B"))
+        assert machine.clock.now == base_time
+        assert machine.fault_stats.verifications == 0
+        assert machine.fault_stats.coverage == {}
+
+    def test_full_mode_without_faults_costs_only_time(self):
+        base, base_time = baseline()
+        machine = silent_machine("full", [])
+        result = run_with(machine)
+        machine.finalize_integrity()
+        assert np.array_equal(result.array("B"), base.array("B"))
+        # Checksum overhead is charged (and may overlap device slack).
+        assert machine.clock.now >= base_time
+        assert machine.fault_stats.verifications > 0
+        assert machine.fault_stats.verify_seconds > 0
+        assert machine.fault_stats.silent_detected == 0
+        assert machine.fault_stats.sdc_escapes == 0

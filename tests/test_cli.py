@@ -247,6 +247,49 @@ class TestFaultsCommand:
                 "--scenarios", "1", "--rate", "device=0.1",
             ])
 
+    def test_list_sites_prints_taxonomy(self, capsys):
+        code = main(["faults", "--list-sites"])
+        assert code == 0
+        out = capsys.readouterr().out
+        for needle in (
+            "h2d:silent", "d2h:silent", "kernel:sdc",
+            "bitflip", "silent", "announced", "reset",
+        ):
+            assert needle in out
+
+    def test_silent_rate_keys_accepted(self, tmp_path, capsys):
+        import json
+
+        out_file = tmp_path / "integrity.json"
+        code = main([
+            "faults", "blackscholes",
+            "--scenarios", "1", "--seed", "3",
+            "--rate", "h2d:silent=0.1",
+            "--rate", "kernel:sdc=0.05",
+            "--policy", "integrity_mode=full",
+            "--policy", "checkpoint_interval=2",
+            "--out", str(out_file),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "silent corruption:" in out
+        payload = json.loads(out_file.read_text())
+        assert payload["policy"]["integrity_mode"] == "full"
+        totals = payload["totals"]
+        assert totals["sdc_escapes"] == 0
+        assert "coverage" in totals
+
+    def test_bad_silent_rate_kind_rejected(self):
+        with pytest.raises(SystemExit, match="bad --rate spec"):
+            main(["faults", "blackscholes", "--rate", "h2d:sdc=0.5"])
+
+    def test_bad_integrity_mode_rejected(self):
+        with pytest.raises(SystemExit, match="bad --policy combination"):
+            main([
+                "faults", "blackscholes",
+                "--scenarios", "1", "--policy", "integrity_mode=paranoid",
+            ])
+
 
 class TestRunFaultInjection:
     def test_inject_faults_reports_stats(self, source_file, capsys):
