@@ -32,7 +32,7 @@ import numpy as np
 from repro import __version__
 from repro.minic.parser import parse
 from repro.minic.printer import to_source
-from repro.runtime.executor import Machine, run_program
+from repro.runtime.executor import ENGINES, Machine, run_program
 from repro.transforms.pipeline import CompOptimizer, OptimizationPlan
 from repro.transforms.streaming import StreamingOptions
 
@@ -79,10 +79,11 @@ def _build_parser() -> argparse.ArgumentParser:
     runp.add_argument("--seed", type=int, default=0)
     runp.add_argument("--optimize", action="store_true",
                       help="apply the COMP pipeline before running")
-    runp.add_argument("--engine", choices=("auto", "batch", "tree"),
-                      default="auto",
-                      help="interpreter engine: batched numpy fast path "
-                           "or the tree walker (default auto)")
+    runp.add_argument("--engine", choices=ENGINES, default="auto",
+                      help="interpreter engine: generated-numpy codegen, "
+                           "batched numpy fast path, or the tree walker; "
+                           "auto picks the fastest eligible tier "
+                           "(codegen -> batch -> tree, default auto)")
     runp.add_argument("--print-array", action="append", default=[],
                       metavar="NAME", help="print an array's head afterwards")
     runp.add_argument("--inject-faults", action="store_true",
@@ -108,8 +109,7 @@ def _build_parser() -> argparse.ArgumentParser:
     trace.add_argument("--seed", type=int, default=0)
     trace.add_argument("--optimize", action="store_true",
                        help="apply the COMP pipeline before running")
-    trace.add_argument("--engine", choices=("auto", "batch", "tree"),
-                       default="auto")
+    trace.add_argument("--engine", choices=ENGINES, default="auto")
     trace.add_argument("--out", metavar="FILE", default="trace.json",
                        help="Chrome/Perfetto trace output path "
                             "(default trace.json)")
@@ -124,13 +124,16 @@ def _build_parser() -> argparse.ArgumentParser:
 
     bench = sub.add_parser("bench", help="run Table II benchmarks")
     bench.add_argument("names", nargs="*", help="benchmark names (default all)")
-    bench.add_argument("--engine", choices=("auto", "batch", "tree"),
-                       default=None,
-                       help="interpreter engine for all runs "
-                            "(default: per-workload)")
+    bench.add_argument("--engine", choices=ENGINES, default=None,
+                       help="interpreter engine for all runs: codegen, "
+                            "batch, tree, or auto (default: per-workload)")
     bench.add_argument("--seed", type=int, default=None,
                        help="reseed workload input generation "
                             "(default: fixed per-workload inputs)")
+    bench.add_argument("--jobs", type=int, default=1, metavar="N",
+                       help="fan benchmarks out over N worker processes; "
+                            "rows keep their order and values regardless "
+                            "of N (default 1, incompatible with --trace)")
     bench.add_argument("--trace", metavar="FILE",
                        help="record every run and write one merged "
                             "Chrome/Perfetto trace JSON to FILE")
@@ -147,8 +150,16 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="campaign seed; also reseeds workload inputs")
     faults.add_argument("--variant", choices=("cpu", "mic", "opt"),
                         default="opt")
-    faults.add_argument("--engine", choices=("auto", "batch", "tree"),
-                        default=None)
+    faults.add_argument("--engine", choices=ENGINES, default=None,
+                        help="interpreter engine for every scenario: "
+                             "codegen, batch, tree, or auto "
+                             "(default: per-workload)")
+    faults.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="fan scenario cells out over N worker "
+                             "processes; per-cell seeds derive from "
+                             "--seed, so the summary JSON is byte-"
+                             "identical for any N (default 1, "
+                             "incompatible with --trace)")
     faults.add_argument("--rate", action="append", default=[],
                         metavar="SITE=PROB",
                         help="override a fault site's per-operation "
@@ -373,6 +384,27 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _format_bench_row(name: str, result) -> List[str]:
+    return [
+        name,
+        f"{result.unopt_speedup:8.3f}",
+        f"{result.opt_speedup:8.3f}",
+        f"{result.relative_gain:8.2f}",
+        "ok" if result.outputs_match() else "MISMATCH",
+    ]
+
+
+def _bench_row(name: str, engine: Optional[str], seed: Optional[int]) -> List[str]:
+    """One benchmark's table row; module-level so pool workers can
+    receive it by pickled reference.  Results are deterministic
+    functions of (name, engine, seed), so worker count never changes a
+    row."""
+    from repro.experiments.harness import SuiteRunner
+
+    runner = SuiteRunner(engine=engine, seed=seed)
+    return _format_bench_row(name, runner.run_benchmark(name))
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     from repro.experiments.harness import SuiteRunner
     from repro.experiments.report import render_table
@@ -382,6 +414,13 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     unknown = set(names) - set(workload_names())
     if unknown:
         raise SystemExit(f"unknown benchmarks: {sorted(unknown)}")
+    if args.jobs < 1:
+        raise SystemExit(f"--jobs must be >= 1, got {args.jobs}")
+    if args.jobs > 1 and args.trace:
+        raise SystemExit(
+            "--trace requires --jobs 1: tracers record in-process and "
+            "cannot be merged back from pool workers"
+        )
     tracers: list = []
     tracer_factory = None
     if args.trace:
@@ -392,21 +431,30 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             tracers.append((f"{name}/{variant}", tracer))
             return tracer
 
-    runner = SuiteRunner(
-        engine=args.engine, seed=args.seed, tracer_factory=tracer_factory
-    )
-    rows = []
-    for name in names:
-        result = runner.run_benchmark(name)
-        rows.append(
-            [
-                name,
-                f"{result.unopt_speedup:8.3f}",
-                f"{result.opt_speedup:8.3f}",
-                f"{result.relative_gain:8.2f}",
-                "ok" if result.outputs_match() else "MISMATCH",
+    if args.jobs > 1:
+        from repro.faults import campaign as _campaign
+
+        pool = _campaign._POOL_CLS(max_workers=args.jobs)
+        wait = True
+        try:
+            futures = [
+                pool.submit(_bench_row, name, args.engine, args.seed)
+                for name in names
             ]
+            rows = [future.result() for future in futures]
+        except KeyboardInterrupt:
+            wait = False
+            raise SystemExit("bench interrupted; outstanding runs cancelled")
+        finally:
+            pool.shutdown(wait=wait, cancel_futures=True)
+    else:
+        runner = SuiteRunner(
+            engine=args.engine, seed=args.seed, tracer_factory=tracer_factory
         )
+        rows = [
+            _format_bench_row(name, runner.run_benchmark(name))
+            for name in names
+        ]
     print(render_table(
         ["benchmark", "mic/cpu", "opt/cpu", "opt/mic", "outputs"], rows
     ))
@@ -548,9 +596,18 @@ def _cmd_faults(args: argparse.Namespace) -> int:
             rates=rates,
             policy=policy,
             tracer_factory=tracer_factory,
+            jobs=args.jobs,
         )
     except ValueError as exc:
         raise SystemExit(str(exc))
+    if result.partial:
+        done = len(result.outcomes)
+        total = len(names) * args.scenarios
+        print(
+            f"campaign interrupted: {done}/{total} scenario cells "
+            "completed; remaining cells were cancelled",
+            file=sys.stderr,
+        )
     rows = []
     for outcome in result.outcomes:
         slowdown = (

@@ -84,9 +84,10 @@ ISOLATION_PLANS = {
 class SuiteRunner:
     """Runs and caches benchmark variants.
 
-    *engine* selects the interpreter engine ("auto", "batch", "tree", or
-    None for per-workload defaults) for every run this harness issues;
-    it participates in the cache key so one runner can compare engines.
+    *engine* selects the interpreter engine ("auto", "codegen", "batch",
+    "tree", or None for per-workload defaults) for every run this
+    harness issues; it participates in the cache key so one runner can
+    compare engines.
     *seed* reseeds workload input generation (the global ``--seed``
     flag); None keeps each workload's fixed default inputs.
     *tracer_factory*, when given, is called as ``factory(name, variant)``

@@ -27,6 +27,7 @@ from __future__ import annotations
 
 import dataclasses
 import zlib
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
@@ -37,6 +38,16 @@ from repro.faults.plan import FaultPlan
 from repro.faults.policy import ResiliencePolicy
 from repro.faults.stats import FaultStats
 from repro.obs.provenance import build_provenance
+
+#: Pool class used for ``jobs > 1`` fan-out; a module attribute so tests
+#: can substitute a thread pool or a deliberately crashing double.
+_POOL_CLS = ProcessPoolExecutor
+
+#: Per-process baseline memo: each worker re-derives a workload's
+#: fault-free baseline at most once, keyed on everything that determines
+#: it.  Baselines are deterministic, so worker-local recomputation
+#: cannot perturb campaign results.
+_BASELINE_MEMO: Dict[tuple, object] = {}
 
 
 def scenario_seed(seed: int, scenario: int, workload: str) -> tuple:
@@ -121,6 +132,9 @@ class CampaignResult:
     #: included), recorded so a summary JSON is self-describing.
     policy: Optional[ResiliencePolicy] = None
     outcomes: List[ScenarioOutcome] = field(default_factory=list)
+    #: True when the campaign was cut short (interrupt or worker crash)
+    #: and ``outcomes`` holds only the completed prefix.
+    partial: bool = False
 
     @property
     def ok(self) -> bool:
@@ -147,9 +161,77 @@ class CampaignResult:
                 dataclasses.asdict(self.policy) if self.policy is not None else None
             ),
             "ok": self.ok,
+            "partial": self.partial,
             "totals": self.totals.as_dict(),
             "outcomes": [outcome.as_dict() for outcome in self.outcomes],
         }
+
+
+def _baseline(name, seed, variant, engine):
+    """The (memoized) fault-free baseline run for one workload.
+
+    The memo makes the worker-process path cheap: a worker handed
+    several scenarios of the same workload re-runs the baseline once,
+    not per scenario.  Baselines are deterministic functions of the key,
+    so memoization is invisible in the results.
+    """
+    from repro.workloads.suite import get_workload
+
+    key = (name, seed, variant, engine)
+    hit = _BASELINE_MEMO.get(key)
+    if hit is None:
+        hit = get_workload(name, seed=seed).run(variant, engine=engine)
+        _BASELINE_MEMO[key] = hit
+    return hit
+
+
+def _scenario_cell(
+    name: str,
+    k: int,
+    seed: int,
+    variant: str,
+    engine: Optional[str],
+    rates: Optional[Dict[str, float]],
+    policy: ResiliencePolicy,
+    tracer=None,
+) -> ScenarioOutcome:
+    """Run one (workload, scenario) cell; module-level so pool workers
+    can receive it by pickled reference."""
+    from repro.workloads.suite import get_workload
+
+    baseline = _baseline(name, seed, variant, engine)
+    workload = get_workload(name, seed=seed)
+    plan_seed = scenario_seed(seed, k, name)
+    plan = FaultPlan(seed=plan_seed, rates=rates)
+    machine = workload.machine(
+        fault_plan=plan, resilience=policy, tracer=tracer
+    )
+    error = None
+    try:
+        run = workload.run(variant, machine=machine, engine=engine)
+    except ExecutionError as exc:
+        # Escaped silent corruption can crash the program it reaches (a
+        # flipped input byte driving a math builtin out of its domain).
+        # The crash is itself the visible symptom the escape counter
+        # reports, so record the scenario instead of aborting the
+        # campaign; the finalize sweep below books the still-pending
+        # corruption records as escapes.
+        machine.finalize_integrity()
+        error = str(exc)
+        run = None
+    return ScenarioOutcome(
+        workload=name,
+        scenario=k,
+        plan_seed=plan_seed,
+        baseline_time=baseline.time,
+        time=machine.clock.now if run is None else run.time,
+        identical=(
+            run is not None
+            and outputs_identical(baseline.outputs, run.outputs)
+        ),
+        stats=machine.fault_stats,
+        error=error,
+    )
 
 
 def run_campaign(
@@ -161,6 +243,7 @@ def run_campaign(
     rates: Optional[Dict[str, float]] = None,
     policy: Optional[ResiliencePolicy] = None,
     tracer_factory=None,
+    jobs: int = 1,
 ) -> CampaignResult:
     """Run the fault campaign; returns outcomes for every cell.
 
@@ -169,13 +252,29 @@ def run_campaign(
     scenario then runs instrumented (fault firings and recovery actions
     become trace events).  Baseline runs are never traced.
 
+    *jobs* > 1 fans scenario cells out over a process pool.  Every
+    cell's fault plan is seeded by :func:`scenario_seed` — a pure
+    function of the campaign seed and the cell coordinates — and
+    outcomes are collected in submission order, so the summary is
+    byte-identical regardless of worker count.  ``KeyboardInterrupt`` or
+    a worker crash cancels the outstanding cells and returns the
+    completed prefix with :attr:`CampaignResult.partial` set.  Tracing
+    is incompatible with fan-out (tracers cannot cross processes).
+
     The import of the workload registry is deferred so the faults
     package stays importable from the runtime layer without cycles.
     """
-    from repro.workloads.suite import get_workload, workload_names
+    from repro.workloads.suite import workload_names
 
     names = list(names) if names else workload_names()
     policy = policy or ResiliencePolicy()
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    if jobs > 1 and tracer_factory is not None:
+        raise ValueError(
+            "campaign tracing requires --jobs 1: tracers record in-process "
+            "and cannot be merged back from pool workers"
+        )
     if rates and rates.get("device", 0.0) > 0.0 and policy.checkpoint_interval <= 0:
         raise ValueError(
             "campaign schedules device resets (rate device="
@@ -187,46 +286,39 @@ def run_campaign(
         seed=seed, scenarios=scenarios, variant=variant, engine=engine,
         policy=policy,
     )
-    for name in names:
-        baseline_workload = get_workload(name, seed=seed)
-        baseline = baseline_workload.run(variant, engine=engine)
-        for k in range(scenarios):
-            workload = get_workload(name, seed=seed)
-            plan_seed = scenario_seed(seed, k, name)
-            plan = FaultPlan(seed=plan_seed, rates=rates)
+    cells = [(name, k) for name in names for k in range(scenarios)]
+    if jobs == 1:
+        for name, k in cells:
             tracer = (
                 tracer_factory(name, k) if tracer_factory is not None else None
             )
-            machine = workload.machine(
-                fault_plan=plan, resilience=policy, tracer=tracer
-            )
-            error = None
-            try:
-                run = workload.run(variant, machine=machine, engine=engine)
-            except ExecutionError as exc:
-                # Escaped silent corruption can crash the program it
-                # reaches (a flipped input byte driving a math builtin
-                # out of its domain).  The crash is itself the visible
-                # symptom the escape counter reports, so record the
-                # scenario instead of aborting the campaign; the
-                # finalize sweep below books the still-pending
-                # corruption records as escapes.
-                machine.finalize_integrity()
-                error = str(exc)
-                run = None
             result.outcomes.append(
-                ScenarioOutcome(
-                    workload=name,
-                    scenario=k,
-                    plan_seed=plan_seed,
-                    baseline_time=baseline.time,
-                    time=machine.clock.now if run is None else run.time,
-                    identical=(
-                        run is not None
-                        and outputs_identical(baseline.outputs, run.outputs)
-                    ),
-                    stats=machine.fault_stats,
-                    error=error,
+                _scenario_cell(
+                    name, k, seed, variant, engine, rates, policy, tracer
                 )
             )
+        return result
+
+    pool = _POOL_CLS(max_workers=jobs)
+    try:
+        futures = [
+            pool.submit(
+                _scenario_cell, name, k, seed, variant, engine, rates, policy
+            )
+            for name, k in cells
+        ]
+        # Collect in submission order — the same order the sequential
+        # path appends — so worker count never reorders the summary.
+        for future in futures:
+            result.outcomes.append(future.result())
+    except (KeyboardInterrupt, BrokenExecutor):
+        # A dead worker (or the user's ^C) would otherwise leave the
+        # remaining futures running/queued forever; cancel them and
+        # report what finished as an explicitly partial campaign.
+        pool.shutdown(wait=False, cancel_futures=True)
+        result.partial = True
+        return result
+    finally:
+        if not result.partial:
+            pool.shutdown(wait=True, cancel_futures=False)
     return result

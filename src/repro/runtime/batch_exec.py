@@ -14,8 +14,10 @@ Semantics are bit-identical to the tree walker by construction:
   Python ``float``/``int`` values the tree walker computes per lane;
   stores cast back with the same numpy casting rules.
 * Builtins whose numpy ufuncs are not bit-identical to :mod:`math`
-  (``exp``, ``log``, ``pow``, ``sin``, ``cos``) run element-wise through
-  ``np.frompyfunc`` over the *same* libm entry points the tree uses.
+  (``exp``, ``log``, ``pow``, ``sin``, ``cos``) share one numpy-backed
+  reference implementation with the tree walker — the tree calls the
+  scalar path of :mod:`repro.runtime.mathops` and this engine calls the
+  vector path, so both evaluate through the same ufunc kernels.
 * Control flow is predicated: ``if``/``?:`` evaluate both arms under
   masks and blend with ``np.where``; ``&&``/``||`` evaluate their right
   side only under the lanes the tree's short-circuit would reach;
@@ -54,6 +56,7 @@ from repro.errors import ExecutionError, ReproError
 from repro.analysis.array_access import AccessKind
 from repro.hardware.device import OpCounters
 from repro.minic import ast_nodes as ast
+from repro.runtime import mathops
 
 __all__ = ["BatchIneligible", "analyze_loop", "try_run_parallel_for"]
 
@@ -110,16 +113,10 @@ class _Frame:
 # Builtins
 # --------------------------------------------------------------------------
 
-# numpy's SIMD float64 kernels differ from libm by ULPs for these, so they
-# run element-wise through the exact scalar implementations the tree uses.
-_PYLOOP_UFUNCS = {
-    "exp": np.frompyfunc(math.exp, 1, 1),
-    "log": np.frompyfunc(math.log, 1, 1),
-    "sin": np.frompyfunc(math.sin, 1, 1),
-    "cos": np.frompyfunc(math.cos, 1, 1),
-}
-
-_POW_UFUNC = np.frompyfunc(math.pow, 2, 1)
+# numpy's SIMD float64 kernels differ from libm by ULPs for these, so the
+# tree walker and the vector engines share the numpy-backed reference
+# implementations in repro.runtime.mathops (scalar and vector calls go
+# through the same ufunc kernels and are bitwise equal).
 
 
 # ==========================================================================
@@ -1131,12 +1128,12 @@ def _vb_pyloop(runner, args, eff, name):
     if not vector:
         return _scalar_builtin(name, [value])
     try:
-        out = _PYLOOP_UFUNCS[name](value)
+        out = mathops.VECTOR_IMPL[name](value)
     except ValueError as exc:
         raise ExecutionError(f"math domain error in {name}: {exc}")
     except OverflowError:
         raise
-    return _Lanes(out.astype(np.float64))
+    return _Lanes(np.asarray(out, dtype=np.float64))
 
 
 def _vb_pow(runner, args, eff, name):
@@ -1145,10 +1142,10 @@ def _vb_pow(runner, args, eff, name):
     if not v1 and not v2:
         return _scalar_builtin(name, [base, expo])
     try:
-        out = _POW_UFUNC(base, expo)
+        out = mathops.vector_pow(base, expo)
     except ValueError as exc:
         raise ExecutionError(f"math domain error in pow: {exc}")
-    return _Lanes(np.asarray(out).astype(np.float64))
+    return _Lanes(np.asarray(out, dtype=np.float64))
 
 
 def _vb_sqrt(runner, args, eff, name):
@@ -1271,8 +1268,42 @@ def try_run_parallel_for(executor, loop: ast.For, env) -> Optional[int]:
     return trips
 
 
-def _run(executor, loop: ast.For, env):
-    """Recognize the bounds, run the body, return (trips, runner, commit)."""
+class LoopBounds:
+    """A recognized counted loop: the facts every vector engine needs.
+
+    Produced by :func:`recognize_bounds`, consumed by this engine's
+    ``_run`` and by the codegen driver — the two engines must agree on
+    what counts as a counted loop, and on exactly how the init clause
+    executes, so they share the recognizer.
+    """
+
+    __slots__ = ("var", "scope", "start", "stride", "trips", "global_induction")
+
+    def __init__(self, var, scope, start, stride, trips, global_induction):
+        self.var = var
+        self.scope = scope
+        self.start = start
+        self.stride = stride
+        self.trips = trips
+        self.global_induction = global_induction
+
+    def finalize_induction(self):
+        """Leave the induction variable where the tree would: the first
+        value failing the condition.  VarDecl inits die with the loop
+        scope; assignment inits write through to the enclosing binding."""
+        self.scope.set(self.var, self.start + self.stride * self.trips)
+
+
+def recognize_bounds(executor, loop: ast.For, env) -> LoopBounds:
+    """Recognize ``for (init; cond; step)`` as a counted loop.
+
+    Executes the init clause exactly as the tree's ``_run_loop`` would —
+    charged to the loop's counters, root-declaring assignment-style
+    inits — and evaluates the bound/stride uncharged.  Purity of all
+    three clauses is required so a later fallback's re-execution is
+    idempotent.  Raises :class:`BatchIneligible` when the shape is not
+    recognized.
+    """
     if loop.init is None or loop.cond is None or loop.step is None:
         raise BatchIneligible("loop without init/cond/step")
     var = _loop_var_name(loop)
@@ -1298,9 +1329,6 @@ def _run(executor, loop: ast.For, env):
 
     from repro.runtime.executor import Env
 
-    # Execute the init exactly as the tree's _run_loop would: charged to
-    # the loop's counters, root-declaring assignment-style inits.  Purity
-    # makes a later fallback's re-execution idempotent.
     scope = Env(parent=env)
     executor._exec_stmt(loop.init, scope)
     start = scope.get(var)
@@ -1317,10 +1345,18 @@ def _run(executor, loop: ast.For, env):
         raise BatchIneligible("non-terminating loop bounds")
 
     global_induction = var if not isinstance(loop.init, ast.VarDecl) else None
+    return LoopBounds(var, scope, start, stride, trips, global_induction)
+
+
+def _run(executor, loop: ast.For, env):
+    """Recognize the bounds, run the body, return (trips, runner, commit)."""
+    bounds = recognize_bounds(executor, loop, env)
+    var, start, stride, trips = bounds.var, bounds.start, bounds.stride, bounds.trips
+
     runner = None
     if trips:
         lanes = start + stride * np.arange(trips, dtype=np.int64)
-        runner = _BatchRunner(executor, lanes, global_induction)
+        runner = _BatchRunner(executor, lanes, bounds.global_induction)
         frame = _Frame(env, None, bindings={var: _Lanes(lanes)})
         executor._loop_vars.append(var)
         try:
@@ -1332,9 +1368,6 @@ def _run(executor, loop: ast.For, env):
         if runner is not None:
             for key, img in runner.staged.items():
                 runner.real[key][...] = img
-        # Where the tree leaves the induction variable: the first value
-        # failing the condition.  VarDecl inits die with the loop scope;
-        # assignment inits write through to the enclosing binding.
-        scope.set(var, start + stride * trips)
+        bounds.finalize_induction()
 
     return trips, runner, commit

@@ -1,0 +1,1425 @@
+"""Codegen execution of parallel loops: MiniC → generated numpy source.
+
+The batch engine re-walks the kernel AST on every loop entry, paying one
+Python dispatch per operator per block.  This tier lowers an eligible
+``#pragma omp parallel for`` body to a *self-contained Python function*
+over numpy arrays — vectorized expressions, guards lowered to masks,
+every analytic op-counter charge coalesced per masked region — compiles
+it once with :func:`compile`/``exec``, and caches it keyed on the
+kernel's canonical printed form plus the transform-pipeline provenance
+and the concrete dtype/scalar-kind signature.
+
+Semantics are bit-identical to the tree walker (and therefore the batch
+engine) by construction:
+
+* All lanes gather their inputs once per loop entry; the per-site load
+  and store charges are accumulated statically and emitted as a handful
+  of ``counters.field += k * n_active`` statements per masked region —
+  every increment is an integer-valued float far below 2**53, so the
+  coalesced totals equal the tree's per-lane ``+= 1`` sums exactly.
+* Math builtins route through :mod:`repro.runtime.mathops`, the same
+  numpy-backed reference implementations the other engines use.
+* Guards become mask refinements with popcount-gated regions; a region
+  whose mask is empty never executes, exactly like the tree's untaken
+  branch; lane-invariant conditions keep the enclosing mask, exactly
+  like the batch engine's scalar-truth path.
+* Writes land in shadow copies committed only after the generated
+  function finishes, so a faulting kernel leaves no side effects and
+  the fallback engine (batch, then tree) replays the fault exactly.
+
+Eligibility is deliberately strict — every subscript index must be the
+induction variable itself (slot == lane: no cross-lane hazards, always
+unit-stride), locals must be declared with initializers, and only
+builtin calls are allowed.  Everything else falls back to the batch
+engine, which handles the general affine/indirect cases.
+"""
+
+from __future__ import annotations
+
+import keyword
+import re
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ExecutionError, ReproError
+from repro.hardware.device import OpCounters
+from repro.minic import ast_nodes as ast
+from repro.minic.printer import to_source
+from repro.runtime import batch_exec, mathops
+from repro.runtime.batch_exec import BatchIneligible, _loop_var_name
+
+
+class CodegenIneligible(Exception):
+    """The emitter cannot prove this construct vectorizable."""
+
+
+class _TransientBail(Exception):
+    """A per-call check failed (bounds/aliasing); retry next entry."""
+
+
+#: Builtins the emitter lowers, with their fixed arity (None = variadic,
+#: at least two arguments).
+_BUILTIN_ARITY = {
+    "exp": 1,
+    "log": 1,
+    "sqrt": 1,
+    "sin": 1,
+    "cos": 1,
+    "fabs": 1,
+    "abs": 1,
+    "floor": 1,
+    "ceil": 1,
+    "pow": 2,
+    "min": None,
+    "max": None,
+}
+
+#: Names the generated module namespace reserves.
+_RESERVED = {"np", "rt"}
+
+_ASSIGN_OPS = ("+", "-", "*", "/", "%")
+
+
+def _bad_name(name: str) -> bool:
+    return (
+        keyword.iskeyword(name) or name.startswith("__cg") or name in _RESERVED
+    )
+
+
+# ==========================================================================
+# Static screen
+# ==========================================================================
+
+
+class _StaticInfo:
+    """Cacheable per-loop-node verdict plus the loop's free names."""
+
+    __slots__ = (
+        "eligible",
+        "reason",
+        "var",
+        "array_names",
+        "scalar_names",
+        "written",
+        "src",
+    )
+
+    def __init__(self):
+        self.eligible = True
+        self.reason: Optional[str] = None
+        self.var: Optional[str] = None
+        self.array_names: List[str] = []
+        self.scalar_names: List[str] = []
+        self.written: set = set()
+        self.src: Optional[str] = None
+
+    def reject(self, reason: str) -> None:
+        self.eligible = False
+        self.reason = reason
+
+
+class _Screen:
+    """Scope-aware syntactic walk: statement/expression shape only.
+
+    Collects the loop's free names (subscript bases become the array
+    signature, bare free identifiers the scalar signature) in order of
+    first appearance, so the generated function's parameter list is
+    deterministic.
+    """
+
+    def __init__(self, var: str):
+        self.var = var
+        self.scopes: List[set] = [set()]
+        self.arrays: List[str] = []
+        self.scalars: List[str] = []
+        self.written: set = set()
+
+    def _is_local(self, name: str) -> bool:
+        return any(name in scope for scope in self.scopes)
+
+    def _free_scalar(self, name: str) -> None:
+        if _bad_name(name):
+            raise CodegenIneligible(f"unsupported name {name!r}")
+        if name in self.arrays:
+            raise CodegenIneligible(f"{name!r} used both bare and subscripted")
+        if name not in self.scalars:
+            self.scalars.append(name)
+
+    def _free_array(self, name: str) -> None:
+        if _bad_name(name):
+            raise CodegenIneligible(f"unsupported name {name!r}")
+        if self._is_local(name) or name == self.var:
+            raise CodegenIneligible("subscript of a local value")
+        if name in self.scalars:
+            raise CodegenIneligible(f"{name!r} used both bare and subscripted")
+        if name not in self.arrays:
+            self.arrays.append(name)
+
+    # -- statements --------------------------------------------------------
+
+    def stmt(self, node: ast.Stmt) -> None:
+        t = type(node)
+        if t is ast.Block:
+            self.scopes.append(set())
+            try:
+                for s in node.stmts:
+                    self.stmt(s)
+            finally:
+                self.scopes.pop()
+        elif t is ast.VarDecl:
+            self.decl(node)
+        elif t is ast.Assign:
+            self.assign(node)
+        elif t is ast.If:
+            self.expr(node.cond)
+            for arm in (node.then, node.other):
+                if arm is None:
+                    continue
+                if type(arm) is ast.VarDecl:
+                    # A bare declaration as an arm would leak a partially
+                    # defined name into the enclosing scope.
+                    raise CodegenIneligible("declaration as a bare if-arm")
+                self.stmt(arm)
+        else:
+            raise CodegenIneligible(f"statement {t.__name__}")
+
+    def decl(self, node: ast.VarDecl) -> None:
+        if not isinstance(node.type, ast.BaseType):
+            raise CodegenIneligible("non-scalar local declaration")
+        if node.init is None:
+            raise CodegenIneligible("uninitialized local")
+        if node.name == self.var:
+            raise CodegenIneligible("local shadows the induction variable")
+        if _bad_name(node.name):
+            raise CodegenIneligible(f"unsupported name {node.name!r}")
+        self.expr(node.init)
+        self.scopes[-1].add(node.name)
+
+    def assign(self, node: ast.Assign) -> None:
+        op = node.op
+        if op != "=" and not (
+            len(op) == 2 and op[0] in _ASSIGN_OPS and op[1] == "="
+        ):
+            raise CodegenIneligible(f"assignment operator {op!r}")
+        self.expr(node.value)
+        target = node.target
+        if type(target) is ast.Ident:
+            if target.name == self.var:
+                raise CodegenIneligible("write to the induction variable")
+            if not self._is_local(target.name):
+                raise CodegenIneligible(
+                    f"assignment to non-local {target.name!r}"
+                )
+        elif type(target) is ast.Subscript:
+            self.subscript(target)
+            self.written.add(target.base.name)
+        else:
+            raise CodegenIneligible(
+                f"assignment to {type(target).__name__}"
+            )
+
+    # -- expressions -------------------------------------------------------
+
+    def subscript(self, node: ast.Subscript) -> None:
+        if type(node.base) is not ast.Ident:
+            raise CodegenIneligible("subscript base is not a name")
+        index = node.index
+        if type(index) is not ast.Ident or index.name != self.var:
+            # slot == lane is the whole safety argument: any other index
+            # could alias across lanes, so it belongs to the batch engine.
+            raise CodegenIneligible("subscript index is not the loop variable")
+        self._free_array(node.base.name)
+
+    def expr(self, node: ast.Expr) -> None:
+        t = type(node)
+        if t in (ast.IntLit, ast.FloatLit):
+            return
+        if t is ast.Ident:
+            if node.name != self.var and not self._is_local(node.name):
+                self._free_scalar(node.name)
+            return
+        if t is ast.BinOp:
+            self.expr(node.left)
+            self.expr(node.right)
+            return
+        if t is ast.UnOp:
+            if node.op not in ("-", "!"):
+                raise CodegenIneligible(f"unary operator {node.op!r}")
+            self.expr(node.operand)
+            return
+        if t is ast.Cond:
+            self.expr(node.cond)
+            self.expr(node.then)
+            self.expr(node.other)
+            return
+        if t is ast.Cast:
+            if not isinstance(node.type, ast.BaseType):
+                raise CodegenIneligible("non-scalar cast")
+            self.expr(node.operand)
+            return
+        if t is ast.Subscript:
+            self.subscript(node)
+            return
+        if t is ast.Call:
+            arity = _BUILTIN_ARITY.get(node.func)
+            if node.func not in _BUILTIN_ARITY:
+                raise CodegenIneligible(f"call to {node.func!r}")
+            if arity is None:
+                if len(node.args) < 2:
+                    raise CodegenIneligible(f"{node.func}() arity")
+            elif len(node.args) != arity:
+                raise CodegenIneligible(f"{node.func}() arity")
+            for arg in node.args:
+                self.expr(arg)
+            return
+        raise CodegenIneligible(f"expression {t.__name__}")
+
+
+def analyze_loop(loop: ast.For) -> _StaticInfo:
+    """The per-loop-node static verdict (cached by the driver)."""
+    info = _StaticInfo()
+    var = _loop_var_name(loop)
+    if var is None:
+        info.reject("unrecognized induction variable")
+        return info
+    if _bad_name(var):
+        info.reject(f"unsupported name {var!r}")
+        return info
+    info.var = var
+    screen = _Screen(var)
+    try:
+        screen.stmt(loop.body)
+    except CodegenIneligible as exc:
+        info.reject(str(exc))
+        return info
+    info.array_names = screen.arrays
+    info.scalar_names = screen.scalars
+    info.written = screen.written
+    return info
+
+
+# ==========================================================================
+# Emitter
+# ==========================================================================
+
+
+class _Val:
+    """A generated expression: its Python text and its static kind."""
+
+    __slots__ = ("py", "kind")
+
+    def __init__(self, py: str, kind: str):
+        self.py = py
+        self.kind = kind
+
+
+class _Local:
+    __slots__ = ("py", "kind", "region")
+
+    def __init__(self, py: str, kind: str, region: "_Region"):
+        self.py = py
+        self.kind = kind
+        self.region = region
+
+
+class _Region:
+    """One masked region: charges coalesce here and flush at its end."""
+
+    __slots__ = ("mask", "count", "charges", "abytes")
+
+    def __init__(self, mask: str, count: str):
+        self.mask = mask
+        self.count = count
+        self.charges: Dict[str, float] = {}
+        self.abytes: Dict[str, List[int]] = {}
+
+    def charge(self, field: str, amount) -> None:
+        self.charges[field] = self.charges.get(field, 0) + amount
+
+    def charge_bytes(self, array: str, nbytes: int, is_write: bool) -> None:
+        slot = self.abytes.setdefault(array, [0, 0])
+        slot[1 if is_write else 0] += nbytes
+
+
+class _ArrInfo:
+    __slots__ = ("name", "kind", "itemsize", "written", "view", "shadow")
+
+    def __init__(self, name, kind, itemsize, written):
+        self.name = name
+        self.kind = kind  # 'f' or 'i' (the *lane* kind after gathering)
+        self.itemsize = itemsize
+        self.written = written
+        self.view = f"__cg_v_{name}"
+        self.shadow = f"__cg_sh_{name}"
+
+
+class _Emitter:
+    """Lowers one screened loop body to Python source.
+
+    Three-address style: every subexpression lands in a ``__cg_t<k>``
+    temp, masks in ``__cg_m<k>``, active-lane counts in ``__cg_n<k>``.
+    Kinds ('i'/'f') are tracked flow-sensitively per local, mirroring the
+    tree walker's runtime coercions; any construct whose kind cannot be
+    proven statically raises :class:`CodegenIneligible`.
+    """
+
+    def __init__(self, var, arrays: Dict[str, _ArrInfo], scalars: Dict[str, str]):
+        self.var = var
+        self.arrays = arrays
+        self.scalars = scalars
+        self.lines: List[str] = []
+        self.indent = 1
+        self.counter = 0
+        self.used = set(_RESERVED) | {var} | set(arrays) | set(scalars)
+        self.regions = [_Region("None", "__cg_n0")]
+        self.scopes: List[Dict[str, _Local]] = [{}]
+        # Common-subexpression tables, one per region (a temp emitted
+        # under a mask guard is only defined inside that guard).  Keys
+        # never mention reassignable local names, so no invalidation is
+        # needed; charges accrue per *site*, so a CSE hit still counts
+        # every operation the tree would perform.
+        self.cse: List[Dict[tuple, _Val]] = [{}]
+        self.local_pys: set = set()
+        # Every name the liveness post-pass may ``del`` after its last
+        # textual use.  A kernel body holds ~25 live full-width temps —
+        # several MB that overflow L2 and make every numpy pass stream
+        # from L3; freeing each temp as it dies keeps the working set to
+        # a handful of hot buffers (measured ~2.3x on the bench kernel).
+        self.deletable: set = set()
+
+    # -- plumbing ----------------------------------------------------------
+
+    def line(self, text: str) -> None:
+        self.lines.append("    " * self.indent + text)
+
+    def fresh(self, prefix: str) -> str:
+        self.counter += 1
+        name = f"__cg_{prefix}{self.counter}"
+        self.deletable.add(name)
+        return name
+
+    def fresh_local(self, name: str) -> str:
+        if name not in self.used and not _bad_name(name):
+            self.used.add(name)
+            return name
+        k = 2
+        while f"{name}__{k}" in self.used:
+            k += 1
+        py = f"{name}__{k}"
+        self.used.add(py)
+        return py
+
+    def find_local(self, name: str) -> Optional[_Local]:
+        for scope in reversed(self.scopes):
+            if name in scope:
+                return scope[name]
+        return None
+
+    @property
+    def region(self) -> _Region:
+        return self.regions[-1]
+
+    def flush(self, region: _Region) -> None:
+        for field in ("flops", "int_ops", "loads", "stores", "calls", "branches"):
+            amount = region.charges.get(field)
+            if amount:
+                self.line(f"__cg_c.{field} += {amount!r} * {region.count}")
+        for name, (rbytes, wbytes) in region.abytes.items():
+            if not (rbytes or wbytes):
+                continue
+            self.line(f"if not __cg_cached_{name}:")
+            self.indent += 1
+            if rbytes:
+                self.line(f"__cg_c.bytes_read += {rbytes} * {region.count}")
+            if wbytes:
+                self.line(f"__cg_c.bytes_written += {wbytes} * {region.count}")
+            self.indent -= 1
+
+    def masked_block(self, guard_count: str, region: _Region, body) -> None:
+        """Emit ``if <count>:`` around *body* emitted inside *region*."""
+        self.line(f"if {guard_count}:")
+        self.indent += 1
+        mark = len(self.lines)
+        self.regions.append(region)
+        self.cse.append({})
+        try:
+            body()
+            self.flush(region)
+        finally:
+            self.regions.pop()
+            self.cse.pop()
+        if len(self.lines) == mark:
+            self.line("pass")
+        self.indent -= 1
+
+    # -- common subexpressions ---------------------------------------------
+
+    def cse_key(self, *parts) -> Optional[tuple]:
+        """A value number for a pure operation, or None when any operand
+        is a reassignable local (whose name does not pin its value)."""
+        for part in parts:
+            if part in self.local_pys:
+                return None
+        return parts
+
+    def cse_get(self, key) -> Optional[_Val]:
+        for table in reversed(self.cse):
+            hit = table.get(key)
+            if hit is not None:
+                return hit
+        return None
+
+    def cse_put(self, key, val: _Val) -> None:
+        self.cse[-1][key] = val
+
+    # -- coercions ---------------------------------------------------------
+
+    def to_int(self, val: _Val) -> _Val:
+        if val.kind == "i":
+            return val
+        return self._coerce_emit("rt.toi", val.py, "i")
+
+    def to_float(self, val: _Val) -> _Val:
+        if val.kind == "f":
+            return val
+        return self._coerce_emit("rt.tof", val.py, "f")
+
+    def _coerce_emit(self, fn: str, operand: str, kind: str) -> _Val:
+        key = self.cse_key(fn, operand)
+        if key is not None:
+            hit = self.cse_get(key)
+            if hit is not None:
+                return hit
+        t = self.fresh("t")
+        self.line(f"{t} = {fn}({operand})")
+        out = _Val(t, kind)
+        if key is not None:
+            self.cse_put(key, out)
+        return out
+
+    def coerce_decl(self, type_name: str, val: _Val) -> _Val:
+        if type_name == "int":
+            return self.to_int(val)
+        if type_name in ("float", "double"):
+            return self.to_float(val)
+        return val  # char and friends pass through, like the tree's _coerce
+
+    # -- statements --------------------------------------------------------
+
+    def stmt(self, node: ast.Stmt) -> None:
+        t = type(node)
+        if t is ast.Block:
+            self.scopes.append({})
+            try:
+                for s in node.stmts:
+                    self.stmt(s)
+            finally:
+                self.scopes.pop()
+        elif t is ast.VarDecl:
+            self.emit_decl(node)
+        elif t is ast.Assign:
+            self.emit_assign(node)
+        elif t is ast.If:
+            self.emit_if(node)
+        else:  # pragma: no cover - screened earlier
+            raise CodegenIneligible(f"statement {t.__name__}")
+
+    def emit_decl(self, node: ast.VarDecl) -> None:
+        val = self.coerce_decl(node.type.name, self.expr(node.init))
+        py = self.fresh_local(node.name)
+        self.local_pys.add(py)
+        self.line(f"{py} = {val.py}")
+        self.scopes[-1][node.name] = _Local(py, val.kind, self.region)
+
+    def emit_assign(self, node: ast.Assign) -> None:
+        val = self.expr(node.value)
+        target = node.target
+        if node.op != "=":
+            current = (
+                self.ident(target.name)
+                if type(target) is ast.Ident
+                else self.subscript_read(target)
+            )
+            val = self.binop_value(node.op[0], current, val)
+        if type(target) is ast.Ident:
+            self.assign_ident(target.name, val)
+        else:
+            self.subscript_write(target, val)
+
+    def assign_ident(self, name: str, val: _Val) -> None:
+        loc = self.find_local(name)
+        if loc is None:  # pragma: no cover - screened earlier
+            raise CodegenIneligible(f"assignment to non-local {name!r}")
+        if loc.kind == "i":
+            # The tree coerces to int whenever the old value is an int.
+            val = self.to_int(val)
+        if loc.region is self.region:
+            self.line(f"{loc.py} = {val.py}")
+            loc.kind = val.kind
+        else:
+            if loc.kind != val.kind:
+                raise CodegenIneligible("blend of int and float lanes")
+            self.line(
+                f"{loc.py} = rt.blend({self.region.mask}, {val.py}, {loc.py})"
+            )
+
+    def subscript_write(self, node: ast.Subscript, val: _Val) -> None:
+        arr = self.arrays[node.base.name]
+        region = self.region
+        region.charge("stores", 1)
+        region.charge_bytes(arr.name, arr.itemsize, is_write=True)
+        self.line(f"rt.store({arr.shadow}, {region.mask}, {val.py})")
+
+    def emit_if(self, node: ast.If) -> None:
+        region = self.region
+        region.charge("branches", 1)
+        cond = self.expr(node.cond)
+        truth = self.fresh("t")
+        self.line(f"{truth} = rt.truth({cond.py})")
+        mask, count = self.fresh("m"), self.fresh("n")
+        self.line(
+            f"{mask}, {count} = rt.refine({region.mask}, {truth}, {region.count})"
+        )
+        self.masked_block(
+            count, _Region(mask, count), lambda: self.stmt(node.then)
+        )
+        if node.other is not None:
+            emask, ecount = self.fresh("m"), self.fresh("n")
+            self.line(
+                f"{emask}, {ecount} = "
+                f"rt.refine_not({region.mask}, {truth}, {region.count})"
+            )
+            self.masked_block(
+                ecount, _Region(emask, ecount), lambda: self.stmt(node.other)
+            )
+
+    # -- expressions -------------------------------------------------------
+
+    def expr(self, node: ast.Expr) -> _Val:
+        t = type(node)
+        if t is ast.IntLit:
+            return _Val(repr(int(node.value)), "i")
+        if t is ast.FloatLit:
+            return _Val(repr(float(node.value)), "f")
+        if t is ast.Ident:
+            return self.ident(node.name)
+        if t is ast.BinOp:
+            if node.op in ("&&", "||"):
+                return self.emit_logic(node)
+            left = self.expr(node.left)
+            right = self.expr(node.right)
+            return self.binop_value(node.op, left, right)
+        if t is ast.UnOp:
+            return self.emit_unop(node)
+        if t is ast.Cond:
+            return self.emit_cond(node)
+        if t is ast.Cast:
+            return self.coerce_decl(node.type.name, self.expr(node.operand))
+        if t is ast.Subscript:
+            return self.subscript_read(node)
+        if t is ast.Call:
+            return self.emit_call(node)
+        raise CodegenIneligible(f"expression {t.__name__}")
+
+    def ident(self, name: str) -> _Val:
+        loc = self.find_local(name)
+        if loc is not None:
+            return _Val(loc.py, loc.kind)
+        if name == self.var:
+            return _Val(name, "i")
+        kind = self.scalars.get(name)
+        if kind is None:  # pragma: no cover - screened earlier
+            raise CodegenIneligible(f"unresolved name {name!r}")
+        return _Val(name, kind)
+
+    def subscript_read(self, node: ast.Subscript) -> _Val:
+        arr = self.arrays[node.base.name]
+        region = self.region
+        region.charge("loads", 1)
+        region.charge_bytes(arr.name, arr.itemsize, is_write=False)
+        if not arr.written:
+            return _Val(arr.view, arr.kind)
+        # Reads of a written array must snapshot the shadow: a later
+        # store may not alias a value loaded earlier.
+        t = self.fresh("t")
+        read = "rt.read_f64" if arr.kind == "f" else "rt.read_i64"
+        self.line(f"{t} = {read}({arr.shadow})")
+        return _Val(t, arr.kind)
+
+    def binop_value(self, op: str, left: _Val, right: _Val) -> _Val:
+        region = self.region
+        is_float = "f" in (left.kind, right.kind)
+        if op in ("+", "-", "*", "/") and is_float:
+            region.charge("flops", 1)
+        else:
+            region.charge("int_ops", 1)
+        # Division and modulo take the mask (zero checks are masked), so
+        # their value numbers are mask-specific; the rest are pure over
+        # full-width lanes and reusable across nested regions.
+        mask = region.mask if op in ("/", "%") else ""
+        key = self.cse_key("b", op, left.py, right.py, mask)
+        if key is not None:
+            hit = self.cse_get(key)
+            if hit is not None:
+                return hit
+        t = self.fresh("t")
+        if op in ("+", "-", "*"):
+            self.line(f"{t} = ({left.py} {op} {right.py})")
+            val = _Val(t, "f" if is_float else "i")
+        elif op == "/":
+            fn = "rt.fdiv" if is_float else "rt.idiv"
+            self.line(f"{t} = {fn}({left.py}, {right.py}, {region.mask})")
+            val = _Val(t, "f" if is_float else "i")
+        elif op == "%":
+            self.line(f"{t} = rt.imod({left.py}, {right.py}, {region.mask})")
+            val = _Val(t, "i")
+        elif op in ("<", ">", "<=", ">=", "==", "!="):
+            self.line(f"{t} = rt.asint({left.py} {op} {right.py})")
+            val = _Val(t, "i")
+        elif op in ("<<", ">>", "&", "|", "^"):
+            self.line(f"{t} = (rt.toi({left.py}) {op} rt.toi({right.py}))")
+            val = _Val(t, "i")
+        else:
+            raise CodegenIneligible(f"operator {op!r}")
+        if key is not None:
+            self.cse_put(key, val)
+        return val
+
+    def emit_unop(self, node: ast.UnOp) -> _Val:
+        val = self.expr(node.operand)
+        if node.op == "-":
+            self.region.charge("flops" if val.kind == "f" else "int_ops", 1)
+            text, kind = f"(-{val.py})", val.kind
+        else:
+            self.region.charge("int_ops", 1)
+            text, kind = f"rt.lnot({val.py})", "i"
+        key = self.cse_key("u", node.op, val.py)
+        if key is not None:
+            hit = self.cse_get(key)
+            if hit is not None:
+                return hit
+        t = self.fresh("t")
+        self.line(f"{t} = {text}")
+        out = _Val(t, kind)
+        if key is not None:
+            self.cse_put(key, out)
+        return out
+
+    def emit_logic(self, node: ast.BinOp) -> _Val:
+        region = self.region
+        region.charge("int_ops", 1)
+        left = self.expr(node.left)
+        truth = self.fresh("t")
+        self.line(f"{truth} = rt.truth({left.py})")
+        refine = "rt.refine" if node.op == "&&" else "rt.refine_not"
+        mask, count = self.fresh("m"), self.fresh("n")
+        self.line(f"{mask}, {count} = {refine}({region.mask}, {truth}, {region.count})")
+        result = self.fresh("t")
+
+        def rhs():
+            right = self.expr(node.right)
+            rtruth = self.fresh("t")
+            self.line(f"{rtruth} = rt.truth({right.py})")
+            if node.op == "&&":
+                self.line(f"{result} = rt.land({truth}, {rtruth})")
+            else:
+                self.line(f"{result} = rt.lor({truth}, {rtruth}, {mask})")
+
+        self.masked_block(count, _Region(mask, count), rhs)
+        self.line("else:")
+        self.indent += 1
+        self.line(f"{result} = rt.asint({truth})")
+        self.indent -= 1
+        return _Val(result, "i")
+
+    def emit_cond(self, node: ast.Cond) -> _Val:
+        region = self.region
+        region.charge("branches", 1)
+        cond = self.expr(node.cond)
+        truth = self.fresh("t")
+        self.line(f"{truth} = rt.truth({cond.py})")
+        then_res, else_res = self.fresh("t"), self.fresh("t")
+        self.line(f"{then_res} = None")
+        self.line(f"{else_res} = None")
+        kinds = []
+
+        def arm(expr_node, result):
+            def body():
+                val = self.expr(expr_node)
+                kinds.append(val.kind)
+                self.line(f"{result} = {val.py}")
+
+            return body
+
+        mask, count = self.fresh("m"), self.fresh("n")
+        self.line(f"{mask}, {count} = rt.refine({region.mask}, {truth}, {region.count})")
+        self.masked_block(count, _Region(mask, count), arm(node.then, then_res))
+        emask, ecount = self.fresh("m"), self.fresh("n")
+        self.line(
+            f"{emask}, {ecount} = rt.refine_not({region.mask}, {truth}, {region.count})"
+        )
+        self.masked_block(ecount, _Region(emask, ecount), arm(node.other, else_res))
+        if len(set(kinds)) != 1:
+            raise CodegenIneligible("conditional arms of mixed kinds")
+        t = self.fresh("t")
+        self.line(f"{t} = rt.sel({truth}, {then_res}, {else_res})")
+        return _Val(t, kinds[0])
+
+    def emit_call(self, node: ast.Call) -> _Val:
+        region = self.region
+        args = [self.expr(a) for a in node.args]
+        region.charge("calls", 1)
+        from repro.runtime.executor import BUILTIN_COSTS
+
+        region.charge("flops", BUILTIN_COSTS[node.func])
+        name = node.func
+        mask = region.mask
+        if name in ("exp", "log", "sin", "cos", "sqrt"):
+            text, kind = f"rt.c_{name}({args[0].py}, {mask})", "f"
+        elif name == "pow":
+            text, kind = f"rt.c_pow({args[0].py}, {args[1].py}, {mask})", "f"
+        elif name in ("fabs", "abs"):
+            text, kind = f"rt.c_abs({args[0].py})", args[0].kind
+        elif name in ("floor", "ceil"):
+            text, kind = f"rt.c_{name}({args[0].py}, {mask})", "i"
+        elif name in ("min", "max"):
+            kinds = {a.kind for a in args}
+            if len(kinds) != 1:
+                raise CodegenIneligible(f"{name}() with mixed argument types")
+            arglist = ", ".join(a.py for a in args)
+            text, kind = f"rt.c_{name}({arglist})", kinds.pop()
+        else:  # pragma: no cover - screened earlier
+            raise CodegenIneligible(f"call to {name!r}")
+        key = self.cse_key("call", name, mask, *[a.py for a in args])
+        if key is not None:
+            hit = self.cse_get(key)
+            if hit is not None:
+                return hit
+        t = self.fresh("t")
+        self.line(f"{t} = {text}")
+        out = _Val(t, kind)
+        if key is not None:
+            self.cse_put(key, out)
+        return out
+
+
+def generate_source(
+    loop: ast.For, info: _StaticInfo, array_sig, scalar_sig
+) -> str:
+    """Emit the kernel function's full Python source for one signature.
+
+    *array_sig* is ``((name, dtype_str, itemsize, written), ...)`` and
+    *scalar_sig* is ``((name, kind), ...)`` in parameter order.
+    """
+    arrays = {}
+    for name, dtype_str, itemsize, written in array_sig:
+        kind = "f" if np.dtype(dtype_str).kind == "f" else "i"
+        arrays[name] = _ArrInfo(name, kind, itemsize, written)
+    scalars = dict(scalar_sig)
+    em = _Emitter(info.var, arrays, scalars)
+
+    params = ["__cg", "__cg_idx", info.var]
+    params += [a[0] for a in array_sig]
+    params += [s[0] for s in scalar_sig]
+    head = [
+        f"def __cg_kernel({', '.join(params)}):",
+        "    __cg_c = __cg.counters",
+        f"    __cg_n0 = {info.var}.shape[0]",
+    ]
+    for arr in arrays.values():
+        head.append(
+            f"    __cg_cached_{arr.name} = "
+            f"{arr.name}.nbytes * __cg.scale <= __cg.cached_bytes"
+        )
+    for arr in arrays.values():
+        if arr.written:
+            head.append(f"    {arr.shadow} = {arr.name}[__cg_idx].copy()")
+        else:
+            gather = "rt.as_f64" if arr.kind == "f" else "rt.as_i64"
+            head.append(f"    {arr.view} = {gather}({arr.name}[__cg_idx])")
+
+    em.stmt(loop.body)
+    em.flush(em.regions[0])
+
+    tail = []
+    for arr in arrays.values():
+        if arr.written:
+            tail.append(f"    {arr.name}[__cg_idx] = {arr.shadow}")
+    lines = _insert_dels(head + em.lines + tail, em.deletable | em.local_pys)
+    return "\n".join(lines) + "\n"
+
+
+_IDENT_RE = re.compile(r"[A-Za-z_][A-Za-z0-9_]*")
+
+
+def _insert_dels(lines: List[str], candidates: set) -> List[str]:
+    """Free each temp right after its last textual use.
+
+    Full-width f64 temps are ~8 bytes/lane; a straight-line kernel body
+    keeps dozens alive at once, overflowing L2 so every subsequent numpy
+    pass streams from L3/DRAM.  Dropping each name at its last mention
+    returns the buffer to the allocator, which hands the same hot pages
+    to the next temp.  Definitions dominate uses (CSE tables are
+    region-scoped), so a ``del`` placed at the indent of the last use
+    only runs when the name is bound.  Names whose last mention is a
+    block header (``if ...:``) are left for frame exit — a ``del``
+    there would detach the header from its suite.
+    """
+    last: Dict[str, int] = {}
+    for i, text in enumerate(lines):
+        for tok in _IDENT_RE.findall(text):
+            if tok in candidates:
+                last[tok] = i
+    out: List[str] = []
+    for i, text in enumerate(lines):
+        out.append(text)
+        if text.rstrip().endswith(":"):
+            continue
+        dead = sorted(name for name, j in last.items() if j == i)
+        if dead:
+            pad = text[: len(text) - len(text.lstrip())]
+            out.append(f"{pad}del {', '.join(dead)}")
+    return out
+
+
+# ==========================================================================
+# Runtime helpers (the ``rt`` namespace inside generated kernels)
+# ==========================================================================
+
+
+class _RT:
+    """Masked-vector primitives generated kernels call at runtime.
+
+    Every helper is polymorphic over "scalar" (lane-invariant Python
+    value) and "vector" (full-width ndarray) operands, mirroring the
+    batch engine's ``_Lanes``-or-scalar values; masks are full-width
+    bool vectors or ``None`` (= all active lanes).  Each helper's
+    semantics are copied from the batch-engine function named in its
+    docstring, which in turn mirrors the tree walker.
+    """
+
+    # -- truth, masks, blending -------------------------------------------
+
+    @staticmethod
+    def truth(v):
+        """``_BatchRunner._truthy``."""
+        if isinstance(v, np.ndarray):
+            return v != 0
+        return bool(v)
+
+    @staticmethod
+    def asint(t):
+        if isinstance(t, np.ndarray):
+            return t.astype(np.int64)
+        return int(t)
+
+    @staticmethod
+    def refine(m, t, n):
+        """Narrow mask *m* by truth *t*; scalar truth keeps *m* (the
+        batch engine's scalar-cond path runs the arm under an unchanged
+        mask)."""
+        if isinstance(t, np.ndarray):
+            nm = t if m is None else (m & t)
+            return nm, int(np.count_nonzero(nm))
+        return (m, n) if t else (m, 0)
+
+    @staticmethod
+    def refine_not(m, t, n):
+        if isinstance(t, np.ndarray):
+            nm = ~t if m is None else (m & ~t)
+            return nm, int(np.count_nonzero(nm))
+        return (m, 0) if t else (m, n)
+
+    @staticmethod
+    def blend(m, new, old):
+        """``_BatchRunner._where`` (kinds are checked at generation
+        time, so only the merge remains)."""
+        if m is None:
+            return new
+        return np.where(m, new, old)
+
+    @staticmethod
+    def sel(t, a, b):
+        """``_BatchRunner._expr_cond``'s merge step."""
+        if a is None:
+            return b
+        if b is None:
+            return a
+        if isinstance(t, np.ndarray):
+            return np.where(t, a, b)
+        return a if t else b
+
+    @staticmethod
+    def land(lt, rt_t):
+        """``&&`` merge (``_expr_logic``): *lt* scalar means the left
+        side was lane-invariantly true (false short-circuited)."""
+        if not isinstance(lt, np.ndarray):
+            return _RT.asint(rt_t)
+        rvec = (
+            rt_t
+            if isinstance(rt_t, np.ndarray)
+            else np.full(lt.shape[0], bool(rt_t))
+        )
+        return (lt & rvec).astype(np.int64)
+
+    @staticmethod
+    def lor(lt, rt_t, m):
+        """``||`` merge (``_expr_logic``): *m* is the refined rhs mask
+        (``eff & ~lt``) — exactly the lanes whose right side counts."""
+        if not isinstance(lt, np.ndarray):
+            return _RT.asint(rt_t)
+        rvec = (
+            rt_t
+            if isinstance(rt_t, np.ndarray)
+            else np.full(lt.shape[0], bool(rt_t))
+        )
+        return (lt | (rvec & m)).astype(np.int64)
+
+    @staticmethod
+    def lnot(v):
+        if isinstance(v, np.ndarray):
+            return (~(v != 0)).astype(np.int64)
+        return int(not v)
+
+    # -- coercions ---------------------------------------------------------
+
+    @staticmethod
+    def toi(v):
+        """``_BatchRunner._to_int`` / ``_coerce_int``."""
+        if isinstance(v, np.ndarray):
+            if v.dtype.kind == "f":
+                return np.trunc(v).astype(np.int64)
+            return v
+        return int(v)
+
+    @staticmethod
+    def tof(v):
+        """``_BatchRunner._vcoerce`` for float/double."""
+        if isinstance(v, np.ndarray):
+            if v.dtype.kind != "f":
+                return v.astype(np.float64)
+            return v
+        return float(v)
+
+    # -- gathers, shadow reads, stores ------------------------------------
+
+    @staticmethod
+    def as_f64(a):
+        """Widen a read-only gather to float64 lanes (the tree's
+        ``.item()`` on every load is exactly this widening)."""
+        if a.dtype == np.float64:
+            return a
+        return a.astype(np.float64)
+
+    @staticmethod
+    def as_i64(a):
+        if a.dtype == np.int64:
+            return a
+        return a.astype(np.int64)
+
+    @staticmethod
+    def read_f64(sh):
+        """Snapshot-read of a written array's shadow.  ``astype`` always
+        copies, so a value loaded here never aliases a later store."""
+        return sh.astype(np.float64)
+
+    @staticmethod
+    def read_i64(sh):
+        return sh.astype(np.int64)
+
+    @staticmethod
+    def store(sh, m, v):
+        """Masked store into the shadow (slot == lane), downcasting to
+        the array dtype exactly as the tree's ``arr[i] = value`` does."""
+        if m is None:
+            sh[...] = v
+        elif isinstance(v, np.ndarray):
+            sh[m] = v[m]
+        else:
+            sh[m] = v
+
+    # -- division ----------------------------------------------------------
+
+    @staticmethod
+    def _safe_divisor(rv, m, message):
+        """The divisor with zero lanes checked (raise if any is active)
+        and sanitized to 1.  The common all-nonzero case costs one
+        comparison + one reduction and returns the divisor unchanged."""
+        if not isinstance(rv, np.ndarray):
+            if rv == 0:
+                raise ZeroDivisionError(message)
+            return rv
+        zero = rv == 0
+        if zero.any():
+            active = zero if m is None else (zero & m)
+            if bool(active.any()):
+                raise ZeroDivisionError(message)
+            return np.where(zero, 1, rv)
+        return rv
+
+    @staticmethod
+    def fdiv(lv, rv, m):
+        """``_BatchRunner._divide`` with ``is_float=True``."""
+        if not (isinstance(lv, np.ndarray) or isinstance(rv, np.ndarray)):
+            return lv / rv
+        safe = _RT._safe_divisor(rv, m, "float division by zero")
+        return np.asarray(lv, dtype=np.float64) / safe
+
+    @staticmethod
+    def idiv(lv, rv, m):
+        """``_BatchRunner._divide`` with ``is_float=False``.
+
+        The sign merge may use the sanitized divisor: it only differs
+        from the original on zero lanes, where both 0 and the substitute
+        1 count as non-negative."""
+        if not (isinstance(lv, np.ndarray) or isinstance(rv, np.ndarray)):
+            q = abs(int(lv)) // abs(int(rv))
+            return q if (lv >= 0) == (rv >= 0) else -q
+        safe = _RT._safe_divisor(rv, m, "integer division or modulo by zero")
+        la = np.asarray(lv)
+        q = np.abs(la) // np.abs(safe)
+        return np.where((la >= 0) == (safe >= 0), q, -q).astype(np.int64)
+
+    @staticmethod
+    def imod(lv, rv, m):
+        """``_BatchRunner._modulo``."""
+        if not (isinstance(lv, np.ndarray) or isinstance(rv, np.ndarray)):
+            r = abs(int(lv)) % abs(int(rv))
+            return r if lv >= 0 else -r
+        safe = _RT.toi(
+            _RT._safe_divisor(rv, m, "integer division or modulo by zero")
+        )
+        la = _RT.toi(np.asarray(lv))
+        r = np.abs(la) % np.abs(safe)
+        return np.where(la >= 0, r, -r).astype(np.int64)
+
+    # -- builtins ----------------------------------------------------------
+
+    @staticmethod
+    def _sanitize(v, m):
+        """``_BatchRunner._builtin_f64``: float64 lanes with inactive
+        lanes forced to 1.0 so they cannot trip a domain check the tree
+        would never perform."""
+        vec = v if v.dtype.kind == "f" else v.astype(np.float64)
+        if m is not None:
+            vec = np.where(m, vec, 1.0)
+        return vec
+
+    @staticmethod
+    def _scalar_call(name, args):
+        from repro.runtime.executor import _BUILTIN_IMPL
+
+        try:
+            return _BUILTIN_IMPL[name](*args)
+        except ValueError as exc:
+            raise ExecutionError(f"math domain error in {name}: {exc}")
+
+    @staticmethod
+    def _ufunc(name, v, m):
+        """``_vb_pyloop``."""
+        if not isinstance(v, np.ndarray):
+            return _RT._scalar_call(name, [v])
+        vec = _RT._sanitize(v, m)
+        try:
+            out = mathops.VECTOR_IMPL[name](vec)
+        except ValueError as exc:
+            raise ExecutionError(f"math domain error in {name}: {exc}")
+        return np.asarray(out, dtype=np.float64)
+
+    @staticmethod
+    def c_exp(v, m):
+        return _RT._ufunc("exp", v, m)
+
+    @staticmethod
+    def c_log(v, m):
+        return _RT._ufunc("log", v, m)
+
+    @staticmethod
+    def c_sin(v, m):
+        return _RT._ufunc("sin", v, m)
+
+    @staticmethod
+    def c_cos(v, m):
+        return _RT._ufunc("cos", v, m)
+
+    @staticmethod
+    def c_sqrt(v, m):
+        """``_vb_sqrt``."""
+        if not isinstance(v, np.ndarray):
+            return _RT._scalar_call("sqrt", [v])
+        vec = _RT._sanitize(v, m)
+        if (vec < 0).any():
+            raise ExecutionError("math domain error in sqrt: math domain error")
+        return np.sqrt(vec)
+
+    @staticmethod
+    def c_pow(a, b, m):
+        """``_vb_pow``."""
+        av = _RT._sanitize(a, m) if isinstance(a, np.ndarray) else a
+        bv = _RT._sanitize(b, m) if isinstance(b, np.ndarray) else b
+        if not (isinstance(av, np.ndarray) or isinstance(bv, np.ndarray)):
+            return _RT._scalar_call("pow", [av, bv])
+        try:
+            out = mathops.vector_pow(av, bv)
+        except ValueError as exc:
+            raise ExecutionError(f"math domain error in pow: {exc}")
+        return np.asarray(out, dtype=np.float64)
+
+    @staticmethod
+    def c_abs(v):
+        """``_vb_abs`` — the tree's fabs is plain ``abs()``, kind kept."""
+        if isinstance(v, np.ndarray):
+            return np.abs(v)
+        return _RT._scalar_call("fabs", [v])
+
+    @staticmethod
+    def _floorceil(name, v, m):
+        """``_vb_floorceil``."""
+        if not isinstance(v, np.ndarray):
+            return _RT._scalar_call(name, [v])
+        vec = _RT._sanitize(v, m)
+        fn = np.floor if name == "floor" else np.ceil
+        return fn(vec).astype(np.int64)
+
+    @staticmethod
+    def c_floor(v, m):
+        return _RT._floorceil("floor", v, m)
+
+    @staticmethod
+    def c_ceil(v, m):
+        return _RT._floorceil("ceil", v, m)
+
+    @staticmethod
+    def _minmax(name, args):
+        """``_vb_minmax`` (uniform kinds checked at generation time)."""
+        if not any(isinstance(a, np.ndarray) for a in args):
+            return _RT._scalar_call(name, args)
+        fn = np.minimum if name == "min" else np.maximum
+        result = args[0]
+        for arg in args[1:]:
+            result = fn(result, arg)
+        return np.asarray(result)
+
+    @staticmethod
+    def c_min(*args):
+        return _RT._minmax("min", list(args))
+
+    @staticmethod
+    def c_max(*args):
+        return _RT._minmax("max", list(args))
+
+
+# ==========================================================================
+# Kernel cache
+# ==========================================================================
+
+
+class _CgCtx:
+    """Per-invocation context handed to a generated kernel."""
+
+    __slots__ = ("counters", "scale", "cached_bytes")
+
+    def __init__(self, counters: OpCounters, scale: float, cached_bytes: int):
+        self.counters = counters
+        self.scale = scale
+        self.cached_bytes = cached_bytes
+
+
+#: Compiled kernels keyed on (canonical source, transform provenance,
+#: array signature, scalar-kind signature).
+_KERNELS: Dict[tuple, object] = {}
+_CACHE_STATS = {"hits": 0, "misses": 0}
+
+
+def cache_stats() -> dict:
+    """A snapshot of the module-wide generated-kernel cache counters."""
+    return dict(_CACHE_STATS)
+
+
+def clear_cache() -> None:
+    """Drop all compiled kernels and reset the hit/miss counters."""
+    _KERNELS.clear()
+    _CACHE_STATS["hits"] = 0
+    _CACHE_STATS["misses"] = 0
+
+
+def _get_kernel(loop, info: _StaticInfo, provenance, array_sig, scalar_sig):
+    """Compile (or fetch) the kernel for one concrete signature.
+
+    Returns ``(fn, was_miss)``.  Generation failures raise
+    :class:`CodegenIneligible` (the caller rejects the loop — falling
+    back to the batch engine is always correct)."""
+    if info.src is None:
+        info.src = to_source(loop)
+    key = (info.src, provenance, array_sig, scalar_sig)
+    fn = _KERNELS.get(key)
+    if fn is not None:
+        _CACHE_STATS["hits"] += 1
+        return fn, False
+    _CACHE_STATS["misses"] += 1
+    source = generate_source(loop, info, array_sig, scalar_sig)
+    code = compile(source, f"<codegen:{info.var}>", "exec")
+    ns = {"np": np, "rt": _RT}
+    exec(code, ns)
+    fn = ns["__cg_kernel"]
+    fn.__cg_source__ = source  # introspection for docs/tests
+    _KERNELS[key] = fn
+    return fn, True
+
+
+def kernel_source(loop: ast.For, provenance: str = "") -> str:
+    """Generated source for *loop* against a float64 signature guess.
+
+    Documentation/debugging helper: screens the loop, fabricates a
+    float64 array signature and float scalar kinds, and returns the
+    emitted source without compiling or caching it."""
+    info = analyze_loop(loop)
+    if not info.eligible:
+        raise CodegenIneligible(info.reason or "ineligible")
+    array_sig = tuple(
+        (name, "<f8", 8, name in info.written) for name in info.array_names
+    )
+    scalar_sig = tuple((name, "f") for name in info.scalar_names)
+    return generate_source(loop, info, array_sig, scalar_sig)
+
+
+# ==========================================================================
+# Driver
+# ==========================================================================
+
+
+def _scalar_kind(name: str, value):
+    """Classify a free scalar binding, normalized to plain Python.
+
+    Anything whose arithmetic the emitter cannot model with 'i'/'f'
+    lanes (float32's narrower rounding, strings, handles) bails."""
+    if isinstance(value, (bool, int, np.integer)):
+        return int(value), "i"
+    if isinstance(value, float):
+        return value, "f"
+    if isinstance(value, np.float64):
+        return float(value), "f"
+    raise _TransientBail(f"free scalar {name!r} of {type(value).__name__}")
+
+
+def _run(executor, loop: ast.For, env, info: _StaticInfo) -> int:
+    """Generate/fetch the kernel, check dynamic safety, run it."""
+    bounds = batch_exec.recognize_bounds(executor, loop, env)
+    trips, start, stride = bounds.trips, bounds.start, bounds.stride
+    if trips == 0:
+        bounds.finalize_induction()
+        return 0
+
+    arrays = []
+    for name in info.array_names:
+        value = env.get(name)
+        if not isinstance(value, np.ndarray):
+            raise CodegenIneligible(f"{name!r} is not an array")
+        if value.ndim != 1 or value.dtype.kind not in "fiub":
+            raise CodegenIneligible(f"{name!r} has unsupported dtype/shape")
+        arrays.append(value)
+
+    scalars = []
+    scalar_sig = []
+    for name in info.scalar_names:
+        value, kind = _scalar_kind(name, env.get(name))
+        scalars.append(value)
+        scalar_sig.append((name, kind))
+
+    # Every subscript index is the induction variable, so one range
+    # check covers all accesses; a violating lane means the tree must
+    # produce the exact mid-loop fault (and its partial writes).
+    lo = min(start, start + stride * (trips - 1))
+    hi = max(start, start + stride * (trips - 1))
+    for name, value in zip(info.array_names, arrays):
+        if lo < 0 or hi >= len(value):
+            raise _TransientBail(f"lane index out of range for {name!r}")
+
+    # Lanes are independent only if no written array aliases another
+    # operand: a write through one name must not be visible through
+    # another within the same loop entry.
+    for wname in info.written:
+        warr = arrays[info.array_names.index(wname)]
+        for name, value in zip(info.array_names, arrays):
+            if name != wname and np.shares_memory(warr, value):
+                raise _TransientBail(f"{wname!r} aliases {name!r}")
+
+    array_sig = tuple(
+        (name, value.dtype.str, value.dtype.itemsize, name in info.written)
+        for name, value in zip(info.array_names, arrays)
+    )
+    provenance = getattr(executor.program, "comp_provenance", "")
+    fn, was_miss = _get_kernel(
+        loop, info, provenance, array_sig, tuple(scalar_sig)
+    )
+    stats = executor._codegen_stats
+    if was_miss:
+        stats["compiled"] += 1
+    else:
+        stats["cache_hits"] += 1
+
+    if stride == 1:
+        idx = slice(start, start + trips)
+    else:
+        idx = start + stride * np.arange(trips, dtype=np.int64)
+    lanes = start + stride * np.arange(trips, dtype=np.int64)
+
+    cg = _CgCtx(
+        OpCounters(), executor.machine.scale, executor.CACHED_ARRAY_BYTES
+    )
+    fn(cg, idx, lanes, *arrays, *scalars)
+    executor._ctx.pending.add(cg.counters)
+    bounds.finalize_induction()
+    return trips
+
+
+def try_run_parallel_for(executor, loop: ast.For, env) -> Optional[int]:
+    """Attempt codegen execution of one parallel loop.
+
+    On success, array writes are committed, the induction variable's
+    final value lands where the tree would leave it, the loop's counters
+    are merged into the executor's pending set, and the trip count is
+    returned.  Returns ``None`` — with no lasting side effects — when
+    the loop is ineligible or a dynamic check failed, in which case the
+    caller falls down the ladder (batch, then tree)."""
+    cache = executor._codegen_static_cache
+    info = cache.get(id(loop))
+    if info is None:
+        info = analyze_loop(loop)
+        cache[id(loop)] = info
+    if not info.eligible:
+        return None
+
+    stats = executor._codegen_stats
+    ctx = executor._ctx
+    entry_pending = ctx.pending
+    ctx.pending = OpCounters()
+    try:
+        trips = _run(executor, loop, env, info)
+    except (CodegenIneligible, BatchIneligible) as exc:
+        # Shape problems repeat on every entry; stop re-attempting.
+        info.reject(f"dynamic: {exc}")
+        ctx.pending = entry_pending
+        stats["fallback"] += 1
+        return None
+    except _TransientBail:
+        # Value-dependent (bounds, aliasing, odd scalar): the next entry
+        # may be eligible again, so no permanent verdict.
+        ctx.pending = entry_pending
+        stats["fallback"] += 1
+        return None
+    except (ReproError, ZeroDivisionError, OverflowError):
+        # The kernel faults; shadows were never committed, so the
+        # fallback engine reproduces the exact error and the exact
+        # partial state sequential execution mandates.
+        ctx.pending = entry_pending
+        stats["fallback"] += 1
+        return None
+    entry_pending.add(ctx.pending)
+    ctx.pending = entry_pending
+    stats["ran"] += 1
+    tracer = executor.machine.tracer
+    if tracer.enabled:
+        tracer.metrics.counter("codegen.loops").inc()
+    return trips

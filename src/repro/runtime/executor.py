@@ -58,8 +58,10 @@ from repro.hardware.spec import MachineSpec, paper_machine
 from repro.minic import ast_nodes as ast
 from repro.minic.parser import parse
 from repro.minic.visitor import walk as walk_nodes
+from repro.runtime import mathops
 from repro.obs.tracer import NULL_TRACER
 from repro.runtime import batch_exec
+from repro.runtime import codegen
 from repro.runtime.checkpoint import CheckpointManager
 from repro.runtime.coi import DEVICE, DMA_FROM_DEVICE, DMA_TO_DEVICE, CoiRuntime
 from repro.runtime.integrity import IntegrityManager
@@ -82,14 +84,14 @@ BUILTIN_COSTS = {
 }
 
 _BUILTIN_IMPL = {
-    "exp": math.exp,
-    "log": math.log,
+    "exp": mathops.scalar_exp,
+    "log": mathops.scalar_log,
     "sqrt": math.sqrt,
     "fabs": abs,
     "abs": abs,
-    "pow": math.pow,
-    "sin": math.sin,
-    "cos": math.cos,
+    "pow": mathops.scalar_pow,
+    "sin": mathops.scalar_sin,
+    "cos": mathops.scalar_cos,
     "floor": math.floor,
     "ceil": math.ceil,
     "min": min,
@@ -520,6 +522,12 @@ class ExecutionResult:
 # ==========================================================================
 
 
+#: Execution engines, fastest first.  ``auto`` walks the ladder per
+#: loop: codegen where the emitter proves eligibility, batch for the
+#: general vector cases, tree for everything else.
+ENGINES = ("auto", "codegen", "batch", "tree")
+
+
 class Executor:
     """Interprets one program on one machine."""
 
@@ -531,8 +539,11 @@ class Executor:
     ):
         if isinstance(program, str):
             program = parse(program)
-        if engine not in ("auto", "batch", "tree"):
-            raise ValueError(f"unknown engine {engine!r}")
+        if engine not in ENGINES:
+            raise ValueError(
+                f"unknown engine {engine!r}: valid engines are "
+                + ", ".join(ENGINES)
+            )
         self.program = program
         self.machine = machine or Machine()
         self.engine = engine
@@ -555,6 +566,15 @@ class Executor:
         # telemetry (how many parallel loops ran batched vs fell back).
         self._batch_static_cache: Dict[int, object] = {}
         self._batch_stats = {"batched": 0, "fallback": 0}
+        # Codegen execution: per-loop static verdicts plus engagement and
+        # compile-cache telemetry for the generated-kernel tier.
+        self._codegen_static_cache: Dict[int, object] = {}
+        self._codegen_stats = {
+            "ran": 0,
+            "fallback": 0,
+            "compiled": 0,
+            "cache_hits": 0,
+        }
         # Vectorizability memo: per-loop relevant symbol names plus the
         # verdict per concrete binding of those names.
         self._vec_meta: Dict[int, Tuple[List[str], List[str]]] = {}
@@ -858,7 +878,9 @@ class Executor:
         ctx.in_parallel = True
         try:
             trips = None
-            if self.engine != "tree":
+            if self.engine in ("auto", "codegen"):
+                trips = codegen.try_run_parallel_for(self, loop, env)
+            if trips is None and self.engine != "tree":
                 trips = batch_exec.try_run_parallel_for(self, loop, env)
             if trips is None:
                 trips = self._run_loop(loop, env)

@@ -145,6 +145,10 @@ class CompOptimizer:
         from repro.analysis.validate import validate_program
 
         result.diagnostics = validate_program(program)
+        # Transform provenance: two loops that print identically but went
+        # through different pipelines must not share a generated kernel,
+        # so the codegen cache keys on this stamp.
+        program.comp_provenance = ",".join(result.applied())
         return result
 
     @staticmethod

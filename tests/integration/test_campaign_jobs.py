@@ -1,0 +1,84 @@
+"""Campaign fan-out: worker count must be invisible in the summary.
+
+Every scenario cell's fault plan is seeded by a pure function of the
+campaign seed and the cell coordinates, and outcomes are collected in
+submission order, so ``--jobs N`` must produce byte-identical summary
+JSON for any N.  A worker crash or an interrupt must cancel outstanding
+cells and surface the completed prefix as an explicitly partial result
+instead of hanging.
+"""
+
+import json
+from concurrent.futures import BrokenExecutor, Future, ThreadPoolExecutor
+
+import pytest
+
+from repro.faults import campaign
+from repro.faults.campaign import run_campaign
+
+NAMES = ["blackscholes", "nn"]
+
+
+def _summary(**kwargs):
+    result = run_campaign(names=NAMES, scenarios=2, seed=7, **kwargs)
+    return json.dumps(result.as_dict(), indent=2, sort_keys=True)
+
+
+def test_jobs_do_not_change_summary(monkeypatch):
+    """jobs=2 must match jobs=1 byte for byte.
+
+    A thread pool stands in for the process pool: it exercises the
+    submit/collect path (ordering, partial handling) without per-test
+    process spawn cost; the CI codegen-smoke job diffs real
+    multiprocess output through the CLI.
+    """
+    sequential = _summary(jobs=1)
+    monkeypatch.setattr(campaign, "_POOL_CLS", ThreadPoolExecutor)
+    fanned = _summary(jobs=2)
+    assert fanned == sequential
+
+
+def test_tracing_is_incompatible_with_fanout():
+    with pytest.raises(ValueError, match="jobs 1"):
+        run_campaign(
+            names=NAMES, scenarios=1, jobs=2,
+            tracer_factory=lambda name, k: None,
+        )
+
+
+def test_jobs_must_be_positive():
+    with pytest.raises(ValueError, match=">= 1"):
+        run_campaign(names=NAMES, scenarios=1, jobs=0)
+
+
+class _CrashAfterOne:
+    """Pool double: the first cell completes, the second kills the pool
+    (as a worker segfault would — ``BrokenProcessPool``)."""
+
+    def __init__(self, max_workers=None):
+        self.submitted = 0
+        self.cancelled = False
+
+    def submit(self, fn, *args, **kwargs):
+        self.submitted += 1
+        future: Future = Future()
+        if self.submitted == 1:
+            future.set_result(fn(*args, **kwargs))
+        else:
+            future.set_exception(BrokenExecutor("worker died"))
+        return future
+
+    def shutdown(self, wait=True, cancel_futures=False):
+        self.cancelled = cancel_futures
+
+
+def test_worker_crash_yields_partial_prefix(monkeypatch):
+    monkeypatch.setattr(campaign, "_POOL_CLS", _CrashAfterOne)
+    result = run_campaign(names=NAMES, scenarios=2, seed=7, jobs=2)
+    assert result.partial
+    assert len(result.outcomes) == 1  # the completed prefix only
+    assert result.outcomes[0].workload == NAMES[0]
+    assert result.as_dict()["partial"] is True
+    # ... and the full-campaign summary marks itself complete.
+    full = run_campaign(names=NAMES, scenarios=1, seed=7)
+    assert full.as_dict()["partial"] is False

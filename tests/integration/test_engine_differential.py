@@ -1,11 +1,13 @@
-"""Differential test: batch engine vs tree engine across the whole suite.
+"""Differential test: all execution engines against the tree walker.
 
-The batched execution fast path must be a pure performance change: for
-every workload the outputs must be bit-identical, the dynamic operation
-counters identical, and the simulated time identical to the tree-walking
-interpreter's.  Any divergence means the batch engine's semantics or its
-analytic counter model drifted from the reference walker.
+The batch and codegen execution tiers must be pure performance changes:
+for every workload the outputs must be bit-identical, the dynamic
+operation counters identical, and the simulated time identical to the
+tree-walking interpreter's.  Any divergence means an engine's semantics
+or its analytic counter model drifted from the reference walker.
 """
+
+import functools
 
 import numpy as np
 import pytest
@@ -15,32 +17,36 @@ from repro.workloads.base import MiniCWorkload
 from repro.workloads.suite import get_workload, workload_names
 
 
+@functools.lru_cache(maxsize=None)
 def _run(name, engine):
+    """Memoized: the tree reference run is shared by every engine
+    parametrization (results are only compared, never mutated)."""
     return get_workload(name).run("opt", engine=engine)
 
 
+@pytest.mark.parametrize("engine", ["batch", "codegen"])
 @pytest.mark.parametrize("name", workload_names())
-def test_engines_agree(name):
+def test_engines_agree(name, engine):
     tree = _run(name, "tree")
-    batch = _run(name, "batch")
+    other = _run(name, engine)
 
-    assert set(batch.outputs) == set(tree.outputs)
+    assert set(other.outputs) == set(tree.outputs)
     for key in tree.outputs:
-        expected, actual = tree.outputs[key], batch.outputs[key]
+        expected, actual = tree.outputs[key], other.outputs[key]
         assert expected.dtype == actual.dtype, key
         assert expected.tobytes() == actual.tobytes(), (
             f"{name}: output {key!r} differs between engines"
         )
 
-    assert batch.stats.ops.as_dict() == tree.stats.ops.as_dict(), (
+    assert other.stats.ops.as_dict() == tree.stats.ops.as_dict(), (
         f"{name}: dynamic op counters differ between engines"
     )
-    assert batch.stats.total_time == tree.stats.total_time, (
+    assert other.stats.total_time == tree.stats.total_time, (
         f"{name}: simulated time differs between engines"
     )
-    assert batch.stats.transfer_time == tree.stats.transfer_time
-    assert batch.stats.bytes_to_device == tree.stats.bytes_to_device
-    assert batch.stats.bytes_from_device == tree.stats.bytes_from_device
+    assert other.stats.transfer_time == tree.stats.transfer_time
+    assert other.stats.bytes_to_device == tree.stats.bytes_to_device
+    assert other.stats.bytes_from_device == tree.stats.bytes_from_device
 
 
 @pytest.mark.parametrize("name", workload_names())
@@ -89,6 +95,37 @@ def test_batch_engine_actually_engages():
     )
     executor.run(arrays=workload.make_arrays(), scalars=dict(workload.scalars))
     assert executor._batch_stats["batched"] > 0
+
+
+def test_codegen_engine_actually_engages():
+    """A straight-line kernel must run through the generated-source tier
+    (compiled exactly once), not silently fall back to batch."""
+    from repro.runtime.executor import Executor, Machine, run_program
+
+    src = """
+    void main() {
+        #pragma omp parallel for
+        for (int i = 0; i < n; i++) {
+            out[i] = a[i] * 2.0 + b[i];
+        }
+    }
+    """
+    n = 256
+    rng = np.random.default_rng(0)
+    arrays = {
+        "a": rng.standard_normal(n),
+        "b": rng.standard_normal(n),
+        "out": np.zeros(n),
+    }
+    from repro.minic.parser import parse
+
+    executor = Executor(parse(src), Machine(), engine="codegen")
+    executor.run(arrays=arrays, scalars={"n": n})
+    assert executor._codegen_stats["ran"] > 0
+    assert executor._codegen_stats["fallback"] == 0
+    np.testing.assert_array_equal(
+        arrays["out"], arrays["a"] * 2.0 + arrays["b"]
+    )
 
 
 @pytest.mark.parametrize("name", ["blackscholes", "kmeans", "CG", "nn"])
