@@ -89,6 +89,11 @@ def _build_parser() -> argparse.ArgumentParser:
     runp.add_argument("--inject-faults", action="store_true",
                       help="run under a fault plan derived from --seed "
                            "and report the recovery stats")
+    runp.add_argument("--devices", type=int, default=1, metavar="N",
+                      help="simulate an offload fleet of N devices with "
+                           "block sharding and device-loss failover; "
+                           "outputs are bit-identical for any N "
+                           "(default 1)")
     runp.add_argument("--trace", metavar="FILE",
                       help="record the run and write a Chrome/Perfetto "
                            "trace JSON to FILE")
@@ -134,6 +139,10 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="fan benchmarks out over N worker processes; "
                             "rows keep their order and values regardless "
                             "of N (default 1, incompatible with --trace)")
+    bench.add_argument("--devices", type=int, default=1, metavar="N",
+                       help="run every variant on a simulated fleet of N "
+                            "offload devices (default 1); results stay "
+                            "bit-identical for any N")
     bench.add_argument("--trace", metavar="FILE",
                        help="record every run and write one merged "
                             "Chrome/Perfetto trace JSON to FILE")
@@ -160,12 +169,19 @@ def _build_parser() -> argparse.ArgumentParser:
                              "--seed, so the summary JSON is byte-"
                              "identical for any N (default 1, "
                              "incompatible with --trace)")
+    faults.add_argument("--devices", type=int, default=1, metavar="N",
+                        help="run every scenario on a simulated fleet of "
+                             "N offload devices with device-loss failover "
+                             "(default 1); rate keys may target one card "
+                             "with a devK: prefix, e.g. dev1:device")
     faults.add_argument("--rate", action="append", default=[],
                         metavar="SITE=PROB",
                         help="override a fault site's per-operation "
                              "probability (sites: h2d d2h kernel alloc "
                              "signal device arena; silent kinds via "
-                             "SITE:KIND, e.g. h2d:silent kernel:sdc)")
+                             "SITE:KIND, e.g. h2d:silent kernel:sdc; "
+                             "prefix devK: to scope a rate to one fleet "
+                             "device)")
     faults.add_argument("--list-sites", action="store_true",
                         help="print the site x kind fault taxonomy with "
                              "default rates and exit")
@@ -311,7 +327,10 @@ def _cmd_run(args: argparse.Namespace) -> int:
         from repro.obs import Tracer
 
         tracer = Tracer()
-    machine = Machine(scale=args.scale, fault_plan=fault_plan, tracer=tracer)
+    if args.devices < 1:
+        raise SystemExit(f"--devices must be >= 1, got {args.devices}")
+    machine = Machine(scale=args.scale, fault_plan=fault_plan, tracer=tracer,
+                      devices=args.devices)
     result = run_program(program, arrays=arrays, scalars=scalars,
                          machine=machine, engine=args.engine)
     stats = result.stats
@@ -394,14 +413,19 @@ def _format_bench_row(name: str, result) -> List[str]:
     ]
 
 
-def _bench_row(name: str, engine: Optional[str], seed: Optional[int]) -> List[str]:
+def _bench_row(
+    name: str,
+    engine: Optional[str],
+    seed: Optional[int],
+    devices: int = 1,
+) -> List[str]:
     """One benchmark's table row; module-level so pool workers can
     receive it by pickled reference.  Results are deterministic
-    functions of (name, engine, seed), so worker count never changes a
-    row."""
+    functions of (name, engine, seed, devices), so worker count never
+    changes a row."""
     from repro.experiments.harness import SuiteRunner
 
-    runner = SuiteRunner(engine=engine, seed=seed)
+    runner = SuiteRunner(engine=engine, seed=seed, devices=devices)
     return _format_bench_row(name, runner.run_benchmark(name))
 
 
@@ -416,6 +440,8 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         raise SystemExit(f"unknown benchmarks: {sorted(unknown)}")
     if args.jobs < 1:
         raise SystemExit(f"--jobs must be >= 1, got {args.jobs}")
+    if args.devices < 1:
+        raise SystemExit(f"--devices must be >= 1, got {args.devices}")
     if args.jobs > 1 and args.trace:
         raise SystemExit(
             "--trace requires --jobs 1: tracers record in-process and "
@@ -438,7 +464,9 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         wait = True
         try:
             futures = [
-                pool.submit(_bench_row, name, args.engine, args.seed)
+                pool.submit(
+                    _bench_row, name, args.engine, args.seed, args.devices
+                )
                 for name in names
             ]
             rows = [future.result() for future in futures]
@@ -449,7 +477,10 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             pool.shutdown(wait=wait, cancel_futures=True)
     else:
         runner = SuiteRunner(
-            engine=args.engine, seed=args.seed, tracer_factory=tracer_factory
+            engine=args.engine,
+            seed=args.seed,
+            tracer_factory=tracer_factory,
+            devices=args.devices,
         )
         rows = [
             _format_bench_row(name, runner.run_benchmark(name))
@@ -555,11 +586,14 @@ def _cmd_faults(args: argparse.Namespace) -> int:
         raise SystemExit(f"unknown benchmarks: {sorted(unknown)}")
     rates = None
     if args.rate:
+        from repro.faults import split_device_key
+
         rates = {}
         for spec in args.rate:
             key, _, prob = spec.partition("=")
-            site, _, kind = key.partition(":")
-            valid = key in FAULT_SITES or (
+            _, bare = split_device_key(key)
+            site, _, kind = bare.partition(":")
+            valid = bare in FAULT_SITES or (
                 site in FAULT_SITES and kind in SILENT_KINDS.get(site, ())
             )
             if not valid or not prob:
@@ -572,7 +606,7 @@ def _cmd_faults(args: argparse.Namespace) -> int:
                         for s in FAULT_SITES
                         for k in SILENT_KINDS.get(s, ())
                     )
-                    + ")"
+                    + "; prefix devK: to target one fleet device)"
                 )
             rates[key] = float(prob)
     policy = _parse_policy_overrides(args.policy) if args.policy else None
@@ -597,6 +631,7 @@ def _cmd_faults(args: argparse.Namespace) -> int:
             policy=policy,
             tracer_factory=tracer_factory,
             jobs=args.jobs,
+            devices=args.devices,
         )
     except ValueError as exc:
         raise SystemExit(str(exc))
@@ -644,6 +679,22 @@ def _cmd_faults(args: argparse.Namespace) -> int:
               f"{totals.checkpoints_committed} checkpoints committed, "
               f"{totals.blocks_reuploaded} blocks re-uploaded, "
               f"{totals.blocks_recomputed} blocks recomputed")
+    if args.devices > 1:
+        print(f"fleet ({args.devices} devices): "
+              f"{totals.quarantines} quarantines, "
+              f"{totals.device_evictions} evictions, "
+              f"{totals.readmission_probes} probes, "
+              f"{totals.readmissions} readmissions")
+        per_device = {
+            site: dict(sorted(actions.items()))
+            for site, actions in sorted(totals.recovery_actions.items())
+            if site.startswith("dev")
+        }
+        if per_device:
+            print("per-device recovery histogram:")
+            for site, actions in per_device.items():
+                line = ", ".join(f"{k}={v}" for k, v in actions.items())
+                print(f"  {site}: {line}")
     if totals.silent_injected:
         print(f"silent corruption: {totals.silent_injected} injected, "
               f"{totals.silent_detected} detected, "

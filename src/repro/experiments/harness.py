@@ -93,6 +93,9 @@ class SuiteRunner:
     *tracer_factory*, when given, is called as ``factory(name, variant)``
     per run and must return a :class:`repro.obs.Tracer` (or None); the
     run then executes on an instrumented machine.
+    *devices* sizes the simulated offload fleet; above 1 every run
+    executes on a multi-device machine with block sharding and failover
+    (outputs stay bit-identical to the single-device run).
     """
 
     def __init__(
@@ -100,25 +103,29 @@ class SuiteRunner:
         engine: Optional[str] = None,
         seed: Optional[int] = None,
         tracer_factory=None,
+        devices: int = 1,
     ) -> None:
+        if devices < 1:
+            raise ValueError(f"devices must be >= 1, got {devices}")
         self.engine = engine
         self.seed = seed
         self.tracer_factory = tracer_factory
+        self.devices = devices
         self._cache: Dict[Tuple, WorkloadRun] = {}
 
     def _machine_for(self, workload: Workload, name: str, variant: str):
-        if self.tracer_factory is None:
+        tracer = None
+        if self.tracer_factory is not None:
+            tracer = self.tracer_factory(name, variant)
+        if tracer is None and self.devices <= 1:
             return None
-        tracer = self.tracer_factory(name, variant)
-        if tracer is None:
-            return None
-        return workload.machine(tracer=tracer)
+        return workload.machine(tracer=tracer, devices=self.devices)
 
     # -- standard variants ---------------------------------------------------
 
     def run_variant(self, name: str, variant: str) -> WorkloadRun:
         """Run (or fetch cached) one variant of one benchmark."""
-        key = (name, variant, None, self.engine, self.seed)
+        key = (name, variant, None, self.engine, self.seed, self.devices)
         if key not in self._cache:
             workload = get_workload(name, seed=self.seed)
             self._cache[key] = workload.run(
@@ -151,7 +158,7 @@ class SuiteRunner:
                 f"unknown optimization {optimization!r}; "
                 f"know {sorted(ISOLATION_PLANS)}"
             )
-        key = (name, "opt", optimization, self.engine, self.seed)
+        key = (name, "opt", optimization, self.engine, self.seed, self.devices)
         if key not in self._cache:
             workload = get_workload(name, seed=self.seed)
             if not isinstance(workload, MiniCWorkload):
@@ -161,7 +168,16 @@ class SuiteRunner:
                 )
             overrides = ISOLATION_PLANS[optimization]
             workload.plan = dataclasses.replace(workload.plan, **overrides)
-            self._cache[key] = workload.run("opt", engine=self.engine)
+            # Isolation runs stay untraced; only fleet sizing forces a
+            # machine here.
+            machine = (
+                workload.machine(devices=self.devices)
+                if self.devices > 1
+                else None
+            )
+            self._cache[key] = workload.run(
+                "opt", machine=machine, engine=self.engine
+            )
         return self._cache[key]
 
     def isolated_gain(self, name: str, optimization: str) -> float:

@@ -48,6 +48,7 @@ from repro.faults.plan import (
     Fault,
     FaultPlan,
     FaultSpec,
+    split_device_key,
 )
 from repro.faults.policy import ResiliencePolicy
 from repro.faults.stats import FaultStats
@@ -66,4 +67,5 @@ __all__ = [
     "ResiliencePolicy",
     "ScenarioOutcome",
     "run_campaign",
+    "split_device_key",
 ]

@@ -34,9 +34,10 @@ from typing import Dict, List, Optional
 import numpy as np
 
 from repro.errors import ExecutionError
-from repro.faults.plan import FaultPlan
+from repro.faults.plan import FaultPlan, split_device_key
 from repro.faults.policy import ResiliencePolicy
 from repro.faults.stats import FaultStats
+from repro.hardware.device import PROBE_SEMANTICS
 from repro.obs.provenance import build_provenance
 
 #: Pool class used for ``jobs > 1`` fan-out; a module attribute so tests
@@ -128,6 +129,8 @@ class CampaignResult:
     variant: str
     #: Interpreter engine the campaign ran under (None = per-workload).
     engine: Optional[str] = None
+    #: Coprocessor cards every scenario machine was configured with.
+    devices: int = 1
     #: The resilience policy every scenario ran with (knob overrides
     #: included), recorded so a summary JSON is self-describing.
     policy: Optional[ResiliencePolicy] = None
@@ -144,10 +147,7 @@ class CampaignResult:
     @property
     def totals(self) -> FaultStats:
         """Aggregate fault stats across all scenarios."""
-        total = FaultStats()
-        for outcome in self.outcomes:
-            total.add(outcome.stats)
-        return total
+        return FaultStats.merge(outcome.stats for outcome in self.outcomes)
 
     def as_dict(self) -> dict:
         """The summary JSON payload (``repro faults --out``)."""
@@ -157,6 +157,7 @@ class CampaignResult:
             "scenarios": self.scenarios,
             "variant": self.variant,
             "engine": self.engine,
+            "devices": self.devices,
             "policy": (
                 dataclasses.asdict(self.policy) if self.policy is not None else None
             ),
@@ -167,20 +168,25 @@ class CampaignResult:
         }
 
 
-def _baseline(name, seed, variant, engine):
+def _baseline(name, seed, variant, engine, devices=1):
     """The (memoized) fault-free baseline run for one workload.
 
     The memo makes the worker-process path cheap: a worker handed
     several scenarios of the same workload re-runs the baseline once,
     not per scenario.  Baselines are deterministic functions of the key,
-    so memoization is invisible in the results.
+    so memoization is invisible in the results.  The baseline runs at
+    the campaign's device count: the "recovery is never free" contract
+    compares a faulted fleet against the same healthy fleet, not against
+    a single card.
     """
     from repro.workloads.suite import get_workload
 
-    key = (name, seed, variant, engine)
+    key = (name, seed, variant, engine, devices)
     hit = _BASELINE_MEMO.get(key)
     if hit is None:
-        hit = get_workload(name, seed=seed).run(variant, engine=engine)
+        workload = get_workload(name, seed=seed)
+        machine = workload.machine(devices=devices) if devices > 1 else None
+        hit = workload.run(variant, machine=machine, engine=engine)
         _BASELINE_MEMO[key] = hit
     return hit
 
@@ -194,17 +200,18 @@ def _scenario_cell(
     rates: Optional[Dict[str, float]],
     policy: ResiliencePolicy,
     tracer=None,
+    devices: int = 1,
 ) -> ScenarioOutcome:
     """Run one (workload, scenario) cell; module-level so pool workers
     can receive it by pickled reference."""
     from repro.workloads.suite import get_workload
 
-    baseline = _baseline(name, seed, variant, engine)
+    baseline = _baseline(name, seed, variant, engine, devices)
     workload = get_workload(name, seed=seed)
     plan_seed = scenario_seed(seed, k, name)
     plan = FaultPlan(seed=plan_seed, rates=rates)
     machine = workload.machine(
-        fault_plan=plan, resilience=policy, tracer=tracer
+        fault_plan=plan, resilience=policy, tracer=tracer, devices=devices
     )
     error = None
     try:
@@ -234,6 +241,54 @@ def _scenario_cell(
     )
 
 
+def validate_campaign_config(
+    rates: Optional[Dict[str, float]],
+    policy: ResiliencePolicy,
+    devices: int = 1,
+) -> None:
+    """Reject rate/policy combinations the device context cannot honour.
+
+    Every error names the offending key exactly as the user wrote it —
+    including its ``devK:`` scope — so a multi-site plan cannot hide a
+    bad device-scoped key behind a zero rate or a fleet-wide default.
+    """
+    if devices < 1:
+        raise ValueError(f"device count must be >= 1, got {devices}")
+    for key in sorted(rates or {}):
+        dev_index, rest = split_device_key(key)
+        site = rest.partition(":")[0]
+        if dev_index is not None and dev_index >= devices:
+            raise ValueError(
+                f"fault rate key {key!r} targets device dev{dev_index}, but "
+                f"the campaign runs {devices} device(s) (numbered dev0.."
+                f"dev{devices - 1}); raise --devices or drop the key"
+            )
+        if (
+            site == "device"
+            and rates[key] > 0.0
+            and devices == 1
+            and policy.checkpoint_interval <= 0
+        ):
+            raise ValueError(
+                f"rate key {key!r} schedules device resets but the "
+                f"single-device policy has checkpointing disabled; set "
+                f"checkpoint_interval > 0 (e.g. --policy "
+                f"checkpoint_interval=4) so resets are survivable, or run "
+                f"with --devices > 1 so failover replaces restart"
+            )
+    if (
+        devices > 1
+        and policy.backoff_max is not None
+        and policy.backoff_max > PROBE_SEMANTICS.cost
+    ):
+        raise ValueError(
+            f"backoff_max ({policy.backoff_max}) must not exceed the fleet's "
+            f"re-admission probe cost ({PROBE_SEMANTICS.cost}) when running "
+            f"with --devices {devices}: a retry pause longer than a probe "
+            f"round trip starves the scheduler's health checks"
+        )
+
+
 def run_campaign(
     names: Optional[List[str]] = None,
     scenarios: int = 3,
@@ -244,6 +299,7 @@ def run_campaign(
     policy: Optional[ResiliencePolicy] = None,
     tracer_factory=None,
     jobs: int = 1,
+    devices: int = 1,
 ) -> CampaignResult:
     """Run the fault campaign; returns outcomes for every cell.
 
@@ -251,6 +307,10 @@ def run_campaign(
     per fault scenario and may return a :class:`repro.obs.Tracer`; the
     scenario then runs instrumented (fault firings and recovery actions
     become trace events).  Baseline runs are never traced.
+
+    *devices* > 1 runs every scenario (and its baseline) on a simulated
+    multi-card fleet with device-loss failover; device-scoped rate keys
+    (``dev0:device``) are validated against the fleet size up front.
 
     *jobs* > 1 fans scenario cells out over a process pool.  Every
     cell's fault plan is seeded by :func:`scenario_seed` — a pure
@@ -275,16 +335,10 @@ def run_campaign(
             "campaign tracing requires --jobs 1: tracers record in-process "
             "and cannot be merged back from pool workers"
         )
-    if rates and rates.get("device", 0.0) > 0.0 and policy.checkpoint_interval <= 0:
-        raise ValueError(
-            "campaign schedules device resets (rate device="
-            f"{rates['device']}) but the policy has checkpointing "
-            "disabled; set checkpoint_interval > 0 (e.g. --policy "
-            "checkpoint_interval=4) so resets are survivable"
-        )
+    validate_campaign_config(rates, policy, devices)
     result = CampaignResult(
         seed=seed, scenarios=scenarios, variant=variant, engine=engine,
-        policy=policy,
+        devices=devices, policy=policy,
     )
     cells = [(name, k) for name in names for k in range(scenarios)]
     if jobs == 1:
@@ -294,7 +348,8 @@ def run_campaign(
             )
             result.outcomes.append(
                 _scenario_cell(
-                    name, k, seed, variant, engine, rates, policy, tracer
+                    name, k, seed, variant, engine, rates, policy, tracer,
+                    devices,
                 )
             )
         return result
@@ -303,7 +358,8 @@ def run_campaign(
     try:
         futures = [
             pool.submit(
-                _scenario_cell, name, k, seed, variant, engine, rates, policy
+                _scenario_cell, name, k, seed, variant, engine, rates, policy,
+                None, devices,
             )
             for name, k in cells
         ]

@@ -28,11 +28,15 @@ class FaultInjector:
         self.tracer = NULL_TRACER
         self.clock = None
 
-    def draw(self, site: str) -> Optional[Fault]:
-        """The fault (if any) for the next operation at *site*."""
+    def draw(self, site: str, device: Optional[int] = None) -> Optional[Fault]:
+        """The fault (if any) for the next operation at *site*.
+
+        *device* scopes the draw to one fleet device's stream; a
+        single-device runtime passes nothing.
+        """
         if self._suspend:
             return None
-        fault = self.plan.draw(site)
+        fault = self.plan.draw(site, device=device)
         if fault is not None:
             self.stats.record_injected(fault)
             if self.tracer.enabled and self.clock is not None:
@@ -43,7 +47,7 @@ class FaultInjector:
                 self.tracer.metrics.counter(f"faults.injected.{site}").inc()
         return fault
 
-    def draw_silent(self, site: str) -> Optional[Fault]:
+    def draw_silent(self, site: str, device: Optional[int] = None) -> Optional[Fault]:
         """The silent fault (if any) for the next payload at *site*.
 
         Suspension short-circuits *before* the plan is consulted, so a
@@ -52,7 +56,7 @@ class FaultInjector:
         """
         if self._suspend:
             return None
-        fault = self.plan.draw_silent(site)
+        fault = self.plan.draw_silent(site, device=device)
         if fault is not None:
             self.stats.record_injected(fault)
             if self.tracer.enabled and self.clock is not None:

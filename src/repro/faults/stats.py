@@ -11,7 +11,7 @@ the ``repro faults`` campaign summary.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict
+from typing import Dict, Iterable
 
 from repro.faults.plan import Fault, SILENT_KINDS
 
@@ -56,6 +56,15 @@ class FaultStats:
     #: Blocks re-executed after a reset because they completed since the
     #: last checkpoint commit (the interval's rework cost).
     blocks_recomputed: int = 0
+    #: Fleet devices permanently evicted after exhausting their reset
+    #: budget (multi-device runs only).
+    device_evictions: int = 0
+    #: Times a fleet device was quarantined after a survivable reset.
+    quarantines: int = 0
+    #: Seeded re-admission probes sent to quarantined devices.
+    readmission_probes: int = 0
+    #: Quarantined devices re-admitted to the healthy pool.
+    readmissions: int = 0
     #: Per-site histogram of recovery actions taken, keyed
     #: ``{site: {action: count}}`` (actions: ``retry``, ``degraded``,
     #: ``repoll``, ``demotion``, ``host_fallback``, ``reset_survived``,
@@ -81,8 +90,16 @@ class FaultStats:
     coverage: Dict[str, Dict[str, int]] = field(default_factory=dict)
 
     def record_injected(self, fault: Fault) -> None:
-        """Count one injected fault."""
+        """Count one injected fault.
+
+        Fleet draws carry the device index and are keyed
+        ``"devK:site:kind"`` so the histogram shows which card failed;
+        the coverage matrix stays keyed by plain site (its invariants
+        are site-level, summed over the fleet).
+        """
         key = f"{fault.site}:{fault.kind}"
+        if fault.device is not None:
+            key = f"dev{fault.device}:{key}"
         self.injected[key] = self.injected.get(key, 0) + 1
         if fault.kind in SILENT_KINDS.get(fault.site, ()):
             self._coverage_cell(fault.site)["injected"] += 1
@@ -147,6 +164,10 @@ class FaultStats:
         self.checkpoint_seconds += other.checkpoint_seconds
         self.blocks_reuploaded += other.blocks_reuploaded
         self.blocks_recomputed += other.blocks_recomputed
+        self.device_evictions += other.device_evictions
+        self.quarantines += other.quarantines
+        self.readmission_probes += other.readmission_probes
+        self.readmissions += other.readmissions
         for site, actions in other.recovery_actions.items():
             per_site = self.recovery_actions.setdefault(site, {})
             for action, count in actions.items():
@@ -161,6 +182,21 @@ class FaultStats:
             mine = self._coverage_cell(site)
             for column, count in cell.items():
                 mine[column] = mine.get(column, 0) + count
+
+    @classmethod
+    def merge(cls, parts: Iterable["FaultStats"]) -> "FaultStats":
+        """Fold *parts* into a fresh instance.
+
+        Every field is a sum or a keyed sum of counts, so the fold is
+        associative and commutative: a campaign collector can merge
+        per-worker partial totals in any grouping and get byte-identical
+        summaries to a sequential pass (asserted in
+        ``tests/integration/test_campaign_jobs.py``).
+        """
+        total = cls()
+        for part in parts:
+            total.add(part)
+        return total
 
     def as_dict(self) -> dict:
         """A plain-dict view (for comparisons, JSON summaries, reports)."""
@@ -182,6 +218,10 @@ class FaultStats:
             "checkpoint_seconds": self.checkpoint_seconds,
             "blocks_reuploaded": self.blocks_reuploaded,
             "blocks_recomputed": self.blocks_recomputed,
+            "device_evictions": self.device_evictions,
+            "quarantines": self.quarantines,
+            "readmission_probes": self.readmission_probes,
+            "readmissions": self.readmissions,
             "recovery_actions": {
                 site: dict(sorted(actions.items()))
                 for site, actions in sorted(self.recovery_actions.items())

@@ -14,7 +14,7 @@ thread; utilization below saturation follows ``(t/T) ** alpha``.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Union
+from typing import Optional, Union
 
 from repro.hardware.cache import locality_factor
 from repro.hardware.spec import CpuSpec, MicSpec
@@ -146,6 +146,63 @@ class ResetSemantics:
 
 #: The paper machine's reset behaviour; shared default for every run.
 RESET_SEMANTICS = ResetSemantics()
+
+
+@dataclass(frozen=True)
+class ProbeSemantics:
+    """Timing and admission model for re-probing a quarantined device.
+
+    After a survivable reset a fleet device is *quarantined*: it holds no
+    state and receives no blocks until a re-admission probe (a small
+    host-side echo offload through the re-opened driver session) succeeds.
+    Probes are deterministic per ``(plan seed, device)`` — a seeded coin
+    with :attr:`readmit_probability` models the card either coming back
+    cleanly or still flaking under load.
+    """
+
+    #: Host time one probe costs (echo offload round trip).
+    cost: float = 0.010
+    #: Per-probe chance the quarantined card is re-admitted.
+    readmit_probability: float = 0.5
+
+
+#: Shared default probe behaviour for every fleet.
+PROBE_SEMANTICS = ProbeSemantics()
+
+
+@dataclass
+class DeviceHealth:
+    """Failure-history ledger for one fleet device.
+
+    Tracks the consecutive-failure count that drives quarantine, the
+    lifetime reset budget that drives permanent eviction, and the
+    timestamps/ordinals the fleet scheduler needs to decide when a
+    quarantined card may be probed again.
+    """
+
+    #: Resets this device has survived (lifetime, monotone).
+    resets_survived: int = 0
+    #: Consecutive failures since the last successful block.
+    consecutive_failures: int = 0
+    #: Current state: ``"healthy"``, ``"quarantined"``, or ``"evicted"``.
+    state: str = "healthy"
+    #: Fleet-wide block-assignment ordinal at which the device entered
+    #: quarantine; probes are deferred until at least one newer block has
+    #: been assigned, so a lost block's own re-assignment can never
+    #: immediately re-admit the card that just dropped it.
+    quarantined_at: Optional[int] = None
+    #: Re-admission probes sent while quarantined.
+    probes_sent: int = 0
+
+    @property
+    def healthy(self) -> bool:
+        """True while the device is accepting blocks."""
+        return self.state == "healthy"
+
+    @property
+    def evicted(self) -> bool:
+        """True once the device is permanently out of the fleet."""
+        return self.state == "evicted"
 
 
 class ComputeDevice:

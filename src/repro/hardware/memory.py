@@ -41,6 +41,9 @@ class DeviceMemoryManager:
     injector: Optional[object] = None
     #: Full device resets this manager has been wiped by.
     device_resets: int = 0
+    #: Fleet device index this manager belongs to; ``None`` for the
+    #: single-device runtime (keeps its draws on the legacy stream).
+    device_index: Optional[int] = None
 
     def allocate(self, name: str, nbytes: float) -> Allocation:
         """Allocate *nbytes* (executed scale) under *name*.
@@ -51,7 +54,9 @@ class DeviceMemoryManager:
         scaled = int(nbytes * self.scale)
         if scaled < 0:
             raise HardwareError(f"negative allocation for {name!r}")
-        if self.injector is not None and self.injector.draw("alloc") is not None:
+        if self.injector is not None and (
+            self.injector.draw("alloc", device=self.device_index) is not None
+        ):
             raise DeviceOutOfMemory(
                 scaled, self.in_use, self.capacity, name=name, injected=True
             )

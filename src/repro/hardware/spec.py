@@ -119,11 +119,19 @@ class PcieSpec:
 
 @dataclass(frozen=True)
 class MachineSpec:
-    """The full evaluation machine: host + coprocessor + link."""
+    """The full evaluation machine: host + coprocessor + link.
+
+    *devices* is the number of identical coprocessor cards installed —
+    the paper machine carries one, but multi-MIC nodes were a standard
+    configuration (each card with its own GDDR5 and its own PCIe DMA
+    engine, which is why a fleet run gets per-device memory managers and
+    DMA channels rather than shares).
+    """
 
     cpu: CpuSpec = field(default_factory=CpuSpec)
     mic: MicSpec = field(default_factory=MicSpec)
     pcie: PcieSpec = field(default_factory=PcieSpec)
+    devices: int = 1
 
 
 def paper_machine() -> MachineSpec:

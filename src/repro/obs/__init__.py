@@ -29,6 +29,7 @@ Typical use::
 from repro.obs.export import (
     chrome_trace_events,
     flamegraph_lines,
+    fleet_utilization,
     metrics_snapshot,
     sort_trace_events,
     utilization,
@@ -73,6 +74,7 @@ __all__ = [
     "chrome_trace_events",
     "covered_time",
     "flamegraph_lines",
+    "fleet_utilization",
     "git_sha",
     "intersect_total",
     "merge_intervals",

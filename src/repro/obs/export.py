@@ -230,6 +230,33 @@ def utilization(spans: Iterable[Span]) -> dict:
     return {"makespan": makespan, "tracks": tracks}
 
 
+def fleet_utilization(spans: Iterable[Span]) -> dict:
+    """Per-device busy time and utilization for a multi-device trace.
+
+    Groups :func:`utilization` tracks by their ``devK:`` prefix so each
+    fleet device's compute and DMA activity rolls up into one entry;
+    tracks without a device prefix (host, legacy single-device runs)
+    land under ``"host"``.  Busy time per device is the union of its
+    tracks' busy intervals, so overlapping compute and DMA is not
+    double-counted.
+    """
+    by_device: Dict[str, List[Tuple[float, float]]] = {}
+    makespan = 0.0
+    for span in spans:
+        device, sep, _ = span.track.partition(":")
+        key = device if sep and device.startswith("dev") else "host"
+        by_device.setdefault(key, []).append((span.start, span.end))
+        makespan = max(makespan, span.end)
+    devices = {}
+    for device in sorted(by_device):
+        busy = covered_time(merge_intervals(sorted(by_device[device])))
+        devices[device] = {
+            "busy": busy,
+            "utilization": busy / makespan if makespan else 0.0,
+        }
+    return {"makespan": makespan, "devices": devices}
+
+
 def flamegraph_lines(spans: Iterable[Span]) -> List[str]:
     """Collapsed-stack lines (``root;child weight_us``) of the hierarchy.
 

@@ -92,8 +92,10 @@ class CheckpointManager:
         self._buffers: Dict[str, _BufferRecord] = {}
         self._arenas: List[object] = []
         #: Kernel seconds of blocks completed since the last commit —
-        #: the work a reset forces the device to redo.
-        self._uncommitted: List[float] = []
+        #: the work a reset forces the device to redo.  Each entry is
+        #: ``(device_id, seconds)``; ``device_id`` is None outside a
+        #: fleet, and lets a failover pull only the *lost* card's blocks.
+        self._uncommitted: List[Tuple[Optional[str], float]] = []
         #: Persistent-session keys seen since the last commit, so the
         #: restore knows which thread-reuse sessions to re-prime.
         self._sessions: Dict[str, int] = {}
@@ -133,6 +135,26 @@ class CheckpointManager:
         if arena not in self._arenas:
             self._arenas.append(arena)
 
+    def buffer_record(self, name: str) -> Optional[_BufferRecord]:
+        """The live-buffer shadow for *name* (None when not live).
+
+        The fleet's failover path uses this to re-upload only the write
+        windows the host is authoritative for, exactly like the
+        single-device restore below.
+        """
+        return self._buffers.get(name)
+
+    def take_uncommitted(self, device_id: Optional[str]) -> List[Tuple[Optional[str], float]]:
+        """Pop the uncommitted entries charged to *device_id*.
+
+        The fleet failover re-executes only the lost card's blocks on a
+        survivor; other devices' uncommitted work stays pending for
+        their own (hypothetical) later resets.
+        """
+        taken = [e for e in self._uncommitted if e[0] == device_id]
+        self._uncommitted = [e for e in self._uncommitted if e[0] != device_id]
+        return taken
+
     # -- checkpoints ---------------------------------------------------------
 
     def block_completed(
@@ -143,7 +165,7 @@ class CheckpointManager:
     ) -> None:
         """One offload block finished; commit if the interval says so."""
         self.blocks_completed += 1
-        self._uncommitted.append(float(kernel_seconds))
+        self._uncommitted.append((coi.active_device_id, float(kernel_seconds)))
         if session is not None:
             self._sessions[session] = self.blocks_completed
         interval = self.policy.checkpoint_interval
@@ -258,7 +280,7 @@ class CheckpointManager:
             # numpy state, but the simulated device must spend the time
             # recomputing them.
             recomputed = len(self._uncommitted)
-            redo_seconds = sum(self._uncommitted)
+            redo_seconds = sum(seconds for _, seconds in self._uncommitted)
             if redo_seconds > 0.0:
                 redo = coi.timeline.schedule(
                     DEVICE, redo_seconds, label="ckpt:replay",

@@ -94,6 +94,85 @@ class CoiRuntime:
         #: fault plan or a verifying ``integrity_mode`` is configured).
         #: None ⇒ no silent-corruption injection and no verification.
         self.integrity = None
+        #: Optional :class:`~repro.runtime.fleet.DeviceFleet` (attached by
+        #: the Machine when ``devices > 1``).  None ⇒ the single-device
+        #: code paths run unchanged, bit for bit.
+        self.fleet = None
+        #: True once every fleet device has been evicted and the policy's
+        #: host fallback took over: data ops stay eager (correctness) but
+        #: schedule nothing and charge nothing device-side — the executor
+        #: charges host re-execution per offload instead.
+        self.fallback_mode = False
+
+    # -- fleet routing -------------------------------------------------------
+
+    @property
+    def active_device_index(self) -> Optional[int]:
+        """Index of the device executing the current block (fleet only)."""
+        if self.fleet is not None and self.fleet.active is not None:
+            return self.fleet.active.index
+        return None
+
+    @property
+    def active_device_id(self) -> Optional[str]:
+        """``devK`` id of the device executing the current block."""
+        if self.fleet is not None and self.fleet.active is not None:
+            return self.fleet.active.device_id
+        return None
+
+    def device_index_of(self, name: str) -> Optional[int]:
+        """Index of the device owning buffer *name* (None single-device)."""
+        if self.fleet is None:
+            return None
+        owner = self.fleet.owner_of(name)
+        return None if owner is None else owner.index
+
+    def active_memory(self) -> DeviceMemoryManager:
+        """The memory manager device-side allocations currently land in."""
+        if self.fleet is None:
+            return self.device_memory
+        if self.fleet.active is not None:
+            return self.fleet.active.memory
+        healthy = self.fleet.healthy_devices()
+        return (healthy[0] if healthy else self.fleet.devices[0]).memory
+
+    def resident_device_bytes(self) -> int:
+        """Simulated bytes resident device-side (whole fleet when present)."""
+        if self.fallback_mode:
+            return 0
+        if self.fleet is not None:
+            return self.fleet.resident_bytes()
+        return self.device_memory.resident_bytes()
+
+    def _device_track(self) -> str:
+        """Compute track of the device executing the current block."""
+        if self.fleet is not None and self.fleet.active is not None:
+            return self.fleet.active.compute_track
+        return DEVICE
+
+    def _scoped_persistent_key(self, key: Optional[str]) -> Optional[str]:
+        """Persistent sessions live on one card: scope the key to it."""
+        if key is None or self.fleet is None or self.fleet.active is None:
+            return key
+        return f"{self.fleet.active.device_id}:{key}"
+
+    def drop_persistent_sessions(self, prefix: str) -> None:
+        """Kill every persistent session whose key starts with *prefix*."""
+        self._persistent_live = {
+            key for key in self._persistent_live if not key.startswith(prefix)
+        }
+
+    def enter_fallback_mode(self) -> None:
+        """Switch to host-only execution after fleet exhaustion.
+
+        Correctness continues on the shared numpy buffers; injection and
+        checkpointing stop (there is no device left to fail or restore),
+        while the integrity manager stays attached so its reference
+        checksums keep tracking the buffers it will verify at finalize.
+        """
+        self.fallback_mode = True
+        self.injector = None
+        self.checkpoint = None
 
     def injector_suspended(self):
         """Context manager silencing injection while recovery re-issues."""
@@ -119,7 +198,14 @@ class CoiRuntime:
         """
         itemsize = np.dtype(dtype).itemsize
         charged = count if account_elems is None else min(account_elems, count)
-        self.device_memory.allocate(name, charged * itemsize)
+        if self.fallback_mode:
+            pass  # no device memory left to charge; host arrays only
+        elif self.fleet is not None:
+            owner = self.fleet.device_for_alloc(name)
+            owner.memory.allocate(name, charged * itemsize)
+            self.fleet.note_alloc(name, owner, charged * itemsize)
+        else:
+            self.device_memory.allocate(name, charged * itemsize)
         existing = self.device.arrays.get(name)
         if existing is None or len(existing) < count or existing.dtype != dtype:
             if existing is not None and self.integrity is not None:
@@ -133,15 +219,26 @@ class CoiRuntime:
         if self.tracer.enabled:
             metrics = self.tracer.metrics
             metrics.counter("coi.allocations").inc()
-            metrics.gauge("device.mem_in_use").set(self.device_memory.in_use)
-            metrics.gauge("device.mem_peak").set(self.device_memory.peak)
+            if self.fleet is not None:
+                metrics.gauge("device.mem_in_use").set(self.fleet.resident_bytes())
+                metrics.gauge("device.mem_peak").set(self.fleet.peak_bytes())
+            else:
+                metrics.gauge("device.mem_in_use").set(self.device_memory.in_use)
+                metrics.gauge("device.mem_peak").set(self.device_memory.peak)
         return self.device.arrays[name]
 
     def free_buffer(self, name: str) -> None:
         """Free the device buffer and its memory accounting."""
         if self.integrity is not None and name in self.device.arrays:
             self.integrity.on_free(self, name)
-        if self.device_memory.holds(name):
+        if self.fallback_mode:
+            pass  # device-side accounting already gone with the fleet
+        elif self.fleet is not None:
+            owner = self.fleet.owner_of(name)
+            if owner is not None and owner.memory.holds(name):
+                owner.memory.free(name)
+            self.fleet.note_free(name)
+        elif self.device_memory.holds(name):
             self.device_memory.free(name)
         self.device.arrays.pop(name, None)
         if self.checkpoint is not None:
@@ -166,7 +263,9 @@ class CoiRuntime:
         attrs = transfer_breakdown(nbytes, self.spec.pcie)
         attrs["status"] = status
         self.tracer.span(label, channel, event.time - duration, event.time, **attrs)
-        site = "h2d" if channel == DMA_TO_DEVICE else "d2h"
+        # Fleet channels are prefixed ("dev2:dma:h2d"), so the site is
+        # identified by suffix, not equality.
+        site = "h2d" if channel.endswith(DMA_TO_DEVICE) else "d2h"
         self.tracer.metrics.histogram(f"coi.dma.{site}.seconds").observe(duration)
 
     def _dma_schedule(
@@ -177,6 +276,7 @@ class CoiRuntime:
         label: str,
         block: bool = False,
         nbytes: float = 0.0,
+        device: Optional[int] = None,
     ) -> Event:
         """Schedule one DMA transfer, surviving injected link faults.
 
@@ -198,12 +298,12 @@ class CoiRuntime:
             if tracer.enabled:
                 self._trace_dma(channel, label, event, duration, nbytes)
             return event
-        site = "h2d" if channel == DMA_TO_DEVICE else "d2h"
+        site = "h2d" if channel.endswith(DMA_TO_DEVICE) else "d2h"
         policy = self.resilience
         stats = self.fault_stats
         attempt = 0
         while True:
-            fault = self.injector.draw(site)
+            fault = self.injector.draw(site, device=device)
             if fault is None:
                 event = self.timeline.schedule(
                     channel, duration, deps=deps, label=label,
@@ -291,14 +391,22 @@ class CoiRuntime:
             self.checkpoint.note_write(dest, dest_start, len(data), data.nbytes)
         if self.integrity is not None:
             self.integrity.on_write(self, dest, dest_start, len(data))
+        if self.fallback_mode:
+            # Host-only: the eager copy above is the whole operation.
+            return Event(self.clock.now, f"h2d:{dest}")
+        channel, device = DMA_TO_DEVICE, None
+        if self.fleet is not None:
+            owner = self.fleet.device_for_alloc(dest)
+            channel, device = owner.h2d_track, owner.index
         nbytes = data.nbytes * self.scale
         event = self._dma_schedule(
-            DMA_TO_DEVICE,
+            channel,
             dma_transfer_time(nbytes, self.spec.pcie),
             deps=deps,
             label=f"h2d:{dest}",
             block=block,
             nbytes=nbytes,
+            device=device,
         )
         self.stats.bytes_to_device += nbytes
         self.stats.transfers_to_device += 1
@@ -331,14 +439,21 @@ class CoiRuntime:
         into[into_start : into_start + count] = buf[src_start : src_start + count]
         if self.integrity is not None:
             self.integrity.on_read(self, src, src_start, count, into, into_start)
+        if self.fallback_mode:
+            return Event(self.clock.now, f"d2h:{src}")
+        channel, device = DMA_FROM_DEVICE, None
+        if self.fleet is not None:
+            owner = self.fleet.device_for_alloc(src)
+            channel, device = owner.d2h_track, owner.index
         nbytes = count * buf.dtype.itemsize * self.scale
         event = self._dma_schedule(
-            DMA_FROM_DEVICE,
+            channel,
             dma_transfer_time(nbytes, self.spec.pcie),
             deps=deps,
             label=f"d2h:{src}",
             block=block,
             nbytes=nbytes,
+            device=device,
         )
         self.stats.bytes_from_device += nbytes
         self.stats.transfers_from_device += 1
@@ -358,13 +473,26 @@ class CoiRuntime:
         sync: bool = True,
         label: str = "raw",
         block: bool = False,
+        channel: Optional[str] = None,
+        device: Optional[int] = None,
     ) -> Event:
         """Schedule transfer time without touching named buffers.
 
         Used by the shared-memory runtimes, whose data lives in arena /
-        page objects rather than named numpy buffers.
+        page objects rather than named numpy buffers, and by the recovery
+        paths (*channel* pins the transfer to a specific fleet device's
+        DMA engine; by default it rides the active device's channel).
         """
-        channel = DMA_TO_DEVICE if to_device else DMA_FROM_DEVICE
+        if self.fallback_mode:
+            return Event(self.clock.now, label)
+        if channel is None:
+            if self.fleet is not None and self.fleet.active is not None:
+                active = self.fleet.active
+                channel = active.h2d_track if to_device else active.d2h_track
+                if device is None:
+                    device = active.index
+            else:
+                channel = DMA_TO_DEVICE if to_device else DMA_FROM_DEVICE
         event = self._dma_schedule(
             channel,
             dma_transfer_time(nbytes * self.scale, self.spec.pcie),
@@ -372,6 +500,7 @@ class CoiRuntime:
             label=label,
             block=block,
             nbytes=nbytes * self.scale,
+            device=device,
         )
         if to_device:
             self.stats.bytes_to_device += nbytes * self.scale
@@ -402,22 +531,29 @@ class CoiRuntime:
         A fresh launch pays the LEO/COI kernel launch overhead K.  With a
         *persistent_key*, only the first launch pays K; subsequent work
         under the same key pays the much smaller signal overhead — the
-        thread-reuse optimization of Section III-C.
+        thread-reuse optimization of Section III-C.  In a fleet the work
+        lands on the active device's own compute track, and persistent
+        sessions are scoped to that card (a session cannot follow a block
+        to a different device).
         """
+        if self.fallback_mode:
+            return Event(self.clock.now, label)
+        track = self._device_track()
+        key = self._scoped_persistent_key(persistent_key)
         if self.injector is None:
-            overhead = self._launch_overhead(persistent_key)
+            overhead = self._launch_overhead(key)
             self.stats.kernel_compute_seconds += duration
             event = self.timeline.schedule(
-                DEVICE,
+                track,
                 overhead + duration,
                 deps=deps,
                 label=label,
                 not_before=self.clock.now,
             )
             if self.tracer.enabled:
-                self._trace_kernel(label, event, overhead, duration)
+                self._trace_kernel(label, event, overhead, duration, track=track)
             return event
-        return self._launch_kernel_resilient(duration, deps, label, persistent_key)
+        return self._launch_kernel_resilient(duration, deps, label, key, track)
 
     def _launch_overhead(self, persistent_key: Optional[str]) -> float:
         """Overhead of the next launch, counted in the stats."""
@@ -443,11 +579,12 @@ class CoiRuntime:
         overhead: float,
         duration: float,
         status: str = "ok",
+        track: str = DEVICE,
     ) -> None:
         """Record one kernel occupancy as a device-track span."""
         total = overhead + duration
         self.tracer.span(
-            label, DEVICE, event.time - total, event.time,
+            label, track, event.time - total, event.time,
             overhead=overhead, compute=duration, status=status,
         )
         metrics = self.tracer.metrics
@@ -460,6 +597,7 @@ class CoiRuntime:
         deps: Iterable[Event],
         label: str,
         persistent_key: Optional[str],
+        track: str = DEVICE,
     ) -> Event:
         """Launch under fault injection: crashes and hangs are retried.
 
@@ -472,21 +610,24 @@ class CoiRuntime:
         """
         policy = self.resilience
         stats = self.fault_stats
+        device = self.active_device_index
         attempt = 0
         while True:
-            fault = self.injector.draw("kernel")
+            fault = self.injector.draw("kernel", device=device)
             if fault is None:
                 overhead = self._launch_overhead(persistent_key)
                 self.stats.kernel_compute_seconds += duration
                 event = self.timeline.schedule(
-                    DEVICE,
+                    track,
                     overhead + duration,
                     deps=deps,
                     label=label,
                     not_before=self.clock.now,
                 )
                 if self.tracer.enabled:
-                    self._trace_kernel(label, event, overhead, duration)
+                    self._trace_kernel(
+                        label, event, overhead, duration, track=track
+                    )
                 return event
             overhead = self._launch_overhead(persistent_key)
             if fault.kind == "hang":
@@ -495,7 +636,7 @@ class CoiRuntime:
             else:
                 wasted = overhead + duration * fault.severity
             failed = self.timeline.schedule(
-                DEVICE,
+                track,
                 wasted,
                 deps=deps,
                 label=f"{label}!{fault.kind}",
@@ -505,7 +646,7 @@ class CoiRuntime:
             stats.recovery_seconds += wasted
             if self.tracer.enabled:
                 self.tracer.span(
-                    f"{label}!{fault.kind}", DEVICE,
+                    f"{label}!{fault.kind}", track,
                     failed.time - wasted, failed.time,
                     status=fault.kind,
                 )
@@ -523,7 +664,7 @@ class CoiRuntime:
             stats.record_action("kernel", "retry")
             if self.tracer.enabled:
                 self.tracer.instant(
-                    "recovery:retry", self.clock.now, track=DEVICE,
+                    "recovery:retry", self.clock.now, track=track,
                     site="kernel", attempt=attempt, backoff=pause, label=label,
                 )
                 self.tracer.metrics.counter("faults.retries").inc()
@@ -532,6 +673,10 @@ class CoiRuntime:
     def end_persistent(self, key: str) -> None:
         """Terminate a persistent kernel (next use pays a full launch)."""
         self._persistent_live.discard(key)
+        if self.fleet is not None:
+            # The session may live on any card (scoped key).
+            for dev in self.fleet.devices:
+                self._persistent_live.discard(f"{dev.device_id}:{key}")
 
     # -- device reset -----------------------------------------------------------
 

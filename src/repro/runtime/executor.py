@@ -128,6 +128,10 @@ class Machine:
     #: tracer makes every instrumentation hook a no-op, so untraced runs
     #: stay bit-identical to uninstrumented ones.
     tracer: Optional[object] = None
+    #: Number of coprocessor cards; None defers to ``spec.devices``.
+    #: With 1 (the default everywhere) no fleet is built and every
+    #: single-device code path runs unchanged, bit for bit.
+    devices: Optional[int] = None
 
     def __post_init__(self) -> None:
         self.timeline = Timeline()
@@ -185,6 +189,32 @@ class Machine:
                 tracer=self.tracer,
             )
             self.coi.integrity = self.integrity
+        # Multi-device fleet: only built above 1 card, so single-device
+        # runs keep the legacy runtime objects untouched.
+        if self.devices is None:
+            self.devices = self.spec.devices
+        if self.devices < 1:
+            raise ValueError(f"device count must be >= 1, got {self.devices}")
+        self.fleet = None
+        if self.devices > 1:
+            from repro.runtime.fleet import DeviceFleet
+
+            self.fleet = DeviceFleet(
+                self.spec,
+                self.scale,
+                self.devices,
+                seed=None if self.fault_plan is None else self.fault_plan.seed,
+                policy=(
+                    self.resilience if self.resilience is not None
+                    else ResiliencePolicy()
+                ),
+                stats=self.fault_stats,
+                tracer=self.tracer,
+            )
+            self.coi.fleet = self.fleet
+            if self.coi.injector is not None:
+                for dev in self.fleet.devices:
+                    dev.memory.injector = self.coi.injector
         # Shared-memory runtimes for programs using the Section V
         # allocation intrinsics, created lazily.
         self._myo = None
@@ -490,6 +520,8 @@ class ExecutionStats:
     kernel_signals: int = 0
     offload_count: int = 0
     device_peak_bytes: int = 0
+    #: Coprocessor cards the run was configured with (fleet size).
+    devices: int = 1
     #: Dynamic operation totals across the whole run (host + device),
     #: excluding uncharged clause/loop-control evaluation.
     ops: OpCounters = field(default_factory=OpCounters)
@@ -622,22 +654,43 @@ class Executor:
     def _collect_stats(self) -> ExecutionStats:
         machine = self.machine
         coi = machine.coi
+        timeline = machine.timeline
+        fleet = machine.fleet
+        if fleet is None:
+            device_busy = timeline.busy_time(DEVICE)
+            h2d_time = timeline.busy_time(DMA_TO_DEVICE)
+            d2h_time = timeline.busy_time(DMA_FROM_DEVICE)
+            device_peak = machine.device_memory.peak
+        else:
+            # Per-card tracks: busy times sum (each card has its own
+            # compute lane and DMA engines), as does the memory peak.
+            device_busy = sum(
+                timeline.busy_time(d.compute_track) for d in fleet.devices
+            )
+            h2d_time = sum(
+                timeline.busy_time(d.h2d_track) for d in fleet.devices
+            )
+            d2h_time = sum(
+                timeline.busy_time(d.d2h_track) for d in fleet.devices
+            )
+            device_peak = fleet.peak_bytes()
         return ExecutionStats(
             # Asynchronous tails (pipelined regularization, unwaited
             # transfers) bound completion even when the host got ahead.
-            total_time=max(machine.clock.now, machine.timeline.finish_time()),
-            host_compute_time=machine.timeline.busy_time("cpu")
+            total_time=max(machine.clock.now, timeline.finish_time()),
+            host_compute_time=timeline.busy_time("cpu")
             + self._host_seconds_total,
-            device_busy_time=machine.timeline.busy_time(DEVICE),
+            device_busy_time=device_busy,
             device_compute_time=coi.stats.kernel_compute_seconds,
-            transfer_to_device_time=machine.timeline.busy_time(DMA_TO_DEVICE),
-            transfer_from_device_time=machine.timeline.busy_time(DMA_FROM_DEVICE),
+            transfer_to_device_time=h2d_time,
+            transfer_from_device_time=d2h_time,
             bytes_to_device=coi.stats.bytes_to_device,
             bytes_from_device=coi.stats.bytes_from_device,
             kernel_launches=coi.stats.kernel_launches,
             kernel_signals=coi.stats.kernel_signals,
             offload_count=self._offload_count,
-            device_peak_bytes=machine.device_memory.peak,
+            device_peak_bytes=device_peak,
+            devices=machine.devices,
             ops=self._ops_total.copy(),
         )
 
@@ -1035,14 +1088,27 @@ class Executor:
         self._offload_count += 1
         coi = self.machine.coi
         resilience = coi.resilience
+        fleet = self.machine.fleet
+
+        # Fleet sharding: deal this block to a healthy card (probing
+        # quarantined ones first).  None ⇒ every card is gone.
+        if fleet is not None and not coi.fallback_mode:
+            if fleet.begin_block(coi) is None:
+                self._fleet_exhausted()
 
         # The device site is consulted once per offload entry — the one
         # boundary where all device state is quiescent, so a full reset
         # can be recovered without tearing a transfer or kernel in half.
+        # In a fleet the draw rides the *assigned* card's stream; after a
+        # loss the block is re-dealt without a second draw (one consult
+        # per offload entry, same as single-device).
         if coi.injector is not None:
-            reset = coi.injector.draw("device")
+            reset = coi.injector.draw("device", device=coi.active_device_index)
             if reset is not None:
                 self._recover_device_reset(reset)
+                if fleet is not None and not coi.fallback_mode:
+                    if fleet.begin_block(coi) is None:
+                        self._fleet_exhausted()
         integrity = coi.integrity
         if integrity is not None:
             integrity.maybe_scrub(coi)
@@ -1088,22 +1154,28 @@ class Executor:
         persistent_key = None
         if pragma.persistent:
             persistent_key = pragma.session or f"offload@{id(pragma)}"
-        try:
-            kernel_event = coi.launch_kernel(
-                kernel_seconds,
-                deps=deps + transfer_events,
-                label="offload",
-                persistent_key=persistent_key,
-            )
-        except OffloadTimeout:
-            if resilience is None or not resilience.host_fallback:
-                raise
-            # The device already holds the (correct) results — the
-            # simulator decouples correctness from timing — so fallback
-            # charges the host re-execution cost and the out clauses
-            # below deliver exactly what host execution would have.
+        if coi.fallback_mode:
+            # Fleet exhausted: the body was interpreted for correctness
+            # above; its cost is charged as host re-execution.
             self._charge_host_fallback(record)
             kernel_event = None
+        else:
+            try:
+                kernel_event = coi.launch_kernel(
+                    kernel_seconds,
+                    deps=deps + transfer_events,
+                    label="offload",
+                    persistent_key=persistent_key,
+                )
+            except OffloadTimeout:
+                if resilience is None or not resilience.host_fallback:
+                    raise
+                # The device already holds the (correct) results — the
+                # simulator decouples correctness from timing — so fallback
+                # charges the host re-execution cost and the out clauses
+                # below deliver exactly what host execution would have.
+                self._charge_host_fallback(record)
+                kernel_event = None
 
         if integrity is not None and kernel_event is not None:
             integrity.kernel_completed(
@@ -1176,6 +1248,13 @@ class Executor:
         dies with :class:`~repro.errors.DeviceLost`.
         """
         coi = self.machine.coi
+        fleet = self.machine.fleet
+        if fleet is not None:
+            # A fleet absorbs the loss: quarantine/evict the card and
+            # redistribute its blocks to the survivors.  Exhaustion is
+            # decided at the next begin_block, not here.
+            fleet.handle_device_loss(coi, fault)
+            return
         manager = coi.checkpoint
         stats = coi.fault_stats
         if manager is None:
@@ -1188,6 +1267,36 @@ class Executor:
                 f"streamed offloads resumable"
             )
         manager.handle_reset(coi, fault)
+
+    def _fleet_exhausted(self) -> None:
+        """Every fleet card is evicted: host fallback or give up.
+
+        With ``host_fallback`` enabled the run enters permanent
+        fallback mode — data ops stay eager (correctness is unaffected)
+        and every remaining offload is charged as host re-execution.
+        Otherwise the run dies with :class:`~repro.errors.DeviceLost`,
+        which by the fleet invariant can only happen when every device
+        is gone.
+        """
+        coi = self.machine.coi
+        policy = coi.resilience
+        stats = coi.fault_stats
+        if policy is None or not policy.host_fallback:
+            raise DeviceLost(
+                f"all {self.machine.devices} fleet devices permanently "
+                f"evicted by offload #{self._offload_count - 1} and host "
+                f"fallback is disabled"
+            )
+        coi.enter_fallback_mode()
+        if stats is not None:
+            stats.record_action("device", "fleet_exhausted")
+        tracer = self.machine.tracer
+        if tracer.enabled:
+            tracer.instant(
+                "fleet:exhausted", self.machine.clock.now, track="cpu",
+                devices=self.machine.devices,
+            )
+            tracer.metrics.counter("fleet.exhausted").inc()
 
     def _recover_offload_oom(
         self,
@@ -1379,11 +1488,10 @@ class Executor:
                     clause.var, value if value is not None else 0
                 )
         # Drop whatever the failed full-size attempt left allocated.
+        mem = coi.active_memory()
         for clause, value in array_clauses:
-            if coi.device_memory.holds(clause.var):
+            if mem.holds(clause.var):
                 coi.free_buffer(clause.var)
-
-        mem = coi.device_memory
         footprint = sum(value.nbytes for _, value in array_clauses)
         nblocks = choose_demotion_blocks(
             footprint * mem.scale, mem.capacity - mem.in_use

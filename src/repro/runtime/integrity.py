@@ -375,7 +375,9 @@ class IntegrityManager:
             self._refs[name] = buffer_checksum(buf)
             self._dirty.add(name)
         if coi.injector is not None and byte_count > 0:
-            fault = coi.injector.draw_silent("h2d")
+            fault = coi.injector.draw_silent(
+                "h2d", device=coi.device_index_of(name)
+            )
             if fault is not None:
                 self._corrupt_device_window(
                     coi, name, byte_start, byte_count, "h2d", fault
@@ -398,7 +400,9 @@ class IntegrityManager:
         buf = coi.device.arrays[src]
         window = into[into_start : into_start + count]
         if coi.injector is not None and window.nbytes > 0:
-            fault = coi.injector.draw_silent("d2h")
+            fault = coi.injector.draw_silent(
+                "d2h", device=coi.device_index_of(src)
+            )
             if fault is not None:
                 raw = window.view(np.uint8)
                 positions, originals = _flip_window(raw, "d2h", fault)
@@ -508,7 +512,9 @@ class IntegrityManager:
         )
         if not candidates:
             return
-        fault = coi.injector.draw_silent("kernel")
+        fault = coi.injector.draw_silent(
+            "kernel", device=coi.active_device_index
+        )
         if fault is None:
             return
         name = candidates[fault.index % len(candidates)]
@@ -574,7 +580,7 @@ class IntegrityManager:
         (``verify_cost × resident``); the per-buffer verifications it
         performs are part of that single charge.
         """
-        resident = coi.device_memory.resident_bytes()
+        resident = coi.resident_device_bytes()
         cost = self.policy.verify_cost * resident
         start = coi.clock.now
         if cost > 0:
@@ -608,7 +614,7 @@ class IntegrityManager:
         ]
         fault = None
         if coi.injector is not None and candidates:
-            fault = coi.injector.draw("arena")
+            fault = coi.injector.draw("arena", device=coi.active_device_index)
         ref = None
         if self.verifying and (fault is not None or self.policy.verify_cost > 0):
             ref = arena_segment_checksum(arena, buf)

@@ -98,6 +98,12 @@ class StreamingOptions:
     #: Compile-time integer values for symbolic index coefficients
     #: (e.g. a row width), enabling streaming of ``A[i * dim + d]`` loops.
     bindings: Dict[str, int] = dc_field(default_factory=dict)
+    #: Coprocessor cards the runtime will shard blocks across.  The
+    #: transform itself is device-count-agnostic (the fleet scheduler
+    #: assigns blocks at runtime); the count is recorded on the emitted
+    #: :class:`StreamSchedule` so recovery tooling can audit the intended
+    #: round-robin block placement.
+    devices: int = 1
 
 
 @dataclass(frozen=True)
@@ -124,6 +130,9 @@ class StreamSchedule:
     streamed_inout: Tuple[str, ...] = ()
     #: Whole-array resident buffers (transferred once in the prologue).
     resident: Tuple[str, ...] = ()
+    #: Fleet size the schedule was planned for (1 = the single-card
+    #: pre-fleet shape; the field then changes nothing downstream).
+    devices: int = 1
 
     @property
     def resumable(self) -> bool:
@@ -151,6 +160,20 @@ class StreamSchedule:
         names += [name + "__b" for name in self.streamed_out]
         names += list(self.resident)
         return tuple(names)
+
+    def block_assignments(self, devices: Optional[int] = None) -> Tuple[int, ...]:
+        """The fleet device index each block is planned onto.
+
+        The runtime's block-sharding scheduler deals blocks round-robin
+        over healthy devices, so with a full fleet block *k* lands on
+        ``k % devices``; losses shift later blocks onto the survivors.
+        This is the *planned* (fault-free) placement — the audit baseline
+        a campaign's per-device recovery histogram is compared against.
+        """
+        fleet = self.devices if devices is None else devices
+        if fleet < 1:
+            raise ValueError(f"device count must be >= 1, got {fleet}")
+        return tuple(k % fleet for k in range(self.num_blocks))
 
 
 @dataclass
@@ -480,6 +503,7 @@ def _stream_one_loop(
                 p.name for p in plans if p.streamed and p.reads and p.writes
             ),
             resident=tuple(p.name for p in plans if not p.streamed),
+            devices=options.devices,
         )
     )
     report.note(

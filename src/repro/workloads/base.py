@@ -136,6 +136,7 @@ class Workload:
         fault_plan: Optional[FaultPlan] = None,
         resilience: Optional[ResiliencePolicy] = None,
         tracer=None,
+        devices: Optional[int] = None,
     ) -> Machine:
         """A fresh simulated machine at this workload's scale."""
         return Machine(
@@ -143,6 +144,7 @@ class Workload:
             fault_plan=fault_plan,
             resilience=resilience,
             tracer=tracer,
+            devices=devices,
         )
 
     def _rng(self, default: int) -> np.random.Generator:

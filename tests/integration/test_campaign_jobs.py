@@ -8,6 +8,7 @@ cells and surface the completed prefix as an explicitly partial result
 instead of hanging.
 """
 
+import itertools
 import json
 from concurrent.futures import BrokenExecutor, Future, ThreadPoolExecutor
 
@@ -15,6 +16,7 @@ import pytest
 
 from repro.faults import campaign
 from repro.faults.campaign import run_campaign
+from repro.faults.stats import FaultStats
 
 NAMES = ["blackscholes", "nn"]
 
@@ -36,6 +38,70 @@ def test_jobs_do_not_change_summary(monkeypatch):
     monkeypatch.setattr(campaign, "_POOL_CLS", ThreadPoolExecutor)
     fanned = _summary(jobs=2)
     assert fanned == sequential
+
+
+def test_jobs_do_not_change_multi_device_summary(monkeypatch):
+    """The fan-out invariance holds for a fleet campaign under device
+    loss: worker count must be invisible even when failover reshuffles
+    blocks across devices mid-scenario."""
+    kwargs = dict(
+        devices=3,
+        rates={"device": 0.1},
+        policy=campaign.ResiliencePolicy(checkpoint_interval=4),
+    )
+    sequential = _summary(jobs=1, **kwargs)
+    monkeypatch.setattr(campaign, "_POOL_CLS", ThreadPoolExecutor)
+    fanned = _summary(jobs=3, **kwargs)
+    assert fanned == sequential
+    assert '"devices": 3' in sequential
+
+
+def _assert_stats_equal(got: dict, want: dict):
+    """Count fields must match exactly; the float seconds accumulators
+    are only associative up to reordering ulps."""
+    assert got.keys() == want.keys()
+    for key, expected in want.items():
+        if isinstance(expected, float):
+            assert got[key] == pytest.approx(expected), key
+        else:
+            assert got[key] == expected, key
+
+
+def test_fault_stats_merge_is_associative():
+    """Satellite invariant behind the fan-out guarantee: folding
+    per-worker partial FaultStats in any grouping yields the same
+    totals, so the collector never has to care how cells were batched.
+    (The byte-identical summary additionally relies on the collector
+    folding in submission order, which pins the float rounding too.)"""
+    result = run_campaign(
+        names=NAMES,
+        scenarios=2,
+        seed=7,
+        devices=2,
+        rates={"device": 0.1, "h2d": 0.05, "h2d:silent": 0.05},
+        policy=campaign.ResiliencePolicy(
+            checkpoint_interval=4, integrity_mode="full"
+        ),
+    )
+    parts = [outcome.stats for outcome in result.outcomes]
+    assert len(parts) == 4
+    reference = FaultStats.merge(parts)
+    assert reference.total_injected > 0
+    for split in range(1, len(parts)):
+        left = FaultStats.merge(parts[:split])
+        right = FaultStats.merge(parts[split:])
+        _assert_stats_equal(
+            FaultStats.merge([left, right]).as_dict(), reference.as_dict()
+        )
+    for ordering in itertools.permutations(parts):
+        _assert_stats_equal(
+            FaultStats.merge(ordering).as_dict(), reference.as_dict()
+        )
+    # The identity folds in too: merging nothing is a zero element.
+    _assert_stats_equal(
+        FaultStats.merge([FaultStats.merge([]), *parts]).as_dict(),
+        reference.as_dict(),
+    )
 
 
 def test_tracing_is_incompatible_with_fanout():

@@ -147,3 +147,79 @@ class TestStreamIndependence:
         )
         faults = [plan.draw("h2d") for _ in range(4)]
         assert all(faults)
+
+
+def _device_draws(plan, site, device, count):
+    return tuple(plan.draw(site, device=device) for _ in range(count))
+
+
+class TestDeviceStreamIsolation:
+    """Fleet extension of stream independence: every ``(site, device)``
+    pair owns a seed-derived stream, so growing the fleet can never
+    rewrite the fault schedule any existing device sees."""
+
+    @pytest.mark.parametrize("fleet", [1, 2, 3])
+    def test_adding_device_never_perturbs_lower_devices(self, fleet):
+        """Device K+1's draws must leave devices 0..K draw-for-draw
+        identical — the property that makes ``--devices N+1`` a pure
+        extension of an ``--devices N`` campaign."""
+        rounds = 80
+        baseline = {}
+        plan = FaultPlan(seed=11, rates=HOT)
+        for _ in range(rounds):
+            for dev in range(fleet):
+                baseline.setdefault(dev, []).append(plan.draw("h2d", device=dev))
+
+        grown = FaultPlan(seed=11, rates=HOT)
+        seen = {dev: [] for dev in range(fleet)}
+        for _ in range(rounds):
+            grown.draw("h2d", device=fleet)  # the new card, interleaved
+            for dev in range(fleet):
+                seen[dev].append(grown.draw("h2d", device=dev))
+            grown.draw("h2d", device=fleet)
+        for dev in range(fleet):
+            assert seen[dev] == baseline[dev], (
+                f"device {dev} schedule changed when device {fleet} joined"
+            )
+
+    def test_device_streams_are_decorrelated(self):
+        """Two devices at the same site draw different schedules (they
+        share a rate, not a stream)."""
+        plan = FaultPlan(seed=5, rates=HOT)
+        dev0 = _device_draws(plan, "kernel", 0, 150)
+        dev1 = _device_draws(plan, "kernel", 1, 150)
+        assert any(dev0) and any(dev1)
+        assert [f is not None for f in dev0] != [f is not None for f in dev1]
+
+    def test_device_silent_streams_are_isolated_too(self):
+        """The silent (integrity) streams obey the same growth property."""
+        rates = {"h2d:silent": 0.3}
+        plan = FaultPlan(seed=17, rates=rates)
+        alone = tuple(plan.draw_silent("h2d", device=0) for _ in range(100))
+        grown = FaultPlan(seed=17, rates=rates)
+        interleaved = []
+        for _ in range(100):
+            grown.draw_silent("h2d", device=1)
+            interleaved.append(grown.draw_silent("h2d", device=0))
+        assert tuple(interleaved) == alone
+
+    def test_device_scoped_rate_silences_one_card_only(self):
+        plan = FaultPlan(seed=23, rates={"h2d": 0.5, "dev0:h2d": 0.0})
+        dev0 = _device_draws(plan, "h2d", 0, 100)
+        dev1 = _device_draws(plan, "h2d", 1, 100)
+        assert not any(dev0)
+        assert any(dev1)
+
+    def test_device_scoped_script_fires_at_device_ordinal(self):
+        """A devK-scoped spec counts that device's own operations, not
+        the fleet-wide issue order."""
+        spec = FaultSpec("device", 2, kind="reset", device=1)
+        plan = FaultPlan(seed=None, scripted=[spec])
+        hits = []
+        for _ in range(4):
+            assert plan.draw("device", device=0) is None
+            hits.append(plan.draw("device", device=1))
+        fired = [f for f in hits if f is not None]
+        assert len(fired) == 1
+        assert hits[2] is not None
+        assert (fired[0].kind, fired[0].index, fired[0].device) == ("reset", 2, 1)
