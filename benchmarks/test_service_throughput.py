@@ -1,0 +1,130 @@
+"""Campaign-service throughput: jobs/sec and queue latency vs workers.
+
+Replays one fixed seeded traffic trace through a live
+:class:`~repro.service.service.CampaignService` at 1, 2, and 4 warm
+workers and writes ``BENCH_service.json`` at the repo root with
+jobs/sec plus p50/p95 *wall-clock* queue latency per worker count, so CI
+tracks service overhead alongside the paper figures.
+
+Wall-clock numbers are telemetry, never part of job results: the bench
+also replays the same trace through the deterministic two-phase replay
+path at two worker counts and asserts the summary documents are
+byte-identical — scaling the pool must change only how fast, not what.
+"""
+
+import json
+import time
+from pathlib import Path
+
+from benchmarks.conftest import emit
+from repro.experiments.report import render_table
+from repro.obs.provenance import build_provenance
+from repro.service.traffic import (
+    TraceSpec,
+    _percentile,
+    generate_trace,
+    replay_trace,
+    summary_to_json,
+)
+
+RESULT_PATH = Path(__file__).resolve().parents[1] / "BENCH_service.json"
+
+WORKER_COUNTS = (1, 2, 4)
+
+#: Interactive-run-only trace: per-job cost is small, so the measurement
+#: is dominated by service overhead (admission, dispatch, store, events)
+#: rather than simulation time.
+TRACE = TraceSpec(
+    seed=42,
+    requests=24,
+    classes=(("run", 1.0),),
+    base_rate=50.0,
+    burst_factor=4.0,
+    tenants=3,
+)
+
+
+def _drive_service(workers):
+    """Submit every arrival to a fresh service; return live telemetry."""
+    import asyncio
+
+    from concurrent.futures import ThreadPoolExecutor
+
+    from repro.service.service import CampaignService
+
+    arrivals = generate_trace(TRACE)
+
+    async def scenario():
+        service = CampaignService(
+            workers=workers,
+            pool_cls=ThreadPoolExecutor,
+            max_depth=2 * len(arrivals) + 8,
+            high_water=2 * len(arrivals) + 8,
+        )
+        await service.start()
+        try:
+            started = time.perf_counter()
+            jobs = [service.submit(a.spec) for a in arrivals]
+            for job in jobs:
+                await service.result(job)
+            elapsed = time.perf_counter() - started
+            cached = sum(1 for job in jobs if job.cached)
+            return elapsed, cached, sorted(service.wall_queue_latencies)
+        finally:
+            await service.close()
+
+    return asyncio.run(scenario())
+
+
+def test_service_throughput():
+    report = {
+        "provenance": build_provenance(
+            seed=TRACE.seed, engine=TRACE.engine,
+            workers=",".join(str(w) for w in WORKER_COUNTS),
+        ),
+        "benchmark": "service_throughput",
+        "trace": TRACE.as_dict(),
+        "workers": {},
+    }
+    rows = []
+    for workers in WORKER_COUNTS:
+        elapsed, cached, latencies = _drive_service(workers)
+        jobs_per_sec = TRACE.requests / elapsed
+        p50 = _percentile(latencies, 50.0) * 1000
+        p95 = _percentile(latencies, 95.0) * 1000
+        report["workers"][str(workers)] = {
+            "seconds": round(elapsed, 6),
+            "jobs_per_sec": round(jobs_per_sec, 1),
+            "queue_p50_ms": round(p50, 3),
+            "queue_p95_ms": round(p95, 3),
+            "executed": TRACE.requests - cached,
+            "cached": cached,
+        }
+        rows.append([
+            workers, f"{elapsed:.3f}", f"{jobs_per_sec:.1f}",
+            f"{p50:.2f}", f"{p95:.2f}", cached,
+        ])
+
+    # The determinism contract: the replay document is a pure function
+    # of the trace spec, whatever the pool size.
+    inline = replay_trace(TRACE, workers=0)
+    pooled = _pooled_replay(TRACE, workers=WORKER_COUNTS[-1])
+    assert summary_to_json(inline) == summary_to_json(pooled)
+    report["determinism"] = {
+        "digest": inline["digest"],
+        "workers_compared": [0, WORKER_COUNTS[-1]],
+    }
+
+    RESULT_PATH.write_text(json.dumps(report, indent=2) + "\n")
+
+    emit(render_table(
+        ["workers", "seconds", "jobs/sec", "p50 ms", "p95 ms", "cached"],
+        rows,
+    ))
+    emit(f"replay digest (workers-invariant): {inline['digest']}")
+
+
+def _pooled_replay(spec, workers):
+    from concurrent.futures import ThreadPoolExecutor
+
+    return replay_trace(spec, workers=workers, pool_cls=ThreadPoolExecutor)

@@ -14,7 +14,15 @@ Commands:
   enabled and export a Perfetto-compatible Chrome trace plus a metrics
   snapshot (see ``docs/observability.md``);
 * ``report`` — regenerate the paper's full evaluation (all figures and
-  tables).
+  tables);
+* ``serve`` — run the campaign service: a long-lived async job runner
+  with admission control, a persistent warm worker pool, and a shared
+  result store (see ``docs/service.md``);
+* ``submit`` — send one job (run/bench/faults) to a running service and
+  stream its events back;
+* ``replay-trace`` — generate a seeded bursty traffic trace and replay
+  it through the service; the summary JSON is byte-identical for any
+  worker count.
 
 ``run``, ``bench``, and ``faults`` also accept ``--trace FILE`` to write
 the same Chrome trace alongside their normal output (multi-run commands
@@ -24,6 +32,7 @@ merge each run as its own process lane).
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional, Sequence, Tuple
 
@@ -36,11 +45,14 @@ from repro.runtime.executor import ENGINES, Machine, run_program
 from repro.transforms.pipeline import CompOptimizer, OptimizationPlan
 from repro.transforms.streaming import StreamingOptions
 
-_DTYPES = {
-    "float": np.float32,
-    "double": np.float64,
-    "int": np.int32,
-}
+#: Exit code for a fault campaign that was interrupted before every
+#: scenario cell ran: the completed cells all honoured the recovery
+#: contract, but the sweep is not the full evidence the seed promises.
+EXIT_PARTIAL = 3
+
+#: Exit code for a submission the service rejected under backpressure
+#: (resubmit after the printed retry-after hint); EX_TEMPFAIL.
+EXIT_RETRY = 75
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -210,6 +222,114 @@ def _build_parser() -> argparse.ArgumentParser:
     tune.add_argument("--scale", type=float, default=1.0)
     tune.add_argument("--seed", type=int, default=0)
 
+    serve = sub.add_parser(
+        "serve",
+        help="run the campaign service (async job runner over TCP)",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8753,
+                       help="TCP port (0 picks an ephemeral port, "
+                            "default 8753)")
+    serve.add_argument("--workers", type=int, default=0, metavar="N",
+                       help="persistent warm worker processes; 0 executes "
+                            "jobs inline on the event loop (default 0)")
+    serve.add_argument("--max-depth", type=int, default=64, metavar="N",
+                       help="hard queue-depth ceiling (default 64)")
+    serve.add_argument("--high-water", type=int, default=None, metavar="N",
+                       help="queue depth where admission starts rejecting "
+                            "with a retry-after hint (default 75%% of "
+                            "--max-depth)")
+
+    submit = sub.add_parser(
+        "submit",
+        help="submit one job to a running campaign service",
+    )
+    submit.add_argument("--host", default="127.0.0.1")
+    submit.add_argument("--port", type=int, default=8753)
+    submit.add_argument("--kind", choices=("run", "bench", "faults"),
+                        default="bench")
+    submit.add_argument("--workload", metavar="NAME",
+                        help="benchmark name (bench/faults kinds)")
+    submit.add_argument("--file", metavar="FILE",
+                        help="MiniC source path for --kind run "
+                             "('-' for stdin)")
+    submit.add_argument("--array", action="append", default=[],
+                        metavar="NAME=SIZE[:DTYPE[:KIND]]")
+    submit.add_argument("--scalar", action="append", default=[],
+                        metavar="NAME=VALUE")
+    submit.add_argument("--optimize", action="store_true")
+    submit.add_argument("--scale", type=float, default=1.0)
+    submit.add_argument("--variant", choices=("cpu", "mic", "opt"),
+                        default="opt")
+    submit.add_argument("--scenario", type=int, default=0,
+                        help="fault scenario index (faults kind)")
+    submit.add_argument("--seed", type=int, default=0)
+    submit.add_argument("--engine", choices=ENGINES, default=None)
+    submit.add_argument("--devices", type=int, default=1, metavar="N")
+    submit.add_argument("--rate", action="append", default=[],
+                        metavar="SITE=PROB",
+                        help="fault rate override (faults kind)")
+    submit.add_argument("--policy", action="append", default=[],
+                        metavar="KEY=VAL",
+                        help="ResiliencePolicy override (faults kind)")
+    submit.add_argument("--job-trace", action="store_true",
+                        help="return the job's Chrome trace events in the "
+                             "result payload")
+    submit.add_argument("--priority", type=int, default=1,
+                        help="scheduling priority, lower runs first "
+                             "(default 1)")
+    submit.add_argument("--tenant", default="default")
+    submit.add_argument("--timeout", type=float, default=300.0,
+                        help="client-side wait in wall seconds "
+                             "(default 300)")
+
+    replay = sub.add_parser(
+        "replay-trace",
+        help="replay a seeded synthetic traffic trace through the service",
+    )
+    replay.add_argument("--spec", metavar="FILE",
+                        help="trace-spec JSON (see docs/service.md); "
+                             "flags below are ignored when given")
+    replay.add_argument("--seed", type=int, default=0)
+    replay.add_argument("--requests", type=int, default=24,
+                        help="arrivals to generate (default 24)")
+    replay.add_argument("--base-rate", type=float, default=2.0,
+                        help="baseline arrivals per virtual second "
+                             "(default 2.0)")
+    replay.add_argument("--burst-factor", type=float, default=5.0,
+                        help="rate multiplier during bursts (default 5.0)")
+    replay.add_argument("--tenants", type=int, default=3)
+    replay.add_argument("--tenant-skew", type=float, default=1.1,
+                        help="Zipf exponent of the tenant weights "
+                             "(default 1.1)")
+    replay.add_argument("--scenarios", type=int, default=2,
+                        help="fault scenario pool for chaos jobs "
+                             "(default 2)")
+    replay.add_argument("--engine", choices=ENGINES, default=None)
+    replay.add_argument("--devices", type=int, default=1, metavar="N")
+    replay.add_argument("--rate", action="append", default=[],
+                        metavar="SITE=PROB",
+                        help="fault rates for the chaos job class "
+                             "(default: plan defaults)")
+    replay.add_argument("--policy", action="append", default=[],
+                        metavar="KEY=VAL",
+                        help="ResiliencePolicy overrides for chaos jobs")
+    replay.add_argument("--model-servers", type=int, default=2, metavar="K",
+                        help="abstract servers in the virtual-time queue "
+                             "model; part of the spec, NOT the worker "
+                             "count (default 2)")
+    replay.add_argument("--max-depth", type=int, default=32, metavar="N")
+    replay.add_argument("--high-water", type=int, default=None, metavar="N")
+    replay.add_argument("--workers", type=int, default=0, metavar="N",
+                        help="worker processes for the execution phase; "
+                             "0 = inline; the summary is byte-identical "
+                             "for any value (default 0)")
+    replay.add_argument("--out", metavar="FILE",
+                        help="write the replay summary JSON to FILE")
+    replay.add_argument("--trace", metavar="FILE",
+                        help="also record every job and write one merged "
+                             "Chrome/Perfetto trace JSON to FILE")
+
     sub.add_parser("report", help="regenerate the paper's evaluation")
     return parser
 
@@ -248,35 +368,21 @@ def _cmd_compile(args: argparse.Namespace) -> int:
 
 
 def _parse_array_spec(spec: str, rng: np.random.Generator) -> tuple:
-    name, _, rest = spec.partition("=")
-    if not rest:
-        raise SystemExit(f"bad --array spec {spec!r}: expected NAME=SIZE[...]")
-    parts = rest.split(":")
-    size = int(parts[0])
-    dtype = _DTYPES.get(parts[1] if len(parts) > 1 else "float", np.float32)
-    kind = parts[2] if len(parts) > 2 else "random"
-    if kind == "zeros":
-        value = np.zeros(size, dtype=dtype)
-    elif kind == "ones":
-        value = np.ones(size, dtype=dtype)
-    elif kind == "arange":
-        value = np.arange(size, dtype=dtype)
-    elif kind == "random":
-        value = (rng.random(size) * 100).astype(dtype)
-    else:
-        raise SystemExit(f"bad array kind {kind!r}")
-    return name, value
+    from repro.service.jobs import parse_array_spec
+
+    try:
+        return parse_array_spec(spec, rng)
+    except ValueError as exc:
+        raise SystemExit(str(exc))
 
 
 def _parse_scalar_spec(spec: str) -> tuple:
-    name, _, rest = spec.partition("=")
-    if not rest:
-        raise SystemExit(f"bad --scalar spec {spec!r}: expected NAME=VALUE")
+    from repro.service.jobs import parse_scalar_spec
+
     try:
-        value: object = int(rest)
-    except ValueError:
-        value = float(rest)
-    return name, value
+        return parse_scalar_spec(spec)
+    except ValueError as exc:
+        raise SystemExit(str(exc))
 
 
 def _parse_inputs(args: argparse.Namespace) -> Tuple[dict, dict]:
@@ -495,13 +601,12 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
-def _parse_policy_overrides(specs: Sequence[str]):
-    """Build a :class:`ResiliencePolicy` from ``KEY=VAL`` overrides.
+def _parse_policy_pairs(specs: Sequence[str]) -> dict:
+    """Parse ``KEY=VAL`` policy overrides into a plain dict.
 
     Values are cast by the type of the field's default (bools accept
     true/false spellings, ``backoff_max`` additionally accepts ``none``);
-    unknown keys and unparsable values are command-line errors, as is an
-    override combination the policy's own validation rejects.
+    unknown keys and unparsable values are command-line errors.
     """
     import dataclasses
 
@@ -539,6 +644,18 @@ def _parse_policy_overrides(specs: Sequence[str]):
                 f"for {key} (default {default!r})"
             )
         overrides[key] = value
+    return overrides
+
+
+def _parse_policy_overrides(specs: Sequence[str]):
+    """Build a :class:`ResiliencePolicy` from ``KEY=VAL`` overrides.
+
+    An override combination the policy's own validation rejects is a
+    command-line error too.
+    """
+    from repro.faults.policy import ResiliencePolicy
+
+    overrides = _parse_policy_pairs(specs)
     try:
         return ResiliencePolicy(**overrides)
     except ValueError as exc:
@@ -584,6 +701,15 @@ def _cmd_faults(args: argparse.Namespace) -> int:
     unknown = set(names) - set(workload_names())
     if unknown:
         raise SystemExit(f"unknown benchmarks: {sorted(unknown)}")
+    if args.jobs < 1:
+        raise SystemExit(f"--jobs must be >= 1, got {args.jobs}")
+    if args.devices < 1:
+        raise SystemExit(f"--devices must be >= 1, got {args.devices}")
+    if args.jobs > 1 and args.trace:
+        raise SystemExit(
+            "--trace requires --jobs 1: tracers record in-process and "
+            "cannot be merged back from pool workers"
+        )
     rates = None
     if args.rate:
         from repro.faults import split_device_key
@@ -711,6 +837,211 @@ def _cmd_faults(args: argparse.Namespace) -> int:
     if not result.ok:
         print("FAULT CAMPAIGN CONTRACT VIOLATED", file=sys.stderr)
         return 1
+    if result.partial:
+        # Completed cells all honoured the contract, but the sweep is
+        # incomplete evidence — distinct exit code so CI and scripts
+        # can't mistake an interrupted campaign for a clean one.
+        return EXIT_PARTIAL
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.service.server import serve
+
+    if args.workers < 0:
+        raise SystemExit(f"--workers must be >= 0, got {args.workers}")
+
+    def ready(port: int) -> None:
+        mode = (
+            f"{args.workers} warm worker processes"
+            if args.workers else "inline execution"
+        )
+        print(f"campaign service listening on {args.host}:{port} ({mode})")
+        sys.stdout.flush()
+
+    try:
+        asyncio.run(serve(
+            host=args.host,
+            port=args.port,
+            workers=args.workers,
+            max_depth=args.max_depth,
+            high_water=args.high_water,
+            ready=ready,
+        ))
+    except ValueError as exc:
+        raise SystemExit(str(exc))
+    except KeyboardInterrupt:
+        print("campaign service stopped", file=sys.stderr)
+    return 0
+
+
+def _job_spec_from_args(args: argparse.Namespace):
+    """Build the JobSpec a ``submit`` invocation describes."""
+    from repro.service.jobs import JobSpec
+
+    source = None
+    if args.kind == "run":
+        if not args.file:
+            raise SystemExit("--kind run requires --file")
+        source = _read_source(args.file)
+    rates = []
+    for spec in args.rate:
+        key, _, prob = spec.partition("=")
+        if not prob:
+            raise SystemExit(f"bad --rate spec {spec!r}: expected SITE=PROB")
+        try:
+            rates.append((key, float(prob)))
+        except ValueError:
+            raise SystemExit(
+                f"bad --rate spec {spec!r}: {prob!r} is not a number"
+            )
+    policy = sorted(_parse_policy_pairs(args.policy).items())
+    return JobSpec(
+        kind=args.kind,
+        workload=args.workload,
+        variant=args.variant,
+        scenario=args.scenario,
+        source=source,
+        arrays=tuple(args.array),
+        scalars=tuple(args.scalar),
+        optimize=args.optimize,
+        scale=args.scale,
+        seed=args.seed,
+        engine=args.engine,
+        devices=args.devices,
+        rates=tuple(rates),
+        policy=tuple(policy),
+        trace=args.job_trace,
+        priority=args.priority,
+        tenant=args.tenant,
+    )
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.service import server as client
+
+    spec = _job_spec_from_args(args)
+    try:
+        spec.validate()
+    except ValueError as exc:
+        raise SystemExit(str(exc))
+    try:
+        events = client.submit(args.host, args.port, spec,
+                               timeout=args.timeout)
+    except (ConnectionError, OSError) as exc:
+        raise SystemExit(
+            f"cannot reach campaign service at {args.host}:{args.port}: {exc}"
+        )
+    code = 1  # no terminal event = protocol failure
+    for event in events:
+        try:
+            print(json.dumps(event, sort_keys=True))
+        except BrokenPipeError:
+            # Downstream (e.g. `head`) closed stdout; the job outcome
+            # still decides the exit code.
+            sys.stdout = open(os.devnull, "w")
+        name = event.get("event")
+        if name == "done":
+            code = 0 if event.get("ok") else 1
+        elif name in ("failed", "error"):
+            code = 1
+        elif name == "rejected":
+            print(
+                f"service rejected the job under backpressure; retry in "
+                f"{event.get('retry_after', 0.0)}s",
+                file=sys.stderr,
+            )
+            code = EXIT_RETRY
+    return code
+
+
+def _cmd_replay_trace(args: argparse.Namespace) -> int:
+    from repro.service.traffic import (
+        TraceSpec,
+        load_trace_spec,
+        replay_trace,
+        summary_to_json,
+    )
+
+    if args.workers < 0:
+        raise SystemExit(f"--workers must be >= 0, got {args.workers}")
+    try:
+        if args.spec:
+            spec = load_trace_spec(args.spec)
+            if args.trace and not spec.traced:
+                raise ValueError(
+                    "--trace needs a spec with traced=true "
+                    f"(edit {args.spec} or drop --trace)"
+                )
+        else:
+            rates = []
+            for raw in args.rate:
+                key, _, prob = raw.partition("=")
+                if not prob:
+                    raise SystemExit(
+                        f"bad --rate spec {raw!r}: expected SITE=PROB"
+                    )
+                try:
+                    rates.append((key, float(prob)))
+                except ValueError:
+                    raise SystemExit(
+                        f"bad --rate spec {raw!r}: {prob!r} is not a number"
+                    )
+            spec = TraceSpec(
+                seed=args.seed,
+                requests=args.requests,
+                base_rate=args.base_rate,
+                burst_factor=args.burst_factor,
+                tenants=args.tenants,
+                tenant_skew=args.tenant_skew,
+                scenarios=args.scenarios,
+                engine=args.engine,
+                devices=args.devices,
+                rates=tuple(rates),
+                policy=tuple(sorted(_parse_policy_pairs(args.policy).items())),
+                traced=bool(args.trace),
+                model_servers=args.model_servers,
+                max_depth=args.max_depth,
+                high_water=args.high_water,
+            )
+        summary = replay_trace(
+            spec, workers=args.workers, trace_out=args.trace
+        )
+    except (ValueError, OSError) as exc:
+        raise SystemExit(str(exc))
+    queue = summary["queue"]
+    print(f"replayed {len(summary['arrivals'])} arrivals "
+          f"({queue['unique_jobs']} unique jobs, "
+          f"{queue['duplicates']} served from cache, "
+          f"{queue['rejected']} rejected)")
+    print(f"virtual queue ({queue['model_servers']} servers): "
+          f"p50 {queue['p50_latency'] * 1000:.3f} ms, "
+          f"p95 {queue['p95_latency'] * 1000:.3f} ms, "
+          f"utilization {queue['utilization']:.3f}")
+    for kind in sorted(summary["classes"]):
+        cls = summary["classes"][kind]
+        print(f"  class {kind:7s} {cls['arrivals']:4d} arrivals, "
+              f"{cls['rejected']} rejected, "
+              f"{cls['sim_time'] * 1000:10.3f} ms simulated")
+    if summary["faults"]:
+        totals = summary["faults"]
+        print(f"chaos: {totals.get('total_injected', 0):.0f} faults injected, "
+              f"{totals.get('retries', 0):.0f} retries, "
+              f"{totals.get('sdc_escapes', 0):.0f} SDC escapes")
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(summary_to_json(summary))
+        print(f"summary written to {args.out}")
+    if args.trace:
+        print(f"trace written to {args.trace}")
+    print(f"determinism digest: {summary['digest']}")
+    if not summary["ok"]:
+        print("REPLAY CONTRACT VIOLATED", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -780,6 +1111,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         "bench": _cmd_bench,
         "faults": _cmd_faults,
         "tune": _cmd_tune,
+        "serve": _cmd_serve,
+        "submit": _cmd_submit,
+        "replay-trace": _cmd_replay_trace,
         "report": _cmd_report,
     }
     return handlers[args.command](args)

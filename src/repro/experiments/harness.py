@@ -16,6 +16,7 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro.service.store import ResultStore
 from repro.transforms.pipeline import OptimizationPlan
 from repro.workloads.base import MiniCWorkload, Workload, WorkloadRun
 from repro.workloads.suite import get_workload, workload_names
@@ -96,6 +97,13 @@ class SuiteRunner:
     *devices* sizes the simulated offload fleet; above 1 every run
     executes on a multi-device machine with block sharding and failover
     (outputs stay bit-identical to the single-device run).
+    *metrics*, when given, receives ``harness.cache.hits`` /
+    ``harness.cache.misses`` counters from the run cache.
+
+    The run cache is a :class:`~repro.service.store.ResultStore`, so a
+    runner shared across threads (the campaign service keeps warm
+    runners per worker) computes each variant exactly once even under
+    concurrent identical requests.
     """
 
     def __init__(
@@ -104,6 +112,7 @@ class SuiteRunner:
         seed: Optional[int] = None,
         tracer_factory=None,
         devices: int = 1,
+        metrics=None,
     ) -> None:
         if devices < 1:
             raise ValueError(f"devices must be >= 1, got {devices}")
@@ -111,7 +120,13 @@ class SuiteRunner:
         self.seed = seed
         self.tracer_factory = tracer_factory
         self.devices = devices
-        self._cache: Dict[Tuple, WorkloadRun] = {}
+        self._store: ResultStore = ResultStore(
+            metrics=metrics, name="harness.cache"
+        )
+
+    def cache_stats(self) -> Tuple[int, int, int]:
+        """``(hits, misses, size)`` of the run cache."""
+        return self._store.stats()
 
     def _machine_for(self, workload: Workload, name: str, variant: str):
         tracer = None
@@ -126,14 +141,16 @@ class SuiteRunner:
     def run_variant(self, name: str, variant: str) -> WorkloadRun:
         """Run (or fetch cached) one variant of one benchmark."""
         key = (name, variant, None, self.engine, self.seed, self.devices)
-        if key not in self._cache:
+
+        def compute() -> WorkloadRun:
             workload = get_workload(name, seed=self.seed)
-            self._cache[key] = workload.run(
+            return workload.run(
                 variant,
                 machine=self._machine_for(workload, name, variant),
                 engine=self.engine,
             )
-        return self._cache[key]
+
+        return self._store.get_or_compute(key, compute)
 
     def run_benchmark(self, name: str) -> BenchmarkResult:
         """Run all three variants of one benchmark."""
@@ -159,7 +176,8 @@ class SuiteRunner:
                 f"know {sorted(ISOLATION_PLANS)}"
             )
         key = (name, "opt", optimization, self.engine, self.seed, self.devices)
-        if key not in self._cache:
+
+        def compute() -> WorkloadRun:
             workload = get_workload(name, seed=self.seed)
             if not isinstance(workload, MiniCWorkload):
                 raise TypeError(
@@ -175,10 +193,9 @@ class SuiteRunner:
                 if self.devices > 1
                 else None
             )
-            self._cache[key] = workload.run(
-                "opt", machine=machine, engine=self.engine
-            )
-        return self._cache[key]
+            return workload.run("opt", machine=machine, engine=self.engine)
+
+        return self._store.get_or_compute(key, compute)
 
     def isolated_gain(self, name: str, optimization: str) -> float:
         """Speedup of one optimization over the unoptimized MIC version."""

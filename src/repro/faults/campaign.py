@@ -241,6 +241,12 @@ def _scenario_cell(
     )
 
 
+#: Public name for single-cell execution — the campaign service runs
+#: individual cells as jobs through the same code path the ``--jobs``
+#: fan-out uses, so a service cell is bit-identical to a CLI cell.
+scenario_cell = _scenario_cell
+
+
 def validate_campaign_config(
     rates: Optional[Dict[str, float]],
     policy: ResiliencePolicy,

@@ -45,6 +45,7 @@ from repro.obs.metrics import (
     MetricsRegistry,
     NULL_METRICS,
     NullMetrics,
+    merge_snapshot,
 )
 from repro.obs.provenance import build_provenance, git_sha
 from repro.obs.tracer import (
@@ -78,6 +79,7 @@ __all__ = [
     "git_sha",
     "intersect_total",
     "merge_intervals",
+    "merge_snapshot",
     "metrics_snapshot",
     "sort_trace_events",
     "spans_from_timeline",

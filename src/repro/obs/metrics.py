@@ -155,6 +155,50 @@ class MetricsRegistry:
         }
 
 
+def merge_snapshot(base: dict, other: dict) -> dict:
+    """Fold one snapshot into another for fleet-wide aggregation.
+
+    Counters and histogram count/sum/min/max/buckets add; gauges keep
+    the latest value and the running maximum.  *base* is returned (and
+    mutated), so a service can fold per-worker snapshots into one
+    rollup: ``reduce(merge_snapshot, worker_snaps, empty_snapshot)``.
+    Inputs are the dicts :meth:`MetricsRegistry.snapshot` produces.
+    """
+    counters = base.setdefault("counters", {})
+    for name, value in other.get("counters", {}).items():
+        counters[name] = counters.get(name, 0) + value
+    gauges = base.setdefault("gauges", {})
+    for name, data in other.get("gauges", {}).items():
+        seen = gauges.get(name)
+        if seen is None:
+            gauges[name] = dict(data)
+        else:
+            seen["value"] = data["value"]
+            seen["max"] = max(seen["max"], data["max"])
+    histograms = base.setdefault("histograms", {})
+    for name, data in other.get("histograms", {}).items():
+        seen = histograms.get(name)
+        if seen is None:
+            histograms[name] = {**data, "buckets": dict(data["buckets"])}
+            continue
+        merged_count = seen["count"] + data["count"]
+        seen["sum"] += data["sum"]
+        seen["min"] = (
+            min(seen["min"], data["min"]) if data["count"] and seen["count"]
+            else (data["min"] if data["count"] else seen["min"])
+        )
+        seen["max"] = max(seen["max"], data["max"])
+        seen["count"] = merged_count
+        seen["mean"] = seen["sum"] / merged_count if merged_count else 0.0
+        for bucket, count in data["buckets"].items():
+            seen["buckets"][bucket] = seen["buckets"].get(bucket, 0) + count
+    # Sort every section so merged snapshots diff as cleanly as raw ones.
+    base["counters"] = dict(sorted(counters.items()))
+    base["gauges"] = dict(sorted(gauges.items()))
+    base["histograms"] = dict(sorted(histograms.items()))
+    return base
+
+
 class _NullInstrument:
     """Counter/gauge/histogram stand-in that discards every update."""
 

@@ -156,6 +156,11 @@ class CoiRuntime:
             return key
         return f"{self.fleet.active.device_id}:{key}"
 
+    @property
+    def live_persistent_sessions(self) -> int:
+        """Persistent kernel sessions currently resident on the fleet."""
+        return len(self._persistent_live)
+
     def drop_persistent_sessions(self, prefix: str) -> None:
         """Kill every persistent session whose key starts with *prefix*."""
         self._persistent_live = {

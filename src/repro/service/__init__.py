@@ -1,0 +1,38 @@
+"""Campaign-as-a-service: async job runner over the simulated fleet.
+
+This package turns the one-shot CLI commands (``repro run`` /
+``repro bench`` / ``repro faults``) into a long-running service:
+
+* :mod:`~repro.service.jobs` — the :class:`JobSpec` provenance model
+  and the pure ``execute_job`` worker function;
+* :mod:`~repro.service.store` — the shared, concurrency-safe result
+  store (identical submissions served from cache across clients);
+* :mod:`~repro.service.queue` — bounded priority admission queue with
+  reject-past-high-water backpressure;
+* :mod:`~repro.service.pool` — persistent warm worker pool;
+* :mod:`~repro.service.service` — the asyncio orchestrator with
+  streaming job events and fleet-wide metrics;
+* :mod:`~repro.service.traffic` — seeded bursty traffic traces and
+  byte-deterministic replay (the chaos-testing harness);
+* :mod:`~repro.service.server` — the JSON-lines TCP front end.
+
+Import order matters for layering, not correctness: nothing here
+imports the experiments/workloads layers at module scope, so the
+harness can depend on :mod:`~repro.service.store` without a cycle.
+"""
+
+from repro.service.jobs import JOB_KINDS, Job, JobSpec, execute_job
+from repro.service.queue import AdmissionQueue, AdmissionRejected
+from repro.service.service import CampaignService
+from repro.service.store import ResultStore
+
+__all__ = [
+    "JOB_KINDS",
+    "Job",
+    "JobSpec",
+    "execute_job",
+    "AdmissionQueue",
+    "AdmissionRejected",
+    "CampaignService",
+    "ResultStore",
+]

@@ -1,0 +1,68 @@
+"""Persistent worker pool: warm simulator processes behind asyncio.
+
+The pool wraps the same executor class the ``--jobs`` campaign fan-out
+uses (:data:`repro.faults.campaign._POOL_CLS`, a
+``ProcessPoolExecutor`` unless a test substitutes a double), so service
+workers inherit every property that machinery already guarantees:
+module-level picklable job functions, per-process memoized baselines and
+warm :class:`~repro.experiments.harness.SuiteRunner` instances, and
+results that are pure functions of the spec — worker count and
+scheduling never show up in a payload.
+
+``workers=0`` selects *inline* mode: jobs execute synchronously on the
+event-loop thread.  That is the zero-dependency path tests and the
+deterministic trace replay default to; ``repro serve`` uses real
+processes.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Optional
+
+from repro.service import jobs as _jobs
+
+
+class WorkerPool:
+    """Executes job spec dicts on a persistent pool of warm workers."""
+
+    def __init__(self, workers: int = 0, pool_cls=None) -> None:
+        if workers < 0:
+            raise ValueError(f"workers must be >= 0, got {workers}")
+        self.workers = workers
+        self._pool = None
+        if workers > 0:
+            if pool_cls is None:
+                # Late import keeps the service importable without the
+                # campaign layer and honours test monkeypatching.
+                from repro.faults import campaign
+
+                pool_cls = campaign._POOL_CLS
+            self._pool = pool_cls(max_workers=workers)
+
+    @property
+    def inline(self) -> bool:
+        """True when jobs run on the event-loop thread (workers=0)."""
+        return self._pool is None
+
+    async def run(self, spec_payload: dict) -> dict:
+        """Execute one job spec dict, returning its result dict."""
+        if self._pool is None:
+            return _jobs.execute_job(spec_payload)
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(
+            self._pool, _jobs.execute_job, spec_payload
+        )
+
+    async def warm_stats(self) -> Optional[dict]:
+        """One worker's warm-cache diagnostics (inline state if no pool)."""
+        if self._pool is None:
+            return _jobs.warm_stats()
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(self._pool, _jobs.warm_stats)
+
+    def shutdown(self, wait: bool = True) -> None:
+        """Stop the pool workers (idempotent)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=wait, cancel_futures=True)
+            self._pool = None

@@ -1,0 +1,122 @@
+"""Admission-controlled priority job queue for the campaign service.
+
+Jobs are ordered by ``(priority, arrival sequence)`` — lower priority
+values run first, ties run FIFO — and the queue is *bounded*: past the
+high-water mark new submissions are rejected with a ``retry_after`` hint
+instead of queuing without limit, so a burst can't grow the backlog (and
+its latency) unboundedly.  ``max_depth`` is the hard ceiling; the high
+water mark (default 75 % of it) is where backpressure starts, giving
+in-flight work headroom to drain before the queue is truly full.
+
+The queue is asyncio-native: :meth:`get` suspends until a job is
+available; :meth:`offer` never suspends — admission is a synchronous
+accept/reject decision, which keeps it deterministic for a given queue
+state.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import heapq
+import itertools
+from typing import List, Optional, Tuple
+
+from repro.obs.metrics import NULL_METRICS
+
+
+class AdmissionRejected(Exception):
+    """Backpressure: the queue is past its high-water mark.
+
+    *retry_after* is the suggested wait (seconds) before resubmitting,
+    derived from the backlog the rejected job would have sat behind.
+    """
+
+    def __init__(self, depth: int, retry_after: float):
+        self.depth = depth
+        self.retry_after = retry_after
+        super().__init__(
+            f"queue at high-water mark ({depth} jobs deep); "
+            f"retry after {retry_after:.3f}s"
+        )
+
+
+class AdmissionQueue:
+    """Bounded priority/FIFO queue with reject-past-high-water admission."""
+
+    def __init__(
+        self,
+        max_depth: int = 64,
+        high_water: Optional[int] = None,
+        metrics=None,
+        #: Seconds of estimated backlog drain per queued job, used for
+        #: the retry_after hint (a coarse, deterministic estimate).
+        est_service_seconds: float = 0.25,
+    ) -> None:
+        if max_depth < 1:
+            raise ValueError(f"max_depth must be >= 1, got {max_depth}")
+        if high_water is None:
+            high_water = max(1, (max_depth * 3) // 4)
+        if not 1 <= high_water <= max_depth:
+            raise ValueError(
+                f"high_water must be in [1, max_depth={max_depth}], "
+                f"got {high_water}"
+            )
+        self.max_depth = max_depth
+        self.high_water = high_water
+        self.est_service_seconds = est_service_seconds
+        self.metrics = metrics if metrics is not None else NULL_METRICS
+        self._heap: List[Tuple[int, int, object]] = []
+        self._seq = itertools.count()
+        self._available = asyncio.Event()
+        self.accepted = 0
+        self.rejected = 0
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    @property
+    def depth(self) -> int:
+        """Jobs currently waiting (not yet handed to a worker)."""
+        return len(self._heap)
+
+    def retry_after(self, depth: Optional[int] = None) -> float:
+        """Deterministic backoff hint for a submission seeing *depth*."""
+        depth = self.depth if depth is None else depth
+        over = depth - self.high_water + 1
+        return round(max(1, over) * self.est_service_seconds, 6)
+
+    def offer(self, job, priority: Optional[int] = None) -> int:
+        """Admit *job* or raise :class:`AdmissionRejected`.
+
+        Returns the queue depth *after* admission.  Priority defaults to
+        the job spec's own; lower runs first.
+        """
+        depth = self.depth
+        if depth >= self.high_water:
+            self.rejected += 1
+            self.metrics.counter("service.queue.rejected").inc()
+            raise AdmissionRejected(depth, self.retry_after(depth))
+        if priority is None:
+            priority = getattr(getattr(job, "spec", job), "priority", 1)
+        heapq.heappush(self._heap, (priority, next(self._seq), job))
+        self.accepted += 1
+        self.metrics.counter("service.queue.accepted").inc()
+        self.metrics.gauge("service.queue.depth").set(self.depth)
+        self._available.set()
+        return self.depth
+
+    async def get(self):
+        """Pop the next job (priority, then FIFO); waits when empty."""
+        while not self._heap:
+            self._available.clear()
+            await self._available.wait()
+        _, _, job = heapq.heappop(self._heap)
+        self.metrics.gauge("service.queue.depth").set(self.depth)
+        return job
+
+    def drain(self) -> list:
+        """Remove and return every queued job (shutdown path), in order."""
+        jobs = [job for _, _, job in sorted(self._heap)]
+        self._heap.clear()
+        self.metrics.gauge("service.queue.depth").set(0)
+        return jobs

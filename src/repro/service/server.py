@@ -1,0 +1,188 @@
+"""JSON-lines TCP front end for the campaign service.
+
+The wire protocol is a single JSON request line followed by a stream of
+JSON event lines — no framing, no dependencies, easy to drive from
+``nc`` or a five-line client:
+
+* ``{"op": "submit", "spec": {...JobSpec...}}`` — admit one job and
+  stream its lifecycle events (``queued`` → ``started``/``cached`` →
+  ``result`` → ``done``/``failed``) back as they happen, so results
+  reach the client incrementally rather than at the end.  Backpressure
+  is a normal response, not a dropped connection: a full queue answers
+  ``{"event": "rejected", "retry_after": ...}``.
+* ``{"op": "stats"}`` — one line of fleet-wide service telemetry
+  (queue depth, store hit rate, worker warm-cache state, metrics).
+* ``{"op": "ping"}`` — liveness probe.
+* ``{"op": "shutdown"}`` — drain and stop the server.
+
+Every response line carries an ``"event"`` field; protocol errors come
+back as ``{"event": "error", "error": ...}`` instead of killing the
+connection silently.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import socket
+from typing import List, Optional
+
+from repro.service.jobs import JobSpec
+from repro.service.queue import AdmissionRejected
+from repro.service.service import CampaignService
+
+
+def _line(payload: dict) -> bytes:
+    return (json.dumps(payload, sort_keys=True) + "\n").encode()
+
+
+class CampaignServer:
+    """Serves one :class:`CampaignService` over JSON-lines TCP."""
+
+    def __init__(
+        self,
+        service: CampaignService,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self.service = service
+        self.host = host
+        self.port = port
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._shutdown = asyncio.Event()
+
+    async def start(self) -> "CampaignServer":
+        """Bind and start accepting; resolves ``port=0`` to the real port."""
+        await self.service.start()
+        self._server = await asyncio.start_server(
+            self._handle, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        return self
+
+    async def serve_until_shutdown(self) -> None:
+        """Block until a client sends ``{"op": "shutdown"}``."""
+        await self._shutdown.wait()
+        await self.close()
+
+    async def close(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        await self.service.close()
+        self._shutdown.set()
+
+    # -- request handling ---------------------------------------------------
+
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            raw = await reader.readline()
+            if not raw:
+                return
+            try:
+                request = json.loads(raw)
+            except json.JSONDecodeError as exc:
+                writer.write(_line({"event": "error", "error": f"bad JSON: {exc}"}))
+                return
+            op = request.get("op")
+            if op == "ping":
+                writer.write(_line({"event": "pong"}))
+            elif op == "stats":
+                await self._handle_stats(writer)
+            elif op == "submit":
+                await self._handle_submit(request, writer)
+            elif op == "shutdown":
+                writer.write(_line({"event": "bye"}))
+                self._shutdown.set()
+            else:
+                writer.write(_line({
+                    "event": "error",
+                    "error": f"unknown op {op!r}: valid ops are "
+                             "submit, stats, ping, shutdown",
+                }))
+        finally:
+            try:
+                await writer.drain()
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _handle_stats(self, writer: asyncio.StreamWriter) -> None:
+        snapshot = self.service.snapshot()
+        snapshot["warm"] = await self.service.pool.warm_stats()
+        writer.write(_line({"event": "stats", **snapshot}))
+
+    async def _handle_submit(
+        self, request: dict, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            spec = JobSpec.from_dict(request.get("spec") or {})
+            job = self.service.submit(spec)
+        except AdmissionRejected as exc:
+            writer.write(_line({
+                "event": "rejected",
+                "depth": exc.depth,
+                "retry_after": exc.retry_after,
+            }))
+            return
+        except (ValueError, TypeError) as exc:
+            writer.write(_line({"event": "error", "error": str(exc)}))
+            return
+        async for event in self.service.stream(job):
+            writer.write(_line(event))
+            await writer.drain()
+
+
+async def serve(
+    host: str = "127.0.0.1",
+    port: int = 8753,
+    workers: int = 0,
+    max_depth: int = 64,
+    high_water: Optional[int] = None,
+    ready=None,
+) -> None:
+    """Run a campaign service on TCP until a shutdown request.
+
+    *ready* (optional callable) receives the bound port once the server
+    is accepting — the CLI uses it to print the endpoint, tests use it
+    to learn an ephemeral port.
+    """
+    service = CampaignService(
+        workers=workers, max_depth=max_depth, high_water=high_water
+    )
+    server = CampaignServer(service, host=host, port=port)
+    await server.start()
+    if ready is not None:
+        ready(server.port)
+    await server.serve_until_shutdown()
+
+
+# -- synchronous client (CLI / tests) -----------------------------------------
+
+
+def request(
+    host: str, port: int, payload: dict, timeout: float = 60.0
+) -> List[dict]:
+    """Send one request line; return every response event line."""
+    with socket.create_connection((host, port), timeout=timeout) as sock:
+        sock.sendall(_line(payload))
+        events: List[dict] = []
+        with sock.makefile("r", encoding="utf-8") as stream:
+            for line in stream:
+                line = line.strip()
+                if line:
+                    events.append(json.loads(line))
+        return events
+
+
+def submit(
+    host: str, port: int, spec: JobSpec, timeout: float = 300.0
+) -> List[dict]:
+    """Submit one job; returns its streamed event lines."""
+    return request(
+        host, port, {"op": "submit", "spec": spec.as_dict()}, timeout=timeout
+    )

@@ -1,0 +1,284 @@
+"""The campaign service: asyncio job orchestration over warm workers.
+
+:class:`CampaignService` ties the subsystem together:
+
+* submissions pass **admission control** (:mod:`repro.service.queue`) —
+  a bounded priority/FIFO queue that rejects with a retry-after hint
+  past its high-water mark;
+* accepted jobs dispatch to the **persistent worker pool**
+  (:mod:`repro.service.pool`), gated by a worker-count semaphore so
+  queue depth means "waiting", not "running";
+* results land in the **shared result store**
+  (:mod:`repro.service.store`), keyed on the job's provenance tuple, so
+  identical submissions — same program, same seed, same knobs — are
+  served from cache across clients, and concurrent identical
+  submissions coalesce onto one in-flight execution;
+* every job **streams events** (queued → started/cached → result →
+  done) through its own ``asyncio.Queue``, which the TCP server relays
+  line by line, and the service aggregates fleet-wide telemetry
+  (queue depth, wall queue latency, job/fault totals, store hit rate)
+  into one :class:`~repro.obs.metrics.MetricsRegistry`.
+
+Results are pure functions of the spec (see :mod:`repro.service.jobs`),
+so nothing here — caching, coalescing, worker count, scheduling order —
+can change what a job returns; it can only change how fast.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import time
+from typing import Dict, List, Optional
+
+from repro.obs.metrics import MetricsRegistry
+from repro.service.jobs import Job, JobSpec
+from repro.service.pool import WorkerPool
+from repro.service.queue import AdmissionQueue, AdmissionRejected
+from repro.service.store import ResultStore
+
+__all__ = ["CampaignService", "AdmissionRejected"]
+
+
+class CampaignService:
+    """Long-running job service over the simulated offload fleet."""
+
+    def __init__(
+        self,
+        workers: int = 0,
+        max_depth: int = 64,
+        high_water: Optional[int] = None,
+        metrics: Optional[MetricsRegistry] = None,
+        store: Optional[ResultStore] = None,
+        pool: Optional[WorkerPool] = None,
+        pool_cls=None,
+    ) -> None:
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.store = store if store is not None else ResultStore(
+            metrics=self.metrics, name="service.store"
+        )
+        self.queue = AdmissionQueue(
+            max_depth=max_depth, high_water=high_water, metrics=self.metrics
+        )
+        self.pool = pool if pool is not None else WorkerPool(workers, pool_cls)
+        #: Concurrency gate: at most this many jobs execute at once.
+        self.slots = max(1, workers)
+        self._semaphore: Optional[asyncio.Semaphore] = None
+        self._inflight: Dict[tuple, asyncio.Future] = {}
+        self._jobs: Dict[int, Job] = {}
+        self._ids = itertools.count(1)
+        self._dispatcher: Optional[asyncio.Task] = None
+        self._tasks: set = set()
+        #: Wall-clock queue latencies (submit -> start), for the service
+        #: benchmark; live telemetry only, never part of job results.
+        self.wall_queue_latencies: List[float] = []
+
+    # -- lifecycle ----------------------------------------------------------
+
+    async def start(self) -> "CampaignService":
+        """Start the dispatcher; idempotent."""
+        if self._dispatcher is None:
+            self._semaphore = asyncio.Semaphore(self.slots)
+            self._dispatcher = asyncio.create_task(self._dispatch_loop())
+        return self
+
+    async def close(self) -> None:
+        """Stop dispatching, cancel waiters, shut the pool down."""
+        if self._dispatcher is not None:
+            self._dispatcher.cancel()
+            try:
+                await self._dispatcher
+            except asyncio.CancelledError:
+                pass
+            self._dispatcher = None
+        for job in self.queue.drain():
+            self._finish(job, error="service shut down before execution")
+        if self._tasks:
+            await asyncio.gather(*self._tasks, return_exceptions=True)
+        self.pool.shutdown()
+
+    async def drain(self) -> None:
+        """Wait until every accepted job has finished."""
+        while self.queue.depth or self._tasks:
+            pending = set(self._tasks)
+            if pending:
+                await asyncio.gather(*pending, return_exceptions=True)
+            else:
+                await asyncio.sleep(0)
+
+    async def __aenter__(self) -> "CampaignService":
+        return await self.start()
+
+    async def __aexit__(self, *exc) -> None:
+        await self.close()
+
+    # -- submission ---------------------------------------------------------
+
+    def submit(self, spec: JobSpec) -> Job:
+        """Admit one job; returns its :class:`Job` handle.
+
+        Raises ``ValueError`` for malformed specs and
+        :class:`AdmissionRejected` (with ``retry_after``) when the queue
+        is past its high-water mark.  A spec whose provenance key is
+        already in the shared store completes immediately from cache
+        without consuming a queue slot.
+        """
+        spec.validate()
+        job = Job(
+            id=next(self._ids),
+            spec=spec,
+            submitted_wall=time.monotonic(),
+            events=asyncio.Queue(),
+            done=asyncio.get_running_loop().create_future(),
+        )
+        self._jobs[job.id] = job
+        self.metrics.counter("service.jobs.submitted").inc()
+        cached = self.store.get(spec.key(), record=True)
+        if cached is not None:
+            self._emit(job, "cached", key=spec.key_id())
+            self.metrics.counter("service.jobs.cached").inc()
+            job.cached = True
+            self._finish(job, result=cached)
+            return job
+        try:
+            depth = self.queue.offer(job)
+        except AdmissionRejected:
+            self.metrics.counter("service.jobs.rejected").inc()
+            del self._jobs[job.id]
+            raise
+        job.state = "queued"
+        self._emit(job, "queued", key=spec.key_id(), depth=depth)
+        return job
+
+    def job(self, job_id: int) -> Optional[Job]:
+        """Look up a submitted job by id."""
+        return self._jobs.get(job_id)
+
+    # -- dispatch -----------------------------------------------------------
+
+    async def _dispatch_loop(self) -> None:
+        while True:
+            await self._semaphore.acquire()
+            try:
+                job = await self.queue.get()
+            except asyncio.CancelledError:
+                self._semaphore.release()
+                raise
+            task = asyncio.create_task(self._run_job(job))
+            self._tasks.add(task)
+            task.add_done_callback(self._tasks.discard)
+
+    async def _run_job(self, job: Job) -> None:
+        try:
+            job.state = "running"
+            job.started_wall = time.monotonic()
+            latency = job.started_wall - job.submitted_wall
+            self.wall_queue_latencies.append(latency)
+            self.metrics.histogram("service.queue.wall_seconds").observe(latency)
+            self._emit(job, "started")
+            key = job.spec.key()
+            cached = self.store.get(key)
+            if cached is not None:
+                job.cached = True
+                self.metrics.counter("service.jobs.cached").inc()
+                self._finish(job, result=cached)
+                return
+            inflight = self._inflight.get(key)
+            if inflight is not None:
+                # Coalesce: an identical job is already executing; wait
+                # for its result instead of running the work twice.
+                self._emit(job, "coalesced")
+                try:
+                    result = await asyncio.shield(inflight)
+                except Exception as exc:
+                    self._finish(job, error=str(exc))
+                    return
+                job.cached = True
+                self.metrics.counter("service.jobs.cached").inc()
+                self._finish(job, result=result)
+                return
+            future = asyncio.get_running_loop().create_future()
+            self._inflight[key] = future
+            try:
+                result = await self.pool.run(job.spec.as_dict())
+            except Exception as exc:
+                if not future.done():
+                    future.set_exception(exc)
+                    # Coalesced waiters consume the exception; nobody
+                    # else should trip "exception never retrieved".
+                    future.exception()
+                self._finish(job, error=str(exc))
+                return
+            finally:
+                self._inflight.pop(key, None)
+            self.store.put(key, result)
+            self._finish(job, result=result)
+            if not future.done():
+                future.set_result(result)
+        finally:
+            self._semaphore.release()
+
+    # -- completion ---------------------------------------------------------
+
+    def _emit(self, job: Job, event: str, **extra) -> None:
+        payload = {"event": event, "job": job.id, **extra}
+        job.events.put_nowait(payload)
+
+    def _finish(
+        self, job: Job, result: Optional[dict] = None, error: Optional[str] = None
+    ) -> None:
+        job.finished_wall = time.monotonic()
+        if error is not None:
+            job.state = "failed"
+            job.error = error
+            self.metrics.counter("service.jobs.failed").inc()
+            self._emit(job, "failed", error=error)
+            if not job.done.done():
+                job.done.set_exception(RuntimeError(error))
+                job.done.exception()
+        else:
+            job.state = "done"
+            job.result = result
+            self.metrics.counter("service.jobs.completed").inc()
+            self.metrics.counter("service.sim_seconds").inc(
+                result.get("sim_time", 0.0)
+            )
+            fault_stats = result.get("fault_stats")
+            if fault_stats:
+                self.metrics.counter("service.faults.injected").inc(
+                    fault_stats.get("total_injected", 0)
+                )
+                self.metrics.counter("service.faults.sdc_escapes").inc(
+                    fault_stats.get("sdc_escapes", 0)
+                )
+            self._emit(job, "result", result=result, cached=job.cached)
+            self._emit(job, "done", ok=bool(result.get("ok", True)))
+            if not job.done.done():
+                job.done.set_result(result)
+
+    # -- observation --------------------------------------------------------
+
+    async def stream(self, job: Job):
+        """Yield *job*'s events until it reaches a terminal state."""
+        while True:
+            event = await job.events.get()
+            yield event
+            if event["event"] in ("done", "failed"):
+                return
+
+    async def result(self, job: Job) -> dict:
+        """Wait for *job* and return its result dict (raises on failure)."""
+        return await job.done
+
+    def snapshot(self) -> dict:
+        """Fleet-wide service telemetry, JSON-ready."""
+        hits, misses, size = self.store.stats()
+        return {
+            "queue_depth": self.queue.depth,
+            "queue_accepted": self.queue.accepted,
+            "queue_rejected": self.queue.rejected,
+            "store": {"hits": hits, "misses": misses, "size": size},
+            "jobs": len(self._jobs),
+            "workers": self.pool.workers,
+            "metrics": self.metrics.snapshot(),
+        }

@@ -1,0 +1,121 @@
+"""Shared result store: concurrency-safe get-or-compute keyed on provenance.
+
+The experiments harness has always memoized benchmark runs in a plain
+dict; the campaign service generalizes that memo into a store several
+clients (and several worker threads) can share.  Keys are the same
+provenance tuples the harness uses — pure functions of everything that
+determines a result — so identical submissions are served from cache
+across clients, and two *concurrent* identical submissions compute the
+value exactly once (the second waits on the first's per-key lock).
+
+Hit/miss/size telemetry is exported through an
+:class:`repro.obs.metrics.MetricsRegistry` so a service operator can
+watch the shared-store hit rate; the default :data:`~repro.obs.metrics.NULL_METRICS`
+sink keeps unobserved stores allocation-free.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, Dict, Hashable, Optional, Tuple
+
+from repro.obs.metrics import NULL_METRICS
+
+
+class ResultStore:
+    """A thread-safe memo of computed results keyed on provenance tuples.
+
+    *metrics* receives ``<name>.hits`` / ``<name>.misses`` counters and a
+    ``<name>.size`` gauge; *name* defaults to ``"store"`` so one registry
+    can host several stores side by side.
+    """
+
+    def __init__(self, metrics=None, name: str = "store") -> None:
+        self.name = name
+        self.metrics = metrics if metrics is not None else NULL_METRICS
+        self._results: Dict[Hashable, object] = {}
+        self._lock = threading.Lock()
+        #: Per-key compute locks so concurrent identical keys serialize
+        #: against each other without serializing *distinct* keys.
+        self._key_locks: Dict[Hashable, threading.Lock] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._results)
+
+    def __contains__(self, key: Hashable) -> bool:
+        with self._lock:
+            return key in self._results
+
+    def get(self, key: Hashable, record: bool = False) -> Optional[object]:
+        """The stored result for *key*, or None.
+
+        *record* books the lookup in the hit/miss telemetry; the default
+        leaves the counters alone so double-checks don't double-count.
+        """
+        with self._lock:
+            value = self._results.get(key)
+            if record:
+                self._record(hit=value is not None)
+            return value
+
+    def put(self, key: Hashable, value: object) -> None:
+        """Store *value* under *key* (last write wins)."""
+        with self._lock:
+            self._results[key] = value
+            self.metrics.gauge(f"{self.name}.size").set(len(self._results))
+
+    def _record(self, hit: bool) -> None:
+        if hit:
+            self.hits += 1
+            self.metrics.counter(f"{self.name}.hits").inc()
+        else:
+            self.misses += 1
+            self.metrics.counter(f"{self.name}.misses").inc()
+
+    def get_or_compute(
+        self, key: Hashable, compute: Callable[[], object]
+    ) -> object:
+        """Return the cached result for *key*, computing it at most once.
+
+        The global lock only guards the dict lookups; *compute* runs
+        under the key's own lock, so a second caller with the same key
+        blocks until the first finishes and then takes the cached value,
+        while callers with different keys proceed in parallel.
+        """
+        with self._lock:
+            if key in self._results:
+                self._record(hit=True)
+                return self._results[key]
+            key_lock = self._key_locks.setdefault(key, threading.Lock())
+        with key_lock:
+            with self._lock:
+                if key in self._results:
+                    # Lost the race: the winner computed while we waited.
+                    self._record(hit=True)
+                    return self._results[key]
+            try:
+                value = compute()
+            except BaseException:
+                with self._lock:
+                    self._key_locks.pop(key, None)
+                raise
+            with self._lock:
+                self._results[key] = value
+                self._record(hit=False)
+                self.metrics.gauge(f"{self.name}.size").set(len(self._results))
+                self._key_locks.pop(key, None)
+            return value
+
+    def stats(self) -> Tuple[int, int, int]:
+        """``(hits, misses, size)`` of the store so far."""
+        with self._lock:
+            return self.hits, self.misses, len(self._results)
+
+    def clear(self) -> None:
+        """Drop every stored result (telemetry counters are kept)."""
+        with self._lock:
+            self._results.clear()
+            self._key_locks.clear()
+            self.metrics.gauge(f"{self.name}.size").set(0)

@@ -1,0 +1,58 @@
+"""Concurrency tests for the SuiteRunner run cache.
+
+The campaign service keeps warm :class:`SuiteRunner` instances shared
+across pool threads, so the run cache must compute each variant exactly
+once under concurrent identical requests and account every lookup in
+its hit/miss counters.
+"""
+
+from concurrent.futures import ThreadPoolExecutor
+
+from repro.experiments.harness import SuiteRunner
+from repro.obs.metrics import MetricsRegistry
+
+
+class TestRunCacheConcurrency:
+    def test_hammered_variant_computes_once(self):
+        metrics = MetricsRegistry()
+        runner = SuiteRunner(metrics=metrics)
+        threads = 8
+
+        with ThreadPoolExecutor(max_workers=threads) as pool:
+            futures = [
+                pool.submit(runner.run_variant, "blackscholes", "opt")
+                for _ in range(threads)
+            ]
+            runs = [f.result() for f in futures]
+
+        first = runs[0]
+        assert all(r is first for r in runs)  # one shared object, one compute
+        hits, misses, size = runner.cache_stats()
+        assert misses == 1
+        assert hits == threads - 1
+        assert size == 1
+
+    def test_counters_surface_through_metrics_registry(self):
+        metrics = MetricsRegistry()
+        runner = SuiteRunner(metrics=metrics)
+        runner.run_variant("blackscholes", "opt")
+        runner.run_variant("blackscholes", "opt")
+
+        counters = metrics.snapshot()["counters"]
+        assert counters["harness.cache.misses"] == 1
+        assert counters["harness.cache.hits"] == 1
+
+    def test_distinct_variants_do_not_serialize_counts(self):
+        runner = SuiteRunner()
+        with ThreadPoolExecutor(max_workers=2) as pool:
+            a = pool.submit(runner.run_variant, "blackscholes", "cpu")
+            b = pool.submit(runner.run_variant, "blackscholes", "mic")
+            a.result(), b.result()
+        hits, misses, size = runner.cache_stats()
+        assert (hits, misses, size) == (0, 2, 2)
+
+    def test_cache_works_without_metrics(self):
+        runner = SuiteRunner()
+        runner.run_variant("nn", "opt")
+        runner.run_variant("nn", "opt")
+        assert runner.cache_stats() == (1, 1, 1)

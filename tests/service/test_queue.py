@@ -1,0 +1,102 @@
+"""Tests for the admission-controlled priority queue."""
+
+import asyncio
+from dataclasses import dataclass
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.service.queue import AdmissionQueue, AdmissionRejected
+
+
+@dataclass
+class FakeJob:
+    name: str
+    priority: int = 1
+
+    @property
+    def spec(self):
+        return self
+
+
+def drain(queue):
+    async def pop_all():
+        return [
+            (await queue.get()).name for _ in range(queue.depth)
+        ]
+
+    return asyncio.run(pop_all())
+
+
+class TestOrdering:
+    def test_priority_then_fifo(self):
+        queue = AdmissionQueue(max_depth=16)
+        for job in (
+            FakeJob("batch1", priority=2),
+            FakeJob("interactive", priority=0),
+            FakeJob("batch2", priority=2),
+            FakeJob("normal", priority=1),
+        ):
+            queue.offer(job)
+        assert drain(queue) == ["interactive", "normal", "batch1", "batch2"]
+
+    def test_get_waits_for_offer(self):
+        queue = AdmissionQueue(max_depth=4)
+
+        async def scenario():
+            waiter = asyncio.ensure_future(queue.get())
+            await asyncio.sleep(0)
+            assert not waiter.done()
+            queue.offer(FakeJob("late"))
+            return (await waiter).name
+
+        assert asyncio.run(scenario()) == "late"
+
+
+class TestAdmission:
+    def test_rejects_past_high_water(self):
+        queue = AdmissionQueue(max_depth=8, high_water=3)
+        for i in range(3):
+            queue.offer(FakeJob(f"j{i}"))
+        with pytest.raises(AdmissionRejected) as exc:
+            queue.offer(FakeJob("overflow"))
+        assert exc.value.depth == 3
+        assert exc.value.retry_after > 0
+        assert queue.rejected == 1
+        assert queue.accepted == 3
+
+    def test_retry_after_grows_with_backlog(self):
+        queue = AdmissionQueue(max_depth=64, high_water=2)
+        assert queue.retry_after(2) < queue.retry_after(10)
+
+    def test_retry_after_deterministic(self):
+        q1 = AdmissionQueue(max_depth=8, high_water=4)
+        q2 = AdmissionQueue(max_depth=8, high_water=4)
+        assert q1.retry_after(6) == q2.retry_after(6)
+
+    def test_default_high_water_is_three_quarters(self):
+        assert AdmissionQueue(max_depth=64).high_water == 48
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="max_depth"):
+            AdmissionQueue(max_depth=0)
+        with pytest.raises(ValueError, match="high_water"):
+            AdmissionQueue(max_depth=4, high_water=9)
+
+    def test_metrics(self):
+        metrics = MetricsRegistry()
+        queue = AdmissionQueue(max_depth=8, high_water=1, metrics=metrics)
+        queue.offer(FakeJob("a"))
+        with pytest.raises(AdmissionRejected):
+            queue.offer(FakeJob("b"))
+        counters = metrics.snapshot()["counters"]
+        assert counters["service.queue.accepted"] == 1
+        assert counters["service.queue.rejected"] == 1
+        assert metrics.snapshot()["gauges"]["service.queue.depth"]["max"] == 1
+
+    def test_drain_returns_in_order(self):
+        queue = AdmissionQueue(max_depth=8)
+        queue.offer(FakeJob("b", priority=2))
+        queue.offer(FakeJob("a", priority=0))
+        assert [job.name for job in queue.drain()] == ["a", "b"]
+        assert queue.depth == 0

@@ -1,0 +1,135 @@
+"""Tests for the JSON-lines TCP front end."""
+
+import asyncio
+import threading
+
+import pytest
+
+from repro.service import server as srv
+from repro.service.jobs import JobSpec
+
+SOURCE = """
+void main() {
+#pragma offload target(mic:0) in(A : length(n)) in(n) out(B : length(n))
+#pragma omp parallel for
+    for (int i = 0; i < n; i++) {
+        B[i] = A[i] * 2.0;
+    }
+}
+"""
+
+
+def run_job_spec(seed=0):
+    return JobSpec(
+        kind="run",
+        source=SOURCE,
+        arrays=("A=16:float:arange", "B=16:float:zeros"),
+        scalars=("n=16",),
+        seed=seed,
+    )
+
+
+@pytest.fixture
+def live_server():
+    """A campaign service on an ephemeral port, in a background thread."""
+    box = {}
+    ready = threading.Event()
+
+    def main():
+        def on_ready(port):
+            box["port"] = port
+            ready.set()
+
+        asyncio.run(srv.serve(
+            host="127.0.0.1", port=0, workers=0,
+            max_depth=8, high_water=4, ready=on_ready,
+        ))
+
+    thread = threading.Thread(target=main, daemon=True)
+    thread.start()
+    assert ready.wait(10), "server never came up"
+    yield "127.0.0.1", box["port"]
+    try:
+        srv.request("127.0.0.1", box["port"], {"op": "shutdown"}, timeout=5)
+    except OSError:
+        pass
+    thread.join(10)
+
+
+class TestProtocol:
+    def test_ping(self, live_server):
+        host, port = live_server
+        assert srv.request(host, port, {"op": "ping"}) == [{"event": "pong"}]
+
+    def test_unknown_op(self, live_server):
+        host, port = live_server
+        (event,) = srv.request(host, port, {"op": "launder"})
+        assert event["event"] == "error"
+        assert "launder" in event["error"]
+
+    def test_bad_json(self, live_server):
+        host, port = live_server
+        import socket
+
+        with socket.create_connection(live_server, timeout=5) as sock:
+            sock.sendall(b"this is not json\n")
+            line = sock.makefile("r").readline()
+        assert "bad JSON" in line
+
+    def test_submit_streams_lifecycle(self, live_server):
+        host, port = live_server
+        events = srv.submit(host, port, run_job_spec())
+        names = [e["event"] for e in events]
+        assert names == ["queued", "started", "result", "done"]
+        result = next(e for e in events if e["event"] == "result")
+        assert result["result"]["ok"]
+        assert result["result"]["outputs"]
+
+    def test_identical_submission_served_from_cache(self, live_server):
+        host, port = live_server
+        first = srv.submit(host, port, run_job_spec())
+        second = srv.submit(host, port, run_job_spec())
+        assert [e["event"] for e in second] == ["cached", "result", "done"]
+        r1 = next(e for e in first if e["event"] == "result")["result"]
+        r2 = next(e for e in second if e["event"] == "result")["result"]
+        assert r1 == r2
+
+    def test_invalid_spec_is_an_error_event(self, live_server):
+        host, port = live_server
+        (event,) = srv.request(
+            host, port,
+            {"op": "submit", "spec": {"kind": "run", "source": None}},
+        )
+        assert event["event"] == "error"
+        assert "source" in event["error"]
+
+    def test_stats_reports_store_and_warm_state(self, live_server):
+        host, port = live_server
+        srv.submit(host, port, run_job_spec(seed=7))
+        (stats,) = srv.request(host, port, {"op": "stats"})
+        assert stats["event"] == "stats"
+        assert stats["store"]["size"] >= 1
+        assert "warm" in stats
+        assert stats["metrics"]["counters"]["service.jobs.submitted"] >= 1
+
+
+class TestShutdown:
+    def test_shutdown_op_stops_server(self):
+        box = {}
+        ready = threading.Event()
+
+        def main():
+            asyncio.run(srv.serve(
+                host="127.0.0.1", port=0, workers=0,
+                ready=lambda p: (box.update(port=p), ready.set()),
+            ))
+
+        thread = threading.Thread(target=main, daemon=True)
+        thread.start()
+        assert ready.wait(10)
+        (event,) = srv.request(
+            "127.0.0.1", box["port"], {"op": "shutdown"}, timeout=5
+        )
+        assert event == {"event": "bye"}
+        thread.join(10)
+        assert not thread.is_alive()

@@ -1,0 +1,217 @@
+"""Tests for the asyncio campaign service orchestrator."""
+
+import asyncio
+
+import pytest
+
+from repro.service.jobs import JobSpec
+from repro.service.queue import AdmissionRejected
+from repro.service.service import CampaignService
+
+SOURCE = """
+void main() {
+#pragma offload target(mic:0) in(A : length(n)) in(n) out(B : length(n))
+#pragma omp parallel for
+    for (int i = 0; i < n; i++) {
+        B[i] = A[i] * 2.0;
+    }
+}
+"""
+
+
+def run_spec(size=16, **overrides):
+    fields = dict(
+        kind="run",
+        source=SOURCE,
+        arrays=(f"A={size}:float:arange", f"B={size}:float:zeros"),
+        scalars=(f"n={size}",),
+        seed=0,
+    )
+    fields.update(overrides)
+    return JobSpec(**fields)
+
+
+def run_service(coro_fn, **service_kwargs):
+    async def scenario():
+        service = CampaignService(**service_kwargs)
+        await service.start()
+        try:
+            return await coro_fn(service)
+        finally:
+            await service.close()
+
+    return asyncio.run(scenario())
+
+
+class TestLifecycle:
+    def test_job_event_sequence(self):
+        async def scenario(service):
+            job = service.submit(run_spec())
+            events = [e["event"] async for e in service.stream(job)]
+            return events, job
+
+        events, job = run_service(scenario)
+        assert events == ["queued", "started", "result", "done"]
+        assert job.state == "done"
+        assert job.result["ok"]
+        assert not job.cached
+
+    def test_result_streams_incrementally(self):
+        async def scenario(service):
+            job = service.submit(run_spec())
+            seen = []
+            async for event in service.stream(job):
+                seen.append(event)
+                if event["event"] == "result":
+                    # The full result payload arrives before the
+                    # terminal event, not after the fact.
+                    assert event["result"]["outputs"]
+            return seen
+
+        events = run_service(scenario)
+        assert events[-1]["event"] == "done"
+
+    def test_invalid_spec_raises_before_admission(self):
+        async def scenario(service):
+            with pytest.raises(ValueError, match="source"):
+                service.submit(JobSpec(kind="run", source=None))
+            return service.queue.accepted
+
+        assert run_service(scenario) == 0
+
+
+class TestSharedStore:
+    def test_identical_submissions_served_from_cache(self):
+        async def scenario(service):
+            first = service.submit(run_spec())
+            result = await service.result(first)
+            second = service.submit(run_spec())
+            cached = await service.result(second)
+            return first, second, result, cached
+
+        first, second, result, cached = run_service(scenario)
+        assert not first.cached
+        assert second.cached
+        assert cached == result
+        assert second.state == "done"
+
+    def test_cache_is_keyed_on_provenance(self):
+        async def scenario(service):
+            a = service.submit(run_spec(seed=0))
+            b = service.submit(run_spec(seed=1))
+            ra = await service.result(a)
+            rb = await service.result(b)
+            return ra, rb, b.cached
+
+        ra, rb, b_cached = run_service(scenario)
+        assert not b_cached
+        assert ra["outputs"] == rb["outputs"]  # arange inputs: same data
+        assert ra["key_id"] != rb["key_id"]
+
+    def test_concurrent_identical_submissions_coalesce(self):
+        async def scenario(service):
+            jobs = [service.submit(run_spec()) for _ in range(4)]
+            results = [await service.result(job) for job in jobs]
+            assert all(r == results[0] for r in results)
+            hits, misses, size = service.store.stats()
+            return size, sum(job.cached for job in jobs)
+
+        size, cached_count = run_service(scenario, workers=2)
+        assert size == 1
+        assert cached_count == 3
+
+    def test_scheduling_hints_share_cache(self):
+        async def scenario(service):
+            a = service.submit(run_spec(tenant="alice", priority=0))
+            await service.result(a)
+            b = service.submit(run_spec(tenant="bob", priority=2))
+            await service.result(b)
+            return b.cached
+
+        assert run_service(scenario)
+
+
+class TestBackpressure:
+    def test_rejects_with_retry_after_past_high_water(self):
+        # Submissions are synchronous (no awaits), so the dispatcher
+        # can't drain between them: exactly high_water jobs are
+        # admitted, then backpressure starts.
+        async def scenario(service):
+            jobs = []
+            with pytest.raises(AdmissionRejected) as exc:
+                for i in range(100):
+                    jobs.append(service.submit(run_spec(seed=i)))
+            for job in jobs:
+                await service.result(job)
+            return len(jobs), exc.value.retry_after
+
+        admitted, retry_after = run_service(
+            scenario, max_depth=4, high_water=2
+        )
+        assert admitted == 2
+        assert retry_after > 0
+
+    def test_rejected_jobs_do_not_leak(self):
+        async def scenario(service):
+            kept = service.submit(run_spec(seed=0))
+            with pytest.raises(AdmissionRejected):
+                service.submit(run_spec(seed=1))
+            await service.result(kept)
+            await service.drain()
+            return service.snapshot()
+
+        snapshot = run_service(scenario, max_depth=2, high_water=1)
+        assert snapshot["queue_rejected"] == 1
+        assert snapshot["queue_depth"] == 0
+        # The rejected job must not linger in the service's job table.
+        assert snapshot["jobs"] == 1
+
+
+class TestTelemetry:
+    def test_snapshot_aggregates_fleet_metrics(self):
+        async def scenario(service):
+            job = service.submit(run_spec())
+            await service.result(job)
+            again = service.submit(run_spec())
+            await service.result(again)
+            return service.snapshot()
+
+        snapshot = run_service(scenario)
+        counters = snapshot["metrics"]["counters"]
+        assert counters["service.jobs.submitted"] == 2
+        assert counters["service.jobs.completed"] == 2
+        assert counters["service.jobs.cached"] == 1
+        assert counters["service.sim_seconds"] > 0
+        assert snapshot["store"]["size"] == 1
+        latency = snapshot["metrics"]["histograms"].get(
+            "service.queue.wall_seconds"
+        )
+        assert latency is not None and latency["count"] >= 1
+
+    def test_faults_job_rolls_up_fault_totals(self):
+        async def scenario(service):
+            job = service.submit(JobSpec(
+                kind="faults", workload="hotspot", scenario=0, seed=5,
+                rates=(("kernel", 0.2),),
+            ))
+            result = await service.result(job)
+            return result, service.snapshot()
+
+        result, snapshot = run_service(scenario)
+        counters = snapshot["metrics"]["counters"]
+        assert counters["service.faults.injected"] == (
+            result["fault_stats"]["total_injected"]
+        )
+
+    def test_failed_job_counted_and_raises(self):
+        async def scenario(service):
+            job = service.submit(JobSpec(
+                kind="run", source="void main() { this is not minic }",
+            ))
+            with pytest.raises(RuntimeError):
+                await service.result(job)
+            return job.state, service.snapshot()
+
+        state, snapshot = run_service(scenario)
+        assert state == "failed"
+        assert snapshot["metrics"]["counters"]["service.jobs.failed"] == 1

@@ -1,0 +1,119 @@
+"""Tests for the shared result store (concurrency-safe get-or-compute)."""
+
+import threading
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.service.store import ResultStore
+
+
+class TestBasics:
+    def test_get_put_roundtrip(self):
+        store = ResultStore()
+        assert store.get(("k",)) is None
+        store.put(("k",), 42)
+        assert store.get(("k",)) == 42
+        assert ("k",) in store
+        assert len(store) == 1
+
+    def test_get_or_compute_computes_once(self):
+        store = ResultStore()
+        calls = []
+        for _ in range(3):
+            value = store.get_or_compute(("a", 1), lambda: calls.append(1) or "v")
+        assert value == "v"
+        assert len(calls) == 1
+        assert store.stats() == (2, 1, 1)
+
+    def test_clear_keeps_counters(self):
+        store = ResultStore()
+        store.get_or_compute("k", lambda: 1)
+        store.get_or_compute("k", lambda: 1)
+        store.clear()
+        assert len(store) == 0
+        hits, misses, size = store.stats()
+        assert (hits, misses, size) == (1, 1, 0)
+
+    def test_compute_exception_releases_key(self):
+        store = ResultStore()
+        with pytest.raises(RuntimeError):
+            store.get_or_compute("k", self._boom)
+        # A later compute for the same key must not deadlock or see
+        # stale state.
+        assert store.get_or_compute("k", lambda: "ok") == "ok"
+
+    @staticmethod
+    def _boom():
+        raise RuntimeError("compute failed")
+
+
+class TestConcurrency:
+    def test_concurrent_identical_keys_compute_once(self):
+        store = ResultStore()
+        calls = []
+        barrier = threading.Barrier(8)
+
+        def compute():
+            calls.append(1)
+            return "result"
+
+        results = []
+
+        def worker():
+            barrier.wait()
+            results.append(store.get_or_compute("hot", compute))
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert results == ["result"] * 8
+        assert len(calls) == 1
+        hits, misses, _ = store.stats()
+        assert misses == 1
+        assert hits == 7
+
+    def test_distinct_keys_do_not_serialize(self):
+        # Two distinct keys computing concurrently must not deadlock on
+        # each other: thread A's compute blocks until thread B has
+        # *started* computing, which only works if B isn't waiting on A.
+        store = ResultStore()
+        b_started = threading.Event()
+
+        def compute_a():
+            assert b_started.wait(5), "key B never started: keys serialized"
+            return "a"
+
+        done = {}
+
+        def run_a():
+            done["a"] = store.get_or_compute("ka", compute_a)
+
+        def run_b():
+            done["b"] = store.get_or_compute(
+                "kb", lambda: (b_started.set(), "b")[1]
+            )
+
+        ta = threading.Thread(target=run_a)
+        tb = threading.Thread(target=run_b)
+        ta.start()
+        tb.start()
+        ta.join(10)
+        tb.join(10)
+        assert done == {"a": "a", "b": "b"}
+
+
+class TestMetrics:
+    def test_counters_exported(self):
+        metrics = MetricsRegistry()
+        store = ResultStore(metrics=metrics, name="test.cache")
+        store.get_or_compute("k", lambda: 1)
+        store.get_or_compute("k", lambda: 1)
+        store.get("k", record=True)
+        store.get("absent", record=True)
+        counters = metrics.snapshot()["counters"]
+        assert counters["test.cache.hits"] == 2
+        assert counters["test.cache.misses"] == 2
+        assert metrics.snapshot()["gauges"]["test.cache.size"]["value"] == 1

@@ -1,0 +1,208 @@
+"""Tests for traffic generation, the virtual queue model, and replay."""
+
+import json
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import replace
+
+import pytest
+
+from repro.service.traffic import (
+    Arrival,
+    TraceSpec,
+    generate_trace,
+    replay_trace,
+    simulate_queue,
+    summary_to_json,
+)
+
+#: A cheap trace: interactive runs only (small arrays, no bench suites),
+#: sized for unit tests.
+CHEAP = TraceSpec(
+    seed=11,
+    requests=10,
+    classes=(("run", 1.0),),
+    base_rate=4.0,
+)
+
+#: A chaos trace mixing runs with fault-campaign cells.
+CHAOS = TraceSpec(
+    seed=3,
+    requests=6,
+    classes=(("run", 1.0), ("faults", 1.0)),
+    scenarios=1,
+    rates=(("kernel", 0.05),),
+)
+
+
+class TestSpec:
+    def test_roundtrip(self):
+        spec = replace(CHAOS, policy=(("max_retries", 4),))
+        assert TraceSpec.from_dict(spec.as_dict()) == spec
+
+    def test_unknown_fields_rejected(self):
+        with pytest.raises(ValueError, match="bogus"):
+            TraceSpec.from_dict({"seed": 1, "bogus": 2})
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="requests"):
+            TraceSpec(requests=0)
+        with pytest.raises(ValueError, match="model_servers"):
+            TraceSpec(model_servers=0)
+        with pytest.raises(ValueError, match="job class"):
+            TraceSpec(classes=(("mystery", 1.0),))
+
+    def test_file_roundtrip(self, tmp_path):
+        from repro.service.traffic import load_trace_spec, save_trace_spec
+
+        path = tmp_path / "trace.json"
+        save_trace_spec(str(path), CHEAP)
+        assert load_trace_spec(str(path)) == CHEAP
+
+
+class TestGeneration:
+    def test_deterministic(self):
+        assert generate_trace(CHAOS) == generate_trace(CHAOS)
+
+    def test_seed_changes_trace(self):
+        other = replace(CHAOS, seed=4)
+        assert generate_trace(CHAOS) != generate_trace(other)
+
+    def test_arrivals_are_ordered_and_typed(self):
+        arrivals = generate_trace(CHAOS)
+        assert len(arrivals) == CHAOS.requests
+        times = [a.t for a in arrivals]
+        assert times == sorted(times)
+        assert all(a.kind in ("run", "faults") for a in arrivals)
+        for arrival in arrivals:
+            arrival.spec.validate()
+
+    def test_tenant_skew(self):
+        spec = replace(CHEAP, requests=120, tenants=4, tenant_skew=1.5)
+        arrivals = generate_trace(spec)
+        counts = {}
+        for arrival in arrivals:
+            counts[arrival.tenant] = counts.get(arrival.tenant, 0) + 1
+        # Zipf-skewed: the rank-0 tenant dominates the tail rank.
+        assert counts["t0"] > counts.get("t3", 0)
+
+    def test_bursts_modulate_rate(self):
+        smooth = replace(CHEAP, requests=200, burst_factor=1.0)
+        bursty = replace(CHEAP, requests=200, burst_factor=20.0)
+        # A burst factor compresses total duration: same request count
+        # arrives in less virtual time than the unmodulated process.
+        assert generate_trace(bursty)[-1].t < generate_trace(smooth)[-1].t
+
+    def test_class_priorities(self):
+        arrivals = generate_trace(CHAOS)
+        for arrival in arrivals:
+            assert arrival.priority == (0 if arrival.kind == "run" else 2)
+
+
+def _arrival(index, t, priority=1):
+    return Arrival(
+        index=index, t=t, tenant="t0", kind="run", priority=priority,
+        spec=None,
+    )
+
+
+class TestQueueModel:
+    def test_single_server_serializes(self):
+        arrivals = [_arrival(0, 0.0), _arrival(1, 0.0)]
+        records = simulate_queue(arrivals, [1.0, 1.0], 1, high_water=8)
+        assert records[0]["queue_latency"] == 0.0
+        assert records[1]["queue_latency"] == 1.0
+        assert records[1]["finished"] == 2.0
+
+    def test_two_servers_run_in_parallel(self):
+        arrivals = [_arrival(0, 0.0), _arrival(1, 0.0)]
+        records = simulate_queue(arrivals, [1.0, 1.0], 2, high_water=8)
+        assert [r["queue_latency"] for r in records] == [0.0, 0.0]
+
+    def test_priority_jumps_the_queue(self):
+        arrivals = [
+            _arrival(0, 0.0, priority=1),   # occupies the server
+            _arrival(1, 0.1, priority=2),   # batch, waits
+            _arrival(2, 0.2, priority=0),   # interactive, overtakes
+        ]
+        records = simulate_queue(arrivals, [1.0, 1.0, 1.0], 1, high_water=8)
+        assert records[2]["started"] < records[1]["started"]
+
+    def test_rejects_past_high_water(self):
+        arrivals = [_arrival(i, 0.0) for i in range(5)]
+        records = simulate_queue(arrivals, [1.0] * 5, 1, high_water=2)
+        rejected = [r for r in records if r.get("rejected")]
+        assert len(rejected) == 2  # one running, two waiting, rest shed
+        assert all(r["retry_after"] > 0 for r in rejected)
+
+    def test_deterministic(self):
+        arrivals = [_arrival(i, i * 0.1) for i in range(6)]
+        times = [0.5, 0.1, 0.4, 0.2, 0.3, 0.6]
+        a = simulate_queue(arrivals, times, 2, high_water=3)
+        b = simulate_queue(arrivals, times, 2, high_water=3)
+        assert a == b
+
+
+class TestReplay:
+    def test_summary_byte_identical_across_repeats(self):
+        s1 = replay_trace(CHEAP, workers=0)
+        s2 = replay_trace(CHEAP, workers=0)
+        assert summary_to_json(s1) == summary_to_json(s2)
+
+    def test_summary_byte_identical_across_worker_counts(self):
+        # The acceptance invariant: worker count is an execution detail,
+        # never an observable of the replay document.
+        s_inline = replay_trace(CHEAP, workers=0)
+        s_pooled = replay_trace(
+            CHEAP, workers=3, pool_cls=ThreadPoolExecutor
+        )
+        assert summary_to_json(s_inline) == summary_to_json(s_pooled)
+
+    def test_summary_is_json_and_complete(self):
+        summary = replay_trace(CHEAP, workers=0)
+        parsed = json.loads(summary_to_json(summary))
+        assert parsed["schema"] == "repro.service.replay/1"
+        assert len(parsed["arrivals"]) == CHEAP.requests
+        assert parsed["queue"]["unique_jobs"] == len(parsed["jobs"])
+        assert parsed["ok"]
+        admitted = [a for a in parsed["arrivals"] if not a["rejected"]]
+        for row in admitted:
+            assert row["key"] in parsed["jobs"]
+            assert row["queue_latency"] >= 0
+
+    def test_duplicates_marked_by_arrival_order(self):
+        summary = replay_trace(CHEAP, workers=0)
+        seen = set()
+        for row in summary["arrivals"]:
+            assert row["duplicate"] == (row["key"] in seen)
+            seen.add(row["key"])
+
+    def test_chaos_replay_reports_fault_totals(self):
+        summary = replay_trace(CHAOS, workers=0)
+        assert summary["ok"]
+        kinds = {a["kind"] for a in summary["arrivals"]}
+        assert "faults" in kinds
+        assert "total_injected" in summary["faults"]
+
+    def test_rejections_modelled_under_pressure(self):
+        crunch = replace(
+            CHEAP, requests=12, base_rate=2000.0, burst_factor=1.0,
+            model_servers=1, max_depth=4, high_water=2,
+        )
+        summary = replay_trace(crunch, workers=0)
+        assert summary["queue"]["rejected"] > 0
+        rejected = [a for a in summary["arrivals"] if a["rejected"]]
+        assert all("retry_after" in a for a in rejected)
+        assert all("queue_latency" not in a for a in rejected)
+
+    def test_traced_replay_writes_perfetto_file(self, tmp_path):
+        spec = replace(CHEAP, requests=4, traced=True)
+        out = tmp_path / "replay-trace.json"
+        replay_trace(spec, workers=0, trace_out=str(out))
+        payload = json.loads(out.read_text())
+        assert payload["traceEvents"]
+
+    def test_trace_out_requires_traced_spec(self, tmp_path):
+        with pytest.raises(ValueError, match="traced"):
+            replay_trace(
+                CHEAP, workers=0, trace_out=str(tmp_path / "x.json")
+            )

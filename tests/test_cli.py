@@ -1,5 +1,7 @@
 """Tests for the command-line interface and the package-level API."""
 
+import json
+
 import numpy as np
 import pytest
 
@@ -419,3 +421,118 @@ class TestParserEntry:
         monkeypatch.setattr("sys.stdin", io.StringIO(SOURCE))
         assert main(["compile", "-"]) == 0
         assert "offload" in capsys.readouterr().out
+
+
+class TestValidationErrorPaths:
+    """Every rejected invocation must name the offending flag."""
+
+    def test_invalid_engine_names_flag(self, source_file, capsys):
+        with pytest.raises(SystemExit):
+            main(["run", source_file, "--engine", "warp"])
+        assert "--engine" in capsys.readouterr().err
+
+    def test_run_devices_zero_names_flag(self, source_file):
+        with pytest.raises(SystemExit, match="--devices"):
+            main([
+                "run", source_file, "--devices", "0",
+                "--array", "A=8", "--array", "B=8:float:zeros",
+                "--scalar", "n=8",
+            ])
+
+    def test_bench_devices_zero_names_flag(self):
+        with pytest.raises(SystemExit, match="--devices"):
+            main(["bench", "blackscholes", "--devices", "0"])
+
+    def test_faults_devices_zero_names_flag(self):
+        with pytest.raises(SystemExit, match="--devices"):
+            main(["faults", "blackscholes", "--devices", "0"])
+
+    def test_faults_jobs_zero_names_flag(self):
+        with pytest.raises(SystemExit, match="--jobs"):
+            main(["faults", "blackscholes", "--jobs", "0"])
+
+    def test_unknown_policy_key_names_flag(self):
+        with pytest.raises(SystemExit, match="--policy"):
+            main(["faults", "blackscholes", "--policy", "warp_speed=9"])
+
+    def test_bench_trace_with_jobs_names_both_flags(self, tmp_path):
+        with pytest.raises(SystemExit, match="--trace requires --jobs 1"):
+            main([
+                "bench", "blackscholes", "--jobs", "2",
+                "--trace", str(tmp_path / "t.json"),
+            ])
+
+    def test_faults_trace_with_jobs_names_both_flags(self, tmp_path):
+        with pytest.raises(SystemExit, match="--trace requires --jobs 1"):
+            main([
+                "faults", "blackscholes", "--jobs", "2",
+                "--trace", str(tmp_path / "t.json"),
+            ])
+
+    def test_bad_array_spec_names_spec(self, source_file):
+        with pytest.raises(SystemExit, match="bad --array spec"):
+            main(["run", source_file, "--array", "A=lots"])
+
+    def test_bad_scalar_spec_names_spec(self, source_file):
+        with pytest.raises(SystemExit, match="bad --scalar spec"):
+            main(["run", source_file, "--scalar", "n=eight"])
+
+
+class TestFaultsExitCodes:
+    def test_partial_campaign_exits_with_distinct_code(self, monkeypatch):
+        from repro.cli import EXIT_PARTIAL
+        from repro.faults import campaign
+        from tests.integration.test_campaign_jobs import _CrashAfterOne
+
+        monkeypatch.setattr(campaign, "_POOL_CLS", _CrashAfterOne)
+        code = main([
+            "faults", "blackscholes", "nn",
+            "--scenarios", "2", "--seed", "7", "--jobs", "2",
+        ])
+        assert code == EXIT_PARTIAL == 3
+
+    def test_complete_campaign_exits_zero(self, capsys):
+        assert main([
+            "faults", "blackscholes", "--scenarios", "1", "--seed", "7",
+        ]) == 0
+
+
+class TestServiceCommands:
+    def test_submit_unreachable_service(self):
+        with pytest.raises(SystemExit, match="cannot reach"):
+            main([
+                "submit", "--port", "1", "--kind", "bench",
+                "--workload", "blackscholes", "--timeout", "2",
+            ])
+
+    def test_submit_run_requires_file(self):
+        with pytest.raises(SystemExit, match="--file"):
+            main(["submit", "--kind", "run"])
+
+    def test_submit_invalid_workload_rejected_client_side(self):
+        with pytest.raises(SystemExit, match="workload"):
+            main(["submit", "--kind", "bench", "--workload", "nope"])
+
+    def test_serve_negative_workers(self):
+        with pytest.raises(SystemExit, match="--workers"):
+            main(["serve", "--workers", "-1"])
+
+    def test_replay_trace_writes_deterministic_summary(self, tmp_path, capsys):
+        from repro.service.traffic import TraceSpec, save_trace_spec
+
+        # A run-only spec keeps the test cheap; byte-determinism across
+        # worker counts and classes is covered in tests/service/.
+        spec_path = tmp_path / "spec.json"
+        save_trace_spec(str(spec_path), TraceSpec(
+            seed=11, requests=6, classes=(("run", 1.0),), base_rate=4.0,
+        ))
+        out1, out2 = tmp_path / "s1.json", tmp_path / "s2.json"
+        argv = ["replay-trace", "--spec", str(spec_path), "--out"]
+        assert main(argv + [str(out1)]) == 0
+        assert main(argv + [str(out2)]) == 0
+        assert out1.read_bytes() == out2.read_bytes()
+        payload = json.loads(out1.read_text())
+        assert payload["schema"] == "repro.service.replay/1"
+        out = capsys.readouterr().out
+        assert "determinism digest" in out
+        assert "replayed 6 arrivals" in out
