@@ -54,6 +54,14 @@ EXIT_PARTIAL = 3
 #: (resubmit after the printed retry-after hint); EX_TEMPFAIL.
 EXIT_RETRY = 75
 
+#: Exit code when the campaign service cannot be reached at all
+#: (connection refused — wrong port, or no service running); EX_UNAVAILABLE.
+EXIT_UNAVAILABLE = 69
+
+#: Exit code for a job that hit its --deadline-seconds wall-clock budget
+#: (mirrors the conventional `timeout(1)` exit code).
+EXIT_TIMEOUT = 124
+
 
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
@@ -239,6 +247,34 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="queue depth where admission starts rejecting "
                             "with a retry-after hint (default 75%% of "
                             "--max-depth)")
+    serve.add_argument("--grace-seconds", type=float, default=30.0,
+                       metavar="S",
+                       help="on SIGTERM/SIGINT/shutdown, wait this long for "
+                            "in-flight jobs before cancelling them "
+                            "(default 30)")
+    serve.add_argument("--final-stats", action="store_true",
+                       help="print a final service snapshot (JSON) after "
+                            "the drain completes")
+    serve.add_argument("--store-max-entries", type=int, default=None,
+                       metavar="N",
+                       help="bound the shared result store to N entries "
+                            "with LRU eviction (default unbounded)")
+    serve.add_argument("--tenant-rate", type=float, default=None,
+                       metavar="R",
+                       help="per-tenant admission rate limit, jobs/second "
+                            "(default off)")
+    serve.add_argument("--tenant-burst", type=float, default=4.0,
+                       metavar="B",
+                       help="per-tenant token-bucket burst capacity "
+                            "(default 4)")
+    serve.add_argument("--breaker-failures", type=int, default=None,
+                       metavar="K",
+                       help="open a tenant's circuit breaker after K "
+                            "consecutive job failures (default off)")
+    serve.add_argument("--breaker-cooldown", type=float, default=30.0,
+                       metavar="S",
+                       help="seconds an open breaker sheds load before its "
+                            "half-open probe (default 30)")
 
     submit = sub.add_parser(
         "submit",
@@ -279,6 +315,11 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="scheduling priority, lower runs first "
                              "(default 1)")
     submit.add_argument("--tenant", default="default")
+    submit.add_argument("--deadline-seconds", type=float, default=None,
+                        metavar="S",
+                        help="server-side wall-clock deadline; past it the "
+                             "job ends with a terminal 'timeout' event "
+                             "(default none)")
     submit.add_argument("--timeout", type=float, default=300.0,
                         help="client-side wait in wall seconds "
                              "(default 300)")
@@ -320,10 +361,29 @@ def _build_parser() -> argparse.ArgumentParser:
                              "count (default 2)")
     replay.add_argument("--max-depth", type=int, default=32, metavar="N")
     replay.add_argument("--high-water", type=int, default=None, metavar="N")
+    replay.add_argument("--tenant-rate", type=float, default=None,
+                        metavar="R",
+                        help="virtual-time per-tenant rate limit, "
+                             "jobs/second (default off)")
+    replay.add_argument("--tenant-burst", type=float, default=4.0,
+                        metavar="B",
+                        help="per-tenant token-bucket burst (default 4)")
+    replay.add_argument("--breaker-failures", type=int, default=None,
+                        metavar="K",
+                        help="open a tenant's virtual-time breaker after K "
+                             "consecutive failed jobs (default off)")
+    replay.add_argument("--breaker-cooldown", type=float, default=5.0,
+                        metavar="S",
+                        help="virtual seconds an open breaker sheds load "
+                             "(default 5)")
     replay.add_argument("--workers", type=int, default=0, metavar="N",
                         help="worker processes for the execution phase; "
                              "0 = inline; the summary is byte-identical "
                              "for any value (default 0)")
+    replay.add_argument("--kill-workers", type=int, default=0, metavar="N",
+                        help="chaos mode: SIGKILL N pool workers while the "
+                             "execution phase runs (requires --workers >= "
+                             "1); the summary must stay byte-identical")
     replay.add_argument("--out", metavar="FILE",
                         help="write the replay summary JSON to FILE")
     replay.add_argument("--trace", metavar="FILE",
@@ -847,11 +907,16 @@ def _cmd_faults(args: argparse.Namespace) -> int:
 
 def _cmd_serve(args: argparse.Namespace) -> int:
     import asyncio
+    import json
 
     from repro.service.server import serve
 
     if args.workers < 0:
         raise SystemExit(f"--workers must be >= 0, got {args.workers}")
+    if args.grace_seconds < 0:
+        raise SystemExit(
+            f"--grace-seconds must be >= 0, got {args.grace_seconds}"
+        )
 
     def ready(port: int) -> None:
         mode = (
@@ -861,19 +926,41 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         print(f"campaign service listening on {args.host}:{port} ({mode})")
         sys.stdout.flush()
 
+    def final_stats(snapshot: dict) -> None:
+        if args.final_stats:
+            print(json.dumps(snapshot, sort_keys=True))
+            sys.stdout.flush()
+
     try:
-        asyncio.run(serve(
+        drained = asyncio.run(serve(
             host=args.host,
             port=args.port,
             workers=args.workers,
             max_depth=args.max_depth,
             high_water=args.high_water,
             ready=ready,
+            grace_seconds=args.grace_seconds,
+            final_stats=final_stats,
+            store_max_entries=args.store_max_entries,
+            tenant_rate=args.tenant_rate,
+            tenant_burst=args.tenant_burst,
+            breaker_failures=args.breaker_failures,
+            breaker_cooldown=args.breaker_cooldown,
         ))
     except ValueError as exc:
         raise SystemExit(str(exc))
     except KeyboardInterrupt:
+        # SIGINT before the loop's signal handler was installed (or a
+        # platform without one): still a clean operator stop.
         print("campaign service stopped", file=sys.stderr)
+        return 0
+    if not drained:
+        print(
+            f"drain grace of {args.grace_seconds:g}s expired; "
+            "cancelled remaining jobs",
+            file=sys.stderr,
+        )
+    print("campaign service drained and stopped", file=sys.stderr)
     return 0
 
 
@@ -916,6 +1003,7 @@ def _job_spec_from_args(args: argparse.Namespace):
         trace=args.job_trace,
         priority=args.priority,
         tenant=args.tenant,
+        deadline_seconds=args.deadline_seconds,
     )
 
 
@@ -932,6 +1020,15 @@ def _cmd_submit(args: argparse.Namespace) -> int:
     try:
         events = client.submit(args.host, args.port, spec,
                                timeout=args.timeout)
+    except ConnectionRefusedError:
+        # The most common operator mistake — no service on that port —
+        # gets one clear line and a distinct exit code, not a traceback.
+        print(
+            f"no campaign service listening at {args.host}:{args.port} "
+            "(connection refused); start one with `repro serve`",
+            file=sys.stderr,
+        )
+        return EXIT_UNAVAILABLE
     except (ConnectionError, OSError) as exc:
         raise SystemExit(
             f"cannot reach campaign service at {args.host}:{args.port}: {exc}"
@@ -949,9 +1046,16 @@ def _cmd_submit(args: argparse.Namespace) -> int:
             code = 0 if event.get("ok") else 1
         elif name in ("failed", "error"):
             code = 1
-        elif name == "rejected":
+        elif name == "timeout":
             print(
-                f"service rejected the job under backpressure; retry in "
+                f"job hit its {event.get('deadline', 0.0)}s deadline",
+                file=sys.stderr,
+            )
+            code = EXIT_TIMEOUT
+        elif name == "rejected":
+            reason = event.get("reason", "backpressure")
+            print(
+                f"service rejected the job ({reason}); retry in "
                 f"{event.get('retry_after', 0.0)}s",
                 file=sys.stderr,
             )
@@ -969,6 +1073,14 @@ def _cmd_replay_trace(args: argparse.Namespace) -> int:
 
     if args.workers < 0:
         raise SystemExit(f"--workers must be >= 0, got {args.workers}")
+    if args.kill_workers < 0:
+        raise SystemExit(
+            f"--kill-workers must be >= 0, got {args.kill_workers}"
+        )
+    if args.kill_workers and args.workers < 1:
+        raise SystemExit(
+            "--kill-workers needs a real worker pool: pass --workers >= 1"
+        )
     try:
         if args.spec:
             spec = load_trace_spec(args.spec)
@@ -1007,9 +1119,20 @@ def _cmd_replay_trace(args: argparse.Namespace) -> int:
                 model_servers=args.model_servers,
                 max_depth=args.max_depth,
                 high_water=args.high_water,
+                tenant_rate=args.tenant_rate,
+                tenant_burst=args.tenant_burst,
+                breaker_failures=args.breaker_failures,
+                breaker_cooldown=args.breaker_cooldown,
             )
+        from repro.obs.metrics import MetricsRegistry
+
+        metrics = MetricsRegistry()
         summary = replay_trace(
-            spec, workers=args.workers, trace_out=args.trace
+            spec,
+            workers=args.workers,
+            trace_out=args.trace,
+            metrics=metrics,
+            kill_workers=args.kill_workers,
         )
     except (ValueError, OSError) as exc:
         raise SystemExit(str(exc))
@@ -1017,7 +1140,8 @@ def _cmd_replay_trace(args: argparse.Namespace) -> int:
     print(f"replayed {len(summary['arrivals'])} arrivals "
           f"({queue['unique_jobs']} unique jobs, "
           f"{queue['duplicates']} served from cache, "
-          f"{queue['rejected']} rejected)")
+          f"{queue['rejected']} rejected, "
+          f"{queue['gated']} tenant-gated)")
     print(f"virtual queue ({queue['model_servers']} servers): "
           f"p50 {queue['p50_latency'] * 1000:.3f} ms, "
           f"p95 {queue['p95_latency'] * 1000:.3f} ms, "
@@ -1032,6 +1156,19 @@ def _cmd_replay_trace(args: argparse.Namespace) -> int:
         print(f"chaos: {totals.get('total_injected', 0):.0f} faults injected, "
               f"{totals.get('retries', 0):.0f} retries, "
               f"{totals.get('sdc_escapes', 0):.0f} SDC escapes")
+    if args.kill_workers:
+        # Live supervision telemetry: proof the kills actually landed
+        # (and were absorbed).  Deliberately outside the summary — the
+        # summary must stay byte-identical to an undisturbed replay.
+        snap = metrics.snapshot()["counters"]
+        print(f"supervisor: "
+              f"{snap.get('service.supervisor.worker_failures', 0):.0f} "
+              f"worker failures, "
+              f"{snap.get('service.supervisor.restarts', 0):.0f} restarts, "
+              f"{snap.get('service.supervisor.redispatches', 0):.0f} "
+              f"redispatches, "
+              f"{snap.get('service.supervisor.quarantined', 0):.0f} "
+              f"quarantined")
     if args.out:
         with open(args.out, "w") as handle:
             handle.write(summary_to_json(summary))

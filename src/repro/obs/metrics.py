@@ -1,9 +1,10 @@
 """Metrics registry: counters, gauges, and histograms for one run.
 
 Instrumented layers (the COI runtime, the executor, the arena and MYO
-allocators, the fault injector) record quantitative telemetry here —
-DMA bytes, retries, arena allocations, kernel-launch latency
-distributions.  A registry is deterministic: its snapshot depends only
+allocators, the fault injector, the campaign service's supervision and
+tenant-isolation layers) record quantitative telemetry here — DMA
+bytes, retries, arena allocations, kernel-launch latency
+distributions, supervisor restarts, circuit-breaker trips.  A registry is deterministic: its snapshot depends only
 on the simulated execution, never on wall-clock time, so two runs with
 the same seed produce byte-identical snapshot JSON (the property the
 regression-diff workflow relies on).
@@ -51,6 +52,10 @@ class Gauge:
         """Record the gauge's current value."""
         self.value = value
         self.max_value = max(self.max_value, value)
+
+    def add(self, delta: float) -> None:
+        """Adjust the gauge by *delta* (either sign), tracking the max."""
+        self.set(self.value + delta)
 
 
 class Histogram:
@@ -211,6 +216,9 @@ class _NullInstrument:
         pass
 
     def set(self, value: float) -> None:
+        pass
+
+    def add(self, delta: float) -> None:
         pass
 
     def observe(self, value: float) -> None:

@@ -10,8 +10,13 @@ This package turns the one-shot CLI commands (``repro run`` /
 * :mod:`~repro.service.queue` — bounded priority admission queue with
   reject-past-high-water backpressure;
 * :mod:`~repro.service.pool` — persistent warm worker pool;
+* :mod:`~repro.service.supervisor` — worker-crash recovery: pool
+  rebuilds with backoff, redispatch, poison-spec quarantine;
+* :mod:`~repro.service.isolation` — per-tenant token-bucket rate
+  limits and circuit breakers;
 * :mod:`~repro.service.service` — the asyncio orchestrator with
-  streaming job events and fleet-wide metrics;
+  streaming job events, deadlines, graceful drain, and fleet-wide
+  metrics;
 * :mod:`~repro.service.traffic` — seeded bursty traffic traces and
   byte-deterministic replay (the chaos-testing harness);
 * :mod:`~repro.service.server` — the JSON-lines TCP front end.
@@ -21,10 +26,16 @@ imports the experiments/workloads layers at module scope, so the
 harness can depend on :mod:`~repro.service.store` without a cycle.
 """
 
+from repro.service.isolation import (
+    TenantCircuitOpen,
+    TenantGate,
+    TenantRateLimited,
+)
 from repro.service.jobs import JOB_KINDS, Job, JobSpec, execute_job
 from repro.service.queue import AdmissionQueue, AdmissionRejected
-from repro.service.service import CampaignService
+from repro.service.service import CampaignService, JobTimeout, ServiceDraining
 from repro.service.store import ResultStore
+from repro.service.supervisor import PoisonJobError, WorkerSupervisor
 
 __all__ = [
     "JOB_KINDS",
@@ -34,5 +45,12 @@ __all__ = [
     "AdmissionQueue",
     "AdmissionRejected",
     "CampaignService",
+    "JobTimeout",
+    "ServiceDraining",
     "ResultStore",
+    "WorkerSupervisor",
+    "PoisonJobError",
+    "TenantGate",
+    "TenantRateLimited",
+    "TenantCircuitOpen",
 ]

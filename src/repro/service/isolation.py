@@ -1,0 +1,274 @@
+"""Per-tenant isolation: token-bucket rate limits and circuit breakers.
+
+One hot tenant must not starve everyone else — the Zipf-skewed traces
+in :mod:`repro.service.traffic` show exactly that failure shape.  This
+module layers two guards *in front of* the shared
+:class:`~repro.service.queue.AdmissionQueue`:
+
+* a **token bucket** per tenant caps sustained submission rate while
+  allowing short bursts up to the bucket capacity;
+* a **circuit breaker** per tenant opens after K consecutive job
+  failures, sheds that tenant's load for a cooldown, then lets a single
+  half-open probe through — probe success closes the breaker, probe
+  failure re-opens it.
+
+Both primitives take the current time as an explicit argument instead of
+reading a clock, so the exact same state machines drive the live service
+(fed ``time.monotonic()``) and the virtual-time trace replay (fed
+arrival timestamps) — which is what keeps replay summaries
+byte-deterministic when isolation is enabled.  :class:`TenantGate`
+bundles the per-tenant instances, injects the clock, and books metrics.
+
+Rejections are :class:`~repro.service.queue.AdmissionRejected`
+subclasses carrying a ``reason`` and the usual deterministic
+``retry_after`` hint, so the wire protocol and CLI treat a rate-limited
+or circuit-broken tenant exactly like queue backpressure: a normal
+response, never a dropped connection.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Optional
+
+from repro.obs.metrics import NULL_METRICS
+from repro.service.queue import AdmissionRejected
+
+__all__ = [
+    "TokenBucket",
+    "CircuitBreaker",
+    "TenantGate",
+    "TenantRateLimited",
+    "TenantCircuitOpen",
+]
+
+
+class TenantRateLimited(AdmissionRejected):
+    """A tenant exceeded its admission rate; resubmit after *retry_after*."""
+
+    reason = "rate_limited"
+
+    def __init__(self, tenant: str, retry_after: float):
+        self.tenant = tenant
+        super().__init__(0, retry_after)
+        self.args = (
+            f"tenant {tenant!r} over its admission rate; "
+            f"retry after {retry_after:.3f}s",
+        )
+
+
+class TenantCircuitOpen(AdmissionRejected):
+    """A tenant's circuit breaker is open; resubmit after *retry_after*."""
+
+    reason = "circuit_open"
+
+    def __init__(self, tenant: str, retry_after: float):
+        self.tenant = tenant
+        super().__init__(0, retry_after)
+        self.args = (
+            f"tenant {tenant!r} circuit breaker is open; "
+            f"retry after {retry_after:.3f}s",
+        )
+
+
+class TokenBucket:
+    """A deterministic token bucket: *rate* tokens/second, *burst* capacity.
+
+    The bucket starts full.  Callers pass the current time explicitly;
+    given the same sequence of timestamps the bucket makes the same
+    sequence of decisions, wall clock or virtual clock alike.
+    """
+
+    __slots__ = ("rate", "burst", "tokens", "last")
+
+    def __init__(self, rate: float, burst: float) -> None:
+        if rate <= 0:
+            raise ValueError(f"rate must be > 0, got {rate}")
+        if burst < 1:
+            raise ValueError(f"burst must be >= 1, got {burst}")
+        self.rate = rate
+        self.burst = burst
+        self.tokens = float(burst)
+        self.last: Optional[float] = None
+
+    def _refill(self, now: float) -> None:
+        if self.last is not None and now > self.last:
+            self.tokens = min(
+                self.burst, self.tokens + (now - self.last) * self.rate
+            )
+        self.last = now if self.last is None else max(self.last, now)
+
+    def admit(self, now: float) -> bool:
+        """Consume one token at *now* if available."""
+        self._refill(now)
+        if self.tokens >= 1.0:
+            self.tokens -= 1.0
+            return True
+        return False
+
+    def retry_after(self) -> float:
+        """Seconds until the next whole token accrues (post-reject hint)."""
+        deficit = max(0.0, 1.0 - self.tokens)
+        return round(deficit / self.rate, 6)
+
+
+class CircuitBreaker:
+    """closed -> open (K consecutive failures) -> half-open probe -> closed.
+
+    While open, :meth:`allow` rejects until *cooldown* seconds have
+    passed since the trip; the first allowed call after the cooldown is
+    the half-open probe.  A success while half-open closes the breaker;
+    a failure re-opens it (and restarts the cooldown).  Like
+    :class:`TokenBucket`, time is an explicit argument, so the state
+    machine is a pure function of its inputs.
+    """
+
+    __slots__ = ("failures", "cooldown", "state", "consecutive", "opened_at",
+                 "trips", "probes")
+
+    def __init__(self, failures: int, cooldown: float) -> None:
+        if failures < 1:
+            raise ValueError(f"failures must be >= 1, got {failures}")
+        if cooldown <= 0:
+            raise ValueError(f"cooldown must be > 0, got {cooldown}")
+        self.failures = failures
+        self.cooldown = cooldown
+        self.state = "closed"
+        self.consecutive = 0
+        self.opened_at = 0.0
+        self.trips = 0
+        self.probes = 0
+
+    def allow(self, now: float) -> bool:
+        """May a request proceed at *now*?  Transitions open -> half-open."""
+        if self.state == "closed":
+            return True
+        if self.state == "open":
+            if now - self.opened_at >= self.cooldown:
+                self.state = "half_open"
+                self.probes += 1
+                return True
+            return False
+        # Half-open: the probe is already in flight; shed the rest until
+        # its outcome is recorded.
+        return False
+
+    def record(self, ok: bool, now: float) -> None:
+        """Book one executed request's outcome at *now*."""
+        if ok:
+            self.state = "closed"
+            self.consecutive = 0
+            return
+        self.consecutive += 1
+        if self.state == "half_open" or self.consecutive >= self.failures:
+            if self.state != "open":
+                self.trips += 1
+            self.state = "open"
+            self.opened_at = now
+
+    def retry_after(self, now: float) -> float:
+        """Seconds until the cooldown elapses (0 when not open)."""
+        if self.state != "open":
+            return 0.0
+        return round(max(0.0, self.cooldown - (now - self.opened_at)), 6)
+
+
+class TenantGate:
+    """Per-tenant admission guard: rate limits plus circuit breakers.
+
+    *rate*/*burst* enable the token buckets, *breaker_failures*/
+    *breaker_cooldown* the breakers; leaving both ``None`` makes the
+    gate a no-op (``enabled`` is False and :meth:`admit` never raises).
+    *clock* defaults to ``time.monotonic``; the virtual-time replay
+    passes explicit timestamps to :meth:`admit_at`/:meth:`record_at`
+    instead.
+    """
+
+    def __init__(
+        self,
+        rate: Optional[float] = None,
+        burst: float = 4.0,
+        breaker_failures: Optional[int] = None,
+        breaker_cooldown: float = 30.0,
+        clock=time.monotonic,
+        metrics=None,
+    ) -> None:
+        self.rate = rate
+        self.burst = burst
+        self.breaker_failures = breaker_failures
+        self.breaker_cooldown = breaker_cooldown
+        self.clock = clock
+        self.metrics = metrics if metrics is not None else NULL_METRICS
+        self._buckets: Dict[str, TokenBucket] = {}
+        self._breakers: Dict[str, CircuitBreaker] = {}
+
+    @property
+    def enabled(self) -> bool:
+        return self.rate is not None or self.breaker_failures is not None
+
+    def _bucket(self, tenant: str) -> Optional[TokenBucket]:
+        if self.rate is None:
+            return None
+        bucket = self._buckets.get(tenant)
+        if bucket is None:
+            bucket = self._buckets[tenant] = TokenBucket(self.rate, self.burst)
+        return bucket
+
+    def breaker(self, tenant: str) -> Optional[CircuitBreaker]:
+        if self.breaker_failures is None:
+            return None
+        breaker = self._breakers.get(tenant)
+        if breaker is None:
+            breaker = self._breakers[tenant] = CircuitBreaker(
+                self.breaker_failures, self.breaker_cooldown
+            )
+        return breaker
+
+    def admit_at(self, tenant: str, now: float) -> None:
+        """Admit or raise at an explicit timestamp (virtual-time path).
+
+        The breaker is consulted before the bucket so an open breaker
+        doesn't consume rate tokens the tenant can't use anyway.
+        """
+        breaker = self.breaker(tenant)
+        if breaker is not None and not breaker.allow(now):
+            self.metrics.counter("service.tenant.circuit_rejected").inc()
+            raise TenantCircuitOpen(tenant, breaker.retry_after(now))
+        bucket = self._bucket(tenant)
+        if bucket is not None and not bucket.admit(now):
+            self.metrics.counter("service.tenant.rate_limited").inc()
+            raise TenantRateLimited(tenant, bucket.retry_after())
+
+    def admit(self, tenant: str) -> None:
+        """Admit or raise at the injected clock's current time."""
+        if self.enabled:
+            self.admit_at(tenant, self.clock())
+
+    def record_at(self, tenant: str, ok: bool, now: float) -> None:
+        """Book one executed job's outcome at an explicit timestamp."""
+        breaker = self.breaker(tenant)
+        if breaker is None:
+            return
+        was_open = breaker.state == "open"
+        breaker.record(ok, now)
+        if breaker.state == "open" and not was_open:
+            self.metrics.counter("service.tenant.breaker_trips").inc()
+
+    def record(self, tenant: str, ok: bool) -> None:
+        """Book one executed job's outcome at the injected clock's time."""
+        if self.breaker_failures is not None:
+            self.record_at(tenant, ok, self.clock())
+
+    def stats(self) -> dict:
+        """Per-tenant isolation state, JSON-ready and name-sorted."""
+        tenants: Dict[str, dict] = {}
+        for name, bucket in self._buckets.items():
+            tenants.setdefault(name, {})["tokens"] = round(bucket.tokens, 6)
+        for name, breaker in self._breakers.items():
+            tenants.setdefault(name, {}).update(
+                breaker=breaker.state,
+                consecutive_failures=breaker.consecutive,
+                trips=breaker.trips,
+                probes=breaker.probes,
+            )
+        return {name: tenants[name] for name in sorted(tenants)}

@@ -152,6 +152,12 @@ class JobSpec:
     #: Scheduling hints — NOT part of the provenance key.
     priority: int = 1
     tenant: str = "default"
+    #: Wall-clock deadline from submission (seconds); the service emits
+    #: a terminal ``timeout`` event and abandons the job past it.  A
+    #: service-level knob like priority/tenant: it bounds *whether* an
+    #: answer arrives, never what it would be, so it stays out of the
+    #: provenance key and cached results remain shareable.
+    deadline_seconds: Optional[float] = None
 
     def __post_init__(self):
         object.__setattr__(self, "arrays", tuple(self.arrays))
@@ -206,6 +212,10 @@ class JobSpec:
             )
         if self.devices < 1:
             raise ValueError(f"devices must be >= 1, got {self.devices}")
+        if self.deadline_seconds is not None and self.deadline_seconds <= 0:
+            raise ValueError(
+                f"deadline_seconds must be > 0, got {self.deadline_seconds}"
+            )
         if self.kind == "run":
             if not self.source:
                 raise ValueError("run job needs MiniC source text")
@@ -449,7 +459,8 @@ class Job:
 
     id: int
     spec: JobSpec
-    #: queued -> running -> done | failed (rejections never make a Job).
+    #: queued -> running -> done | failed | timeout (rejections never
+    #: make a Job).
     state: str = "queued"
     #: Wall-clock timestamps for live telemetry (never in summaries).
     submitted_wall: float = 0.0

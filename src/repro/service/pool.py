@@ -13,12 +13,22 @@ scheduling never show up in a payload.
 event-loop thread.  That is the zero-dependency path tests and the
 deterministic trace replay default to; ``repro serve`` uses real
 processes.
+
+A process pool is mortal: a worker killed mid-job breaks the whole
+executor (``BrokenProcessPool``).  The pool itself stays dumb about
+that — :meth:`restart` tears the broken executor down and builds a
+fresh one, and :class:`~repro.service.supervisor.WorkerSupervisor`
+decides when to call it.  :meth:`kill_one_worker` is the chaos hook the
+``repro replay-trace --kill-workers`` mode uses to kill real workers
+mid-replay.
 """
 
 from __future__ import annotations
 
 import asyncio
-from typing import Optional
+import os
+import signal
+from typing import List, Optional
 
 from repro.service import jobs as _jobs
 
@@ -31,6 +41,10 @@ class WorkerPool:
             raise ValueError(f"workers must be >= 0, got {workers}")
         self.workers = workers
         self._pool = None
+        self._pool_cls = None
+        self._closed = False
+        #: Executors built over this pool's lifetime (1 + restarts).
+        self.generations = 0
         if workers > 0:
             if pool_cls is None:
                 # Late import keeps the service importable without the
@@ -38,7 +52,9 @@ class WorkerPool:
                 from repro.faults import campaign
 
                 pool_cls = campaign._POOL_CLS
+            self._pool_cls = pool_cls
             self._pool = pool_cls(max_workers=workers)
+            self.generations = 1
 
     @property
     def inline(self) -> bool:
@@ -61,8 +77,55 @@ class WorkerPool:
         loop = asyncio.get_running_loop()
         return await loop.run_in_executor(self._pool, _jobs.warm_stats)
 
+    def restart(self) -> None:
+        """Replace the executor with a fresh one (supervision path).
+
+        Safe to call on a broken executor: the old one is shut down
+        without waiting (its workers may already be dead) and a new
+        instance of the same class takes its place.  Inline pools and
+        pools already shut down are a no-op — there is no process to
+        lose (or resurrect).
+        """
+        if self._pool_cls is None or self._closed:
+            return
+        if self._pool is not None:
+            try:
+                self._pool.shutdown(wait=False, cancel_futures=True)
+            except Exception:
+                # A broken executor may refuse a clean shutdown; the
+                # replacement below supersedes it either way.
+                pass
+        self._pool = self._pool_cls(max_workers=self.workers)
+        self.generations += 1
+
+    def worker_pids(self) -> List[int]:
+        """Live worker process ids (empty for inline or thread pools)."""
+        if self._pool is None:
+            return []
+        processes = getattr(self._pool, "_processes", None)
+        if not processes:
+            return []
+        return sorted(processes.keys())
+
+    def kill_one_worker(self) -> Optional[int]:
+        """SIGKILL one live pool worker; returns its pid (chaos hook).
+
+        Returns None when there is no killable process — inline mode,
+        thread-backed doubles, or a pool that has not spawned workers
+        yet.  The resulting ``BrokenProcessPool`` is exactly the fault
+        the supervisor exists to absorb.
+        """
+        for pid in self.worker_pids():
+            try:
+                os.kill(pid, signal.SIGKILL)
+            except (ProcessLookupError, PermissionError):
+                continue
+            return pid
+        return None
+
     def shutdown(self, wait: bool = True) -> None:
-        """Stop the pool workers (idempotent)."""
+        """Stop the pool workers (idempotent; restart is refused after)."""
+        self._closed = True
         if self._pool is not None:
             self._pool.shutdown(wait=wait, cancel_futures=True)
             self._pool = None

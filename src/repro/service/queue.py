@@ -29,7 +29,14 @@ class AdmissionRejected(Exception):
 
     *retry_after* is the suggested wait (seconds) before resubmitting,
     derived from the backlog the rejected job would have sat behind.
+
+    Subclasses (tenant rate limits, open circuit breakers, drain — see
+    :mod:`repro.service.isolation` and
+    :class:`~repro.service.service.ServiceDraining`) override ``reason``
+    so the wire protocol can tell clients *why* without new event types.
     """
+
+    reason = "backpressure"
 
     def __init__(self, depth: int, retry_after: float):
         self.depth = depth

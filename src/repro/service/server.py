@@ -6,14 +6,24 @@ JSON event lines — no framing, no dependencies, easy to drive from
 
 * ``{"op": "submit", "spec": {...JobSpec...}}`` — admit one job and
   stream its lifecycle events (``queued`` → ``started``/``cached`` →
-  ``result`` → ``done``/``failed``) back as they happen, so results
-  reach the client incrementally rather than at the end.  Backpressure
-  is a normal response, not a dropped connection: a full queue answers
-  ``{"event": "rejected", "retry_after": ...}``.
+  ``result`` → ``done``/``failed``/``timeout``) back as they happen, so
+  results reach the client incrementally rather than at the end.
+  Backpressure is a normal response, not a dropped connection: a
+  refused submission answers ``{"event": "rejected", "reason": ...,
+  "retry_after": ...}`` — reason ``backpressure`` for a full queue,
+  ``rate_limited``/``circuit_open`` for tenant isolation
+  (:mod:`repro.service.isolation`), ``draining`` during shutdown.
 * ``{"op": "stats"}`` — one line of fleet-wide service telemetry
-  (queue depth, store hit rate, worker warm-cache state, metrics).
+  (queue depth, store hit rate, supervisor restarts, tenant gates,
+  worker warm-cache state, metrics).
 * ``{"op": "ping"}`` — liveness probe.
 * ``{"op": "shutdown"}`` — drain and stop the server.
+
+Shutdown — whether by the ``shutdown`` op or by SIGTERM/SIGINT in
+:func:`serve` — is graceful: admission closes first (late submissions
+get ``draining`` rejects with a retry-after hint while the listener
+stays up), in-flight jobs get a grace period to finish, stragglers are
+cancelled, and only then does the process exit.
 
 Every response line carries an ``"event"`` field; protocol errors come
 back as ``{"event": "error", "error": ...}`` instead of killing the
@@ -24,6 +34,7 @@ from __future__ import annotations
 
 import asyncio
 import json
+import signal as _signal
 import socket
 from typing import List, Optional
 
@@ -60,10 +71,38 @@ class CampaignServer:
         self.port = self._server.sockets[0].getsockname()[1]
         return self
 
-    async def serve_until_shutdown(self) -> None:
-        """Block until a client sends ``{"op": "shutdown"}``."""
+    def request_shutdown(self) -> None:
+        """Close admission and wake :meth:`serve_until_shutdown`.
+
+        Signal-handler safe: nothing async happens here — the waiter
+        performs the actual drain.  New submissions are rejected with
+        ``reason="draining"`` from this point on, but the listener stays
+        up so those rejects reach clients as protocol events rather
+        than refused connections.
+        """
+        self.service.begin_drain()
+        self._shutdown.set()
+
+    async def serve_until_shutdown(
+        self, grace_seconds: Optional[float] = None
+    ) -> bool:
+        """Block until a shutdown request, then drain and close.
+
+        Returns True when every in-flight job finished within the grace
+        period (None = wait forever), False when stragglers had to be
+        cancelled.
+        """
         await self._shutdown.wait()
+        return await self.drain_and_close(grace_seconds)
+
+    async def drain_and_close(
+        self, grace_seconds: Optional[float] = None
+    ) -> bool:
+        """Graceful stop: reject new work, drain in-flight, then close."""
+        self.service.begin_drain()
+        drained = await self.service.drain_gracefully(grace_seconds)
         await self.close()
+        return drained
 
     async def close(self) -> None:
         if self._server is not None:
@@ -96,7 +135,7 @@ class CampaignServer:
                 await self._handle_submit(request, writer)
             elif op == "shutdown":
                 writer.write(_line({"event": "bye"}))
-                self._shutdown.set()
+                self.request_shutdown()
             else:
                 writer.write(_line({
                     "event": "error",
@@ -125,6 +164,7 @@ class CampaignServer:
         except AdmissionRejected as exc:
             writer.write(_line({
                 "event": "rejected",
+                "reason": exc.reason,
                 "depth": exc.depth,
                 "retry_after": exc.retry_after,
             }))
@@ -144,21 +184,62 @@ async def serve(
     max_depth: int = 64,
     high_water: Optional[int] = None,
     ready=None,
-) -> None:
-    """Run a campaign service on TCP until a shutdown request.
+    grace_seconds: Optional[float] = 30.0,
+    final_stats=None,
+    store_max_entries: Optional[int] = None,
+    tenant_rate: Optional[float] = None,
+    tenant_burst: float = 4.0,
+    breaker_failures: Optional[int] = None,
+    breaker_cooldown: float = 30.0,
+) -> bool:
+    """Run a campaign service on TCP until a shutdown request or signal.
 
     *ready* (optional callable) receives the bound port once the server
     is accepting — the CLI uses it to print the endpoint, tests use it
-    to learn an ephemeral port.
+    to learn an ephemeral port.  SIGTERM/SIGINT trigger the same
+    graceful drain as the ``shutdown`` op (where the platform supports
+    loop signal handlers): admission closes, in-flight jobs get
+    *grace_seconds* to finish, then the server exits cleanly.  Returns
+    True when the drain completed within the grace period.
+
+    *final_stats* (optional callable) receives the service's last
+    snapshot after the drain — the CLI uses it to print closing
+    telemetry.
     """
     service = CampaignService(
-        workers=workers, max_depth=max_depth, high_water=high_water
+        workers=workers,
+        max_depth=max_depth,
+        high_water=high_water,
+        store_max_entries=store_max_entries,
+        tenant_rate=tenant_rate,
+        tenant_burst=tenant_burst,
+        breaker_failures=breaker_failures,
+        breaker_cooldown=breaker_cooldown,
     )
     server = CampaignServer(service, host=host, port=port)
     await server.start()
+    loop = asyncio.get_running_loop()
+    installed: List[int] = []
+    for sig in (_signal.SIGTERM, _signal.SIGINT):
+        try:
+            loop.add_signal_handler(sig, server.request_shutdown)
+            installed.append(sig)
+        except (NotImplementedError, RuntimeError, ValueError):
+            # Platforms/threads without loop signal support still get
+            # the wire-protocol shutdown op.
+            continue
+    # Announce readiness only once signal handlers are live, so a
+    # supervisor that signals right after the banner can't kill us.
     if ready is not None:
         ready(server.port)
-    await server.serve_until_shutdown()
+    try:
+        drained = await server.serve_until_shutdown(grace_seconds)
+    finally:
+        for sig in installed:
+            loop.remove_signal_handler(sig)
+    if final_stats is not None:
+        final_stats(service.snapshot())
+    return drained
 
 
 # -- synchronous client (CLI / tests) -----------------------------------------

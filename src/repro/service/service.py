@@ -2,12 +2,21 @@
 
 :class:`CampaignService` ties the subsystem together:
 
-* submissions pass **admission control** (:mod:`repro.service.queue`) —
-  a bounded priority/FIFO queue that rejects with a retry-after hint
+* submissions pass **admission control** — per-tenant isolation first
+  (:mod:`repro.service.isolation`: token-bucket rate limits and circuit
+  breakers, so one hot or failing tenant is shed while everyone else
+  proceeds), then the bounded priority/FIFO queue
+  (:mod:`repro.service.queue`) that rejects with a retry-after hint
   past its high-water mark;
 * accepted jobs dispatch to the **persistent worker pool**
-  (:mod:`repro.service.pool`), gated by a worker-count semaphore so
-  queue depth means "waiting", not "running";
+  (:mod:`repro.service.pool`) through a **supervisor**
+  (:mod:`repro.service.supervisor`) that absorbs worker crashes:
+  rebuild with backoff, redispatch interrupted jobs, quarantine poison
+  specs into a dead-letter record;
+* jobs carry optional wall-clock **deadlines**
+  (:attr:`~repro.service.jobs.JobSpec.deadline_seconds`): a job that
+  outlives its budget gets a terminal ``timeout`` event and releases
+  its execution slot, instead of holding a worker forever;
 * results land in the **shared result store**
   (:mod:`repro.service.store`), keyed on the job's provenance tuple, so
   identical submissions — same program, same seed, same knobs — are
@@ -16,12 +25,22 @@
 * every job **streams events** (queued → started/cached → result →
   done) through its own ``asyncio.Queue``, which the TCP server relays
   line by line, and the service aggregates fleet-wide telemetry
-  (queue depth, wall queue latency, job/fault totals, store hit rate)
-  into one :class:`~repro.obs.metrics.MetricsRegistry`.
+  (queue depth, wall queue latency, job/fault totals, store hit rate,
+  supervisor restarts, breaker trips) into one
+  :class:`~repro.obs.metrics.MetricsRegistry`.
+
+Shutdown is graceful: :meth:`CampaignService.begin_drain` closes
+admission (new submissions get a 503-style
+:class:`ServiceDraining` reject with a retry-after hint),
+:meth:`drain_gracefully` waits for in-flight jobs up to a grace period
+and then cancels stragglers, and :meth:`close` is idempotent and safe
+to call before :meth:`start`.
 
 Results are pure functions of the spec (see :mod:`repro.service.jobs`),
-so nothing here — caching, coalescing, worker count, scheduling order —
-can change what a job returns; it can only change how fast.
+so nothing here — caching, coalescing, worker count, scheduling order,
+supervision restarts, redispatches — can change what a job returns; it
+can only change how fast (or whether, for deadlines and breakers) an
+answer arrives.
 """
 
 from __future__ import annotations
@@ -32,12 +51,35 @@ import time
 from typing import Dict, List, Optional
 
 from repro.obs.metrics import MetricsRegistry
+from repro.service.isolation import TenantGate
 from repro.service.jobs import Job, JobSpec
 from repro.service.pool import WorkerPool
 from repro.service.queue import AdmissionQueue, AdmissionRejected
 from repro.service.store import ResultStore
+from repro.service.supervisor import WorkerSupervisor
 
-__all__ = ["CampaignService", "AdmissionRejected"]
+__all__ = [
+    "CampaignService",
+    "AdmissionRejected",
+    "ServiceDraining",
+    "JobTimeout",
+]
+
+
+class ServiceDraining(AdmissionRejected):
+    """The service is draining for shutdown; resubmit elsewhere/later."""
+
+    reason = "draining"
+
+    def __init__(self, depth: int, retry_after: float):
+        super().__init__(depth, retry_after)
+        self.args = (
+            f"service is draining; retry after {retry_after:.3f}s",
+        )
+
+
+class JobTimeout(RuntimeError):
+    """A job exceeded its ``deadline_seconds`` wall-clock budget."""
 
 
 class CampaignService:
@@ -52,15 +94,32 @@ class CampaignService:
         store: Optional[ResultStore] = None,
         pool: Optional[WorkerPool] = None,
         pool_cls=None,
+        store_max_entries: Optional[int] = None,
+        tenant_rate: Optional[float] = None,
+        tenant_burst: float = 4.0,
+        breaker_failures: Optional[int] = None,
+        breaker_cooldown: float = 30.0,
+        supervisor: Optional[WorkerSupervisor] = None,
     ) -> None:
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.store = store if store is not None else ResultStore(
-            metrics=self.metrics, name="service.store"
+            metrics=self.metrics, name="service.store",
+            max_entries=store_max_entries,
         )
         self.queue = AdmissionQueue(
             max_depth=max_depth, high_water=high_water, metrics=self.metrics
         )
         self.pool = pool if pool is not None else WorkerPool(workers, pool_cls)
+        self.supervisor = supervisor if supervisor is not None else (
+            WorkerSupervisor(self.pool, metrics=self.metrics)
+        )
+        self.gate = TenantGate(
+            rate=tenant_rate,
+            burst=tenant_burst,
+            breaker_failures=breaker_failures,
+            breaker_cooldown=breaker_cooldown,
+            metrics=self.metrics,
+        )
         #: Concurrency gate: at most this many jobs execute at once.
         self.slots = max(1, workers)
         self._semaphore: Optional[asyncio.Semaphore] = None
@@ -69,21 +128,72 @@ class CampaignService:
         self._ids = itertools.count(1)
         self._dispatcher: Optional[asyncio.Task] = None
         self._tasks: set = set()
+        self._draining = False
+        self._closed = False
         #: Wall-clock queue latencies (submit -> start), for the service
         #: benchmark; live telemetry only, never part of job results.
         self.wall_queue_latencies: List[float] = []
 
     # -- lifecycle ----------------------------------------------------------
 
+    @property
+    def draining(self) -> bool:
+        """True once admission has closed for shutdown."""
+        return self._draining
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
     async def start(self) -> "CampaignService":
-        """Start the dispatcher; idempotent."""
+        """Start the dispatcher; idempotent (but final after close)."""
+        if self._closed:
+            raise RuntimeError("service is closed; build a new one")
         if self._dispatcher is None:
             self._semaphore = asyncio.Semaphore(self.slots)
             self._dispatcher = asyncio.create_task(self._dispatch_loop())
         return self
 
+    def begin_drain(self) -> None:
+        """Close admission: every later submit gets a retry-after reject."""
+        if not self._draining:
+            self._draining = True
+            self.metrics.counter("service.drain.begun").inc()
+
+    async def drain_gracefully(self, grace_seconds: Optional[float] = None) -> bool:
+        """Close admission, drain in-flight work, then close the service.
+
+        Waits up to *grace_seconds* (None = forever) for queued and
+        running jobs to finish; on expiry the stragglers are cancelled
+        (they finish with a shutdown error).  Returns True when every
+        job drained within the grace period.
+        """
+        self.begin_drain()
+        drained = True
+        if grace_seconds is None:
+            await self.drain()
+        else:
+            try:
+                await asyncio.wait_for(self.drain(), grace_seconds)
+            except asyncio.TimeoutError:
+                drained = False
+                for task in list(self._tasks):
+                    task.cancel()
+        await self.close()
+        return drained
+
     async def close(self) -> None:
-        """Stop dispatching, cancel waiters, shut the pool down."""
+        """Stop dispatching, fail queued jobs, shut the pool down.
+
+        Idempotent, and safe to call before :meth:`start` (queued jobs
+        are failed with a shutdown error either way).  In-flight job
+        tasks are awaited, not abandoned; use :meth:`drain_gracefully`
+        for a bounded wait.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        self._draining = True
         if self._dispatcher is not None:
             self._dispatcher.cancel()
             try:
@@ -118,12 +228,23 @@ class CampaignService:
         """Admit one job; returns its :class:`Job` handle.
 
         Raises ``ValueError`` for malformed specs and
-        :class:`AdmissionRejected` (with ``retry_after``) when the queue
-        is past its high-water mark.  A spec whose provenance key is
-        already in the shared store completes immediately from cache
-        without consuming a queue slot.
+        :class:`AdmissionRejected` (with ``retry_after`` and a
+        ``reason``) when admission refuses: queue past its high-water
+        mark (``backpressure``), the service shutting down
+        (``draining``), or the spec's tenant rate-limited / circuit-
+        broken (:mod:`repro.service.isolation`).  A spec whose
+        provenance key is already in the shared store completes
+        immediately from cache without consuming a queue slot.
         """
         spec.validate()
+        if self._draining:
+            self.metrics.counter("service.jobs.rejected").inc()
+            raise ServiceDraining(self.queue.depth, self.queue.retry_after())
+        try:
+            self.gate.admit(spec.tenant)
+        except AdmissionRejected:
+            self.metrics.counter("service.jobs.rejected").inc()
+            raise
         job = Job(
             id=next(self._ids),
             spec=spec,
@@ -170,59 +291,122 @@ class CampaignService:
 
     async def _run_job(self, job: Job) -> None:
         try:
-            job.state = "running"
-            job.started_wall = time.monotonic()
-            latency = job.started_wall - job.submitted_wall
-            self.wall_queue_latencies.append(latency)
-            self.metrics.histogram("service.queue.wall_seconds").observe(latency)
-            self._emit(job, "started")
-            key = job.spec.key()
-            cached = self.store.get(key)
-            if cached is not None:
-                job.cached = True
-                self.metrics.counter("service.jobs.cached").inc()
-                self._finish(job, result=cached)
-                return
-            inflight = self._inflight.get(key)
-            if inflight is not None:
-                # Coalesce: an identical job is already executing; wait
-                # for its result instead of running the work twice.
-                self._emit(job, "coalesced")
-                try:
-                    result = await asyncio.shield(inflight)
-                except Exception as exc:
-                    self._finish(job, error=str(exc))
-                    return
-                job.cached = True
-                self.metrics.counter("service.jobs.cached").inc()
-                self._finish(job, result=result)
-                return
-            future = asyncio.get_running_loop().create_future()
-            self._inflight[key] = future
-            try:
-                result = await self.pool.run(job.spec.as_dict())
-            except Exception as exc:
-                if not future.done():
-                    future.set_exception(exc)
-                    # Coalesced waiters consume the exception; nobody
-                    # else should trip "exception never retrieved".
-                    future.exception()
-                self._finish(job, error=str(exc))
-                return
-            finally:
-                self._inflight.pop(key, None)
-            self.store.put(key, result)
-            self._finish(job, result=result)
-            if not future.done():
-                future.set_result(result)
+            await self._execute(job)
+        except asyncio.CancelledError:
+            if job.state in ("queued", "running"):
+                self._finish(job, error="service shut down during execution")
+            raise
         finally:
             self._semaphore.release()
+
+    async def _execute(self, job: Job) -> None:
+        job.state = "running"
+        job.started_wall = time.monotonic()
+        latency = job.started_wall - job.submitted_wall
+        self.wall_queue_latencies.append(latency)
+        self.metrics.histogram("service.queue.wall_seconds").observe(latency)
+        self._emit(job, "started")
+        # Wall-clock deadline budget, measured from submission: a job
+        # that already overstayed while queued times out without ever
+        # touching a worker.
+        remaining = None
+        if job.spec.deadline_seconds is not None:
+            remaining = job.spec.deadline_seconds - latency
+            if remaining <= 0:
+                self._finish_timeout(job)
+                return
+        key = job.spec.key()
+        cached = self.store.get(key)
+        if cached is not None:
+            job.cached = True
+            self.metrics.counter("service.jobs.cached").inc()
+            self._finish(job, result=cached)
+            return
+        inflight = self._inflight.get(key)
+        if inflight is not None:
+            # Coalesce: an identical job is already executing; wait
+            # for its result instead of running the work twice.  The
+            # shield keeps the upstream execution alive if only this
+            # waiter's deadline expires.
+            self._emit(job, "coalesced")
+            try:
+                waiter = asyncio.shield(inflight)
+                if remaining is not None:
+                    result = await asyncio.wait_for(waiter, remaining)
+                else:
+                    result = await waiter
+            except asyncio.TimeoutError:
+                self._finish_timeout(job)
+                return
+            except Exception as exc:
+                self._finish(job, error=str(exc))
+                return
+            job.cached = True
+            self.metrics.counter("service.jobs.cached").inc()
+            self._finish(job, result=result)
+            return
+        future = asyncio.get_running_loop().create_future()
+        self._inflight[key] = future
+        try:
+            dispatch = self.supervisor.run(
+                job.spec.as_dict(),
+                key_id=job.spec.key_id(),
+                label=job.spec.label(),
+            )
+            if remaining is not None:
+                result = await asyncio.wait_for(dispatch, remaining)
+            else:
+                result = await dispatch
+        except asyncio.TimeoutError:
+            # Cooperative cancellation: wait_for already cancelled the
+            # dispatch, releasing this slot; coalesced waiters see the
+            # same timeout instead of hanging on an orphaned future.
+            if not future.done():
+                future.set_exception(JobTimeout(
+                    f"coalesced upstream job {job.id} hit its deadline"
+                ))
+                future.exception()
+            self.gate.record(job.spec.tenant, ok=False)
+            self._finish_timeout(job)
+            return
+        except asyncio.CancelledError:
+            if not future.done():
+                future.cancel()
+            raise
+        except Exception as exc:
+            if not future.done():
+                future.set_exception(exc)
+                # Coalesced waiters consume the exception; nobody
+                # else should trip "exception never retrieved".
+                future.exception()
+            self.gate.record(job.spec.tenant, ok=False)
+            self._finish(job, error=str(exc))
+            return
+        finally:
+            self._inflight.pop(key, None)
+        self.store.put(key, result)
+        self.gate.record(job.spec.tenant, ok=bool(result.get("ok", True)))
+        self._finish(job, result=result)
+        if not future.done():
+            future.set_result(result)
 
     # -- completion ---------------------------------------------------------
 
     def _emit(self, job: Job, event: str, **extra) -> None:
         payload = {"event": event, "job": job.id, **extra}
         job.events.put_nowait(payload)
+
+    def _finish_timeout(self, job: Job) -> None:
+        """Terminal ``timeout``: the wall-clock deadline budget ran out."""
+        job.finished_wall = time.monotonic()
+        job.state = "timeout"
+        deadline = job.spec.deadline_seconds
+        job.error = f"deadline of {deadline:g}s exceeded"
+        self.metrics.counter("service.jobs.timeout").inc()
+        self._emit(job, "timeout", deadline=deadline)
+        if not job.done.done():
+            job.done.set_exception(JobTimeout(job.error))
+            job.done.exception()
 
     def _finish(
         self, job: Job, result: Optional[dict] = None, error: Optional[str] = None
@@ -263,7 +447,7 @@ class CampaignService:
         while True:
             event = await job.events.get()
             yield event
-            if event["event"] in ("done", "failed"):
+            if event["event"] in ("done", "failed", "timeout"):
                 return
 
     async def result(self, job: Job) -> dict:
@@ -272,13 +456,15 @@ class CampaignService:
 
     def snapshot(self) -> dict:
         """Fleet-wide service telemetry, JSON-ready."""
-        hits, misses, size = self.store.stats()
         return {
             "queue_depth": self.queue.depth,
             "queue_accepted": self.queue.accepted,
             "queue_rejected": self.queue.rejected,
-            "store": {"hits": hits, "misses": misses, "size": size},
+            "store": self.store.cache_stats(),
             "jobs": len(self._jobs),
             "workers": self.pool.workers,
+            "draining": self._draining,
+            "supervisor": self.supervisor.stats(),
+            "tenants": self.gate.stats(),
             "metrics": self.metrics.snapshot(),
         }

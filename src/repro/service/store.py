@@ -17,6 +17,7 @@ sink keeps unobserved stores allocation-free.
 from __future__ import annotations
 
 import threading
+from collections import OrderedDict
 from typing import Callable, Dict, Hashable, Optional, Tuple
 
 from repro.obs.metrics import NULL_METRICS
@@ -25,21 +26,36 @@ from repro.obs.metrics import NULL_METRICS
 class ResultStore:
     """A thread-safe memo of computed results keyed on provenance tuples.
 
-    *metrics* receives ``<name>.hits`` / ``<name>.misses`` counters and a
-    ``<name>.size`` gauge; *name* defaults to ``"store"`` so one registry
-    can host several stores side by side.
+    *metrics* receives ``<name>.hits`` / ``<name>.misses`` /
+    ``<name>.evictions`` counters and a ``<name>.size`` gauge; *name*
+    defaults to ``"store"`` so one registry can host several stores side
+    by side.
+
+    *max_entries* bounds the store with LRU eviction (a hit refreshes
+    recency, an insert past the bound evicts the coldest entry), so a
+    long-lived server under unique-spec traffic holds steady memory
+    instead of leaking; the default ``None`` keeps the store unbounded.
     """
 
-    def __init__(self, metrics=None, name: str = "store") -> None:
+    def __init__(
+        self,
+        metrics=None,
+        name: str = "store",
+        max_entries: Optional[int] = None,
+    ) -> None:
+        if max_entries is not None and max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1, got {max_entries}")
         self.name = name
+        self.max_entries = max_entries
         self.metrics = metrics if metrics is not None else NULL_METRICS
-        self._results: Dict[Hashable, object] = {}
+        self._results: "OrderedDict[Hashable, object]" = OrderedDict()
         self._lock = threading.Lock()
         #: Per-key compute locks so concurrent identical keys serialize
         #: against each other without serializing *distinct* keys.
         self._key_locks: Dict[Hashable, threading.Lock] = {}
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
 
     def __len__(self) -> int:
         return len(self._results)
@@ -56,15 +72,28 @@ class ResultStore:
         """
         with self._lock:
             value = self._results.get(key)
+            if value is not None:
+                self._results.move_to_end(key)
             if record:
                 self._record(hit=value is not None)
             return value
 
     def put(self, key: Hashable, value: object) -> None:
-        """Store *value* under *key* (last write wins)."""
+        """Store *value* under *key* (last write wins); may evict LRU."""
         with self._lock:
             self._results[key] = value
+            self._results.move_to_end(key)
+            self._evict()
             self.metrics.gauge(f"{self.name}.size").set(len(self._results))
+
+    def _evict(self) -> None:
+        """Drop least-recently-used entries past the bound (lock held)."""
+        if self.max_entries is None:
+            return
+        while len(self._results) > self.max_entries:
+            self._results.popitem(last=False)
+            self.evictions += 1
+            self.metrics.counter(f"{self.name}.evictions").inc()
 
     def _record(self, hit: bool) -> None:
         if hit:
@@ -86,6 +115,7 @@ class ResultStore:
         """
         with self._lock:
             if key in self._results:
+                self._results.move_to_end(key)
                 self._record(hit=True)
                 return self._results[key]
             key_lock = self._key_locks.setdefault(key, threading.Lock())
@@ -93,6 +123,7 @@ class ResultStore:
             with self._lock:
                 if key in self._results:
                     # Lost the race: the winner computed while we waited.
+                    self._results.move_to_end(key)
                     self._record(hit=True)
                     return self._results[key]
             try:
@@ -103,6 +134,7 @@ class ResultStore:
                 raise
             with self._lock:
                 self._results[key] = value
+                self._evict()
                 self._record(hit=False)
                 self.metrics.gauge(f"{self.name}.size").set(len(self._results))
                 self._key_locks.pop(key, None)
@@ -112,6 +144,17 @@ class ResultStore:
         """``(hits, misses, size)`` of the store so far."""
         with self._lock:
             return self.hits, self.misses, len(self._results)
+
+    def cache_stats(self) -> dict:
+        """Full cache telemetry, JSON-ready (includes LRU eviction state)."""
+        with self._lock:
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "size": len(self._results),
+                "evictions": self.evictions,
+                "max_entries": self.max_entries,
+            }
 
     def clear(self) -> None:
         """Drop every stored result (telemetry counters are kept)."""

@@ -1,0 +1,191 @@
+"""Worker supervision: pool-death recovery, redispatch, poison quarantine.
+
+A :class:`~repro.service.pool.WorkerPool` backed by real processes is
+mortal: a worker segfaults or is OOM-killed and the executor surfaces
+``BrokenProcessPool`` on *every* in-flight future, poisoning the pool
+for all subsequent submissions.  :class:`WorkerSupervisor` wraps the
+pool with the service tier's fault model:
+
+* **detect** — ``BrokenExecutor`` (the superclass of
+  ``BrokenProcessPool``) from a dispatch means the pool died, not the
+  job; it is never treated as a job failure.
+* **restart** — the pool is rebuilt with exponential backoff.  Rebuilds
+  are single-flight: when one crash fails many in-flight dispatches at
+  once, exactly one caller rebuilds (a generation counter arbitrates)
+  and the rest immediately retry on the fresh pool.
+* **redispatch** — each interrupted job is re-run, bounded by
+  ``max_attempts``.  Job results are pure functions of the spec (see
+  :mod:`repro.service.jobs`), so a redispatch can change *when* an
+  answer arrives but never *what* it is — the property the
+  ``--kill-workers`` chaos replay asserts byte-for-byte.
+* **quarantine** — a spec that kills ``poison_threshold`` consecutive
+  workers is declared poison: it is recorded in the dead-letter list,
+  its caller gets :class:`PoisonJobError`, and the (restarted) pool
+  keeps serving everyone else.  A success resets a spec's kill streak,
+  so innocent bystanders of repeated crashes are never quarantined.
+
+Everything is booked in the metrics registry
+(``service.supervisor.restarts`` / ``redispatches`` /
+``worker_failures`` / ``quarantined``) and summarized by
+:meth:`WorkerSupervisor.stats` for the ``stats`` wire op.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from concurrent.futures import BrokenExecutor
+from typing import Dict, List, Optional
+
+from repro.obs.metrics import NULL_METRICS
+
+__all__ = ["WorkerSupervisor", "PoisonJobError", "POOL_FAILURES"]
+
+#: Exception types that mean "the pool died under us" rather than "the
+#: job itself failed".  ``BrokenProcessPool`` and ``BrokenThreadPool``
+#: are both ``BrokenExecutor`` subclasses.
+POOL_FAILURES = (BrokenExecutor,)
+
+
+class PoisonJobError(RuntimeError):
+    """A spec was quarantined after killing too many workers in a row."""
+
+    def __init__(self, key_id: str, label: str, kills: int):
+        self.key_id = key_id
+        self.label = label
+        self.kills = kills
+        super().__init__(
+            f"job {label or key_id} quarantined as poison after killing "
+            f"{kills} consecutive workers"
+        )
+
+
+class WorkerSupervisor:
+    """Runs job payloads through a pool it is allowed to restart."""
+
+    def __init__(
+        self,
+        pool,
+        max_attempts: int = 4,
+        poison_threshold: int = 3,
+        backoff_base: float = 0.05,
+        backoff_max: float = 2.0,
+        metrics=None,
+        sleep=None,
+    ) -> None:
+        if max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {max_attempts}")
+        if poison_threshold < 1:
+            raise ValueError(
+                f"poison_threshold must be >= 1, got {poison_threshold}"
+            )
+        self.pool = pool
+        self.max_attempts = max_attempts
+        self.poison_threshold = poison_threshold
+        self.backoff_base = backoff_base
+        self.backoff_max = backoff_max
+        self.metrics = metrics if metrics is not None else NULL_METRICS
+        self._sleep = sleep if sleep is not None else asyncio.sleep
+        #: Arbitration for single-flight rebuilds; bumped per rebuild.
+        self._generation = 0
+        self._rebuild_lock: Optional[asyncio.Lock] = None
+        #: Consecutive rebuilds without an intervening success (backoff).
+        self._restart_streak = 0
+        #: Per-spec consecutive worker kills (poison attribution).
+        self._kills: Dict[str, int] = {}
+        self.restarts = 0
+        self.redispatches = 0
+        self.worker_failures = 0
+        self.dead_letters: List[dict] = []
+        self._quarantined: set = set()
+
+    # -- dispatch -----------------------------------------------------------
+
+    def is_quarantined(self, key_id: str) -> bool:
+        return key_id in self._quarantined
+
+    async def run(self, payload: dict, key_id: str, label: str = "") -> dict:
+        """Execute one job payload, surviving pool deaths.
+
+        Raises :class:`PoisonJobError` when the spec crosses the poison
+        threshold (including on a pre-quarantined key), and re-raises
+        the last pool failure when the attempt budget runs out.
+        """
+        if key_id in self._quarantined:
+            raise PoisonJobError(key_id, label, self._kills.get(key_id, 0))
+        attempts = 0
+        while True:
+            generation = self._generation
+            attempts += 1
+            try:
+                result = await self.pool.run(payload)
+            except asyncio.CancelledError:
+                raise
+            except POOL_FAILURES as exc:
+                self.worker_failures += 1
+                self.metrics.counter("service.supervisor.worker_failures").inc()
+                kills = self._kills.get(key_id, 0) + 1
+                self._kills[key_id] = kills
+                if kills >= self.poison_threshold:
+                    self._quarantine(key_id, label, kills, exc)
+                    await self._ensure_pool(generation)
+                    raise PoisonJobError(key_id, label, kills) from exc
+                if attempts >= self.max_attempts:
+                    await self._ensure_pool(generation)
+                    raise
+                await self._ensure_pool(generation)
+                self.redispatches += 1
+                self.metrics.counter("service.supervisor.redispatches").inc()
+                continue
+            else:
+                self._kills.pop(key_id, None)
+                self._restart_streak = 0
+                return result
+
+    # -- pool lifecycle -----------------------------------------------------
+
+    async def _ensure_pool(self, seen_generation: int) -> None:
+        """Rebuild the pool at most once per death (single-flight)."""
+        if self._rebuild_lock is None:
+            self._rebuild_lock = asyncio.Lock()
+        async with self._rebuild_lock:
+            if self._generation != seen_generation:
+                # Another victim of the same crash already rebuilt.
+                return
+            delay = min(
+                self.backoff_base * (2 ** self._restart_streak),
+                self.backoff_max,
+            )
+            self._restart_streak += 1
+            if delay > 0:
+                await self._sleep(delay)
+            self.pool.restart()
+            self._generation += 1
+            self.restarts += 1
+            self.metrics.counter("service.supervisor.restarts").inc()
+
+    # -- quarantine ---------------------------------------------------------
+
+    def _quarantine(self, key_id: str, label: str, kills: int, exc) -> None:
+        if key_id in self._quarantined:
+            return
+        self._quarantined.add(key_id)
+        self.dead_letters.append({
+            "key_id": key_id,
+            "label": label,
+            "kills": kills,
+            "error": str(exc),
+        })
+        self.metrics.counter("service.supervisor.quarantined").inc()
+
+    # -- observation --------------------------------------------------------
+
+    def stats(self) -> dict:
+        """Supervision telemetry, JSON-ready (for snapshots and `stats`)."""
+        return {
+            "generation": self._generation,
+            "restarts": self.restarts,
+            "redispatches": self.redispatches,
+            "worker_failures": self.worker_failures,
+            "quarantined": len(self.dead_letters),
+            "dead_letters": [dict(entry) for entry in self.dead_letters],
+        }

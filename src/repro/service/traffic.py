@@ -117,6 +117,18 @@ class TraceSpec:
     high_water: Optional[int] = None
     #: Retry-after hint granularity for modelled rejections.
     est_service_seconds: float = 0.25
+    #: Per-tenant isolation, modelled in virtual time (None = off): a
+    #: token bucket of ``tenant_rate`` admissions/second (burst
+    #: ``tenant_burst``) per tenant, and a circuit breaker opening
+    #: after ``breaker_failures`` consecutive failed jobs for
+    #: ``breaker_cooldown`` virtual seconds.  Same state machines as
+    #: the live service (:mod:`repro.service.isolation`), driven by
+    #: arrival times instead of the wall clock, so gating decisions are
+    #: part of the deterministic summary.
+    tenant_rate: Optional[float] = None
+    tenant_burst: float = 4.0
+    breaker_failures: Optional[int] = None
+    breaker_cooldown: float = 5.0
 
     def __post_init__(self):
         object.__setattr__(
@@ -135,6 +147,14 @@ class TraceSpec:
             )
         if self.base_rate <= 0:
             raise ValueError(f"base_rate must be > 0, got {self.base_rate}")
+        if self.tenant_rate is not None and self.tenant_rate <= 0:
+            raise ValueError(
+                f"tenant_rate must be > 0, got {self.tenant_rate}"
+            )
+        if self.breaker_failures is not None and self.breaker_failures < 1:
+            raise ValueError(
+                f"breaker_failures must be >= 1, got {self.breaker_failures}"
+            )
         for kind, _ in self.classes:
             if kind not in CLASS_PRIORITY:
                 raise ValueError(
@@ -421,11 +441,30 @@ def _job_summary(result: dict) -> dict:
     return entry
 
 
+async def _chaos_killer(service, kills: int, interval: float = 0.05) -> int:
+    """Kill *kills* real pool workers, one every *interval* seconds.
+
+    The chaos loop for ``repro replay-trace --kill-workers``: each kill
+    breaks the executor mid-job, exercising the supervisor's
+    rebuild-and-redispatch path while Phase A is still running.  Killed
+    count is telemetry only — results are pure functions of specs, so
+    the replay summary must come out byte-identical anyway.
+    """
+    killed = 0
+    while killed < kills:
+        await asyncio.sleep(interval)
+        pid = service.pool.kill_one_worker()
+        if pid is not None:
+            killed += 1
+    return killed
+
+
 async def _execute_unique(
     unique: Dict[tuple, JobSpec],
     workers: int,
     pool_cls,
     metrics,
+    kill_workers: int = 0,
 ) -> Dict[tuple, dict]:
     from repro.service.service import CampaignService
 
@@ -441,13 +480,64 @@ async def _execute_unique(
         pool_cls=pool_cls,
     )
     await service.start()
+    killer = None
     try:
         jobs = {key: service.submit(spec) for key, spec in unique.items()}
+        if kill_workers:
+            killer = asyncio.create_task(
+                _chaos_killer(service, kill_workers)
+            )
         return {
             key: await service.result(job) for key, job in jobs.items()
         }
     finally:
+        if killer is not None:
+            killer.cancel()
+            await asyncio.gather(killer, return_exceptions=True)
         await service.close()
+
+
+def _gate_arrivals(
+    spec: TraceSpec,
+    arrivals: List[Arrival],
+    results: Dict[tuple, dict],
+) -> Tuple[List[Optional[str]], List[Optional[float]]]:
+    """Virtual-time tenant-isolation pass over the trace.
+
+    Replays the live service's token-bucket and circuit-breaker state
+    machines (:mod:`repro.service.isolation`) at each arrival's virtual
+    time.  Each admitted arrival's job outcome feeds the tenant's
+    breaker immediately — a modelling simplification (completion is
+    treated as instantaneous for breaker purposes) that keeps the pass
+    a pure function of the trace.  Returns per-arrival reject reasons
+    (None = admitted) and retry-after hints.
+    """
+    from repro.service.isolation import TenantGate
+    from repro.service.queue import AdmissionRejected
+
+    gate = TenantGate(
+        rate=spec.tenant_rate,
+        burst=spec.tenant_burst,
+        breaker_failures=spec.breaker_failures,
+        breaker_cooldown=spec.breaker_cooldown,
+    )
+    reasons: List[Optional[str]] = []
+    retries: List[Optional[float]] = []
+    for arrival in arrivals:
+        try:
+            gate.admit_at(arrival.tenant, arrival.t)
+        except AdmissionRejected as exc:
+            reasons.append(exc.reason)
+            retries.append(exc.retry_after)
+            continue
+        reasons.append(None)
+        retries.append(None)
+        gate.record_at(
+            arrival.tenant,
+            ok=bool(results[arrival.spec.key()]["ok"]),
+            now=arrival.t,
+        )
+    return reasons, retries
 
 
 def replay_trace(
@@ -456,36 +546,59 @@ def replay_trace(
     pool_cls=None,
     metrics=None,
     trace_out: Optional[str] = None,
+    kill_workers: int = 0,
 ) -> dict:
     """Replay *spec* against the service; returns the summary document.
 
     Phase A executes each unique job spec once on *workers* warm
-    workers (0 = inline); Phase B models queueing in virtual time.  The
-    returned summary is a pure function of *spec* — byte-identical
-    across repeats and worker counts.  *trace_out* (requires
-    ``spec.traced``) additionally writes a merged Perfetto/Chrome trace
-    of every executed job.
+    workers (0 = inline); Phase B models queueing — and, when the spec
+    enables them, per-tenant rate limits and circuit breakers — in
+    virtual time.  The returned summary is a pure function of *spec* —
+    byte-identical across repeats and worker counts.  *trace_out*
+    (requires ``spec.traced``) additionally writes a merged
+    Perfetto/Chrome trace of every executed job.
+
+    *kill_workers* is the chaos knob: SIGKILL that many real pool
+    workers while Phase A runs (requires ``workers > 0``).  The
+    supervisor rebuilds the pool and redispatches interrupted jobs, so
+    the summary must still come out byte-identical to an undisturbed
+    replay — that equality is the worker-crash determinism check.
     """
     if trace_out is not None and not spec.traced:
         raise ValueError(
             "trace output requested but the trace spec has traced=false"
+        )
+    if kill_workers < 0:
+        raise ValueError(f"kill_workers must be >= 0, got {kill_workers}")
+    if kill_workers and workers < 1:
+        raise ValueError(
+            "kill_workers needs a real worker pool (workers >= 1); "
+            "inline mode has no processes to kill"
         )
     arrivals = generate_trace(spec)
     unique: Dict[tuple, JobSpec] = {}
     for arrival in arrivals:
         unique.setdefault(arrival.spec.key(), arrival.spec)
     results = asyncio.run(
-        _execute_unique(unique, workers, pool_cls, metrics)
+        _execute_unique(unique, workers, pool_cls, metrics, kill_workers)
     )
+
+    # Tenant isolation gates arrivals before the queue model, exactly
+    # as the live service gates submissions before queue admission.
+    gate_reasons, gate_retries = _gate_arrivals(spec, arrivals, results)
 
     key_ids = {key: job.key_id() for key, job in unique.items()}
     first_seen: Dict[tuple, int] = {}
+    admitted: List[Arrival] = []
     service_times: List[float] = []
-    duplicates = []
-    for arrival in arrivals:
+    duplicates: List[bool] = []
+    for arrival, reason in zip(arrivals, gate_reasons):
+        if reason is not None:
+            continue
         key = arrival.spec.key()
         duplicate = key in first_seen
         first_seen.setdefault(key, arrival.index)
+        admitted.append(arrival)
         duplicates.append(duplicate)
         # Duplicates are served from the shared store: zero service time.
         service_times.append(
@@ -493,7 +606,7 @@ def replay_trace(
         )
 
     queue_records = simulate_queue(
-        arrivals,
+        admitted,
         service_times,
         spec.model_servers,
         spec.effective_high_water,
@@ -505,11 +618,12 @@ def replay_trace(
     classes: Dict[str, dict] = {}
     tenants: Dict[str, dict] = {}
     rejected = 0
+    gated = 0
+    gate_counts: Dict[str, int] = {"rate_limited": 0, "circuit_open": 0}
     busy = 0.0
     makespan = 0.0
-    for arrival, record, duplicate, service_time in zip(
-        arrivals, queue_records, duplicates, service_times
-    ):
+    qi = 0
+    for arrival, reason, gate_retry in zip(arrivals, gate_reasons, gate_retries):
         row = {
             "index": arrival.index,
             "t": arrival.t,
@@ -517,18 +631,37 @@ def replay_trace(
             "kind": arrival.kind,
             "priority": arrival.priority,
             "key": key_ids[arrival.spec.key()],
-            "duplicate": duplicate,
-            "rejected": bool(record.get("rejected")),
         }
         for scope, name in ((classes, arrival.kind), (tenants, arrival.tenant)):
             bucket = scope.setdefault(
-                name, {"arrivals": 0, "rejected": 0, "sim_time": 0.0}
+                name,
+                {"arrivals": 0, "rejected": 0, "gated": 0, "sim_time": 0.0},
             )
             bucket["arrivals"] += 1
+        if reason is not None:
+            gated += 1
+            gate_counts[reason] = gate_counts.get(reason, 0) + 1
+            classes[arrival.kind]["gated"] += 1
+            tenants[arrival.tenant]["gated"] += 1
+            row.update({
+                "duplicate": False,
+                "rejected": True,
+                "reject_reason": reason,
+                "retry_after": gate_retry,
+            })
+            arrival_rows.append(row)
+            continue
+        record = queue_records[qi]
+        duplicate = duplicates[qi]
+        service_time = service_times[qi]
+        qi += 1
+        row["duplicate"] = duplicate
+        row["rejected"] = bool(record.get("rejected"))
         if row["rejected"]:
             rejected += 1
             classes[arrival.kind]["rejected"] += 1
             tenants[arrival.tenant]["rejected"] += 1
+            row["reject_reason"] = "backpressure"
             row["retry_after"] = record["retry_after"]
         else:
             row.update(record)
@@ -565,12 +698,22 @@ def replay_trace(
             for key in sorted(unique, key=lambda k: key_ids[k])
         },
         "arrivals": arrival_rows,
+        "isolation": {
+            "tenant_rate": spec.tenant_rate,
+            "tenant_burst": spec.tenant_burst,
+            "breaker_failures": spec.breaker_failures,
+            "breaker_cooldown": spec.breaker_cooldown,
+            "gated": gated,
+            "rate_limited": gate_counts.get("rate_limited", 0),
+            "circuit_open": gate_counts.get("circuit_open", 0),
+        },
         "queue": {
             "model_servers": spec.model_servers,
             "max_depth": spec.max_depth,
             "high_water": spec.effective_high_water,
-            "admitted": len(arrivals) - rejected,
+            "admitted": len(arrivals) - gated - rejected,
             "rejected": rejected,
+            "gated": gated,
             "duplicates": sum(duplicates),
             "unique_jobs": len(unique),
             "p50_latency": round(_percentile(latencies, 50.0), 9),

@@ -1,0 +1,169 @@
+"""Tests for per-tenant isolation: token buckets and circuit breakers."""
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.service.isolation import (
+    CircuitBreaker,
+    TenantCircuitOpen,
+    TenantGate,
+    TenantRateLimited,
+    TokenBucket,
+)
+from repro.service.queue import AdmissionRejected
+
+
+class TestTokenBucket:
+    def test_starts_full_and_drains(self):
+        bucket = TokenBucket(rate=1.0, burst=2.0)
+        assert bucket.admit(0.0)
+        assert bucket.admit(0.0)
+        assert not bucket.admit(0.0)
+
+    def test_refills_at_rate(self):
+        bucket = TokenBucket(rate=2.0, burst=1.0)
+        assert bucket.admit(0.0)
+        assert not bucket.admit(0.1)
+        assert bucket.admit(0.6)  # 0.5s -> one token at 2/s
+
+    def test_burst_caps_accumulation(self):
+        bucket = TokenBucket(rate=10.0, burst=2.0)
+        bucket.admit(0.0)
+        # A long idle period accrues at most `burst` tokens.
+        assert bucket.admit(100.0)
+        assert bucket.admit(100.0)
+        assert not bucket.admit(100.0)
+
+    def test_time_going_backwards_is_safe(self):
+        bucket = TokenBucket(rate=1.0, burst=1.0)
+        assert bucket.admit(10.0)
+        assert not bucket.admit(5.0)  # no refill, no crash
+
+    def test_retry_after_names_deficit(self):
+        bucket = TokenBucket(rate=2.0, burst=1.0)
+        bucket.admit(0.0)
+        bucket.admit(0.0)
+        assert bucket.retry_after() == pytest.approx(0.5)
+
+    def test_deterministic_for_same_timestamps(self):
+        times = [0.0, 0.1, 0.5, 0.6, 3.0, 3.1, 3.2]
+        decisions = []
+        for _ in range(2):
+            bucket = TokenBucket(rate=1.0, burst=2.0)
+            decisions.append([bucket.admit(t) for t in times])
+        assert decisions[0] == decisions[1]
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="rate"):
+            TokenBucket(rate=0.0, burst=1.0)
+        with pytest.raises(ValueError, match="burst"):
+            TokenBucket(rate=1.0, burst=0.5)
+
+
+class TestCircuitBreaker:
+    def test_opens_after_consecutive_failures(self):
+        breaker = CircuitBreaker(failures=2, cooldown=10.0)
+        breaker.record(ok=False, now=0.0)
+        assert breaker.state == "closed"
+        breaker.record(ok=False, now=1.0)
+        assert breaker.state == "open"
+        assert not breaker.allow(2.0)
+        assert breaker.trips == 1
+
+    def test_success_resets_consecutive_count(self):
+        breaker = CircuitBreaker(failures=2, cooldown=10.0)
+        breaker.record(ok=False, now=0.0)
+        breaker.record(ok=True, now=1.0)
+        breaker.record(ok=False, now=2.0)
+        assert breaker.state == "closed"
+
+    def test_half_open_probe_success_closes(self):
+        breaker = CircuitBreaker(failures=1, cooldown=5.0)
+        breaker.record(ok=False, now=0.0)
+        assert not breaker.allow(4.0)
+        assert breaker.allow(5.0)  # the half-open probe
+        assert breaker.state == "half_open"
+        breaker.record(ok=True, now=5.1)
+        assert breaker.state == "closed"
+        assert breaker.allow(5.2)
+
+    def test_half_open_probe_failure_reopens(self):
+        breaker = CircuitBreaker(failures=1, cooldown=5.0)
+        breaker.record(ok=False, now=0.0)
+        assert breaker.allow(5.0)
+        breaker.record(ok=False, now=5.1)
+        assert breaker.state == "open"
+        # Cooldown restarts from the re-open.
+        assert not breaker.allow(9.0)
+        assert breaker.allow(10.2)
+
+    def test_half_open_sheds_while_probe_in_flight(self):
+        breaker = CircuitBreaker(failures=1, cooldown=5.0)
+        breaker.record(ok=False, now=0.0)
+        assert breaker.allow(5.0)
+        assert not breaker.allow(5.0)  # only one probe at a time
+        assert breaker.probes == 1
+
+    def test_retry_after_counts_down(self):
+        breaker = CircuitBreaker(failures=1, cooldown=10.0)
+        breaker.record(ok=False, now=0.0)
+        assert breaker.retry_after(4.0) == pytest.approx(6.0)
+        assert breaker.retry_after(20.0) == 0.0
+
+
+class TestTenantGate:
+    def test_disabled_gate_admits_everything(self):
+        gate = TenantGate()
+        assert not gate.enabled
+        for _ in range(100):
+            gate.admit("t0")  # never raises
+        gate.record("t0", ok=False)  # no breaker: no-op
+
+    def test_rate_limits_per_tenant(self):
+        gate = TenantGate(rate=1.0, burst=1.0)
+        gate.admit_at("hot", 0.0)
+        with pytest.raises(TenantRateLimited) as exc:
+            gate.admit_at("hot", 0.0)
+        assert exc.value.reason == "rate_limited"
+        assert "hot" in str(exc.value)
+        # The other tenant's bucket is untouched.
+        gate.admit_at("cold", 0.0)
+
+    def test_rejections_are_admission_rejected(self):
+        gate = TenantGate(rate=1.0, burst=1.0)
+        gate.admit_at("t", 0.0)
+        with pytest.raises(AdmissionRejected):
+            gate.admit_at("t", 0.0)
+
+    def test_breaker_isolates_failing_tenant(self):
+        gate = TenantGate(breaker_failures=2, breaker_cooldown=10.0)
+        for now in (0.0, 1.0):
+            gate.admit_at("bad", now)
+            gate.record_at("bad", ok=False, now=now)
+        with pytest.raises(TenantCircuitOpen) as exc:
+            gate.admit_at("bad", 2.0)
+        assert exc.value.reason == "circuit_open"
+        # Only the failing tenant is shed.
+        gate.admit_at("good", 2.0)
+
+    def test_metrics_booked(self):
+        metrics = MetricsRegistry()
+        gate = TenantGate(
+            rate=1.0, burst=1.0, breaker_failures=1, metrics=metrics
+        )
+        gate.admit_at("t", 0.0)
+        gate.record_at("t", ok=False, now=0.0)
+        with pytest.raises(TenantCircuitOpen):
+            gate.admit_at("t", 0.1)
+        counters = metrics.snapshot()["counters"]
+        assert counters["service.tenant.breaker_trips"] == 1
+        assert counters["service.tenant.circuit_rejected"] == 1
+
+    def test_stats_shape(self):
+        gate = TenantGate(rate=2.0, burst=2.0, breaker_failures=1)
+        gate.admit_at("t1", 0.0)
+        gate.record_at("t1", ok=False, now=0.0)
+        stats = gate.stats()
+        assert stats["t1"]["breaker"] == "open"
+        assert stats["t1"]["trips"] == 1
+        assert "tokens" in stats["t1"]

@@ -1,0 +1,152 @@
+"""Tests for the worker pool: restart, chaos hooks, shutdown semantics."""
+
+import asyncio
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.service import jobs as jobs_mod
+from repro.service.pool import WorkerPool
+
+
+class TestRestart:
+    def test_inline_pool_restart_is_noop(self):
+        pool = WorkerPool(0)
+        pool.restart()
+        assert pool.inline
+        assert pool.generations == 0
+
+    def test_restart_builds_new_executor(self):
+        pool = WorkerPool(2, pool_cls=ThreadPoolExecutor)
+        first = pool._pool
+        pool.restart()
+        assert pool._pool is not first
+        assert pool.generations == 2
+        pool.shutdown()
+
+    def test_restart_refused_after_shutdown(self):
+        pool = WorkerPool(2, pool_cls=ThreadPoolExecutor)
+        pool.shutdown()
+        pool.restart()
+        assert pool._pool is None
+        assert pool.generations == 1  # nothing resurrected
+
+    def test_restart_survives_broken_old_executor(self):
+        class StubbornExecutor(ThreadPoolExecutor):
+            def shutdown(self, wait=True, cancel_futures=False):
+                raise RuntimeError("already broken")
+
+        pool = WorkerPool(1, pool_cls=StubbornExecutor)
+        pool.restart()  # must not propagate the shutdown error
+        assert pool.generations == 2
+        pool._pool_cls = ThreadPoolExecutor  # let teardown succeed
+        pool._pool = None
+        pool.shutdown()
+
+
+class TestChaosHooks:
+    def test_worker_pids_empty_for_inline_and_threads(self):
+        assert WorkerPool(0).worker_pids() == []
+        pool = WorkerPool(2, pool_cls=ThreadPoolExecutor)
+        assert pool.worker_pids() == []
+        assert pool.kill_one_worker() is None
+        pool.shutdown()
+
+
+class TestShutdown:
+    def test_shutdown_idempotent(self):
+        pool = WorkerPool(1, pool_cls=ThreadPoolExecutor)
+        pool.shutdown()
+        pool.shutdown()
+        assert pool.inline
+
+    def test_shutdown_nowait_returns_while_job_in_flight(self, monkeypatch):
+        started = threading.Event()
+        release = threading.Event()
+
+        def slow_execute(payload):
+            started.set()
+            release.wait(5.0)
+            return {"ok": True, "payload": payload}
+
+        monkeypatch.setattr(jobs_mod, "execute_job", slow_execute)
+
+        async def scenario():
+            pool = WorkerPool(1, pool_cls=ThreadPoolExecutor)
+            task = asyncio.create_task(pool.run({"x": 1}))
+            loop = asyncio.get_running_loop()
+            assert await loop.run_in_executor(None, started.wait, 5.0)
+            pool.shutdown(wait=False)
+            # shutdown(wait=False) must NOT block on the running job.
+            assert not release.is_set()
+            assert pool.inline
+            release.set()
+            return await task
+
+        result = asyncio.run(scenario())
+        assert result["ok"]
+
+    def test_shutdown_nowait_cancels_queued_jobs(self, monkeypatch):
+        started = threading.Event()
+        release = threading.Event()
+
+        def slow_execute(payload):
+            started.set()
+            release.wait(5.0)
+            return {"ok": True}
+
+        monkeypatch.setattr(jobs_mod, "execute_job", slow_execute)
+
+        async def scenario():
+            pool = WorkerPool(1, pool_cls=ThreadPoolExecutor)
+            running = asyncio.create_task(pool.run({"x": 1}))
+            loop = asyncio.get_running_loop()
+            assert await loop.run_in_executor(None, started.wait, 5.0)
+            # A second job is queued behind the single busy worker.
+            queued = asyncio.create_task(pool.run({"x": 2}))
+            await asyncio.sleep(0)
+            pool.shutdown(wait=False)
+            release.set()
+            first = await running
+            with pytest.raises(asyncio.CancelledError):
+                await queued
+            return first
+
+        assert asyncio.run(scenario())["ok"]
+
+
+class TestRealProcesses:
+    def test_kill_one_worker_breaks_then_supervisor_recovers(self):
+        # End-to-end over real processes: SIGKILL a worker mid-fleet,
+        # watch the supervisor rebuild and re-answer correctly.
+        from repro.obs.metrics import MetricsRegistry
+        from repro.service.supervisor import WorkerSupervisor
+
+        spec = jobs_mod.JobSpec(kind="bench", workload="blackscholes", seed=0)
+        payload = spec.as_dict()
+
+        async def scenario():
+            pool = WorkerPool(2)
+            sup = WorkerSupervisor(
+                pool, backoff_base=0.0, metrics=MetricsRegistry()
+            )
+            try:
+                baseline = await sup.run(payload, key_id=spec.key_id())
+                pids = pool.worker_pids()
+                assert pids, "process pool must expose worker pids"
+                task = asyncio.create_task(
+                    sup.run(payload, key_id=spec.key_id())
+                )
+                await asyncio.sleep(0.01)
+                assert pool.kill_one_worker() in pids
+                disturbed = await task
+                return baseline, disturbed, sup.stats()
+            finally:
+                pool.shutdown()
+
+        baseline, disturbed, stats = asyncio.run(scenario())
+        # The kill may land before or after the in-flight job finishes;
+        # either way the result must be byte-identical to the baseline.
+        assert disturbed == baseline
+        assert stats["quarantined"] == 0

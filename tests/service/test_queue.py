@@ -100,3 +100,27 @@ class TestAdmission:
         queue.offer(FakeJob("a", priority=0))
         assert [job.name for job in queue.drain()] == ["a", "b"]
         assert queue.depth == 0
+
+    def test_drain_orders_mixed_priorities_during_shutdown(self):
+        # The shutdown path must fail queued jobs in the order they
+        # would have run: priority first, FIFO within a priority —
+        # regardless of interleaved offers and partial consumption.
+        queue = AdmissionQueue(max_depth=16, high_water=16)
+        queue.offer(FakeJob("batch1", priority=2))
+        queue.offer(FakeJob("inter1", priority=0))
+        queue.offer(FakeJob("chaos1", priority=3))
+        queue.offer(FakeJob("inter2", priority=0))
+        queue.offer(FakeJob("batch2", priority=2))
+
+        async def pop_one():
+            return (await queue.get()).name
+
+        # A worker takes the best job, then the service shuts down.
+        assert asyncio.run(pop_one()) == "inter1"
+        drained = [job.name for job in queue.drain()]
+        assert drained == ["inter2", "batch1", "batch2", "chaos1"]
+        assert queue.depth == 0
+        # Draining is terminal for the backlog, not for the queue: a
+        # late offer still works (the service layer gates admission).
+        queue.offer(FakeJob("late"))
+        assert queue.depth == 1

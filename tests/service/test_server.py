@@ -112,6 +112,60 @@ class TestProtocol:
         assert "warm" in stats
         assert stats["metrics"]["counters"]["service.jobs.submitted"] >= 1
 
+    def test_stats_reports_supervision_and_drain_state(self, live_server):
+        host, port = live_server
+        (stats,) = srv.request(host, port, {"op": "stats"})
+        assert stats["draining"] is False
+        assert stats["supervisor"]["restarts"] == 0
+        assert stats["supervisor"]["quarantined"] == 0
+        assert stats["tenants"] == {}
+
+
+class TestDrain:
+    def test_submit_during_drain_rejected_over_the_wire(self):
+        # request_shutdown closes admission but keeps the listener up, so
+        # a late client gets a protocol-level reject, not a dead socket.
+        from repro.service.service import CampaignService
+
+        async def scenario():
+            server = srv.CampaignServer(CampaignService(workers=0))
+            await server.start()
+            server.request_shutdown()
+            loop = asyncio.get_running_loop()
+            events = await loop.run_in_executor(
+                None,
+                lambda: srv.submit(
+                    "127.0.0.1", server.port, run_job_spec(seed=3)
+                ),
+            )
+            drained = await server.drain_and_close(grace_seconds=5.0)
+            return events, drained
+
+        events, drained = asyncio.run(scenario())
+        assert drained
+        (event,) = events
+        assert event["event"] == "rejected"
+        assert event["reason"] == "draining"
+        assert event["retry_after"] >= 0
+
+    def test_serve_until_shutdown_drains_inflight_jobs(self):
+        from repro.service.service import CampaignService
+
+        async def scenario():
+            server = srv.CampaignServer(CampaignService(workers=0))
+            await server.start()
+            jobs = [
+                server.service.submit(run_job_spec(seed=seed))
+                for seed in (11, 12)
+            ]
+            server.request_shutdown()
+            drained = await server.serve_until_shutdown(grace_seconds=10.0)
+            return drained, [job.state for job in jobs]
+
+        drained, states = asyncio.run(scenario())
+        assert drained
+        assert states == ["done", "done"]
+
 
 class TestShutdown:
     def test_shutdown_op_stops_server(self):

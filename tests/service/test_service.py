@@ -215,3 +215,265 @@ class TestTelemetry:
         state, snapshot = run_service(scenario)
         assert state == "failed"
         assert snapshot["metrics"]["counters"]["service.jobs.failed"] == 1
+
+
+# -- supervision / deadline / drain doubles -----------------------------------
+
+
+class GatedPool:
+    """Pool double whose jobs block until the test releases them."""
+
+    workers = 0
+    inline = True
+    generations = 0
+
+    def __init__(self):
+        self.release = asyncio.Event()
+        self.calls = 0
+
+    async def run(self, payload):
+        self.calls += 1
+        await self.release.wait()
+        return {"ok": True, "sim_time": 0.0}
+
+    def restart(self):
+        pass
+
+    def shutdown(self, wait=True):
+        pass
+
+    async def warm_stats(self):
+        return None
+
+
+class ScriptedCrashPool(GatedPool):
+    """Pool double that raises BrokenProcessPool for selected payloads."""
+
+    def __init__(self, crashes=0, poison_seed=None):
+        super().__init__()
+        self.release.set()
+        self.crashes = crashes
+        self.poison_seed = poison_seed
+
+    async def run(self, payload):
+        from concurrent.futures.process import BrokenProcessPool
+
+        self.calls += 1
+        if self.poison_seed is not None and payload.get("seed") == self.poison_seed:
+            raise BrokenProcessPool("poison payload killed the worker")
+        if self.crashes > 0:
+            self.crashes -= 1
+            raise BrokenProcessPool("worker died")
+        return {"ok": True, "sim_time": 0.0}
+
+
+class TestDeadlines:
+    def test_queued_past_deadline_times_out_without_dispatch(self):
+        from repro.service.service import JobTimeout
+
+        async def scenario(service):
+            pool = service.pool
+            blocker = service.submit(run_spec(seed=1))
+            late = service.submit(run_spec(seed=2, deadline_seconds=0.01))
+            await asyncio.sleep(0.05)
+            pool.release.set()
+            events = [e["event"] async for e in service.stream(late)]
+            with pytest.raises(JobTimeout):
+                await service.result(late)
+            await service.result(blocker)
+            return events, late, pool.calls
+
+        events, late, calls = run_service(scenario, pool=GatedPool())
+        assert events == ["queued", "started", "timeout"]
+        assert late.state == "timeout"
+        assert "deadline" in late.error
+        assert calls == 1  # the expired job never touched a worker
+
+    def test_running_past_deadline_times_out_and_frees_slot(self):
+        from repro.service.service import JobTimeout
+
+        async def scenario(service):
+            stuck = service.submit(run_spec(seed=1, deadline_seconds=0.05))
+            events = [e["event"] async for e in service.stream(stuck)]
+            with pytest.raises(JobTimeout):
+                await service.result(stuck)
+            # The slot was released: a later job still executes.
+            service.pool.release.set()
+            after = service.submit(run_spec(seed=2))
+            result = await service.result(after)
+            return events, result, service.snapshot()
+
+        events, result, snapshot = run_service(scenario, pool=GatedPool())
+        assert events == ["queued", "started", "timeout"]
+        assert result["ok"]
+        counters = snapshot["metrics"]["counters"]
+        assert counters["service.jobs.timeout"] == 1
+
+    def test_deadline_is_not_provenance(self):
+        a = run_spec(seed=7)
+        b = run_spec(seed=7, deadline_seconds=2.0)
+        assert a.key() == b.key()
+
+    def test_invalid_deadline_rejected(self):
+        with pytest.raises(ValueError, match="deadline_seconds"):
+            run_spec(deadline_seconds=0.0).validate()
+
+
+class TestSupervisionIntegration:
+    def test_worker_crash_recovered_transparently(self):
+        async def scenario(service):
+            job = service.submit(run_spec())
+            result = await service.result(job)
+            return result, service.snapshot()
+
+        result, snapshot = run_service(scenario, pool=ScriptedCrashPool(crashes=1))
+        assert result["ok"]
+        sup = snapshot["supervisor"]
+        assert sup["worker_failures"] == 1
+        assert sup["restarts"] == 1
+        assert sup["redispatches"] == 1
+        assert sup["quarantined"] == 0
+
+    def test_poison_job_quarantined_service_stays_up(self):
+        async def scenario(service):
+            poison = service.submit(run_spec(seed=666))
+            with pytest.raises(RuntimeError, match="poison"):
+                await service.result(poison)
+            healthy = service.submit(run_spec(seed=1))
+            result = await service.result(healthy)
+            return poison, result, service.snapshot()
+
+        poison, result, snapshot = run_service(
+            scenario, pool=ScriptedCrashPool(poison_seed=666)
+        )
+        assert poison.state == "failed"
+        assert result["ok"]
+        sup = snapshot["supervisor"]
+        assert sup["quarantined"] == 1
+        assert sup["dead_letters"][0]["kills"] == 3
+        assert sup["dead_letters"][0]["key_id"] == poison.spec.key_id()
+
+
+class TestTenantIsolation:
+    def test_rate_limit_sheds_hot_tenant_only(self):
+        from repro.service.isolation import TenantRateLimited
+
+        async def scenario(service):
+            service.submit(run_spec(seed=1, tenant="hot"))
+            with pytest.raises(TenantRateLimited):
+                service.submit(run_spec(seed=2, tenant="hot"))
+            service.submit(run_spec(seed=3, tenant="cool"))
+            return service.snapshot()
+
+        snapshot = run_service(scenario, tenant_rate=0.001, tenant_burst=1.0)
+        counters = snapshot["metrics"]["counters"]
+        assert counters["service.tenant.rate_limited"] == 1
+        assert counters["service.jobs.rejected"] == 1
+
+    def test_breaker_opens_for_failing_tenant_only(self):
+        from repro.service.isolation import TenantCircuitOpen
+
+        bad_source = "void main() { not minic }"
+
+        async def scenario(service):
+            for seed in (1, 2):
+                job = service.submit(JobSpec(
+                    kind="run", source=bad_source, seed=seed, tenant="bad",
+                ))
+                with pytest.raises(RuntimeError):
+                    await service.result(job)
+            with pytest.raises(TenantCircuitOpen):
+                service.submit(JobSpec(
+                    kind="run", source=bad_source, seed=3, tenant="bad",
+                ))
+            # The healthy tenant is untouched by the bad one's breaker.
+            good = service.submit(run_spec(seed=4, tenant="good"))
+            result = await service.result(good)
+            return result, service.snapshot()
+
+        result, snapshot = run_service(
+            scenario, breaker_failures=2, breaker_cooldown=60.0
+        )
+        assert result["ok"]
+        assert snapshot["tenants"]["bad"]["breaker"] == "open"
+        counters = snapshot["metrics"]["counters"]
+        assert counters["service.tenant.breaker_trips"] == 1
+
+
+class TestDrainAndClose:
+    def test_close_before_start_fails_queued_jobs(self):
+        async def scenario():
+            service = CampaignService()
+            job = service.submit(run_spec())
+            await service.close()
+            with pytest.raises(RuntimeError, match="shut down"):
+                await service.result(job)
+            await service.close()  # idempotent
+            return job.state
+
+        assert asyncio.run(scenario()) == "failed"
+
+    def test_double_close_and_start_after_close(self):
+        async def scenario():
+            service = CampaignService()
+            await service.start()
+            await service.close()
+            await service.close()
+            assert service.closed
+            with pytest.raises(RuntimeError, match="closed"):
+                await service.start()
+
+        asyncio.run(scenario())
+
+    def test_close_with_queued_jobs_fails_them_in_order(self):
+        async def scenario(service):
+            jobs = [service.submit(run_spec(seed=i)) for i in range(3)]
+            await service.close()
+            return jobs
+
+        jobs = run_service(scenario)
+        assert all(job.state == "failed" for job in jobs)
+        assert all("before execution" in job.error for job in jobs)
+
+    def test_draining_service_rejects_with_reason(self):
+        from repro.service.service import ServiceDraining
+
+        async def scenario(service):
+            service.begin_drain()
+            assert service.draining
+            with pytest.raises(ServiceDraining) as exc:
+                service.submit(run_spec())
+            return exc.value
+
+        exc = run_service(scenario)
+        assert exc.reason == "draining"
+        assert exc.retry_after > 0
+
+    def test_drain_gracefully_finishes_inflight_work(self):
+        async def scenario():
+            service = CampaignService()
+            await service.start()
+            jobs = [service.submit(run_spec(seed=i)) for i in range(2)]
+            await asyncio.sleep(0)
+            drained = await service.drain_gracefully(grace_seconds=30.0)
+            return drained, jobs, service
+
+        drained, jobs, service = asyncio.run(scenario())
+        assert drained
+        assert all(job.state == "done" for job in jobs)
+        assert service.closed
+
+    def test_drain_grace_expiry_cancels_stragglers(self):
+        async def scenario():
+            service = CampaignService(pool=GatedPool())
+            await service.start()
+            job = service.submit(run_spec(seed=9))
+            await asyncio.sleep(0.01)  # dispatched, stuck on the gate
+            drained = await service.drain_gracefully(grace_seconds=0.05)
+            with pytest.raises(RuntimeError, match="shut down"):
+                await service.result(job)
+            return drained, job
+
+        drained, job = asyncio.run(scenario())
+        assert not drained
+        assert job.state == "failed"

@@ -117,3 +117,59 @@ class TestMetrics:
         assert counters["test.cache.hits"] == 2
         assert counters["test.cache.misses"] == 2
         assert metrics.snapshot()["gauges"]["test.cache.size"]["value"] == 1
+
+
+class TestLRUBound:
+    def test_insert_past_bound_evicts_coldest(self):
+        store = ResultStore(max_entries=2)
+        store.put(("a",), 1)
+        store.put(("b",), 2)
+        store.put(("c",), 3)
+        assert store.get(("a",)) is None  # coldest entry evicted
+        assert store.get(("b",)) == 2
+        assert store.get(("c",)) == 3
+        assert store.evictions == 1
+
+    def test_hit_refreshes_recency(self):
+        store = ResultStore(max_entries=2)
+        store.put(("a",), 1)
+        store.put(("b",), 2)
+        assert store.get(("a",)) == 1  # touch: "a" is now the hottest
+        store.put(("c",), 3)
+        assert store.get(("b",)) is None
+        assert store.get(("a",)) == 1
+
+    def test_get_or_compute_respects_bound(self):
+        store = ResultStore(max_entries=2)
+        for name in ("a", "b", "c"):
+            store.get_or_compute((name,), lambda name=name: name.upper())
+        assert len(store) == 2
+        assert store.evictions == 1
+        assert store.get(("a",)) is None
+
+    def test_unbounded_by_default(self):
+        store = ResultStore()
+        for i in range(100):
+            store.put(("k", i), i)
+        assert len(store) == 100
+        assert store.evictions == 0
+
+    def test_cache_stats_exposes_evictions(self):
+        metrics = MetricsRegistry()
+        store = ResultStore(metrics=metrics, name="svc", max_entries=1)
+        store.put(("a",), 1)
+        store.put(("b",), 2)
+        store.get(("b",), record=True)
+        store.get(("a",), record=True)
+        assert store.cache_stats() == {
+            "hits": 1,
+            "misses": 1,
+            "size": 1,
+            "evictions": 1,
+            "max_entries": 1,
+        }
+        assert metrics.snapshot()["counters"]["svc.evictions"] == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="max_entries"):
+            ResultStore(max_entries=0)

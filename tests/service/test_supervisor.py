@@ -1,0 +1,185 @@
+"""Tests for worker supervision: restarts, redispatch, poison quarantine."""
+
+import asyncio
+from concurrent.futures import BrokenExecutor
+from concurrent.futures.process import BrokenProcessPool
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.service.supervisor import PoisonJobError, WorkerSupervisor
+
+
+class ScriptedPool:
+    """Pool double following a per-call script of 'break' / result dicts."""
+
+    def __init__(self, script):
+        self.script = list(script)
+        self.calls = 0
+        self.restarts = 0
+
+    async def run(self, payload):
+        self.calls += 1
+        action = self.script.pop(0) if self.script else {"ok": True}
+        if action == "break":
+            raise BrokenProcessPool("worker died")
+        return action
+
+    def restart(self):
+        self.restarts += 1
+
+
+def make_supervisor(pool, **overrides):
+    kwargs = dict(backoff_base=0.0, metrics=MetricsRegistry())
+    kwargs.update(overrides)
+    return WorkerSupervisor(pool, **kwargs)
+
+
+class TestRecovery:
+    def test_success_passthrough(self):
+        pool = ScriptedPool([{"ok": True, "x": 1}])
+        sup = make_supervisor(pool)
+        result = asyncio.run(sup.run({"k": 1}, key_id="a"))
+        assert result == {"ok": True, "x": 1}
+        assert sup.restarts == 0 and sup.redispatches == 0
+
+    def test_pool_death_restarts_and_redispatches(self):
+        pool = ScriptedPool(["break", {"ok": True}])
+        sup = make_supervisor(pool)
+        result = asyncio.run(sup.run({"k": 1}, key_id="a"))
+        assert result["ok"]
+        assert pool.restarts == 1
+        assert sup.restarts == 1
+        assert sup.redispatches == 1
+        assert sup.worker_failures == 1
+        # A success wipes the spec's kill streak and the backoff streak.
+        assert sup._kills == {}
+        assert sup._restart_streak == 0
+
+    def test_attempt_budget_reraises_pool_failure(self):
+        pool = ScriptedPool(["break"] * 10)
+        sup = make_supervisor(pool, max_attempts=2, poison_threshold=5)
+        with pytest.raises(BrokenExecutor):
+            asyncio.run(sup.run({"k": 1}, key_id="a"))
+        assert pool.calls == 2
+        # The pool is still rebuilt for everyone else's sake.
+        assert pool.restarts == 2
+
+    def test_metrics_counters_booked(self):
+        pool = ScriptedPool(["break", {"ok": True}])
+        sup = make_supervisor(pool)
+        asyncio.run(sup.run({"k": 1}, key_id="a"))
+        counters = sup.metrics.snapshot()["counters"]
+        assert counters["service.supervisor.worker_failures"] == 1
+        assert counters["service.supervisor.restarts"] == 1
+        assert counters["service.supervisor.redispatches"] == 1
+
+    def test_backoff_grows_until_success(self):
+        sleeps = []
+
+        async def fake_sleep(delay):
+            sleeps.append(delay)
+
+        pool = ScriptedPool(["break", "break", "break", {"ok": True}])
+        sup = make_supervisor(
+            pool, backoff_base=0.1, backoff_max=0.25, sleep=fake_sleep,
+            max_attempts=10, poison_threshold=10,
+        )
+        asyncio.run(sup.run({"k": 1}, key_id="a"))
+        assert sleeps == [0.1, 0.2, 0.25]  # doubles, then clamps
+
+
+class TestPoison:
+    def test_poison_spec_quarantined(self):
+        pool = ScriptedPool(["break"] * 10)
+        sup = make_supervisor(pool, poison_threshold=3, max_attempts=10)
+        with pytest.raises(PoisonJobError) as exc:
+            asyncio.run(sup.run({"k": 1}, key_id="bad", label="faults:x"))
+        assert exc.value.kills == 3
+        assert sup.is_quarantined("bad")
+        assert sup.stats()["quarantined"] == 1
+        letter = sup.stats()["dead_letters"][0]
+        assert letter["key_id"] == "bad"
+        assert letter["label"] == "faults:x"
+        assert letter["kills"] == 3
+
+    def test_quarantined_key_rejected_without_dispatch(self):
+        pool = ScriptedPool(["break"] * 10)
+        sup = make_supervisor(pool, poison_threshold=2, max_attempts=10)
+        with pytest.raises(PoisonJobError):
+            asyncio.run(sup.run({"k": 1}, key_id="bad"))
+        calls = pool.calls
+        with pytest.raises(PoisonJobError):
+            asyncio.run(sup.run({"k": 1}, key_id="bad"))
+        assert pool.calls == calls  # never touched the pool again
+
+    def test_success_resets_kill_streak(self):
+        # One crash, then a success, then another crash: the spec never
+        # accumulates the 2 *consecutive* kills quarantine requires.
+        pool = ScriptedPool(["break", {"ok": True}, "break", {"ok": True}])
+        sup = make_supervisor(pool, poison_threshold=2, max_attempts=10)
+
+        async def scenario():
+            await sup.run({"k": 1}, key_id="a")
+            await sup.run({"k": 1}, key_id="a")
+
+        asyncio.run(scenario())
+        assert not sup.is_quarantined("a")
+        assert sup.stats()["quarantined"] == 0
+
+    def test_innocent_bystanders_not_quarantined(self):
+        # The same crash fails two different specs; neither reaches the
+        # threshold because kills are attributed per-spec.
+        pool = ScriptedPool(["break", "break", {"ok": True}, {"ok": True}])
+        sup = make_supervisor(pool, poison_threshold=3, max_attempts=10)
+
+        async def scenario():
+            a, b = await asyncio.gather(
+                sup.run({"k": 1}, key_id="a"),
+                sup.run({"k": 2}, key_id="b"),
+            )
+            return a, b
+
+        a, b = asyncio.run(scenario())
+        assert a["ok"] and b["ok"]
+        assert sup.stats()["quarantined"] == 0
+
+
+class TestSingleFlight:
+    def test_one_crash_one_rebuild(self):
+        # Two in-flight jobs die on the same crash; exactly one rebuild
+        # happens (the generation counter arbitrates).
+        gate = asyncio.Event()
+
+        class CrashRoundPool:
+            def __init__(self):
+                self.broken = True
+                self.restarts = 0
+
+            async def run(self, payload):
+                if self.broken:
+                    await gate.wait()
+                    raise BrokenProcessPool("shared crash")
+                return {"ok": True}
+
+            def restart(self):
+                self.broken = False
+                self.restarts += 1
+
+        pool = CrashRoundPool()
+        sup = make_supervisor(pool)
+
+        async def scenario():
+            tasks = [
+                asyncio.create_task(sup.run({"k": i}, key_id=f"k{i}"))
+                for i in range(2)
+            ]
+            await asyncio.sleep(0)  # both enter pool.run
+            gate.set()
+            return await asyncio.gather(*tasks)
+
+        results = asyncio.run(scenario())
+        assert all(r["ok"] for r in results)
+        assert pool.restarts == 1
+        assert sup.restarts == 1
+        assert sup.redispatches == 2

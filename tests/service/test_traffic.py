@@ -206,3 +206,114 @@ class TestReplay:
             replay_trace(
                 CHEAP, workers=0, trace_out=str(tmp_path / "x.json")
             )
+
+
+class FlakyExecutor(ThreadPoolExecutor):
+    """Executor double that breaks like a killed process-pool worker.
+
+    The first ``fails`` submissions raise ``BrokenProcessPool`` — the
+    exact failure a SIGKILLed worker surfaces — then the executor (and
+    every replacement the supervisor builds, since the counter is
+    class-level) behaves normally.
+    """
+
+    fails = 0
+
+    def submit(self, fn, *args, **kwargs):
+        cls = type(self)
+        if cls.fails > 0:
+            cls.fails -= 1
+            from concurrent.futures.process import BrokenProcessPool
+
+            raise BrokenProcessPool("simulated worker kill")
+        return super().submit(fn, *args, **kwargs)
+
+
+class TestChaosReplay:
+    def test_worker_crashes_leave_summary_byte_identical(self):
+        # The tentpole invariant: kill workers mid-replay, supervisor
+        # rebuilds and redispatches, and the summary still comes out
+        # byte-for-byte equal to an undisturbed inline run.
+        from repro.obs.metrics import MetricsRegistry
+
+        baseline = replay_trace(CHEAP, workers=0)
+        FlakyExecutor.fails = 2
+        metrics = MetricsRegistry()
+        try:
+            disturbed = replay_trace(
+                CHEAP, workers=2, pool_cls=FlakyExecutor, metrics=metrics
+            )
+        finally:
+            FlakyExecutor.fails = 0
+        assert summary_to_json(disturbed) == summary_to_json(baseline)
+        counters = metrics.snapshot()["counters"]
+        assert counters["service.supervisor.worker_failures"] == 2
+        assert counters["service.supervisor.restarts"] >= 1
+        # Every arrival is accounted for exactly once: nothing lost to
+        # the crash, nothing double-counted by the redispatch.
+        assert len(disturbed["arrivals"]) == CHEAP.requests
+        assert counters.get("service.supervisor.quarantined", 0) == 0
+
+    def test_kill_workers_requires_real_pool(self):
+        with pytest.raises(ValueError, match="workers"):
+            replay_trace(CHEAP, workers=0, kill_workers=1)
+        with pytest.raises(ValueError, match="kill_workers"):
+            replay_trace(CHEAP, workers=2, kill_workers=-1)
+
+
+class TestTenantGating:
+    def test_rate_limit_gates_hot_tenant_deterministically(self):
+        throttled = replace(CHEAP, tenant_rate=0.2, tenant_burst=1.0)
+        s1 = replay_trace(throttled, workers=0)
+        s2 = replay_trace(throttled, workers=0)
+        assert summary_to_json(s1) == summary_to_json(s2)
+        iso = s1["isolation"]
+        assert iso["gated"] > 0
+        assert iso["gated"] == iso["rate_limited"] + iso["circuit_open"]
+        gated_rows = [
+            a for a in s1["arrivals"]
+            if a.get("reject_reason") in ("rate_limited", "circuit_open")
+        ]
+        assert len(gated_rows) == iso["gated"]
+        assert all(a["rejected"] for a in gated_rows)
+        assert all(a["retry_after"] >= 0 for a in gated_rows)
+        # Tenant buckets reconcile with the per-arrival rows.
+        assert sum(t["gated"] for t in s1["tenants"].values()) == iso["gated"]
+        assert s1["queue"]["gated"] == iso["gated"]
+        assert (
+            s1["queue"]["admitted"] + s1["queue"]["rejected"] + iso["gated"]
+            == CHEAP.requests
+        )
+
+    def test_gating_disabled_by_default(self):
+        summary = replay_trace(CHEAP, workers=0)
+        assert summary["isolation"]["gated"] == 0
+        assert all(
+            a.get("reject_reason") != "rate_limited"
+            for a in summary["arrivals"]
+        )
+
+    def test_gated_arrivals_do_not_count_as_duplicates(self):
+        throttled = replace(CHEAP, tenant_rate=0.2, tenant_burst=1.0)
+        summary = replay_trace(throttled, workers=0)
+        seen = set()
+        for row in summary["arrivals"]:
+            if row.get("reject_reason") in ("rate_limited", "circuit_open"):
+                assert row["duplicate"] is False
+                continue
+            assert row["duplicate"] == (row["key"] in seen)
+            seen.add(row["key"])
+
+    def test_gated_summary_identical_across_worker_counts(self):
+        throttled = replace(CHEAP, tenant_rate=0.2, tenant_burst=1.0)
+        s_inline = replay_trace(throttled, workers=0)
+        s_pooled = replay_trace(
+            throttled, workers=3, pool_cls=ThreadPoolExecutor
+        )
+        assert summary_to_json(s_inline) == summary_to_json(s_pooled)
+
+    def test_isolation_spec_validation(self):
+        with pytest.raises(ValueError, match="tenant_rate"):
+            TraceSpec(tenant_rate=0.0)
+        with pytest.raises(ValueError, match="breaker_failures"):
+            TraceSpec(breaker_failures=0)

@@ -1,6 +1,7 @@
 """Tests for the command-line interface and the package-level API."""
 
 import json
+import pathlib
 
 import numpy as np
 import pytest
@@ -498,12 +499,18 @@ class TestFaultsExitCodes:
 
 
 class TestServiceCommands:
-    def test_submit_unreachable_service(self):
-        with pytest.raises(SystemExit, match="cannot reach"):
-            main([
-                "submit", "--port", "1", "--kind", "bench",
-                "--workload", "blackscholes", "--timeout", "2",
-            ])
+    def test_submit_unreachable_service(self, capsys):
+        from repro.cli import EXIT_UNAVAILABLE
+
+        code = main([
+            "submit", "--port", "1", "--kind", "bench",
+            "--workload", "blackscholes", "--timeout", "2",
+        ])
+        assert code == EXIT_UNAVAILABLE == 69
+        err = capsys.readouterr().err
+        assert err.count("\n") == 1  # one line, not a traceback
+        assert "127.0.0.1:1" in err
+        assert "connection refused" in err
 
     def test_submit_run_requires_file(self):
         with pytest.raises(SystemExit, match="--file"):
@@ -516,6 +523,46 @@ class TestServiceCommands:
     def test_serve_negative_workers(self):
         with pytest.raises(SystemExit, match="--workers"):
             main(["serve", "--workers", "-1"])
+
+    def test_serve_negative_grace_seconds(self):
+        with pytest.raises(SystemExit, match="--grace-seconds"):
+            main(["serve", "--grace-seconds", "-1"])
+
+    def test_serve_sigterm_drains_and_exits_zero(self):
+        # A real `repro serve` process must catch SIGTERM, drain, print
+        # its final snapshot, and exit 0 — the contract init systems and
+        # container runtimes rely on.
+        import os
+        import signal
+        import subprocess
+        import sys as _sys
+
+        import repro
+
+        src_dir = str(pathlib.Path(repro.__file__).resolve().parents[1])
+        env = dict(os.environ)
+        env["PYTHONPATH"] = src_dir + os.pathsep + env.get("PYTHONPATH", "")
+        proc = subprocess.Popen(
+            [
+                _sys.executable, "-m", "repro", "serve",
+                "--port", "0", "--grace-seconds", "5", "--final-stats",
+            ],
+            stdout=subprocess.PIPE, stderr=subprocess.PIPE,
+            text=True, env=env,
+        )
+        try:
+            banner = proc.stdout.readline()
+            assert "campaign service listening" in banner
+            proc.send_signal(signal.SIGTERM)
+            out, err = proc.communicate(timeout=30)
+        except Exception:
+            proc.kill()
+            raise
+        assert proc.returncode == 0
+        assert "campaign service drained and stopped" in err
+        snapshot = json.loads(out)
+        assert snapshot["draining"] is True
+        assert snapshot["supervisor"]["restarts"] == 0
 
     def test_replay_trace_writes_deterministic_summary(self, tmp_path, capsys):
         from repro.service.traffic import TraceSpec, save_trace_spec
