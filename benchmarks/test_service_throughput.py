@@ -128,3 +128,114 @@ def _pooled_replay(spec, workers):
     from concurrent.futures import ThreadPoolExecutor
 
     return replay_trace(spec, workers=workers, pool_cls=ThreadPoolExecutor)
+
+
+# -- durability cold start ----------------------------------------------------
+
+#: Journal lengths (records) for the recovery-time scaling row.
+JOURNAL_LENGTHS = (64, 256, 1024)
+
+_COLD_SOURCE = """
+void main() {
+#pragma offload target(mic:0) in(A : length(n)) in(n) out(B : length(n))
+#pragma omp parallel for
+    for (int i = 0; i < n; i++) {
+        B[i] = A[i] * 2.0;
+    }
+}
+"""
+
+
+def _synthesize_state(state_dir, records):
+    """A crashed-server state dir with *records* journal lines.
+
+    Even-indexed jobs carry a terminal record (finished before the
+    "crash"); odd-indexed ones are pending.  Every job's result is in
+    the segments, so recovery re-admits the pending half and serves all
+    of it from the warmed store — the timing measures pure recovery
+    work, not job execution.
+    """
+    import os
+
+    from repro.service.jobs import JobSpec
+    from repro.service.journal import JobJournal
+    from repro.service.persist import PersistentResultStore
+
+    jobs = records // 2
+    journal = JobJournal(
+        os.path.join(state_dir, "journal.jsonl"), sync="off"
+    )
+    store = PersistentResultStore(
+        os.path.join(state_dir, "results"), sync="off"
+    )
+    for i in range(jobs):
+        spec = JobSpec(
+            kind="run",
+            source=_COLD_SOURCE,
+            arrays=("A=16:float:arange", "B=16:float:zeros"),
+            scalars=("n=16",),
+            seed=i,
+        )
+        key = spec.key_sha()
+        journal.append_accepted(key, spec.as_dict())
+        store.put(key, {"ok": True, "sim_time": 0.0, "kind": "run",
+                        "label": f"cold-{i}"})
+        if i % 2 == 0:
+            journal.append_terminal(key, "done")
+    journal.close()
+    store.close()
+
+
+def _time_cold_start(state_dir):
+    """Seconds for a fresh service to replay, warm up, and settle."""
+    import asyncio
+
+    from repro.service.service import CampaignService
+
+    async def scenario():
+        started = time.perf_counter()
+        service = CampaignService(workers=0, state_dir=state_dir, sync="off")
+        await service.start()
+        await service.drain()
+        elapsed = time.perf_counter() - started
+        recovery = dict(service.recovery)
+        await service.close()
+        return elapsed, recovery
+
+    return asyncio.run(scenario())
+
+
+def test_recovery_cold_start(tmp_path):
+    """Cold-start recovery time vs journal length (BENCH_service.json)."""
+    report = (
+        json.loads(RESULT_PATH.read_text()) if RESULT_PATH.exists()
+        else {"benchmark": "service_throughput"}
+    )
+    durability = {}
+    rows = []
+    for records in JOURNAL_LENGTHS:
+        state = str(tmp_path / f"state-{records}")
+        _synthesize_state(state, records)
+        elapsed, recovery = _time_cold_start(state)
+        assert recovery["dropped_corrupt"] == 0
+        assert recovery["recovered_jobs"] > 0
+        assert recovery["recovered_results"] == records // 2
+        durability[str(records)] = {
+            "journal_records": recovery["journal_records"],
+            "recovered_jobs": recovery["recovered_jobs"],
+            "recovered_results": recovery["recovered_results"],
+            "seconds": round(elapsed, 6),
+            "records_per_sec": round(recovery["journal_records"] / elapsed, 1),
+        }
+        rows.append([
+            records, recovery["recovered_jobs"],
+            recovery["recovered_results"], f"{elapsed * 1000:.2f}",
+        ])
+    report["durability"] = durability
+    RESULT_PATH.write_text(json.dumps(report, indent=2) + "\n")
+
+    emit(render_table(
+        ["journal records", "jobs re-admitted", "results warmed",
+         "cold start ms"],
+        rows,
+    ))

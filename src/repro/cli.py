@@ -275,6 +275,15 @@ def _build_parser() -> argparse.ArgumentParser:
                        metavar="S",
                        help="seconds an open breaker sheds load before its "
                             "half-open probe (default 30)")
+    serve.add_argument("--state-dir", metavar="DIR", default=None,
+                       help="durability: write-ahead job journal + "
+                            "persistent result store under DIR; restart on "
+                            "the same DIR replays the journal and warms "
+                            "the store (default off)")
+    serve.add_argument("--sync", choices=("always", "batch", "off"),
+                       default="batch",
+                       help="fsync cadence for the state dir: every append, "
+                            "batched, or never (default batch)")
 
     submit = sub.add_parser(
         "submit",
@@ -323,6 +332,16 @@ def _build_parser() -> argparse.ArgumentParser:
     submit.add_argument("--timeout", type=float, default=300.0,
                         help="client-side wait in wall seconds "
                              "(default 300)")
+    submit.add_argument("--retries", type=int, default=0, metavar="N",
+                        help="retry a rejected (backpressure/draining) or "
+                             "refused-connection submission up to N times, "
+                             "honoring the server's retry_after hint "
+                             "(default 0: fail immediately)")
+    submit.add_argument("--retry-base", type=float, default=0.25,
+                        metavar="S",
+                        help="base backoff delay in seconds; attempt k "
+                             "waits max(hint, S*2^k), capped at 30s "
+                             "(default 0.25)")
 
     replay = sub.add_parser(
         "replay-trace",
@@ -384,6 +403,14 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="chaos mode: SIGKILL N pool workers while the "
                              "execution phase runs (requires --workers >= "
                              "1); the summary must stay byte-identical")
+    replay.add_argument("--state-dir", metavar="DIR", default=None,
+                        help="durability: journal the execution phase under "
+                             "DIR; a killed replay rerun on the same DIR "
+                             "recovers journaled jobs and cached results "
+                             "instead of recomputing (default off)")
+    replay.add_argument("--sync", choices=("always", "batch", "off"),
+                        default="batch",
+                        help="fsync cadence for --state-dir (default batch)")
     replay.add_argument("--out", metavar="FILE",
                         help="write the replay summary JSON to FILE")
     replay.add_argument("--trace", metavar="FILE",
@@ -918,6 +945,13 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             f"--grace-seconds must be >= 0, got {args.grace_seconds}"
         )
 
+    def recovered(recovery: dict) -> None:
+        print(f"recovered from {args.state_dir}: "
+              f"{recovery['recovered_jobs']} jobs re-admitted, "
+              f"{recovery['recovered_results']} results warmed, "
+              f"{recovery['dropped_corrupt']} corrupt entries dropped")
+        sys.stdout.flush()
+
     def ready(port: int) -> None:
         mode = (
             f"{args.workers} warm worker processes"
@@ -946,6 +980,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             tenant_burst=args.tenant_burst,
             breaker_failures=args.breaker_failures,
             breaker_cooldown=args.breaker_cooldown,
+            state_dir=args.state_dir,
+            sync=args.sync,
+            recovered=recovered if args.state_dir else None,
         ))
     except ValueError as exc:
         raise SystemExit(str(exc))
@@ -1007,16 +1044,12 @@ def _job_spec_from_args(args: argparse.Namespace):
     )
 
 
-def _cmd_submit(args: argparse.Namespace) -> int:
+def _submit_once(args: argparse.Namespace, spec) -> "tuple[int, float]":
+    """One submission attempt: ``(exit code, server retry_after hint)``."""
     import json
 
     from repro.service import server as client
 
-    spec = _job_spec_from_args(args)
-    try:
-        spec.validate()
-    except ValueError as exc:
-        raise SystemExit(str(exc))
     try:
         events = client.submit(args.host, args.port, spec,
                                timeout=args.timeout)
@@ -1028,12 +1061,13 @@ def _cmd_submit(args: argparse.Namespace) -> int:
             "(connection refused); start one with `repro serve`",
             file=sys.stderr,
         )
-        return EXIT_UNAVAILABLE
+        return EXIT_UNAVAILABLE, 0.0
     except (ConnectionError, OSError) as exc:
         raise SystemExit(
             f"cannot reach campaign service at {args.host}:{args.port}: {exc}"
         )
     code = 1  # no terminal event = protocol failure
+    retry_hint = 0.0
     for event in events:
         try:
             print(json.dumps(event, sort_keys=True))
@@ -1054,12 +1088,49 @@ def _cmd_submit(args: argparse.Namespace) -> int:
             code = EXIT_TIMEOUT
         elif name == "rejected":
             reason = event.get("reason", "backpressure")
+            retry_hint = float(event.get("retry_after", 0.0) or 0.0)
             print(
                 f"service rejected the job ({reason}); retry in "
-                f"{event.get('retry_after', 0.0)}s",
+                f"{retry_hint}s",
                 file=sys.stderr,
             )
             code = EXIT_RETRY
+    return code, retry_hint
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    import time as _time
+
+    if args.retries < 0:
+        raise SystemExit(f"--retries must be >= 0, got {args.retries}")
+    if args.retry_base <= 0:
+        raise SystemExit(
+            f"--retry-base must be > 0, got {args.retry_base}"
+        )
+    spec = _job_spec_from_args(args)
+    try:
+        spec.validate()
+    except ValueError as exc:
+        raise SystemExit(str(exc))
+    attempts = args.retries + 1
+    for attempt in range(attempts):
+        code, retry_hint = _submit_once(args, spec)
+        # Only transient refusals retry: backpressure/draining rejects
+        # (75) honor the server's deterministic retry_after hint, and a
+        # refused connection (69) covers a service mid-restart.  Real
+        # failures — bad specs, failed jobs, deadline timeouts — never
+        # burn retries.
+        if code not in (EXIT_RETRY, EXIT_UNAVAILABLE):
+            return code
+        if attempt + 1 >= attempts:
+            return code
+        delay = min(max(retry_hint, args.retry_base * 2 ** attempt), 30.0)
+        print(
+            f"retrying in {delay:.3f}s "
+            f"(attempt {attempt + 2}/{attempts})",
+            file=sys.stderr,
+        )
+        _time.sleep(delay)
     return code
 
 
@@ -1133,6 +1204,8 @@ def _cmd_replay_trace(args: argparse.Namespace) -> int:
             trace_out=args.trace,
             metrics=metrics,
             kill_workers=args.kill_workers,
+            state_dir=args.state_dir,
+            sync=args.sync,
         )
     except (ValueError, OSError) as exc:
         raise SystemExit(str(exc))
@@ -1169,6 +1242,17 @@ def _cmd_replay_trace(args: argparse.Namespace) -> int:
               f"redispatches, "
               f"{snap.get('service.supervisor.quarantined', 0):.0f} "
               f"quarantined")
+    if args.state_dir:
+        # Durability telemetry: how much a crash-restart brought back.
+        # Outside the summary for the same reason as the supervisor
+        # line — the summary is byte-identical with or without it.
+        print(f"durability: "
+              f"{metrics.counter_value('service.durability.recovered_jobs'):.0f} "
+              f"jobs re-admitted, "
+              f"{metrics.counter_value('service.durability.recovered_results'):.0f} "
+              f"results recovered, "
+              f"{metrics.counter_value('service.durability.dropped_corrupt'):.0f} "
+              f"corrupt entries dropped")
     if args.out:
         with open(args.out, "w") as handle:
             handle.write(summary_to_json(summary))

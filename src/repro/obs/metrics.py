@@ -138,6 +138,11 @@ class MetricsRegistry:
             inst = self._histograms[name] = Histogram(bounds)
         return inst
 
+    def counter_value(self, name: str, default: float = 0) -> float:
+        """The named counter's value without creating it when absent."""
+        inst = self._counters.get(name)
+        return inst.value if inst is not None else default
+
     def snapshot(self) -> dict:
         """A flat, sorted, JSON-ready view of every instrument.
 
@@ -241,6 +246,9 @@ class NullMetrics:
         self, name: str, bounds: Optional[List[float]] = None
     ) -> _NullInstrument:
         return _NULL_INSTRUMENT
+
+    def counter_value(self, name: str, default: float = 0) -> float:
+        return default
 
     def snapshot(self) -> dict:
         return {"counters": {}, "gauges": {}, "histograms": {}}

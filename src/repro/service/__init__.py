@@ -14,6 +14,10 @@ This package turns the one-shot CLI commands (``repro run`` /
   rebuilds with backoff, redispatch, poison-spec quarantine;
 * :mod:`~repro.service.isolation` — per-tenant token-bucket rate
   limits and circuit breakers;
+* :mod:`~repro.service.journal` — the checksummed write-ahead job
+  journal (crash-restart recovery replays it);
+* :mod:`~repro.service.persist` — the persistent result store:
+  checksum-verified segment spill and reload;
 * :mod:`~repro.service.service` — the asyncio orchestrator with
   streaming job events, deadlines, graceful drain, and fleet-wide
   metrics;
@@ -32,6 +36,8 @@ from repro.service.isolation import (
     TenantRateLimited,
 )
 from repro.service.jobs import JOB_KINDS, Job, JobSpec, execute_job
+from repro.service.journal import JobJournal, JournalReplay, replay_journal
+from repro.service.persist import PersistentResultStore
 from repro.service.queue import AdmissionQueue, AdmissionRejected
 from repro.service.service import CampaignService, JobTimeout, ServiceDraining
 from repro.service.store import ResultStore
@@ -47,6 +53,10 @@ __all__ = [
     "CampaignService",
     "JobTimeout",
     "ServiceDraining",
+    "JobJournal",
+    "JournalReplay",
+    "replay_journal",
+    "PersistentResultStore",
     "ResultStore",
     "WorkerSupervisor",
     "PoisonJobError",

@@ -181,9 +181,18 @@ class JobSpec:
             self.rates, self.policy, self.trace,
         )
 
+    def key_sha(self) -> str:
+        """The full sha256 of :meth:`key`: the durable provenance id.
+
+        This is the string the write-ahead journal and the persistent
+        result store key on — unlike the provenance tuple it survives
+        process boundaries and file round-trips unchanged.
+        """
+        return hashlib.sha256(repr(self.key()).encode()).hexdigest()
+
     def key_id(self) -> str:
         """A compact stable identifier of :meth:`key` for wire payloads."""
-        return hashlib.sha256(repr(self.key()).encode()).hexdigest()[:16]
+        return self.key_sha()[:16]
 
     def label(self) -> str:
         """Human-readable job label for logs and trace lanes."""

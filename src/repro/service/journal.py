@@ -1,0 +1,296 @@
+"""Write-ahead job journal: checksummed JSON-lines service state.
+
+PR 9 made the service survive *worker* crashes; this module makes it
+survive crashes of the server process itself.  Every accepted
+:class:`~repro.service.jobs.JobSpec` is appended to an append-only
+JSON-lines journal *before* the client is told ``queued``, and a
+terminal record is appended when the job reaches a terminal state
+(``done`` / ``failed`` / ``timeout``).  On restart,
+:func:`replay_journal` folds the file back into service state: jobs
+with an accepted record but no terminal record are re-admitted, jobs
+with a terminal record are not.  Journaling is at-least-once (a crash
+can duplicate an accepted record; a restart replays into a journal that
+keeps growing), but replay deduplicates on the job's full provenance
+sha256, and the shared result store serves re-admitted duplicates from
+cache — so recovery is exactly-once *in effect*.
+
+Every line is independently checksummed (``crc32`` over the canonical
+payload JSON, hex-prefixed), echoing the checksum-at-boundary
+discipline the integrity layer applies to device buffers: persisted
+state is never trusted on load.  A corrupt line — truncated tail from a
+mid-write crash, bit flip, garbage — is *dropped and counted*, never
+replayed and never raised on; replay of any byte string terminates and
+is a pure function of the file contents, so replaying a journal twice
+yields identical state.
+
+Durability cadence is the ``sync`` knob, shared with the persistent
+result store (:mod:`repro.service.persist`):
+
+* ``always`` — ``fsync`` after every append (safe against power loss,
+  slowest);
+* ``batch`` — ``fsync`` every *batch_every* appends and on close (the
+  default; safe against process crashes, bounded loss on power cut);
+* ``off`` — never ``fsync`` (the OS page cache still survives a
+  SIGKILL of the process, only a machine crash loses tail records).
+
+Writes go through an unbuffered file handle, so each record is a single
+``write(2)`` of one complete line — a killed process can lose the tail
+of the journal but cannot interleave half-written records.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import zlib
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.obs.metrics import NULL_METRICS
+
+__all__ = [
+    "SYNC_MODES",
+    "TERMINAL_STATES",
+    "JobJournal",
+    "JournalReplay",
+    "encode_record",
+    "decode_record",
+    "replay_journal",
+]
+
+#: Valid fsync cadences for the durability layer.
+SYNC_MODES = ("always", "batch", "off")
+
+#: Job states that end a journal entry's life: a key with one of these
+#: recorded is never re-admitted on recovery.
+TERMINAL_STATES = ("done", "failed", "timeout")
+
+
+def validate_sync_mode(sync: str) -> str:
+    """Return *sync* or raise a ValueError naming the valid modes."""
+    if sync not in SYNC_MODES:
+        raise ValueError(
+            f"unknown sync mode {sync!r}: valid modes are "
+            + ", ".join(SYNC_MODES)
+        )
+    return sync
+
+
+def encode_record(payload: dict) -> bytes:
+    """One checksummed journal line: ``crc32hex SP canonical-json LF``.
+
+    The CRC covers the canonical (sorted-key, no-whitespace) JSON blob,
+    so any byte damage to the line — including truncation, which also
+    loses the trailing newline — fails verification on load.
+    """
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    crc = zlib.crc32(blob.encode("utf-8"))
+    return f"{crc:08x} {blob}\n".encode("utf-8")
+
+
+def decode_record(raw: bytes) -> Optional[dict]:
+    """Verify and decode one journal line; None for anything corrupt.
+
+    Rejects (returns None, never raises): undecodable bytes, a missing
+    trailing newline (truncated final line from a mid-write crash), a
+    malformed CRC prefix, a CRC mismatch (bit flips), invalid JSON, and
+    non-dict payloads.
+    """
+    try:
+        text = raw.decode("utf-8")
+    except UnicodeDecodeError:
+        return None
+    if not text.endswith("\n"):
+        return None
+    head, sep, blob = text[:-1].partition(" ")
+    if not sep or len(head) != 8:
+        return None
+    try:
+        want = int(head, 16)
+    except ValueError:
+        return None
+    if zlib.crc32(blob.encode("utf-8")) != want:
+        return None
+    try:
+        payload = json.loads(blob)
+    except json.JSONDecodeError:
+        return None
+    return payload if isinstance(payload, dict) else None
+
+
+class JobJournal:
+    """Append-only write-ahead journal of accepted and finished jobs.
+
+    *path* is created (with parents) on first open.  *metrics* receives
+    ``<name>.appends`` / ``<name>.fsyncs`` counters so an operator can
+    watch journal traffic next to the rest of the service telemetry.
+    """
+
+    def __init__(
+        self,
+        path,
+        sync: str = "batch",
+        batch_every: int = 16,
+        metrics=None,
+        name: str = "service.journal",
+    ) -> None:
+        validate_sync_mode(sync)
+        if batch_every < 1:
+            raise ValueError(f"batch_every must be >= 1, got {batch_every}")
+        self.path = str(path)
+        self.sync = sync
+        self.batch_every = batch_every
+        self.name = name
+        self.metrics = metrics if metrics is not None else NULL_METRICS
+        self.appends = 0
+        self.fsyncs = 0
+        self._since_sync = 0
+        parent = os.path.dirname(self.path)
+        if parent:
+            os.makedirs(parent, exist_ok=True)
+        # Unbuffered: one append is one write(2) of one whole line.
+        self._fh = open(self.path, "ab", buffering=0)
+
+    @property
+    def closed(self) -> bool:
+        return self._fh is None
+
+    # -- appends ------------------------------------------------------------
+
+    def append_accepted(self, key_sha: str, spec_payload: dict) -> None:
+        """Journal one admitted job: its provenance sha and full spec."""
+        self._append({
+            "record": "accepted",
+            "key": key_sha,
+            "spec": spec_payload,
+        })
+
+    def append_terminal(self, key_sha: str, status: str) -> None:
+        """Journal a terminal state; *status* must be a terminal state."""
+        if status not in TERMINAL_STATES:
+            raise ValueError(
+                f"unknown terminal status {status!r}: valid states are "
+                + ", ".join(TERMINAL_STATES)
+            )
+        self._append({
+            "record": "terminal",
+            "key": key_sha,
+            "status": status,
+        })
+
+    def _append(self, payload: dict) -> None:
+        if self._fh is None:
+            raise RuntimeError("journal is closed")
+        self._fh.write(encode_record(payload))
+        self.appends += 1
+        self.metrics.counter(f"{self.name}.appends").inc()
+        if self.sync == "always":
+            self._fsync()
+        elif self.sync == "batch":
+            self._since_sync += 1
+            if self._since_sync >= self.batch_every:
+                self._fsync()
+
+    def _fsync(self) -> None:
+        os.fsync(self._fh.fileno())
+        self.fsyncs += 1
+        self._since_sync = 0
+        self.metrics.counter(f"{self.name}.fsyncs").inc()
+
+    def flush(self) -> None:
+        """Force an fsync now (no-op when closed or nothing pending)."""
+        if self._fh is not None and self._since_sync:
+            self._fsync()
+
+    def close(self) -> None:
+        """Final fsync (unless ``sync=off``) and close; idempotent."""
+        if self._fh is None:
+            return
+        if self.sync != "off" and self._since_sync:
+            self._fsync()
+        self._fh.close()
+        self._fh = None
+
+    # -- observation --------------------------------------------------------
+
+    def stats(self) -> dict:
+        """Journal telemetry, JSON-ready (for snapshots and `stats`)."""
+        return {
+            "path": self.path,
+            "sync": self.sync,
+            "appends": self.appends,
+            "fsyncs": self.fsyncs,
+        }
+
+
+@dataclass
+class JournalReplay:
+    """The folded state of one journal file (see :func:`replay_journal`)."""
+
+    #: Accepted jobs with no terminal record, first-acceptance order:
+    #: provenance sha -> spec payload.  These are re-admitted on recovery.
+    pending: Dict[str, dict] = field(default_factory=dict)
+    #: Finished jobs: provenance sha -> terminal status.
+    terminal: Dict[str, str] = field(default_factory=dict)
+    #: Total lines seen (valid or not).
+    records: int = 0
+    #: Valid accepted / terminal records (duplicates included).
+    accepted: int = 0
+    terminals: int = 0
+    #: Lines dropped for failing verification — truncated tails,
+    #: bit-flipped CRCs, garbage, or well-formed lines of unknown shape.
+    dropped_corrupt: int = 0
+    #: At-least-once artifacts: re-journaled accepts for a key already
+    #: pending or terminal, and repeated terminal records for one key.
+    duplicate_accepts: int = 0
+    duplicate_terminals: int = 0
+
+
+def replay_journal(path) -> JournalReplay:
+    """Fold a journal file into a :class:`JournalReplay`; never raises.
+
+    Pure function of the file bytes: replaying the same journal twice
+    yields identical state (the recovery idempotence property).  A
+    missing file is an empty journal.  Corrupt lines are skipped and
+    counted; an accepted record for an already-terminal key is counted
+    as a duplicate and does *not* resurrect the job.
+    """
+    replay = JournalReplay()
+    path = str(path)
+    if not os.path.exists(path):
+        return replay
+    with open(path, "rb") as fh:
+        for raw in fh:
+            replay.records += 1
+            payload = decode_record(raw)
+            if payload is None:
+                replay.dropped_corrupt += 1
+                continue
+            record = payload.get("record")
+            key = payload.get("key")
+            if (
+                record == "accepted"
+                and isinstance(key, str)
+                and isinstance(payload.get("spec"), dict)
+            ):
+                replay.accepted += 1
+                if key in replay.terminal or key in replay.pending:
+                    replay.duplicate_accepts += 1
+                else:
+                    replay.pending[key] = payload["spec"]
+            elif (
+                record == "terminal"
+                and isinstance(key, str)
+                and payload.get("status") in TERMINAL_STATES
+            ):
+                replay.terminals += 1
+                if key in replay.terminal:
+                    replay.duplicate_terminals += 1
+                else:
+                    replay.terminal[key] = payload["status"]
+                    replay.pending.pop(key, None)
+            else:
+                # A line that verified but isn't a known record shape
+                # (e.g. written by a future schema): drop, count, move on.
+                replay.dropped_corrupt += 1
+    return replay

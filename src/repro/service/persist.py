@@ -1,0 +1,228 @@
+"""Persistent result store: checksummed segment spill + verified reload.
+
+The in-memory :class:`~repro.service.store.ResultStore` dies with the
+process; :class:`PersistentResultStore` extends it so every ``put``
+also appends the entry to an on-disk *segment file*, and a restarted
+service warms itself back up with :meth:`load`.  Keys are the job's
+**full 15-field provenance sha256** (see
+:meth:`~repro.service.jobs.JobSpec.key_sha`) — a stable string that
+survives process boundaries, unlike the in-memory provenance tuples.
+
+Segments are JSON-lines files (``results-00000.seg``, rotated every
+*segment_entries* entries, a fresh segment per process generation so a
+crashed writer never shares a file with its successor).  Each line uses
+the same ``crc32hex SP json LF`` framing as the write-ahead journal
+(:mod:`repro.service.journal`), and :meth:`load` verifies every line:
+corrupt or truncated entries are **dropped and counted, never served**
+— the same detected/escaped accounting discipline the integrity layer
+applies to device buffers.  Later segments win over earlier ones for
+the same key (last write wins), so re-puts after recovery converge.
+
+The ``sync`` knob (``always`` / ``batch`` / ``off``) shares semantics
+with the journal; see that module for the cadence table.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Hashable, List, Optional, Tuple
+
+from repro.service.journal import (
+    decode_record,
+    encode_record,
+    validate_sync_mode,
+)
+from repro.service.store import ResultStore
+
+__all__ = ["PersistentResultStore"]
+
+#: Segment filename pattern: results-<generation index, 5 digits>.seg
+_SEGMENT_PREFIX = "results-"
+_SEGMENT_SUFFIX = ".seg"
+
+
+class PersistentResultStore(ResultStore):
+    """A :class:`ResultStore` whose entries spill to checksummed segments.
+
+    *root* is the segment directory (created with parents).  Keys must
+    be strings (provenance sha256 hex); values must be JSON-able (job
+    result payloads are).  All base-class telemetry applies, plus
+    ``<name>.recovered`` and ``<name>.dropped_corrupt`` counters booked
+    by :meth:`load`.
+    """
+
+    def __init__(
+        self,
+        root,
+        metrics=None,
+        name: str = "store",
+        max_entries: Optional[int] = None,
+        segment_entries: int = 256,
+        sync: str = "batch",
+        batch_every: int = 16,
+    ) -> None:
+        super().__init__(metrics=metrics, name=name, max_entries=max_entries)
+        validate_sync_mode(sync)
+        if segment_entries < 1:
+            raise ValueError(
+                f"segment_entries must be >= 1, got {segment_entries}"
+            )
+        if batch_every < 1:
+            raise ValueError(f"batch_every must be >= 1, got {batch_every}")
+        self.root = str(root)
+        self.segment_entries = segment_entries
+        self.sync = sync
+        self.batch_every = batch_every
+        self.recovered = 0
+        self.dropped_corrupt = 0
+        os.makedirs(self.root, exist_ok=True)
+        #: Write to a fresh segment each process generation, one past
+        #: the highest on disk, so a crashed writer's (possibly
+        #: truncated) tail segment is never appended to again.
+        self._segment_index = self._next_segment_index()
+        self._segment_fh = None
+        self._segment_count = 0
+        self._since_sync = 0
+
+    # -- segment bookkeeping -------------------------------------------------
+
+    def _segment_paths(self) -> List[str]:
+        """Existing segment files, oldest first (generation order)."""
+        try:
+            names = os.listdir(self.root)
+        except FileNotFoundError:
+            return []
+        segments = sorted(
+            n for n in names
+            if n.startswith(_SEGMENT_PREFIX) and n.endswith(_SEGMENT_SUFFIX)
+        )
+        return [os.path.join(self.root, n) for n in segments]
+
+    def _next_segment_index(self) -> int:
+        indices = []
+        for path in self._segment_paths():
+            stem = os.path.basename(path)[
+                len(_SEGMENT_PREFIX):-len(_SEGMENT_SUFFIX)
+            ]
+            try:
+                indices.append(int(stem))
+            except ValueError:
+                continue
+        return max(indices, default=-1) + 1
+
+    def _spill(self, key: str, value: object) -> None:
+        """Append one verified-on-load entry to the current segment."""
+        if self._segment_fh is None or self._segment_count >= self.segment_entries:
+            if self._segment_fh is not None:
+                if self.sync != "off":
+                    os.fsync(self._segment_fh.fileno())
+                self._segment_fh.close()
+                self._segment_index += 1
+            path = os.path.join(
+                self.root,
+                f"{_SEGMENT_PREFIX}{self._segment_index:05d}{_SEGMENT_SUFFIX}",
+            )
+            # Unbuffered: one entry is one write(2) of one whole line.
+            self._segment_fh = open(path, "ab", buffering=0)
+            self._segment_count = 0
+        self._segment_fh.write(encode_record({"key": key, "value": value}))
+        self._segment_count += 1
+        if self.sync == "always":
+            os.fsync(self._segment_fh.fileno())
+            self._since_sync = 0
+        elif self.sync == "batch":
+            self._since_sync += 1
+            if self._since_sync >= self.batch_every:
+                os.fsync(self._segment_fh.fileno())
+                self._since_sync = 0
+
+    # -- overrides -----------------------------------------------------------
+
+    def put(self, key: Hashable, value: object) -> None:
+        """Store and spill; keys must be provenance sha strings."""
+        if not isinstance(key, str):
+            raise TypeError(
+                "PersistentResultStore keys must be provenance sha strings, "
+                f"got {type(key).__name__}"
+            )
+        super().put(key, value)
+        self._spill(key, value)
+
+    def clear(self) -> None:
+        """Wipe memory *and* every on-disk segment (books one clear)."""
+        super().clear()
+        if self._segment_fh is not None:
+            self._segment_fh.close()
+            self._segment_fh = None
+            self._segment_count = 0
+        for path in self._segment_paths():
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+        self._segment_index = 0
+        self._since_sync = 0
+
+    def close(self) -> None:
+        """Final fsync (unless ``sync=off``) and close; idempotent."""
+        if self._segment_fh is not None:
+            if self.sync != "off" and self._since_sync:
+                os.fsync(self._segment_fh.fileno())
+            self._segment_fh.close()
+            self._segment_fh = None
+
+    # -- recovery ------------------------------------------------------------
+
+    def load(self) -> Tuple[int, int]:
+        """Warm memory from segments; ``(recovered, dropped_corrupt)``.
+
+        Every line is CRC-verified; corrupt or truncated entries are
+        dropped and counted (``<name>.dropped_corrupt``), never served.
+        Later segments win for duplicate keys.  Loading neither touches
+        the hit/miss counters nor re-spills (the entries are already
+        durable), but the LRU bound still applies: recovered entries
+        enter in segment order, so the most recently persisted survive
+        eviction.
+        """
+        entries: "dict[str, object]" = {}
+        dropped = 0
+        for path in self._segment_paths():
+            with open(path, "rb") as fh:
+                for raw in fh:
+                    payload = decode_record(raw)
+                    if (
+                        payload is None
+                        or not isinstance(payload.get("key"), str)
+                        or "value" not in payload
+                    ):
+                        dropped += 1
+                        continue
+                    entries[payload["key"]] = payload["value"]
+        with self._lock:
+            for key, value in entries.items():
+                self._results[key] = value
+                self._results.move_to_end(key)
+            self._evict()
+            self.metrics.gauge(f"{self.name}.size").set(len(self._results))
+        recovered = len(entries)
+        self.recovered += recovered
+        self.dropped_corrupt += dropped
+        if recovered:
+            self.metrics.counter(f"{self.name}.recovered").inc(recovered)
+        if dropped:
+            self.metrics.counter(f"{self.name}.dropped_corrupt").inc(dropped)
+        return recovered, dropped
+
+    # -- observation ---------------------------------------------------------
+
+    def cache_stats(self) -> dict:
+        """Base telemetry plus the persistence/recovery counters."""
+        stats = super().cache_stats()
+        stats.update({
+            "persistent": True,
+            "sync": self.sync,
+            "segments": len(self._segment_paths()),
+            "recovered": self.recovered,
+            "dropped_corrupt": self.dropped_corrupt,
+        })
+        return stats

@@ -92,14 +92,16 @@ class AdmissionQueue:
         over = depth - self.high_water + 1
         return round(max(1, over) * self.est_service_seconds, 6)
 
-    def offer(self, job, priority: Optional[int] = None) -> int:
+    def offer(self, job, priority: Optional[int] = None, force: bool = False) -> int:
         """Admit *job* or raise :class:`AdmissionRejected`.
 
         Returns the queue depth *after* admission.  Priority defaults to
-        the job spec's own; lower runs first.
+        the job spec's own; lower runs first.  *force* bypasses the
+        high-water check — the crash-recovery path uses it so journal
+        replay can never drop a job the service already promised to run.
         """
         depth = self.depth
-        if depth >= self.high_water:
+        if depth >= self.high_water and not force:
             self.rejected += 1
             self.metrics.counter("service.queue.rejected").inc()
             raise AdmissionRejected(depth, self.retry_after(depth))

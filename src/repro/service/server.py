@@ -191,6 +191,9 @@ async def serve(
     tenant_burst: float = 4.0,
     breaker_failures: Optional[int] = None,
     breaker_cooldown: float = 30.0,
+    state_dir: Optional[str] = None,
+    sync: str = "batch",
+    recovered=None,
 ) -> bool:
     """Run a campaign service on TCP until a shutdown request or signal.
 
@@ -205,6 +208,14 @@ async def serve(
     *final_stats* (optional callable) receives the service's last
     snapshot after the drain — the CLI uses it to print closing
     telemetry.
+
+    *state_dir* turns on the durability layer (write-ahead journal +
+    persistent result store, see :mod:`repro.service.journal` and
+    :mod:`repro.service.persist`) with the given fsync cadence *sync*;
+    on a restart the journal is replayed before the port binds, and
+    *recovered* (optional callable) receives the service's recovery
+    dict — called before *ready*, so the banner can report what a
+    crash-restart brought back.
     """
     service = CampaignService(
         workers=workers,
@@ -215,9 +226,13 @@ async def serve(
         tenant_burst=tenant_burst,
         breaker_failures=breaker_failures,
         breaker_cooldown=breaker_cooldown,
+        state_dir=state_dir,
+        sync=sync,
     )
     server = CampaignServer(service, host=host, port=port)
     await server.start()
+    if recovered is not None and state_dir is not None:
+        recovered(dict(service.recovery))
     loop = asyncio.get_running_loop()
     installed: List[int] = []
     for sig in (_signal.SIGTERM, _signal.SIGINT):

@@ -36,6 +36,17 @@ admission (new submissions get a 503-style
 and then cancels stragglers, and :meth:`close` is idempotent and safe
 to call before :meth:`start`.
 
+With a *state_dir* the service is also **durable**: accepted jobs are
+journaled write-ahead (:mod:`repro.service.journal`), results spill to
+checksummed segments (:mod:`repro.service.persist`), and a restart on
+the same directory replays the journal — re-admitting every job with
+no terminal record (idempotent: provenance keys and the warmed store
+make at-least-once journaling exactly-once in effect) and serving
+previously computed results from cache instead of recomputing them.
+Corrupt or truncated persisted state is dropped and counted
+(``dropped_corrupt``), never trusted; the :attr:`recovery` dict and
+the ``durability`` block of :meth:`snapshot` report what happened.
+
 Results are pure functions of the spec (see :mod:`repro.service.jobs`),
 so nothing here — caching, coalescing, worker count, scheduling order,
 supervision restarts, redispatches — can change what a job returns; it
@@ -47,12 +58,15 @@ from __future__ import annotations
 
 import asyncio
 import itertools
+import os
 import time
 from typing import Dict, List, Optional
 
 from repro.obs.metrics import MetricsRegistry
 from repro.service.isolation import TenantGate
 from repro.service.jobs import Job, JobSpec
+from repro.service.journal import JobJournal, replay_journal
+from repro.service.persist import PersistentResultStore
 from repro.service.pool import WorkerPool
 from repro.service.queue import AdmissionQueue, AdmissionRejected
 from repro.service.store import ResultStore
@@ -100,12 +114,57 @@ class CampaignService:
         breaker_failures: Optional[int] = None,
         breaker_cooldown: float = 30.0,
         supervisor: Optional[WorkerSupervisor] = None,
+        state_dir: Optional[str] = None,
+        sync: str = "batch",
+        journal: Optional[JobJournal] = None,
     ) -> None:
         self.metrics = metrics if metrics is not None else MetricsRegistry()
-        self.store = store if store is not None else ResultStore(
-            metrics=self.metrics, name="service.store",
-            max_entries=store_max_entries,
-        )
+        self.state_dir = str(state_dir) if state_dir is not None else None
+        self.sync = sync
+        #: What crash recovery found; reported in the ready banner, the
+        #: `stats` op, and `service.durability.*` metric counters.
+        self.recovery = {
+            "recovered_jobs": 0,
+            "recovered_results": 0,
+            "dropped_corrupt": 0,
+            "journal_records": 0,
+            "duplicate_terminals": 0,
+        }
+        if store is not None:
+            self.store = store
+        elif self.state_dir is not None:
+            self.store = PersistentResultStore(
+                os.path.join(self.state_dir, "results"),
+                metrics=self.metrics, name="service.store",
+                max_entries=store_max_entries, sync=sync,
+            )
+            recovered, dropped = self.store.load()
+            self.recovery["recovered_results"] = recovered
+            self.recovery["dropped_corrupt"] += dropped
+        else:
+            self.store = ResultStore(
+                metrics=self.metrics, name="service.store",
+                max_entries=store_max_entries,
+            )
+        #: Journal replay snapshot, captured *before* the journal file
+        #: reopens for append so pre-restart state can't mix with
+        #: records this generation writes; consumed by start().
+        self._replay = None
+        if journal is not None:
+            self.journal: Optional[JobJournal] = journal
+        elif self.state_dir is not None:
+            journal_path = os.path.join(self.state_dir, "journal.jsonl")
+            self._replay = replay_journal(journal_path)
+            self.recovery["journal_records"] = self._replay.records
+            self.recovery["dropped_corrupt"] += self._replay.dropped_corrupt
+            self.recovery["duplicate_terminals"] = (
+                self._replay.duplicate_terminals
+            )
+            self.journal = JobJournal(
+                journal_path, sync=sync, metrics=self.metrics
+            )
+        else:
+            self.journal = None
         self.queue = AdmissionQueue(
             max_depth=max_depth, high_water=high_water, metrics=self.metrics
         )
@@ -123,7 +182,7 @@ class CampaignService:
         #: Concurrency gate: at most this many jobs execute at once.
         self.slots = max(1, workers)
         self._semaphore: Optional[asyncio.Semaphore] = None
-        self._inflight: Dict[tuple, asyncio.Future] = {}
+        self._inflight: Dict[str, asyncio.Future] = {}
         self._jobs: Dict[int, Job] = {}
         self._ids = itertools.count(1)
         self._dispatcher: Optional[asyncio.Task] = None
@@ -151,6 +210,7 @@ class CampaignService:
             raise RuntimeError("service is closed; build a new one")
         if self._dispatcher is None:
             self._semaphore = asyncio.Semaphore(self.slots)
+            self._recover()
             self._dispatcher = asyncio.create_task(self._dispatch_loop())
         return self
 
@@ -206,6 +266,10 @@ class CampaignService:
         if self._tasks:
             await asyncio.gather(*self._tasks, return_exceptions=True)
         self.pool.shutdown()
+        if self.journal is not None:
+            self.journal.close()
+        if isinstance(self.store, PersistentResultStore):
+            self.store.close()
 
     async def drain(self) -> None:
         """Wait until every accepted job has finished."""
@@ -254,8 +318,9 @@ class CampaignService:
         )
         self._jobs[job.id] = job
         self.metrics.counter("service.jobs.submitted").inc()
-        cached = self.store.get(spec.key(), record=True)
+        cached = self.store.get(spec.key_sha(), record=True)
         if cached is not None:
+            self._journal_accepted(job)
             self._emit(job, "cached", key=spec.key_id())
             self.metrics.counter("service.jobs.cached").inc()
             job.cached = True
@@ -267,6 +332,9 @@ class CampaignService:
             self.metrics.counter("service.jobs.rejected").inc()
             del self._jobs[job.id]
             raise
+        # Write-ahead: the accepted record is durable (per the sync
+        # cadence) before the client is ever told "queued".
+        self._journal_accepted(job)
         job.state = "queued"
         self._emit(job, "queued", key=spec.key_id(), depth=depth)
         return job
@@ -274,6 +342,71 @@ class CampaignService:
     def job(self, job_id: int) -> Optional[Job]:
         """Look up a submitted job by id."""
         return self._jobs.get(job_id)
+
+    # -- crash recovery -----------------------------------------------------
+
+    def _recover(self) -> None:
+        """Re-admit journaled jobs with no terminal record (idempotent).
+
+        Runs once, from :meth:`start`, against the journal snapshot the
+        constructor captured.  A pending spec that no longer validates
+        (schema drift, damaged payload) is dropped and counted — it can
+        never run, so resurrecting it would only wedge the queue.
+        """
+        replay, self._replay = self._replay, None
+        if replay is not None:
+            for payload in replay.pending.values():
+                try:
+                    spec = JobSpec.from_dict(payload)
+                    spec.validate()
+                except Exception:
+                    self.recovery["dropped_corrupt"] += 1
+                    continue
+                self._readmit(spec)
+                self.recovery["recovered_jobs"] += 1
+        for name in ("recovered_jobs", "recovered_results", "dropped_corrupt"):
+            if self.recovery[name]:
+                self.metrics.counter(f"service.durability.{name}").inc(
+                    self.recovery[name]
+                )
+
+    def _readmit(self, spec: JobSpec) -> None:
+        """Admission for journal replay: no gate, no re-journaling.
+
+        The previous process generation already admitted (and journaled)
+        this job, so recovery bypasses the tenant gate and the
+        high-water mark — replay can never drop a job the service
+        already promised to run.  A recovered result in the warmed
+        store completes the job immediately, which also journals the
+        terminal record the crash lost.
+        """
+        job = Job(
+            id=next(self._ids),
+            spec=spec,
+            submitted_wall=time.monotonic(),
+            events=asyncio.Queue(),
+            done=asyncio.get_running_loop().create_future(),
+        )
+        self._jobs[job.id] = job
+        self.metrics.counter("service.jobs.recovered").inc()
+        cached = self.store.get(spec.key_sha(), record=True)
+        if cached is not None:
+            self._emit(job, "cached", key=spec.key_id())
+            self.metrics.counter("service.jobs.cached").inc()
+            job.cached = True
+            self._finish(job, result=cached)
+            return
+        depth = self.queue.offer(job, force=True)
+        job.state = "queued"
+        self._emit(job, "queued", key=spec.key_id(), depth=depth)
+
+    def _journal_accepted(self, job: Job) -> None:
+        if self.journal is not None and not self.journal.closed:
+            self.journal.append_accepted(job.spec.key_sha(), job.spec.as_dict())
+
+    def _journal_terminal(self, job: Job, status: str) -> None:
+        if self.journal is not None and not self.journal.closed:
+            self.journal.append_terminal(job.spec.key_sha(), status)
 
     # -- dispatch -----------------------------------------------------------
 
@@ -315,7 +448,7 @@ class CampaignService:
             if remaining <= 0:
                 self._finish_timeout(job)
                 return
-        key = job.spec.key()
+        key = job.spec.key_sha()
         cached = self.store.get(key)
         if cached is not None:
             job.cached = True
@@ -403,6 +536,7 @@ class CampaignService:
         deadline = job.spec.deadline_seconds
         job.error = f"deadline of {deadline:g}s exceeded"
         self.metrics.counter("service.jobs.timeout").inc()
+        self._journal_terminal(job, "timeout")
         self._emit(job, "timeout", deadline=deadline)
         if not job.done.done():
             job.done.set_exception(JobTimeout(job.error))
@@ -416,6 +550,7 @@ class CampaignService:
             job.state = "failed"
             job.error = error
             self.metrics.counter("service.jobs.failed").inc()
+            self._journal_terminal(job, "failed")
             self._emit(job, "failed", error=error)
             if not job.done.done():
                 job.done.set_exception(RuntimeError(error))
@@ -424,6 +559,7 @@ class CampaignService:
             job.state = "done"
             job.result = result
             self.metrics.counter("service.jobs.completed").inc()
+            self._journal_terminal(job, "done")
             self.metrics.counter("service.sim_seconds").inc(
                 result.get("sim_time", 0.0)
             )
@@ -456,7 +592,7 @@ class CampaignService:
 
     def snapshot(self) -> dict:
         """Fleet-wide service telemetry, JSON-ready."""
-        return {
+        snap = {
             "queue_depth": self.queue.depth,
             "queue_accepted": self.queue.accepted,
             "queue_rejected": self.queue.rejected,
@@ -468,3 +604,9 @@ class CampaignService:
             "tenants": self.gate.stats(),
             "metrics": self.metrics.snapshot(),
         }
+        if self.journal is not None:
+            snap["durability"] = {
+                "recovery": dict(self.recovery),
+                "journal": self.journal.stats(),
+            }
+        return snap

@@ -56,6 +56,7 @@ class ResultStore:
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        self.clears = 0
 
     def __len__(self) -> int:
         return len(self._results)
@@ -153,12 +154,25 @@ class ResultStore:
                 "misses": self.misses,
                 "size": len(self._results),
                 "evictions": self.evictions,
+                "clears": self.clears,
                 "max_entries": self.max_entries,
             }
 
     def clear(self) -> None:
-        """Drop every stored result (telemetry counters are kept)."""
+        """Wipe every result and start a fresh stats generation.
+
+        Hit/miss/eviction counters reset alongside the entries and the
+        wipe itself is booked (``clears`` in :meth:`cache_stats`, a
+        ``<name>.clears`` metric counter), so evictions-under-pressure
+        and deliberate wipes stay distinguishable and a recovery-time
+        reload is never polluted by prior-generation counters.
+        """
         with self._lock:
             self._results.clear()
             self._key_locks.clear()
+            self.hits = 0
+            self.misses = 0
+            self.evictions = 0
+            self.clears += 1
+            self.metrics.counter(f"{self.name}.clears").inc()
             self.metrics.gauge(f"{self.name}.size").set(0)

@@ -465,19 +465,23 @@ async def _execute_unique(
     pool_cls,
     metrics,
     kill_workers: int = 0,
+    state_dir: Optional[str] = None,
+    sync: str = "batch",
 ) -> Dict[tuple, dict]:
     from repro.service.service import CampaignService
 
     # The live queue must never reject during Phase A — admission is
     # modelled in virtual time, not measured — so size it above the
-    # unique-job count.
-    depth = max(64, 2 * len(unique) + 8)
+    # unique-job count (with headroom for journal-replayed re-admits).
+    depth = max(64, 3 * len(unique) + 8)
     service = CampaignService(
         workers=workers,
         max_depth=depth,
         high_water=depth,
         metrics=metrics,
         pool_cls=pool_cls,
+        state_dir=state_dir,
+        sync=sync,
     )
     await service.start()
     killer = None
@@ -547,6 +551,8 @@ def replay_trace(
     metrics=None,
     trace_out: Optional[str] = None,
     kill_workers: int = 0,
+    state_dir: Optional[str] = None,
+    sync: str = "batch",
 ) -> dict:
     """Replay *spec* against the service; returns the summary document.
 
@@ -563,6 +569,14 @@ def replay_trace(
     supervisor rebuilds the pool and redispatches interrupted jobs, so
     the summary must still come out byte-identical to an undisturbed
     replay — that equality is the worker-crash determinism check.
+
+    *state_dir* runs Phase A on a durable service (write-ahead journal
+    + persistent result store, fsync cadence *sync*): a replay SIGKILLed
+    mid-trace and rerun on the same directory recovers journaled jobs
+    and serves already-computed results from the warmed store instead of
+    recomputing them.  Recovery shows up only in the metrics registry
+    and the ``service.durability.*`` counters — never in the summary,
+    which must stay byte-identical with or without a state dir.
     """
     if trace_out is not None and not spec.traced:
         raise ValueError(
@@ -580,7 +594,10 @@ def replay_trace(
     for arrival in arrivals:
         unique.setdefault(arrival.spec.key(), arrival.spec)
     results = asyncio.run(
-        _execute_unique(unique, workers, pool_cls, metrics, kill_workers)
+        _execute_unique(
+            unique, workers, pool_cls, metrics, kill_workers,
+            state_dir=state_dir, sync=sync,
+        )
     )
 
     # Tenant isolation gates arrivals before the queue model, exactly

@@ -1,0 +1,244 @@
+"""Tests for the write-ahead job journal: framing, corruption, replay.
+
+The satellite contract: recovery must *skip and count* damaged journal
+state — truncated final lines, bit-flipped CRCs, duplicate terminal
+records, empty files, garbage — never raise, and replaying the same
+journal twice must yield identical state (the idempotence property the
+hypothesis test checks).
+"""
+
+import dataclasses
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs.metrics import MetricsRegistry
+from repro.service.journal import (
+    SYNC_MODES,
+    TERMINAL_STATES,
+    JobJournal,
+    decode_record,
+    encode_record,
+    replay_journal,
+    validate_sync_mode,
+)
+
+
+def _write_journal(path, records):
+    """A journal holding *records* (accepted/terminal payload dicts)."""
+    with open(path, "wb") as fh:
+        for payload in records:
+            fh.write(encode_record(payload))
+
+
+def _accepted(key, spec=None):
+    return {"record": "accepted", "key": key, "spec": spec or {"kind": "bench"}}
+
+
+def _terminal(key, status="done"):
+    return {"record": "terminal", "key": key, "status": status}
+
+
+class TestFraming:
+    def test_roundtrip(self):
+        payload = {"record": "accepted", "key": "a" * 64, "spec": {"n": 1}}
+        assert decode_record(encode_record(payload)) == payload
+
+    def test_rejects_truncation(self):
+        raw = encode_record({"key": "k"})
+        # Any strict prefix loses the newline (and usually CRC bytes):
+        # every one must decode to None, never raise.
+        for cut in range(len(raw)):
+            assert decode_record(raw[:cut]) is None
+
+    def test_rejects_bit_flip(self):
+        raw = bytearray(encode_record({"key": "k", "value": 7}))
+        raw[len(raw) // 2] ^= 0x01
+        assert decode_record(bytes(raw)) is None
+
+    def test_rejects_garbage(self):
+        assert decode_record(b"not a journal line\n") is None
+        assert decode_record(b"\xff\xfe\x00garbage\n") is None
+        assert decode_record(b"00000000 [1,2,3]\n") is None  # non-dict
+        assert decode_record(b"zzzzzzzz {}\n") is None  # bad CRC hex
+
+    def test_sync_mode_validation(self):
+        for mode in SYNC_MODES:
+            assert validate_sync_mode(mode) == mode
+        with pytest.raises(ValueError, match="sync mode"):
+            validate_sync_mode("sometimes")
+
+
+class TestJournalWrites:
+    def test_append_and_replay(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        journal = JobJournal(path, sync="always")
+        journal.append_accepted("k1", {"kind": "bench"})
+        journal.append_accepted("k2", {"kind": "run"})
+        journal.append_terminal("k1", "done")
+        journal.close()
+        replay = replay_journal(path)
+        assert set(replay.pending) == {"k2"}
+        assert replay.terminal == {"k1": "done"}
+        assert replay.records == 3
+        assert replay.dropped_corrupt == 0
+
+    def test_rejects_unknown_terminal_status(self, tmp_path):
+        journal = JobJournal(tmp_path / "j.jsonl")
+        with pytest.raises(ValueError, match="terminal status"):
+            journal.append_terminal("k", "exploded")
+        journal.close()
+
+    def test_append_after_close_raises(self, tmp_path):
+        journal = JobJournal(tmp_path / "j.jsonl")
+        journal.close()
+        assert journal.closed
+        journal.close()  # idempotent
+        with pytest.raises(RuntimeError, match="closed"):
+            journal.append_accepted("k", {})
+
+    def test_sync_modes_equivalent_content(self, tmp_path):
+        blobs = []
+        for mode in SYNC_MODES:
+            path = tmp_path / f"j-{mode}.jsonl"
+            journal = JobJournal(path, sync=mode, batch_every=2)
+            for i in range(5):
+                journal.append_accepted(f"k{i}", {"i": i})
+            journal.close()
+            blobs.append(path.read_bytes())
+        assert blobs[0] == blobs[1] == blobs[2]
+
+    def test_fsync_cadence_counters(self, tmp_path):
+        metrics = MetricsRegistry()
+        journal = JobJournal(
+            tmp_path / "j.jsonl", sync="batch", batch_every=2, metrics=metrics
+        )
+        for i in range(5):
+            journal.append_accepted(f"k{i}", {})
+        journal.close()  # the odd fifth append syncs on close
+        counters = metrics.snapshot()["counters"]
+        assert counters["service.journal.appends"] == 5
+        assert counters["service.journal.fsyncs"] == 3
+        assert journal.stats()["appends"] == 5
+
+
+class TestReplayCorruption:
+    def test_missing_file_is_empty(self, tmp_path):
+        replay = replay_journal(tmp_path / "absent.jsonl")
+        assert replay.pending == {} and replay.terminal == {}
+        assert replay.records == 0
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        path.write_bytes(b"")
+        replay = replay_journal(path)
+        assert replay.pending == {} and replay.dropped_corrupt == 0
+
+    def test_truncated_final_line_dropped(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        _write_journal(path, [_accepted("k1"), _accepted("k2")])
+        raw = path.read_bytes()
+        path.write_bytes(raw[:-7])  # mid-write crash on the last record
+        replay = replay_journal(path)
+        assert set(replay.pending) == {"k1"}
+        assert replay.dropped_corrupt == 1
+
+    def test_bit_flipped_line_dropped(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        _write_journal(path, [_accepted("k1"), _terminal("k1")])
+        raw = bytearray(path.read_bytes())
+        raw[5] ^= 0x10  # damage the first line; second stays valid
+        path.write_bytes(bytes(raw))
+        replay = replay_journal(path)
+        assert replay.dropped_corrupt == 1
+        # The terminal record survived: k1 is finished, not pending.
+        assert replay.terminal == {"k1": "done"}
+        assert replay.pending == {}
+
+    def test_duplicate_terminal_records(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        _write_journal(path, [
+            _accepted("k1"),
+            _terminal("k1", "done"),
+            _terminal("k1", "failed"),  # at-least-once artifact
+            _terminal("k1", "done"),
+        ])
+        replay = replay_journal(path)
+        assert replay.terminal == {"k1": "done"}  # first wins
+        assert replay.duplicate_terminals == 2
+        assert replay.dropped_corrupt == 0
+
+    def test_accept_after_terminal_does_not_resurrect(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        _write_journal(path, [
+            _accepted("k1"),
+            _terminal("k1"),
+            _accepted("k1"),  # re-journaled on a post-recovery re-run
+        ])
+        replay = replay_journal(path)
+        assert replay.pending == {}
+        assert replay.duplicate_accepts == 1
+
+    def test_unknown_record_shape_counts_corrupt(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        _write_journal(path, [
+            {"record": "checkpoint", "epoch": 3},  # future schema
+            _accepted("k1"),
+            {"record": "terminal", "key": "k1", "status": "eaten"},
+        ])
+        replay = replay_journal(path)
+        assert set(replay.pending) == {"k1"}
+        assert replay.dropped_corrupt == 2
+
+    def test_garbage_interleaved_never_raises(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        with open(path, "wb") as fh:
+            fh.write(b"\x00\x01\x02 binary junk\n")
+            fh.write(encode_record(_accepted("k1")))
+            fh.write(b"plain text line\n")
+            fh.write(encode_record(_terminal("k1")))
+            fh.write(b"\xde\xad\xbe\xef")
+        replay = replay_journal(path)
+        assert replay.terminal == {"k1": "done"}
+        assert replay.dropped_corrupt == 3
+
+
+_record_strategy = st.one_of(
+    st.builds(
+        _accepted,
+        key=st.sampled_from(["ka", "kb", "kc"]),
+        spec=st.dictionaries(
+            st.sampled_from(["kind", "seed"]), st.integers(0, 3), max_size=2
+        ),
+    ),
+    st.builds(
+        _terminal,
+        key=st.sampled_from(["ka", "kb", "kc"]),
+        status=st.sampled_from(TERMINAL_STATES),
+    ),
+)
+
+
+class TestReplayIdempotence:
+    @settings(max_examples=50, deadline=None)
+    @given(
+        records=st.lists(_record_strategy, max_size=12),
+        damage=st.integers(0, 40),
+    )
+    def test_replaying_twice_yields_identical_state(
+        self, tmp_path_factory, records, damage
+    ):
+        # Replay is a pure function of the file bytes: two replays of
+        # the same (arbitrarily damaged) journal must agree exactly.
+        path = tmp_path_factory.mktemp("journal") / "j.jsonl"
+        _write_journal(path, records)
+        raw = bytearray(path.read_bytes())
+        if raw and damage:
+            raw[damage % len(raw)] ^= 0xFF
+        path.write_bytes(bytes(raw[: max(0, len(raw) - damage // 8)]))
+        first = replay_journal(path)
+        second = replay_journal(path)
+        assert dataclasses.asdict(first) == dataclasses.asdict(second)
+        # And pending/terminal never overlap: a key is one or the other.
+        assert not set(first.pending) & set(first.terminal)

@@ -167,6 +167,82 @@ class TestDrain:
         assert states == ["done", "done"]
 
 
+class TestDurability:
+    def test_restart_on_state_dir_reports_recovery(self, tmp_path):
+        # Two server generations on one state dir: the first computes a
+        # job, the second warms its store from the segments, serves the
+        # same spec from cache, and hands its recovery stats to the
+        # `recovered` callback before `ready`.
+        state = str(tmp_path / "state")
+
+        def generation(expect_recovered):
+            box = {"calls": []}
+            ready = threading.Event()
+
+            def main():
+                def on_recovered(recovery):
+                    box["recovery"] = recovery
+                    box["calls"].append("recovered")
+
+                def on_ready(port):
+                    box["port"] = port
+                    box["calls"].append("ready")
+                    ready.set()
+
+                asyncio.run(srv.serve(
+                    host="127.0.0.1", port=0, workers=0,
+                    ready=on_ready, recovered=on_recovered,
+                    state_dir=state, sync="always",
+                ))
+
+            thread = threading.Thread(target=main, daemon=True)
+            thread.start()
+            assert ready.wait(10), "server never came up"
+            assert box["calls"] == ["recovered", "ready"]
+            events = srv.submit(
+                "127.0.0.1", box["port"], run_job_spec(seed=21)
+            )
+            srv.request("127.0.0.1", box["port"], {"op": "stats"})
+            srv.request("127.0.0.1", box["port"], {"op": "shutdown"}, timeout=5)
+            thread.join(10)
+            assert box["recovery"]["recovered_results"] == expect_recovered
+            assert box["recovery"]["dropped_corrupt"] == 0
+            return events
+
+        first = generation(expect_recovered=0)
+        assert [e["event"] for e in first] == [
+            "queued", "started", "result", "done",
+        ]
+        second = generation(expect_recovered=1)
+        # Served from the recovered store: no recomputation.
+        assert second[0]["event"] == "cached"
+        assert second[-1]["event"] == "done"
+
+    def test_stats_op_reports_durability(self, tmp_path):
+        from repro.service.service import CampaignService
+
+        async def scenario():
+            service = CampaignService(
+                workers=0, state_dir=str(tmp_path / "state")
+            )
+            server = srv.CampaignServer(service)
+            await server.start()
+            loop = asyncio.get_running_loop()
+            (stats,) = await loop.run_in_executor(
+                None,
+                lambda: srv.request(
+                    "127.0.0.1", server.port, {"op": "stats"}
+                ),
+            )
+            await server.close()
+            return stats
+
+        stats = asyncio.run(scenario())
+        assert stats["event"] == "stats"
+        assert stats["durability"]["recovery"]["recovered_jobs"] == 0
+        assert stats["durability"]["journal"]["appends"] == 0
+
+
 class TestShutdown:
     def test_shutdown_op_stops_server(self):
         box = {}

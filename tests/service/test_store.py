@@ -26,14 +26,32 @@ class TestBasics:
         assert len(calls) == 1
         assert store.stats() == (2, 1, 1)
 
-    def test_clear_keeps_counters(self):
-        store = ResultStore()
+    def test_clear_starts_fresh_generation(self):
+        # A wipe resets the hit/miss/eviction counters (a recovery-time
+        # reload must not inherit prior-generation telemetry) and books
+        # itself as a clear, distinct from evictions-under-pressure.
+        store = ResultStore(max_entries=1)
         store.get_or_compute("k", lambda: 1)
         store.get_or_compute("k", lambda: 1)
+        store.put("k2", 2)  # evicts "k"
         store.clear()
         assert len(store) == 0
-        hits, misses, size = store.stats()
-        assert (hits, misses, size) == (1, 1, 0)
+        assert store.stats() == (0, 0, 0)
+        assert store.evictions == 0
+        assert store.clears == 1
+        stats = store.cache_stats()
+        assert stats["clears"] == 1
+        assert stats["evictions"] == 0
+
+    def test_clear_metric_counter(self):
+        metrics = MetricsRegistry()
+        store = ResultStore(metrics=metrics, name="svc")
+        store.put("k", 1)
+        store.clear()
+        store.clear()
+        counters = metrics.snapshot()["counters"]
+        assert counters["svc.clears"] == 2
+        assert metrics.snapshot()["gauges"]["svc.size"]["value"] == 0
 
     def test_compute_exception_releases_key(self):
         store = ResultStore()
@@ -166,6 +184,7 @@ class TestLRUBound:
             "misses": 1,
             "size": 1,
             "evictions": 1,
+            "clears": 0,
             "max_entries": 1,
         }
         assert metrics.snapshot()["counters"]["svc.evictions"] == 1

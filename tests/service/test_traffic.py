@@ -254,6 +254,30 @@ class TestChaosReplay:
         assert len(disturbed["arrivals"]) == CHEAP.requests
         assert counters.get("service.supervisor.quarantined", 0) == 0
 
+    def test_state_dir_rerun_recovers_and_stays_byte_identical(self, tmp_path):
+        # Durable replay: a rerun on a populated state dir warms the
+        # result store (zero recompute for finished jobs) and the
+        # summary stays byte-identical to a stateless run — recovery is
+        # telemetry, never part of the document.
+        from repro.obs.metrics import MetricsRegistry
+
+        state = str(tmp_path / "state")
+        baseline = replay_trace(CHEAP, workers=0)
+        first = replay_trace(CHEAP, workers=0, state_dir=state)
+        metrics = MetricsRegistry()
+        second = replay_trace(
+            CHEAP, workers=0, state_dir=state, metrics=metrics
+        )
+        assert summary_to_json(first) == summary_to_json(baseline)
+        assert summary_to_json(second) == summary_to_json(baseline)
+        counters = metrics.snapshot()["counters"]
+        assert counters["service.durability.recovered_results"] >= 1
+        assert counters.get("service.durability.dropped_corrupt", 0) == 0
+        # Every unique job served from the warmed store: no recompute.
+        unique = baseline["queue"]["unique_jobs"]
+        assert counters["service.store.hits"] >= unique
+        assert counters.get("service.store.misses", 0) == 0
+
     def test_kill_workers_requires_real_pool(self):
         with pytest.raises(ValueError, match="workers"):
             replay_trace(CHEAP, workers=0, kill_workers=1)

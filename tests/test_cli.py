@@ -512,6 +512,55 @@ class TestServiceCommands:
         assert "127.0.0.1:1" in err
         assert "connection refused" in err
 
+    def test_submit_retries_connection_refused(self, capsys):
+        from repro.cli import EXIT_UNAVAILABLE
+
+        code = main([
+            "submit", "--port", "1", "--kind", "bench",
+            "--workload", "blackscholes", "--timeout", "2",
+            "--retries", "2", "--retry-base", "0.01",
+        ])
+        assert code == EXIT_UNAVAILABLE
+        err = capsys.readouterr().err
+        # Three attempts total: two bounded-backoff retries in between.
+        assert err.count("connection refused") == 3
+        assert err.count("retrying in") == 2
+        assert "attempt 2/3" in err and "attempt 3/3" in err
+
+    def test_submit_retries_honor_server_hint(self, monkeypatch, capsys):
+        # A backpressure reject carries the server's deterministic
+        # retry_after hint; the retry delay honors it when it exceeds
+        # the exponential base.
+        from repro.service import server as client
+
+        outcomes = [
+            [{"event": "rejected", "reason": "backpressure",
+              "depth": 9, "retry_after": 0.02}],
+            [{"event": "result", "result": {"ok": True}},
+             {"event": "done", "ok": True}],
+        ]
+        monkeypatch.setattr(
+            client, "submit", lambda *a, **k: outcomes.pop(0)
+        )
+        slept = []
+        import time as _time
+        monkeypatch.setattr(_time, "sleep", slept.append)
+        code = main([
+            "submit", "--kind", "bench", "--workload", "blackscholes",
+            "--retries", "1", "--retry-base", "0.001",
+        ])
+        assert code == 0
+        assert slept == [0.02]  # the hint won over 0.001 * 2^0
+        assert "retrying in 0.020s" in capsys.readouterr().err
+
+    def test_submit_retries_validation(self):
+        with pytest.raises(SystemExit, match="--retries"):
+            main(["submit", "--kind", "bench", "--workload", "blackscholes",
+                  "--retries", "-1"])
+        with pytest.raises(SystemExit, match="--retry-base"):
+            main(["submit", "--kind", "bench", "--workload", "blackscholes",
+                  "--retry-base", "0"])
+
     def test_submit_run_requires_file(self):
         with pytest.raises(SystemExit, match="--file"):
             main(["submit", "--kind", "run"])
